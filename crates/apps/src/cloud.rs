@@ -1,0 +1,142 @@
+//! Cloud-service stand-ins.
+//!
+//! The paper's music journal identifies songs with the Echoprint.me web
+//! service and phrase detection uses the Google Speech API (§3.7.2).
+//! Those services run *after* the phone wakes, so they influence the
+//! application's final output but not the energy or recall of the wake-up
+//! mechanisms under study. The stand-ins consult ground truth with
+//! configurable true/false-positive rates, deterministically derived from
+//! the query timestamp so simulations are reproducible.
+
+use sidewinder_sensors::{EventKind, GroundTruth, Micros};
+
+/// A deterministic recognizer stub for one event kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudRecognizer {
+    kind: EventKind,
+    true_positive_rate: f64,
+    false_positive_rate: f64,
+    seed: u64,
+}
+
+impl CloudRecognizer {
+    /// A perfect recognizer for `kind` (the default used in the power
+    /// experiments, where the paper calibrates for 100 % recall).
+    pub fn perfect(kind: EventKind) -> Self {
+        CloudRecognizer {
+            kind,
+            true_positive_rate: 1.0,
+            false_positive_rate: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A recognizer with the given accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is outside `[0, 1]`.
+    pub fn with_rates(kind: EventKind, true_positive: f64, false_positive: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&true_positive) && (0.0..=1.0).contains(&false_positive),
+            "rates must be probabilities"
+        );
+        CloudRecognizer {
+            kind,
+            true_positive_rate: true_positive,
+            false_positive_rate: false_positive,
+            seed,
+        }
+    }
+
+    /// The event kind this recognizer identifies.
+    pub fn kind(&self) -> EventKind {
+        self.kind
+    }
+
+    /// Whether the service recognizes its target at time `t`, given the
+    /// recording's ground truth.
+    pub fn recognize(&self, ground_truth: &GroundTruth, t: Micros) -> bool {
+        let present = ground_truth.of_kind(self.kind).any(|iv| iv.contains(t));
+        let rate = if present {
+            self.true_positive_rate
+        } else {
+            self.false_positive_rate
+        };
+        hash_unit(t.as_micros() ^ self.seed) < rate
+    }
+}
+
+/// Maps a 64-bit value to `[0, 1)` via the SplitMix64 finalizer —
+/// deterministic, uniform, and with no RNG state to thread through the
+/// simulator.
+fn hash_unit(mut x: u64) -> f64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_sensors::LabeledInterval;
+
+    fn music_gt() -> GroundTruth {
+        [LabeledInterval::new(
+            EventKind::Music,
+            Micros::from_secs(10),
+            Micros::from_secs(20),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn perfect_recognizer_matches_ground_truth() {
+        let r = CloudRecognizer::perfect(EventKind::Music);
+        let gt = music_gt();
+        assert!(r.recognize(&gt, Micros::from_secs(15)));
+        assert!(!r.recognize(&gt, Micros::from_secs(25)));
+        assert_eq!(r.kind(), EventKind::Music);
+    }
+
+    #[test]
+    fn rates_shape_accuracy() {
+        let gt = music_gt();
+        let flaky = CloudRecognizer::with_rates(EventKind::Music, 0.8, 0.05, 42);
+        let mut tp = 0;
+        let mut fp = 0;
+        let n = 2_000;
+        for i in 0..n {
+            // Inside the event.
+            if flaky.recognize(&gt, Micros::from_secs(10) + Micros::from_micros(i)) {
+                tp += 1;
+            }
+            // Outside the event.
+            if flaky.recognize(&gt, Micros::from_secs(30) + Micros::from_micros(i)) {
+                fp += 1;
+            }
+        }
+        let tp_rate = tp as f64 / n as f64;
+        let fp_rate = fp as f64 / n as f64;
+        assert!((tp_rate - 0.8).abs() < 0.05, "tp rate {tp_rate}");
+        assert!((fp_rate - 0.05).abs() < 0.03, "fp rate {fp_rate}");
+    }
+
+    #[test]
+    fn recognition_is_deterministic() {
+        let gt = music_gt();
+        let r = CloudRecognizer::with_rates(EventKind::Music, 0.5, 0.0, 7);
+        let t = Micros::from_secs(12);
+        assert_eq!(r.recognize(&gt, t), r.recognize(&gt, t));
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be probabilities")]
+    fn rejects_bad_rates() {
+        CloudRecognizer::with_rates(EventKind::Music, 1.5, 0.0, 0);
+    }
+}

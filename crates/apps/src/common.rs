@@ -1,0 +1,153 @@
+//! Helpers shared by the application implementations.
+
+use sidewinder_hub::mcu::Mcu;
+use sidewinder_hub::runtime::ChannelRates;
+use sidewinder_ir::Program;
+use sidewinder_sensors::{Micros, SensorChannel, SensorTrace};
+
+/// Power draw (mW) of the cheapest catalog microcontroller able to run
+/// `program` in real time.
+///
+/// # Panics
+///
+/// Panics if no catalog MCU can run the program — evaluation wake-up
+/// conditions are sized to fit by construction.
+pub fn hub_mw_for(program: &Program) -> f64 {
+    Mcu::cheapest_for(program, &ChannelRates::default())
+        .expect("evaluation wake-up conditions fit a catalog MCU")
+        .awake_power_mw
+}
+
+/// Extracts the samples of `channel` visible in `[start, end)` together
+/// with the index of the first returned sample in the full series.
+///
+/// Returns `None` when the trace lacks the channel or the range is empty.
+pub fn visible_slice(
+    trace: &SensorTrace,
+    channel: SensorChannel,
+    start: Micros,
+    end: Micros,
+) -> Option<(&[f64], usize, f64)> {
+    let series = trace.channel(channel)?;
+    let slice = series.slice(start, end);
+    if slice.is_empty() {
+        return None;
+    }
+    let rate = series.rate_hz();
+    let first_index = (((start.as_secs_f64() * rate) - 1e-9).ceil().max(0.0)) as usize;
+    Some((slice, first_index, rate))
+}
+
+/// Thins detections so that no two are closer than `min_gap`. Input must
+/// be sorted; the first detection of each cluster is kept.
+pub fn debounce(mut detections: Vec<Micros>, min_gap: Micros) -> Vec<Micros> {
+    detections.sort();
+    let mut out: Vec<Micros> = Vec::with_capacity(detections.len());
+    for d in detections {
+        match out.last() {
+            Some(&last) if d.saturating_sub(last) < min_gap => {}
+            _ => out.push(d),
+        }
+    }
+    out
+}
+
+/// Iterates non-overlapping windows of `len` samples over a visible
+/// slice, yielding `(window, end_time)` pairs where `end_time` is the
+/// trace timestamp of the sample just past the window.
+pub fn windows_of<'a>(
+    slice: &'a [f64],
+    first_index: usize,
+    rate: f64,
+    len: usize,
+    hop: usize,
+) -> impl Iterator<Item = (&'a [f64], Micros)> + 'a {
+    assert!(len > 0 && hop > 0, "window geometry must be non-zero");
+    (0..)
+        .map(move |k| k * hop)
+        .take_while(move |&off| off + len <= slice.len())
+        .map(move |off| {
+            let end_index = first_index + off + len;
+            (
+                &slice[off..off + len],
+                sidewinder_sensors::time::sample_time(end_index, rate),
+            )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_sensors::TimeSeries;
+
+    #[test]
+    fn visible_slice_reports_offset_and_rate() {
+        let mut trace = SensorTrace::new("t");
+        trace.insert(
+            SensorChannel::AccX,
+            TimeSeries::from_samples(50.0, (0..100).map(|i| i as f64).collect()).unwrap(),
+        );
+        let (slice, first, rate) = visible_slice(
+            &trace,
+            SensorChannel::AccX,
+            Micros::from_secs(1),
+            Micros::from_secs(2),
+        )
+        .unwrap();
+        assert_eq!(first, 50);
+        assert_eq!(rate, 50.0);
+        assert_eq!(slice[0], 50.0);
+        assert!(visible_slice(&trace, SensorChannel::Mic, Micros::ZERO, Micros::MAX).is_none());
+        assert!(visible_slice(
+            &trace,
+            SensorChannel::AccX,
+            Micros::from_secs(9),
+            Micros::from_secs(10)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn debounce_keeps_first_of_cluster() {
+        let d = vec![
+            Micros::from_millis(100),
+            Micros::from_millis(150),
+            Micros::from_millis(600),
+            Micros::from_millis(601),
+        ];
+        let out = debounce(d, Micros::from_millis(300));
+        assert_eq!(
+            out,
+            vec![Micros::from_millis(100), Micros::from_millis(600)]
+        );
+    }
+
+    #[test]
+    fn debounce_sorts_unordered_input() {
+        let d = vec![Micros::from_millis(600), Micros::from_millis(100)];
+        let out = debounce(d, Micros::from_millis(50));
+        assert_eq!(
+            out,
+            vec![Micros::from_millis(100), Micros::from_millis(600)]
+        );
+    }
+
+    #[test]
+    fn windows_iterate_with_hop_and_timestamps() {
+        let slice: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let windows: Vec<_> = windows_of(&slice, 100, 50.0, 4, 2).collect();
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[0].0, &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(
+            windows[0].1,
+            sidewinder_sensors::time::sample_time(104, 50.0)
+        );
+        assert_eq!(windows[3].0, &[6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn short_slices_yield_no_windows() {
+        let slice = [1.0, 2.0];
+        assert_eq!(windows_of(&slice, 0, 50.0, 4, 4).count(), 0);
+    }
+}

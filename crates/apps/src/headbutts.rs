@@ -1,0 +1,183 @@
+//! The Headbutts application (paper §3.7.1).
+//!
+//! "Detects a sudden forward head movement. The application monitors the
+//! y-axis acceleration and searches for local minima between −3.75 m/s²
+//! and −6.75 m/s²." Headbutts stand in for very infrequent human actions
+//! such as falling.
+
+use crate::common::{debounce, hub_mw_for, visible_slice};
+use sidewinder_core::algorithm::{MaxThreshold, MovingAverage};
+use sidewinder_core::{ProcessingBranch, ProcessingPipeline};
+use sidewinder_dsp::filter::MovingAverage as MaFilter;
+use sidewinder_dsp::stats;
+use sidewinder_ir::Program;
+use sidewinder_sensors::{EventKind, Micros, SensorChannel, SensorTrace};
+use sidewinder_sim::Application;
+
+/// Lower edge of the trough band, m/s².
+const TROUGH_LO: f64 = -6.75;
+/// Upper edge of the trough band, m/s².
+const TROUGH_HI: f64 = -3.75;
+/// Light smoothing (samples at 50 Hz).
+const SMOOTH: usize = 3;
+/// Wake-up condition: smoothed y below this triggers.
+const WAKE_THRESHOLD: f64 = -3.0;
+
+/// The headbutt (fall-like event) application.
+#[derive(Debug, Clone, Default)]
+pub struct HeadbuttsApp {
+    _private: (),
+}
+
+impl HeadbuttsApp {
+    /// Creates the application.
+    pub fn new() -> Self {
+        HeadbuttsApp::default()
+    }
+
+    /// Wake-up condition: lightly smoothed y-axis acceleration dipping
+    /// below −3 m/s² — conservative relative to the classifier's
+    /// −3.75 m/s² band edge so no headbutt is missed.
+    pub fn wake_pipeline() -> ProcessingPipeline {
+        let mut pipeline = ProcessingPipeline::new();
+        let mut y = ProcessingBranch::new(SensorChannel::AccY);
+        y.add(MovingAverage::new(SMOOTH as u32))
+            .add(MaxThreshold::new(WAKE_THRESHOLD));
+        pipeline.add_branch(y);
+        pipeline
+    }
+}
+
+impl Application for HeadbuttsApp {
+    fn name(&self) -> &str {
+        "headbutts"
+    }
+
+    fn target_kinds(&self) -> Vec<EventKind> {
+        vec![EventKind::Headbutt]
+    }
+
+    fn classify(&self, trace: &SensorTrace, start: Micros, end: Micros) -> Vec<Micros> {
+        let Some((slice, first_index, rate)) =
+            visible_slice(trace, SensorChannel::AccY, start, end)
+        else {
+            return Vec::new();
+        };
+        let mut filter = MaFilter::new(SMOOTH).expect("non-zero window");
+        let smoothed = filter.filter(slice);
+        let troughs = stats::local_minima_in_band(&smoothed, TROUGH_LO, TROUGH_HI);
+        let detections = troughs
+            .into_iter()
+            .map(|i| sidewinder_sensors::time::sample_time(first_index + i + SMOOTH - 1, rate))
+            .collect();
+        debounce(detections, Micros::from_millis(500))
+    }
+
+    fn wake_condition(&self) -> Program {
+        HeadbuttsApp::wake_pipeline()
+            .compile()
+            .expect("headbutts pipeline is well-formed")
+    }
+
+    fn wake_condition_hub_mw(&self) -> f64 {
+        hub_mw_for(&self.wake_condition())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_sensors::TimeSeries;
+
+    /// 20 s at 50 Hz with headbutt dips (to −5.25) at t=5 and t=15.
+    fn headbutt_trace() -> SensorTrace {
+        let rate = 50.0;
+        let mut y = Vec::new();
+        for i in 0..1000 {
+            let t = i as f64 / rate;
+            let mut v = 0.02 * ((i % 5) as f64 - 2.0);
+            for event_start in [5.0, 15.0] {
+                let f = (t - event_start) / 0.4;
+                if (0.0..=1.0).contains(&f) {
+                    v += -5.25 * 0.5 * (1.0 - (2.0 * std::f64::consts::PI * f).cos());
+                }
+            }
+            y.push(v);
+        }
+        let mut trace = SensorTrace::new("headbutts");
+        trace.insert(
+            SensorChannel::AccY,
+            TimeSeries::from_samples(rate, y).unwrap(),
+        );
+        trace
+    }
+
+    #[test]
+    fn detects_each_headbutt_once() {
+        let app = HeadbuttsApp::new();
+        let detections = app.classify(&headbutt_trace(), Micros::ZERO, Micros::from_secs(20));
+        assert_eq!(detections.len(), 2, "{detections:?}");
+        assert!(detections[0] >= Micros::from_secs(5) && detections[0] < Micros::from_secs(6));
+        assert!(detections[1] >= Micros::from_secs(15) && detections[1] < Micros::from_secs(16));
+    }
+
+    #[test]
+    fn quiet_regions_are_clean() {
+        let app = HeadbuttsApp::new();
+        assert!(app
+            .classify(
+                &headbutt_trace(),
+                Micros::from_secs(7),
+                Micros::from_secs(14)
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn upward_spikes_do_not_count() {
+        // A +5 spike (e.g. sitting posture) is not a headbutt.
+        let rate = 50.0;
+        let y: Vec<f64> = (0..500)
+            .map(|i| if (100..120).contains(&i) { 5.0 } else { 0.0 })
+            .collect();
+        let mut trace = SensorTrace::new("up");
+        trace.insert(
+            SensorChannel::AccY,
+            TimeSeries::from_samples(rate, y).unwrap(),
+        );
+        let app = HeadbuttsApp::new();
+        assert!(app
+            .classify(&trace, Micros::ZERO, Micros::from_secs(10))
+            .is_empty());
+    }
+
+    #[test]
+    fn wake_condition_fits_msp430() {
+        let app = HeadbuttsApp::new();
+        let program = app.wake_condition();
+        program.validate().unwrap();
+        assert_eq!(app.wake_condition_hub_mw(), 3.6);
+    }
+
+    #[test]
+    fn wake_fires_on_dips_only() {
+        use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+        let trace = headbutt_trace();
+        let app = HeadbuttsApp::new();
+        let mut hub = HubRuntime::load(&app.wake_condition(), &ChannelRates::default()).unwrap();
+        let y = trace.channel(SensorChannel::AccY).unwrap();
+        let mut wakes = Vec::new();
+        for (i, &v) in y.samples().iter().enumerate() {
+            if !hub.push_sample(SensorChannel::AccY, v).unwrap().is_empty() {
+                wakes.push(i as f64 / 50.0);
+            }
+        }
+        assert!(!wakes.is_empty());
+        for t in wakes {
+            assert!(
+                (5.0..5.5).contains(&t) || (15.0..15.5).contains(&t),
+                "unexpected wake at {t}"
+            );
+        }
+    }
+}

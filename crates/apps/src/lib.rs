@@ -1,0 +1,60 @@
+//! The six Sidewinder evaluation applications.
+//!
+//! The paper builds three accelerometer applications — *Steps*,
+//! *Transitions*, *Headbutts* — and three microphone applications —
+//! *Siren detector*, *Music journal*, *Phrase detection* (§3.7). Each
+//! application here provides:
+//!
+//! * a **wake-up condition**: a pipeline built with the `sidewinder-core`
+//!   developer API from the platform's algorithm menu, compiled to the
+//!   intermediate language and sized onto the cheapest capable
+//!   microcontroller (only the FFT-based siren condition needs the
+//!   LM4F120, as in the paper's Table 2 footnote);
+//! * a **main-CPU classifier**: the full-quality second stage that runs
+//!   while the phone is awake and filters the wake-up condition's false
+//!   positives (§2.1.2).
+//!
+//! The [`predefined`] module provides the *Predefined Activity* baselines
+//! (significant motion / significant sound), [`cloud`] the Echoprint and
+//! speech-to-text service stand-ins, and [`autotune`] the paper's §7
+//! "self-learning" extension that tightens thresholds from false-positive
+//! feedback.
+
+pub mod autotune;
+pub mod cloud;
+pub mod common;
+pub mod features;
+pub mod headbutts;
+pub mod music;
+pub mod phrase;
+pub mod predefined;
+pub mod siren;
+pub mod steps;
+pub mod transitions;
+
+pub use headbutts::HeadbuttsApp;
+pub use music::MusicJournalApp;
+pub use phrase::PhraseDetectionApp;
+pub use siren::SirenDetectorApp;
+pub use steps::StepsApp;
+pub use transitions::TransitionsApp;
+
+use sidewinder_sim::Application;
+
+/// The three accelerometer applications, paper order.
+pub fn accelerometer_apps() -> Vec<Box<dyn Application>> {
+    vec![
+        Box::new(StepsApp::new()),
+        Box::new(TransitionsApp::new()),
+        Box::new(HeadbuttsApp::new()),
+    ]
+}
+
+/// The three audio applications, paper order.
+pub fn audio_apps() -> Vec<Box<dyn Application>> {
+    vec![
+        Box::new(SirenDetectorApp::new()),
+        Box::new(MusicJournalApp::new()),
+        Box::new(PhraseDetectionApp::new()),
+    ]
+}

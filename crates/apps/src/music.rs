@@ -1,0 +1,218 @@
+//! The Music Journal application (paper §3.7.2).
+//!
+//! "Creates a list of all the songs heard during the day using the web
+//! services provided by Echoprint.me. Audio data is partitioned into
+//! windows and passed to two branches for feature extraction. The first
+//! branch computes the variance of the amplitude over the entire window.
+//! The second branch further partitions the data into smaller windows and
+//! computes the zero crossing rate … It then calculates the variance in
+//! zero crossing rate across the set of the sub-windows. Finally, an
+//! admission control step uses thresholds … to determine if an event of
+//! interest has occurred. Data is then passed to the Echoprint.me web
+//! service to identify the song."
+
+use crate::cloud::CloudRecognizer;
+use crate::common::{debounce, hub_mw_for, visible_slice, windows_of};
+use crate::features::{
+    AudioFeatures, VARIANCE_GATE, VAR_WINDOW, WINDOW, ZCRVAR_SPLIT_POINT, ZCR_SPLIT,
+};
+use sidewinder_core::algorithm::{
+    AllOf, MaxThreshold, MinThreshold, Statistic, Sustained, Window, ZcrVariance,
+};
+use sidewinder_core::{ProcessingBranch, ProcessingPipeline};
+use sidewinder_ir::Program;
+use sidewinder_sensors::{EventKind, Micros, SensorChannel, SensorTrace};
+use sidewinder_sim::Application;
+
+/// The song-journaling application.
+#[derive(Debug, Clone)]
+pub struct MusicJournalApp {
+    recognizer: CloudRecognizer,
+}
+
+impl Default for MusicJournalApp {
+    fn default() -> Self {
+        MusicJournalApp {
+            recognizer: CloudRecognizer::perfect(EventKind::Music),
+        }
+    }
+}
+
+impl MusicJournalApp {
+    /// Creates the application with a perfect Echoprint stand-in.
+    pub fn new() -> Self {
+        MusicJournalApp::default()
+    }
+
+    /// Creates the application with a custom recognizer accuracy.
+    pub fn with_recognizer(recognizer: CloudRecognizer) -> Self {
+        MusicJournalApp { recognizer }
+    }
+
+    /// The wake-up condition exactly as the paper describes: two feature
+    /// branches joined by an AND, thresholded for *loud and steady*
+    /// audio.
+    pub fn wake_pipeline() -> ProcessingPipeline {
+        let mut pipeline = ProcessingPipeline::new();
+
+        let mut variance_branch = ProcessingBranch::new(SensorChannel::Mic);
+        variance_branch
+            .add(Window::rectangular(VAR_WINDOW as u32))
+            .add(Statistic::variance())
+            .add(MinThreshold::new(VARIANCE_GATE));
+
+        let mut zcr_branch = ProcessingBranch::new(SensorChannel::Mic);
+        zcr_branch
+            .add(Window::rectangular(WINDOW as u32))
+            .add(ZcrVariance::new(ZCR_SPLIT as u32))
+            .add(MaxThreshold::new(ZCRVAR_SPLIT_POINT));
+
+        pipeline.add_branches([variance_branch, zcr_branch]);
+        pipeline.add(AllOf::new());
+        // Songs are continuous: require three consecutive music-like
+        // windows (~0.75 s) so isolated steady patches inside speech do
+        // not wake the phone.
+        pipeline.add(Sustained::new(3));
+        pipeline
+    }
+}
+
+impl Application for MusicJournalApp {
+    fn name(&self) -> &str {
+        "music"
+    }
+
+    fn target_kinds(&self) -> Vec<EventKind> {
+        vec![EventKind::Music]
+    }
+
+    fn classify(&self, trace: &SensorTrace, start: Micros, end: Micros) -> Vec<Micros> {
+        let Some((slice, first_index, rate)) = visible_slice(trace, SensorChannel::Mic, start, end)
+        else {
+            return Vec::new();
+        };
+        let mut detections = Vec::new();
+        for (window, end_time) in windows_of(slice, first_index, rate, WINDOW, WINDOW) {
+            let Some(features) = AudioFeatures::of(window) else {
+                continue;
+            };
+            if features.is_music_like() && self.recognizer.recognize(trace.ground_truth(), end_time)
+            {
+                detections.push(end_time);
+            }
+        }
+        // One journal entry per song; the generator's songs are ≥8 s.
+        debounce(detections, Micros::from_secs(5))
+    }
+
+    fn wake_condition(&self) -> Program {
+        MusicJournalApp::wake_pipeline()
+            .compile()
+            .expect("music pipeline is well-formed")
+    }
+
+    fn wake_condition_hub_mw(&self) -> f64 {
+        hub_mw_for(&self.wake_condition())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_sensors::{GroundTruth, LabeledInterval, TimeSeries};
+
+    /// 30 s at 8 kHz: quiet, then a steady 280 Hz chord (music) from
+    /// t=10 to t=20, labeled.
+    fn music_trace() -> SensorTrace {
+        let rate = 8000.0;
+        let n = 30 * 8000;
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f64 / rate;
+            let mut v = 0.003 * (((i * 37) % 100) as f64 / 50.0 - 1.0);
+            if (10.0..20.0).contains(&t) {
+                let p = 2.0 * std::f64::consts::PI * 280.0 * t;
+                v += 0.18 * p.sin() + 0.12 * (2.0 * p).sin();
+            }
+            samples.push(v);
+        }
+        let mut trace = SensorTrace::new("music");
+        trace.insert(
+            SensorChannel::Mic,
+            TimeSeries::from_samples(rate, samples).unwrap(),
+        );
+        let mut gt = GroundTruth::new();
+        gt.push(
+            LabeledInterval::new(
+                EventKind::Music,
+                Micros::from_secs(10),
+                Micros::from_secs(20),
+            )
+            .unwrap(),
+        );
+        *trace.ground_truth_mut() = gt;
+        trace
+    }
+
+    #[test]
+    fn journals_the_song() {
+        let app = MusicJournalApp::new();
+        let detections = app.classify(&music_trace(), Micros::ZERO, Micros::from_secs(30));
+        // The 10 s song yields one entry per 5 s debounce period.
+        assert!((1..=2).contains(&detections.len()), "{detections:?}");
+        assert!(detections[0] >= Micros::from_secs(10));
+        assert!(detections[0] <= Micros::from_secs(11));
+    }
+
+    #[test]
+    fn quiet_audio_yields_nothing() {
+        let app = MusicJournalApp::new();
+        assert!(app
+            .classify(&music_trace(), Micros::ZERO, Micros::from_secs(9))
+            .is_empty());
+    }
+
+    #[test]
+    fn imperfect_recognizer_can_miss() {
+        let never = CloudRecognizer::with_rates(EventKind::Music, 0.0, 0.0, 1);
+        let app = MusicJournalApp::with_recognizer(never);
+        assert!(app
+            .classify(&music_trace(), Micros::ZERO, Micros::from_secs(30))
+            .is_empty());
+    }
+
+    #[test]
+    fn wake_condition_fits_the_msp430() {
+        // Music journal runs on the low-power MCU (Table 2: 32.3 mW
+        // includes the MSP430's 3.6 mW, not the LM4F120).
+        let app = MusicJournalApp::new();
+        let program = app.wake_condition();
+        program.validate().unwrap();
+        assert!(!program.uses_fft());
+        assert_eq!(app.wake_condition_hub_mw(), 3.6);
+    }
+
+    #[test]
+    fn wake_condition_fires_on_music() {
+        use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+        let trace = music_trace();
+        let app = MusicJournalApp::new();
+        let mut hub = HubRuntime::load(&app.wake_condition(), &ChannelRates::default()).unwrap();
+        let mic = trace.channel(SensorChannel::Mic).unwrap();
+        let mut wakes_in_music = 0usize;
+        let mut wakes_quiet = 0usize;
+        for (i, &v) in mic.samples().iter().enumerate() {
+            let t = i as f64 / 8000.0;
+            let w = hub.push_sample(SensorChannel::Mic, v).unwrap().len();
+            if (10.0..20.3).contains(&t) {
+                wakes_in_music += w;
+            } else {
+                wakes_quiet += w;
+            }
+        }
+        // The AND-join emits once per aligned 2048-sample window:
+        // ~3.9 wakes per second of music.
+        assert!(wakes_in_music > 20, "got {wakes_in_music}");
+        assert_eq!(wakes_quiet, 0);
+    }
+}

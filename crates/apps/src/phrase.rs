@@ -1,0 +1,223 @@
+//! The Phrase Detection application (paper §3.7.2).
+//!
+//! "Similar to Music Journal, except different parameters are used in the
+//! wake-up condition and Google Speech API was used for speech-to-text
+//! translation." The wake-up condition fires on *speech-like* audio (loud
+//! with high ZCR variance); the speech service then checks whether the
+//! phrase of interest was actually uttered. The paper's §5.2 uses this
+//! application to illustrate wake-condition sub-optimality: the condition
+//! wakes on every speech segment (~5 % of each trace) although the phrase
+//! itself occupies <1 %.
+
+use crate::cloud::CloudRecognizer;
+use crate::common::{debounce, hub_mw_for, visible_slice, windows_of};
+use crate::features::{
+    AudioFeatures, VARIANCE_GATE, VAR_WINDOW, WINDOW, ZCRVAR_SPLIT_POINT, ZCR_SPLIT,
+};
+use sidewinder_core::algorithm::{AllOf, MinThreshold, Statistic, Window, ZcrVariance};
+use sidewinder_core::{ProcessingBranch, ProcessingPipeline};
+use sidewinder_ir::Program;
+use sidewinder_sensors::{EventKind, Micros, SensorChannel, SensorTrace};
+use sidewinder_sim::Application;
+
+/// The spoken-phrase detector.
+#[derive(Debug, Clone)]
+pub struct PhraseDetectionApp {
+    recognizer: CloudRecognizer,
+}
+
+impl Default for PhraseDetectionApp {
+    fn default() -> Self {
+        PhraseDetectionApp {
+            recognizer: CloudRecognizer::perfect(EventKind::Phrase),
+        }
+    }
+}
+
+impl PhraseDetectionApp {
+    /// Creates the application with a perfect speech-to-text stand-in.
+    pub fn new() -> Self {
+        PhraseDetectionApp::default()
+    }
+
+    /// Creates the application with a custom recognizer accuracy.
+    pub fn with_recognizer(recognizer: CloudRecognizer) -> Self {
+        PhraseDetectionApp { recognizer }
+    }
+
+    /// Wake-up condition: same two branches as the music journal with the
+    /// ZCR-variance threshold flipped — wake on *modulated* loud audio.
+    pub fn wake_pipeline() -> ProcessingPipeline {
+        let mut pipeline = ProcessingPipeline::new();
+
+        let mut variance_branch = ProcessingBranch::new(SensorChannel::Mic);
+        variance_branch
+            .add(Window::rectangular(VAR_WINDOW as u32))
+            .add(Statistic::variance())
+            .add(MinThreshold::new(VARIANCE_GATE));
+
+        let mut zcr_branch = ProcessingBranch::new(SensorChannel::Mic);
+        zcr_branch
+            .add(Window::rectangular(WINDOW as u32))
+            .add(ZcrVariance::new(ZCR_SPLIT as u32))
+            .add(MinThreshold::new(ZCRVAR_SPLIT_POINT));
+
+        pipeline.add_branches([variance_branch, zcr_branch]);
+        pipeline.add(AllOf::new());
+        pipeline
+    }
+}
+
+impl Application for PhraseDetectionApp {
+    fn name(&self) -> &str {
+        "phrase"
+    }
+
+    fn target_kinds(&self) -> Vec<EventKind> {
+        vec![EventKind::Phrase]
+    }
+
+    fn classify(&self, trace: &SensorTrace, start: Micros, end: Micros) -> Vec<Micros> {
+        let Some((slice, first_index, rate)) = visible_slice(trace, SensorChannel::Mic, start, end)
+        else {
+            return Vec::new();
+        };
+        let mut detections = Vec::new();
+        for (window, end_time) in windows_of(slice, first_index, rate, WINDOW, WINDOW) {
+            let Some(features) = AudioFeatures::of(window) else {
+                continue;
+            };
+            // Any loud window during speech goes to the speech service;
+            // it transcribes and matches the phrase.
+            if features.is_loud() && self.recognizer.recognize(trace.ground_truth(), end_time) {
+                detections.push(end_time);
+            }
+        }
+        debounce(detections, Micros::from_secs(2))
+    }
+
+    fn wake_condition(&self) -> Program {
+        PhraseDetectionApp::wake_pipeline()
+            .compile()
+            .expect("phrase pipeline is well-formed")
+    }
+
+    fn wake_condition_hub_mw(&self) -> f64 {
+        hub_mw_for(&self.wake_condition())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_sensors::{GroundTruth, LabeledInterval, TimeSeries};
+
+    /// 30 s at 8 kHz: speech-like audio (alternating voiced/unvoiced)
+    /// from t=8 to t=18, with the phrase at t=12..14.
+    fn speech_trace() -> SensorTrace {
+        let rate = 8000.0;
+        let n = 30 * 8000;
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f64 / rate;
+            let mut v = 0.003 * (((i * 61) % 100) as f64 / 50.0 - 1.0);
+            if (8.0..18.0).contains(&t) {
+                // 0.2 s voiced / 0.1 s unvoiced alternation.
+                let in_voiced = (t * 10.0) as u64 % 3 < 2;
+                if in_voiced {
+                    let p = 2.0 * std::f64::consts::PI * 150.0 * t;
+                    v += 0.22 * p.sin() + 0.12 * (3.0 * p).sin();
+                } else {
+                    v += if i % 2 == 0 { 0.12 } else { -0.12 };
+                }
+            }
+            samples.push(v);
+        }
+        let mut trace = SensorTrace::new("speech");
+        trace.insert(
+            SensorChannel::Mic,
+            TimeSeries::from_samples(rate, samples).unwrap(),
+        );
+        let mut gt = GroundTruth::new();
+        gt.push(
+            LabeledInterval::new(
+                EventKind::Speech,
+                Micros::from_secs(8),
+                Micros::from_secs(18),
+            )
+            .unwrap(),
+        );
+        gt.push(
+            LabeledInterval::new(
+                EventKind::Phrase,
+                Micros::from_secs(12),
+                Micros::from_secs(14),
+            )
+            .unwrap(),
+        );
+        *trace.ground_truth_mut() = gt;
+        trace
+    }
+
+    #[test]
+    fn finds_the_phrase_inside_speech() {
+        let app = PhraseDetectionApp::new();
+        let detections = app.classify(&speech_trace(), Micros::ZERO, Micros::from_secs(30));
+        assert_eq!(detections.len(), 1, "{detections:?}");
+        assert!(detections[0] >= Micros::from_secs(12) && detections[0] <= Micros::from_secs(14));
+    }
+
+    #[test]
+    fn speech_without_the_phrase_is_ignored() {
+        let app = PhraseDetectionApp::new();
+        // Visible range covers speech before the phrase only.
+        assert!(app
+            .classify(&speech_trace(), Micros::from_secs(8), Micros::from_secs(11))
+            .is_empty());
+    }
+
+    #[test]
+    fn wake_condition_fits_the_msp430() {
+        let app = PhraseDetectionApp::new();
+        let program = app.wake_condition();
+        program.validate().unwrap();
+        assert_eq!(app.wake_condition_hub_mw(), 3.6);
+    }
+
+    #[test]
+    fn wake_condition_fires_on_speech_not_quiet() {
+        use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+        let trace = speech_trace();
+        let app = PhraseDetectionApp::new();
+        let mut hub = HubRuntime::load(&app.wake_condition(), &ChannelRates::default()).unwrap();
+        let mic = trace.channel(SensorChannel::Mic).unwrap();
+        let mut wakes_speech = 0usize;
+        let mut wakes_quiet = 0usize;
+        for (i, &v) in mic.samples().iter().enumerate() {
+            let t = i as f64 / 8000.0;
+            let w = hub.push_sample(SensorChannel::Mic, v).unwrap().len();
+            if (8.0..18.3).contains(&t) {
+                wakes_speech += w;
+            } else {
+                wakes_quiet += w;
+            }
+        }
+        assert!(wakes_speech > 10, "got {wakes_speech}");
+        assert_eq!(wakes_quiet, 0);
+    }
+
+    #[test]
+    fn phrase_wake_flips_the_music_wake_threshold() {
+        // "Similar to Music Journal, except different parameters are
+        // used in the wake-up condition" (§3.7.2): same feature
+        // branches, opposite ZCR-variance threshold direction.
+        let phrase = PhraseDetectionApp::new().wake_condition().to_string();
+        let music = crate::music::MusicJournalApp::new()
+            .wake_condition()
+            .to_string();
+        assert!(phrase.contains("minThreshold"));
+        assert!(music.contains("maxThreshold"));
+        assert!(phrase.contains("zcrVariance") && music.contains("zcrVariance"));
+        assert!(phrase.contains("allOf") && music.contains("allOf"));
+    }
+}

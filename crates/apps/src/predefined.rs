@@ -1,0 +1,152 @@
+//! Predefined Activity baselines (paper §4.2).
+//!
+//! "This configuration simulates Android's built-in significant motion
+//! detector. We constructed simple classifiers to wake up the device and
+//! invoke the callback method in the application when significant
+//! activity is detected (significant acceleration or sound)." These are
+//! the two fixed detectors a manufacturer would hard-wire; every
+//! application that uses the Predefined Activity configuration shares
+//! them, which is exactly why infrequent-event applications waste power
+//! under this model (§5.3).
+
+use sidewinder_core::algorithm::{
+    MinThreshold, MovingAverage, OutsideThreshold, Statistic, VectorMagnitude, Window,
+};
+use sidewinder_core::{ProcessingBranch, ProcessingPipeline};
+use sidewinder_ir::Program;
+use sidewinder_sensors::SensorChannel;
+
+/// Earth gravity, m/s².
+const GRAVITY: f64 = 9.81;
+/// Significant motion: how far the smoothed acceleration magnitude must
+/// deviate from gravity. Tuned, as in the paper §5.3, to the smallest
+/// value that retains 100 % recall on the evaluation traces.
+const MOTION_DEVIATION: f64 = 0.5;
+/// Significant sound: RMS threshold over a 128 ms window, tuned the same
+/// way.
+const SOUND_RMS: f64 = 0.03;
+/// Significant-sound analysis window (samples at 8 kHz).
+const SOUND_WINDOW: u32 = 1024;
+
+/// The *significant motion* predefined activity: smoothed 3-axis
+/// magnitude leaving the gravity band.
+pub fn significant_motion_pipeline() -> ProcessingPipeline {
+    let mut pipeline = ProcessingPipeline::new();
+    let mut branches = vec![
+        ProcessingBranch::new(SensorChannel::AccX),
+        ProcessingBranch::new(SensorChannel::AccY),
+        ProcessingBranch::new(SensorChannel::AccZ),
+    ];
+    for branch in &mut branches {
+        branch.add(MovingAverage::new(5));
+    }
+    pipeline.add_branches(branches);
+    pipeline.add(VectorMagnitude::new());
+    pipeline.add(OutsideThreshold::new(
+        GRAVITY - MOTION_DEVIATION,
+        GRAVITY + MOTION_DEVIATION,
+    ));
+    pipeline
+}
+
+/// The *significant motion* program in intermediate-language form.
+pub fn significant_motion() -> Program {
+    significant_motion_pipeline()
+        .compile()
+        .expect("significant motion pipeline is well-formed")
+}
+
+/// The *significant sound* predefined activity: windowed RMS above a
+/// fixed loudness.
+pub fn significant_sound_pipeline() -> ProcessingPipeline {
+    let mut pipeline = ProcessingPipeline::new();
+    let mut mic = ProcessingBranch::new(SensorChannel::Mic);
+    mic.add(Window::rectangular(SOUND_WINDOW))
+        .add(Statistic::rms())
+        .add(MinThreshold::new(SOUND_RMS));
+    pipeline.add_branch(mic);
+    pipeline
+}
+
+/// The *significant sound* program in intermediate-language form.
+pub fn significant_sound() -> Program {
+    significant_sound_pipeline()
+        .compile()
+        .expect("significant sound pipeline is well-formed")
+}
+
+/// Hub power for the predefined activities: both fit the MSP430 (they
+/// are exactly the kind of fixed, simple detector manufacturers bake in).
+pub fn hub_mw() -> f64 {
+    crate::common::hub_mw_for(&significant_motion())
+        .max(crate::common::hub_mw_for(&significant_sound()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+
+    #[test]
+    fn both_programs_validate_on_the_msp430() {
+        significant_motion().validate().unwrap();
+        significant_sound().validate().unwrap();
+        assert_eq!(hub_mw(), 3.6);
+    }
+
+    #[test]
+    fn motion_detector_ignores_gravity_fires_on_shake() {
+        let mut hub = HubRuntime::load(&significant_motion(), &ChannelRates::default()).unwrap();
+        // At rest: gravity on z only.
+        for _ in 0..50 {
+            for (c, v) in [
+                (SensorChannel::AccX, 0.0),
+                (SensorChannel::AccY, 0.0),
+                (SensorChannel::AccZ, 9.81),
+            ] {
+                assert!(hub.push_sample(c, v).unwrap().is_empty());
+            }
+        }
+        // Walking-strength x oscillation changes the magnitude.
+        let mut woke = false;
+        for i in 0..100 {
+            let x = 3.5 * (i as f64 * 0.2).sin();
+            for (c, v) in [
+                (SensorChannel::AccX, x),
+                (SensorChannel::AccY, 0.0),
+                (SensorChannel::AccZ, 9.81),
+            ] {
+                woke |= !hub.push_sample(c, v).unwrap().is_empty();
+            }
+        }
+        assert!(woke);
+    }
+
+    #[test]
+    fn sound_detector_fires_on_loud_audio_only() {
+        let mut hub = HubRuntime::load(&significant_sound(), &ChannelRates::default()).unwrap();
+        // Quiet background.
+        for i in 0..2048 {
+            let v = 0.005 * ((i % 9) as f64 / 4.0 - 1.0);
+            assert!(hub.push_sample(SensorChannel::Mic, v).unwrap().is_empty());
+        }
+        // Loud tone.
+        let mut woke = false;
+        for i in 0..2048 {
+            let v = 0.2 * (i as f64 * 0.3).sin();
+            woke |= !hub.push_sample(SensorChannel::Mic, v).unwrap().is_empty();
+        }
+        assert!(woke);
+    }
+
+    #[test]
+    fn significant_motion_matches_fig2_shape() {
+        // Same structure as the paper's Fig. 2 significant-motion
+        // example: three averaged axes, a vector magnitude, and one
+        // admission-control threshold.
+        let text = significant_motion().to_string();
+        assert_eq!(text.matches("movingAvg").count(), 3);
+        assert_eq!(text.matches("vectorMagnitude").count(), 1);
+        assert_eq!(text.matches("Threshold").count(), 1);
+    }
+}

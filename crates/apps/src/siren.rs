@@ -1,0 +1,222 @@
+//! The Siren detector (paper §3.7.2).
+//!
+//! "Detects sirens originating from emergency vehicles. The application
+//! applies a 750 Hz high-pass filter in order to remove a significant
+//! portion of sounds that aren't sirens. The data in each window is
+//! transformed to the frequency domain using a FFT in order to extract
+//! the magnitude of the dominant frequency and the mean magnitude of all
+//! frequency bins. The ratio … is used to determine if the window
+//! contains pitched sounds. Pitched sounds between 850 Hz and 1800 Hz
+//! that last longer than 650 ms are classified as sirens."
+//!
+//! The wake-up condition is the one application whose pipeline the MSP430
+//! cannot run in real time; the power model charges the LM4F120 instead,
+//! reproducing the paper's Table 2 footnote.
+
+use crate::common::{hub_mw_for, visible_slice, windows_of};
+use sidewinder_core::algorithm::{
+    Fft, HighPassFilter, MinThreshold, SpectralMagnitude, Statistic, Sustained, Window,
+};
+use sidewinder_core::{ProcessingBranch, ProcessingPipeline};
+use sidewinder_dsp::{fft, filter, spectral};
+use sidewinder_ir::Program;
+use sidewinder_sensors::{EventKind, Micros, SensorChannel, SensorTrace};
+use sidewinder_sim::Application;
+
+/// Analysis window length in samples (128 ms at 8 kHz).
+const WINDOW: usize = 1024;
+/// High-pass cut-off, Hz (paper value).
+const HIGHPASS_HZ: f64 = 750.0;
+/// Wake-up condition: peak spectral magnitude above the cut-off.
+const WAKE_PEAK: f64 = 25.0;
+/// Consecutive wake windows required: 6 × 128 ms = 768 ms ≥ 650 ms.
+const WAKE_SUSTAIN: u32 = 6;
+/// Classifier: minimum pitched duration, µs (paper: 650 ms).
+const MIN_PITCHED_US: u64 = 650_000;
+/// Classifier: accepted dominant-frequency band, Hz (paper: 850–1800,
+/// with margin for spectral leakage).
+const BAND_LO_HZ: f64 = 800.0;
+const BAND_HI_HZ: f64 = 1_900.0;
+/// Classifier: dominant-to-mean ratio for "pitched".
+const PITCH_RATIO: f64 = 6.0;
+
+/// The emergency-siren detector.
+#[derive(Debug, Clone, Default)]
+pub struct SirenDetectorApp {
+    _private: (),
+}
+
+impl SirenDetectorApp {
+    /// Creates the application.
+    pub fn new() -> Self {
+        SirenDetectorApp::default()
+    }
+
+    /// Wake-up condition: high-pass at 750 Hz, FFT, and wake when a
+    /// strong spectral peak persists for six consecutive windows. The
+    /// FFT stages push this pipeline beyond the MSP430's real-time
+    /// capability.
+    pub fn wake_pipeline() -> ProcessingPipeline {
+        let mut pipeline = ProcessingPipeline::new();
+        let mut mic = ProcessingBranch::new(SensorChannel::Mic);
+        mic.add(Window::rectangular(WINDOW as u32))
+            .add(HighPassFilter::new(HIGHPASS_HZ))
+            .add(Fft::new())
+            .add(SpectralMagnitude::new())
+            .add(Statistic::max())
+            .add(MinThreshold::new(WAKE_PEAK))
+            .add(Sustained::new(WAKE_SUSTAIN));
+        pipeline.add_branch(mic);
+        pipeline
+    }
+
+    /// Whether one window is a pitched sound in the siren band.
+    fn window_is_siren(window: &[f64], rate: f64) -> bool {
+        let filtered = match filter::fft_highpass(window, HIGHPASS_HZ, rate) {
+            Ok(f) => f,
+            Err(_) => return false,
+        };
+        let mags = fft::real_fft_magnitudes(&filtered);
+        let Some(peak) = spectral::dominant_bin(&mags[1..]) else {
+            return false;
+        };
+        let freq = fft::bin_to_frequency(peak.bin + 1, window.len(), rate);
+        let Some(ratio) = spectral::dominant_to_mean_ratio(&mags[1..]) else {
+            return false;
+        };
+        peak.magnitude > WAKE_PEAK
+            && ratio > PITCH_RATIO
+            && (BAND_LO_HZ..=BAND_HI_HZ).contains(&freq)
+    }
+}
+
+impl Application for SirenDetectorApp {
+    fn name(&self) -> &str {
+        "sirens"
+    }
+
+    fn target_kinds(&self) -> Vec<EventKind> {
+        vec![EventKind::Siren]
+    }
+
+    fn classify(&self, trace: &SensorTrace, start: Micros, end: Micros) -> Vec<Micros> {
+        let Some((slice, first_index, rate)) = visible_slice(trace, SensorChannel::Mic, start, end)
+        else {
+            return Vec::new();
+        };
+        let hop = WINDOW / 2;
+        let mut detections = Vec::new();
+        let mut run_windows = 0usize;
+        let mut reported = false;
+        for (window, end_time) in windows_of(slice, first_index, rate, WINDOW, hop) {
+            if SirenDetectorApp::window_is_siren(window, rate) {
+                run_windows += 1;
+                let pitched_us =
+                    (WINDOW + (run_windows - 1) * hop) as u64 * 1_000_000 / rate as u64;
+                if pitched_us >= MIN_PITCHED_US && !reported {
+                    detections.push(end_time);
+                    reported = true;
+                }
+            } else {
+                run_windows = 0;
+                reported = false;
+            }
+        }
+        detections
+    }
+
+    fn wake_condition(&self) -> Program {
+        SirenDetectorApp::wake_pipeline()
+            .compile()
+            .expect("siren pipeline is well-formed")
+    }
+
+    fn wake_condition_hub_mw(&self) -> f64 {
+        hub_mw_for(&self.wake_condition())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_hub::Mcu;
+    use sidewinder_sensors::TimeSeries;
+
+    /// 30 s at 8 kHz: quiet noise with a 1.2 kHz sweep-like siren from
+    /// t=10 to t=14 and a short (0.4 s) pitched blip at t=20.
+    fn siren_trace() -> SensorTrace {
+        let rate = 8000.0;
+        let n = 30 * 8000;
+        let mut samples = Vec::with_capacity(n);
+        let mut phase = 0.0f64;
+        for i in 0..n {
+            let t = i as f64 / rate;
+            let mut v = 0.004 * ((i * 2_654_435_761 % 1000) as f64 / 500.0 - 1.0);
+            if (10.0..14.0).contains(&t) || (20.0..20.4).contains(&t) {
+                let freq = 1200.0 + 300.0 * (2.0 * std::f64::consts::PI * t / 3.0).sin();
+                phase += freq / rate;
+                v += 0.32 * (2.0 * std::f64::consts::PI * phase).sin();
+            }
+            samples.push(v);
+        }
+        let mut trace = SensorTrace::new("siren");
+        trace.insert(
+            SensorChannel::Mic,
+            TimeSeries::from_samples(rate, samples).unwrap(),
+        );
+        trace
+    }
+
+    #[test]
+    fn detects_the_long_siren_not_the_blip() {
+        let app = SirenDetectorApp::new();
+        let detections = app.classify(&siren_trace(), Micros::ZERO, Micros::from_secs(30));
+        assert_eq!(detections.len(), 1, "{detections:?}");
+        assert!(
+            detections[0] >= Micros::from_millis(10_600)
+                && detections[0] <= Micros::from_millis(12_500),
+            "{:?}",
+            detections[0]
+        );
+    }
+
+    #[test]
+    fn quiet_audio_yields_nothing() {
+        let app = SirenDetectorApp::new();
+        assert!(app
+            .classify(&siren_trace(), Micros::ZERO, Micros::from_secs(9))
+            .is_empty());
+    }
+
+    #[test]
+    fn wake_condition_requires_the_lm4f120() {
+        // Reproduces the Table 2 footnote: the siren condition's FFT
+        // stages exceed the MSP430.
+        let app = SirenDetectorApp::new();
+        let program = app.wake_condition();
+        program.validate().unwrap();
+        assert!(program.uses_fft());
+        assert_eq!(app.wake_condition_hub_mw(), Mcu::LM4F120.awake_power_mw);
+    }
+
+    #[test]
+    fn wake_condition_fires_during_the_siren() {
+        use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+        let trace = siren_trace();
+        let app = SirenDetectorApp::new();
+        let mut hub = HubRuntime::load(&app.wake_condition(), &ChannelRates::default()).unwrap();
+        let mic = trace.channel(SensorChannel::Mic).unwrap();
+        let mut wake_times = Vec::new();
+        for (i, &v) in mic.samples().iter().enumerate() {
+            if !hub.push_sample(SensorChannel::Mic, v).unwrap().is_empty() {
+                wake_times.push(i as f64 / 8000.0);
+            }
+        }
+        assert!(!wake_times.is_empty(), "the siren must trigger the wake");
+        // All wakes within the long siren (the 0.4 s blip cannot sustain
+        // 6 windows).
+        for t in &wake_times {
+            assert!((10.5..14.3).contains(t), "unexpected wake at {t}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The Steps application (paper §3.7.1).
+//!
+//! "Counts how many steps the robot takes when it walks. The algorithm is
+//! based on the human step detection algorithm proposed by Ryan Libby.
+//! The application takes in raw accelerometer readings and applies a
+//! low-pass filter on the x-axis acceleration. It then searches for local
+//! maxima in the filtered x-axis acceleration. Local maxima between
+//! 2.5 m/s² and 4.5 m/s² are detected as steps."
+
+use crate::common::{debounce, hub_mw_for, visible_slice};
+use sidewinder_core::algorithm::{MovingAverage, OutsideThreshold};
+use sidewinder_core::{ProcessingBranch, ProcessingPipeline};
+use sidewinder_dsp::filter::MovingAverage as MaFilter;
+use sidewinder_dsp::stats;
+use sidewinder_ir::Program;
+use sidewinder_sensors::{EventKind, Micros, SensorChannel, SensorTrace};
+use sidewinder_sim::Application;
+
+/// Lower edge of the step peak band, m/s².
+const PEAK_LO: f64 = 2.5;
+/// Upper edge of the step peak band, m/s².
+const PEAK_HI: f64 = 4.5;
+/// Low-pass window (samples at 50 Hz) for the main classifier.
+const SMOOTH: usize = 5;
+/// Wake-up condition: smoothed |x| must leave this band.
+const WAKE_BAND: f64 = 2.0;
+
+/// The step-counting application.
+#[derive(Debug, Clone, Default)]
+pub struct StepsApp {
+    _private: (),
+}
+
+impl StepsApp {
+    /// Creates the application.
+    pub fn new() -> Self {
+        StepsApp::default()
+    }
+
+    /// The wake-up condition as a developer would build it with the API:
+    /// smooth x-axis acceleration and wake when it leaves the ±2 m/s²
+    /// resting band — conservative (high recall, moderate precision) as
+    /// §2.1.2 prescribes.
+    pub fn wake_pipeline() -> ProcessingPipeline {
+        let mut pipeline = ProcessingPipeline::new();
+        let mut x = ProcessingBranch::new(SensorChannel::AccX);
+        x.add(MovingAverage::new(SMOOTH as u32))
+            .add(OutsideThreshold::new(-WAKE_BAND, WAKE_BAND));
+        pipeline.add_branch(x);
+        pipeline
+    }
+
+    /// Counts individual steps in the visible range (the application's
+    /// actual output; the wake/recall accounting uses walking bouts).
+    pub fn count_steps(&self, trace: &SensorTrace, start: Micros, end: Micros) -> usize {
+        self.classify(trace, start, end).len()
+    }
+}
+
+impl Application for StepsApp {
+    fn name(&self) -> &str {
+        "steps"
+    }
+
+    fn target_kinds(&self) -> Vec<EventKind> {
+        vec![EventKind::Walking]
+    }
+
+    fn classify(&self, trace: &SensorTrace, start: Micros, end: Micros) -> Vec<Micros> {
+        let Some((slice, first_index, rate)) =
+            visible_slice(trace, SensorChannel::AccX, start, end)
+        else {
+            return Vec::new();
+        };
+        let mut filter = MaFilter::new(SMOOTH).expect("non-zero window");
+        let smoothed = filter.filter(slice);
+        let peaks = stats::local_maxima_in_band(&smoothed, PEAK_LO, PEAK_HI);
+        let detections = peaks
+            .into_iter()
+            .map(|i| {
+                // Smoothed sample i derives from raw samples ending at
+                // i + SMOOTH - 1.
+                sidewinder_sensors::time::sample_time(first_index + i + SMOOTH - 1, rate)
+            })
+            .collect();
+        // Steps cannot repeat faster than 3 Hz.
+        debounce(detections, Micros::from_millis(330))
+    }
+
+    fn wake_condition(&self) -> Program {
+        StepsApp::wake_pipeline()
+            .compile()
+            .expect("steps pipeline is well-formed")
+    }
+
+    fn wake_condition_hub_mw(&self) -> f64 {
+        hub_mw_for(&self.wake_condition())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_sensors::TimeSeries;
+
+    /// 20 s at 50 Hz: idle for 8 s, walking (1.5 Hz, 3.5 m/s²) for 8 s,
+    /// idle again.
+    fn walking_trace() -> SensorTrace {
+        let rate = 50.0;
+        let mut x = Vec::new();
+        for i in 0..1000 {
+            let t = i as f64 / rate;
+            let v = if (8.0..16.0).contains(&t) {
+                3.5 * (2.0 * std::f64::consts::PI * 1.5 * (t - 8.0)).sin()
+            } else {
+                0.01 * ((i % 7) as f64 - 3.0)
+            };
+            x.push(v);
+        }
+        let mut trace = SensorTrace::new("walk");
+        trace.insert(
+            SensorChannel::AccX,
+            TimeSeries::from_samples(rate, x).unwrap(),
+        );
+        trace
+    }
+
+    #[test]
+    fn counts_steps_at_cadence() {
+        let trace = walking_trace();
+        let app = StepsApp::new();
+        let steps = app.count_steps(&trace, Micros::ZERO, Micros::from_secs(20));
+        // 8 s at 1.5 steps/s = 12 peaks.
+        assert!((11..=13).contains(&steps), "steps = {steps}");
+    }
+
+    #[test]
+    fn no_steps_when_idle() {
+        let trace = walking_trace();
+        let app = StepsApp::new();
+        assert_eq!(
+            app.count_steps(&trace, Micros::ZERO, Micros::from_secs(8)),
+            0
+        );
+    }
+
+    #[test]
+    fn detections_fall_inside_the_walking_window() {
+        let trace = walking_trace();
+        let app = StepsApp::new();
+        for d in app.classify(&trace, Micros::ZERO, Micros::from_secs(20)) {
+            assert!(d >= Micros::from_secs(8) && d <= Micros::from_millis(16_200));
+        }
+    }
+
+    #[test]
+    fn wake_condition_compiles_and_fits_the_msp430() {
+        let app = StepsApp::new();
+        let program = app.wake_condition();
+        program.validate().unwrap();
+        assert!(!program.uses_fft());
+        assert_eq!(app.wake_condition_hub_mw(), 3.6);
+        assert_eq!(program.channels(), vec![SensorChannel::AccX]);
+    }
+
+    #[test]
+    fn wake_condition_fires_on_walking_not_idle() {
+        use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+        let trace = walking_trace();
+        let app = StepsApp::new();
+        let mut hub = HubRuntime::load(&app.wake_condition(), &ChannelRates::default()).unwrap();
+        let series = trace.channel(SensorChannel::AccX).unwrap();
+        let mut idle_wakes = 0usize;
+        let mut walk_wakes = 0usize;
+        for (i, &v) in series.samples().iter().enumerate() {
+            let t = i as f64 / 50.0;
+            let wakes = hub.push_sample(SensorChannel::AccX, v).unwrap().len();
+            if (8.0..16.0).contains(&t) {
+                walk_wakes += wakes;
+            } else {
+                idle_wakes += wakes;
+            }
+        }
+        assert_eq!(idle_wakes, 0);
+        assert!(walk_wakes > 0);
+    }
+
+    #[test]
+    fn empty_range_classifies_to_nothing() {
+        let trace = walking_trace();
+        let app = StepsApp::new();
+        assert!(app
+            .classify(&trace, Micros::from_secs(5), Micros::from_secs(5))
+            .is_empty());
+    }
+}

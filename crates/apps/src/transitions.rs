@@ -1,0 +1,239 @@
+//! The Transitions application (paper §3.7.1).
+//!
+//! "Detects transitions between sitting and standing. The application
+//! monitors changes in acceleration due to gravity on the y and z axes to
+//! determine the orientation of the device. If the z-axis acceleration is
+//! between 9 and 11 m/s², and the acceleration on the y-axis is between
+//! −1 and 1 m/s², the device is in a horizontal position and the robot is
+//! assumed to be in a standing posture. Similarly, if the z-axis
+//! acceleration is between 7.5 and 9.5 m/s², and the acceleration on the
+//! y-axis is between 3.5 and 5.5 m/s², … a sitting posture. The
+//! application detects transitions by looking for posture changes."
+
+use crate::common::{debounce, hub_mw_for, visible_slice};
+use sidewinder_core::algorithm::{MinThreshold, Statistic, Window};
+use sidewinder_core::{ProcessingBranch, ProcessingPipeline};
+use sidewinder_dsp::filter::MovingAverage as MaFilter;
+use sidewinder_ir::{Program, WindowShapeParam};
+use sidewinder_sensors::{EventKind, Micros, SensorChannel, SensorTrace};
+use sidewinder_sim::Application;
+
+/// Smoothing window (samples at 50 Hz) before posture classification.
+const SMOOTH: usize = 10;
+/// Wake-up condition: y-axis peak-to-peak within a 1.28 s window that
+/// indicates the gravity vector is rotating.
+const WAKE_P2P: f64 = 3.0;
+
+/// Device posture inferred from smoothed gravity components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Posture {
+    Standing,
+    Sitting,
+}
+
+fn posture_of(y: f64, z: f64) -> Option<Posture> {
+    if (9.0..=11.0).contains(&z) && (-1.0..=1.0).contains(&y) {
+        Some(Posture::Standing)
+    } else if (7.5..=9.5).contains(&z) && (3.5..=5.5).contains(&y) {
+        Some(Posture::Sitting)
+    } else {
+        None
+    }
+}
+
+/// The sit/stand transition application.
+#[derive(Debug, Clone, Default)]
+pub struct TransitionsApp {
+    _private: (),
+}
+
+impl TransitionsApp {
+    /// Creates the application.
+    pub fn new() -> Self {
+        TransitionsApp::default()
+    }
+
+    /// Wake-up condition: window the y axis and wake when the
+    /// peak-to-peak spread shows the gravity vector rotating. Posture
+    /// *changes* move y by ≈4.5 m/s² within 1.5 s, while static postures
+    /// (standing or sitting) keep y nearly constant.
+    pub fn wake_pipeline() -> ProcessingPipeline {
+        let mut pipeline = ProcessingPipeline::new();
+        let mut y = ProcessingBranch::new(SensorChannel::AccY);
+        y.add(Window::with_hop(64, 32, WindowShapeParam::Rectangular))
+            .add(Statistic::peak_to_peak())
+            .add(MinThreshold::new(WAKE_P2P));
+        pipeline.add_branch(y);
+        pipeline
+    }
+}
+
+impl Application for TransitionsApp {
+    fn name(&self) -> &str {
+        "transitions"
+    }
+
+    fn target_kinds(&self) -> Vec<EventKind> {
+        vec![EventKind::SitToStand, EventKind::StandToSit]
+    }
+
+    fn classify(&self, trace: &SensorTrace, start: Micros, end: Micros) -> Vec<Micros> {
+        let Some((y_slice, first_index, rate)) =
+            visible_slice(trace, SensorChannel::AccY, start, end)
+        else {
+            return Vec::new();
+        };
+        let Some((z_slice, _, _)) = visible_slice(trace, SensorChannel::AccZ, start, end) else {
+            return Vec::new();
+        };
+        let n = y_slice.len().min(z_slice.len());
+
+        let mut y_filter = MaFilter::new(SMOOTH).expect("non-zero window");
+        let mut z_filter = MaFilter::new(SMOOTH).expect("non-zero window");
+        let y_smooth = y_filter.filter(&y_slice[..n]);
+        let z_smooth = z_filter.filter(&z_slice[..n]);
+
+        let mut detections = Vec::new();
+        let mut last_posture: Option<Posture> = None;
+        for (i, (&y, &z)) in y_smooth.iter().zip(&z_smooth).enumerate() {
+            if let Some(current) = posture_of(y, z) {
+                if let Some(prev) = last_posture {
+                    if prev != current {
+                        detections.push(sidewinder_sensors::time::sample_time(
+                            first_index + i + SMOOTH - 1,
+                            rate,
+                        ));
+                    }
+                }
+                last_posture = Some(current);
+            }
+        }
+        // A posture change takes ≥1 s; suppress jitter around band edges.
+        debounce(detections, Micros::from_secs(1))
+    }
+
+    fn wake_condition(&self) -> Program {
+        TransitionsApp::wake_pipeline()
+            .compile()
+            .expect("transitions pipeline is well-formed")
+    }
+
+    fn wake_condition_hub_mw(&self) -> f64 {
+        hub_mw_for(&self.wake_condition())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_sensors::TimeSeries;
+
+    /// 30 s at 50 Hz: standing, sit at t=10 (1.5 s ramp), sitting, stand
+    /// at t=20, standing.
+    fn posture_trace() -> SensorTrace {
+        let rate = 50.0;
+        let sit_y = 4.5;
+        let sit_z = 8.717;
+        let mut y = Vec::new();
+        let mut z = Vec::new();
+        for i in 0..1500 {
+            let t = i as f64 / rate;
+            let (vy, vz) = if t < 10.0 {
+                (0.0, 9.81)
+            } else if t < 11.5 {
+                let f = (t - 10.0) / 1.5;
+                (sit_y * f, 9.81 + (sit_z - 9.81) * f)
+            } else if t < 20.0 {
+                (sit_y, sit_z)
+            } else if t < 21.5 {
+                let f = (t - 20.0) / 1.5;
+                (sit_y * (1.0 - f), sit_z + (9.81 - sit_z) * f)
+            } else {
+                (0.0, 9.81)
+            };
+            y.push(vy);
+            z.push(vz);
+        }
+        let mut trace = SensorTrace::new("postures");
+        trace.insert(
+            SensorChannel::AccY,
+            TimeSeries::from_samples(rate, y).unwrap(),
+        );
+        trace.insert(
+            SensorChannel::AccZ,
+            TimeSeries::from_samples(rate, z).unwrap(),
+        );
+        trace
+    }
+
+    #[test]
+    fn detects_both_transitions() {
+        let app = TransitionsApp::new();
+        let detections = app.classify(&posture_trace(), Micros::ZERO, Micros::from_secs(30));
+        assert_eq!(detections.len(), 2, "{detections:?}");
+        assert!(detections[0] >= Micros::from_secs(10) && detections[0] <= Micros::from_secs(13));
+        assert!(detections[1] >= Micros::from_secs(20) && detections[1] <= Micros::from_secs(23));
+    }
+
+    #[test]
+    fn static_postures_yield_no_detections() {
+        let app = TransitionsApp::new();
+        assert!(app
+            .classify(&posture_trace(), Micros::ZERO, Micros::from_secs(9))
+            .is_empty());
+        assert!(app
+            .classify(
+                &posture_trace(),
+                Micros::from_secs(13),
+                Micros::from_secs(19)
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn partial_visibility_misses_the_transition() {
+        // Seeing only the middle of the ramp (no posture on either side)
+        // cannot produce a detection — the recall mechanism duty cycling
+        // suffers from.
+        let app = TransitionsApp::new();
+        assert!(app
+            .classify(
+                &posture_trace(),
+                Micros::from_millis(10_400),
+                Micros::from_millis(11_200)
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn wake_condition_fits_msp430_and_reads_y() {
+        let app = TransitionsApp::new();
+        let program = app.wake_condition();
+        program.validate().unwrap();
+        assert_eq!(app.wake_condition_hub_mw(), 3.6);
+        assert_eq!(program.channels(), vec![SensorChannel::AccY]);
+    }
+
+    #[test]
+    fn wake_condition_fires_during_ramp_only() {
+        use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+        let trace = posture_trace();
+        let app = TransitionsApp::new();
+        let mut hub = HubRuntime::load(&app.wake_condition(), &ChannelRates::default()).unwrap();
+        let y = trace.channel(SensorChannel::AccY).unwrap();
+        let mut wakes_in_ramp = 0;
+        let mut wakes_static = 0;
+        for (i, &v) in y.samples().iter().enumerate() {
+            let t = i as f64 / 50.0;
+            let w = hub.push_sample(SensorChannel::AccY, v).unwrap().len();
+            // Window reports lag by up to 1.28 s.
+            if (10.0..13.0).contains(&t) || (20.0..23.0).contains(&t) {
+                wakes_in_ramp += w;
+            } else {
+                wakes_static += w;
+            }
+        }
+        assert!(wakes_in_ramp > 0);
+        assert_eq!(wakes_static, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! End-to-end simulator throughput: wall time to replay one robot trace
+//! under each sensing configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sidewinder_apps::{predefined, StepsApp};
+use sidewinder_sensors::Micros;
+use sidewinder_sim::{simulate, Application, PhonePowerProfile, SimConfig, Strategy};
+use sidewinder_tracegen::{robot_run, RobotRunConfig};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let trace = robot_run(&RobotRunConfig {
+        duration: Micros::from_secs(120),
+        idle_fraction: 0.5,
+        rate_hz: 50.0,
+        seed: 1,
+    });
+    let app = StepsApp::new();
+    let strategies = vec![
+        Strategy::AlwaysAwake,
+        Strategy::DutyCycle {
+            sleep: Micros::from_secs(10),
+        },
+        Strategy::Batching {
+            interval: Micros::from_secs(10),
+            hub_mw: 3.6,
+        },
+        Strategy::HubWake {
+            program: app.wake_condition(),
+            hub_mw: app.wake_condition_hub_mw(),
+            label: "Sw",
+        },
+        Strategy::HubWake {
+            program: predefined::significant_motion(),
+            hub_mw: predefined::hub_mw(),
+            label: "PA",
+        },
+        Strategy::Oracle,
+    ];
+
+    let mut group = c.benchmark_group("simulate_120s_robot_trace");
+    group.sample_size(20);
+    for strategy in strategies {
+        group.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                simulate(
+                    black_box(&trace),
+                    &app,
+                    &strategy,
+                    &PhonePowerProfile::NEXUS4,
+                    &SimConfig::default(),
+                )
+                .unwrap()
+                .average_power_mw
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Trace-generation throughput: how fast the synthetic substitutes for
+//! the paper's data collection run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sidewinder_sensors::Micros;
+use sidewinder_tracegen::{
+    audio_trace, human_trace, robot_run, AudioTraceConfig, HumanTraceConfig, RobotRunConfig,
+};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracegen");
+    group.sample_size(20);
+    group.bench_function("robot_run_60s", |b| {
+        b.iter(|| {
+            robot_run(black_box(&RobotRunConfig {
+                duration: Micros::from_secs(60),
+                idle_fraction: 0.5,
+                rate_hz: 50.0,
+                seed: 1,
+            }))
+        })
+    });
+    group.bench_function("human_trace_60s", |b| {
+        b.iter(|| {
+            human_trace(black_box(&HumanTraceConfig {
+                duration: Micros::from_secs(60),
+                seed: 1,
+                ..HumanTraceConfig::default()
+            }))
+        })
+    });
+    group.bench_function("audio_trace_10s", |b| {
+        b.iter(|| {
+            audio_trace(black_box(&AudioTraceConfig {
+                duration: Micros::from_secs(10),
+                seed: 1,
+                ..AudioTraceConfig::default()
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Ablation sweeps for the design choices DESIGN.md calls out:
+//!
+//! 1. **Wake-threshold sweep** (steps condition): the paper's §2.1.2
+//!    conservatism argument — loose thresholds waste power, tight ones
+//!    lose recall; there is a knee.
+//! 2. **Sustained-count sweep** (music condition): the duration gate
+//!    that separates continuous songs from speech's isolated
+//!    steady windows.
+//! 3. **ZCR-window sweep** (music condition): the window must span
+//!    several speech phones or speech masquerades as music
+//!    (DESIGN.md §6b).
+//! 4. **Hub-chunk sweep**: how long the phone lingers awake after a hub
+//!    wake-up — the accounting knob behind Predefined Activity's
+//!    overhead.
+
+use sidewinder_apps::{MusicJournalApp, StepsApp};
+use sidewinder_bench::{f1, pct};
+use sidewinder_ir::{AlgorithmKind, Program, Stmt};
+use sidewinder_sensors::Micros;
+use sidewinder_sim::report::Table;
+use sidewinder_sim::{simulate, Application, PhonePowerProfile, SimConfig, Strategy};
+use sidewinder_tracegen::{audio_trace, robot_run, AudioTraceConfig, RobotRunConfig};
+
+/// Rewrites every node of `kind_name` using `patch`.
+fn rewrite(program: &Program, patch: impl Fn(&AlgorithmKind) -> AlgorithmKind) -> Program {
+    let stmts: Vec<Stmt> = program
+        .stmts()
+        .iter()
+        .map(|stmt| match stmt {
+            Stmt::Node { sources, id, kind } => Stmt::Node {
+                sources: sources.clone(),
+                id: *id,
+                kind: patch(kind),
+            },
+            out => out.clone(),
+        })
+        .collect();
+    Program::from_stmts(stmts)
+}
+
+fn run(
+    trace: &sidewinder_sensors::SensorTrace,
+    app: &dyn Application,
+    program: Program,
+    hub_mw: f64,
+    config: &SimConfig,
+) -> sidewinder_sim::SimResult {
+    simulate(
+        trace,
+        app,
+        &Strategy::HubWake {
+            program,
+            hub_mw,
+            label: "Sw",
+        },
+        &PhonePowerProfile::NEXUS4,
+        config,
+    )
+    .expect("ablation configurations are valid")
+}
+
+fn main() {
+    let config = SimConfig::default();
+
+    // 1. Steps wake-band sweep on a robot trace.
+    let robot = robot_run(&RobotRunConfig {
+        duration: Micros::from_secs(600),
+        idle_fraction: 0.5,
+        rate_hz: 50.0,
+        seed: 61,
+    });
+    let steps = StepsApp::new();
+    println!("Ablation 1: steps wake-band half-width (robot trace, 50% idle)");
+    let mut t1 = Table::new(["band +-m/s^2", "power mW", "recall", "wake-ups"]);
+    for band in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5] {
+        let program = rewrite(&steps.wake_condition(), |kind| match kind {
+            AlgorithmKind::OutsideThreshold { .. } => AlgorithmKind::OutsideThreshold {
+                lo: -band,
+                hi: band,
+            },
+            other => *other,
+        });
+        let r = run(&robot, &steps, program, 3.6, &config);
+        t1.push_row([
+            format!("{band:.1}"),
+            f1(r.average_power_mw),
+            pct(r.recall()),
+            r.wake_ups.to_string(),
+        ]);
+    }
+    println!("{t1}");
+
+    // 2. Music sustained-count sweep on an audio trace.
+    let audio = audio_trace(&AudioTraceConfig {
+        duration: Micros::from_secs(300),
+        seed: 62,
+        ..AudioTraceConfig::default()
+    });
+    let music = MusicJournalApp::new();
+    println!("Ablation 2: music sustained-window count (office audio trace)");
+    let mut t2 = Table::new(["consecutive windows", "power mW", "recall"]);
+    for count in [1u32, 2, 3, 5, 8] {
+        let program = rewrite(&music.wake_condition(), |kind| match kind {
+            AlgorithmKind::Sustained { max_gap, .. } => AlgorithmKind::Sustained {
+                count,
+                max_gap: *max_gap,
+            },
+            other => *other,
+        });
+        let r = run(&audio, &music, program, 3.6, &config);
+        t2.push_row([count.to_string(), f1(r.average_power_mw), pct(r.recall())]);
+    }
+    println!("{t2}");
+
+    // 3. Music ZCR-window sweep: rebuild the condition with different
+    // window lengths for the ZCR branch.
+    println!("Ablation 3: music ZCR-variance window length");
+    let mut t3 = Table::new(["window (samples)", "power mW", "recall"]);
+    for window in [256u32, 512, 1024, 2048] {
+        let program = rewrite(&music.wake_condition(), |kind| match kind {
+            AlgorithmKind::Window { size, hop, shape } if *size == 2048 => {
+                let _ = (size, hop);
+                AlgorithmKind::Window {
+                    size: window,
+                    hop: window,
+                    shape: *shape,
+                }
+            }
+            // The AND-join emits where the two branch strides align:
+            // every max(window, 512) samples. The sustained gate must
+            // treat that stride as consecutive.
+            AlgorithmKind::Sustained { count, .. } => AlgorithmKind::Sustained {
+                count: *count,
+                max_gap: window.max(512),
+            },
+            other => *other,
+        });
+        let r = run(&audio, &music, program, 3.6, &config);
+        t3.push_row([window.to_string(), f1(r.average_power_mw), pct(r.recall())]);
+    }
+    println!("{t3}");
+    println!(
+        "Short ZCR windows sit inside single speech phones, so speech looks\n\
+         steady (music-like) and power rises; 2048 samples (256 ms) spans\n\
+         several phones and rejects speech.\n"
+    );
+
+    // 4. Hub-chunk sweep: accounting sensitivity.
+    println!("Ablation 4: awake time charged per hub wake-up (steps app)");
+    let mut t4 = Table::new(["hub chunk (ms)", "power mW", "recall"]);
+    for chunk_ms in [100u64, 250, 500, 1_000, 2_000, 4_000] {
+        let cfg = SimConfig {
+            hub_chunk: Micros::from_millis(chunk_ms),
+            ..SimConfig::default()
+        };
+        let r = run(&robot, &steps, steps.wake_condition(), 3.6, &cfg);
+        t4.push_row([
+            chunk_ms.to_string(),
+            f1(r.average_power_mw),
+            pct(r.recall()),
+        ]);
+    }
+    println!("{t4}");
+}

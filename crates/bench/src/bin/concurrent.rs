@@ -1,0 +1,80 @@
+//! Concurrent applications on one phone (paper §7 future work): all
+//! three accelerometer applications — and separately all three audio
+//! applications — share one hub and one main processor. Compares the
+//! shared-phone power against each application running alone and
+//! against the (hypothetical) sum of three separate devices.
+
+use sidewinder_apps::{
+    HeadbuttsApp, MusicJournalApp, PhraseDetectionApp, SirenDetectorApp, StepsApp, TransitionsApp,
+};
+use sidewinder_bench::{audio_traces, f1, pct, robot_traces, run_over, sidewinder_strategy};
+use sidewinder_sim::concurrent::simulate_concurrent;
+use sidewinder_sim::report::Table;
+use sidewinder_sim::{Application, PhonePowerProfile, SimConfig};
+use sidewinder_tracegen::ActivityGroup;
+
+fn report(label: &str, traces: &[sidewinder_sensors::SensorTrace], apps: &[&dyn Application]) {
+    println!("== {label} ==");
+    let config = SimConfig::default();
+
+    // Individual Sidewinder power per application (averaged over traces).
+    let mut solo_sum = 0.0;
+    let mut solo_max: f64 = 0.0;
+    let mut table = Table::new(["App", "alone mW", "shared recall"]);
+    let mut shared_avg = 0.0;
+    let mut per_app_recalls = vec![Vec::new(); apps.len()];
+
+    for trace in traces {
+        let shared = simulate_concurrent(trace, apps, &PhonePowerProfile::NEXUS4, &config)
+            .expect("evaluation apps simulate");
+        shared_avg += shared.average_power_mw / traces.len() as f64;
+        for (i, app_result) in shared.per_app.iter().enumerate() {
+            per_app_recalls[i].push(app_result.stats.recall());
+        }
+    }
+
+    for (i, app) in apps.iter().enumerate() {
+        let solo = run_over(traces, *app, &sidewinder_strategy(*app));
+        let solo_mw = sidewinder_sim::report::mean_power_mw(&solo);
+        solo_sum += solo_mw;
+        solo_max = solo_max.max(solo_mw);
+        let recall =
+            per_app_recalls[i].iter().sum::<f64>() / per_app_recalls[i].len().max(1) as f64;
+        table.push_row([app.name().to_string(), f1(solo_mw), pct(recall)]);
+    }
+    println!("{table}");
+    println!(
+        "shared phone: {} mW  |  most expensive app alone: {} mW  |  three separate devices: {} mW",
+        f1(shared_avg),
+        f1(solo_max),
+        f1(solo_sum)
+    );
+    println!(
+        "concurrency overhead over the most demanding app: {}\n",
+        pct(shared_avg / solo_max - 1.0)
+    );
+}
+
+fn main() {
+    println!("Concurrent applications on one phone (paper S7)\n");
+
+    let robot = robot_traces(ActivityGroup::Group2);
+    let steps = StepsApp::new();
+    let transitions = TransitionsApp::new();
+    let headbutts = HeadbuttsApp::new();
+    report(
+        "3 accelerometer apps, robot traces (50% idle)",
+        &robot,
+        &[&steps, &transitions, &headbutts],
+    );
+
+    let audio = audio_traces();
+    let sirens = SirenDetectorApp::new();
+    let music = MusicJournalApp::new();
+    let phrase = PhraseDetectionApp::new();
+    report(
+        "3 audio apps, environmental traces",
+        &audio,
+        &[&sirens, &music, &phrase],
+    );
+}

@@ -1,0 +1,119 @@
+//! Regenerates **Fig. 5** — power usage of each sensing configuration
+//! relative to Oracle on the synthetic robot traces, per application and
+//! activity group — plus the §5.1 savings headroom and the §5.2/§5.4
+//! derived statistics.
+
+use sidewinder_apps::{HeadbuttsApp, StepsApp, TransitionsApp};
+use sidewinder_bench::{
+    f1, f2, pct, predefined_motion_strategy, robot_traces, run_over, sidewinder_strategy,
+    DC_SLEEPS_S,
+};
+use sidewinder_sensors::Micros;
+use sidewinder_sim::report::{mean_power_mw, mean_recall, savings_fraction, Table};
+use sidewinder_sim::{Application, Strategy};
+use sidewinder_tracegen::ActivityGroup;
+
+/// The Fig. 5 configuration sweep, Oracle first so ratios can be derived.
+fn strategies(app: &dyn Application) -> Vec<Strategy> {
+    let mut out = vec![Strategy::Oracle, Strategy::AlwaysAwake];
+    for s in DC_SLEEPS_S {
+        out.push(Strategy::DutyCycle {
+            sleep: Micros::from_secs(s),
+        });
+    }
+    out.push(Strategy::Batching {
+        interval: Micros::from_secs(10),
+        hub_mw: 3.6,
+    });
+    out.push(predefined_motion_strategy());
+    out.push(sidewinder_strategy(app));
+    out
+}
+
+struct Cell {
+    label: String,
+    mw: f64,
+    recall: f64,
+}
+
+fn main() {
+    let steps = StepsApp::new();
+    let transitions = TransitionsApp::new();
+    let headbutts = HeadbuttsApp::new();
+    let apps: [&dyn Application; 3] = [&headbutts, &transitions, &steps];
+
+    println!("Fig. 5: power relative to Oracle on synthetic robot traces\n");
+
+    let mut sw_savings: Vec<f64> = Vec::new();
+    let mut pa_over_sw: Vec<(String, f64)> = Vec::new();
+    let mut dcba_over_sw: Vec<f64> = Vec::new();
+    let mut oracle_range: Vec<f64> = Vec::new();
+
+    for group in ActivityGroup::ALL {
+        let traces = robot_traces(group);
+        println!(
+            "--- group: {} ({} runs of {}s) ---",
+            group,
+            traces.len(),
+            traces[0].duration().as_secs_f64()
+        );
+        let mut table = Table::new(["App", "Config", "mW", "x Oracle", "Recall"]);
+        for app in apps {
+            let cells: Vec<Cell> = strategies(app)
+                .iter()
+                .map(|strategy| {
+                    let results = run_over(&traces, app, strategy);
+                    Cell {
+                        label: strategy.label(),
+                        mw: mean_power_mw(&results),
+                        recall: mean_recall(&results),
+                    }
+                })
+                .collect();
+            let oracle_mw = cells[0].mw;
+            let aa_mw = cells[1].mw;
+            let sw_mw = cells.iter().find(|c| c.label == "Sw").expect("Sw ran").mw;
+            let pa_mw = cells.iter().find(|c| c.label == "PA").expect("PA ran").mw;
+
+            for cell in &cells {
+                table.push_row([
+                    app.name().to_string(),
+                    cell.label.clone(),
+                    f1(cell.mw),
+                    f2(cell.mw / oracle_mw),
+                    pct(cell.recall),
+                ]);
+                if cell.label.starts_with("DC") || cell.label.starts_with("Ba") {
+                    dcba_over_sw.push(cell.mw / sw_mw);
+                }
+            }
+            oracle_range.push(oracle_mw);
+            sw_savings.push(savings_fraction(sw_mw, aa_mw, oracle_mw));
+            pa_over_sw.push((format!("{:<11} @ {}", app.name(), group), pa_mw / sw_mw));
+        }
+        println!("{table}");
+    }
+
+    println!("--- Derived statistics ---");
+    println!(
+        "S5.1 headroom: Oracle spans {:.1}..{:.1} mW vs Always Awake 323 mW.",
+        oracle_range.iter().cloned().fold(f64::MAX, f64::min),
+        oracle_range.iter().cloned().fold(f64::MIN, f64::max),
+    );
+    println!(
+        "S5.2: Sidewinder achieves {}..{} of the possible savings (paper: 92.7%..95.7%).",
+        pct(sw_savings.iter().cloned().fold(f64::MAX, f64::min)),
+        pct(sw_savings.iter().cloned().fold(f64::MIN, f64::max)),
+    );
+    println!(
+        "S5.3: Predefined Activity power over Sidewinder (paper: ~1x steps, 4.7x headbutts, 6.1x transitions):"
+    );
+    for (label, ratio) in &pa_over_sw {
+        println!("    {label}: {ratio:.2}x");
+    }
+    println!(
+        "S5.4: Duty Cycling / Batching over Sidewinder: {:.1}x..{:.1}x (paper: 2.4x-7.5x).",
+        dcba_over_sw.iter().cloned().fold(f64::MAX, f64::min),
+        dcba_over_sw.iter().cloned().fold(f64::MIN, f64::max),
+    );
+}

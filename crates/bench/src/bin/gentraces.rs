@@ -1,0 +1,57 @@
+//! Generates the full evaluation trace set and writes it to disk as CSV
+//! (samples + ground-truth labels per trace), so experiments can be
+//! inspected, plotted, or replayed outside this repository.
+//!
+//! Usage: `cargo run --release -p sidewinder-bench --bin gentraces [DIR]`
+//! (default output directory: `./traces`).
+
+use sidewinder_bench::{audio_traces, human_traces, robot_traces};
+use sidewinder_sensors::csv;
+use sidewinder_tracegen::ActivityGroup;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+
+fn write_trace(dir: &Path, trace: &sidewinder_sensors::SensorTrace) -> std::io::Result<()> {
+    let samples_path = dir.join(format!("{}.samples.csv", trace.name()));
+    let labels_path = dir.join(format!("{}.labels.csv", trace.name()));
+    csv::write_samples(trace, BufWriter::new(File::create(&samples_path)?))
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    csv::write_labels(
+        trace.ground_truth(),
+        BufWriter::new(File::create(&labels_path)?),
+    )
+    .map_err(|e| std::io::Error::other(e.to_string()))?;
+    println!(
+        "  {} ({} labels) -> {}",
+        trace.name(),
+        trace.ground_truth().len(),
+        samples_path.display()
+    );
+    Ok(())
+}
+
+fn main() -> std::io::Result<()> {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "traces".to_string())
+        .into();
+    std::fs::create_dir_all(&dir)?;
+
+    println!("Robot runs:");
+    for group in ActivityGroup::ALL {
+        for trace in robot_traces(group) {
+            write_trace(&dir, &trace)?;
+        }
+    }
+    println!("Human traces:");
+    for trace in human_traces() {
+        write_trace(&dir, &trace)?;
+    }
+    println!("Audio traces:");
+    for trace in audio_traces() {
+        write_trace(&dir, &trace)?;
+    }
+    println!("\nWrote the evaluation trace set to {}", dir.display());
+    Ok(())
+}

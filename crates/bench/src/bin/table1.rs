@@ -1,0 +1,71 @@
+//! Regenerates **Table 1** — the Google Nexus 4 power profile — and
+//! validates the power model against closed-form expectations.
+
+use sidewinder_sensors::Micros;
+use sidewinder_sim::power::{PhonePowerProfile, PowerBreakdown};
+use sidewinder_sim::report::Table;
+
+fn main() {
+    let profile = PhonePowerProfile::NEXUS4;
+
+    println!("Table 1: Google Nexus 4 power profile");
+    let mut table = Table::new(["State", "Average Power (mW)", "Average Duration"]);
+    table.push_row([
+        "Awake, running sensor-driven application",
+        &format!("{}", profile.awake_mw),
+        "N/A",
+    ]);
+    table.push_row(["Asleep", &format!("{}", profile.asleep_mw), "N/A"]);
+    table.push_row([
+        "Asleep-to-Awake Transition",
+        &format!("{}", profile.wake_transition_mw),
+        "1 second",
+    ]);
+    table.push_row([
+        "Awake-to-Asleep Transition",
+        &format!("{}", profile.sleep_transition_mw),
+        "1 second",
+    ]);
+    println!("{table}");
+
+    println!("Hub microcontrollers (paper §4):");
+    let mut mcus = Table::new(["MCU", "Awake power (mW)", "Clock", "FFT in real time?"]);
+    for mcu in sidewinder_hub::Mcu::CATALOG {
+        let fft_ok = mcu
+            .supports(
+                &"MIC -> window(id=1, params={1024, 1024, 0});
+                   1 -> fft(id=2);
+                   2 -> spectralMagnitude(id=3);
+                   3 -> max(id=4);
+                   4 -> minThreshold(id=5, params={25});
+                   5 -> OUT;"
+                    .parse()
+                    .expect("well-formed probe program"),
+                &Default::default(),
+            )
+            .is_ok();
+        mcus.push_row([
+            mcu.name,
+            &format!("{}", mcu.awake_power_mw),
+            &format!("{} MHz", mcu.clock_hz / 1e6),
+            if fft_ok { "yes" } else { "no" },
+        ]);
+    }
+    println!("{mcus}");
+
+    // Model validation: a 50 % duty pattern must average the state
+    // powers exactly.
+    let half = PowerBreakdown {
+        awake: Micros::from_secs(49),
+        asleep: Micros::from_secs(49),
+        waking: Micros::from_secs(1),
+        sleeping: Micros::from_secs(1),
+        hub_mw: 0.0,
+    };
+    let expected = (323.0 * 49.0 + 9.7 * 49.0 + 384.0 + 341.0) / 100.0;
+    let got = half.average_power_mw(&profile);
+    println!(
+        "Model check: 49s awake + 49s asleep + transitions = {got:.2} mW (expected {expected:.2})"
+    );
+    assert!((got - expected).abs() < 1e-9);
+}

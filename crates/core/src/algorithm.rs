@@ -1,0 +1,424 @@
+//! API-level algorithm stubs.
+//!
+//! "At the API level, these algorithms are simply stubs that represent the
+//! algorithm implementations at the low-power processor level" (paper
+//! §3.2). Each stub type here is a constructor for an opaque
+//! [`Algorithm`] carrying the parameterized [`AlgorithmKind`]; the
+//! executable implementations live in `sidewinder-hub`.
+//!
+//! The constructors mirror the paper's Java API (`new MovingAverage(10)`,
+//! `new VectorMagnitude()`, `new MinThreshold(15)`); returning the opaque
+//! [`Algorithm`] from each stub's `new` is the point of the pattern, so
+//! the usual `new -> Self` convention is deliberately suspended here.
+#![allow(clippy::new_ret_no_self)]
+
+use sidewinder_ir::{AlgorithmKind, StatFn, WindowShapeParam};
+
+/// An opaque, parameterized algorithm stub ready to be added to a branch
+/// or pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Algorithm {
+    kind: AlgorithmKind,
+    /// For `Sustained`: filled in by the compiler with the upstream
+    /// emission stride, so developers only specify the count.
+    pub(crate) needs_stride: bool,
+}
+
+impl Algorithm {
+    pub(crate) fn of(kind: AlgorithmKind) -> Self {
+        Algorithm {
+            kind,
+            needs_stride: false,
+        }
+    }
+
+    /// The underlying IR algorithm kind.
+    pub fn kind(&self) -> &AlgorithmKind {
+        &self.kind
+    }
+}
+
+/// Partitions a scalar stream into windows (paper §3.6 "Windowing").
+#[derive(Debug, Clone, Copy)]
+pub struct Window;
+
+impl Window {
+    /// Non-overlapping rectangular windows of `size` samples.
+    ///
+    /// `size` must be a power of two (so FFT stages can follow); the
+    /// pipeline compiler/validator enforces this.
+    pub fn rectangular(size: u32) -> Algorithm {
+        Algorithm::of(AlgorithmKind::Window {
+            size,
+            hop: size,
+            shape: WindowShapeParam::Rectangular,
+        })
+    }
+
+    /// Non-overlapping Hamming windows of `size` samples.
+    pub fn hamming(size: u32) -> Algorithm {
+        Algorithm::of(AlgorithmKind::Window {
+            size,
+            hop: size,
+            shape: WindowShapeParam::Hamming,
+        })
+    }
+
+    /// Fully parameterized window.
+    pub fn with_hop(size: u32, hop: u32, shape: WindowShapeParam) -> Algorithm {
+        Algorithm::of(AlgorithmKind::Window { size, hop, shape })
+    }
+}
+
+/// Fast Fourier Transform to the frequency domain (paper §3.6
+/// "Transform").
+#[derive(Debug, Clone, Copy)]
+pub struct Fft;
+
+impl Fft {
+    /// Creates the FFT stub.
+    pub fn new() -> Algorithm {
+        Algorithm::of(AlgorithmKind::Fft)
+    }
+}
+
+/// Inverse FFT back to the time domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Ifft;
+
+impl Ifft {
+    /// Creates the IFFT stub.
+    pub fn new() -> Algorithm {
+        Algorithm::of(AlgorithmKind::Ifft)
+    }
+}
+
+/// One-sided magnitude reduction of a complex spectrum.
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralMagnitude;
+
+impl SpectralMagnitude {
+    /// Creates the stub.
+    pub fn new() -> Algorithm {
+        Algorithm::of(AlgorithmKind::SpectralMagnitude)
+    }
+}
+
+/// Simple moving average (paper §3.6 "Data Filtering").
+#[derive(Debug, Clone, Copy)]
+pub struct MovingAverage;
+
+impl MovingAverage {
+    /// Averages the last `window` samples.
+    pub fn new(window: u32) -> Algorithm {
+        Algorithm::of(AlgorithmKind::MovingAvg { window })
+    }
+}
+
+/// Exponential moving average.
+#[derive(Debug, Clone, Copy)]
+pub struct ExponentialMovingAverage;
+
+impl ExponentialMovingAverage {
+    /// Smoothing factor `alpha` in `(0, 1]`.
+    pub fn new(alpha: f64) -> Algorithm {
+        Algorithm::of(AlgorithmKind::ExpMovingAvg { alpha })
+    }
+}
+
+/// FFT-based low-pass filter.
+#[derive(Debug, Clone, Copy)]
+pub struct LowPassFilter;
+
+impl LowPassFilter {
+    /// Keeps frequencies at or below `cutoff_hz`.
+    pub fn new(cutoff_hz: f64) -> Algorithm {
+        Algorithm::of(AlgorithmKind::LowPass { cutoff_hz })
+    }
+}
+
+/// FFT-based high-pass filter (the siren detector opens with one at
+/// 750 Hz, paper §3.7.2).
+#[derive(Debug, Clone, Copy)]
+pub struct HighPassFilter;
+
+impl HighPassFilter {
+    /// Keeps frequencies at or above `cutoff_hz`.
+    pub fn new(cutoff_hz: f64) -> Algorithm {
+        Algorithm::of(AlgorithmKind::HighPass { cutoff_hz })
+    }
+}
+
+/// Euclidean magnitude across branches (paper §3.6 "Feature Extraction").
+#[derive(Debug, Clone, Copy)]
+pub struct VectorMagnitude;
+
+impl VectorMagnitude {
+    /// Creates the stub. Added to a pipeline, it merges all open branches.
+    pub fn new() -> Algorithm {
+        Algorithm::of(AlgorithmKind::VectorMagnitude)
+    }
+}
+
+/// Zero-crossing rate of each window.
+#[derive(Debug, Clone, Copy)]
+pub struct ZeroCrossingRate;
+
+impl ZeroCrossingRate {
+    /// Creates the stub.
+    pub fn new() -> Algorithm {
+        Algorithm::of(AlgorithmKind::Zcr)
+    }
+}
+
+/// Variance of per-sub-window zero-crossing rates (the music/phrase
+/// feature, paper §3.7.2).
+#[derive(Debug, Clone, Copy)]
+pub struct ZcrVariance;
+
+impl ZcrVariance {
+    /// Splits each window into `sub_windows` parts.
+    pub fn new(sub_windows: u32) -> Algorithm {
+        Algorithm::of(AlgorithmKind::ZcrVariance { sub_windows })
+    }
+}
+
+/// A statistical reduction of each window (paper §3.6 "a set of
+/// statistical functions").
+#[derive(Debug, Clone, Copy)]
+pub struct Statistic;
+
+impl Statistic {
+    /// Arithmetic mean.
+    pub fn mean() -> Algorithm {
+        Algorithm::of(AlgorithmKind::Stat(StatFn::Mean))
+    }
+
+    /// Population variance.
+    pub fn variance() -> Algorithm {
+        Algorithm::of(AlgorithmKind::Stat(StatFn::Variance))
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev() -> Algorithm {
+        Algorithm::of(AlgorithmKind::Stat(StatFn::StdDev))
+    }
+
+    /// Mean absolute amplitude.
+    pub fn mean_abs() -> Algorithm {
+        Algorithm::of(AlgorithmKind::Stat(StatFn::MeanAbs))
+    }
+
+    /// Root mean square.
+    pub fn rms() -> Algorithm {
+        Algorithm::of(AlgorithmKind::Stat(StatFn::Rms))
+    }
+
+    /// Energy `Σx²`.
+    pub fn energy() -> Algorithm {
+        Algorithm::of(AlgorithmKind::Stat(StatFn::Energy))
+    }
+
+    /// Minimum sample.
+    pub fn min() -> Algorithm {
+        Algorithm::of(AlgorithmKind::Stat(StatFn::Min))
+    }
+
+    /// Maximum sample.
+    pub fn max() -> Algorithm {
+        Algorithm::of(AlgorithmKind::Stat(StatFn::Max))
+    }
+
+    /// Peak-to-peak amplitude.
+    pub fn peak_to_peak() -> Algorithm {
+        Algorithm::of(AlgorithmKind::Stat(StatFn::PeakToPeak))
+    }
+}
+
+/// Ratio of dominant to mean spectral magnitude — the paper's pitched-
+/// sound feature (§3.7.2).
+#[derive(Debug, Clone, Copy)]
+pub struct DominantRatio;
+
+impl DominantRatio {
+    /// Creates the stub.
+    pub fn new() -> Algorithm {
+        Algorithm::of(AlgorithmKind::DominantRatio)
+    }
+}
+
+/// Frequency of the dominant spectral bin (paper §3.6 "determination of
+/// magnitude of dominant frequency").
+#[derive(Debug, Clone, Copy)]
+pub struct DominantFrequency;
+
+impl DominantFrequency {
+    /// Creates the stub.
+    pub fn new() -> Algorithm {
+        Algorithm::of(AlgorithmKind::DominantFreq)
+    }
+}
+
+/// Low-bound admission control (paper §3.6 "Admission Control").
+#[derive(Debug, Clone, Copy)]
+pub struct MinThreshold;
+
+impl MinThreshold {
+    /// Passes values `>= threshold`.
+    pub fn new(threshold: f64) -> Algorithm {
+        Algorithm::of(AlgorithmKind::MinThreshold { threshold })
+    }
+}
+
+/// High-bound admission control.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxThreshold;
+
+impl MaxThreshold {
+    /// Passes values `<= threshold`.
+    pub fn new(threshold: f64) -> Algorithm {
+        Algorithm::of(AlgorithmKind::MaxThreshold { threshold })
+    }
+}
+
+/// Band admission control: passes values inside `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct BandThreshold;
+
+impl BandThreshold {
+    /// Passes values in `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64) -> Algorithm {
+        Algorithm::of(AlgorithmKind::BandThreshold { lo, hi })
+    }
+}
+
+/// Complement band admission control: passes values outside `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct OutsideThreshold;
+
+impl OutsideThreshold {
+    /// Passes values outside `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64) -> Algorithm {
+        Algorithm::of(AlgorithmKind::OutsideThreshold { lo, hi })
+    }
+}
+
+/// Duration condition: requires `count` consecutive upstream emissions
+/// (the siren detector's "longer than 650 ms", paper §3.7.2).
+///
+/// The gap that still counts as "consecutive" is filled in by the
+/// compiler from the upstream window hop, so developers only state the
+/// count.
+#[derive(Debug, Clone, Copy)]
+pub struct Sustained;
+
+impl Sustained {
+    /// Requires `count` consecutive emissions.
+    pub fn new(count: u32) -> Algorithm {
+        let mut a = Algorithm::of(AlgorithmKind::Sustained { count, max_gap: 1 });
+        a.needs_stride = true;
+        a
+    }
+}
+
+/// AND-join: emits when every open branch has delivered a fresh value.
+#[derive(Debug, Clone, Copy)]
+pub struct AllOf;
+
+impl AllOf {
+    /// Creates the stub.
+    pub fn new() -> Algorithm {
+        Algorithm::of(AlgorithmKind::AllOf)
+    }
+}
+
+/// OR-join: emits whenever any open branch delivers a value.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyOf;
+
+impl AnyOf {
+    /// Creates the stub.
+    pub fn new() -> Algorithm {
+        Algorithm::of(AlgorithmKind::AnyOf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stubs_carry_their_kinds() {
+        assert_eq!(
+            MovingAverage::new(10).kind(),
+            &AlgorithmKind::MovingAvg { window: 10 }
+        );
+        assert_eq!(
+            MinThreshold::new(15.0).kind(),
+            &AlgorithmKind::MinThreshold { threshold: 15.0 }
+        );
+        assert_eq!(
+            VectorMagnitude::new().kind(),
+            &AlgorithmKind::VectorMagnitude
+        );
+        assert_eq!(
+            HighPassFilter::new(750.0).kind(),
+            &AlgorithmKind::HighPass { cutoff_hz: 750.0 }
+        );
+        assert_eq!(
+            Window::hamming(256).kind(),
+            &AlgorithmKind::Window {
+                size: 256,
+                hop: 256,
+                shape: WindowShapeParam::Hamming
+            }
+        );
+    }
+
+    #[test]
+    fn statistic_family_maps_to_stat_fns() {
+        assert_eq!(Statistic::mean().kind(), &AlgorithmKind::Stat(StatFn::Mean));
+        assert_eq!(
+            Statistic::variance().kind(),
+            &AlgorithmKind::Stat(StatFn::Variance)
+        );
+        assert_eq!(Statistic::rms().kind(), &AlgorithmKind::Stat(StatFn::Rms));
+        assert_eq!(
+            Statistic::peak_to_peak().kind(),
+            &AlgorithmKind::Stat(StatFn::PeakToPeak)
+        );
+    }
+
+    #[test]
+    fn sustained_requests_stride_fill_in() {
+        let s = Sustained::new(5);
+        assert!(s.needs_stride);
+        assert_eq!(
+            s.kind(),
+            &AlgorithmKind::Sustained {
+                count: 5,
+                max_gap: 1
+            }
+        );
+    }
+
+    #[test]
+    fn window_constructors_set_geometry() {
+        assert_eq!(
+            Window::rectangular(128).kind(),
+            &AlgorithmKind::Window {
+                size: 128,
+                hop: 128,
+                shape: WindowShapeParam::Rectangular
+            }
+        );
+        assert_eq!(
+            Window::with_hop(128, 64, WindowShapeParam::Hann).kind(),
+            &AlgorithmKind::Window {
+                size: 128,
+                hop: 64,
+                shape: WindowShapeParam::Hann
+            }
+        );
+    }
+}

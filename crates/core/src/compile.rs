@@ -1,0 +1,288 @@
+//! Compilation of pipelines to the intermediate language.
+//!
+//! "Upon receiving a wake-up condition configuration, the sensor manager
+//! generates its associated intermediate code" (paper §3.3). Node ids are
+//! assigned sequentially in declaration order, exactly like the paper's
+//! Fig. 2 example, and the last remaining branch is fed to `OUT`.
+//!
+//! Besides the mechanical translation, compilation fills in one platform
+//! detail the paper's API hides from developers: `sustained(count)`
+//! conditions need to know how far apart (in source samples) consecutive
+//! upstream emissions are. The compiler tracks each branch's emission
+//! stride (the window hop, or 1 for per-sample stages) and patches the
+//! stub's `max_gap` accordingly.
+
+use crate::pipeline::{PipelineStage, ProcessingPipeline};
+use sidewinder_ir::{AlgorithmKind, NodeId, Program, Source};
+
+/// A structural defect in a pipeline that prevents compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The pipeline has no stages at all.
+    Empty,
+    /// A pipeline-level algorithm was added before any branch existed.
+    NoOpenBranch,
+    /// A non-aggregating algorithm was added while several branches were
+    /// open; add an aggregator (`VectorMagnitude`, `AllOf`, `AnyOf`)
+    /// first.
+    MultipleBranchesOpen {
+        /// How many branches were open.
+        open: usize,
+    },
+    /// The pipeline ends with more than one open branch; "at the end of
+    /// the pipeline, there must be only one branch remaining" (paper
+    /// §3.2).
+    UnmergedBranches {
+        /// How many branches remain.
+        open: usize,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Empty => write!(f, "pipeline has no stages"),
+            CompileError::NoOpenBranch => {
+                write!(f, "algorithm added before any branch was opened")
+            }
+            CompileError::MultipleBranchesOpen { open } => write!(
+                f,
+                "non-aggregating algorithm added while {open} branches are open"
+            ),
+            CompileError::UnmergedBranches { open } => {
+                write!(f, "pipeline ends with {open} unmerged branches")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles a pipeline into an IR program.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for branch-structure defects. The returned
+/// program still needs [`Program::validate`] (the manager does both).
+pub fn compile(pipeline: &ProcessingPipeline) -> Result<Program, CompileError> {
+    if pipeline.is_empty() {
+        return Err(CompileError::Empty);
+    }
+    let mut program = Program::new();
+    let mut next_id = 1u32;
+    // Open branch heads: (source of next stage, emission stride in source
+    // samples).
+    let mut open: Vec<(Source, u64)> = Vec::new();
+
+    let mut alloc = |program: &mut Program, sources: Vec<Source>, kind: AlgorithmKind| -> NodeId {
+        let id = NodeId(next_id);
+        next_id += 1;
+        program.push_node(sources, id, kind);
+        id
+    };
+
+    for stage in &pipeline.stages {
+        match stage {
+            PipelineStage::Branches(branches) => {
+                for branch in branches {
+                    let mut head = Source::Channel(branch.source());
+                    let mut stride = 1u64;
+                    for algorithm in branch.chain() {
+                        let kind = patch_stride(algorithm, stride);
+                        stride = stride_after(&kind, stride);
+                        let id = alloc(&mut program, vec![head], kind);
+                        head = Source::Node(id);
+                    }
+                    open.push((head, stride));
+                }
+            }
+            PipelineStage::Algorithm(algorithm) => {
+                if open.is_empty() {
+                    return Err(CompileError::NoOpenBranch);
+                }
+                let aggregates = algorithm.kind().is_aggregator();
+                if !aggregates && open.len() > 1 {
+                    return Err(CompileError::MultipleBranchesOpen { open: open.len() });
+                }
+                let stride_in = open.iter().map(|(_, s)| *s).max().unwrap_or(1);
+                let kind = patch_stride(algorithm, stride_in);
+                let stride_out = stride_after(&kind, stride_in);
+                let sources: Vec<Source> = open.drain(..).map(|(s, _)| s).collect();
+                let id = alloc(&mut program, sources, kind);
+                open.push((Source::Node(id), stride_out));
+            }
+        }
+    }
+
+    match open.as_slice() {
+        [(Source::Node(last), _)] => {
+            program.push_out(*last);
+            Ok(program)
+        }
+        [(Source::Channel(_), _)] => {
+            // A bare channel with no algorithm cannot feed OUT.
+            Err(CompileError::NoOpenBranch)
+        }
+        rest => Err(CompileError::UnmergedBranches { open: rest.len() }),
+    }
+}
+
+/// Fills the `max_gap` of `sustained` stubs with the upstream stride.
+fn patch_stride(algorithm: &crate::algorithm::Algorithm, stride: u64) -> AlgorithmKind {
+    let mut kind = *algorithm.kind();
+    if algorithm.needs_stride {
+        if let AlgorithmKind::Sustained { count, .. } = kind {
+            kind = AlgorithmKind::Sustained {
+                count,
+                max_gap: stride.min(u32::MAX as u64) as u32,
+            };
+        }
+    }
+    kind
+}
+
+/// The emission stride (in source samples) after a stage, given the
+/// stride before it. Windows emit every `hop` source samples; everything
+/// else emits per input.
+fn stride_after(kind: &AlgorithmKind, stride_in: u64) -> u64 {
+    match kind {
+        AlgorithmKind::Window { hop, .. } => stride_in * *hop as u64,
+        _ => stride_in,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{
+        DominantRatio, Fft, HighPassFilter, MinThreshold, MovingAverage, SpectralMagnitude,
+        Sustained, VectorMagnitude, Window,
+    };
+    use crate::pipeline::ProcessingBranch;
+    use sidewinder_sensors::SensorChannel;
+
+    fn significant_motion() -> ProcessingPipeline {
+        let mut pipeline = ProcessingPipeline::new();
+        let mut branches = vec![
+            ProcessingBranch::new(SensorChannel::AccX),
+            ProcessingBranch::new(SensorChannel::AccY),
+            ProcessingBranch::new(SensorChannel::AccZ),
+        ];
+        for b in &mut branches {
+            b.add(MovingAverage::new(10));
+        }
+        pipeline.add_branches(branches);
+        pipeline.add(VectorMagnitude::new());
+        pipeline.add(MinThreshold::new(15.0));
+        pipeline
+    }
+
+    #[test]
+    fn compiles_fig2_to_the_paper_ir() {
+        let program = compile(&significant_motion()).unwrap();
+        program.validate().unwrap();
+        assert_eq!(
+            program.to_string(),
+            "\
+ACC_X -> movingAvg(id=1, params={10});
+ACC_Y -> movingAvg(id=2, params={10});
+ACC_Z -> movingAvg(id=3, params={10});
+1,2,3 -> vectorMagnitude(id=4);
+4 -> minThreshold(id=5, params={15});
+5 -> OUT;
+"
+        );
+    }
+
+    #[test]
+    fn compiles_siren_shape_and_patches_sustained_gap() {
+        let mut pipeline = ProcessingPipeline::new();
+        let mut mic = ProcessingBranch::new(SensorChannel::Mic);
+        mic.add(Window::hamming(256))
+            .add(HighPassFilter::new(750.0))
+            .add(Fft::new())
+            .add(SpectralMagnitude::new())
+            .add(DominantRatio::new())
+            .add(MinThreshold::new(4.0))
+            .add(Sustained::new(3));
+        pipeline.add_branch(mic);
+        let program = compile(&pipeline).unwrap();
+        program.validate().unwrap();
+        // The sustained stage must have inherited the window hop of 256.
+        let sustained = program
+            .nodes()
+            .find_map(|(_, _, kind)| match kind {
+                AlgorithmKind::Sustained { count, max_gap } => Some((*count, *max_gap)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(sustained, (3, 256));
+    }
+
+    #[test]
+    fn empty_pipeline_is_rejected() {
+        assert_eq!(
+            compile(&ProcessingPipeline::new()),
+            Err(CompileError::Empty)
+        );
+    }
+
+    #[test]
+    fn algorithm_before_branches_is_rejected() {
+        let mut p = ProcessingPipeline::new();
+        p.add(MinThreshold::new(0.0));
+        assert_eq!(compile(&p), Err(CompileError::NoOpenBranch));
+    }
+
+    #[test]
+    fn non_aggregator_with_open_branches_is_rejected() {
+        let mut p = ProcessingPipeline::new();
+        p.add_branches([
+            ProcessingBranch::new(SensorChannel::AccX),
+            ProcessingBranch::new(SensorChannel::AccY),
+        ]);
+        p.add(MinThreshold::new(0.0));
+        assert_eq!(
+            compile(&p),
+            Err(CompileError::MultipleBranchesOpen { open: 2 })
+        );
+    }
+
+    #[test]
+    fn unmerged_branches_are_rejected() {
+        let mut p = ProcessingPipeline::new();
+        let mut a = ProcessingBranch::new(SensorChannel::AccX);
+        a.add(MovingAverage::new(2));
+        let mut b = ProcessingBranch::new(SensorChannel::AccY);
+        b.add(MovingAverage::new(2));
+        p.add_branches([a, b]);
+        assert_eq!(compile(&p), Err(CompileError::UnmergedBranches { open: 2 }));
+    }
+
+    #[test]
+    fn bare_channel_branch_is_rejected() {
+        let mut p = ProcessingPipeline::new();
+        p.add_branch(ProcessingBranch::new(SensorChannel::AccX));
+        assert_eq!(compile(&p), Err(CompileError::NoOpenBranch));
+    }
+
+    #[test]
+    fn branch_level_algorithms_keep_declaration_order_ids() {
+        let mut p = ProcessingPipeline::new();
+        let mut b = ProcessingBranch::new(SensorChannel::AccX);
+        b.add(MovingAverage::new(3)).add(MovingAverage::new(5));
+        p.add_branch(b);
+        p.add(MinThreshold::new(1.0));
+        let program = compile(&p).unwrap();
+        let ids: Vec<u32> = program.nodes().map(|(_, id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(CompileError::Empty.to_string().contains("no stages"));
+        assert!(CompileError::UnmergedBranches { open: 2 }
+            .to_string()
+            .contains("2"));
+    }
+}

@@ -1,0 +1,397 @@
+//! Pipeline fusion across concurrent applications.
+//!
+//! The paper's future work (§7) suggests: "When receiving multiple wake-up
+//! conditions, the sensor manager can attempt to improve performance by
+//! combining the pipelines that use common algorithms." This module
+//! implements that optimization: structurally identical nodes (same
+//! algorithm, same parameters, same already-fused inputs) are shared
+//! across programs, so two applications that each open with
+//! `ACC_X -> movingAvg(10)` run a single moving-average instance on the
+//! hub.
+//!
+//! [`FusionReport`] quantifies the saving; [`FusedRuntime`] executes the
+//! fused node set with one `OUT` watch per original program.
+
+use sidewinder_hub::cost::PipelineCost;
+use sidewinder_hub::instance::AlgoInstance;
+use sidewinder_hub::runtime::{ChannelRates, WakeEvent};
+use sidewinder_hub::value::Tagged;
+use sidewinder_hub::HubError;
+use sidewinder_ir::{AlgorithmKind, NodeId, Program, Source};
+use sidewinder_sensors::SensorChannel;
+use std::collections::BTreeMap;
+
+/// Structural key of a node: its inputs (already mapped into fused id
+/// space) plus its algorithm configuration.
+#[derive(Debug, Clone, PartialEq)]
+struct NodeKey {
+    sources: Vec<Source>,
+    kind: AlgorithmKind,
+}
+
+/// One fused node.
+#[derive(Debug, Clone)]
+struct FusedNode {
+    sources: Vec<Source>,
+    kind: AlgorithmKind,
+}
+
+/// The result of fusing several programs.
+#[derive(Debug, Clone)]
+pub struct FusedPlan {
+    nodes: Vec<FusedNode>,
+    /// For each input program, the fused node that feeds its `OUT`.
+    outs: Vec<NodeId>,
+}
+
+/// Savings summary for a fusion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionReport {
+    /// Node count if every program ran its own instances.
+    pub unfused_nodes: usize,
+    /// Node count after sharing.
+    pub fused_nodes: usize,
+    /// Hub compute demand without sharing, flops/s.
+    pub unfused_flops_per_s: f64,
+    /// Hub compute demand with sharing, flops/s.
+    pub fused_flops_per_s: f64,
+}
+
+impl FusionReport {
+    /// Fraction of node instances eliminated, in `[0, 1]`.
+    pub fn node_saving(&self) -> f64 {
+        if self.unfused_nodes == 0 {
+            0.0
+        } else {
+            1.0 - self.fused_nodes as f64 / self.unfused_nodes as f64
+        }
+    }
+
+    /// Fraction of hub compute eliminated, in `[0, 1]`.
+    pub fn compute_saving(&self) -> f64 {
+        if self.unfused_flops_per_s <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.fused_flops_per_s / self.unfused_flops_per_s
+        }
+    }
+}
+
+impl FusedPlan {
+    /// Fuses a set of validated programs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HubError::Invalid`] if any input program fails
+    /// validation.
+    pub fn fuse(programs: &[&Program]) -> Result<FusedPlan, HubError> {
+        let mut nodes: Vec<FusedNode> = Vec::new();
+        let mut keys: Vec<NodeKey> = Vec::new();
+        let mut outs = Vec::new();
+
+        for program in programs {
+            program.validate()?;
+            // Map from this program's ids to fused ids.
+            let mut id_map: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+            for (sources, id, kind) in program.nodes() {
+                let fused_sources: Vec<Source> = sources
+                    .iter()
+                    .map(|s| match s {
+                        Source::Channel(c) => Source::Channel(*c),
+                        Source::Node(n) => Source::Node(id_map[n]),
+                    })
+                    .collect();
+                let key = NodeKey {
+                    sources: fused_sources.clone(),
+                    kind: *kind,
+                };
+                let fused_id = match keys.iter().position(|k| *k == key) {
+                    Some(pos) => NodeId(pos as u32 + 1),
+                    None => {
+                        keys.push(key);
+                        nodes.push(FusedNode {
+                            sources: fused_sources,
+                            kind: *kind,
+                        });
+                        NodeId(nodes.len() as u32)
+                    }
+                };
+                id_map.insert(id, fused_id);
+            }
+            let out = program
+                .out_source()
+                .expect("validated programs have an OUT");
+            outs.push(id_map[&out]);
+        }
+        Ok(FusedPlan { nodes, outs })
+    }
+
+    /// Number of fused node instances.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The fused node feeding program `index`'s `OUT`.
+    pub fn out_of(&self, index: usize) -> Option<NodeId> {
+        self.outs.get(index).copied()
+    }
+
+    /// Renders the fused node set as a single multi-`OUT` report (for
+    /// inspection; not parseable IR since the IR grammar allows one OUT).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let sources: Vec<String> = node.sources.iter().map(|x| x.to_string()).collect();
+            let _ = writeln!(
+                s,
+                "{} -> {}(id={})",
+                sources.join(","),
+                node.kind.ir_name(),
+                i + 1
+            );
+        }
+        for (p, out) in self.outs.iter().enumerate() {
+            let _ = writeln!(s, "{out} -> OUT[{p}]");
+        }
+        s
+    }
+
+    /// Computes the savings report for the fusion of `programs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HubError::Invalid`] if any program fails validation.
+    pub fn report(programs: &[&Program], rates: &ChannelRates) -> Result<FusionReport, HubError> {
+        let plan = FusedPlan::fuse(programs)?;
+        let unfused_nodes: usize = programs.iter().map(|p| p.nodes().count()).sum();
+        let unfused_flops: f64 = programs
+            .iter()
+            .map(|p| PipelineCost::analyze(p, rates).total_flops_per_second())
+            .sum();
+        // Build a single-program view of the fused plan to cost it. Each
+        // fused node appears once.
+        let mut fused_program = Program::new();
+        for (i, node) in plan.nodes.iter().enumerate() {
+            fused_program.push_node(node.sources.clone(), NodeId(i as u32 + 1), node.kind);
+        }
+        let fused_flops = PipelineCost::analyze(&fused_program, rates).total_flops_per_second();
+        Ok(FusionReport {
+            unfused_nodes,
+            fused_nodes: plan.nodes.len(),
+            unfused_flops_per_s: unfused_flops,
+            fused_flops_per_s: fused_flops,
+        })
+    }
+}
+
+/// Executes a fused plan: shared instances, one wake stream per original
+/// program.
+#[derive(Debug)]
+pub struct FusedRuntime {
+    instances: Vec<(AlgoInstance, Vec<Source>)>,
+    outs: Vec<NodeId>,
+    channel_seq: BTreeMap<SensorChannel, u64>,
+}
+
+impl FusedRuntime {
+    /// Loads a fused plan with the given channel rates.
+    pub fn load(plan: &FusedPlan, rates: &ChannelRates) -> FusedRuntime {
+        let mut node_rates: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let mut instances = Vec::new();
+        for (i, node) in plan.nodes.iter().enumerate() {
+            let id = NodeId(i as u32 + 1);
+            let rate = match node.sources.first() {
+                Some(Source::Channel(c)) => rates.rate_of(*c),
+                Some(Source::Node(n)) => node_rates[n],
+                None => 0.0,
+            };
+            node_rates.insert(id, rate);
+            instances.push((
+                AlgoInstance::new(id, &node.kind, node.sources.len(), rate),
+                node.sources.clone(),
+            ));
+        }
+        FusedRuntime {
+            instances,
+            outs: plan.outs.clone(),
+            channel_seq: BTreeMap::new(),
+        }
+    }
+
+    /// Feeds one sample; returns `(program_index, wake)` pairs for every
+    /// original program whose condition fired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HubError::Exec`] if an instance fails.
+    pub fn push_sample(
+        &mut self,
+        channel: SensorChannel,
+        sample: f64,
+    ) -> Result<Vec<(usize, WakeEvent)>, HubError> {
+        let seq_entry = self.channel_seq.entry(channel).or_insert(0);
+        let seq = *seq_entry;
+        *seq_entry += 1;
+        let sample_tag = Tagged::new(seq, sample);
+
+        let mut fresh: BTreeMap<NodeId, Tagged> = BTreeMap::new();
+        for (instance, sources) in &mut self.instances {
+            let mut produced = None;
+            for (port, source) in sources.iter().enumerate() {
+                let input = match source {
+                    Source::Channel(c) if *c == channel => Some(&sample_tag),
+                    Source::Channel(_) => None,
+                    Source::Node(n) => fresh.get(n),
+                };
+                if let Some(input) = input {
+                    instance.feed(port, input).map_err(HubError::from)?;
+                    if let Some(r) = instance.take_result() {
+                        produced = Some(r);
+                    }
+                }
+            }
+            if let Some(r) = produced {
+                fresh.insert(instance.id(), r);
+            }
+        }
+
+        let mut wakes = Vec::new();
+        for (program_idx, out) in self.outs.iter().enumerate() {
+            if let Some(tagged) = fresh.get(out) {
+                if let Some(value) = tagged.value.as_scalar() {
+                    wakes.push((
+                        program_idx,
+                        WakeEvent {
+                            seq: tagged.seq,
+                            value,
+                        },
+                    ));
+                }
+            }
+        }
+        Ok(wakes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(text: &str) -> Program {
+        text.parse().unwrap()
+    }
+
+    /// Two significant-motion variants sharing their moving averages and
+    /// vector magnitude, differing only in threshold.
+    fn sig_motion(threshold: f64) -> Program {
+        program(&format!(
+            "ACC_X -> movingAvg(id=1, params={{10}});
+             ACC_Y -> movingAvg(id=2, params={{10}});
+             ACC_Z -> movingAvg(id=3, params={{10}});
+             1,2,3 -> vectorMagnitude(id=4);
+             4 -> minThreshold(id=5, params={{{threshold}}});
+             5 -> OUT;"
+        ))
+    }
+
+    #[test]
+    fn identical_prefixes_are_shared() {
+        let a = sig_motion(15.0);
+        let b = sig_motion(30.0);
+        let plan = FusedPlan::fuse(&[&a, &b]).unwrap();
+        // 10 nodes unfused; fused: 3 movingAvg + 1 vm + 2 thresholds = 6.
+        assert_eq!(plan.node_count(), 6);
+        assert_ne!(plan.out_of(0), plan.out_of(1));
+        assert!(plan.describe().contains("OUT[1]"));
+    }
+
+    #[test]
+    fn identical_programs_fuse_completely() {
+        let a = sig_motion(15.0);
+        let b = sig_motion(15.0);
+        let plan = FusedPlan::fuse(&[&a, &b]).unwrap();
+        assert_eq!(plan.node_count(), 5);
+        assert_eq!(plan.out_of(0), plan.out_of(1));
+    }
+
+    #[test]
+    fn unrelated_programs_do_not_fuse() {
+        let a = sig_motion(15.0);
+        let b = program(
+            "MIC -> window(id=1, params={64, 64, 0});
+             1 -> rms(id=2);
+             2 -> minThreshold(id=3, params={0.5});
+             3 -> OUT;",
+        );
+        let plan = FusedPlan::fuse(&[&a, &b]).unwrap();
+        assert_eq!(plan.node_count(), 8);
+    }
+
+    #[test]
+    fn report_quantifies_savings() {
+        let a = sig_motion(15.0);
+        let b = sig_motion(30.0);
+        let report = FusionReport::default_for_test(&a, &b);
+        assert_eq!(report.unfused_nodes, 10);
+        assert_eq!(report.fused_nodes, 6);
+        assert!(report.node_saving() > 0.39 && report.node_saving() < 0.41);
+        assert!(report.compute_saving() > 0.4);
+        assert!(report.fused_flops_per_s < report.unfused_flops_per_s);
+    }
+
+    impl FusionReport {
+        fn default_for_test(a: &Program, b: &Program) -> FusionReport {
+            FusedPlan::report(&[a, b], &ChannelRates::default()).unwrap()
+        }
+    }
+
+    #[test]
+    fn fusion_rejects_invalid_programs() {
+        let bad = program("ACC_X -> movingAvg(id=1, params={10});");
+        assert!(FusedPlan::fuse(&[&bad]).is_err());
+    }
+
+    #[test]
+    fn fused_runtime_delivers_per_program_wakes() {
+        let low = sig_motion(5.0);
+        let high = sig_motion(50.0);
+        let plan = FusedPlan::fuse(&[&low, &high]).unwrap();
+        let mut rt = FusedRuntime::load(&plan, &ChannelRates::default());
+        let mut low_wakes = 0;
+        let mut high_wakes = 0;
+        for _ in 0..20 {
+            for c in SensorChannel::ACCEL {
+                for (idx, _) in rt.push_sample(c, 6.0).unwrap() {
+                    match idx {
+                        0 => low_wakes += 1,
+                        1 => high_wakes += 1,
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+        assert!(low_wakes > 0);
+        assert_eq!(high_wakes, 0);
+    }
+
+    #[test]
+    fn fused_runtime_matches_separate_runtimes() {
+        use sidewinder_hub::runtime::HubRuntime;
+        let a = sig_motion(8.0);
+        let plan = FusedPlan::fuse(&[&a]).unwrap();
+        let mut fused = FusedRuntime::load(&plan, &ChannelRates::default());
+        let mut solo = HubRuntime::load(&a, &ChannelRates::default()).unwrap();
+        for i in 0..60 {
+            let x = (i as f64 * 0.37).sin() * 12.0;
+            for c in SensorChannel::ACCEL {
+                let fw = fused.push_sample(c, x).unwrap();
+                let sw = solo.push_sample(c, x).unwrap();
+                assert_eq!(fw.len(), sw.len());
+                for ((_, f), s) in fw.iter().zip(&sw) {
+                    assert_eq!(f, s);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Wake-up callbacks.
+
+/// Identifier of a registered wake-up condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConditionId(pub u64);
+
+impl std::fmt::Display for ConditionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "condition#{}", self.0)
+    }
+}
+
+/// What sensor data the hub hands to the application on a wake-up.
+///
+/// The paper's §3.8 "Access to sensor data" leaves this as an API design
+/// question — "some applications may be interested in the raw sensor
+/// data, while others may want to use the filtered data or extracted
+/// features" — and notes its own implementation passes a raw buffer.
+/// Both options are offered here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DataDelivery {
+    /// Deliver only the triggering feature value (cheapest).
+    ValueOnly,
+    /// Deliver a buffer of the most recent raw samples from every channel
+    /// the condition reads (the paper's default behaviour).
+    RawBuffer {
+        /// How much history to deliver.
+        window: sidewinder_sensors::Micros,
+    },
+}
+
+impl Default for DataDelivery {
+    /// The paper's implementation choice: a raw buffer (4 s).
+    fn default() -> Self {
+        DataDelivery::RawBuffer {
+            window: sidewinder_sensors::Micros::from_secs(4),
+        }
+    }
+}
+
+/// The event delivered to a listener when its wake-up condition fires —
+/// the analogue of the paper's `OnSensorEvent(SensorData data)` callback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorEvent {
+    /// Which registered condition fired.
+    pub condition: ConditionId,
+    /// Sequence number (source-sample index) of the triggering value.
+    pub seq: u64,
+    /// The scalar value that reached `OUT`.
+    pub value: f64,
+    /// Raw sample history per channel the condition reads, when the
+    /// condition was registered with [`DataDelivery::RawBuffer`];
+    /// empty under [`DataDelivery::ValueOnly`].
+    pub data: Vec<(sidewinder_sensors::SensorChannel, Vec<f64>)>,
+}
+
+/// The callback registered together with a wake-up condition (the paper's
+/// `SensorEventListener`).
+///
+/// Implemented for all `FnMut(&SensorEvent)` closures, so tests and
+/// applications can register inline handlers.
+pub trait SensorEventListener {
+    /// Invoked on the "main processor" when the condition is satisfied.
+    fn on_sensor_event(&mut self, event: &SensorEvent);
+}
+
+impl<F: FnMut(&SensorEvent)> SensorEventListener for F {
+    fn on_sensor_event(&mut self, event: &SensorEvent) {
+        self(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_listeners() {
+        let mut seen = Vec::new();
+        {
+            let mut listener = |e: &SensorEvent| seen.push(e.value);
+            listener.on_sensor_event(&SensorEvent {
+                condition: ConditionId(1),
+                seq: 7,
+                value: 3.5,
+                data: Vec::new(),
+            });
+        }
+        assert_eq!(seen, vec![3.5]);
+    }
+
+    #[test]
+    fn default_delivery_is_a_raw_buffer() {
+        assert_eq!(
+            DataDelivery::default(),
+            DataDelivery::RawBuffer {
+                window: sidewinder_sensors::Micros::from_secs(4)
+            }
+        );
+    }
+
+    #[test]
+    fn condition_id_displays() {
+        assert_eq!(ConditionId(4).to_string(), "condition#4");
+    }
+}

@@ -1,0 +1,485 @@
+//! The Sidewinder sensor manager.
+//!
+//! [`SidewinderSensorManager`] plays the role of the paper's OS component
+//! (§2.1.3, §3.1): it accepts wake-up conditions through the developer
+//! API, compiles them to the intermediate language, validates them, sizes
+//! them onto the cheapest capable microcontroller, pushes them to hub
+//! runtimes, and invokes the registered [`SensorEventListener`] when a
+//! condition fires.
+
+use crate::compile::CompileError;
+use crate::listener::{ConditionId, DataDelivery, SensorEvent, SensorEventListener};
+use crate::pipeline::ProcessingPipeline;
+use sidewinder_hub::mcu::{CapacityError, Mcu};
+use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+use sidewinder_hub::HubError;
+use sidewinder_ir::Program;
+use sidewinder_sensors::SensorChannel;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Errors raised while registering or running wake-up conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManagerError {
+    /// The pipeline could not be compiled.
+    Compile(CompileError),
+    /// The compiled program failed validation or execution on the hub.
+    Hub(HubError),
+    /// No catalog microcontroller can run the pipeline in real time.
+    Capacity(CapacityError),
+    /// An unknown condition id was referenced.
+    UnknownCondition(ConditionId),
+}
+
+impl std::fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManagerError::Compile(e) => write!(f, "compilation failed: {e}"),
+            ManagerError::Hub(e) => write!(f, "hub rejected the condition: {e}"),
+            ManagerError::Capacity(e) => write!(f, "no suitable microcontroller: {e}"),
+            ManagerError::UnknownCondition(id) => write!(f, "unknown {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ManagerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ManagerError::Compile(e) => Some(e),
+            ManagerError::Hub(e) => Some(e),
+            ManagerError::Capacity(e) => Some(e),
+            ManagerError::UnknownCondition(_) => None,
+        }
+    }
+}
+
+impl From<CompileError> for ManagerError {
+    fn from(e: CompileError) -> Self {
+        ManagerError::Compile(e)
+    }
+}
+
+impl From<HubError> for ManagerError {
+    fn from(e: HubError) -> Self {
+        ManagerError::Hub(e)
+    }
+}
+
+impl From<CapacityError> for ManagerError {
+    fn from(e: CapacityError) -> Self {
+        ManagerError::Capacity(e)
+    }
+}
+
+/// A registered condition: its compiled program, sized MCU, hub runtime,
+/// and listener.
+struct Registered {
+    id: ConditionId,
+    program: Program,
+    channels: Vec<SensorChannel>,
+    delivery: DataDelivery,
+    mcu: Mcu,
+    runtime: HubRuntime,
+    listener: Box<dyn SensorEventListener>,
+}
+
+impl std::fmt::Debug for Registered {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registered")
+            .field("id", &self.id)
+            .field("mcu", &self.mcu.name)
+            .field("nodes", &self.runtime.node_count())
+            .finish()
+    }
+}
+
+/// The system service applications obtain to register wake-up conditions.
+#[derive(Debug, Default)]
+pub struct SidewinderSensorManager {
+    rates: ChannelRates,
+    conditions: Vec<Registered>,
+    next_id: u64,
+    /// Recent raw samples per channel, kept only as long as some
+    /// registered condition wants a raw buffer delivered on wake-up.
+    history: BTreeMap<SensorChannel, VecDeque<f64>>,
+}
+
+impl SidewinderSensorManager {
+    /// Creates a manager with each channel at its default sample rate.
+    pub fn new() -> Self {
+        SidewinderSensorManager::default()
+    }
+
+    /// Creates a manager with explicit channel rates.
+    pub fn with_rates(rates: ChannelRates) -> Self {
+        SidewinderSensorManager {
+            rates,
+            ..SidewinderSensorManager::default()
+        }
+    }
+
+    /// Registers a wake-up condition with its listener (the paper's
+    /// `sManager.push(pipeline, this)`).
+    ///
+    /// Compiles the pipeline to IR, validates it, picks the cheapest
+    /// microcontroller able to run it in real time, and loads it into a
+    /// hub runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ManagerError`] if any of those steps fails; nothing is
+    /// registered on error.
+    pub fn push(
+        &mut self,
+        pipeline: &ProcessingPipeline,
+        listener: impl SensorEventListener + 'static,
+    ) -> Result<ConditionId, ManagerError> {
+        self.push_with_delivery(pipeline, DataDelivery::default(), listener)
+    }
+
+    /// Registers a wake-up condition with an explicit data-delivery
+    /// choice (paper S3.8 "Access to sensor data").
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SidewinderSensorManager::push`].
+    pub fn push_with_delivery(
+        &mut self,
+        pipeline: &ProcessingPipeline,
+        delivery: DataDelivery,
+        listener: impl SensorEventListener + 'static,
+    ) -> Result<ConditionId, ManagerError> {
+        let program = pipeline.compile()?;
+        let mcu = Mcu::cheapest_for(&program, &self.rates)?;
+        let runtime = HubRuntime::load(&program, &self.rates)?;
+        let channels = program.channels();
+        let id = ConditionId(self.next_id);
+        self.next_id += 1;
+        if let DataDelivery::RawBuffer { .. } = delivery {
+            for &channel in &channels {
+                self.history.entry(channel).or_default();
+            }
+        }
+        self.conditions.push(Registered {
+            id,
+            program,
+            channels,
+            delivery,
+            mcu,
+            runtime,
+            listener: Box::new(listener),
+        });
+        Ok(id)
+    }
+
+    /// Samples of history to keep for `channel`: the largest raw-buffer
+    /// request among registered conditions reading it.
+    fn history_cap(&self, channel: SensorChannel) -> usize {
+        self.conditions
+            .iter()
+            .filter(|c| c.channels.contains(&channel))
+            .filter_map(|c| match c.delivery {
+                DataDelivery::RawBuffer { window } => {
+                    Some(window.samples_at(self.rates.rate_of(channel)))
+                }
+                DataDelivery::ValueOnly => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Removes a registered condition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::UnknownCondition`] if `id` is not
+    /// registered.
+    pub fn remove(&mut self, id: ConditionId) -> Result<(), ManagerError> {
+        let idx = self
+            .conditions
+            .iter()
+            .position(|c| c.id == id)
+            .ok_or(ManagerError::UnknownCondition(id))?;
+        self.conditions.remove(idx);
+        Ok(())
+    }
+
+    /// Feeds one sensor sample to every registered condition, invoking
+    /// listeners whose conditions fire.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first hub execution error; other conditions still
+    /// receive the sample.
+    pub fn on_sample(&mut self, channel: SensorChannel, value: f64) -> Result<(), ManagerError> {
+        // Record history for raw-buffer delivery. The cap can shrink when
+        // conditions are removed, so trim rather than pop once.
+        let cap = self.history_cap(channel);
+        if cap > 0 {
+            let ring = self.history.entry(channel).or_default();
+            while ring.len() >= cap {
+                ring.pop_front();
+            }
+            ring.push_back(value);
+        }
+
+        let mut first_err = None;
+        for condition in &mut self.conditions {
+            match condition.runtime.push_sample(channel, value) {
+                Ok(wakes) => {
+                    for wake in wakes {
+                        let data = match condition.delivery {
+                            DataDelivery::ValueOnly => Vec::new(),
+                            DataDelivery::RawBuffer { .. } => condition
+                                .channels
+                                .iter()
+                                .map(|&c| {
+                                    (
+                                        c,
+                                        self.history
+                                            .get(&c)
+                                            .map(|ring| ring.iter().copied().collect())
+                                            .unwrap_or_default(),
+                                    )
+                                })
+                                .collect(),
+                        };
+                        condition.listener.on_sensor_event(&SensorEvent {
+                            condition: condition.id,
+                            seq: wake.seq,
+                            value: wake.value,
+                            data,
+                        });
+                    }
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
+    }
+
+    /// Number of registered conditions.
+    pub fn condition_count(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// The compiled program of a condition.
+    pub fn program(&self, id: ConditionId) -> Option<&Program> {
+        self.conditions
+            .iter()
+            .find(|c| c.id == id)
+            .map(|c| &c.program)
+    }
+
+    /// The microcontroller a condition was sized onto.
+    pub fn mcu(&self, id: ConditionId) -> Option<Mcu> {
+        self.conditions.iter().find(|c| c.id == id).map(|c| c.mcu)
+    }
+
+    /// Total wake-ups a condition has raised.
+    pub fn wake_count(&self, id: ConditionId) -> Option<u64> {
+        self.conditions
+            .iter()
+            .find(|c| c.id == id)
+            .map(|c| c.runtime.wake_count())
+    }
+
+    /// The hub's always-on power draw in milliwatts: the most expensive
+    /// microcontroller any registered condition needs (one hub serves all
+    /// conditions, sized for the most demanding).
+    pub fn hub_power_mw(&self) -> f64 {
+        self.conditions
+            .iter()
+            .map(|c| c.mcu.awake_power_mw)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{MinThreshold, MovingAverage, VectorMagnitude};
+    use crate::pipeline::ProcessingBranch;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn significant_motion(threshold: f64) -> ProcessingPipeline {
+        let mut p = ProcessingPipeline::new();
+        let mut branches = vec![
+            ProcessingBranch::new(SensorChannel::AccX),
+            ProcessingBranch::new(SensorChannel::AccY),
+            ProcessingBranch::new(SensorChannel::AccZ),
+        ];
+        for b in &mut branches {
+            b.add(MovingAverage::new(10));
+        }
+        p.add_branches(branches);
+        p.add(VectorMagnitude::new());
+        p.add(MinThreshold::new(threshold));
+        p
+    }
+
+    #[test]
+    fn push_compiles_sizes_and_registers() {
+        let mut m = SidewinderSensorManager::new();
+        let id = m
+            .push(&significant_motion(15.0), |_: &SensorEvent| {})
+            .unwrap();
+        assert_eq!(m.condition_count(), 1);
+        assert_eq!(m.mcu(id).unwrap(), Mcu::MSP430);
+        assert_eq!(m.hub_power_mw(), 3.6);
+        assert!(m
+            .program(id)
+            .unwrap()
+            .to_string()
+            .contains("vectorMagnitude"));
+        assert_eq!(m.wake_count(id), Some(0));
+    }
+
+    #[test]
+    fn listener_fires_on_wake() {
+        let mut m = SidewinderSensorManager::new();
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let sink = events.clone();
+        let id = m
+            .push(&significant_motion(15.0), move |e: &SensorEvent| {
+                sink.borrow_mut().push(e.clone());
+            })
+            .unwrap();
+        for _ in 0..20 {
+            for c in SensorChannel::ACCEL {
+                m.on_sample(c, 12.0).unwrap();
+            }
+        }
+        let events = events.borrow();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.condition == id));
+        assert!(events.iter().all(|e| e.value >= 15.0));
+        assert_eq!(m.wake_count(id), Some(events.len() as u64));
+    }
+
+    #[test]
+    fn multiple_conditions_run_concurrently() {
+        // Paper §1 raises concurrent applications as a challenge for fully
+        // programmable hubs; the manager supports them naturally.
+        let mut m = SidewinderSensorManager::new();
+        let low = m
+            .push(&significant_motion(5.0), |_: &SensorEvent| {})
+            .unwrap();
+        let high = m
+            .push(&significant_motion(50.0), |_: &SensorEvent| {})
+            .unwrap();
+        for _ in 0..20 {
+            for c in SensorChannel::ACCEL {
+                m.on_sample(c, 6.0).unwrap();
+            }
+        }
+        assert!(m.wake_count(low).unwrap() > 0);
+        assert_eq!(m.wake_count(high), Some(0));
+    }
+
+    #[test]
+    fn remove_unregisters() {
+        let mut m = SidewinderSensorManager::new();
+        let id = m
+            .push(&significant_motion(15.0), |_: &SensorEvent| {})
+            .unwrap();
+        m.remove(id).unwrap();
+        assert_eq!(m.condition_count(), 0);
+        assert_eq!(m.remove(id), Err(ManagerError::UnknownCondition(id)));
+        assert!(m.mcu(id).is_none());
+    }
+
+    #[test]
+    fn push_rejects_broken_pipelines() {
+        let mut m = SidewinderSensorManager::new();
+        let err = m
+            .push(&ProcessingPipeline::new(), |_: &SensorEvent| {})
+            .unwrap_err();
+        assert!(matches!(err, ManagerError::Compile(CompileError::Empty)));
+        assert_eq!(m.condition_count(), 0);
+    }
+
+    #[test]
+    fn hub_power_tracks_most_demanding_condition() {
+        use crate::algorithm::{DominantRatio, Fft, MinThreshold, SpectralMagnitude, Window};
+        let mut m = SidewinderSensorManager::new();
+        m.push(&significant_motion(15.0), |_: &SensorEvent| {})
+            .unwrap();
+        assert_eq!(m.hub_power_mw(), Mcu::MSP430.awake_power_mw);
+
+        let mut siren = ProcessingPipeline::new();
+        let mut mic = ProcessingBranch::new(SensorChannel::Mic);
+        mic.add(Window::hamming(256))
+            .add(Fft::new())
+            .add(SpectralMagnitude::new())
+            .add(DominantRatio::new())
+            .add(MinThreshold::new(4.0));
+        siren.add_branch(mic);
+        let id = m.push(&siren, |_: &SensorEvent| {}).unwrap();
+        assert_eq!(m.mcu(id).unwrap(), Mcu::LM4F120);
+        assert_eq!(m.hub_power_mw(), Mcu::LM4F120.awake_power_mw);
+    }
+
+    #[test]
+    fn raw_buffer_delivery_hands_over_recent_samples() {
+        let mut m = SidewinderSensorManager::new();
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let sink = events.clone();
+        m.push_with_delivery(
+            &significant_motion(10.0),
+            DataDelivery::RawBuffer {
+                window: sidewinder_sensors::Micros::from_secs(1),
+            },
+            move |e: &SensorEvent| sink.borrow_mut().push(e.clone()),
+        )
+        .unwrap();
+        for i in 0..60 {
+            for c in SensorChannel::ACCEL {
+                m.on_sample(c, 11.0 + i as f64 * 0.01).unwrap();
+            }
+        }
+        let events = events.borrow();
+        assert!(!events.is_empty());
+        let event = events.last().unwrap();
+        // One buffer per channel the condition reads.
+        let channels: Vec<_> = event.data.iter().map(|(c, _)| *c).collect();
+        assert_eq!(channels, SensorChannel::ACCEL.to_vec());
+        for (_, buffer) in &event.data {
+            // 1 s at 50 Hz, capped at 50 samples, holding recent values.
+            assert!(buffer.len() <= 50 && buffer.len() > 10, "{}", buffer.len());
+            assert!(buffer.iter().all(|v| *v > 10.0));
+        }
+    }
+
+    #[test]
+    fn value_only_delivery_has_no_buffers() {
+        let mut m = SidewinderSensorManager::new();
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let sink = events.clone();
+        m.push_with_delivery(
+            &significant_motion(10.0),
+            DataDelivery::ValueOnly,
+            move |e: &SensorEvent| sink.borrow_mut().push(e.clone()),
+        )
+        .unwrap();
+        for _ in 0..30 {
+            for c in SensorChannel::ACCEL {
+                m.on_sample(c, 12.0).unwrap();
+            }
+        }
+        let events = events.borrow();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.data.is_empty()));
+    }
+
+    #[test]
+    fn error_display_chains() {
+        let e = ManagerError::Compile(CompileError::Empty);
+        assert!(e.to_string().contains("compilation failed"));
+        let e = ManagerError::UnknownCondition(ConditionId(9));
+        assert!(e.to_string().contains("condition#9"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Processing pipelines and branches.
+//!
+//! A [`ProcessingBranch`] is "the flow of data from either a sensor to an
+//! algorithm or between two algorithms"; a [`ProcessingPipeline`]
+//! "represents the entire wake-up condition from the input sensors to the
+//! final output" (paper §3.2). Branches start at sensor channels; adding
+//! an aggregation algorithm to the pipeline merges all open branches into
+//! one; at the end exactly one branch must remain.
+
+use crate::algorithm::Algorithm;
+use sidewinder_sensors::SensorChannel;
+
+/// A chain of algorithms rooted at a sensor channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessingBranch {
+    source: SensorChannel,
+    chain: Vec<Algorithm>,
+}
+
+impl ProcessingBranch {
+    /// Starts a branch at a sensor channel.
+    pub fn new(source: SensorChannel) -> Self {
+        ProcessingBranch {
+            source,
+            chain: Vec::new(),
+        }
+    }
+
+    /// Appends an algorithm to the branch, returning `&mut self` for
+    /// chaining.
+    pub fn add(&mut self, algorithm: Algorithm) -> &mut Self {
+        self.chain.push(algorithm);
+        self
+    }
+
+    /// The source channel.
+    pub fn source(&self) -> SensorChannel {
+        self.source
+    }
+
+    /// The algorithms on this branch, in order.
+    pub fn chain(&self) -> &[Algorithm] {
+        &self.chain
+    }
+}
+
+/// A stage appended at pipeline level after the branches.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum PipelineStage {
+    /// The initial parallel branches.
+    Branches(Vec<ProcessingBranch>),
+    /// A pipeline-level algorithm; aggregators merge all open branches.
+    Algorithm(Algorithm),
+}
+
+/// The entire wake-up condition: branches plus the chain of pipeline-level
+/// algorithms applied after them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProcessingPipeline {
+    pub(crate) stages: Vec<PipelineStage>,
+}
+
+impl ProcessingPipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        ProcessingPipeline::default()
+    }
+
+    /// Adds a group of branches (the paper's `pipeline.add(branches)`).
+    pub fn add_branches(
+        &mut self,
+        branches: impl IntoIterator<Item = ProcessingBranch>,
+    ) -> &mut Self {
+        let group: Vec<ProcessingBranch> = branches.into_iter().collect();
+        self.stages.push(PipelineStage::Branches(group));
+        self
+    }
+
+    /// Adds a single branch.
+    pub fn add_branch(&mut self, branch: ProcessingBranch) -> &mut Self {
+        self.add_branches([branch])
+    }
+
+    /// Adds a pipeline-level algorithm (the paper's `pipeline.add(vm)`).
+    ///
+    /// If the algorithm is an aggregator it merges all open branches into
+    /// one; otherwise it extends the single open branch.
+    pub fn add(&mut self, algorithm: Algorithm) -> &mut Self {
+        self.stages.push(PipelineStage::Algorithm(algorithm));
+        self
+    }
+
+    /// The number of branches opened across all branch groups.
+    pub fn branch_count(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                PipelineStage::Branches(b) => b.len(),
+                PipelineStage::Algorithm(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Whether any stages have been added.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Compiles the pipeline to an intermediate-language program; see
+    /// [`crate::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::CompileError`] for structurally broken
+    /// pipelines.
+    pub fn compile(&self) -> Result<sidewinder_ir::Program, crate::CompileError> {
+        crate::compile::compile(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{MinThreshold, MovingAverage, VectorMagnitude};
+
+    #[test]
+    fn branch_records_source_and_chain() {
+        let mut b = ProcessingBranch::new(SensorChannel::AccX);
+        b.add(MovingAverage::new(10)).add(MinThreshold::new(1.0));
+        assert_eq!(b.source(), SensorChannel::AccX);
+        assert_eq!(b.chain().len(), 2);
+    }
+
+    #[test]
+    fn pipeline_counts_branches() {
+        let mut p = ProcessingPipeline::new();
+        assert!(p.is_empty());
+        p.add_branches([
+            ProcessingBranch::new(SensorChannel::AccX),
+            ProcessingBranch::new(SensorChannel::AccY),
+        ]);
+        p.add_branch(ProcessingBranch::new(SensorChannel::AccZ));
+        p.add(VectorMagnitude::new());
+        assert_eq!(p.branch_count(), 3);
+        assert!(!p.is_empty());
+    }
+}

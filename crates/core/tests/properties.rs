@@ -1,0 +1,160 @@
+//! Property tests for the developer API: any structurally sound pipeline
+//! built through the API compiles to a validating IR program, and
+//! compilation is deterministic with sequential id assignment.
+
+use proptest::prelude::*;
+use sidewinder_core::algorithm::{
+    self, Algorithm, AllOf, AnyOf, BandThreshold, ExponentialMovingAverage, MaxThreshold,
+    MinThreshold, MovingAverage, OutsideThreshold, Statistic, VectorMagnitude, Window, ZcrVariance,
+};
+use sidewinder_core::{ProcessingBranch, ProcessingPipeline};
+use sidewinder_ir::{Source, Stmt, WindowShapeParam};
+use sidewinder_sensors::SensorChannel;
+
+fn arb_scalar_algorithm() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        (1u32..32).prop_map(MovingAverage::new),
+        (0.01f64..=1.0).prop_map(ExponentialMovingAverage::new),
+        (-50.0f64..50.0).prop_map(MinThreshold::new),
+        (-50.0f64..50.0).prop_map(MaxThreshold::new),
+        (-50.0f64..0.0, 0.0f64..50.0).prop_map(|(lo, hi)| BandThreshold::new(lo, hi)),
+        (-50.0f64..0.0, 0.0f64..50.0).prop_map(|(lo, hi)| OutsideThreshold::new(lo, hi)),
+        (1u32..8).prop_map(algorithm::Sustained::new),
+    ]
+}
+
+fn arb_vector_reducer() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Statistic::mean()),
+        Just(Statistic::variance()),
+        Just(Statistic::rms()),
+        Just(Statistic::peak_to_peak()),
+        Just(algorithm::ZeroCrossingRate::new()),
+        (2u32..16).prop_map(ZcrVariance::new),
+    ]
+}
+
+fn arb_aggregator() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(VectorMagnitude::new()),
+        Just(AllOf::new()),
+        Just(AnyOf::new()),
+    ]
+}
+
+/// An accelerometer pipeline: 1–3 branches of scalar chains, an
+/// aggregator, then a scalar tail.
+fn arb_accel_pipeline() -> impl Strategy<Value = ProcessingPipeline> {
+    (
+        1usize..=3,
+        prop::collection::vec(arb_scalar_algorithm(), 1..4),
+        arb_aggregator(),
+        prop::collection::vec(arb_scalar_algorithm(), 0..3),
+    )
+        .prop_map(|(branches, chain, aggregator, tail)| {
+            let mut pipeline = ProcessingPipeline::new();
+            let mut group = Vec::new();
+            for b in 0..branches {
+                let mut branch = ProcessingBranch::new(SensorChannel::ACCEL[b]);
+                for a in &chain {
+                    branch.add(*a);
+                }
+                group.push(branch);
+            }
+            pipeline.add_branches(group);
+            pipeline.add(aggregator);
+            for a in &tail {
+                pipeline.add(*a);
+            }
+            pipeline
+        })
+}
+
+/// An audio pipeline: window → reducer → scalar tail.
+fn arb_audio_pipeline() -> impl Strategy<Value = ProcessingPipeline> {
+    (
+        3u32..10,
+        0usize..3,
+        arb_vector_reducer(),
+        prop::collection::vec(arb_scalar_algorithm(), 0..3),
+    )
+        .prop_map(|(bits, shape_idx, reducer, tail)| {
+            let size = 1u32 << bits;
+            let shape = [
+                WindowShapeParam::Rectangular,
+                WindowShapeParam::Hamming,
+                WindowShapeParam::Hann,
+            ][shape_idx];
+            let mut pipeline = ProcessingPipeline::new();
+            let mut mic = ProcessingBranch::new(SensorChannel::Mic);
+            mic.add(Window::with_hop(size, size, shape)).add(reducer);
+            for a in &tail {
+                mic.add(*a);
+            }
+            pipeline.add_branch(mic);
+            pipeline
+        })
+}
+
+fn arb_pipeline() -> impl Strategy<Value = ProcessingPipeline> {
+    prop_oneof![arb_accel_pipeline(), arb_audio_pipeline()]
+}
+
+proptest! {
+    /// Every API-constructible pipeline compiles to a validating program.
+    #[test]
+    fn compiled_pipelines_validate(pipeline in arb_pipeline()) {
+        let program = pipeline.compile().expect("structurally sound pipeline");
+        prop_assert!(program.validate().is_ok(), "{:?}", program.validate());
+    }
+
+    /// Compilation is deterministic.
+    #[test]
+    fn compilation_is_deterministic(pipeline in arb_pipeline()) {
+        let a = pipeline.compile().unwrap();
+        let b = pipeline.compile().unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Node ids are assigned sequentially from 1 in declaration order —
+    /// the paper's Fig. 2 numbering.
+    #[test]
+    fn ids_are_sequential(pipeline in arb_pipeline()) {
+        let program = pipeline.compile().unwrap();
+        let ids: Vec<u32> = program.nodes().map(|(_, id, _)| id.0).collect();
+        let expected: Vec<u32> = (1..=ids.len() as u32).collect();
+        prop_assert_eq!(ids, expected);
+    }
+
+    /// The printed IR of a compiled pipeline round-trips through the
+    /// parser.
+    #[test]
+    fn compiled_ir_round_trips(pipeline in arb_pipeline()) {
+        let program = pipeline.compile().unwrap();
+        let reparsed: sidewinder_ir::Program = program.to_string().parse().unwrap();
+        prop_assert_eq!(reparsed, program);
+    }
+
+    /// Sustained stubs always get their max_gap patched to the upstream
+    /// emission stride (≥ 1, equal to the window hop when present).
+    #[test]
+    fn sustained_gap_equals_upstream_stride(pipeline in arb_audio_pipeline()) {
+        let program = pipeline.compile().unwrap();
+        let window_hop = program.nodes().find_map(|(_, _, kind)| match kind {
+            sidewinder_ir::AlgorithmKind::Window { hop, .. } => Some(*hop),
+            _ => None,
+        });
+        for stmt in program.stmts() {
+            if let Stmt::Node {
+                kind: sidewinder_ir::AlgorithmKind::Sustained { max_gap, .. },
+                sources,
+                ..
+            } = stmt
+            {
+                // Sustained nodes downstream of the window inherit its hop.
+                prop_assert!(sources.iter().all(|s| matches!(s, Source::Node(_))));
+                prop_assert_eq!(Some(*max_gap), window_hop);
+            }
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Radix-2 Fast Fourier Transform and its inverse.
+//!
+//! The paper's hub runtime provides FFT and IFFT as platform algorithms
+//! (§3.6 "Transform"). The evaluation also leans on the FFT's cost: the
+//! MSP430 microcontroller could not run FFT-based stages in real time,
+//! forcing siren detection onto the larger LM4F120 (§4, Table 2 footnote).
+//! These kernels are therefore both a substrate and a measurement target.
+//!
+//! The implementation is an iterative, in-place, decimation-in-time radix-2
+//! transform. Input lengths must be powers of two; the hub-side windowing
+//! stage guarantees that in practice.
+
+use crate::complex::Complex;
+
+/// Error returned when a transform is given a length that is not a power of
+/// two (or is zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonPowerOfTwoError {
+    /// The offending length.
+    pub len: usize,
+}
+
+impl std::fmt::Display for NonPowerOfTwoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transform length {} is not a non-zero power of two",
+            self.len
+        )
+    }
+}
+
+impl std::error::Error for NonPowerOfTwoError {}
+
+/// Returns `true` if `n` is a non-zero power of two.
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+fn check_len(n: usize) -> Result<(), NonPowerOfTwoError> {
+    if is_power_of_two(n) {
+        Ok(())
+    } else {
+        Err(NonPowerOfTwoError { len: n })
+    }
+}
+
+/// Performs an in-place forward FFT.
+///
+/// The transform is unscaled: `ifft` applies the `1/N` factor so that a
+/// round trip reproduces the input.
+///
+/// # Errors
+///
+/// Returns [`NonPowerOfTwoError`] if `data.len()` is zero or not a power of
+/// two.
+///
+/// # Example
+///
+/// ```
+/// use sidewinder_dsp::{fft, Complex};
+///
+/// let mut data = vec![Complex::ONE; 8];
+/// fft::fft_in_place(&mut data)?;
+/// // A constant signal concentrates all energy in bin 0.
+/// assert!((data[0].re - 8.0).abs() < 1e-12);
+/// assert!(data[1..].iter().all(|z| z.magnitude() < 1e-12));
+/// # Ok::<(), sidewinder_dsp::fft::NonPowerOfTwoError>(())
+/// ```
+pub fn fft_in_place(data: &mut [Complex]) -> Result<(), NonPowerOfTwoError> {
+    check_len(data.len())?;
+    transform(data, false);
+    Ok(())
+}
+
+/// Performs an in-place inverse FFT, including the `1/N` normalization.
+///
+/// # Errors
+///
+/// Returns [`NonPowerOfTwoError`] if `data.len()` is zero or not a power of
+/// two.
+pub fn ifft_in_place(data: &mut [Complex]) -> Result<(), NonPowerOfTwoError> {
+    check_len(data.len())?;
+    transform(data, true);
+    let scale = 1.0 / data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(scale);
+    }
+    Ok(())
+}
+
+/// Forward FFT of a real signal, returning the full complex spectrum.
+///
+/// # Errors
+///
+/// Returns [`NonPowerOfTwoError`] if `signal.len()` is zero or not a power
+/// of two.
+pub fn real_fft(signal: &[f64]) -> Result<Vec<Complex>, NonPowerOfTwoError> {
+    check_len(signal.len())?;
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    transform(&mut data, false);
+    Ok(data)
+}
+
+/// Forward FFT of a real signal reduced to one-sided magnitudes.
+///
+/// Returns `N/2 + 1` magnitudes covering DC through the Nyquist bin. This is
+/// the representation the hub's feature-extraction stages consume.
+///
+/// # Panics
+///
+/// Panics if `signal.len()` is zero or not a power of two. The hub-side
+/// windowing stage guarantees power-of-two windows; use [`real_fft`] for a
+/// fallible variant.
+pub fn real_fft_magnitudes(signal: &[f64]) -> Vec<f64> {
+    let spectrum = real_fft(signal).expect("window length must be a non-zero power of two");
+    spectrum[..=signal.len() / 2]
+        .iter()
+        .map(|z| z.magnitude())
+        .collect()
+}
+
+/// Converts an FFT bin index to the center frequency in Hz.
+///
+/// `n` is the transform length and `sample_rate_hz` the sampling rate of the
+/// windowed signal.
+pub fn bin_to_frequency(bin: usize, n: usize, sample_rate_hz: f64) -> f64 {
+    bin as f64 * sample_rate_hz / n as f64
+}
+
+/// Converts a frequency in Hz to the nearest FFT bin index.
+pub fn frequency_to_bin(freq_hz: f64, n: usize, sample_rate_hz: f64) -> usize {
+    ((freq_hz * n as f64 / sample_rate_hz).round().max(0.0)) as usize
+}
+
+/// The iterative radix-2 Cooley–Tukey kernel shared by both directions.
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut data = vec![Complex::ZERO; 12];
+        assert_eq!(fft_in_place(&mut data), Err(NonPowerOfTwoError { len: 12 }));
+        assert!(real_fft(&[0.0; 7]).is_err());
+        assert!(real_fft(&[]).is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_length() {
+        let msg = NonPowerOfTwoError { len: 12 }.to_string();
+        assert!(msg.contains("12"));
+    }
+
+    #[test]
+    fn single_element_is_identity() {
+        let mut data = vec![Complex::new(4.2, -1.0)];
+        fft_in_place(&mut data).unwrap();
+        assert_eq!(data[0], Complex::new(4.2, -1.0));
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut data = vec![Complex::ZERO; 16];
+        data[0] = Complex::ONE;
+        fft_in_place(&mut data).unwrap();
+        for z in &data {
+            assert_close(z.re, 1.0, 1e-12);
+            assert_close(z.im, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_signal_concentrates_in_dc() {
+        let spectrum = real_fft(&[3.0; 32]).unwrap();
+        assert_close(spectrum[0].re, 96.0, 1e-9);
+        for z in &spectrum[1..] {
+            assert!(z.magnitude() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_bin() {
+        let n = 128;
+        let rate = 1000.0;
+        let f = 125.0; // exactly bin 16
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / rate).cos())
+            .collect();
+        let mags = real_fft_magnitudes(&signal);
+        let bin = frequency_to_bin(f, n, rate);
+        assert_eq!(bin, 16);
+        let (peak_bin, _) = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(peak_bin, bin);
+        // A unit-amplitude cosine carries N/2 magnitude in its bin.
+        assert_close(mags[bin], n as f64 / 2.0, 1e-9);
+    }
+
+    #[test]
+    fn fft_ifft_round_trip_recovers_signal() {
+        let n = 64;
+        let original: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut data = original.clone();
+        fft_in_place(&mut data).unwrap();
+        ifft_in_place(&mut data).unwrap();
+        for (a, b) in data.iter().zip(&original) {
+            assert_close(a.re, b.re, 1e-10);
+            assert_close(a.im, b.im, 1e-10);
+        }
+    }
+
+    #[test]
+    fn linearity_of_transform() {
+        let n = 32;
+        let x: Vec<Complex> = (0..n).map(|i| Complex::from_real(i as f64)).collect();
+        let y: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_real((i as f64).sqrt()))
+            .collect();
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        let mut fxy: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
+        fft_in_place(&mut fx).unwrap();
+        fft_in_place(&mut fy).unwrap();
+        fft_in_place(&mut fxy).unwrap();
+        for i in 0..n {
+            let sum = fx[i] + fy[i];
+            assert_close(fxy[i].re, sum.re, 1e-9);
+            assert_close(fxy[i].im, sum.im, 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 64;
+        let signal: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spectrum = real_fft(&signal).unwrap();
+        let freq_energy: f64 =
+            spectrum.iter().map(|z| z.magnitude_squared()).sum::<f64>() / n as f64;
+        assert_close(time_energy, freq_energy, 1e-9);
+    }
+
+    #[test]
+    fn bin_frequency_conversions_are_inverse() {
+        let n = 256;
+        let rate = 8000.0;
+        for bin in [0, 1, 17, 100, 128] {
+            let f = bin_to_frequency(bin, n, rate);
+            assert_eq!(frequency_to_bin(f, n, rate), bin);
+        }
+    }
+
+    #[test]
+    fn one_sided_magnitudes_have_expected_length() {
+        assert_eq!(real_fft_magnitudes(&[0.0; 16]).len(), 9);
+        assert_eq!(real_fft_magnitudes(&[0.0; 2]).len(), 2);
+    }
+}

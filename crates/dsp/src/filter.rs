@@ -1,0 +1,400 @@
+//! Noise-reduction and frequency-selective filters.
+//!
+//! The paper's hub offers "noise-reduction algorithms such as a moving
+//! average and exponential moving average" and "FFT-based low-pass /
+//! high-pass filtering" (§3.6 "Data Filtering"). The moving filters here are
+//! streaming (one sample in, at most one sample out, bounded state) because
+//! they run continuously on the microcontroller; the FFT filters are
+//! block-based because they consume whole windows.
+
+use crate::complex::Complex;
+use crate::fft::{self, NonPowerOfTwoError};
+
+/// A streaming simple moving average over the last `window` samples.
+///
+/// Produces no output until `window` samples have been observed — the
+/// behaviour the paper calls out when motivating the interpreter's
+/// `hasResult` flag (§3.5).
+///
+/// # Example
+///
+/// ```
+/// use sidewinder_dsp::filter::MovingAverage;
+///
+/// let mut ma = MovingAverage::new(3)?;
+/// assert_eq!(ma.push(3.0), None);
+/// assert_eq!(ma.push(6.0), None);
+/// assert_eq!(ma.push(9.0), Some(6.0));
+/// assert_eq!(ma.push(0.0), Some(5.0));
+/// # Ok::<(), sidewinder_dsp::filter::ZeroWindowError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: usize,
+    buf: std::collections::VecDeque<f64>,
+}
+
+/// Error returned when a filter is configured with a zero-length window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroWindowError;
+
+impl std::fmt::Display for ZeroWindowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("filter window length must be non-zero")
+    }
+}
+
+impl std::error::Error for ZeroWindowError {}
+
+impl MovingAverage {
+    /// Creates a moving average over `window` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZeroWindowError`] if `window` is zero.
+    pub fn new(window: usize) -> Result<Self, ZeroWindowError> {
+        if window == 0 {
+            return Err(ZeroWindowError);
+        }
+        Ok(MovingAverage {
+            window,
+            buf: std::collections::VecDeque::with_capacity(window),
+        })
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Pushes a sample; returns the average once the window is full.
+    pub fn push(&mut self, sample: f64) -> Option<f64> {
+        if self.buf.len() == self.window {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(sample);
+        if self.buf.len() < self.window {
+            None
+        } else {
+            // Recompute rather than maintain a rolling sum: hub windows are
+            // small (tens of samples) and this avoids drift on long runs.
+            Some(self.buf.iter().sum::<f64>() / self.window as f64)
+        }
+    }
+
+    /// Clears all buffered samples.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Filters a whole slice, returning one output per input once primed.
+    pub fn filter(&mut self, signal: &[f64]) -> Vec<f64> {
+        signal.iter().filter_map(|&x| self.push(x)).collect()
+    }
+}
+
+/// A streaming exponential moving average `y[n] = α·x[n] + (1-α)·y[n-1]`.
+///
+/// Unlike [`MovingAverage`], it produces output from the first sample.
+#[derive(Debug, Clone)]
+pub struct ExponentialMovingAverage {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+/// Error returned when the EMA smoothing factor is outside `(0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidAlphaError {
+    /// The rejected smoothing factor.
+    pub alpha: f64,
+}
+
+impl std::fmt::Display for InvalidAlphaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EMA smoothing factor {} outside (0, 1]", self.alpha)
+    }
+}
+
+impl std::error::Error for InvalidAlphaError {}
+
+impl ExponentialMovingAverage {
+    /// Creates an EMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidAlphaError`] if `alpha` is not in `(0, 1]` or is NaN.
+    pub fn new(alpha: f64) -> Result<Self, InvalidAlphaError> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(InvalidAlphaError { alpha });
+        }
+        Ok(ExponentialMovingAverage { alpha, state: None })
+    }
+
+    /// The configured smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Pushes a sample and returns the smoothed value.
+    pub fn push(&mut self, sample: f64) -> f64 {
+        let next = match self.state {
+            None => sample,
+            Some(prev) => self.alpha * sample + (1.0 - self.alpha) * prev,
+        };
+        self.state = Some(next);
+        next
+    }
+
+    /// Clears the filter state.
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+
+    /// Filters a whole slice.
+    pub fn filter(&mut self, signal: &[f64]) -> Vec<f64> {
+        signal.iter().map(|&x| self.push(x)).collect()
+    }
+}
+
+/// FFT-based low-pass filter: zeroes all bins above `cutoff_hz`.
+///
+/// The window is transformed, bins strictly above the cutoff (and their
+/// mirror images) are zeroed, and the window is transformed back.
+///
+/// # Errors
+///
+/// Returns [`NonPowerOfTwoError`] if `signal.len()` is not a power of two.
+pub fn fft_lowpass(
+    signal: &[f64],
+    cutoff_hz: f64,
+    sample_rate_hz: f64,
+) -> Result<Vec<f64>, NonPowerOfTwoError> {
+    fft_bandfilter(signal, sample_rate_hz, |freq| freq <= cutoff_hz)
+}
+
+/// FFT-based high-pass filter: zeroes all bins below `cutoff_hz`.
+///
+/// The paper's siren detector opens with a 750 Hz high-pass built this way
+/// (§3.7.2).
+///
+/// # Errors
+///
+/// Returns [`NonPowerOfTwoError`] if `signal.len()` is not a power of two.
+pub fn fft_highpass(
+    signal: &[f64],
+    cutoff_hz: f64,
+    sample_rate_hz: f64,
+) -> Result<Vec<f64>, NonPowerOfTwoError> {
+    fft_bandfilter(signal, sample_rate_hz, |freq| freq >= cutoff_hz)
+}
+
+/// FFT-based band-pass filter keeping `low_hz ..= high_hz`.
+pub fn fft_bandpass(
+    signal: &[f64],
+    low_hz: f64,
+    high_hz: f64,
+    sample_rate_hz: f64,
+) -> Result<Vec<f64>, NonPowerOfTwoError> {
+    fft_bandfilter(signal, sample_rate_hz, |freq| {
+        freq >= low_hz && freq <= high_hz
+    })
+}
+
+/// Shared kernel: keep bins whose center frequency satisfies `keep`.
+fn fft_bandfilter(
+    signal: &[f64],
+    sample_rate_hz: f64,
+    keep: impl Fn(f64) -> bool,
+) -> Result<Vec<f64>, NonPowerOfTwoError> {
+    let n = signal.len();
+    let mut spectrum = fft::real_fft(signal)?;
+    for (bin, z) in spectrum.iter_mut().enumerate() {
+        // Bins above N/2 represent negative frequencies; map to their
+        // positive-frequency magnitude for the keep decision.
+        let logical_bin = if bin <= n / 2 { bin } else { n - bin };
+        let freq = fft::bin_to_frequency(logical_bin, n, sample_rate_hz);
+        if !keep(freq) {
+            *z = Complex::ZERO;
+        }
+    }
+    fft::ifft_in_place(&mut spectrum)?;
+    Ok(spectrum.iter().map(|z| z.re).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, rate: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / rate).sin())
+            .collect()
+    }
+
+    fn rms(signal: &[f64]) -> f64 {
+        (signal.iter().map(|x| x * x).sum::<f64>() / signal.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn moving_average_rejects_zero_window() {
+        assert!(MovingAverage::new(0).is_err());
+        assert_eq!(
+            ZeroWindowError.to_string(),
+            "filter window length must be non-zero"
+        );
+    }
+
+    #[test]
+    fn moving_average_warms_up_then_averages() {
+        let mut ma = MovingAverage::new(4).unwrap();
+        assert_eq!(ma.push(1.0), None);
+        assert_eq!(ma.push(2.0), None);
+        assert_eq!(ma.push(3.0), None);
+        assert_eq!(ma.push(4.0), Some(2.5));
+        assert_eq!(ma.push(5.0), Some(3.5));
+        assert_eq!(ma.window(), 4);
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let mut ma = MovingAverage::new(1).unwrap();
+        for x in [1.0, -3.0, 7.5] {
+            assert_eq!(ma.push(x), Some(x));
+        }
+    }
+
+    #[test]
+    fn moving_average_constant_input_is_fixed_point() {
+        let mut ma = MovingAverage::new(10).unwrap();
+        let out = ma.filter(&vec![4.2; 100]);
+        assert_eq!(out.len(), 91);
+        assert!(out.iter().all(|&y| (y - 4.2).abs() < 1e-12));
+    }
+
+    #[test]
+    fn moving_average_reset_forgets_history() {
+        let mut ma = MovingAverage::new(2).unwrap();
+        ma.push(100.0);
+        ma.reset();
+        assert_eq!(ma.push(1.0), None);
+        assert_eq!(ma.push(3.0), Some(2.0));
+    }
+
+    #[test]
+    fn moving_average_smooths_oscillation() {
+        // A ±1 square wave averaged over an even window cancels to zero.
+        let mut ma = MovingAverage::new(2).unwrap();
+        let signal: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let out = ma.filter(&signal);
+        assert!(out.iter().all(|&y| y.abs() < 1e-12));
+    }
+
+    #[test]
+    fn ema_validates_alpha() {
+        assert!(ExponentialMovingAverage::new(0.0).is_err());
+        assert!(ExponentialMovingAverage::new(1.5).is_err());
+        assert!(ExponentialMovingAverage::new(f64::NAN).is_err());
+        assert!(ExponentialMovingAverage::new(1.0).is_ok());
+        let err = ExponentialMovingAverage::new(-0.1).unwrap_err();
+        assert!(err.to_string().contains("-0.1"));
+    }
+
+    #[test]
+    fn ema_first_output_is_first_sample() {
+        let mut ema = ExponentialMovingAverage::new(0.3).unwrap();
+        assert_eq!(ema.push(5.0), 5.0);
+        assert_eq!(ema.alpha(), 0.3);
+    }
+
+    #[test]
+    fn ema_alpha_one_tracks_input_exactly() {
+        let mut ema = ExponentialMovingAverage::new(1.0).unwrap();
+        for x in [1.0, -2.0, 3.0] {
+            assert_eq!(ema.push(x), x);
+        }
+    }
+
+    #[test]
+    fn ema_converges_to_constant_input() {
+        let mut ema = ExponentialMovingAverage::new(0.2).unwrap();
+        ema.push(0.0);
+        let mut last = 0.0;
+        for _ in 0..200 {
+            last = ema.push(10.0);
+        }
+        assert!((last - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ema_reset_clears_state() {
+        let mut ema = ExponentialMovingAverage::new(0.5).unwrap();
+        ema.push(100.0);
+        ema.reset();
+        assert_eq!(ema.push(2.0), 2.0);
+    }
+
+    #[test]
+    fn lowpass_keeps_low_tone_removes_high_tone() {
+        let n = 512;
+        let rate = 8000.0;
+        let low = tone(250.0, rate, n);
+        let high = tone(3000.0, rate, n);
+        let mixed: Vec<f64> = low.iter().zip(&high).map(|(a, b)| a + b).collect();
+        let filtered = fft_lowpass(&mixed, 1000.0, rate).unwrap();
+        // Low tone survives (same RMS), high tone is gone.
+        assert!((rms(&filtered) - rms(&low)).abs() < 0.05);
+        let residual: Vec<f64> = filtered.iter().zip(&low).map(|(a, b)| a - b).collect();
+        assert!(rms(&residual) < 0.05);
+    }
+
+    #[test]
+    fn highpass_removes_low_tone_keeps_high_tone() {
+        let n = 512;
+        let rate = 8000.0;
+        let low = tone(250.0, rate, n);
+        let high = tone(3000.0, rate, n);
+        let mixed: Vec<f64> = low.iter().zip(&high).map(|(a, b)| a + b).collect();
+        let filtered = fft_highpass(&mixed, 1000.0, rate).unwrap();
+        let residual: Vec<f64> = filtered.iter().zip(&high).map(|(a, b)| a - b).collect();
+        assert!(rms(&residual) < 0.05);
+    }
+
+    #[test]
+    fn bandpass_keeps_only_middle_tone() {
+        let n = 1024;
+        let rate = 8000.0;
+        let lo = tone(100.0, rate, n);
+        let mid = tone(1000.0, rate, n);
+        let hi = tone(3500.0, rate, n);
+        let mixed: Vec<f64> = (0..n).map(|i| lo[i] + mid[i] + hi[i]).collect();
+        let filtered = fft_bandpass(&mixed, 500.0, 2000.0, rate).unwrap();
+        let residual: Vec<f64> = filtered.iter().zip(&mid).map(|(a, b)| a - b).collect();
+        assert!(rms(&residual) < 0.05);
+    }
+
+    #[test]
+    fn lowpass_passes_dc() {
+        let signal = vec![2.0; 64];
+        let filtered = fft_lowpass(&signal, 10.0, 1000.0).unwrap();
+        for y in filtered {
+            assert!((y - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn highpass_removes_dc() {
+        let signal = vec![2.0; 64];
+        let filtered = fft_highpass(&signal, 10.0, 1000.0).unwrap();
+        for y in filtered {
+            assert!(y.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_filters_reject_non_power_of_two() {
+        assert!(fft_lowpass(&[0.0; 100], 10.0, 1000.0).is_err());
+        assert!(fft_highpass(&[0.0; 100], 10.0, 1000.0).is_err());
+    }
+}

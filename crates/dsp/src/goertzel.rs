@@ -1,0 +1,110 @@
+//! Goertzel single-bin DFT evaluation.
+//!
+//! The paper's §3.8 discusses the trade-off between algorithm complexity and
+//! MCU power: the MSP430 could not run a full FFT in real time. The Goertzel
+//! algorithm evaluates a *single* DFT bin in O(N) multiplies with O(1)
+//! state, making narrow-band detection feasible on the smaller MCU. It is
+//! included as one of this reproduction's ablation subjects ("what if the
+//! siren detector probed a few bins with Goertzel instead of a full FFT?").
+
+/// Computes the squared magnitude of the DFT of `window` at `freq_hz`.
+///
+/// Uses the standard Goertzel recurrence with coefficient
+/// `2·cos(2πf/fs)`. The result matches `|FFT(window)[k]|²` when `freq_hz`
+/// falls exactly on bin `k`.
+///
+/// Returns `None` if the window is empty, the sample rate is not positive,
+/// or `freq_hz` is negative or above Nyquist.
+pub fn goertzel_power(window: &[f64], freq_hz: f64, sample_rate_hz: f64) -> Option<f64> {
+    if window.is_empty() || sample_rate_hz <= 0.0 {
+        return None;
+    }
+    if !(0.0..=sample_rate_hz / 2.0).contains(&freq_hz) {
+        return None;
+    }
+    let omega = 2.0 * std::f64::consts::PI * freq_hz / sample_rate_hz;
+    let coeff = 2.0 * omega.cos();
+    let mut s_prev = 0.0;
+    let mut s_prev2 = 0.0;
+    for &x in window {
+        let s = x + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    Some(s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2)
+}
+
+/// Magnitude (not squared) of the DFT at `freq_hz`; see [`goertzel_power`].
+pub fn goertzel_magnitude(window: &[f64], freq_hz: f64, sample_rate_hz: f64) -> Option<f64> {
+    goertzel_power(window, freq_hz, sample_rate_hz).map(|p| p.max(0.0).sqrt())
+}
+
+/// Probes a set of frequencies and returns the one with the highest power
+/// together with that power. `None` if `freqs` is empty or all probes fail.
+pub fn strongest_of(window: &[f64], freqs: &[f64], sample_rate_hz: f64) -> Option<(f64, f64)> {
+    freqs
+        .iter()
+        .filter_map(|&f| goertzel_power(window, f, sample_rate_hz).map(|p| (f, p)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft;
+
+    fn tone(freq: f64, rate: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / rate).sin())
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(goertzel_power(&[], 100.0, 8000.0).is_none());
+        assert!(goertzel_power(&[1.0], 100.0, 0.0).is_none());
+        assert!(goertzel_power(&[1.0], -5.0, 8000.0).is_none());
+        assert!(goertzel_power(&[1.0], 4001.0, 8000.0).is_none());
+    }
+
+    #[test]
+    fn matches_fft_bin_power() {
+        let n = 256;
+        let rate = 8000.0;
+        let f = fft::bin_to_frequency(32, n, rate);
+        let signal = tone(f, rate, n);
+        let spectrum = fft::real_fft(&signal).unwrap();
+        let fft_power = spectrum[32].magnitude_squared();
+        let g_power = goertzel_power(&signal, f, rate).unwrap();
+        assert!(
+            (fft_power - g_power).abs() / fft_power < 1e-9,
+            "fft {fft_power} vs goertzel {g_power}"
+        );
+    }
+
+    #[test]
+    fn detects_present_tone_rejects_absent() {
+        let n = 512;
+        let rate = 8000.0;
+        let signal = tone(1000.0, rate, n);
+        let present = goertzel_power(&signal, 1000.0, rate).unwrap();
+        let absent = goertzel_power(&signal, 2500.0, rate).unwrap();
+        assert!(present > 100.0 * absent.max(1e-12));
+    }
+
+    #[test]
+    fn magnitude_is_sqrt_of_power() {
+        let signal = tone(500.0, 8000.0, 256);
+        let p = goertzel_power(&signal, 500.0, 8000.0).unwrap();
+        let m = goertzel_magnitude(&signal, 500.0, 8000.0).unwrap();
+        assert!((m * m - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn strongest_of_picks_the_tone() {
+        let signal = tone(1200.0, 8000.0, 512);
+        let (f, _) = strongest_of(&signal, &[800.0, 1200.0, 1600.0], 8000.0).unwrap();
+        assert_eq!(f, 1200.0);
+        assert!(strongest_of(&signal, &[], 8000.0).is_none());
+    }
+}

@@ -1,0 +1,249 @@
+//! Statistical feature extraction.
+//!
+//! The paper's hub ships "a set of statistical functions" for feature
+//! extraction (§3.6). The music-journal and phrase-detection wake-up
+//! conditions use the variance of window amplitude and the variance of
+//! per-sub-window zero-crossing rates (§3.7.2); those reductions are built
+//! from these kernels.
+
+/// Summary statistics of a window of samples, computed in a single pass.
+///
+/// # Example
+///
+/// ```
+/// use sidewinder_dsp::stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert!((s.variance - 1.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance (divides by `count`).
+    pub variance: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Root mean square.
+    pub rms: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics. Returns `None` for an empty window.
+    pub fn of(window: &[f64]) -> Option<Summary> {
+        if window.is_empty() {
+            return None;
+        }
+        let n = window.len() as f64;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in window {
+            sum += x;
+            sum_sq += x * x;
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let mean = sum / n;
+        // Clamp: catastrophic cancellation can produce a tiny negative value.
+        let variance = (sum_sq / n - mean * mean).max(0.0);
+        Some(Summary {
+            count: window.len(),
+            mean,
+            variance,
+            min,
+            max,
+            rms: (sum_sq / n).sqrt(),
+        })
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Peak-to-peak amplitude (`max - min`).
+    pub fn peak_to_peak(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// Arithmetic mean; `None` when empty.
+pub fn mean(window: &[f64]) -> Option<f64> {
+    Summary::of(window).map(|s| s.mean)
+}
+
+/// Population variance; `None` when empty.
+pub fn variance(window: &[f64]) -> Option<f64> {
+    Summary::of(window).map(|s| s.variance)
+}
+
+/// Root mean square; `None` when empty.
+pub fn rms(window: &[f64]) -> Option<f64> {
+    Summary::of(window).map(|s| s.rms)
+}
+
+/// Mean absolute amplitude; `None` when empty. Used by the significant-sound
+/// predefined-activity detector.
+pub fn mean_abs(window: &[f64]) -> Option<f64> {
+    if window.is_empty() {
+        return None;
+    }
+    Some(window.iter().map(|x| x.abs()).sum::<f64>() / window.len() as f64)
+}
+
+/// Signal energy `Σ x²`.
+pub fn energy(window: &[f64]) -> f64 {
+    window.iter().map(|x| x * x).sum()
+}
+
+/// Euclidean magnitude of an acceleration vector `√(Σ xᵢ²)`.
+///
+/// This is the hub's "magnitude of acceleration vector computation" (§3.6):
+/// an aggregation algorithm that fuses the per-axis branches of a pipeline
+/// into one (Fig. 2).
+pub fn vector_magnitude(components: &[f64]) -> f64 {
+    energy(components).sqrt()
+}
+
+/// Indices of local maxima whose value lies within `[lo, hi]`.
+///
+/// A sample is a local maximum when strictly greater than its predecessor
+/// and at least its successor (plateaus credit their first sample). The
+/// steps application detects steps as band-limited local maxima of low-pass
+/// filtered x-axis acceleration (§3.7.1, after Libby's algorithm).
+pub fn local_maxima_in_band(signal: &[f64], lo: f64, hi: f64) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in 1..signal.len().saturating_sub(1) {
+        if signal[i] > signal[i - 1]
+            && signal[i] >= signal[i + 1]
+            && signal[i] >= lo
+            && signal[i] <= hi
+        {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Indices of local minima whose value lies within `[lo, hi]`.
+///
+/// The headbutt application searches for y-axis local minima between
+/// −6.75 and −3.75 m/s² (§3.7.1).
+pub fn local_minima_in_band(signal: &[f64], lo: f64, hi: f64) -> Vec<usize> {
+    let negated: Vec<f64> = signal.iter().map(|x| -x).collect();
+    local_maxima_in_band(&negated, -hi, -lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_yields_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(mean(&[]).is_none());
+        assert!(variance(&[]).is_none());
+        assert!(rms(&[]).is_none());
+        assert!(mean_abs(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.rms, 7.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        // Population variance of [2,4,4,4,5,5,7,9] is 4.
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.variance - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_never_negative_under_cancellation() {
+        let big = 1e9;
+        let s = Summary::of(&[big, big, big]).unwrap();
+        assert!(s.variance >= 0.0);
+    }
+
+    #[test]
+    fn peak_to_peak() {
+        let s = Summary::of(&[-1.0, 0.0, 3.0]).unwrap();
+        assert_eq!(s.peak_to_peak(), 4.0);
+    }
+
+    #[test]
+    fn rms_of_alternating_unit_signal_is_one() {
+        let signal = [1.0, -1.0, 1.0, -1.0];
+        assert!((rms(&signal).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_abs_ignores_sign() {
+        assert_eq!(mean_abs(&[1.0, -1.0, 2.0, -2.0]).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn energy_sums_squares() {
+        assert_eq!(energy(&[3.0, 4.0]), 25.0);
+        assert_eq!(energy(&[]), 0.0);
+    }
+
+    #[test]
+    fn vector_magnitude_is_euclidean_norm() {
+        assert!((vector_magnitude(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((vector_magnitude(&[1.0, 2.0, 2.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(vector_magnitude(&[]), 0.0);
+    }
+
+    #[test]
+    fn finds_local_maxima_in_band() {
+        //            0    1    2    3    4    5    6
+        let signal = [0.0, 3.0, 1.0, 5.0, 2.0, 9.0, 0.0];
+        assert_eq!(local_maxima_in_band(&signal, 0.0, 10.0), vec![1, 3, 5]);
+        // Band filter drops the 9.0 peak.
+        assert_eq!(local_maxima_in_band(&signal, 2.5, 6.0), vec![1, 3]);
+    }
+
+    #[test]
+    fn plateau_counts_once() {
+        let signal = [0.0, 2.0, 2.0, 0.0];
+        assert_eq!(local_maxima_in_band(&signal, 0.0, 10.0), vec![1]);
+    }
+
+    #[test]
+    fn endpoints_are_never_maxima() {
+        let signal = [9.0, 1.0, 9.0];
+        assert!(local_maxima_in_band(&signal, 0.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn finds_local_minima_in_band() {
+        let signal = [0.0, -5.0, 0.0, -2.0, 0.0];
+        assert_eq!(local_minima_in_band(&signal, -6.0, -1.0), vec![1, 3]);
+        assert_eq!(local_minima_in_band(&signal, -3.0, -1.0), vec![3]);
+    }
+
+    #[test]
+    fn short_signals_have_no_extrema() {
+        assert!(local_maxima_in_band(&[], 0.0, 1.0).is_empty());
+        assert!(local_maxima_in_band(&[1.0], 0.0, 2.0).is_empty());
+        assert!(local_maxima_in_band(&[1.0, 2.0], 0.0, 3.0).is_empty());
+    }
+}

@@ -1,0 +1,355 @@
+//! Window functions and streaming windowers.
+//!
+//! The paper's hub provides "Partitioning sensor data into rectangular or
+//! Hamming windows" (§3.6). [`WindowShape`] carries the taper; [`Windower`]
+//! is the streaming partitioner used by the hub runtime: it accumulates
+//! samples and emits a tapered window every `hop` samples.
+
+/// The taper applied to each window of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WindowShape {
+    /// No taper; every coefficient is 1. The paper's "rectangular" window.
+    #[default]
+    Rectangular,
+    /// The Hamming taper `0.54 - 0.46·cos(2πi/(N-1))`.
+    Hamming,
+    /// The Hann taper `0.5·(1 - cos(2πi/(N-1)))`. Not named by the paper but
+    /// a conventional member of the same family; included for completeness.
+    Hann,
+}
+
+impl WindowShape {
+    /// Returns the window coefficient at index `i` of an `n`-point window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn coefficient(self, i: usize, n: usize) -> f64 {
+        assert!(i < n, "window index {i} out of range for length {n}");
+        if n == 1 {
+            return 1.0;
+        }
+        let x = 2.0 * std::f64::consts::PI * i as f64 / (n - 1) as f64;
+        match self {
+            WindowShape::Rectangular => 1.0,
+            WindowShape::Hamming => 0.54 - 0.46 * x.cos(),
+            WindowShape::Hann => 0.5 * (1.0 - x.cos()),
+        }
+    }
+
+    /// Generates the full coefficient vector for an `n`-point window.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.coefficient(i, n)).collect()
+    }
+
+    /// Applies the taper to a signal, returning the windowed copy.
+    pub fn apply(self, signal: &[f64]) -> Vec<f64> {
+        signal
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * self.coefficient(i, signal.len()))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for WindowShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            WindowShape::Rectangular => "rectangular",
+            WindowShape::Hamming => "hamming",
+            WindowShape::Hann => "hann",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A streaming window partitioner.
+///
+/// Feed samples one at a time with [`Windower::push`]; every `hop` samples
+/// (after the first full window) it returns a tapered window of the most
+/// recent `len` samples. With `hop == len` windows do not overlap, matching
+/// the paper's description of partitioning.
+///
+/// # Example
+///
+/// ```
+/// use sidewinder_dsp::window::{Windower, WindowShape};
+///
+/// let mut w = Windower::new(4, 4, WindowShape::Rectangular)?;
+/// let mut emitted = Vec::new();
+/// for i in 0..8 {
+///     if let Some(win) = w.push(i as f64) {
+///         emitted.push(win);
+///     }
+/// }
+/// assert_eq!(emitted, vec![vec![0.0, 1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0, 7.0]]);
+/// # Ok::<(), sidewinder_dsp::window::InvalidWindowError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Windower {
+    len: usize,
+    hop: usize,
+    shape: WindowShape,
+    buf: std::collections::VecDeque<f64>,
+    since_emit: usize,
+    primed: bool,
+}
+
+/// Error returned by [`Windower::new`] for degenerate window geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidWindowError {
+    /// Requested window length.
+    pub len: usize,
+    /// Requested hop.
+    pub hop: usize,
+}
+
+impl std::fmt::Display for InvalidWindowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid window geometry: len={}, hop={} (both must be non-zero and hop <= len)",
+            self.len, self.hop
+        )
+    }
+}
+
+impl std::error::Error for InvalidWindowError {}
+
+impl Windower {
+    /// Creates a windower emitting `len`-sample windows every `hop` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidWindowError`] if `len` or `hop` is zero, or if
+    /// `hop > len` (which would silently drop samples).
+    pub fn new(len: usize, hop: usize, shape: WindowShape) -> Result<Self, InvalidWindowError> {
+        if len == 0 || hop == 0 || hop > len {
+            return Err(InvalidWindowError { len, hop });
+        }
+        Ok(Windower {
+            len,
+            hop,
+            shape,
+            buf: std::collections::VecDeque::with_capacity(len + 1),
+            since_emit: 0,
+            primed: false,
+        })
+    }
+
+    /// Convenience constructor for non-overlapping windows (`hop == len`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidWindowError`] if `len` is zero.
+    pub fn non_overlapping(len: usize, shape: WindowShape) -> Result<Self, InvalidWindowError> {
+        Windower::new(len, len, shape)
+    }
+
+    /// The window length in samples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no samples have been buffered yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The hop (stride) between emitted windows in samples.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// The taper shape applied to emitted windows.
+    pub fn shape(&self) -> WindowShape {
+        self.shape
+    }
+
+    /// Pushes one sample; returns a tapered window when one completes.
+    pub fn push(&mut self, sample: f64) -> Option<Vec<f64>> {
+        if self.buf.len() == self.len {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(sample);
+        if self.buf.len() < self.len {
+            return None;
+        }
+        let emit = if !self.primed {
+            self.primed = true;
+            self.since_emit = 0;
+            true
+        } else {
+            self.since_emit += 1;
+            if self.since_emit == self.hop {
+                self.since_emit = 0;
+                true
+            } else {
+                false
+            }
+        };
+        if emit {
+            let (front, back) = self.buf.as_slices();
+            let mut window = Vec::with_capacity(self.len);
+            window.extend_from_slice(front);
+            window.extend_from_slice(back);
+            for (i, x) in window.iter_mut().enumerate() {
+                *x *= self.shape.coefficient(i, self.len);
+            }
+            Some(window)
+        } else {
+            None
+        }
+    }
+
+    /// Clears buffered samples, restarting window accumulation.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.since_emit = 0;
+        self.primed = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_coefficients_are_unity() {
+        assert_eq!(WindowShape::Rectangular.coefficients(8), vec![1.0; 8]);
+    }
+
+    #[test]
+    fn hamming_endpoints_and_peak() {
+        let c = WindowShape::Hamming.coefficients(11);
+        assert!((c[0] - 0.08).abs() < 1e-12);
+        assert!((c[10] - 0.08).abs() < 1e-12);
+        assert!((c[5] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero() {
+        let c = WindowShape::Hann.coefficients(9);
+        assert!(c[0].abs() < 1e-12);
+        assert!(c[8].abs() < 1e-12);
+        assert!((c[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for shape in [WindowShape::Hamming, WindowShape::Hann] {
+            let c = shape.coefficients(16);
+            for i in 0..8 {
+                assert!(
+                    (c[i] - c[15 - i]).abs() < 1e-12,
+                    "{shape} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn length_one_window_is_identity() {
+        for shape in [
+            WindowShape::Rectangular,
+            WindowShape::Hamming,
+            WindowShape::Hann,
+        ] {
+            assert_eq!(shape.coefficients(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coefficient_out_of_range_panics() {
+        WindowShape::Hamming.coefficient(5, 5);
+    }
+
+    #[test]
+    fn apply_scales_signal() {
+        let signal = vec![2.0; 4];
+        let windowed = WindowShape::Hamming.apply(&signal);
+        let coeffs = WindowShape::Hamming.coefficients(4);
+        for i in 0..4 {
+            assert!((windowed[i] - 2.0 * coeffs[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn windower_rejects_degenerate_geometry() {
+        assert!(Windower::new(0, 1, WindowShape::Rectangular).is_err());
+        assert!(Windower::new(4, 0, WindowShape::Rectangular).is_err());
+        assert!(Windower::new(4, 5, WindowShape::Rectangular).is_err());
+        let err = Windower::new(4, 5, WindowShape::Rectangular).unwrap_err();
+        assert!(err.to_string().contains("len=4"));
+    }
+
+    #[test]
+    fn non_overlapping_partitions_exactly() {
+        let mut w = Windower::non_overlapping(3, WindowShape::Rectangular).unwrap();
+        let mut out = Vec::new();
+        for i in 0..9 {
+            if let Some(win) = w.push(i as f64) {
+                out.push(win);
+            }
+        }
+        assert_eq!(
+            out,
+            vec![
+                vec![0.0, 1.0, 2.0],
+                vec![3.0, 4.0, 5.0],
+                vec![6.0, 7.0, 8.0]
+            ]
+        );
+    }
+
+    #[test]
+    fn overlapping_windows_slide_by_hop() {
+        let mut w = Windower::new(4, 2, WindowShape::Rectangular).unwrap();
+        let mut out = Vec::new();
+        for i in 0..8 {
+            if let Some(win) = w.push(i as f64) {
+                out.push(win);
+            }
+        }
+        assert_eq!(
+            out,
+            vec![
+                vec![0.0, 1.0, 2.0, 3.0],
+                vec![2.0, 3.0, 4.0, 5.0],
+                vec![4.0, 5.0, 6.0, 7.0]
+            ]
+        );
+    }
+
+    #[test]
+    fn reset_restarts_accumulation() {
+        let mut w = Windower::non_overlapping(2, WindowShape::Rectangular).unwrap();
+        assert!(w.push(1.0).is_none());
+        w.reset();
+        assert!(w.is_empty());
+        assert!(w.push(2.0).is_none());
+        assert_eq!(w.push(3.0), Some(vec![2.0, 3.0]));
+    }
+
+    #[test]
+    fn accessors_report_geometry() {
+        let w = Windower::new(8, 4, WindowShape::Hamming).unwrap();
+        assert_eq!(w.len(), 8);
+        assert_eq!(w.hop(), 4);
+        assert_eq!(w.shape(), WindowShape::Hamming);
+    }
+
+    #[test]
+    fn tapered_stream_windows_match_apply() {
+        let mut w = Windower::non_overlapping(4, WindowShape::Hamming).unwrap();
+        let signal = [1.0, -2.0, 3.0, 0.5];
+        let mut emitted = None;
+        for &s in &signal {
+            if let Some(win) = w.push(s) {
+                emitted = Some(win);
+            }
+        }
+        assert_eq!(emitted.unwrap(), WindowShape::Hamming.apply(&signal));
+    }
+}

@@ -1,0 +1,756 @@
+//! Executable algorithm instances.
+//!
+//! Following the paper's runtime design (§3.5–3.6), each IR node becomes an
+//! instance owning its own data structure: the node id, its algorithm
+//! state, and a result slot guarded by a `has result` flag. The
+//! interpreter invokes [`AlgoInstance::feed`] with incoming values and then
+//! polls [`AlgoInstance::take_result`] — the flag is needed because "some
+//! algorithms may not always produce a result": a moving average is silent
+//! until its window fills, and a threshold only produces a result when it
+//! is met.
+
+use crate::value::Tagged;
+use sidewinder_dsp::filter::{ExponentialMovingAverage, MovingAverage};
+use sidewinder_dsp::window::{WindowShape, Windower};
+use sidewinder_dsp::{fft, spectral, stats, zcr, Complex};
+use sidewinder_ir::{AlgorithmKind, NodeId, StatFn, WindowShapeParam};
+
+/// An execution-time failure inside an algorithm instance.
+///
+/// These defects cannot be caught by static validation because they depend
+/// on value *lengths* that only exist at run time (e.g. feeding a
+/// 129-point magnitude vector into an FFT-based filter).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A transform stage received a window whose length is not a power of
+    /// two.
+    BadTransformLength {
+        /// The node that failed.
+        id: NodeId,
+        /// The offending window length.
+        len: usize,
+    },
+    /// An instance received a value of the wrong type — indicates the
+    /// program was not validated before loading.
+    TypeError {
+        /// The node that failed.
+        id: NodeId,
+    },
+    /// An instance received input on a port it does not have.
+    BadPort {
+        /// The node that failed.
+        id: NodeId,
+        /// The offending port index.
+        port: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::BadTransformLength { id, len } => {
+                write!(f, "node {id}: window length {len} is not a power of two")
+            }
+            ExecError::TypeError { id } => {
+                write!(f, "node {id}: received a value of the wrong type")
+            }
+            ExecError::BadPort { id, port } => {
+                write!(f, "node {id}: no input port {port}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Per-kind mutable algorithm state.
+#[derive(Debug, Clone)]
+enum AlgoState {
+    Window(Windower),
+    Fft,
+    Ifft,
+    SpectralMagnitude,
+    MovingAvg(MovingAverage),
+    ExpMovingAvg(ExponentialMovingAverage),
+    LowPass {
+        cutoff_hz: f64,
+        rate_hz: f64,
+    },
+    HighPass {
+        cutoff_hz: f64,
+        rate_hz: f64,
+    },
+    /// AND-join across ports computing the Euclidean norm; emits when
+    /// every port holds a value derived from the same source samples
+    /// (equal sequence tags).
+    VectorMagnitude {
+        latest: Vec<Option<(u64, f64)>>,
+    },
+    Zcr,
+    ZcrVariance {
+        sub_windows: u32,
+    },
+    Stat(StatFn),
+    DominantRatio,
+    DominantFreq {
+        rate_hz: f64,
+    },
+    MinThreshold {
+        threshold: f64,
+    },
+    MaxThreshold {
+        threshold: f64,
+    },
+    BandThreshold {
+        lo: f64,
+        hi: f64,
+    },
+    OutsideThreshold {
+        lo: f64,
+        hi: f64,
+    },
+    Sustained {
+        count: u32,
+        max_gap: u64,
+        streak: u32,
+        last_seq: Option<u64>,
+    },
+    AllOf {
+        latest: Vec<Option<(u64, f64)>>,
+    },
+    AnyOf,
+}
+
+/// One executable node: the paper's per-algorithm data structure.
+#[derive(Debug, Clone)]
+pub struct AlgoInstance {
+    id: NodeId,
+    state: AlgoState,
+    result: Option<Tagged>,
+}
+
+impl AlgoInstance {
+    /// Instantiates an algorithm.
+    ///
+    /// `ports` is the number of input edges (only aggregators use more
+    /// than one) and `rate_hz` the sample rate of the data arriving on the
+    /// node's input path, needed by frequency-aware stages.
+    pub fn new(id: NodeId, kind: &AlgorithmKind, ports: usize, rate_hz: f64) -> Self {
+        let state = match *kind {
+            AlgorithmKind::Window { size, hop, shape } => AlgoState::Window(
+                Windower::new(size as usize, hop as usize, convert_shape(shape))
+                    .expect("validated window geometry"),
+            ),
+            AlgorithmKind::Fft => AlgoState::Fft,
+            AlgorithmKind::Ifft => AlgoState::Ifft,
+            AlgorithmKind::SpectralMagnitude => AlgoState::SpectralMagnitude,
+            AlgorithmKind::MovingAvg { window } => {
+                AlgoState::MovingAvg(MovingAverage::new(window as usize).expect("validated window"))
+            }
+            AlgorithmKind::ExpMovingAvg { alpha } => AlgoState::ExpMovingAvg(
+                ExponentialMovingAverage::new(alpha).expect("validated alpha"),
+            ),
+            AlgorithmKind::LowPass { cutoff_hz } => AlgoState::LowPass { cutoff_hz, rate_hz },
+            AlgorithmKind::HighPass { cutoff_hz } => AlgoState::HighPass { cutoff_hz, rate_hz },
+            AlgorithmKind::VectorMagnitude => AlgoState::VectorMagnitude {
+                latest: vec![None; ports],
+            },
+            AlgorithmKind::Zcr => AlgoState::Zcr,
+            AlgorithmKind::ZcrVariance { sub_windows } => AlgoState::ZcrVariance { sub_windows },
+            AlgorithmKind::Stat(s) => AlgoState::Stat(s),
+            AlgorithmKind::DominantRatio => AlgoState::DominantRatio,
+            AlgorithmKind::DominantFreq => AlgoState::DominantFreq { rate_hz },
+            AlgorithmKind::MinThreshold { threshold } => AlgoState::MinThreshold { threshold },
+            AlgorithmKind::MaxThreshold { threshold } => AlgoState::MaxThreshold { threshold },
+            AlgorithmKind::BandThreshold { lo, hi } => AlgoState::BandThreshold { lo, hi },
+            AlgorithmKind::OutsideThreshold { lo, hi } => AlgoState::OutsideThreshold { lo, hi },
+            AlgorithmKind::Sustained { count, max_gap } => AlgoState::Sustained {
+                count,
+                max_gap: max_gap as u64,
+                streak: 0,
+                last_seq: None,
+            },
+            AlgorithmKind::AllOf => AlgoState::AllOf {
+                latest: vec![None; ports],
+            },
+            AlgorithmKind::AnyOf => AlgoState::AnyOf,
+        };
+        AlgoInstance {
+            id,
+            state,
+            result: None,
+        }
+    }
+
+    /// The node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether a result is waiting to be collected — the paper's
+    /// `hasResult` flag.
+    pub fn has_result(&self) -> bool {
+        self.result.is_some()
+    }
+
+    /// Collects the pending result, clearing the flag.
+    pub fn take_result(&mut self) -> Option<Tagged> {
+        self.result.take()
+    }
+
+    /// Feeds one input value on `port`.
+    ///
+    /// On success the result slot may or may not be populated; the
+    /// interpreter must poll [`AlgoInstance::take_result`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on type confusion (unvalidated programs)
+    /// or impossible transform lengths.
+    pub fn feed(&mut self, port: usize, input: &Tagged) -> Result<(), ExecError> {
+        let id = self.id;
+        let seq = input.seq;
+        let type_err = ExecError::TypeError { id };
+        match &mut self.state {
+            AlgoState::Window(w) => {
+                let x = input.value.as_scalar().ok_or(type_err)?;
+                if let Some(win) = w.push(x) {
+                    self.result = Some(Tagged::new(seq, win));
+                }
+            }
+            AlgoState::Fft => {
+                let window = input.value.as_vector().ok_or(type_err)?;
+                let spectrum = fft::real_fft(window)
+                    .map_err(|e| ExecError::BadTransformLength { id, len: e.len })?;
+                self.result = Some(Tagged::new(seq, spectrum));
+            }
+            AlgoState::Ifft => {
+                let spectrum = input.value.as_spectrum().ok_or(type_err)?;
+                let mut data: Vec<Complex> = spectrum.to_vec();
+                fft::ifft_in_place(&mut data)
+                    .map_err(|e| ExecError::BadTransformLength { id, len: e.len })?;
+                let time: Vec<f64> = data.iter().map(|z| z.re).collect();
+                self.result = Some(Tagged::new(seq, time));
+            }
+            AlgoState::SpectralMagnitude => {
+                let spectrum = input.value.as_spectrum().ok_or(type_err)?;
+                if !spectrum.is_empty() {
+                    let mags: Vec<f64> = spectrum[..=spectrum.len() / 2]
+                        .iter()
+                        .map(|z| z.magnitude())
+                        .collect();
+                    self.result = Some(Tagged::new(seq, mags));
+                }
+            }
+            AlgoState::MovingAvg(ma) => {
+                let x = input.value.as_scalar().ok_or(type_err)?;
+                if let Some(y) = ma.push(x) {
+                    self.result = Some(Tagged::new(seq, y));
+                }
+            }
+            AlgoState::ExpMovingAvg(ema) => {
+                let x = input.value.as_scalar().ok_or(type_err)?;
+                self.result = Some(Tagged::new(seq, ema.push(x)));
+            }
+            AlgoState::LowPass { cutoff_hz, rate_hz } => {
+                let window = input.value.as_vector().ok_or(type_err)?;
+                let filtered = sidewinder_dsp::filter::fft_lowpass(window, *cutoff_hz, *rate_hz)
+                    .map_err(|e| ExecError::BadTransformLength { id, len: e.len })?;
+                self.result = Some(Tagged::new(seq, filtered));
+            }
+            AlgoState::HighPass { cutoff_hz, rate_hz } => {
+                let window = input.value.as_vector().ok_or(type_err)?;
+                let filtered = sidewinder_dsp::filter::fft_highpass(window, *cutoff_hz, *rate_hz)
+                    .map_err(|e| ExecError::BadTransformLength { id, len: e.len })?;
+                self.result = Some(Tagged::new(seq, filtered));
+            }
+            AlgoState::VectorMagnitude { latest } => {
+                let x = input.value.as_scalar().ok_or(type_err)?;
+                let slot = latest
+                    .get_mut(port)
+                    .ok_or(ExecError::BadPort { id, port })?;
+                *slot = Some((seq, x));
+                // Emit only when every branch has produced a value from
+                // the same source samples: a stale axis must never be
+                // combined with a fresh one.
+                if latest
+                    .iter()
+                    .all(|v| matches!(v, Some((s, _)) if *s == seq))
+                {
+                    let components: Vec<f64> =
+                        latest.iter().map(|v| v.expect("checked Some").1).collect();
+                    self.result = Some(Tagged::new(seq, stats::vector_magnitude(&components)));
+                }
+            }
+            AlgoState::Zcr => {
+                let window = input.value.as_vector().ok_or(type_err)?;
+                if let Some(r) = zcr::zero_crossing_rate(window) {
+                    self.result = Some(Tagged::new(seq, r));
+                }
+            }
+            AlgoState::ZcrVariance { sub_windows } => {
+                let window = input.value.as_vector().ok_or(type_err)?;
+                if let Some(v) = zcr::zcr_variance(window, *sub_windows as usize) {
+                    self.result = Some(Tagged::new(seq, v));
+                }
+            }
+            AlgoState::Stat(s) => {
+                let window = input.value.as_vector().ok_or(type_err)?;
+                if let Some(summary) = stats::Summary::of(window) {
+                    let y = match s {
+                        StatFn::Mean => summary.mean,
+                        StatFn::Variance => summary.variance,
+                        StatFn::StdDev => summary.std_dev(),
+                        StatFn::MeanAbs => stats::mean_abs(window).unwrap(),
+                        StatFn::Rms => summary.rms,
+                        StatFn::Energy => stats::energy(window),
+                        StatFn::Min => summary.min,
+                        StatFn::Max => summary.max,
+                        StatFn::PeakToPeak => summary.peak_to_peak(),
+                    };
+                    self.result = Some(Tagged::new(seq, y));
+                }
+            }
+            AlgoState::DominantRatio => {
+                let mags = input.value.as_vector().ok_or(type_err)?;
+                // Skip DC: pitched-sound detection must not be fooled by
+                // offset.
+                if mags.len() > 1 {
+                    if let Some(r) = spectral::dominant_to_mean_ratio(&mags[1..]) {
+                        self.result = Some(Tagged::new(seq, r));
+                    }
+                }
+            }
+            AlgoState::DominantFreq { rate_hz } => {
+                let mags = input.value.as_vector().ok_or(type_err)?;
+                if mags.len() > 1 {
+                    if let Some(peak) = spectral::dominant_bin(&mags[1..]) {
+                        // One-sided magnitudes of an N-point transform have
+                        // N/2+1 entries.
+                        let n = (mags.len() - 1) * 2;
+                        let freq = fft::bin_to_frequency(peak.bin + 1, n, *rate_hz);
+                        self.result = Some(Tagged::new(seq, freq));
+                    }
+                }
+            }
+            AlgoState::MinThreshold { threshold } => {
+                let x = input.value.as_scalar().ok_or(type_err)?;
+                if x >= *threshold {
+                    self.result = Some(Tagged::new(seq, x));
+                }
+            }
+            AlgoState::MaxThreshold { threshold } => {
+                let x = input.value.as_scalar().ok_or(type_err)?;
+                if x <= *threshold {
+                    self.result = Some(Tagged::new(seq, x));
+                }
+            }
+            AlgoState::BandThreshold { lo, hi } => {
+                let x = input.value.as_scalar().ok_or(type_err)?;
+                if x >= *lo && x <= *hi {
+                    self.result = Some(Tagged::new(seq, x));
+                }
+            }
+            AlgoState::OutsideThreshold { lo, hi } => {
+                let x = input.value.as_scalar().ok_or(type_err)?;
+                if x < *lo || x > *hi {
+                    self.result = Some(Tagged::new(seq, x));
+                }
+            }
+            AlgoState::Sustained {
+                count,
+                max_gap,
+                streak,
+                last_seq,
+            } => {
+                let x = input.value.as_scalar().ok_or(type_err)?;
+                let consecutive = match last_seq {
+                    Some(prev) => seq.saturating_sub(*prev) <= *max_gap,
+                    None => false,
+                };
+                *streak = if consecutive { *streak + 1 } else { 1 };
+                *last_seq = Some(seq);
+                if *streak >= *count {
+                    self.result = Some(Tagged::new(seq, x));
+                }
+            }
+            AlgoState::AllOf { latest } => {
+                let x = input.value.as_scalar().ok_or(type_err)?;
+                let slot = latest
+                    .get_mut(port)
+                    .ok_or(ExecError::BadPort { id, port })?;
+                *slot = Some((seq, x));
+                // AND-join over the same window: all branches must have
+                // passed their admission control for this seq.
+                if latest
+                    .iter()
+                    .all(|v| matches!(v, Some((s, _)) if *s == seq))
+                {
+                    self.result = Some(Tagged::new(seq, x));
+                }
+            }
+            AlgoState::AnyOf => {
+                let x = input.value.as_scalar().ok_or(type_err)?;
+                self.result = Some(Tagged::new(seq, x));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resets all mutable state (buffered windows, averages, streaks) while
+    /// keeping the configuration; used when an application re-arms a
+    /// condition.
+    pub fn reset(&mut self) {
+        self.result = None;
+        match &mut self.state {
+            AlgoState::Window(w) => w.reset(),
+            AlgoState::MovingAvg(ma) => ma.reset(),
+            AlgoState::ExpMovingAvg(ema) => ema.reset(),
+            AlgoState::VectorMagnitude { latest } | AlgoState::AllOf { latest } => {
+                latest.iter_mut().for_each(|v| *v = None);
+            }
+            AlgoState::Sustained {
+                streak, last_seq, ..
+            } => {
+                *streak = 0;
+                *last_seq = None;
+            }
+            _ => {}
+        }
+    }
+}
+
+fn convert_shape(shape: WindowShapeParam) -> WindowShape {
+    match shape {
+        WindowShapeParam::Rectangular => WindowShape::Rectangular,
+        WindowShapeParam::Hamming => WindowShape::Hamming,
+        WindowShapeParam::Hann => WindowShape::Hann,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(seq: u64, x: f64) -> Tagged {
+        Tagged::new(seq, x)
+    }
+
+    fn feed_scalar(inst: &mut AlgoInstance, seq: u64, x: f64) -> Option<f64> {
+        inst.feed(0, &scalar(seq, x)).unwrap();
+        inst.take_result().and_then(|t| t.value.as_scalar())
+    }
+
+    #[test]
+    fn moving_avg_warms_up_like_the_paper_says() {
+        // §3.5: "A moving average with a window size of N will not produce
+        // a result until it has received N data points."
+        let mut inst =
+            AlgoInstance::new(NodeId(1), &AlgorithmKind::MovingAvg { window: 3 }, 1, 50.0);
+        assert!(!inst.has_result());
+        assert_eq!(feed_scalar(&mut inst, 0, 3.0), None);
+        assert_eq!(feed_scalar(&mut inst, 1, 6.0), None);
+        assert_eq!(feed_scalar(&mut inst, 2, 9.0), Some(6.0));
+    }
+
+    #[test]
+    fn threshold_only_produces_when_met() {
+        let mut inst = AlgoInstance::new(
+            NodeId(1),
+            &AlgorithmKind::MinThreshold { threshold: 5.0 },
+            1,
+            50.0,
+        );
+        assert_eq!(feed_scalar(&mut inst, 0, 4.9), None);
+        assert_eq!(feed_scalar(&mut inst, 1, 5.0), Some(5.0));
+        assert_eq!(feed_scalar(&mut inst, 2, 7.5), Some(7.5));
+    }
+
+    #[test]
+    fn max_band_and_outside_thresholds() {
+        let mut max = AlgoInstance::new(
+            NodeId(1),
+            &AlgorithmKind::MaxThreshold { threshold: -3.75 },
+            1,
+            50.0,
+        );
+        assert_eq!(feed_scalar(&mut max, 0, -1.0), None);
+        assert_eq!(feed_scalar(&mut max, 1, -5.0), Some(-5.0));
+
+        let mut band = AlgoInstance::new(
+            NodeId(2),
+            &AlgorithmKind::BandThreshold { lo: 2.5, hi: 4.5 },
+            1,
+            50.0,
+        );
+        assert_eq!(feed_scalar(&mut band, 0, 2.0), None);
+        assert_eq!(feed_scalar(&mut band, 1, 3.0), Some(3.0));
+        assert_eq!(feed_scalar(&mut band, 2, 5.0), None);
+
+        let mut outside = AlgoInstance::new(
+            NodeId(3),
+            &AlgorithmKind::OutsideThreshold { lo: -1.0, hi: 1.0 },
+            1,
+            50.0,
+        );
+        assert_eq!(feed_scalar(&mut outside, 0, 0.0), None);
+        assert_eq!(feed_scalar(&mut outside, 1, 2.0), Some(2.0));
+        assert_eq!(feed_scalar(&mut outside, 2, -2.0), Some(-2.0));
+    }
+
+    #[test]
+    fn vector_magnitude_waits_for_all_ports() {
+        let mut vm = AlgoInstance::new(NodeId(4), &AlgorithmKind::VectorMagnitude, 3, 50.0);
+        vm.feed(0, &scalar(0, 3.0)).unwrap();
+        assert!(!vm.has_result());
+        vm.feed(1, &scalar(0, 4.0)).unwrap();
+        assert!(!vm.has_result());
+        vm.feed(2, &scalar(0, 0.0)).unwrap();
+        let r = vm.take_result().unwrap();
+        assert_eq!(r.value.as_scalar(), Some(5.0));
+        // After emitting, all ports must update again before the next one.
+        vm.feed(0, &scalar(1, 1.0)).unwrap();
+        assert!(!vm.has_result());
+    }
+
+    #[test]
+    fn window_emits_every_hop() {
+        let mut w = AlgoInstance::new(
+            NodeId(1),
+            &AlgorithmKind::Window {
+                size: 4,
+                hop: 4,
+                shape: WindowShapeParam::Rectangular,
+            },
+            1,
+            8000.0,
+        );
+        let mut windows = 0;
+        for i in 0..12 {
+            w.feed(0, &scalar(i, i as f64)).unwrap();
+            if let Some(t) = w.take_result() {
+                windows += 1;
+                assert_eq!(t.value.as_vector().unwrap().len(), 4);
+                assert_eq!(t.seq, i);
+            }
+        }
+        assert_eq!(windows, 3);
+    }
+
+    #[test]
+    fn fft_pipeline_extracts_dominant_frequency() {
+        let rate = 8000.0;
+        let n = 256;
+        let freq = 1000.0;
+        let mut window = AlgoInstance::new(
+            NodeId(1),
+            &AlgorithmKind::Window {
+                size: n,
+                hop: n,
+                shape: WindowShapeParam::Rectangular,
+            },
+            1,
+            rate,
+        );
+        let mut fft_node = AlgoInstance::new(NodeId(2), &AlgorithmKind::Fft, 1, rate);
+        let mut mag = AlgoInstance::new(NodeId(3), &AlgorithmKind::SpectralMagnitude, 1, rate);
+        let mut dom = AlgoInstance::new(NodeId(4), &AlgorithmKind::DominantFreq, 1, rate);
+
+        let mut freq_out = None;
+        for i in 0..n as u64 {
+            let x = (2.0 * std::f64::consts::PI * freq * i as f64 / rate).sin();
+            window.feed(0, &scalar(i, x)).unwrap();
+            if let Some(w) = window.take_result() {
+                fft_node.feed(0, &w).unwrap();
+                let s = fft_node.take_result().unwrap();
+                mag.feed(0, &s).unwrap();
+                let m = mag.take_result().unwrap();
+                assert_eq!(m.value.as_vector().unwrap().len(), 129);
+                dom.feed(0, &m).unwrap();
+                freq_out = dom.take_result().and_then(|t| t.value.as_scalar());
+            }
+        }
+        let f = freq_out.expect("a full window must yield a dominant frequency");
+        assert!((f - freq).abs() < rate / n as f64, "freq = {f}");
+    }
+
+    #[test]
+    fn dominant_ratio_flags_pitched_windows() {
+        let rate = 8000.0;
+        let mut ratio = AlgoInstance::new(NodeId(1), &AlgorithmKind::DominantRatio, 1, rate);
+        // Peaked magnitude spectrum (as if from a siren).
+        let mut mags = vec![0.1; 129];
+        mags[40] = 30.0;
+        ratio.feed(0, &Tagged::new(0, mags)).unwrap();
+        let pitched = ratio.take_result().unwrap().value.as_scalar().unwrap();
+        assert!(pitched > 20.0);
+        // Flat spectrum (noise).
+        ratio.feed(0, &Tagged::new(1, vec![1.0; 129])).unwrap();
+        let noisy = ratio.take_result().unwrap().value.as_scalar().unwrap();
+        assert!((noisy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sustained_requires_consecutive_arrivals() {
+        // Windows arrive every 256 samples; require 3 consecutive.
+        let mut s = AlgoInstance::new(
+            NodeId(1),
+            &AlgorithmKind::Sustained {
+                count: 3,
+                max_gap: 256,
+            },
+            1,
+            8000.0,
+        );
+        assert_eq!(feed_scalar(&mut s, 256, 1.0), None);
+        assert_eq!(feed_scalar(&mut s, 512, 1.0), None);
+        assert_eq!(feed_scalar(&mut s, 768, 1.0), Some(1.0));
+        // A gap resets the streak.
+        assert_eq!(feed_scalar(&mut s, 2048, 1.0), None);
+        assert_eq!(feed_scalar(&mut s, 2304, 1.0), None);
+        assert_eq!(feed_scalar(&mut s, 2560, 1.0), Some(1.0));
+    }
+
+    #[test]
+    fn all_of_and_any_of_join_semantics() {
+        let mut all = AlgoInstance::new(NodeId(1), &AlgorithmKind::AllOf, 2, 50.0);
+        all.feed(0, &scalar(0, 1.0)).unwrap();
+        assert!(!all.has_result());
+        all.feed(1, &scalar(0, 2.0)).unwrap();
+        assert_eq!(all.take_result().unwrap().value.as_scalar(), Some(2.0));
+
+        let mut any = AlgoInstance::new(NodeId(2), &AlgorithmKind::AnyOf, 2, 50.0);
+        any.feed(1, &scalar(0, 7.0)).unwrap();
+        assert_eq!(any.take_result().unwrap().value.as_scalar(), Some(7.0));
+    }
+
+    #[test]
+    fn stats_reduce_windows() {
+        let window = Tagged::new(0, vec![1.0, 2.0, 3.0, 4.0]);
+        let cases = [
+            (StatFn::Mean, 2.5),
+            (StatFn::Variance, 1.25),
+            (StatFn::Min, 1.0),
+            (StatFn::Max, 4.0),
+            (StatFn::PeakToPeak, 3.0),
+            (StatFn::Energy, 30.0),
+        ];
+        for (s, expected) in cases {
+            let mut inst = AlgoInstance::new(NodeId(1), &AlgorithmKind::Stat(s), 1, 50.0);
+            inst.feed(0, &window).unwrap();
+            let got = inst.take_result().unwrap().value.as_scalar().unwrap();
+            assert!((got - expected).abs() < 1e-9, "{s:?}: {got} != {expected}");
+        }
+    }
+
+    #[test]
+    fn zcr_variance_distinguishes_modulated_windows() {
+        let mut inst = AlgoInstance::new(
+            NodeId(1),
+            &AlgorithmKind::ZcrVariance { sub_windows: 4 },
+            1,
+            8000.0,
+        );
+        // Half alternating, half constant → non-zero variance.
+        let mut samples: Vec<f64> = (0..32)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        samples.extend(std::iter::repeat_n(1.0, 32));
+        inst.feed(0, &Tagged::new(0, samples)).unwrap();
+        let v = inst.take_result().unwrap().value.as_scalar().unwrap();
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let mut fft_node = AlgoInstance::new(NodeId(9), &AlgorithmKind::Fft, 1, 8000.0);
+        let err = fft_node.feed(0, &scalar(0, 1.0)).unwrap_err();
+        assert_eq!(err, ExecError::TypeError { id: NodeId(9) });
+        assert!(err.to_string().contains("node 9"));
+    }
+
+    #[test]
+    fn bad_transform_length_is_reported() {
+        let mut fft_node = AlgoInstance::new(NodeId(3), &AlgorithmKind::Fft, 1, 8000.0);
+        let err = fft_node
+            .feed(0, &Tagged::new(0, vec![0.0; 100]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::BadTransformLength {
+                id: NodeId(3),
+                len: 100
+            }
+        );
+    }
+
+    #[test]
+    fn bad_port_is_reported() {
+        let mut vm = AlgoInstance::new(NodeId(5), &AlgorithmKind::VectorMagnitude, 2, 50.0);
+        let err = vm.feed(5, &scalar(0, 1.0)).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::BadPort {
+                id: NodeId(5),
+                port: 5
+            }
+        );
+    }
+
+    #[test]
+    fn ifft_round_trips_through_fft() {
+        let n = 64;
+        let mut fft_node = AlgoInstance::new(NodeId(1), &AlgorithmKind::Fft, 1, 8000.0);
+        let mut ifft_node = AlgoInstance::new(NodeId(2), &AlgorithmKind::Ifft, 1, 8000.0);
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        fft_node.feed(0, &Tagged::new(0, signal.clone())).unwrap();
+        let spectrum = fft_node.take_result().unwrap();
+        ifft_node.feed(0, &spectrum).unwrap();
+        let back = ifft_node.take_result().unwrap();
+        for (a, b) in back.value.as_vector().unwrap().iter().zip(&signal) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut ma = AlgoInstance::new(NodeId(1), &AlgorithmKind::MovingAvg { window: 2 }, 1, 50.0);
+        feed_scalar(&mut ma, 0, 100.0);
+        ma.reset();
+        assert_eq!(feed_scalar(&mut ma, 1, 1.0), None);
+        assert_eq!(feed_scalar(&mut ma, 2, 3.0), Some(2.0));
+
+        let mut s = AlgoInstance::new(
+            NodeId(2),
+            &AlgorithmKind::Sustained {
+                count: 2,
+                max_gap: 1,
+            },
+            1,
+            50.0,
+        );
+        feed_scalar(&mut s, 0, 1.0);
+        s.reset();
+        assert_eq!(feed_scalar(&mut s, 1, 1.0), None);
+    }
+
+    #[test]
+    fn lowpass_instance_filters_window() {
+        let rate = 8000.0;
+        let n = 256;
+        let mut lp = AlgoInstance::new(
+            NodeId(1),
+            &AlgorithmKind::LowPass { cutoff_hz: 500.0 },
+            1,
+            rate,
+        );
+        let high_tone: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 3000.0 * i as f64 / rate).sin())
+            .collect();
+        lp.feed(0, &Tagged::new(0, high_tone)).unwrap();
+        let out = lp.take_result().unwrap();
+        let filtered = out.value.as_vector().unwrap();
+        let rms = (filtered.iter().map(|x| x * x).sum::<f64>() / n as f64).sqrt();
+        assert!(rms < 0.01, "high tone should be removed, rms = {rms}");
+    }
+}

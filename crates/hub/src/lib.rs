@@ -1,0 +1,57 @@
+//! The Sidewinder low-power sensor-hub substrate.
+//!
+//! The paper's hub (§3.4–3.6) is a microcontroller (TI MSP430 or TI
+//! LM4F120) running a small interpreter over the intermediate language:
+//! each IR node becomes an algorithm instance holding its own data
+//! structure with a `hasResult` flag; the interpreter feeds sensor samples
+//! in, propagates flagged results along the dataflow edges, and reports a
+//! wake-up whenever a value reaches `OUT`.
+//!
+//! This crate reproduces that substrate:
+//!
+//! * [`value`] — the values flowing along edges (scalars, windows,
+//!   complex spectra), tagged with source-sample sequence numbers;
+//! * [`instance`] — executable algorithm instances (the paper's per-node
+//!   data structure), one per [`sidewinder_ir::AlgorithmKind`];
+//! * [`runtime`] — the interpreter ([`HubRuntime`]): loads a validated IR
+//!   program, accepts samples, and emits [`runtime::WakeEvent`]s;
+//! * [`cost`] — a flop/memory cost model for pipelines;
+//! * [`mcu`] — microcontroller capability models; the MSP430 cannot run
+//!   FFT stages in real time, reproducing the paper's Table 2 footnote;
+//! * [`link`] — the phone↔hub serial link budget (paper §3.4).
+//!
+//! # Example
+//!
+//! ```
+//! use sidewinder_hub::runtime::HubRuntime;
+//! use sidewinder_ir::Program;
+//! use sidewinder_sensors::SensorChannel;
+//!
+//! let program: Program = "\
+//! ACC_X -> movingAvg(id=1, params={4});
+//! 1 -> minThreshold(id=2, params={5});
+//! 2 -> OUT;
+//! ".parse()?;
+//! let mut hub = HubRuntime::load(&program, &Default::default())?;
+//! // Quiet samples do not wake the CPU; a loud burst does.
+//! for _ in 0..8 {
+//!     assert!(hub.push_sample(SensorChannel::AccX, 0.0)?.is_empty());
+//! }
+//! let mut woke = false;
+//! for _ in 0..8 {
+//!     woke |= !hub.push_sample(SensorChannel::AccX, 9.0)?.is_empty();
+//! }
+//! assert!(woke);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cost;
+pub mod instance;
+pub mod link;
+pub mod mcu;
+pub mod runtime;
+pub mod value;
+
+pub use mcu::Mcu;
+pub use runtime::{HubError, HubRuntime};
+pub use value::{Tagged, Value};

@@ -1,0 +1,141 @@
+//! The phone↔hub serial link model.
+//!
+//! The paper's prototype connects the Nexus 4 to the microcontroller over
+//! the UART exposed on the audio jack (§3.4): "The serial connection
+//! provides sufficient bandwidth to support low bit-rate sensors, such as
+//! the accelerometer, a microphone or GPS. However, extending the
+//! prototype to work with higher bit-rate sensors like the camera would
+//! require a higher bandwidth data bus, such as I²C." This module models
+//! that budget: per-channel byte rates against a configured baud rate, and
+//! the transfer time for the raw-data buffer handed to the application on
+//! wake-up.
+
+use sidewinder_sensors::{Micros, SensorChannel};
+
+/// A serial link with a fixed symbol rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SerialLink {
+    baud: u32,
+}
+
+/// Error returned when the requested channel set exceeds the link budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthExceededError {
+    /// Bytes per second the channels demand.
+    pub demanded_bytes_per_s: f64,
+    /// Bytes per second the link can carry.
+    pub capacity_bytes_per_s: f64,
+}
+
+impl std::fmt::Display for BandwidthExceededError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "channels demand {:.0} B/s but the link carries {:.0} B/s",
+            self.demanded_bytes_per_s, self.capacity_bytes_per_s
+        )
+    }
+}
+
+impl std::error::Error for BandwidthExceededError {}
+
+impl SerialLink {
+    /// The Nexus 4 debugging UART configuration used by the prototype.
+    pub const NEXUS4_UART: SerialLink = SerialLink { baud: 115_200 };
+
+    /// Creates a link with the given baud rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baud` is zero.
+    pub fn new(baud: u32) -> Self {
+        assert!(baud > 0, "baud rate must be non-zero");
+        SerialLink { baud }
+    }
+
+    /// The configured baud rate.
+    pub fn baud(&self) -> u32 {
+        self.baud
+    }
+
+    /// Effective payload capacity in bytes per second (8N1 framing: 10
+    /// symbols per byte).
+    pub fn capacity_bytes_per_s(&self) -> f64 {
+        self.baud as f64 / 10.0
+    }
+
+    /// Checks that streaming all `channels` concurrently fits the link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BandwidthExceededError`] when the aggregate sensor byte
+    /// rate exceeds capacity.
+    pub fn check_channels(&self, channels: &[SensorChannel]) -> Result<(), BandwidthExceededError> {
+        let demanded: f64 = channels.iter().map(|c| c.bytes_per_second()).sum();
+        let capacity = self.capacity_bytes_per_s();
+        if demanded > capacity {
+            Err(BandwidthExceededError {
+                demanded_bytes_per_s: demanded,
+                capacity_bytes_per_s: capacity,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Time to transfer a buffer of `bytes` (e.g. the raw sensor window
+    /// handed to the application on wake-up).
+    pub fn transfer_time(&self, bytes: usize) -> Micros {
+        Micros::from_secs_f64(bytes as f64 / self.capacity_bytes_per_s())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uart_carries_every_prototype_sensor() {
+        // "The serial connection provides sufficient bandwidth to support
+        // low bit-rate sensors, such as the accelerometer, a microphone
+        // or GPS" (§3.4).
+        let link = SerialLink::NEXUS4_UART;
+        assert!(link.check_channels(&SensorChannel::ALL).is_ok());
+        // But a camera-class stream (a few MB/s) would not fit — the
+        // paper points to I²C for that. Model it as 100 such channels.
+        let camera_like = vec![SensorChannel::Mic; 100];
+        assert!(link.check_channels(&camera_like).is_err());
+    }
+
+    #[test]
+    fn capacity_accounts_for_framing() {
+        assert_eq!(SerialLink::new(115_200).capacity_bytes_per_s(), 11_520.0);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let link = SerialLink::new(115_200);
+        assert_eq!(link.transfer_time(11_520), Micros::from_secs(1));
+        assert_eq!(link.transfer_time(0), Micros::ZERO);
+    }
+
+    #[test]
+    fn error_reports_rates() {
+        let err = SerialLink::new(300)
+            .check_channels(&[SensorChannel::AccX])
+            .unwrap_err();
+        assert!(err.to_string().contains("B/s"));
+        assert_eq!(err.capacity_bytes_per_s, 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baud rate must be non-zero")]
+    fn zero_baud_rejected() {
+        SerialLink::new(0);
+    }
+
+    #[test]
+    fn accessor_returns_baud() {
+        assert_eq!(SerialLink::NEXUS4_UART.baud(), 115_200);
+    }
+}

@@ -1,0 +1,547 @@
+//! The hub interpreter.
+//!
+//! [`HubRuntime`] is this reproduction's equivalent of the paper's C
+//! interpreter (§3.5): "Upon receiving a new configuration, the runtime
+//! allocates memory for each algorithm in the configuration. The
+//! interpreter then waits for sensor data to be available and feeds the
+//! data into the appropriate algorithm. If the algorithm produces a
+//! result, it sets a flag. The interpreter checks the flag and if
+//! necessary sends the result to the next algorithm. … The final algorithm
+//! feeds into OUT, indicating that the main processor should be woken up."
+//!
+//! Because the textual IR is define-before-use, statement order is a
+//! topological order of the dataflow graph, and one pass over the node
+//! list per incoming sample propagates every derived result.
+
+use crate::instance::{AlgoInstance, ExecError};
+use crate::value::Tagged;
+use sidewinder_ir::{NodeId, Program, Source, ValidateError};
+use sidewinder_sensors::SensorChannel;
+use std::collections::BTreeMap;
+
+/// Per-channel sample rates used to configure frequency-aware stages.
+///
+/// `Default` yields each channel's [`SensorChannel::default_rate_hz`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelRates {
+    rates: BTreeMap<SensorChannel, f64>,
+}
+
+impl Default for ChannelRates {
+    fn default() -> Self {
+        ChannelRates {
+            rates: SensorChannel::ALL
+                .into_iter()
+                .map(|c| (c, c.default_rate_hz()))
+                .collect(),
+        }
+    }
+}
+
+impl ChannelRates {
+    /// Overrides one channel's rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is not positive and finite.
+    pub fn with_rate(mut self, channel: SensorChannel, rate_hz: f64) -> Self {
+        assert!(
+            rate_hz.is_finite() && rate_hz > 0.0,
+            "sample rate must be positive, got {rate_hz}"
+        );
+        self.rates.insert(channel, rate_hz);
+        self
+    }
+
+    /// The rate configured for `channel`.
+    pub fn rate_of(&self, channel: SensorChannel) -> f64 {
+        self.rates
+            .get(&channel)
+            .copied()
+            .unwrap_or_else(|| channel.default_rate_hz())
+    }
+}
+
+/// A wake-up raised by the hub: a value reached `OUT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WakeEvent {
+    /// Sequence number (source-sample index) the triggering value derives
+    /// from.
+    pub seq: u64,
+    /// The scalar value delivered to `OUT`.
+    pub value: f64,
+}
+
+/// Errors raised while loading or running a program on the hub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HubError {
+    /// The program failed structural validation.
+    Invalid(ValidateError),
+    /// An algorithm instance failed at run time.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for HubError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HubError::Invalid(e) => write!(f, "invalid program: {e}"),
+            HubError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HubError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HubError::Invalid(e) => Some(e),
+            HubError::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<ValidateError> for HubError {
+    fn from(e: ValidateError) -> Self {
+        HubError::Invalid(e)
+    }
+}
+
+impl From<ExecError> for HubError {
+    fn from(e: ExecError) -> Self {
+        HubError::Exec(e)
+    }
+}
+
+/// One loaded node: its instance plus its input edges.
+#[derive(Debug, Clone)]
+struct LoadedNode {
+    instance: AlgoInstance,
+    sources: Vec<Source>,
+}
+
+/// The hub interpreter: a loaded wake-up condition ready to consume
+/// samples.
+#[derive(Debug, Clone)]
+pub struct HubRuntime {
+    nodes: Vec<LoadedNode>,
+    out_source: NodeId,
+    channel_seq: BTreeMap<SensorChannel, u64>,
+    wake_count: u64,
+}
+
+impl HubRuntime {
+    /// Validates `program` and allocates one algorithm instance per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HubError::Invalid`] if the program fails validation.
+    pub fn load(program: &Program, rates: &ChannelRates) -> Result<Self, HubError> {
+        program.validate()?;
+        // Propagate sample rates: a node inherits the rate of its first
+        // source (aggregators merge branches of equal rate in practice).
+        let mut node_rates: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let mut nodes = Vec::new();
+        for (sources, id, kind) in program.nodes() {
+            let rate = match sources
+                .first()
+                .expect("validation guarantees at least one source")
+            {
+                Source::Channel(c) => rates.rate_of(*c),
+                Source::Node(src) => node_rates[src],
+            };
+            node_rates.insert(id, rate);
+            nodes.push(LoadedNode {
+                instance: AlgoInstance::new(id, kind, sources.len(), rate),
+                sources: sources.to_vec(),
+            });
+        }
+        Ok(HubRuntime {
+            nodes,
+            out_source: program
+                .out_source()
+                .expect("validation guarantees an OUT statement"),
+            channel_seq: BTreeMap::new(),
+            wake_count: 0,
+        })
+    }
+
+    /// Number of algorithm instances allocated.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total wake-ups raised since load (or the last [`HubRuntime::reset`]).
+    pub fn wake_count(&self) -> u64 {
+        self.wake_count
+    }
+
+    /// Feeds one sensor sample and propagates it through the pipeline.
+    ///
+    /// Returns the wake events raised by this sample (at most one per
+    /// `OUT`-feeding emission).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HubError::Exec`] if an instance fails; the runtime is
+    /// left in a consistent state and may continue receiving samples.
+    pub fn push_sample(
+        &mut self,
+        channel: SensorChannel,
+        sample: f64,
+    ) -> Result<Vec<WakeEvent>, HubError> {
+        let seq_entry = self.channel_seq.entry(channel).or_insert(0);
+        let seq = *seq_entry;
+        *seq_entry += 1;
+
+        let sample_tag = Tagged::new(seq, sample);
+        // Results freshly produced during this pass, consumable by later
+        // nodes (statement order is topological).
+        let mut fresh: BTreeMap<NodeId, Tagged> = BTreeMap::new();
+        let mut wakes = Vec::new();
+
+        for node in &mut self.nodes {
+            let mut produced = None;
+            for (port, source) in node.sources.iter().enumerate() {
+                let input = match source {
+                    Source::Channel(c) if *c == channel => Some(&sample_tag),
+                    Source::Channel(_) => None,
+                    Source::Node(src) => fresh.get(src),
+                };
+                if let Some(input) = input {
+                    node.instance.feed(port, input)?;
+                    if let Some(result) = node.instance.take_result() {
+                        produced = Some(result);
+                    }
+                }
+            }
+            if let Some(result) = produced {
+                if node.instance.id() == self.out_source {
+                    if let Some(value) = result.value.as_scalar() {
+                        wakes.push(WakeEvent {
+                            seq: result.seq,
+                            value,
+                        });
+                    }
+                }
+                fresh.insert(node.instance.id(), result);
+            }
+        }
+        self.wake_count += wakes.len() as u64;
+        Ok(wakes)
+    }
+
+    /// Clears all instance state and counters, keeping the configuration.
+    pub fn reset(&mut self) {
+        for node in &mut self.nodes {
+            node.instance.reset();
+        }
+        self.channel_seq.clear();
+        self.wake_count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_ir::Program;
+
+    fn load(text: &str) -> HubRuntime {
+        let program: Program = text.parse().unwrap();
+        HubRuntime::load(&program, &ChannelRates::default()).unwrap()
+    }
+
+    #[test]
+    fn load_rejects_invalid_programs() {
+        let program: Program = "ACC_X -> movingAvg(id=1, params={10});".parse().unwrap();
+        let err = HubRuntime::load(&program, &ChannelRates::default()).unwrap_err();
+        assert!(matches!(err, HubError::Invalid(ValidateError::MissingOut)));
+        assert!(err.to_string().contains("OUT"));
+    }
+
+    #[test]
+    fn significant_motion_pipeline_wakes_on_vigorous_motion() {
+        // The paper's Fig. 2 example, with a threshold above resting
+        // gravity magnitude (~9.81).
+        let mut hub = load(
+            "ACC_X -> movingAvg(id=1, params={10});
+             ACC_Y -> movingAvg(id=2, params={10});
+             ACC_Z -> movingAvg(id=3, params={10});
+             1,2,3 -> vectorMagnitude(id=4);
+             4 -> minThreshold(id=5, params={15});
+             5 -> OUT;",
+        );
+        assert_eq!(hub.node_count(), 5);
+
+        // Resting: gravity only.
+        for _ in 0..50 {
+            for (c, v) in [
+                (SensorChannel::AccX, 0.0),
+                (SensorChannel::AccY, 0.0),
+                (SensorChannel::AccZ, 9.81),
+            ] {
+                assert!(hub.push_sample(c, v).unwrap().is_empty());
+            }
+        }
+        assert_eq!(hub.wake_count(), 0);
+
+        // Vigorous shaking: large magnitude on all axes.
+        let mut woke = false;
+        for _ in 0..50 {
+            for c in SensorChannel::ACCEL {
+                woke |= !hub.push_sample(c, 12.0).unwrap().is_empty();
+            }
+        }
+        assert!(woke);
+        assert!(hub.wake_count() > 0);
+    }
+
+    #[test]
+    fn wake_events_carry_value_and_seq() {
+        let mut hub = load(
+            "ACC_X -> movingAvg(id=1, params={2});
+             1 -> minThreshold(id=2, params={5});
+             2 -> OUT;",
+        );
+        hub.push_sample(SensorChannel::AccX, 6.0).unwrap();
+        let wakes = hub.push_sample(SensorChannel::AccX, 8.0).unwrap();
+        assert_eq!(wakes.len(), 1);
+        assert_eq!(wakes[0].value, 7.0);
+        assert_eq!(wakes[0].seq, 1);
+    }
+
+    #[test]
+    fn irrelevant_channels_are_ignored() {
+        let mut hub = load(
+            "ACC_X -> movingAvg(id=1, params={1});
+             1 -> minThreshold(id=2, params={0});
+             2 -> OUT;",
+        );
+        // Mic samples never touch the accelerometer pipeline.
+        assert!(hub
+            .push_sample(SensorChannel::Mic, 99.0)
+            .unwrap()
+            .is_empty());
+        assert!(!hub
+            .push_sample(SensorChannel::AccX, 1.0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn audio_window_pipeline_counts_windows() {
+        let mut hub = load(
+            "MIC -> window(id=1, params={64, 64, 0});
+             1 -> rms(id=2);
+             2 -> minThreshold(id=3, params={0.5});
+             3 -> OUT;",
+        );
+        // 128 loud samples → two windows → two wakes.
+        let mut wakes = 0;
+        for i in 0..128u64 {
+            let x = if i % 2 == 0 { 1.0 } else { -1.0 };
+            wakes += hub.push_sample(SensorChannel::Mic, x).unwrap().len();
+        }
+        assert_eq!(wakes, 2);
+        // 128 quiet samples → no wakes.
+        for _ in 0..128 {
+            assert!(hub
+                .push_sample(SensorChannel::Mic, 0.001)
+                .unwrap()
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn branching_window_feeds_two_consumers() {
+        // One window feeding both a variance branch and a ZCR branch,
+        // joined by allOf — the music-journal shape (paper §3.7.2).
+        let mut hub = load(
+            "MIC -> window(id=1, params={64, 64, 0});
+             1 -> variance(id=2);
+             1 -> zcrVariance(id=3, params={4});
+             2 -> minThreshold(id=4, params={0.01});
+             3 -> minThreshold(id=5, params={0});
+             4,5 -> allOf(id=6);
+             6 -> OUT;",
+        );
+        let mut woke = false;
+        for i in 0..256u64 {
+            // Alternate loud high-ZCR and quiet segments within windows.
+            let x = if (i / 8) % 2 == 0 {
+                if i % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            } else {
+                0.0
+            };
+            woke |= !hub.push_sample(SensorChannel::Mic, x).unwrap().is_empty();
+        }
+        assert!(woke);
+    }
+
+    #[test]
+    fn sustained_siren_shape_requires_duration() {
+        // Pitched windows must persist for 3 consecutive windows
+        // (hop = 64) before OUT fires.
+        let text = "MIC -> window(id=1, params={64, 64, 0});
+             1 -> fft(id=2);
+             2 -> spectralMagnitude(id=3);
+             3 -> dominantRatio(id=4);
+             4 -> minThreshold(id=5, params={5});
+             5 -> sustained(id=6, params={3, 64});
+             6 -> OUT;";
+        let mut hub = load(text);
+        let rate = 8000.0;
+        let tone = |i: u64| (2.0 * std::f64::consts::PI * 1000.0 * i as f64 / rate).sin();
+
+        // Two pitched windows: not enough.
+        let mut wakes = 0;
+        for i in 0..128u64 {
+            wakes += hub.push_sample(SensorChannel::Mic, tone(i)).unwrap().len();
+        }
+        assert_eq!(wakes, 0);
+        // A third consecutive pitched window triggers.
+        for i in 128..192u64 {
+            wakes += hub.push_sample(SensorChannel::Mic, tone(i)).unwrap().len();
+        }
+        assert_eq!(wakes, 1);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut hub = load(
+            "ACC_X -> movingAvg(id=1, params={2});
+             1 -> minThreshold(id=2, params={0});
+             2 -> OUT;",
+        );
+        hub.push_sample(SensorChannel::AccX, 1.0).unwrap();
+        hub.push_sample(SensorChannel::AccX, 1.0).unwrap();
+        assert_eq!(hub.wake_count(), 1);
+        hub.reset();
+        assert_eq!(hub.wake_count(), 0);
+        // Warm-up required again after reset.
+        assert!(hub
+            .push_sample(SensorChannel::AccX, 1.0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn channel_rates_validation() {
+        let rates = ChannelRates::default().with_rate(SensorChannel::Mic, 16_000.0);
+        assert_eq!(rates.rate_of(SensorChannel::Mic), 16_000.0);
+        assert_eq!(rates.rate_of(SensorChannel::AccX), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate must be positive")]
+    fn channel_rates_reject_zero() {
+        let _ = ChannelRates::default().with_rate(SensorChannel::Mic, 0.0);
+    }
+
+    #[test]
+    fn fft_ifft_round_trip_inside_a_program() {
+        // window → fft → ifft → rms reproduces the plain window → rms
+        // pipeline (the inverse transform is exact).
+        let text_roundtrip = "MIC -> window(id=1, params={64, 64, 0});
+             1 -> fft(id=2);
+             2 -> ifft(id=3);
+             3 -> rms(id=4);
+             4 -> minThreshold(id=5, params={0.5});
+             5 -> OUT;";
+        let text_direct = "MIC -> window(id=1, params={64, 64, 0});
+             1 -> rms(id=2);
+             2 -> minThreshold(id=3, params={0.5});
+             3 -> OUT;";
+        let mut roundtrip = load(text_roundtrip);
+        let mut direct = load(text_direct);
+        for i in 0..512u64 {
+            let x = (i as f64 * 0.7).sin();
+            let a = roundtrip.push_sample(SensorChannel::Mic, x).unwrap();
+            let b = direct.push_sample(SensorChannel::Mic, x).unwrap();
+            assert_eq!(a.len(), b.len(), "wake mismatch at sample {i}");
+            for (wa, wb) in a.iter().zip(&b) {
+                assert!((wa.value - wb.value).abs() < 1e-9);
+            }
+        }
+        assert!(roundtrip.wake_count() > 0);
+    }
+
+    #[test]
+    fn any_of_joins_with_or_semantics() {
+        // Wake when either axis exceeds its own threshold.
+        let mut hub = load(
+            "ACC_X -> minThreshold(id=1, params={5});
+             ACC_Y -> minThreshold(id=2, params={7});
+             1,2 -> anyOf(id=3);
+             3 -> OUT;",
+        );
+        // Only x exceeds: wakes.
+        assert!(!hub
+            .push_sample(SensorChannel::AccX, 6.0)
+            .unwrap()
+            .is_empty());
+        assert!(hub
+            .push_sample(SensorChannel::AccY, 6.0)
+            .unwrap()
+            .is_empty());
+        // Only y exceeds: wakes.
+        assert!(hub
+            .push_sample(SensorChannel::AccX, 1.0)
+            .unwrap()
+            .is_empty());
+        assert!(!hub
+            .push_sample(SensorChannel::AccY, 8.0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn exp_moving_average_runs_in_a_program() {
+        let mut hub = load(
+            "ACC_X -> expMovingAvg(id=1, params={0.5});
+             1 -> minThreshold(id=2, params={3});
+             2 -> OUT;",
+        );
+        // EMA of constant 4: first output 4 ≥ 3 → immediate wake.
+        assert!(!hub
+            .push_sample(SensorChannel::AccX, 4.0)
+            .unwrap()
+            .is_empty());
+        // EMA decays from 4 toward 0: 2.0 at the next quiet sample.
+        assert!(hub
+            .push_sample(SensorChannel::AccX, 0.0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn runtime_survives_exec_error() {
+        // A magnitude vector (length 33) flowing into lowPass triggers a
+        // run-time transform-length error; the runtime reports it and can
+        // keep going.
+        let mut hub = load(
+            "MIC -> window(id=1, params={64, 64, 0});
+             1 -> fft(id=2);
+             2 -> spectralMagnitude(id=3);
+             3 -> lowPass(id=4, params={100});
+             4 -> rms(id=5);
+             5 -> minThreshold(id=6, params={0});
+             6 -> OUT;",
+        );
+        let mut saw_error = false;
+        for i in 0..64u64 {
+            match hub.push_sample(SensorChannel::Mic, (i as f64 * 0.1).sin()) {
+                Ok(_) => {}
+                Err(HubError::Exec(ExecError::BadTransformLength { len: 33, .. })) => {
+                    saw_error = true;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_error);
+        // Still accepts samples afterwards.
+        assert!(hub.push_sample(SensorChannel::Mic, 0.0).is_ok());
+    }
+}

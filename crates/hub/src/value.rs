@@ -1,0 +1,137 @@
+//! Values flowing along pipeline edges.
+
+use sidewinder_dsp::Complex;
+use sidewinder_ir::ValueType;
+
+/// A value produced by an algorithm instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// One number: a raw sample, an extracted feature, or an
+    /// admission-control output.
+    Scalar(f64),
+    /// A window of real samples or a magnitude spectrum.
+    Vector(Vec<f64>),
+    /// A complex spectrum produced by `fft`.
+    Spectrum(Vec<Complex>),
+}
+
+impl Value {
+    /// The IR-level type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Scalar(_) => ValueType::Scalar,
+            Value::Vector(_) => ValueType::Vector,
+            Value::Spectrum(_) => ValueType::Spectrum,
+        }
+    }
+
+    /// The scalar payload, if this is a scalar.
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            Value::Scalar(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The vector payload, if this is a vector.
+    pub fn as_vector(&self) -> Option<&[f64]> {
+        match self {
+            Value::Vector(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The spectrum payload, if this is a spectrum.
+    pub fn as_spectrum(&self) -> Option<&[Complex]> {
+        match self {
+            Value::Spectrum(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Scalar(x)
+    }
+}
+
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::Vector(v)
+    }
+}
+
+impl From<Vec<Complex>> for Value {
+    fn from(s: Vec<Complex>) -> Self {
+        Value::Spectrum(s)
+    }
+}
+
+/// A value tagged with the source-sample sequence number it derives from.
+///
+/// Sequence numbers let duration conditions (`sustained`) recognize
+/// *consecutive* window emissions without the interpreter having a clock:
+/// two windows are consecutive when their tags differ by the window hop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tagged {
+    /// Index of the newest source sample this value derives from.
+    pub seq: u64,
+    /// The payload.
+    pub value: Value,
+}
+
+impl Tagged {
+    /// Creates a tagged value.
+    pub fn new(seq: u64, value: impl Into<Value>) -> Self {
+        Tagged {
+            seq,
+            value: value.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_types_match_payloads() {
+        assert_eq!(Value::Scalar(1.0).value_type(), ValueType::Scalar);
+        assert_eq!(Value::Vector(vec![]).value_type(), ValueType::Vector);
+        assert_eq!(Value::Spectrum(vec![]).value_type(), ValueType::Spectrum);
+    }
+
+    #[test]
+    fn accessors_are_type_selective() {
+        let s = Value::Scalar(2.5);
+        assert_eq!(s.as_scalar(), Some(2.5));
+        assert!(s.as_vector().is_none());
+        assert!(s.as_spectrum().is_none());
+
+        let v = Value::Vector(vec![1.0, 2.0]);
+        assert_eq!(v.as_vector(), Some(&[1.0, 2.0][..]));
+        assert!(v.as_scalar().is_none());
+
+        let sp = Value::Spectrum(vec![Complex::ONE]);
+        assert_eq!(sp.as_spectrum().unwrap().len(), 1);
+        assert!(sp.as_vector().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(1.5), Value::Scalar(1.5));
+        assert_eq!(Value::from(vec![1.0]), Value::Vector(vec![1.0]));
+        assert_eq!(
+            Value::from(vec![Complex::ZERO]),
+            Value::Spectrum(vec![Complex::ZERO])
+        );
+    }
+
+    #[test]
+    fn tagged_carries_seq() {
+        let t = Tagged::new(42, 1.0);
+        assert_eq!(t.seq, 42);
+        assert_eq!(t.value, Value::Scalar(1.0));
+    }
+}

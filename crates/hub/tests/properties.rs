@@ -1,0 +1,116 @@
+//! Property tests over the hub interpreter.
+
+use proptest::prelude::*;
+use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+use sidewinder_ir::Program;
+use sidewinder_sensors::SensorChannel;
+
+fn load(text: &str) -> HubRuntime {
+    let p: Program = text.parse().unwrap();
+    HubRuntime::load(&p, &ChannelRates::default()).unwrap()
+}
+
+proptest! {
+    /// A minThreshold pipeline wakes exactly on samples ≥ the threshold
+    /// (after a window-1 moving average, which is the identity).
+    #[test]
+    fn threshold_wakes_match_predicate(
+        samples in prop::collection::vec(-100.0f64..100.0, 1..200),
+        threshold in -50.0f64..50.0,
+    ) {
+        let mut hub = load(&format!(
+            "ACC_X -> movingAvg(id=1, params={{1}});
+             1 -> minThreshold(id=2, params={{{threshold}}});
+             2 -> OUT;"
+        ));
+        let mut wakes = 0usize;
+        for &x in &samples {
+            wakes += hub.push_sample(SensorChannel::AccX, x).unwrap().len();
+        }
+        let expected = samples.iter().filter(|&&x| x >= threshold).count();
+        prop_assert_eq!(wakes, expected);
+        prop_assert_eq!(hub.wake_count(), expected as u64);
+    }
+
+    /// Window pipelines emit exactly floor(n / hop) results once primed,
+    /// regardless of content.
+    #[test]
+    fn window_emission_count_is_deterministic(
+        n in 1usize..2000,
+        hop_bits in 3u32..7,
+    ) {
+        let hop = 1usize << hop_bits;
+        let mut hub = load(&format!(
+            "MIC -> window(id=1, params={{{hop}, {hop}, 0}});
+             1 -> rms(id=2);
+             2 -> minThreshold(id=3, params={{-1}});
+             3 -> OUT;"
+        ));
+        let mut wakes = 0usize;
+        for i in 0..n {
+            wakes += hub
+                .push_sample(SensorChannel::Mic, (i as f64).sin())
+                .unwrap()
+                .len();
+        }
+        prop_assert_eq!(wakes, n / hop);
+    }
+
+    /// The interpreter is deterministic: identical sample streams produce
+    /// identical wake sequences.
+    #[test]
+    fn runtime_is_deterministic(samples in prop::collection::vec(-10.0f64..10.0, 1..300)) {
+        let text = "ACC_X -> movingAvg(id=1, params={4});
+             1 -> outsideThreshold(id=2, params={-2, 2});
+             2 -> OUT;";
+        let mut a = load(text);
+        let mut b = load(text);
+        for &x in &samples {
+            let wa = a.push_sample(SensorChannel::AccX, x).unwrap();
+            let wb = b.push_sample(SensorChannel::AccX, x).unwrap();
+            prop_assert_eq!(wa, wb);
+        }
+    }
+
+    /// Reset returns the runtime to its freshly loaded behaviour.
+    #[test]
+    fn reset_equals_fresh_load(samples in prop::collection::vec(-10.0f64..10.0, 1..100)) {
+        let text = "ACC_X -> movingAvg(id=1, params={8});
+             1 -> minThreshold(id=2, params={1});
+             2 -> OUT;";
+        let mut warmed = load(text);
+        for &x in &samples {
+            warmed.push_sample(SensorChannel::AccX, x).unwrap();
+        }
+        warmed.reset();
+        let mut fresh = load(text);
+        for &x in &samples {
+            prop_assert_eq!(
+                warmed.push_sample(SensorChannel::AccX, x).unwrap(),
+                fresh.push_sample(SensorChannel::AccX, x).unwrap()
+            );
+        }
+    }
+
+    /// Vector-magnitude joins never fire more often than the slowest
+    /// branch delivers.
+    #[test]
+    fn join_rate_bounded_by_branch_rate(frames in 1usize..200) {
+        let mut hub = load(
+            "ACC_X -> movingAvg(id=1, params={2});
+             ACC_Y -> movingAvg(id=2, params={4});
+             ACC_Z -> movingAvg(id=3, params={8});
+             1,2,3 -> vectorMagnitude(id=4);
+             4 -> minThreshold(id=5, params={-1});
+             5 -> OUT;",
+        );
+        let mut wakes = 0usize;
+        for _ in 0..frames {
+            for c in SensorChannel::ACCEL {
+                wakes += hub.push_sample(c, 1.0).unwrap().len();
+            }
+        }
+        // The slowest branch (window 8) limits the join.
+        prop_assert!(wakes <= frames.saturating_sub(7));
+    }
+}

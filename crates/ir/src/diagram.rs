@@ -1,0 +1,241 @@
+//! Conceptual-representation rendering (the paper's Fig. 2b).
+//!
+//! Alongside the Java API form (Fig. 2a) and the intermediate code
+//! (Fig. 2c), the paper draws wake-up conditions as boxed dataflow
+//! diagrams. [`render`] produces that view as ASCII art: one column per
+//! processing branch, merge points where aggregators join branches, and
+//! `OUT` at the bottom.
+//!
+//! ```text
+//!   ACC_X       ACC_Y       ACC_Z
+//!     |           |           |
+//! [movingAvg] [movingAvg] [movingAvg]
+//!     |           |           |
+//!     +-----------+-----------+
+//!                 |
+//!         [vectorMagnitude]
+//!                 |
+//!          [minThreshold]
+//!                 |
+//!                OUT
+//! ```
+
+use crate::ast::{NodeId, Program, Source};
+use std::collections::BTreeMap;
+
+/// Renders the conceptual diagram of a program.
+///
+/// Works for the pipeline shapes the compiler produces (parallel
+/// branches merged by aggregators into a single tail). Programs with
+/// more exotic sharing (e.g. fused multi-consumer nodes) still render,
+/// with shared nodes repeated per consuming branch.
+pub fn render(program: &Program) -> String {
+    // Build, for every node, its rendered label.
+    let label = |id: NodeId| -> String {
+        program
+            .nodes()
+            .find(|(_, nid, _)| *nid == id)
+            .map(|(_, _, kind)| format!("[{}]", kind.ir_name()))
+            .unwrap_or_else(|| format!("[#{id}]"))
+    };
+
+    // Reconstruct the branch columns: walk backwards from OUT, splitting
+    // at the first multi-input node.
+    let Some(out) = program.out_source() else {
+        return String::from("(no OUT)\n");
+    };
+    let inputs: BTreeMap<NodeId, Vec<Source>> = program
+        .nodes()
+        .map(|(sources, id, _)| (id, sources.to_vec()))
+        .collect();
+
+    // Tail: chain of single-input nodes from OUT up to the merge point
+    // (or to a channel).
+    let mut tail: Vec<NodeId> = Vec::new();
+    let mut cursor = out;
+    let branch_roots: Vec<Source> = loop {
+        tail.push(cursor);
+        match inputs.get(&cursor).map(Vec::as_slice) {
+            Some([Source::Node(single)]) => cursor = *single,
+            Some([Source::Channel(_)]) => {
+                break vec![inputs[&cursor][0]];
+            }
+            Some(multi) => break multi.to_vec(),
+            None => break Vec::new(),
+        }
+    };
+    tail.reverse();
+
+    // If the last tail element consumed a single channel, the "branches"
+    // are that channel alone and the tail keeps every node.
+    let single_branch = matches!(branch_roots.as_slice(), [Source::Channel(_)]);
+
+    // Column per branch: channel name at top, then the chain of nodes
+    // leading to the merge input.
+    let mut columns: Vec<Vec<String>> = Vec::new();
+    if single_branch {
+        if let [Source::Channel(c)] = branch_roots.as_slice() {
+            columns.push(vec![c.ir_name().to_string()]);
+        }
+    } else {
+        for root in &branch_roots {
+            let mut column = Vec::new();
+            let mut node = match root {
+                Source::Channel(c) => {
+                    columns.push(vec![c.ir_name().to_string()]);
+                    continue;
+                }
+                Source::Node(n) => *n,
+            };
+            // Walk up the chain to the channel.
+            let mut chain = Vec::new();
+            loop {
+                chain.push(label(node));
+                match inputs.get(&node).map(Vec::as_slice) {
+                    Some([Source::Node(up)]) => node = *up,
+                    Some([Source::Channel(c)]) => {
+                        chain.push(c.ir_name().to_string());
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            chain.reverse();
+            column.extend(chain);
+            columns.push(column);
+        }
+    }
+
+    // Lay out the columns side by side.
+    let col_width = columns
+        .iter()
+        .flatten()
+        .map(|s| s.len())
+        .chain(tail.iter().map(|id| label(*id).len()))
+        .max()
+        .unwrap_or(3)
+        + 2;
+    let height = columns.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out_text = String::new();
+    let center = |s: &str| format!("{s:^col_width$}");
+    for row in 0..height {
+        let mut line_nodes = String::new();
+        let mut line_pipes = String::new();
+        for column in &columns {
+            line_nodes.push_str(&center(column.get(row).map(String::as_str).unwrap_or("")));
+            line_pipes.push_str(&center(if row < column.len() { "|" } else { "" }));
+        }
+        out_text.push_str(line_nodes.trim_end());
+        out_text.push('\n');
+        out_text.push_str(line_pipes.trim_end());
+        out_text.push('\n');
+    }
+
+    // Merge rail when several branches join.
+    let total_width = col_width * columns.len().max(1);
+    if columns.len() > 1 {
+        let mut rail = String::new();
+        for (i, _) in columns.iter().enumerate() {
+            let marker = "+";
+            let pad = col_width / 2;
+            if i == 0 {
+                rail.push_str(&" ".repeat(pad));
+                rail.push_str(marker);
+            } else {
+                rail.push_str(&"-".repeat(col_width - 1));
+                rail.push_str(marker);
+            }
+        }
+        out_text.push_str(rail.trim_end());
+        out_text.push('\n');
+        out_text.push_str(format!("{:^total_width$}", "|").trim_end());
+        out_text.push('\n');
+    }
+
+    // The tail chain, centered on the full width.
+    for (i, id) in tail.iter().enumerate() {
+        out_text.push_str(format!("{:^total_width$}", label(*id)).trim_end());
+        out_text.push('\n');
+        if i + 1 < tail.len() {
+            out_text.push_str(format!("{:^total_width$}", "|").trim_end());
+            out_text.push('\n');
+        }
+    }
+    out_text.push_str(format!("{:^total_width$}", "|").trim_end());
+    out_text.push('\n');
+    out_text.push_str(format!("{:^total_width$}", "OUT").trim_end());
+    out_text.push('\n');
+    out_text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(text: &str) -> Program {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn renders_the_fig2_shape() {
+        let p = program(
+            "ACC_X -> movingAvg(id=1, params={10});
+             ACC_Y -> movingAvg(id=2, params={10});
+             ACC_Z -> movingAvg(id=3, params={10});
+             1,2,3 -> vectorMagnitude(id=4);
+             4 -> minThreshold(id=5, params={15});
+             5 -> OUT;",
+        );
+        let art = render(&p);
+        // All three channels on the first line.
+        let first = art.lines().next().unwrap();
+        assert!(first.contains("ACC_X") && first.contains("ACC_Y") && first.contains("ACC_Z"));
+        // Branch algorithm row shows three boxes.
+        assert_eq!(art.matches("[movingAvg]").count(), 3);
+        // The tail follows in order and ends at OUT.
+        let vm = art.find("[vectorMagnitude]").unwrap();
+        let thr = art.find("[minThreshold]").unwrap();
+        let out = art.rfind("OUT").unwrap();
+        assert!(vm < thr && thr < out);
+    }
+
+    #[test]
+    fn renders_single_branch_pipelines() {
+        let p = program(
+            "MIC -> window(id=1, params={256, 256, 0});
+             1 -> rms(id=2);
+             2 -> minThreshold(id=3, params={0.03});
+             3 -> OUT;",
+        );
+        let art = render(&p);
+        let mic = art.find("MIC").unwrap();
+        let window = art.find("[window]").unwrap();
+        let rms = art.find("[rms]").unwrap();
+        let out = art.rfind("OUT").unwrap();
+        assert!(mic < window && window < rms && rms < out, "{art}");
+    }
+
+    #[test]
+    fn renders_branches_with_different_depths() {
+        let p = program(
+            "MIC -> window(id=1, params={512, 512, 0});
+             1 -> variance(id=2);
+             2 -> minThreshold(id=3, params={0.002});
+             MIC -> window(id=4, params={2048, 2048, 0});
+             4 -> zcrVariance(id=5, params={8});
+             5 -> maxThreshold(id=6, params={0.005});
+             3,6 -> allOf(id=7);
+             7 -> OUT;",
+        );
+        let art = render(&p);
+        assert!(art.contains("[variance]"));
+        assert!(art.contains("[zcrVariance]"));
+        assert!(art.contains("[allOf]"));
+        assert!(art.trim_end().ends_with("OUT"));
+    }
+
+    #[test]
+    fn degenerate_program_renders_placeholder() {
+        assert_eq!(render(&Program::new()), "(no OUT)\n");
+    }
+}

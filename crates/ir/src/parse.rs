@@ -1,0 +1,375 @@
+//! Parser for the textual intermediate language.
+//!
+//! Grammar (whitespace-insensitive inside statements, `#`-to-end-of-line
+//! comments allowed):
+//!
+//! ```text
+//! program   := { statement }
+//! statement := sources "->" target ";"
+//! sources   := source { "," source }
+//! source    := CHANNEL | NODE_ID
+//! target    := "OUT"
+//!            | NAME "(" "id" "=" NODE_ID [ "," "params" "=" "{" numbers "}" ] ")"
+//! numbers   := [ NUMBER { "," NUMBER } ]
+//! ```
+
+use crate::ast::{AlgorithmKind, NodeId, Program, Source, Stmt};
+use sidewinder_sensors::SensorChannel;
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the failure.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a textual IR program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] locating the first malformed statement.
+pub fn parse(text: &str) -> Result<Program, ParseError> {
+    let mut program = Program::new();
+    // Statements are `;`-terminated; track line numbers by counting
+    // newlines seen before each statement's start.
+    let mut line = 1usize;
+    let mut rest = text;
+    loop {
+        // Skip whitespace and comments between statements.
+        loop {
+            let trimmed = rest.trim_start_matches(|c: char| {
+                if c == '\n' {
+                    line += 1;
+                    true
+                } else {
+                    c.is_whitespace()
+                }
+            });
+            if let Some(after) = trimmed.strip_prefix('#') {
+                let end = after.find('\n').map(|i| i + 1).unwrap_or(after.len());
+                if after[..end].contains('\n') {
+                    line += 1;
+                }
+                rest = &after[end..];
+            } else {
+                rest = trimmed;
+                break;
+            }
+        }
+        if rest.is_empty() {
+            break;
+        }
+        let Some(semi) = rest.find(';') else {
+            return Err(ParseError {
+                line,
+                message: "statement missing terminating ';'".to_string(),
+            });
+        };
+        let stmt_text = &rest[..semi];
+        let stmt_line = line;
+        line += stmt_text.matches('\n').count();
+        rest = &rest[semi + 1..];
+        let stmt = parse_statement(stmt_text, stmt_line)?;
+        match stmt {
+            Stmt::Node { sources, id, kind } => program.push_node(sources, id, kind),
+            Stmt::Out { source } => program.push_out(source),
+        }
+    }
+    Ok(program)
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_statement(text: &str, line: usize) -> Result<Stmt, ParseError> {
+    let Some((lhs, rhs)) = text.split_once("->") else {
+        return Err(err(line, "statement missing '->'"));
+    };
+    let rhs = rhs.trim();
+    if rhs == "OUT" {
+        let source = parse_node_id(lhs.trim(), line)?;
+        return Ok(Stmt::Out { source });
+    }
+    let sources = lhs
+        .split(',')
+        .map(|s| parse_source(s.trim(), line))
+        .collect::<Result<Vec<_>, _>>()?;
+    if sources.is_empty() {
+        return Err(err(line, "statement has no sources"));
+    }
+    let (id, kind) = parse_target(rhs, line)?;
+    Ok(Stmt::Node { sources, id, kind })
+}
+
+fn parse_source(text: &str, line: usize) -> Result<Source, ParseError> {
+    if text.is_empty() {
+        return Err(err(line, "empty source"));
+    }
+    if let Some(channel) = SensorChannel::from_ir_name(text) {
+        return Ok(Source::Channel(channel));
+    }
+    if text.chars().all(|c| c.is_ascii_digit()) {
+        return Ok(Source::Node(parse_node_id(text, line)?));
+    }
+    Err(err(line, format!("unknown source {text:?}")))
+}
+
+fn parse_node_id(text: &str, line: usize) -> Result<NodeId, ParseError> {
+    text.parse::<u32>()
+        .map(NodeId)
+        .map_err(|_| err(line, format!("invalid node id {text:?}")))
+}
+
+fn parse_target(text: &str, line: usize) -> Result<(NodeId, AlgorithmKind), ParseError> {
+    let Some(open) = text.find('(') else {
+        return Err(err(line, "target missing '('"));
+    };
+    let name = text[..open].trim();
+    if name.is_empty() {
+        return Err(err(line, "target missing algorithm name"));
+    }
+    let Some(stripped) = text[open + 1..].trim_end().strip_suffix(')') else {
+        return Err(err(line, "target missing closing ')'"));
+    };
+
+    // Split `id=N` from the optional `, params={…}` clause.
+    let (id_part, params_part) = match stripped.find(',') {
+        Some(comma) => (&stripped[..comma], Some(stripped[comma + 1..].trim())),
+        None => (stripped, None),
+    };
+    let id_part = id_part.trim();
+    let Some(id_text) = id_part.strip_prefix("id") else {
+        return Err(err(line, format!("expected 'id=...', found {id_part:?}")));
+    };
+    let Some(id_text) = id_text.trim_start().strip_prefix('=') else {
+        return Err(err(line, "expected '=' after 'id'"));
+    };
+    let id = parse_node_id(id_text.trim(), line)?;
+
+    let params = match params_part {
+        None => Vec::new(),
+        Some(clause) => {
+            let Some(body) = clause.strip_prefix("params") else {
+                return Err(err(
+                    line,
+                    format!("expected 'params={{...}}', found {clause:?}"),
+                ));
+            };
+            let body = body.trim_start();
+            let Some(body) = body.strip_prefix('=') else {
+                return Err(err(line, "expected '=' after 'params'"));
+            };
+            let body = body.trim();
+            let Some(body) = body.strip_prefix('{').and_then(|b| b.strip_suffix('}')) else {
+                return Err(err(line, "params must be enclosed in '{...}'"));
+            };
+            let body = body.trim();
+            if body.is_empty() {
+                Vec::new()
+            } else {
+                body.split(',')
+                    .map(|p| {
+                        p.trim()
+                            .parse::<f64>()
+                            .map_err(|_| err(line, format!("invalid parameter {:?}", p.trim())))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        }
+    };
+
+    let kind = AlgorithmKind::decode(name, &params).ok_or_else(|| {
+        err(
+            line,
+            format!(
+                "unknown algorithm {name:?} with {} parameter(s)",
+                params.len()
+            ),
+        )
+    })?;
+    Ok((id, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{StatFn, WindowShapeParam};
+
+    const PAPER_EXAMPLE: &str = "\
+ACC_X -> movingAvg(id=1, params={10});
+ACC_Y -> movingAvg(id=2, params={10});
+ACC_Z -> movingAvg(id=3, params={10});
+1,2,3 -> vectorMagnitude(id=4);
+4 -> minThreshold(id=5, params={15});
+5 -> OUT;
+";
+
+    #[test]
+    fn parses_paper_example() {
+        let p = parse(PAPER_EXAMPLE).unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.out_source(), Some(NodeId(5)));
+        let nodes: Vec<_> = p.nodes().collect();
+        assert_eq!(nodes[0].2, &AlgorithmKind::MovingAvg { window: 10 });
+        assert_eq!(nodes[3].2, &AlgorithmKind::VectorMagnitude);
+        assert_eq!(nodes[3].0.len(), 3);
+        assert_eq!(nodes[4].2, &AlgorithmKind::MinThreshold { threshold: 15.0 });
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let p = parse(PAPER_EXAMPLE).unwrap();
+        assert_eq!(p.to_string(), PAPER_EXAMPLE);
+        let again = parse(&p.to_string()).unwrap();
+        assert_eq!(again, p);
+    }
+
+    #[test]
+    fn parses_whitespace_and_comments() {
+        let text = "\
+# significant motion, single axis
+ACC_X   ->   movingAvg( id = 7 , params = { 10 } )  ;
+  # then threshold
+7 -> minThreshold(id=8, params={ 15.5 });
+8 -> OUT;";
+        let p = parse(text).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(
+            p.nodes().nth(1).unwrap().2,
+            &AlgorithmKind::MinThreshold { threshold: 15.5 }
+        );
+    }
+
+    #[test]
+    fn parses_multiline_statement() {
+        let text = "ACC_X ->\n  movingAvg(id=1, params={10});\n1 -> OUT;";
+        assert!(parse(text).is_ok());
+    }
+
+    #[test]
+    fn parses_empty_program() {
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("  \n# only a comment\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parses_parameterless_algorithm_without_params_clause() {
+        let text = "MIC -> window(id=1, params={256, 256, 1});\n1 -> fft(id=2);\n2 -> OUT;";
+        let p = parse(text).unwrap();
+        let nodes: Vec<_> = p.nodes().collect();
+        assert_eq!(
+            nodes[0].2,
+            &AlgorithmKind::Window {
+                size: 256,
+                hop: 256,
+                shape: WindowShapeParam::Hamming
+            }
+        );
+        assert_eq!(nodes[1].2, &AlgorithmKind::Fft);
+    }
+
+    #[test]
+    fn parses_stat_functions() {
+        let text = "MIC -> window(id=1, params={16, 16, 0});\n1 -> variance(id=2);\n2 -> OUT;";
+        let p = parse(text).unwrap();
+        assert_eq!(
+            p.nodes().nth(1).unwrap().2,
+            &AlgorithmKind::Stat(StatFn::Variance)
+        );
+    }
+
+    #[test]
+    fn parses_empty_params_braces() {
+        let text =
+            "MIC -> window(id=1, params={16, 16, 0});\n1 -> fft(id=2, params={});\n2 -> OUT;";
+        assert!(parse(text).is_ok());
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let text = "ACC_X -> movingAvg(id=1, params={10});\ngarbage here;\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let e = parse("ACC_X -> movingAvg(id=1, params={10})").unwrap_err();
+        assert!(e.message.contains("';'"));
+    }
+
+    #[test]
+    fn rejects_missing_arrow() {
+        let e = parse("ACC_X movingAvg(id=1);").unwrap_err();
+        assert!(e.message.contains("->"));
+    }
+
+    #[test]
+    fn rejects_unknown_source() {
+        let e = parse("GYRO_X -> movingAvg(id=1, params={10});").unwrap_err();
+        assert!(e.message.contains("GYRO_X"));
+    }
+
+    #[test]
+    fn rejects_unknown_algorithm() {
+        let e = parse("ACC_X -> teleport(id=1);").unwrap_err();
+        assert!(e.message.contains("teleport"));
+    }
+
+    #[test]
+    fn rejects_wrong_param_count() {
+        let e = parse("ACC_X -> movingAvg(id=1);").unwrap_err();
+        assert!(e.message.contains("movingAvg"));
+    }
+
+    #[test]
+    fn rejects_bad_id() {
+        assert!(parse("ACC_X -> movingAvg(id=x, params={10});").is_err());
+        assert!(parse("ACC_X -> movingAvg(params={10});").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_out_source() {
+        assert!(parse("ACC_X -> OUT;").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_param_number() {
+        let e = parse("ACC_X -> movingAvg(id=1, params={ten});").unwrap_err();
+        assert!(e.message.contains("ten"));
+    }
+
+    #[test]
+    fn rejects_missing_paren() {
+        assert!(parse("ACC_X -> movingAvg id=1;").is_err());
+        assert!(parse("ACC_X -> movingAvg(id=1;").is_err());
+    }
+
+    #[test]
+    fn negative_params_parse() {
+        let text = "ACC_Y -> movingAvg(id=1, params={5});\n1 -> bandThreshold(id=2, params={-6.75, -3.75});\n2 -> OUT;";
+        let p = parse(text).unwrap();
+        assert_eq!(
+            p.nodes().nth(1).unwrap().2,
+            &AlgorithmKind::BandThreshold {
+                lo: -6.75,
+                hi: -3.75
+            }
+        );
+    }
+}

@@ -1,0 +1,596 @@
+//! Structural validation of IR programs.
+//!
+//! The hub runtime validates a program before allocating algorithm
+//! instances (paper §3.5). A valid program has:
+//!
+//! * unique, non-zero node ids;
+//! * define-before-use ordering (which also guarantees acyclicity, since
+//!   the textual IR is a straight-line listing);
+//! * exactly one `OUT` statement, fed by a scalar-producing node;
+//! * single-input algorithms with exactly one source and aggregators with
+//!   at least one;
+//! * type-correct edges (scalar/vector/spectrum);
+//! * in-range parameters;
+//! * no dead nodes — every node must reach `OUT`, because dead instances
+//!   would consume hub memory and cycles without affecting the wake-up
+//!   decision.
+
+use crate::ast::{AlgorithmKind, NodeId, Program, Source, Stmt, ValueType};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A structural defect found in a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidateError {
+    /// A node id was declared twice.
+    DuplicateId(NodeId),
+    /// Node ids must be non-zero (zero is reserved so ids and the `OUT`
+    /// sentinel can never collide in hub tables).
+    ZeroId,
+    /// A source references a node id not yet defined.
+    UndefinedSource {
+        /// The node (or `None` for the `OUT` statement) with the bad source.
+        at: Option<NodeId>,
+        /// The undefined id.
+        source: NodeId,
+    },
+    /// The program has no `OUT` statement.
+    MissingOut,
+    /// The program has more than one `OUT` statement.
+    MultipleOut,
+    /// An algorithm received the wrong number of inputs.
+    BadArity {
+        /// The offending node.
+        id: NodeId,
+        /// Its algorithm name.
+        algorithm: &'static str,
+        /// How many inputs it got.
+        got: usize,
+    },
+    /// An edge carries the wrong value type.
+    TypeMismatch {
+        /// The consuming node.
+        id: NodeId,
+        /// What the consumer expects.
+        expected: ValueType,
+        /// What the producer emits.
+        found: ValueType,
+    },
+    /// A parameter is out of range.
+    BadParam {
+        /// The offending node.
+        id: NodeId,
+        /// Description of the violation.
+        reason: String,
+    },
+    /// A node's output is never consumed and does not feed `OUT`.
+    DeadNode(NodeId),
+    /// The `OUT` statement is fed by a non-scalar node.
+    NonScalarOut {
+        /// The node feeding OUT.
+        id: NodeId,
+        /// The type it produces.
+        found: ValueType,
+    },
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::DuplicateId(id) => write!(f, "node id {id} declared twice"),
+            ValidateError::ZeroId => write!(f, "node ids must be non-zero"),
+            ValidateError::UndefinedSource { at, source } => match at {
+                Some(id) => write!(f, "node {id} reads undefined node {source}"),
+                None => write!(f, "OUT reads undefined node {source}"),
+            },
+            ValidateError::MissingOut => write!(f, "program has no OUT statement"),
+            ValidateError::MultipleOut => write!(f, "program has multiple OUT statements"),
+            ValidateError::BadArity { id, algorithm, got } => {
+                write!(f, "node {id} ({algorithm}) got {got} input(s)")
+            }
+            ValidateError::TypeMismatch {
+                id,
+                expected,
+                found,
+            } => write!(f, "node {id} expects {expected} input but receives {found}"),
+            ValidateError::BadParam { id, reason } => {
+                write!(f, "node {id} has invalid parameters: {reason}")
+            }
+            ValidateError::DeadNode(id) => {
+                write!(f, "node {id} does not contribute to OUT")
+            }
+            ValidateError::NonScalarOut { id, found } => {
+                write!(f, "OUT must be fed a scalar but node {id} produces {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validates a program; returns the first defect found.
+///
+/// # Errors
+///
+/// See [`ValidateError`] for the possible defects.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    let mut defined: BTreeMap<NodeId, ValueType> = BTreeMap::new();
+    let mut out_seen = false;
+    let mut out_node = None;
+
+    for stmt in program.stmts() {
+        match stmt {
+            Stmt::Node { sources, id, kind } => {
+                if id.0 == 0 {
+                    return Err(ValidateError::ZeroId);
+                }
+                if defined.contains_key(id) {
+                    return Err(ValidateError::DuplicateId(*id));
+                }
+                check_arity(*id, sources.len(), kind)?;
+                for source in sources {
+                    let produced = match source {
+                        Source::Channel(_) => ValueType::Scalar,
+                        Source::Node(src_id) => {
+                            *defined.get(src_id).ok_or(ValidateError::UndefinedSource {
+                                at: Some(*id),
+                                source: *src_id,
+                            })?
+                        }
+                    };
+                    let expected = kind.input_type();
+                    if produced != expected {
+                        return Err(ValidateError::TypeMismatch {
+                            id: *id,
+                            expected,
+                            found: produced,
+                        });
+                    }
+                }
+                check_params(*id, kind)?;
+                defined.insert(*id, kind.output_type());
+            }
+            Stmt::Out { source } => {
+                if out_seen {
+                    return Err(ValidateError::MultipleOut);
+                }
+                out_seen = true;
+                let produced = *defined.get(source).ok_or(ValidateError::UndefinedSource {
+                    at: None,
+                    source: *source,
+                })?;
+                if produced != ValueType::Scalar {
+                    return Err(ValidateError::NonScalarOut {
+                        id: *source,
+                        found: produced,
+                    });
+                }
+                out_node = Some(*source);
+            }
+        }
+    }
+
+    let Some(out_node) = out_node else {
+        return Err(ValidateError::MissingOut);
+    };
+
+    // Dead-node check: walk backwards from OUT.
+    let mut live: BTreeSet<NodeId> = BTreeSet::new();
+    let mut stack = vec![out_node];
+    while let Some(id) = stack.pop() {
+        if !live.insert(id) {
+            continue;
+        }
+        if let Some((sources, _, _)) = program.nodes().find(|(_, nid, _)| *nid == id) {
+            for s in sources {
+                if let Source::Node(src) = s {
+                    stack.push(*src);
+                }
+            }
+        }
+    }
+    for (_, id, _) in program.nodes() {
+        if !live.contains(&id) {
+            return Err(ValidateError::DeadNode(id));
+        }
+    }
+    Ok(())
+}
+
+fn check_arity(id: NodeId, got: usize, kind: &AlgorithmKind) -> Result<(), ValidateError> {
+    let ok = if kind.is_aggregator() {
+        got >= 1
+    } else {
+        got == 1
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(ValidateError::BadArity {
+            id,
+            algorithm: kind.ir_name(),
+            got,
+        })
+    }
+}
+
+fn check_params(id: NodeId, kind: &AlgorithmKind) -> Result<(), ValidateError> {
+    let bad = |reason: String| Err(ValidateError::BadParam { id, reason });
+    match *kind {
+        AlgorithmKind::Window { size, hop, .. } => {
+            if size == 0 || hop == 0 || hop > size {
+                return bad(format!("window size={size}, hop={hop}"));
+            }
+            if !size.is_power_of_two() {
+                return bad(format!(
+                    "window size {size} must be a power of two so FFT stages can run"
+                ));
+            }
+        }
+        AlgorithmKind::MovingAvg { window: 0 } => {
+            return bad("moving average window must be non-zero".to_string());
+        }
+        AlgorithmKind::ExpMovingAvg { alpha } if !(alpha > 0.0 && alpha <= 1.0) => {
+            return bad(format!("EMA alpha {alpha} outside (0, 1]"));
+        }
+        AlgorithmKind::LowPass { cutoff_hz } | AlgorithmKind::HighPass { cutoff_hz }
+            if !(cutoff_hz.is_finite() && cutoff_hz > 0.0) =>
+        {
+            return bad(format!("cutoff {cutoff_hz} must be positive"));
+        }
+        AlgorithmKind::ZcrVariance { sub_windows } if sub_windows < 2 => {
+            return bad("zcrVariance needs at least 2 sub-windows".to_string());
+        }
+        AlgorithmKind::MinThreshold { threshold } | AlgorithmKind::MaxThreshold { threshold }
+            if !threshold.is_finite() =>
+        {
+            return bad(format!("threshold {threshold} must be finite"));
+        }
+        AlgorithmKind::BandThreshold { lo, hi } | AlgorithmKind::OutsideThreshold { lo, hi }
+            if !(lo.is_finite() && hi.is_finite() && lo <= hi) =>
+        {
+            return bad(format!("band [{lo}, {hi}] is invalid"));
+        }
+        AlgorithmKind::Sustained { count, max_gap } if (count == 0 || max_gap == 0) => {
+            return bad(format!("sustained count={count}, max_gap={max_gap}"));
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::WindowShapeParam;
+    use sidewinder_sensors::SensorChannel;
+
+    fn ch(c: SensorChannel) -> Vec<Source> {
+        vec![Source::Channel(c)]
+    }
+
+    fn node(id: u32) -> Vec<Source> {
+        vec![Source::Node(NodeId(id))]
+    }
+
+    fn valid_program() -> Program {
+        let mut p = Program::new();
+        p.push_node(
+            ch(SensorChannel::AccX),
+            NodeId(1),
+            AlgorithmKind::MovingAvg { window: 10 },
+        );
+        p.push_node(
+            node(1),
+            NodeId(2),
+            AlgorithmKind::MinThreshold { threshold: 15.0 },
+        );
+        p.push_out(NodeId(2));
+        p
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        assert!(validate(&valid_program()).is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_id() {
+        let mut p = Program::new();
+        p.push_node(
+            ch(SensorChannel::AccX),
+            NodeId(0),
+            AlgorithmKind::MovingAvg { window: 1 },
+        );
+        p.push_out(NodeId(0));
+        assert_eq!(validate(&p), Err(ValidateError::ZeroId));
+    }
+
+    #[test]
+    fn rejects_duplicate_id() {
+        let mut p = Program::new();
+        p.push_node(
+            ch(SensorChannel::AccX),
+            NodeId(1),
+            AlgorithmKind::MovingAvg { window: 1 },
+        );
+        p.push_node(
+            ch(SensorChannel::AccY),
+            NodeId(1),
+            AlgorithmKind::MovingAvg { window: 1 },
+        );
+        p.push_out(NodeId(1));
+        assert_eq!(validate(&p), Err(ValidateError::DuplicateId(NodeId(1))));
+    }
+
+    #[test]
+    fn rejects_forward_reference() {
+        let mut p = Program::new();
+        p.push_node(
+            node(2),
+            NodeId(1),
+            AlgorithmKind::MinThreshold { threshold: 0.0 },
+        );
+        p.push_node(
+            ch(SensorChannel::AccX),
+            NodeId(2),
+            AlgorithmKind::MovingAvg { window: 1 },
+        );
+        p.push_out(NodeId(1));
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::UndefinedSource { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_out() {
+        let mut p = Program::new();
+        p.push_node(
+            ch(SensorChannel::AccX),
+            NodeId(1),
+            AlgorithmKind::MovingAvg { window: 1 },
+        );
+        assert_eq!(validate(&p), Err(ValidateError::MissingOut));
+    }
+
+    #[test]
+    fn rejects_multiple_out() {
+        let mut p = valid_program();
+        p.push_out(NodeId(2));
+        assert_eq!(validate(&p), Err(ValidateError::MultipleOut));
+    }
+
+    #[test]
+    fn rejects_out_of_undefined_node() {
+        let mut p = Program::new();
+        p.push_node(
+            ch(SensorChannel::AccX),
+            NodeId(1),
+            AlgorithmKind::MovingAvg { window: 1 },
+        );
+        p.push_out(NodeId(9));
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::UndefinedSource { at: None, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_arity_on_single_input() {
+        let mut p = Program::new();
+        p.push_node(
+            vec![
+                Source::Channel(SensorChannel::AccX),
+                Source::Channel(SensorChannel::AccY),
+            ],
+            NodeId(1),
+            AlgorithmKind::MovingAvg { window: 1 },
+        );
+        p.push_out(NodeId(1));
+        assert!(matches!(validate(&p), Err(ValidateError::BadArity { .. })));
+    }
+
+    #[test]
+    fn aggregators_accept_many_inputs() {
+        let mut p = Program::new();
+        for (i, c) in SensorChannel::ACCEL.into_iter().enumerate() {
+            p.push_node(
+                ch(c),
+                NodeId(i as u32 + 1),
+                AlgorithmKind::MovingAvg { window: 4 },
+            );
+        }
+        p.push_node(
+            vec![
+                Source::Node(NodeId(1)),
+                Source::Node(NodeId(2)),
+                Source::Node(NodeId(3)),
+            ],
+            NodeId(4),
+            AlgorithmKind::VectorMagnitude,
+        );
+        p.push_out(NodeId(4));
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn rejects_type_mismatch_channel_into_fft() {
+        let mut p = Program::new();
+        // fft consumes vectors; a raw channel is a scalar stream.
+        p.push_node(ch(SensorChannel::Mic), NodeId(1), AlgorithmKind::Fft);
+        p.push_out(NodeId(1));
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_vector_into_out() {
+        let mut p = Program::new();
+        p.push_node(
+            ch(SensorChannel::Mic),
+            NodeId(1),
+            AlgorithmKind::Window {
+                size: 16,
+                hop: 16,
+                shape: WindowShapeParam::Rectangular,
+            },
+        );
+        p.push_out(NodeId(1));
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::NonScalarOut { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_window_params() {
+        for (size, hop) in [(0u32, 1u32), (16, 0), (16, 32), (12, 4)] {
+            let mut p = Program::new();
+            p.push_node(
+                ch(SensorChannel::Mic),
+                NodeId(1),
+                AlgorithmKind::Window {
+                    size,
+                    hop,
+                    shape: WindowShapeParam::Rectangular,
+                },
+            );
+            p.push_node(
+                node(1),
+                NodeId(2),
+                AlgorithmKind::Stat(crate::ast::StatFn::Mean),
+            );
+            p.push_out(NodeId(2));
+            assert!(
+                matches!(validate(&p), Err(ValidateError::BadParam { .. })),
+                "size={size}, hop={hop} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_scalar_params() {
+        let cases = [
+            AlgorithmKind::MovingAvg { window: 0 },
+            AlgorithmKind::ExpMovingAvg { alpha: 0.0 },
+            AlgorithmKind::ExpMovingAvg { alpha: 1.5 },
+            AlgorithmKind::MinThreshold {
+                threshold: f64::NAN,
+            },
+            AlgorithmKind::BandThreshold { lo: 2.0, hi: 1.0 },
+            AlgorithmKind::OutsideThreshold {
+                lo: f64::INFINITY,
+                hi: 0.0,
+            },
+            AlgorithmKind::Sustained {
+                count: 0,
+                max_gap: 1,
+            },
+        ];
+        for kind in cases {
+            let mut p = Program::new();
+            p.push_node(ch(SensorChannel::AccX), NodeId(1), kind);
+            p.push_out(NodeId(1));
+            assert!(
+                matches!(validate(&p), Err(ValidateError::BadParam { .. })),
+                "{kind:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_vector_params() {
+        let mut p = Program::new();
+        p.push_node(
+            ch(SensorChannel::Mic),
+            NodeId(1),
+            AlgorithmKind::Window {
+                size: 16,
+                hop: 16,
+                shape: WindowShapeParam::Rectangular,
+            },
+        );
+        p.push_node(
+            node(1),
+            NodeId(2),
+            AlgorithmKind::ZcrVariance { sub_windows: 1 },
+        );
+        p.push_out(NodeId(2));
+        assert!(matches!(validate(&p), Err(ValidateError::BadParam { .. })));
+    }
+
+    #[test]
+    fn rejects_dead_node() {
+        // A live chain 1→2→OUT plus an unused node 9.
+        let p = valid_program();
+        let mut q = Program::new();
+        for stmt in p.stmts().iter().take(2).cloned() {
+            match stmt {
+                Stmt::Node { sources, id, kind } => q.push_node(sources, id, kind),
+                Stmt::Out { source } => q.push_out(source),
+            }
+        }
+        q.push_node(
+            ch(SensorChannel::AccZ),
+            NodeId(9),
+            AlgorithmKind::MovingAvg { window: 2 },
+        );
+        q.push_out(NodeId(2));
+        assert_eq!(validate(&q), Err(ValidateError::DeadNode(NodeId(9))));
+    }
+
+    #[test]
+    fn full_audio_pipeline_validates() {
+        let mut p = Program::new();
+        p.push_node(
+            ch(SensorChannel::Mic),
+            NodeId(1),
+            AlgorithmKind::Window {
+                size: 256,
+                hop: 256,
+                shape: WindowShapeParam::Hamming,
+            },
+        );
+        p.push_node(
+            node(1),
+            NodeId(2),
+            AlgorithmKind::HighPass { cutoff_hz: 750.0 },
+        );
+        p.push_node(node(2), NodeId(3), AlgorithmKind::Fft);
+        p.push_node(node(3), NodeId(4), AlgorithmKind::SpectralMagnitude);
+        p.push_node(node(4), NodeId(5), AlgorithmKind::DominantRatio);
+        p.push_node(
+            node(5),
+            NodeId(6),
+            AlgorithmKind::MinThreshold { threshold: 4.0 },
+        );
+        p.push_node(
+            node(6),
+            NodeId(7),
+            AlgorithmKind::Sustained {
+                count: 3,
+                max_gap: 512,
+            },
+        );
+        p.push_out(NodeId(7));
+        assert_eq!(validate(&p), Ok(()));
+    }
+
+    #[test]
+    fn errors_display_readably() {
+        assert_eq!(
+            ValidateError::DuplicateId(NodeId(3)).to_string(),
+            "node id 3 declared twice"
+        );
+        assert!(ValidateError::MissingOut.to_string().contains("OUT"));
+        assert!(ValidateError::TypeMismatch {
+            id: NodeId(1),
+            expected: ValueType::Vector,
+            found: ValueType::Scalar
+        }
+        .to_string()
+        .contains("vector"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Sensor channel identities.
+//!
+//! The paper's prototype attaches an accelerometer and a microphone to the
+//! sensor hub (§3.4) and exposes per-axis accelerometer channels to the API
+//! (`SidewinderSensorManager.ACCELEROMETER_X` etc., Fig. 2a). Channels are
+//! the *sources* of processing branches in a wake-up condition.
+
+use serde::{Deserialize, Serialize};
+
+/// A sensor data channel available on the hub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SensorChannel {
+    /// Accelerometer x axis (m/s²). In the robot mount, the walking
+    /// oscillation dominates this axis.
+    AccX,
+    /// Accelerometer y axis (m/s²). Front–back relative to the robot; the
+    /// headbutt dip and the sitting posture component appear here.
+    AccY,
+    /// Accelerometer z axis (m/s²). Up–down; carries gravity while the
+    /// device is horizontal.
+    AccZ,
+    /// Microphone (normalized amplitude in [-1, 1]).
+    Mic,
+}
+
+impl SensorChannel {
+    /// All channels, in canonical order.
+    pub const ALL: [SensorChannel; 4] = [
+        SensorChannel::AccX,
+        SensorChannel::AccY,
+        SensorChannel::AccZ,
+        SensorChannel::Mic,
+    ];
+
+    /// The three accelerometer axes, in x/y/z order.
+    pub const ACCEL: [SensorChannel; 3] = [
+        SensorChannel::AccX,
+        SensorChannel::AccY,
+        SensorChannel::AccZ,
+    ];
+
+    /// The canonical name used in the intermediate language
+    /// (`ACC_X`, `ACC_Y`, `ACC_Z`, `MIC`).
+    pub fn ir_name(self) -> &'static str {
+        match self {
+            SensorChannel::AccX => "ACC_X",
+            SensorChannel::AccY => "ACC_Y",
+            SensorChannel::AccZ => "ACC_Z",
+            SensorChannel::Mic => "MIC",
+        }
+    }
+
+    /// Parses the intermediate-language name back to a channel.
+    pub fn from_ir_name(name: &str) -> Option<SensorChannel> {
+        SensorChannel::ALL.into_iter().find(|c| c.ir_name() == name)
+    }
+
+    /// The default sampling rate this reproduction uses for the channel:
+    /// 50 Hz for accelerometer axes (typical for activity recognition),
+    /// 8 kHz for the microphone (telephone-band audio).
+    pub fn default_rate_hz(self) -> f64 {
+        match self {
+            SensorChannel::AccX | SensorChannel::AccY | SensorChannel::AccZ => 50.0,
+            SensorChannel::Mic => 8_000.0,
+        }
+    }
+
+    /// Whether this is an accelerometer axis.
+    pub fn is_accelerometer(self) -> bool {
+        matches!(
+            self,
+            SensorChannel::AccX | SensorChannel::AccY | SensorChannel::AccZ
+        )
+    }
+
+    /// Approximate raw data rate in bytes/second, used by the UART link
+    /// budget check (paper §3.4): 16-bit accelerometer samples, 8-bit
+    /// companded (G.711-style) microphone samples. At these rates the
+    /// debugging UART carries every prototype sensor, as the paper
+    /// observes.
+    pub fn bytes_per_second(self) -> f64 {
+        let bytes_per_sample = if self.is_accelerometer() { 2.0 } else { 1.0 };
+        bytes_per_sample * self.default_rate_hz()
+    }
+
+    /// The physical unit of samples on this channel.
+    pub fn unit(self) -> &'static str {
+        if self.is_accelerometer() {
+            "m/s^2"
+        } else {
+            "normalized amplitude"
+        }
+    }
+}
+
+impl std::fmt::Display for SensorChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.ir_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ir_names_round_trip() {
+        for c in SensorChannel::ALL {
+            assert_eq!(SensorChannel::from_ir_name(c.ir_name()), Some(c));
+        }
+        assert_eq!(SensorChannel::from_ir_name("NOPE"), None);
+        assert_eq!(SensorChannel::from_ir_name("acc_x"), None);
+    }
+
+    #[test]
+    fn display_matches_ir_name() {
+        assert_eq!(SensorChannel::AccX.to_string(), "ACC_X");
+        assert_eq!(SensorChannel::Mic.to_string(), "MIC");
+    }
+
+    #[test]
+    fn accel_set_is_consistent() {
+        for c in SensorChannel::ACCEL {
+            assert!(c.is_accelerometer());
+        }
+        assert!(!SensorChannel::Mic.is_accelerometer());
+    }
+
+    #[test]
+    fn default_rates() {
+        assert_eq!(SensorChannel::AccY.default_rate_hz(), 50.0);
+        assert_eq!(SensorChannel::Mic.default_rate_hz(), 8_000.0);
+    }
+
+    #[test]
+    fn serial_budget_fits_uart() {
+        // The paper notes the debugging UART supports low-bit-rate sensors.
+        // A conservative 115200-baud UART carries ~11 520 bytes/s.
+        let total: f64 = SensorChannel::ALL
+            .iter()
+            .map(|c| c.bytes_per_second())
+            .sum();
+        assert!(total < 11_520.0 * 2.0, "total = {total}");
+    }
+
+    #[test]
+    fn units_are_labeled() {
+        assert_eq!(SensorChannel::AccZ.unit(), "m/s^2");
+        assert_eq!(SensorChannel::Mic.unit(), "normalized amplitude");
+    }
+}

@@ -1,0 +1,294 @@
+//! Plain-text persistence for traces and ground truth.
+//!
+//! Traces are written as two CSV documents: a per-channel sample file
+//! (`channel,rate_hz,index,value`) and a label file
+//! (`kind,start_us,end_us`). The format is deliberately simple — the
+//! reproduction generates traces deterministically, so files exist for
+//! inspection and for replaying a specific trace across tool invocations,
+//! not as an archival format.
+
+use crate::channel::SensorChannel;
+use crate::ground_truth::{EventKind, GroundTruth, LabeledInterval};
+use crate::series::TimeSeries;
+use crate::time::Micros;
+use crate::trace::SensorTrace;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors arising while reading or writing trace CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and contents.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line.
+        text: String,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse { line, text, reason } => {
+                write!(f, "line {line}: {reason} (in {text:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes all channels of a trace as `channel,rate_hz,index,value` rows.
+///
+/// A `&mut` writer can be passed since `Write` is implemented for mutable
+/// references.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_samples<W: Write>(trace: &SensorTrace, mut w: W) -> Result<(), CsvError> {
+    writeln!(w, "channel,rate_hz,index,value")?;
+    for channel in trace.channels() {
+        let series = trace
+            .channel(channel)
+            .expect("channels() yields present keys");
+        for (i, &x) in series.samples().iter().enumerate() {
+            writeln!(w, "{},{},{},{}", channel.ir_name(), series.rate_hz(), i, x)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads rows produced by [`write_samples`] into a fresh trace named
+/// `name`.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Parse`] on malformed rows and [`CsvError::Io`] on
+/// reader failures.
+pub fn read_samples<R: Read>(name: &str, r: R) -> Result<SensorTrace, CsvError> {
+    let mut trace = SensorTrace::new(name);
+    let reader = BufReader::new(r);
+    let mut pending: std::collections::BTreeMap<SensorChannel, (f64, Vec<f64>)> =
+        std::collections::BTreeMap::new();
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line_no == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let parse_err = |reason: &str| CsvError::Parse {
+            line: line_no + 1,
+            text: line.clone(),
+            reason: reason.to_string(),
+        };
+        let mut parts = line.split(',');
+        let channel = parts
+            .next()
+            .and_then(SensorChannel::from_ir_name)
+            .ok_or_else(|| parse_err("unknown channel"))?;
+        let rate: f64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad rate"))?;
+        let _index: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad index"))?;
+        let value: f64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad value"))?;
+        if parts.next().is_some() {
+            return Err(parse_err("too many fields"));
+        }
+        let entry = pending.entry(channel).or_insert((rate, Vec::new()));
+        if entry.0 != rate {
+            return Err(parse_err("inconsistent rate for channel"));
+        }
+        entry.1.push(value);
+    }
+    for (channel, (rate, samples)) in pending {
+        let series = TimeSeries::from_samples(rate, samples).map_err(|e| CsvError::Parse {
+            line: 0,
+            text: String::new(),
+            reason: e.to_string(),
+        })?;
+        trace.insert(channel, series);
+    }
+    Ok(trace)
+}
+
+/// Writes ground truth as `kind,start_us,end_us` rows.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_labels<W: Write>(gt: &GroundTruth, mut w: W) -> Result<(), CsvError> {
+    writeln!(w, "kind,start_us,end_us")?;
+    for i in gt.intervals() {
+        writeln!(
+            w,
+            "{},{},{}",
+            i.kind().name(),
+            i.start().as_micros(),
+            i.end().as_micros()
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads rows produced by [`write_labels`].
+///
+/// # Errors
+///
+/// Returns [`CsvError::Parse`] on malformed rows and [`CsvError::Io`] on
+/// reader failures.
+pub fn read_labels<R: Read>(r: R) -> Result<GroundTruth, CsvError> {
+    let mut gt = GroundTruth::new();
+    let reader = BufReader::new(r);
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line_no == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let parse_err = |reason: &str| CsvError::Parse {
+            line: line_no + 1,
+            text: line.clone(),
+            reason: reason.to_string(),
+        };
+        let mut parts = line.split(',');
+        let kind = parts
+            .next()
+            .and_then(EventKind::from_name)
+            .ok_or_else(|| parse_err("unknown kind"))?;
+        let start: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad start"))?;
+        let end: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad end"))?;
+        let interval =
+            LabeledInterval::new(kind, Micros::from_micros(start), Micros::from_micros(end))
+                .map_err(|e| parse_err(&e.to_string()))?;
+        gt.push(interval);
+    }
+    Ok(gt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> SensorTrace {
+        let mut t = SensorTrace::new("csv-test");
+        t.insert(
+            SensorChannel::AccX,
+            TimeSeries::from_samples(50.0, vec![1.0, 2.0, -0.5]).unwrap(),
+        );
+        t.insert(
+            SensorChannel::Mic,
+            TimeSeries::from_samples(8000.0, vec![0.25]).unwrap(),
+        );
+        t.ground_truth_mut().push(
+            LabeledInterval::new(
+                EventKind::Walking,
+                Micros::from_secs(1),
+                Micros::from_secs(2),
+            )
+            .unwrap(),
+        );
+        t
+    }
+
+    #[test]
+    fn samples_round_trip() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_samples(&trace, &mut buf).unwrap();
+        let back = read_samples("csv-test", buf.as_slice()).unwrap();
+        assert_eq!(
+            back.channel(SensorChannel::AccX).unwrap().samples(),
+            trace.channel(SensorChannel::AccX).unwrap().samples()
+        );
+        assert_eq!(back.channel(SensorChannel::Mic).unwrap().rate_hz(), 8000.0);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_labels(trace.ground_truth(), &mut buf).unwrap();
+        let back = read_labels(buf.as_slice()).unwrap();
+        assert_eq!(&back, trace.ground_truth());
+    }
+
+    #[test]
+    fn sample_header_is_stable() {
+        let mut buf = Vec::new();
+        write_samples(&SensorTrace::new("x"), &mut buf).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap().lines().next().unwrap(),
+            "channel,rate_hz,index,value"
+        );
+    }
+
+    #[test]
+    fn read_samples_rejects_unknown_channel() {
+        let text = "channel,rate_hz,index,value\nBOGUS,50,0,1.0\n";
+        let err = read_samples("x", text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown channel"));
+    }
+
+    #[test]
+    fn read_samples_rejects_extra_fields() {
+        let text = "channel,rate_hz,index,value\nACC_X,50,0,1.0,9\n";
+        assert!(read_samples("x", text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_samples_rejects_inconsistent_rates() {
+        let text = "channel,rate_hz,index,value\nACC_X,50,0,1.0\nACC_X,60,1,2.0\n";
+        let err = read_samples("x", text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("inconsistent"));
+    }
+
+    #[test]
+    fn read_labels_rejects_inverted_interval() {
+        let text = "kind,start_us,end_us\nwalking,5,4\n";
+        assert!(read_labels(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_labels_rejects_bad_kind() {
+        let text = "kind,start_us,end_us\nflying,0,1\n";
+        let err = read_labels(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "kind,start_us,end_us\n\nwalking,0,1000\n\n";
+        let gt = read_labels(text.as_bytes()).unwrap();
+        assert_eq!(gt.len(), 1);
+    }
+}

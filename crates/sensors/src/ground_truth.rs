@@ -1,0 +1,380 @@
+//! Ground-truth event labels.
+//!
+//! The paper's robot logs the start and end of each scripted action (§4.1),
+//! and the audio traces record where events were mixed in. [`GroundTruth`]
+//! is this reproduction's equivalent: a set of labeled, non-degenerate time
+//! intervals that the simulator's recall/precision accounting and the
+//! Oracle configuration consume.
+
+use crate::time::Micros;
+use serde::{Deserialize, Serialize};
+
+/// The kind of activity or audio event occupying an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Robot or human standing/sitting still.
+    Idle,
+    /// A sustained walking bout.
+    Walking,
+    /// A single step (a point-like event inside a walking bout).
+    Step,
+    /// A sit-to-stand posture transition.
+    SitToStand,
+    /// A stand-to-sit posture transition.
+    StandToSit,
+    /// A sudden forward head movement (the paper's stand-in for falls).
+    Headbutt,
+    /// Miscellaneous non-target motion (human traces: commuting vibration,
+    /// fidgeting, carrying).
+    Misc,
+    /// An emergency-vehicle siren.
+    Siren,
+    /// Music playing.
+    Music,
+    /// Human speech.
+    Speech,
+    /// The specific phrase of interest inside a speech segment.
+    Phrase,
+}
+
+impl EventKind {
+    /// Every kind, in canonical order.
+    pub const ALL: [EventKind; 11] = [
+        EventKind::Idle,
+        EventKind::Walking,
+        EventKind::Step,
+        EventKind::SitToStand,
+        EventKind::StandToSit,
+        EventKind::Headbutt,
+        EventKind::Misc,
+        EventKind::Siren,
+        EventKind::Music,
+        EventKind::Speech,
+        EventKind::Phrase,
+    ];
+
+    /// A short stable name used in CSV files and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Idle => "idle",
+            EventKind::Walking => "walking",
+            EventKind::Step => "step",
+            EventKind::SitToStand => "sit_to_stand",
+            EventKind::StandToSit => "stand_to_sit",
+            EventKind::Headbutt => "headbutt",
+            EventKind::Misc => "misc",
+            EventKind::Siren => "siren",
+            EventKind::Music => "music",
+            EventKind::Speech => "speech",
+            EventKind::Phrase => "phrase",
+        }
+    }
+
+    /// Parses a name produced by [`EventKind::name`].
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A labeled time interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledInterval {
+    kind: EventKind,
+    start: Micros,
+    end: Micros,
+}
+
+/// Error returned for an interval whose end does not follow its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyIntervalError {
+    /// Requested start.
+    pub start: Micros,
+    /// Requested end.
+    pub end: Micros,
+}
+
+impl std::fmt::Display for EmptyIntervalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "interval end {} must be after start {}",
+            self.end, self.start
+        )
+    }
+}
+
+impl std::error::Error for EmptyIntervalError {}
+
+impl LabeledInterval {
+    /// Creates a labeled interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyIntervalError`] if `end <= start`.
+    pub fn new(kind: EventKind, start: Micros, end: Micros) -> Result<Self, EmptyIntervalError> {
+        if end <= start {
+            return Err(EmptyIntervalError { start, end });
+        }
+        Ok(LabeledInterval { kind, start, end })
+    }
+
+    /// The event kind.
+    pub fn kind(&self) -> EventKind {
+        self.kind
+    }
+
+    /// Interval start (inclusive).
+    pub fn start(&self) -> Micros {
+        self.start
+    }
+
+    /// Interval end (exclusive).
+    pub fn end(&self) -> Micros {
+        self.end
+    }
+
+    /// Interval length.
+    pub fn duration(&self) -> Micros {
+        self.end - self.start
+    }
+
+    /// Whether time `t` falls inside `[start, end)`.
+    pub fn contains(&self, t: Micros) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Whether this interval overlaps `[start, end)`.
+    pub fn overlaps(&self, start: Micros, end: Micros) -> bool {
+        self.start < end && start < self.end
+    }
+
+    /// The midpoint of the interval.
+    pub fn midpoint(&self) -> Micros {
+        self.start + (self.end - self.start) / 2
+    }
+}
+
+/// A collection of labeled intervals kept sorted by start time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    intervals: Vec<LabeledInterval>,
+}
+
+impl GroundTruth {
+    /// Creates an empty ground truth.
+    pub fn new() -> Self {
+        GroundTruth::default()
+    }
+
+    /// Adds an interval, keeping the collection sorted by start.
+    pub fn push(&mut self, interval: LabeledInterval) {
+        let pos = self
+            .intervals
+            .partition_point(|i| i.start() <= interval.start());
+        self.intervals.insert(pos, interval);
+    }
+
+    /// All intervals in start order.
+    pub fn intervals(&self) -> &[LabeledInterval] {
+        &self.intervals
+    }
+
+    /// Number of labeled intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether there are no labels.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Iterates intervals of one kind.
+    pub fn of_kind(&self, kind: EventKind) -> impl Iterator<Item = &LabeledInterval> {
+        self.intervals.iter().filter(move |i| i.kind() == kind)
+    }
+
+    /// Number of intervals of one kind.
+    pub fn count_of(&self, kind: EventKind) -> usize {
+        self.of_kind(kind).count()
+    }
+
+    /// Total time covered by intervals of `kind` (intervals of the same
+    /// kind are assumed disjoint, as produced by the generators).
+    pub fn total_duration_of(&self, kind: EventKind) -> Micros {
+        self.of_kind(kind)
+            .fold(Micros::ZERO, |acc, i| acc + i.duration())
+    }
+
+    /// The kind active at time `t`, if any (first match in start order).
+    pub fn kind_at(&self, t: Micros) -> Option<EventKind> {
+        self.intervals
+            .iter()
+            .find(|i| i.contains(t))
+            .map(|i| i.kind())
+    }
+
+    /// Intervals of `kind` overlapping `[start, end)`.
+    pub fn overlapping(
+        &self,
+        kind: EventKind,
+        start: Micros,
+        end: Micros,
+    ) -> impl Iterator<Item = &LabeledInterval> {
+        self.intervals
+            .iter()
+            .filter(move |i| i.kind() == kind && i.overlaps(start, end))
+    }
+
+    /// Merges another ground truth into this one.
+    pub fn merge(&mut self, other: &GroundTruth) {
+        for i in &other.intervals {
+            self.push(*i);
+        }
+    }
+}
+
+impl FromIterator<LabeledInterval> for GroundTruth {
+    fn from_iter<T: IntoIterator<Item = LabeledInterval>>(iter: T) -> Self {
+        let mut gt = GroundTruth::new();
+        for i in iter {
+            gt.push(i);
+        }
+        gt
+    }
+}
+
+impl Extend<LabeledInterval> for GroundTruth {
+    fn extend<T: IntoIterator<Item = LabeledInterval>>(&mut self, iter: T) {
+        for i in iter {
+            self.push(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(kind: EventKind, start_s: u64, end_s: u64) -> LabeledInterval {
+        LabeledInterval::new(kind, Micros::from_secs(start_s), Micros::from_secs(end_s)).unwrap()
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(EventKind::from_name("bogus"), None);
+        assert_eq!(EventKind::Headbutt.to_string(), "headbutt");
+    }
+
+    #[test]
+    fn interval_rejects_empty() {
+        assert!(LabeledInterval::new(EventKind::Idle, Micros(5), Micros(5)).is_err());
+        assert!(LabeledInterval::new(EventKind::Idle, Micros(5), Micros(4)).is_err());
+        let err = LabeledInterval::new(EventKind::Idle, Micros(5), Micros(4)).unwrap_err();
+        assert!(err.to_string().contains("after"));
+    }
+
+    #[test]
+    fn interval_geometry() {
+        let i = iv(EventKind::Walking, 2, 5);
+        assert_eq!(i.duration(), Micros::from_secs(3));
+        assert!(i.contains(Micros::from_secs(2)));
+        assert!(i.contains(Micros::from_millis(4_999)));
+        assert!(!i.contains(Micros::from_secs(5)));
+        assert_eq!(i.midpoint(), Micros::from_millis(3_500));
+    }
+
+    #[test]
+    fn overlap_is_half_open() {
+        let i = iv(EventKind::Walking, 2, 5);
+        assert!(i.overlaps(Micros::from_secs(4), Micros::from_secs(6)));
+        assert!(i.overlaps(Micros::from_secs(0), Micros::from_secs(3)));
+        assert!(!i.overlaps(Micros::from_secs(5), Micros::from_secs(6)));
+        assert!(!i.overlaps(Micros::from_secs(0), Micros::from_secs(2)));
+    }
+
+    #[test]
+    fn push_keeps_sorted_order() {
+        let mut gt = GroundTruth::new();
+        gt.push(iv(EventKind::Walking, 10, 20));
+        gt.push(iv(EventKind::Headbutt, 1, 2));
+        gt.push(iv(EventKind::Idle, 5, 8));
+        let starts: Vec<u64> = gt
+            .intervals()
+            .iter()
+            .map(|i| i.start().as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(starts, vec![1, 5, 10]);
+        assert_eq!(gt.len(), 3);
+        assert!(!gt.is_empty());
+    }
+
+    #[test]
+    fn kind_queries() {
+        let gt: GroundTruth = [
+            iv(EventKind::Walking, 0, 10),
+            iv(EventKind::Headbutt, 12, 13),
+            iv(EventKind::Walking, 20, 25),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(gt.count_of(EventKind::Walking), 2);
+        assert_eq!(gt.count_of(EventKind::Headbutt), 1);
+        assert_eq!(gt.count_of(EventKind::Siren), 0);
+        assert_eq!(
+            gt.total_duration_of(EventKind::Walking),
+            Micros::from_secs(15)
+        );
+    }
+
+    #[test]
+    fn kind_at_finds_active_interval() {
+        let gt: GroundTruth = [iv(EventKind::Music, 5, 10)].into_iter().collect();
+        assert_eq!(gt.kind_at(Micros::from_secs(7)), Some(EventKind::Music));
+        assert_eq!(gt.kind_at(Micros::from_secs(3)), None);
+    }
+
+    #[test]
+    fn overlapping_filters_by_kind_and_range() {
+        let gt: GroundTruth = [
+            iv(EventKind::Siren, 0, 2),
+            iv(EventKind::Siren, 10, 12),
+            iv(EventKind::Music, 1, 3),
+        ]
+        .into_iter()
+        .collect();
+        let hits: Vec<_> = gt
+            .overlapping(
+                EventKind::Siren,
+                Micros::from_secs(1),
+                Micros::from_secs(11),
+            )
+            .collect();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn merge_combines_and_sorts() {
+        let mut a: GroundTruth = [iv(EventKind::Idle, 5, 6)].into_iter().collect();
+        let b: GroundTruth = [iv(EventKind::Idle, 1, 2)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.intervals()[0].start(), Micros::from_secs(1));
+    }
+
+    #[test]
+    fn extend_adds_intervals() {
+        let mut gt = GroundTruth::new();
+        gt.extend([iv(EventKind::Step, 1, 2), iv(EventKind::Step, 3, 4)]);
+        assert_eq!(gt.count_of(EventKind::Step), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Sensor data model for the Sidewinder reproduction.
+//!
+//! Everything downstream of trace collection — the hub runtime, the
+//! applications, and the trace-driven simulator — consumes the types in
+//! this crate:
+//!
+//! * [`time::Micros`] — integer-microsecond timestamps and durations, so the
+//!   event-driven simulator is exact.
+//! * [`channel::SensorChannel`] — the sensor channels the paper's prototype
+//!   exposes (three accelerometer axes and a microphone).
+//! * [`series::TimeSeries`] — a uniformly sampled signal on one channel.
+//! * [`trace::SensorTrace`] — a multi-channel recording plus ground truth,
+//!   the unit of evaluation in the paper's trace-driven methodology (§4).
+//! * [`ground_truth::GroundTruth`] — labeled event intervals, standing in
+//!   for the robot's action log and the audio mixing script.
+//! * [`csv`] — plain-text persistence so traces can be inspected and reused.
+//!
+//! # Example
+//!
+//! ```
+//! use sidewinder_sensors::channel::SensorChannel;
+//! use sidewinder_sensors::ground_truth::{EventKind, GroundTruth, LabeledInterval};
+//! use sidewinder_sensors::series::TimeSeries;
+//! use sidewinder_sensors::time::Micros;
+//! use sidewinder_sensors::trace::SensorTrace;
+//!
+//! let mut trace = SensorTrace::new("demo");
+//! let accel = TimeSeries::from_samples(50.0, vec![0.0; 500])?; // 10 s at 50 Hz
+//! trace.insert(SensorChannel::AccX, accel);
+//! trace.ground_truth_mut().push(LabeledInterval::new(
+//!     EventKind::Walking,
+//!     Micros::from_secs_f64(2.0),
+//!     Micros::from_secs_f64(5.0),
+//! )?);
+//! assert_eq!(trace.duration(), Micros::from_secs_f64(10.0));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod channel;
+pub mod csv;
+pub mod ground_truth;
+pub mod series;
+pub mod time;
+pub mod trace;
+
+pub use channel::SensorChannel;
+pub use ground_truth::{EventKind, GroundTruth, LabeledInterval};
+pub use series::TimeSeries;
+pub use time::Micros;
+pub use trace::SensorTrace;

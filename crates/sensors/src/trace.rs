@@ -1,0 +1,196 @@
+//! Multi-channel sensor traces.
+
+use crate::channel::SensorChannel;
+use crate::ground_truth::GroundTruth;
+use crate::series::TimeSeries;
+use crate::time::Micros;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A multi-channel recording with ground-truth labels — the unit of
+/// evaluation in the paper's trace-driven simulation (§4).
+///
+/// Channels may have different sample rates (50 Hz accelerometer, 8 kHz
+/// microphone) but are expected to span the same duration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SensorTrace {
+    name: String,
+    channels: BTreeMap<SensorChannel, TimeSeries>,
+    ground_truth: GroundTruth,
+}
+
+impl SensorTrace {
+    /// Creates an empty trace with a descriptive name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SensorTrace {
+            name: name.into(),
+            channels: BTreeMap::new(),
+            ground_truth: GroundTruth::new(),
+        }
+    }
+
+    /// The trace's descriptive name (e.g. `"robot-group1-run3"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds or replaces a channel, returning the previous series if any.
+    pub fn insert(&mut self, channel: SensorChannel, series: TimeSeries) -> Option<TimeSeries> {
+        self.channels.insert(channel, series)
+    }
+
+    /// The series on `channel`, if recorded.
+    pub fn channel(&self, channel: SensorChannel) -> Option<&TimeSeries> {
+        self.channels.get(&channel)
+    }
+
+    /// Channels present in this trace, in canonical order.
+    pub fn channels(&self) -> impl Iterator<Item = SensorChannel> + '_ {
+        self.channels.keys().copied()
+    }
+
+    /// Whether the trace records `channel`.
+    pub fn has_channel(&self, channel: SensorChannel) -> bool {
+        self.channels.contains_key(&channel)
+    }
+
+    /// The ground-truth labels.
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.ground_truth
+    }
+
+    /// Mutable access to the ground-truth labels.
+    pub fn ground_truth_mut(&mut self) -> &mut GroundTruth {
+        &mut self.ground_truth
+    }
+
+    /// The longest channel duration (zero for an empty trace).
+    pub fn duration(&self) -> Micros {
+        self.channels
+            .values()
+            .map(|s| s.duration())
+            .max()
+            .unwrap_or(Micros::ZERO)
+    }
+
+    /// Checks that all channels span the same duration within one sample
+    /// period of the slowest channel; returns the mismatching channel
+    /// otherwise.
+    pub fn check_aligned(&self) -> Result<(), MisalignedChannelError> {
+        let target = self.duration();
+        for (&channel, series) in &self.channels {
+            let tolerance = Micros::from_secs_f64(1.0 / series.rate_hz());
+            let diff = target.saturating_sub(series.duration());
+            if diff > tolerance {
+                return Err(MisalignedChannelError {
+                    channel,
+                    expected: target,
+                    actual: series.duration(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`SensorTrace::check_aligned`] when a channel is
+/// shorter than the trace duration by more than one sample period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MisalignedChannelError {
+    /// The short channel.
+    pub channel: SensorChannel,
+    /// The trace duration.
+    pub expected: Micros,
+    /// The channel's duration.
+    pub actual: Micros,
+}
+
+impl std::fmt::Display for MisalignedChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "channel {} spans {} but the trace spans {}",
+            self.channel, self.actual, self.expected
+        )
+    }
+}
+
+impl std::error::Error for MisalignedChannelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::{EventKind, LabeledInterval};
+
+    fn accel(n: usize) -> TimeSeries {
+        TimeSeries::from_samples(50.0, vec![0.0; n]).unwrap()
+    }
+
+    #[test]
+    fn empty_trace_has_zero_duration() {
+        let t = SensorTrace::new("empty");
+        assert_eq!(t.duration(), Micros::ZERO);
+        assert_eq!(t.name(), "empty");
+        assert!(t.check_aligned().is_ok());
+        assert_eq!(t.channels().count(), 0);
+    }
+
+    #[test]
+    fn insert_and_query_channels() {
+        let mut t = SensorTrace::new("t");
+        assert!(t.insert(SensorChannel::AccX, accel(100)).is_none());
+        assert!(t.has_channel(SensorChannel::AccX));
+        assert!(!t.has_channel(SensorChannel::Mic));
+        assert_eq!(t.channel(SensorChannel::AccX).unwrap().len(), 100);
+        // Replacing returns the old series.
+        assert!(t.insert(SensorChannel::AccX, accel(50)).is_some());
+        assert_eq!(t.channel(SensorChannel::AccX).unwrap().len(), 50);
+    }
+
+    #[test]
+    fn duration_is_longest_channel() {
+        let mut t = SensorTrace::new("t");
+        t.insert(SensorChannel::AccX, accel(100)); // 2 s
+        t.insert(
+            SensorChannel::Mic,
+            TimeSeries::from_samples(8000.0, vec![0.0; 24_000]).unwrap(), // 3 s
+        );
+        assert_eq!(t.duration(), Micros::from_secs(3));
+    }
+
+    #[test]
+    fn alignment_check_tolerates_one_sample() {
+        let mut t = SensorTrace::new("t");
+        t.insert(SensorChannel::AccX, accel(100));
+        t.insert(SensorChannel::AccY, accel(99)); // one sample short: OK
+        assert!(t.check_aligned().is_ok());
+    }
+
+    #[test]
+    fn alignment_check_flags_short_channel() {
+        let mut t = SensorTrace::new("t");
+        t.insert(SensorChannel::AccX, accel(100)); // 2 s
+        t.insert(SensorChannel::AccY, accel(50)); // 1 s: misaligned
+        let err = t.check_aligned().unwrap_err();
+        assert_eq!(err.channel, SensorChannel::AccY);
+        assert!(err.to_string().contains("ACC_Y"));
+    }
+
+    #[test]
+    fn ground_truth_is_attached() {
+        let mut t = SensorTrace::new("t");
+        t.ground_truth_mut().push(
+            LabeledInterval::new(EventKind::Siren, Micros::ZERO, Micros::from_secs(1)).unwrap(),
+        );
+        assert_eq!(t.ground_truth().count_of(EventKind::Siren), 1);
+    }
+
+    #[test]
+    fn channels_iterate_in_canonical_order() {
+        let mut t = SensorTrace::new("t");
+        t.insert(SensorChannel::Mic, TimeSeries::empty(8000.0).unwrap());
+        t.insert(SensorChannel::AccX, accel(1));
+        let order: Vec<_> = t.channels().collect();
+        assert_eq!(order, vec![SensorChannel::AccX, SensorChannel::Mic]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the sensor data model.
+
+use proptest::prelude::*;
+use sidewinder_sensors::csv;
+use sidewinder_sensors::ground_truth::{EventKind, GroundTruth, LabeledInterval};
+use sidewinder_sensors::series::TimeSeries;
+use sidewinder_sensors::time::Micros;
+use sidewinder_sensors::trace::SensorTrace;
+use sidewinder_sensors::SensorChannel;
+
+fn arb_kind() -> impl Strategy<Value = EventKind> {
+    (0usize..EventKind::ALL.len()).prop_map(|i| EventKind::ALL[i])
+}
+
+fn arb_interval() -> impl Strategy<Value = LabeledInterval> {
+    (arb_kind(), 0u64..1_000_000, 1u64..1_000_000).prop_map(|(kind, start, len)| {
+        LabeledInterval::new(kind, Micros(start), Micros(start + len)).unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn ground_truth_stays_sorted(intervals in prop::collection::vec(arb_interval(), 0..50)) {
+        let gt: GroundTruth = intervals.into_iter().collect();
+        let starts: Vec<_> = gt.intervals().iter().map(|i| i.start()).collect();
+        let mut sorted = starts.clone();
+        sorted.sort();
+        prop_assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn total_duration_is_sum_of_kind(intervals in prop::collection::vec(arb_interval(), 0..50)) {
+        let gt: GroundTruth = intervals.clone().into_iter().collect();
+        for kind in EventKind::ALL {
+            let expected: u64 = intervals
+                .iter()
+                .filter(|i| i.kind() == kind)
+                .map(|i| i.duration().as_micros())
+                .sum();
+            prop_assert_eq!(gt.total_duration_of(kind).as_micros(), expected);
+        }
+    }
+
+    #[test]
+    fn labels_round_trip_through_csv(intervals in prop::collection::vec(arb_interval(), 0..30)) {
+        let gt: GroundTruth = intervals.into_iter().collect();
+        let mut buf = Vec::new();
+        csv::write_labels(&gt, &mut buf).unwrap();
+        let back = csv::read_labels(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, gt);
+    }
+
+    #[test]
+    fn samples_round_trip_through_csv(
+        samples in prop::collection::vec(-1000.0f64..1000.0, 0..200),
+    ) {
+        let mut trace = SensorTrace::new("prop");
+        trace.insert(
+            SensorChannel::AccY,
+            TimeSeries::from_samples(50.0, samples.clone()).unwrap(),
+        );
+        let mut buf = Vec::new();
+        csv::write_samples(&trace, &mut buf).unwrap();
+        let back = csv::read_samples("prop", buf.as_slice()).unwrap();
+        if samples.is_empty() {
+            prop_assert!(back.channel(SensorChannel::AccY).is_none());
+        } else {
+            prop_assert_eq!(
+                back.channel(SensorChannel::AccY).unwrap().samples(),
+                samples.as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn slice_is_consistent_with_index_at(
+        n in 1usize..500,
+        start_ms in 0u64..12_000,
+        len_ms in 0u64..12_000,
+    ) {
+        let series = TimeSeries::from_samples(50.0, (0..n).map(|i| i as f64).collect()).unwrap();
+        let start = Micros::from_millis(start_ms);
+        let end = Micros::from_millis(start_ms + len_ms);
+        let slice = series.slice(start, end);
+        // Every sample in the slice has a timestamp within [start, end).
+        for &x in slice {
+            let t = series.time_of(x as usize);
+            prop_assert!(t >= start || t + Micros::from_millis(20) > start);
+            prop_assert!(t < end);
+        }
+    }
+
+    #[test]
+    fn micros_add_sub_inverse(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let x = Micros(a);
+        let y = Micros(b);
+        prop_assert_eq!((x + y) - y, x);
+        prop_assert_eq!((x + y).saturating_sub(y), x);
+    }
+
+    #[test]
+    fn kind_at_respects_containment(intervals in prop::collection::vec(arb_interval(), 1..30), t in 0u64..2_000_000) {
+        let gt: GroundTruth = intervals.into_iter().collect();
+        let t = Micros(t);
+        if let Some(kind) = gt.kind_at(t) {
+            prop_assert!(gt.of_kind(kind).any(|i| i.contains(t)));
+        } else {
+            prop_assert!(!gt.intervals().iter().any(|i| i.contains(t)));
+        }
+    }
+}

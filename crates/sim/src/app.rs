@@ -1,0 +1,55 @@
+//! The application interface the simulator drives.
+
+use sidewinder_ir::Program;
+use sidewinder_sensors::{EventKind, Micros, SensorTrace};
+
+/// A continuous-sensing application as the simulator sees it: the event
+/// it cares about, its main-CPU classifier, and its hub wake-up
+/// condition.
+///
+/// The six evaluation applications of the paper (§3.7) implement this in
+/// `sidewinder-apps`.
+pub trait Application {
+    /// Application name for reports (e.g. `"steps"`).
+    fn name(&self) -> &str;
+
+    /// The ground-truth event kinds this application detects (the
+    /// transitions application targets both `SitToStand` and
+    /// `StandToSit`).
+    fn target_kinds(&self) -> Vec<EventKind>;
+
+    /// Runs the full-quality main-CPU classifier over the trace data
+    /// visible in `[start, end)` and returns detection timestamps.
+    ///
+    /// This is the "high recall *and* high precision" second stage of the
+    /// paper's pipeline structure (§2): it only runs while the phone is
+    /// awake, on whatever data the strategy makes visible.
+    fn classify(&self, trace: &SensorTrace, start: Micros, end: Micros) -> Vec<Micros>;
+
+    /// The Sidewinder wake-up condition for this application, compiled to
+    /// the intermediate language.
+    fn wake_condition(&self) -> Program;
+
+    /// Hub always-on power (mW) for the wake condition: the cheapest
+    /// microcontroller that can run it in real time.
+    fn wake_condition_hub_mw(&self) -> f64;
+}
+
+/// Blanket impl so `&A` works wherever an `Application` is expected.
+impl<A: Application + ?Sized> Application for &A {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn target_kinds(&self) -> Vec<EventKind> {
+        (**self).target_kinds()
+    }
+    fn classify(&self, trace: &SensorTrace, start: Micros, end: Micros) -> Vec<Micros> {
+        (**self).classify(trace, start, end)
+    }
+    fn wake_condition(&self) -> Program {
+        (**self).wake_condition()
+    }
+    fn wake_condition_hub_mw(&self) -> f64 {
+        (**self).wake_condition_hub_mw()
+    }
+}

@@ -1,0 +1,598 @@
+//! The trace-driven simulation engine.
+//!
+//! [`simulate`] replays one trace through one application under one
+//! strategy and produces the quantities the paper reports (§4.3): "the
+//! amount of sleep and awake time, the total number of wake-up events,
+//! and the recall and precision of the application", plus the average
+//! power estimated from the Table 1 model.
+
+use crate::app::Application;
+use crate::intervals::IntervalSet;
+use crate::metrics::DetectionStats;
+use crate::power::{PhonePowerProfile, PowerBreakdown};
+use crate::strategy::Strategy;
+use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+use sidewinder_hub::HubError;
+use sidewinder_ir::Program;
+use sidewinder_sensors::{Micros, SensorTrace};
+
+/// Tunable simulation constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// How long the phone stays awake per wake-up to sample and process
+    /// (the paper uses 4 s chunks for duty cycling).
+    pub awake_chunk: Micros,
+    /// How long the phone stays awake after a *hub* wake-up: the hub
+    /// hands over a buffer of already-collected data, so processing is
+    /// brief; sustained events keep producing wake-ups that merge into a
+    /// continuous awake span.
+    pub hub_chunk: Micros,
+    /// How much buffered raw data the hub hands to the application on a
+    /// wake-up (§3.8 "our current implementation passes a buffer of raw
+    /// sensor data").
+    pub lookback: Micros,
+    /// Awake periods closer than this merge into one (the phone cannot
+    /// complete a sleep/wake round trip faster than the two 1 s
+    /// transitions).
+    pub merge_gap: Micros,
+    /// Tolerance when matching detections to ground-truth events.
+    pub match_tolerance: Micros,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            awake_chunk: Micros::from_secs(4),
+            hub_chunk: Micros::from_millis(500),
+            lookback: Micros::from_secs(4),
+            merge_gap: Micros::from_secs(2),
+            match_tolerance: Micros::from_secs(2),
+        }
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The hub rejected or failed to execute the wake-up condition.
+    Hub(HubError),
+    /// The trace lacks a channel the wake-up condition reads.
+    MissingChannel(sidewinder_sensors::SensorChannel),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Hub(e) => write!(f, "hub failure: {e}"),
+            SimError::MissingChannel(c) => {
+                write!(f, "trace does not record channel {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<HubError> for SimError {
+    fn from(e: HubError) -> Self {
+        SimError::Hub(e)
+    }
+}
+
+/// The outcome of one simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Strategy label (AA, DC-10, …).
+    pub strategy: String,
+    /// Application name.
+    pub app: String,
+    /// Trace name.
+    pub trace: String,
+    /// Time spent per phone state.
+    pub breakdown: PowerBreakdown,
+    /// Average power, mW, under the profile used.
+    pub average_power_mw: f64,
+    /// Number of disjoint awake periods (wake-up events).
+    pub wake_ups: usize,
+    /// Recall/precision against ground truth.
+    pub stats: DetectionStats,
+    /// De-duplicated detection timestamps.
+    pub detections: Vec<Micros>,
+    /// Per-detection discovery delay: how long after the event appeared
+    /// in the data the application actually processed it. Zero for live
+    /// strategies; up to one interval for batching — the paper's §5.4
+    /// timeliness objection.
+    pub discovery_delays: Vec<Micros>,
+}
+
+impl SimResult {
+    /// Recall shorthand.
+    pub fn recall(&self) -> f64 {
+        self.stats.recall()
+    }
+
+    /// Precision shorthand.
+    pub fn precision(&self) -> f64 {
+        self.stats.precision()
+    }
+
+    /// Mean discovery delay in seconds (zero when every detection was
+    /// processed live).
+    pub fn mean_discovery_delay_s(&self) -> f64 {
+        if self.discovery_delays.is_empty() {
+            return 0.0;
+        }
+        self.discovery_delays
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .sum::<f64>()
+            / self.discovery_delays.len() as f64
+    }
+
+    /// Largest discovery delay in seconds.
+    pub fn max_discovery_delay_s(&self) -> f64 {
+        self.discovery_delays
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Replays `trace` through `app` under `strategy`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if a hub wake-up condition cannot be loaded or
+/// executed on the trace.
+pub fn simulate(
+    trace: &SensorTrace,
+    app: &dyn Application,
+    strategy: &Strategy,
+    profile: &PhonePowerProfile,
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    let duration = trace.duration();
+    let mut discovery_delays = Vec::new();
+    let (awake, mut detections) = match strategy {
+        Strategy::AlwaysAwake => {
+            let detections = app.classify(trace, Micros::ZERO, duration);
+            (
+                IntervalSet::from_spans(vec![(Micros::ZERO, duration)], Micros::ZERO),
+                detections,
+            )
+        }
+        Strategy::DutyCycle { sleep } => duty_cycle(trace, app, *sleep, profile, config),
+        Strategy::Batching { interval, .. } => {
+            let (awake, detections, delays) = batching(trace, app, *interval, profile, config);
+            discovery_delays = delays;
+            (awake, detections)
+        }
+        Strategy::HubWake { program, .. } => hub_wake(trace, app, program, config)?,
+        Strategy::Oracle => {
+            let spans: Vec<(Micros, Micros)> = app
+                .target_kinds()
+                .iter()
+                .flat_map(|&k| trace.ground_truth().of_kind(k))
+                .map(|iv| (iv.start(), iv.end()))
+                .collect();
+            let detections = spans.iter().map(|(s, e)| *s + (*e - *s) / 2).collect();
+            (IntervalSet::from_spans(spans, config.merge_gap), detections)
+        }
+    };
+
+    let awake = awake.clip(duration);
+    detections.sort();
+    detections.dedup();
+
+    let stats = DetectionStats::match_events(
+        trace.ground_truth(),
+        &app.target_kinds(),
+        &detections,
+        config.match_tolerance,
+    );
+
+    let breakdown = integrate(&awake, duration, profile, strategy.hub_mw());
+    Ok(SimResult {
+        strategy: strategy.label(),
+        app: app.name().to_string(),
+        trace: trace.name().to_string(),
+        average_power_mw: breakdown.average_power_mw(profile),
+        wake_ups: awake.len(),
+        breakdown,
+        stats,
+        detections,
+        discovery_delays,
+    })
+}
+
+/// Converts awake spans into the per-state time breakdown, charging one
+/// wake and one sleep transition per disjoint awake period out of the
+/// sleep budget.
+fn integrate(
+    awake: &IntervalSet,
+    duration: Micros,
+    profile: &PhonePowerProfile,
+    hub_mw: f64,
+) -> PowerBreakdown {
+    let t_awake = awake.total().min(duration);
+    let sleep_budget = duration.saturating_sub(t_awake);
+    let wanted_overhead = profile.transition_time * (2 * awake.len() as u64);
+    let overhead = wanted_overhead.min(sleep_budget);
+    PowerBreakdown {
+        awake: t_awake,
+        asleep: sleep_budget.saturating_sub(overhead),
+        waking: overhead / 2,
+        sleeping: overhead - overhead / 2,
+        hub_mw,
+    }
+}
+
+/// Duty cycling: wake, sample for one chunk, extend while the classifier
+/// keeps detecting, then sleep.
+fn duty_cycle(
+    trace: &SensorTrace,
+    app: &dyn Application,
+    sleep: Micros,
+    profile: &PhonePowerProfile,
+    config: &SimConfig,
+) -> (IntervalSet, Vec<Micros>) {
+    let duration = trace.duration();
+    let chunk = config.awake_chunk;
+    let mut spans = Vec::new();
+    let mut detections = Vec::new();
+    let mut t = Micros::ZERO;
+    while t < duration {
+        let mut end = (t + chunk).min(duration);
+        loop {
+            let chunk_start = end.saturating_sub(chunk).max(t);
+            let found = app.classify(trace, chunk_start, end);
+            let fresh: Vec<Micros> = found
+                .into_iter()
+                .filter(|&d| d >= chunk_start && d < end)
+                .collect();
+            let keep_going = !fresh.is_empty() && end < duration;
+            detections.extend(fresh);
+            if !keep_going {
+                break;
+            }
+            end = (end + chunk).min(duration);
+        }
+        spans.push((t, end));
+        // The sleep interval is the total gap between sampling windows;
+        // the two 1 s transitions live inside it (and consume it
+        // entirely at the paper's shortest 2 s interval, which is why
+        // DC-2 costs *more* than Always Awake — §5.4's 339 mW).
+        t = end + sleep.max(profile.transition_time * 2);
+    }
+    // Duty-cycle spans are genuinely disjoint: the phone transitions
+    // between every pair, so no gap merging applies.
+    (IntervalSet::from_spans(spans, Micros::ZERO), detections)
+}
+
+/// Batching: the hub caches data while the phone sleeps; on each wake the
+/// application processes the entire batch.
+fn batching(
+    trace: &SensorTrace,
+    app: &dyn Application,
+    interval: Micros,
+    profile: &PhonePowerProfile,
+    config: &SimConfig,
+) -> (IntervalSet, Vec<Micros>, Vec<Micros>) {
+    let duration = trace.duration();
+    let mut spans = Vec::new();
+    let mut detections = Vec::new();
+    let mut delays = Vec::new();
+    let mut processed_to = Micros::ZERO;
+    let mut t = interval;
+    while processed_to < duration {
+        let wake_at = t.min(duration);
+        // Process everything cached since the last batch; each detection
+        // is only *discovered* now, a batch interval after the fact.
+        for d in app.classify(trace, processed_to, wake_at) {
+            delays.push(wake_at.saturating_sub(d));
+            detections.push(d);
+        }
+        processed_to = wake_at;
+        if wake_at >= duration {
+            break;
+        }
+        spans.push((wake_at, (wake_at + config.awake_chunk).min(duration)));
+        t = wake_at + config.awake_chunk + interval.max(profile.transition_time * 2);
+    }
+    (
+        IntervalSet::from_spans(spans, Micros::ZERO),
+        detections,
+        delays,
+    )
+}
+
+/// Hub-resident wake-up condition (Predefined Activity or Sidewinder).
+fn hub_wake(
+    trace: &SensorTrace,
+    app: &dyn Application,
+    program: &Program,
+    config: &SimConfig,
+) -> Result<(IntervalSet, Vec<Micros>), SimError> {
+    // Configure hub channel rates from the trace itself.
+    let mut rates = ChannelRates::default();
+    let channels = program.channels();
+    for &channel in &channels {
+        let series = trace
+            .channel(channel)
+            .ok_or(SimError::MissingChannel(channel))?;
+        rates = rates.with_rate(channel, series.rate_hz());
+    }
+    let mut hub = HubRuntime::load(program, &rates)?;
+
+    // Replay samples in time order across the program's channels and
+    // collect wake times.
+    let mut wake_times: Vec<Micros> = Vec::new();
+    let mut cursors: Vec<(sidewinder_sensors::SensorChannel, usize)> =
+        channels.iter().map(|&c| (c, 0usize)).collect();
+    loop {
+        // Pick the channel whose next sample is earliest.
+        let mut best: Option<(usize, Micros)> = None;
+        for (i, &(channel, idx)) in cursors.iter().enumerate() {
+            let series = trace.channel(channel).expect("checked above");
+            if idx < series.len() {
+                let t = series.time_of(idx);
+                if best.map(|(_, bt)| t < bt).unwrap_or(true) {
+                    best = Some((i, t));
+                }
+            }
+        }
+        let Some((i, t)) = best else { break };
+        let (channel, idx) = cursors[i];
+        let series = trace.channel(channel).expect("checked above");
+        let sample = series.samples()[idx];
+        cursors[i].1 += 1;
+        if !hub.push_sample(channel, sample)?.is_empty() {
+            wake_times.push(t);
+        }
+    }
+
+    // Each wake keeps the phone up briefly; close wakes merge into a
+    // continuous awake span covering the event.
+    let spans: Vec<(Micros, Micros)> = wake_times
+        .iter()
+        .map(|&w| (w, w + config.hub_chunk))
+        .collect();
+    let awake = IntervalSet::from_spans(spans, config.merge_gap);
+
+    // The application classifies over each awake period plus the raw
+    // buffer the hub hands over.
+    let mut detections = Vec::new();
+    for &(start, end) in awake.spans() {
+        detections.extend(app.classify(trace, start.saturating_sub(config.lookback), end));
+    }
+    Ok((awake, detections))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_sensors::{EventKind, LabeledInterval, SensorChannel, TimeSeries};
+
+    /// A toy application over a synthetic square-wave trace: events are
+    /// intervals where ACC_X exceeds 5; the classifier finds them
+    /// perfectly within the data it sees.
+    struct ToyApp;
+
+    impl Application for ToyApp {
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn target_kinds(&self) -> Vec<EventKind> {
+            vec![EventKind::Headbutt]
+        }
+        fn classify(&self, trace: &SensorTrace, start: Micros, end: Micros) -> Vec<Micros> {
+            let series = trace.channel(SensorChannel::AccX).unwrap();
+            let rate = series.rate_hz();
+            let mut out = Vec::new();
+            let slice = series.slice(start, end);
+            let offset = (start.as_secs_f64() * rate).ceil() as usize;
+            let mut in_event = false;
+            for (i, &v) in slice.iter().enumerate() {
+                if v > 5.0 && !in_event {
+                    in_event = true;
+                    out.push(sidewinder_sensors::time::sample_time(offset + i, rate));
+                } else if v <= 5.0 {
+                    in_event = false;
+                }
+            }
+            out
+        }
+        fn wake_condition(&self) -> Program {
+            "ACC_X -> movingAvg(id=1, params={2});
+             1 -> minThreshold(id=2, params={5});
+             2 -> OUT;"
+                .parse()
+                .unwrap()
+        }
+        fn wake_condition_hub_mw(&self) -> f64 {
+            3.6
+        }
+    }
+
+    /// 120 s at 50 Hz with bursts of 10 at [30,32) and [90,92).
+    fn toy_trace() -> SensorTrace {
+        let rate = 50.0;
+        let n = 120 * 50;
+        let mut x = vec![0.0f64; n];
+        let mut trace = SensorTrace::new("toy");
+        let mut gt = sidewinder_sensors::GroundTruth::new();
+        for (s, e) in [(30u64, 32u64), (90, 92)] {
+            for sample in &mut x[(s * 50) as usize..(e * 50) as usize] {
+                *sample = 10.0;
+            }
+            gt.push(
+                LabeledInterval::new(
+                    EventKind::Headbutt,
+                    Micros::from_secs(s),
+                    Micros::from_secs(e),
+                )
+                .unwrap(),
+            );
+        }
+        trace.insert(
+            SensorChannel::AccX,
+            TimeSeries::from_samples(rate, x).unwrap(),
+        );
+        *trace.ground_truth_mut() = gt;
+        trace
+    }
+
+    fn run(strategy: Strategy) -> SimResult {
+        simulate(
+            &toy_trace(),
+            &ToyApp,
+            &strategy,
+            &PhonePowerProfile::NEXUS4,
+            &SimConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn always_awake_sees_everything_at_full_power() {
+        let r = run(Strategy::AlwaysAwake);
+        assert_eq!(r.recall(), 1.0);
+        assert_eq!(r.precision(), 1.0);
+        assert!((r.average_power_mw - 323.0).abs() < 1e-9);
+        assert_eq!(r.breakdown.asleep, Micros::ZERO);
+        assert_eq!(r.wake_ups, 1);
+    }
+
+    #[test]
+    fn oracle_has_perfect_metrics_at_minimal_power() {
+        let r = run(Strategy::Oracle);
+        assert_eq!(r.recall(), 1.0);
+        assert_eq!(r.precision(), 1.0);
+        // Awake only 4 s of 120 s plus transitions.
+        assert_eq!(r.breakdown.awake, Micros::from_secs(4));
+        assert_eq!(r.wake_ups, 2);
+        assert!(r.average_power_mw < 35.0, "{}", r.average_power_mw);
+        // And strictly cheaper than Always Awake.
+        assert!(r.average_power_mw < run(Strategy::AlwaysAwake).average_power_mw);
+    }
+
+    #[test]
+    fn sidewinder_wakes_on_events_only() {
+        let r = run(Strategy::HubWake {
+            program: ToyApp.wake_condition(),
+            hub_mw: 3.6,
+            label: "Sw",
+        });
+        assert_eq!(r.recall(), 1.0, "sidewinder must catch both events");
+        assert_eq!(r.wake_ups, 2);
+        // Hub draw is included.
+        assert!(r.breakdown.hub_mw == 3.6);
+        // Power sits between Oracle and Always Awake.
+        let oracle = run(Strategy::Oracle).average_power_mw;
+        let aa = run(Strategy::AlwaysAwake).average_power_mw;
+        assert!(r.average_power_mw > oracle);
+        assert!(r.average_power_mw < aa / 3.0);
+    }
+
+    #[test]
+    fn duty_cycle_recall_degrades_with_sleep_interval() {
+        let short = run(Strategy::DutyCycle {
+            sleep: Micros::from_secs(2),
+        });
+        let long = run(Strategy::DutyCycle {
+            sleep: Micros::from_secs(30),
+        });
+        assert!(short.recall() >= long.recall());
+        // Long sleep must miss at least one 2 s event.
+        assert!(long.recall() < 1.0);
+        // And long sleeping saves power.
+        assert!(long.average_power_mw < short.average_power_mw);
+    }
+
+    #[test]
+    fn short_duty_cycle_burns_power_on_transitions() {
+        // With a 2 s sleep interval the phone spends much of its time
+        // transitioning — the paper measures 339 mW, *above* Always
+        // Awake.
+        let r = run(Strategy::DutyCycle {
+            sleep: Micros::from_secs(2),
+        });
+        assert!(
+            r.average_power_mw > 200.0,
+            "DC-2 should be expensive, got {}",
+            r.average_power_mw
+        );
+    }
+
+    #[test]
+    fn batching_has_perfect_recall_with_low_power() {
+        let r = run(Strategy::Batching {
+            interval: Micros::from_secs(10),
+            hub_mw: 3.6,
+        });
+        assert_eq!(r.recall(), 1.0, "batching sees all data");
+        let aa = run(Strategy::AlwaysAwake).average_power_mw;
+        assert!(r.average_power_mw < aa / 2.0);
+    }
+
+    #[test]
+    fn hub_wake_fails_cleanly_on_missing_channel() {
+        let mut trace = SensorTrace::new("no-acc");
+        trace.insert(
+            SensorChannel::Mic,
+            TimeSeries::from_samples(8000.0, vec![0.0; 100]).unwrap(),
+        );
+        let err = simulate(
+            &trace,
+            &ToyApp,
+            &Strategy::HubWake {
+                program: ToyApp.wake_condition(),
+                hub_mw: 3.6,
+                label: "Sw",
+            },
+            &PhonePowerProfile::NEXUS4,
+            &SimConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::MissingChannel(SensorChannel::AccX));
+        assert!(err.to_string().contains("ACC_X"));
+    }
+
+    #[test]
+    fn breakdown_times_partition_the_trace() {
+        for strategy in [
+            Strategy::AlwaysAwake,
+            Strategy::Oracle,
+            Strategy::DutyCycle {
+                sleep: Micros::from_secs(5),
+            },
+            Strategy::Batching {
+                interval: Micros::from_secs(10),
+                hub_mw: 3.6,
+            },
+            Strategy::HubWake {
+                program: ToyApp.wake_condition(),
+                hub_mw: 3.6,
+                label: "Sw",
+            },
+        ] {
+            let r = run(strategy.clone());
+            assert_eq!(
+                r.breakdown.total(),
+                Micros::from_secs(120),
+                "{} does not partition time",
+                strategy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn detections_are_sorted_and_unique() {
+        let r = run(Strategy::AlwaysAwake);
+        let mut sorted = r.detections.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(r.detections, sorted);
+        assert!(!r.detections.is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Awake-interval set algebra.
+
+use sidewinder_sensors::Micros;
+
+/// A sorted, disjoint set of half-open `[start, end)` intervals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    spans: Vec<(Micros, Micros)>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// Builds a set from possibly overlapping spans, merging any pair
+    /// closer than `merge_gap` (the phone would not finish a sleep/wake
+    /// round trip in a shorter gap).
+    pub fn from_spans(mut raw: Vec<(Micros, Micros)>, merge_gap: Micros) -> IntervalSet {
+        raw.retain(|(s, e)| e > s);
+        raw.sort();
+        let mut spans: Vec<(Micros, Micros)> = Vec::with_capacity(raw.len());
+        for (s, e) in raw {
+            match spans.last_mut() {
+                Some((_, last_end)) if s <= *last_end + merge_gap => {
+                    *last_end = (*last_end).max(e);
+                }
+                _ => spans.push((s, e)),
+            }
+        }
+        IntervalSet { spans }
+    }
+
+    /// The disjoint spans in order.
+    pub fn spans(&self) -> &[(Micros, Micros)] {
+        &self.spans
+    }
+
+    /// Number of disjoint spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total covered time.
+    pub fn total(&self) -> Micros {
+        self.spans
+            .iter()
+            .fold(Micros::ZERO, |acc, (s, e)| acc + (*e - *s))
+    }
+
+    /// Clips every span to `[0, end)` and drops empties.
+    pub fn clip(&self, end: Micros) -> IntervalSet {
+        IntervalSet {
+            spans: self
+                .spans
+                .iter()
+                .filter_map(|(s, e)| {
+                    let e = (*e).min(end);
+                    (e > *s).then_some((*s, e))
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether time `t` is covered.
+    pub fn contains(&self, t: Micros) -> bool {
+        self.spans.iter().any(|(s, e)| t >= *s && t < *e)
+    }
+
+    /// Whether `[start, end)` overlaps any span.
+    pub fn overlaps(&self, start: Micros, end: Micros) -> bool {
+        self.spans.iter().any(|(s, e)| *s < end && start < *e)
+    }
+}
+
+impl FromIterator<(Micros, Micros)> for IntervalSet {
+    /// Collects spans, merging only adjacent/overlapping ones (zero gap).
+    fn from_iter<T: IntoIterator<Item = (Micros, Micros)>>(iter: T) -> Self {
+        IntervalSet::from_spans(iter.into_iter().collect(), Micros::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(a: u64, b: u64) -> (Micros, Micros) {
+        (Micros::from_secs(a), Micros::from_secs(b))
+    }
+
+    #[test]
+    fn merges_overlapping_spans() {
+        let set = IntervalSet::from_spans(vec![s(0, 5), s(3, 8), s(10, 12)], Micros::ZERO);
+        assert_eq!(set.spans(), &[s(0, 8), s(10, 12)]);
+        assert_eq!(set.total(), Micros::from_secs(10));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn merges_within_gap() {
+        let set = IntervalSet::from_spans(vec![s(0, 5), s(6, 8)], Micros::from_secs(2));
+        assert_eq!(set.spans(), &[s(0, 8)]);
+        // Without gap tolerance they stay separate.
+        let set = IntervalSet::from_spans(vec![s(0, 5), s(6, 8)], Micros::ZERO);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let set = IntervalSet::from_spans(vec![s(10, 12), s(0, 2)], Micros::ZERO);
+        assert_eq!(set.spans(), &[s(0, 2), s(10, 12)]);
+    }
+
+    #[test]
+    fn empty_spans_are_dropped() {
+        let set = IntervalSet::from_spans(vec![s(5, 5), s(7, 6)], Micros::ZERO);
+        assert!(set.is_empty());
+        assert_eq!(set.total(), Micros::ZERO);
+    }
+
+    #[test]
+    fn clip_truncates_and_drops() {
+        let set = IntervalSet::from_spans(vec![s(0, 5), s(8, 12)], Micros::ZERO);
+        let clipped = set.clip(Micros::from_secs(9));
+        assert_eq!(clipped.spans(), &[s(0, 5), s(8, 9)]);
+        let clipped = set.clip(Micros::from_secs(7));
+        assert_eq!(clipped.spans(), &[s(0, 5)]);
+    }
+
+    #[test]
+    fn contains_and_overlaps() {
+        let set = IntervalSet::from_spans(vec![s(2, 4)], Micros::ZERO);
+        assert!(set.contains(Micros::from_secs(2)));
+        assert!(set.contains(Micros::from_secs(3)));
+        assert!(!set.contains(Micros::from_secs(4)));
+        assert!(set.overlaps(Micros::from_secs(3), Micros::from_secs(10)));
+        assert!(!set.overlaps(Micros::from_secs(4), Micros::from_secs(10)));
+    }
+
+    #[test]
+    fn from_iterator_merges_adjacent() {
+        let set: IntervalSet = vec![s(0, 2), s(2, 4)].into_iter().collect();
+        assert_eq!(set.spans(), &[s(0, 4)]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Trace-driven simulation of continuous-sensing strategies.
+//!
+//! The paper's evaluation (§4) replays sensor traces through a simulator
+//! that models the phone's sleep/wake behaviour and power draw under six
+//! sensing configurations: Always Awake, Duty Cycling, Batching,
+//! Predefined Activity, Sidewinder, and a hypothetical Oracle. This crate
+//! is that simulator:
+//!
+//! * [`power`] — the Nexus 4 power profile (Table 1) and energy
+//!   integration over the phone's state timeline;
+//! * [`intervals`] — awake-interval set algebra (merging, clipping,
+//!   total time);
+//! * [`app`] — the [`Application`] trait the six evaluation applications
+//!   implement: a main-CPU classifier plus hub wake-up condition;
+//! * [`strategy`] — the sensing configurations;
+//! * [`engine`] — [`engine::simulate`]: replay a trace under a strategy,
+//!   producing awake intervals, detections, wake-up counts, and power;
+//! * [`metrics`] — recall/precision matching of detections against
+//!   ground truth;
+//! * [`concurrent`] — several applications sharing one phone and hub
+//!   (the paper's §7 concurrency question);
+//! * [`report`] — derived quantities (power relative to Oracle, fraction
+//!   of possible savings) and fixed-width table rendering for the
+//!   experiment binaries.
+
+pub mod app;
+pub mod concurrent;
+pub mod engine;
+pub mod intervals;
+pub mod metrics;
+pub mod power;
+pub mod report;
+pub mod strategy;
+
+pub use app::Application;
+pub use engine::{simulate, SimConfig, SimResult};
+pub use metrics::DetectionStats;
+pub use power::{PhonePowerProfile, PowerBreakdown};
+pub use strategy::Strategy;

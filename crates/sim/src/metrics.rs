@@ -1,0 +1,197 @@
+//! Recall and precision accounting.
+//!
+//! Detections are timestamps returned by an application's classifier;
+//! events are ground-truth intervals of the application's target kind. An
+//! event is *recalled* when at least one detection falls within it (with
+//! a small tolerance); a detection is a *true positive* when it falls
+//! within some event. The paper calibrates all strategies to 100 % recall
+//! where possible (§5) and reports recall separately for duty cycling
+//! (Fig. 6).
+
+use sidewinder_sensors::{EventKind, GroundTruth, Micros};
+
+/// A recall/precision summary.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DetectionStats {
+    /// Ground-truth events of the target kind.
+    pub events: usize,
+    /// Events with at least one matching detection.
+    pub recalled: usize,
+    /// Total detections produced.
+    pub detections: usize,
+    /// Detections that fall within an event (with tolerance).
+    pub true_positives: usize,
+}
+
+impl DetectionStats {
+    /// Matches `detections` against ground-truth events of any of
+    /// `kinds`.
+    ///
+    /// `tolerance` expands each event interval on both sides before
+    /// matching, absorbing classifier latency (windows report at their
+    /// end) and label edge effects.
+    pub fn match_events(
+        ground_truth: &GroundTruth,
+        kinds: &[EventKind],
+        detections: &[Micros],
+        tolerance: Micros,
+    ) -> DetectionStats {
+        let events: Vec<_> = kinds
+            .iter()
+            .flat_map(|&k| ground_truth.of_kind(k))
+            .collect();
+        let mut recalled = 0usize;
+        for event in &events {
+            let lo = event.start().saturating_sub(tolerance);
+            let hi = event.end() + tolerance;
+            if detections.iter().any(|&d| d >= lo && d < hi) {
+                recalled += 1;
+            }
+        }
+        let mut true_positives = 0usize;
+        for &d in detections {
+            let hit = events.iter().any(|event| {
+                d >= event.start().saturating_sub(tolerance) && d < event.end() + tolerance
+            });
+            if hit {
+                true_positives += 1;
+            }
+        }
+        DetectionStats {
+            events: events.len(),
+            recalled,
+            detections: detections.len(),
+            true_positives,
+        }
+    }
+
+    /// Recall in `[0, 1]`; 1.0 when there are no events to recall.
+    pub fn recall(&self) -> f64 {
+        if self.events == 0 {
+            1.0
+        } else {
+            self.recalled as f64 / self.events as f64
+        }
+    }
+
+    /// Precision in `[0, 1]`; 1.0 when there are no detections.
+    pub fn precision(&self) -> f64 {
+        if self.detections == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.detections as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_sensors::LabeledInterval;
+
+    fn gt(intervals: &[(u64, u64)]) -> GroundTruth {
+        intervals
+            .iter()
+            .map(|&(s, e)| {
+                LabeledInterval::new(
+                    EventKind::Headbutt,
+                    Micros::from_secs(s),
+                    Micros::from_secs(e),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let truth = gt(&[(10, 11), (20, 21)]);
+        let detections = [Micros::from_millis(10_500), Micros::from_millis(20_200)];
+        let stats =
+            DetectionStats::match_events(&truth, &[EventKind::Headbutt], &detections, Micros::ZERO);
+        assert_eq!(stats.recall(), 1.0);
+        assert_eq!(stats.precision(), 1.0);
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.true_positives, 2);
+    }
+
+    #[test]
+    fn missed_event_reduces_recall() {
+        let truth = gt(&[(10, 11), (20, 21)]);
+        let detections = [Micros::from_millis(10_500)];
+        let stats =
+            DetectionStats::match_events(&truth, &[EventKind::Headbutt], &detections, Micros::ZERO);
+        assert_eq!(stats.recall(), 0.5);
+        assert_eq!(stats.precision(), 1.0);
+    }
+
+    #[test]
+    fn false_positive_reduces_precision() {
+        let truth = gt(&[(10, 11)]);
+        let detections = [Micros::from_millis(10_500), Micros::from_secs(50)];
+        let stats =
+            DetectionStats::match_events(&truth, &[EventKind::Headbutt], &detections, Micros::ZERO);
+        assert_eq!(stats.recall(), 1.0);
+        assert_eq!(stats.precision(), 0.5);
+    }
+
+    #[test]
+    fn tolerance_absorbs_latency() {
+        let truth = gt(&[(10, 11)]);
+        let late = [Micros::from_millis(11_800)];
+        let strict =
+            DetectionStats::match_events(&truth, &[EventKind::Headbutt], &late, Micros::ZERO);
+        assert_eq!(strict.recall(), 0.0);
+        let lenient = DetectionStats::match_events(
+            &truth,
+            &[EventKind::Headbutt],
+            &late,
+            Micros::from_secs(1),
+        );
+        assert_eq!(lenient.recall(), 1.0);
+    }
+
+    #[test]
+    fn no_events_means_full_recall() {
+        let truth = GroundTruth::new();
+        let stats = DetectionStats::match_events(
+            &truth,
+            &[EventKind::Headbutt],
+            &[Micros::from_secs(5)],
+            Micros::ZERO,
+        );
+        assert_eq!(stats.recall(), 1.0);
+        assert_eq!(stats.precision(), 0.0);
+    }
+
+    #[test]
+    fn no_detections_means_full_precision() {
+        let truth = gt(&[(10, 11)]);
+        let stats = DetectionStats::match_events(&truth, &[EventKind::Headbutt], &[], Micros::ZERO);
+        assert_eq!(stats.precision(), 1.0);
+        assert_eq!(stats.recall(), 0.0);
+    }
+
+    #[test]
+    fn only_matching_kind_counts() {
+        let mut truth = gt(&[(10, 11)]);
+        truth.push(
+            LabeledInterval::new(
+                EventKind::Walking,
+                Micros::from_secs(30),
+                Micros::from_secs(40),
+            )
+            .unwrap(),
+        );
+        let stats = DetectionStats::match_events(
+            &truth,
+            &[EventKind::Headbutt],
+            &[Micros::from_secs(35)],
+            Micros::ZERO,
+        );
+        // The detection inside the walking interval is a false positive
+        // for the headbutt application.
+        assert_eq!(stats.precision(), 0.0);
+        assert_eq!(stats.events, 1);
+    }
+}

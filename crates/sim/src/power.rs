@@ -1,0 +1,166 @@
+//! The phone power model.
+//!
+//! Table 1 of the paper gives the measured Google Nexus 4 profile this
+//! model reproduces:
+//!
+//! | State                       | Power (mW) | Duration |
+//! |-----------------------------|------------|----------|
+//! | Awake, running application  | 323        | —        |
+//! | Asleep                      | 9.7        | —        |
+//! | Asleep-to-awake transition  | 384        | 1 s      |
+//! | Awake-to-asleep transition  | 341        | 1 s      |
+
+use serde::{Deserialize, Serialize};
+use sidewinder_sensors::Micros;
+
+/// Measured power constants of the main processor platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhonePowerProfile {
+    /// Power while awake running the sensing application, mW.
+    pub awake_mw: f64,
+    /// Power while asleep, mW.
+    pub asleep_mw: f64,
+    /// Power during the asleep→awake transition, mW.
+    pub wake_transition_mw: f64,
+    /// Power during the awake→asleep transition, mW.
+    pub sleep_transition_mw: f64,
+    /// Duration of each transition.
+    pub transition_time: Micros,
+}
+
+impl PhonePowerProfile {
+    /// The paper's measured Nexus 4 profile (Table 1).
+    pub const NEXUS4: PhonePowerProfile = PhonePowerProfile {
+        awake_mw: 323.0,
+        asleep_mw: 9.7,
+        wake_transition_mw: 384.0,
+        sleep_transition_mw: 341.0,
+        transition_time: Micros::from_secs(1),
+    };
+}
+
+impl Default for PhonePowerProfile {
+    fn default() -> Self {
+        PhonePowerProfile::NEXUS4
+    }
+}
+
+/// Time spent in each phone state over a simulated trace, plus the hub's
+/// always-on draw.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Time awake.
+    pub awake: Micros,
+    /// Time asleep.
+    pub asleep: Micros,
+    /// Time in asleep→awake transitions.
+    pub waking: Micros,
+    /// Time in awake→asleep transitions.
+    pub sleeping: Micros,
+    /// Hub (microcontroller) always-on power, mW; zero when the strategy
+    /// uses no hub.
+    pub hub_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total accounted time.
+    pub fn total(&self) -> Micros {
+        self.awake + self.asleep + self.waking + self.sleeping
+    }
+
+    /// Average power in mW under `profile`, including the hub draw.
+    ///
+    /// Returns the hub draw alone for an empty (zero-duration) breakdown.
+    pub fn average_power_mw(&self, profile: &PhonePowerProfile) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            return self.hub_mw;
+        }
+        let energy_mj = profile.awake_mw * self.awake.as_secs_f64()
+            + profile.asleep_mw * self.asleep.as_secs_f64()
+            + profile.wake_transition_mw * self.waking.as_secs_f64()
+            + profile.sleep_transition_mw * self.sleeping.as_secs_f64();
+        energy_mj / total + self.hub_mw
+    }
+
+    /// Fraction of time the phone is awake (transitions excluded).
+    pub fn awake_fraction(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.awake.as_secs_f64() / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nexus4_matches_table_1() {
+        let p = PhonePowerProfile::NEXUS4;
+        assert_eq!(p.awake_mw, 323.0);
+        assert_eq!(p.asleep_mw, 9.7);
+        assert_eq!(p.wake_transition_mw, 384.0);
+        assert_eq!(p.sleep_transition_mw, 341.0);
+        assert_eq!(p.transition_time, Micros::from_secs(1));
+        assert_eq!(PhonePowerProfile::default(), p);
+    }
+
+    #[test]
+    fn always_awake_draws_awake_power() {
+        let b = PowerBreakdown {
+            awake: Micros::from_secs(100),
+            ..PowerBreakdown::default()
+        };
+        assert!((b.average_power_mw(&PhonePowerProfile::NEXUS4) - 323.0).abs() < 1e-9);
+        assert_eq!(b.awake_fraction(), 1.0);
+    }
+
+    #[test]
+    fn always_asleep_draws_sleep_power() {
+        let b = PowerBreakdown {
+            asleep: Micros::from_secs(100),
+            ..PowerBreakdown::default()
+        };
+        assert!((b.average_power_mw(&PhonePowerProfile::NEXUS4) - 9.7).abs() < 1e-9);
+        assert_eq!(b.awake_fraction(), 0.0);
+    }
+
+    #[test]
+    fn mixed_states_average_proportionally() {
+        // 50 s asleep + 48 s awake + 1 s each transition over 100 s.
+        let b = PowerBreakdown {
+            awake: Micros::from_secs(48),
+            asleep: Micros::from_secs(50),
+            waking: Micros::from_secs(1),
+            sleeping: Micros::from_secs(1),
+            hub_mw: 0.0,
+        };
+        let expected = (323.0 * 48.0 + 9.7 * 50.0 + 384.0 + 341.0) / 100.0;
+        assert!((b.average_power_mw(&PhonePowerProfile::NEXUS4) - expected).abs() < 1e-9);
+        assert_eq!(b.total(), Micros::from_secs(100));
+    }
+
+    #[test]
+    fn hub_power_adds_linearly() {
+        let b = PowerBreakdown {
+            asleep: Micros::from_secs(10),
+            hub_mw: 3.6,
+            ..PowerBreakdown::default()
+        };
+        assert!((b.average_power_mw(&PhonePowerProfile::NEXUS4) - 13.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_hub_only() {
+        let b = PowerBreakdown {
+            hub_mw: 49.4,
+            ..PowerBreakdown::default()
+        };
+        assert_eq!(b.average_power_mw(&PhonePowerProfile::NEXUS4), 49.4);
+        assert_eq!(b.awake_fraction(), 0.0);
+    }
+}

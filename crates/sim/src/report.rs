@@ -1,0 +1,175 @@
+//! Derived metrics and table rendering for the experiment binaries.
+
+use crate::engine::SimResult;
+
+/// Power of a strategy relative to Oracle — the y-axis of the paper's
+/// Fig. 5 and Fig. 7.
+pub fn relative_to_oracle(strategy_mw: f64, oracle_mw: f64) -> f64 {
+    if oracle_mw <= 0.0 {
+        f64::NAN
+    } else {
+        strategy_mw / oracle_mw
+    }
+}
+
+/// Fraction of the possible power savings a strategy achieves:
+/// `(AA − strategy) / (AA − Oracle)` (paper §5.2). The paper reports
+/// 92.7–95.7 % for Sidewinder on the accelerometer applications.
+pub fn savings_fraction(strategy_mw: f64, always_awake_mw: f64, oracle_mw: f64) -> f64 {
+    let headroom = always_awake_mw - oracle_mw;
+    if headroom <= 0.0 {
+        f64::NAN
+    } else {
+        (always_awake_mw - strategy_mw) / headroom
+    }
+}
+
+/// Averages the power of a batch of per-trace results (the paper
+/// averages across runs of a group).
+pub fn mean_power_mw(results: &[SimResult]) -> f64 {
+    if results.is_empty() {
+        return f64::NAN;
+    }
+    results.iter().map(|r| r.average_power_mw).sum::<f64>() / results.len() as f64
+}
+
+/// Averages recall across results.
+pub fn mean_recall(results: &[SimResult]) -> f64 {
+    if results.is_empty() {
+        return f64::NAN;
+    }
+    results.iter().map(|r| r.recall()).sum::<f64>() / results.len() as f64
+}
+
+/// Averages precision across results.
+pub fn mean_precision(results: &[SimResult]) -> f64 {
+    if results.is_empty() {
+        return f64::NAN;
+    }
+    results.iter().map(|r| r.precision()).sum::<f64>() / results.len() as f64
+}
+
+/// A minimal fixed-width table renderer for terminal reports.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with column alignment, a header underline, and `|`
+    /// separators.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let underline: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|", underline.join("-|-")));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_power_is_a_ratio() {
+        assert_eq!(relative_to_oracle(100.0, 50.0), 2.0);
+        assert!(relative_to_oracle(100.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn savings_fraction_matches_the_paper_formula() {
+        // AA = 323, Oracle = 23, Sw = 38 → (323-38)/(323-23) = 0.95.
+        let f = savings_fraction(38.0, 323.0, 23.0);
+        assert!((f - 0.95).abs() < 1e-9);
+        // Oracle itself saves 100 %.
+        assert_eq!(savings_fraction(23.0, 323.0, 23.0), 1.0);
+        // Always Awake saves 0 %.
+        assert_eq!(savings_fraction(323.0, 323.0, 23.0), 0.0);
+        assert!(savings_fraction(1.0, 10.0, 10.0).is_nan());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["config", "mW"]);
+        t.push_row(["AA", "323.0"]);
+        t.push_row(["Oracle", "16.8"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("config"));
+        assert!(lines[1].starts_with("|-"));
+        // All lines are the same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.push_row(["1"]);
+        let s = t.render();
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn means_of_empty_are_nan() {
+        assert!(mean_power_mw(&[]).is_nan());
+        assert!(mean_recall(&[]).is_nan());
+        assert!(mean_precision(&[]).is_nan());
+    }
+}

@@ -1,0 +1,114 @@
+//! The sensing configurations under evaluation (paper §4.2).
+
+use sidewinder_ir::Program;
+use sidewinder_sensors::Micros;
+
+/// A sensing strategy: how the phone decides when to be awake.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// The phone never sleeps; the application sees everything.
+    AlwaysAwake,
+    /// Wake at fixed intervals, sample for the awake chunk (4 s in the
+    /// paper), stay awake in 4 s extensions while events are being
+    /// detected, then sleep for `sleep`.
+    DutyCycle {
+        /// Sleep interval between awake chunks (the paper sweeps 2, 5,
+        /// 10, 20, 30 s).
+        sleep: Micros,
+    },
+    /// Like duty cycling, but a low-power hub caches sensor data while
+    /// the phone sleeps, so the application processes the entire batch on
+    /// each wake-up: perfect recall, delayed detection, hub power added.
+    Batching {
+        /// Interval between batch deliveries.
+        interval: Micros,
+        /// Hub power, mW (the paper uses the MSP430 at 3.6 mW).
+        hub_mw: f64,
+    },
+    /// A hub-resident wake-up condition: Predefined Activity and
+    /// Sidewinder both take this form, differing in the program and the
+    /// microcontroller it needs.
+    HubWake {
+        /// The intermediate-language wake-up condition.
+        program: Program,
+        /// Hub power, mW.
+        hub_mw: f64,
+        /// Display label (`"PA"` or `"Sw"`).
+        label: &'static str,
+    },
+    /// The hypothetical ideal: awake exactly during events of interest,
+    /// perfect recall and precision, no hub (paper §4.2).
+    Oracle,
+}
+
+impl Strategy {
+    /// Short label used in figures (AA, DC-10, Ba-10, PA, Sw, Oracle).
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::AlwaysAwake => "AA".to_string(),
+            Strategy::DutyCycle { sleep } => {
+                format!("DC-{}", sleep.as_secs_f64().round() as u64)
+            }
+            Strategy::Batching { interval, .. } => {
+                format!("Ba-{}", interval.as_secs_f64().round() as u64)
+            }
+            Strategy::HubWake { label, .. } => (*label).to_string(),
+            Strategy::Oracle => "Oracle".to_string(),
+        }
+    }
+
+    /// The hub draw this strategy adds, mW.
+    pub fn hub_mw(&self) -> f64 {
+        match self {
+            Strategy::Batching { hub_mw, .. } | Strategy::HubWake { hub_mw, .. } => *hub_mw,
+            _ => 0.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figure_conventions() {
+        assert_eq!(Strategy::AlwaysAwake.label(), "AA");
+        assert_eq!(
+            Strategy::DutyCycle {
+                sleep: Micros::from_secs(10)
+            }
+            .label(),
+            "DC-10"
+        );
+        assert_eq!(
+            Strategy::Batching {
+                interval: Micros::from_secs(10),
+                hub_mw: 3.6
+            }
+            .label(),
+            "Ba-10"
+        );
+        assert_eq!(Strategy::Oracle.label(), "Oracle");
+        assert_eq!(Strategy::Oracle.to_string(), "Oracle");
+    }
+
+    #[test]
+    fn hub_power_only_for_hub_strategies() {
+        assert_eq!(Strategy::AlwaysAwake.hub_mw(), 0.0);
+        assert_eq!(Strategy::Oracle.hub_mw(), 0.0);
+        assert_eq!(
+            Strategy::Batching {
+                interval: Micros::from_secs(10),
+                hub_mw: 3.6
+            }
+            .hub_mw(),
+            3.6
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Property tests over the simulation engine: invariants that must hold
+//! for arbitrary traces and strategy parameters.
+
+use proptest::prelude::*;
+use sidewinder_ir::Program;
+use sidewinder_sensors::{
+    EventKind, GroundTruth, LabeledInterval, Micros, SensorChannel, SensorTrace, TimeSeries,
+};
+use sidewinder_sim::Strategy as Sensing;
+use sidewinder_sim::{simulate, Application, PhonePowerProfile, SimConfig};
+
+/// A toy application over a square-wave x-axis trace.
+struct BurstApp;
+
+impl Application for BurstApp {
+    fn name(&self) -> &str {
+        "burst"
+    }
+    fn target_kinds(&self) -> Vec<EventKind> {
+        vec![EventKind::Headbutt]
+    }
+    fn classify(&self, trace: &SensorTrace, start: Micros, end: Micros) -> Vec<Micros> {
+        let series = trace.channel(SensorChannel::AccX).unwrap();
+        let rate = series.rate_hz();
+        let offset = ((start.as_secs_f64() * rate - 1e-9).ceil()).max(0.0) as usize;
+        let mut out = Vec::new();
+        let mut inside = false;
+        for (i, &v) in series.slice(start, end).iter().enumerate() {
+            if v > 5.0 && !inside {
+                inside = true;
+                out.push(sidewinder_sensors::time::sample_time(offset + i, rate));
+            } else if v <= 5.0 {
+                inside = false;
+            }
+        }
+        out
+    }
+    fn wake_condition(&self) -> Program {
+        "ACC_X -> movingAvg(id=1, params={2});
+         1 -> minThreshold(id=2, params={5});
+         2 -> OUT;"
+            .parse()
+            .unwrap()
+    }
+    fn wake_condition_hub_mw(&self) -> f64 {
+        3.6
+    }
+}
+
+/// Builds a trace with bursts at the given second offsets.
+fn burst_trace(duration_s: u64, bursts: &[u64]) -> SensorTrace {
+    let rate = 50.0;
+    let n = (duration_s * 50) as usize;
+    let mut x = vec![0.0f64; n];
+    let mut gt = GroundTruth::new();
+    for &b in bursts {
+        let start = (b * 50) as usize;
+        let end = ((b + 2) * 50).min(n as u64) as usize;
+        for v in &mut x[start..end] {
+            *v = 10.0;
+        }
+        if end > start {
+            gt.push(
+                LabeledInterval::new(
+                    EventKind::Headbutt,
+                    Micros::from_secs(b),
+                    Micros::from_secs(b + 2),
+                )
+                .unwrap(),
+            );
+        }
+    }
+    let mut trace = SensorTrace::new("prop");
+    trace.insert(
+        SensorChannel::AccX,
+        TimeSeries::from_samples(rate, x).unwrap(),
+    );
+    *trace.ground_truth_mut() = gt;
+    trace
+}
+
+fn arb_bursts() -> impl Strategy<Value = Vec<u64>> {
+    // Bursts at distinct, well-separated offsets within [5, 115).
+    prop::collection::btree_set(1u64..22, 0..6)
+        .prop_map(|set| set.into_iter().map(|k| 5 + k * 5).collect())
+}
+
+fn strategies() -> Vec<Sensing> {
+    vec![
+        Sensing::AlwaysAwake,
+        Sensing::Oracle,
+        Sensing::DutyCycle {
+            sleep: Micros::from_secs(5),
+        },
+        Sensing::DutyCycle {
+            sleep: Micros::from_secs(20),
+        },
+        Sensing::Batching {
+            interval: Micros::from_secs(10),
+            hub_mw: 3.6,
+        },
+        Sensing::HubWake {
+            program: BurstApp.wake_condition(),
+            hub_mw: 3.6,
+            label: "Sw",
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The per-state time breakdown always partitions the trace exactly.
+    #[test]
+    fn breakdown_partitions_time(bursts in arb_bursts()) {
+        let trace = burst_trace(120, &bursts);
+        for strategy in strategies() {
+            let r = simulate(
+                &trace,
+                &BurstApp,
+                &strategy,
+                &PhonePowerProfile::NEXUS4,
+                &SimConfig::default(),
+            ).unwrap();
+            prop_assert_eq!(
+                r.breakdown.total(),
+                Micros::from_secs(120),
+                "{} does not partition time", strategy.label()
+            );
+        }
+    }
+
+    /// Average power always lies within the physical envelope:
+    /// [asleep, max-state] plus the hub draw.
+    #[test]
+    fn power_is_within_physical_bounds(bursts in arb_bursts()) {
+        let trace = burst_trace(120, &bursts);
+        for strategy in strategies() {
+            let r = simulate(
+                &trace,
+                &BurstApp,
+                &strategy,
+                &PhonePowerProfile::NEXUS4,
+                &SimConfig::default(),
+            ).unwrap();
+            let lo = 9.7 + strategy.hub_mw();
+            let hi = 384.0 + strategy.hub_mw();
+            prop_assert!(
+                r.average_power_mw >= lo - 1e-9 && r.average_power_mw <= hi + 1e-9,
+                "{}: {} mW outside [{lo}, {hi}]",
+                strategy.label(),
+                r.average_power_mw
+            );
+        }
+    }
+
+    /// Oracle, Always Awake, Batching, and the calibrated Sidewinder
+    /// condition never miss an event; Oracle never exceeds Always Awake.
+    #[test]
+    fn full_visibility_strategies_have_full_recall(bursts in arb_bursts()) {
+        let trace = burst_trace(120, &bursts);
+        let config = SimConfig::default();
+        let mut aa_mw = None;
+        for strategy in strategies() {
+            let r = simulate(
+                &trace, &BurstApp, &strategy,
+                &PhonePowerProfile::NEXUS4, &config,
+            ).unwrap();
+            match strategy.label().as_str() {
+                "AA" => {
+                    aa_mw = Some(r.average_power_mw);
+                    prop_assert_eq!(r.recall(), 1.0);
+                }
+                "Oracle" | "Ba-10" | "Sw" => {
+                    prop_assert_eq!(r.recall(), 1.0, "{} missed events", strategy.label());
+                }
+                _ => {}
+            }
+        }
+        // Oracle cheaper than Always Awake whenever there is idle time.
+        let oracle = simulate(
+            &trace, &BurstApp, &Sensing::Oracle,
+            &PhonePowerProfile::NEXUS4, &config,
+        ).unwrap();
+        prop_assert!(oracle.average_power_mw <= aa_mw.unwrap() + 1e-9);
+    }
+
+    /// Simulations are deterministic.
+    #[test]
+    fn simulation_is_deterministic(bursts in arb_bursts()) {
+        let trace = burst_trace(120, &bursts);
+        for strategy in strategies() {
+            let run = || simulate(
+                &trace, &BurstApp, &strategy,
+                &PhonePowerProfile::NEXUS4, &SimConfig::default(),
+            ).unwrap();
+            let a = run();
+            let b = run();
+            prop_assert_eq!(a.average_power_mw, b.average_power_mw);
+            prop_assert_eq!(a.detections, b.detections);
+            prop_assert_eq!(a.wake_ups, b.wake_ups);
+        }
+    }
+
+    /// More events never *reduce* a hub strategy's awake time.
+    #[test]
+    fn awake_time_is_monotone_in_events(bursts in arb_bursts()) {
+        let strategy = Sensing::HubWake {
+            program: BurstApp.wake_condition(),
+            hub_mw: 3.6,
+            label: "Sw",
+        };
+        let config = SimConfig::default();
+        let base = simulate(
+            &burst_trace(120, &bursts), &BurstApp, &strategy,
+            &PhonePowerProfile::NEXUS4, &config,
+        ).unwrap();
+        let mut more = bursts.clone();
+        more.push(117);
+        let bigger = simulate(
+            &burst_trace(120, &more), &BurstApp, &strategy,
+            &PhonePowerProfile::NEXUS4, &config,
+        ).unwrap();
+        prop_assert!(bigger.breakdown.awake >= base.breakdown.awake);
+    }
+}

@@ -1,0 +1,569 @@
+//! Synthetic environmental audio traces.
+//!
+//! The paper collected three half-hour audio traces (office, coffee shop,
+//! outdoors) and mixed in events of interest: music (5 % of each trace),
+//! speech (5 %), and sirens (2 %) (§4.1). This module synthesizes
+//! equivalents whose acoustic features exercise exactly what the wake-up
+//! conditions measure:
+//!
+//! * **backgrounds** are quiet, broadband, and unpitched — below the
+//!   energy thresholds;
+//! * **music** is a chord of low harmonics (fundamental 180–340 Hz, so
+//!   its energy sits below the siren detector's 750 Hz high-pass) with a
+//!   steady envelope → high energy variance vs. background, *low*
+//!   zero-crossing-rate variance;
+//! * **speech** alternates voiced, unvoiced, and pause sub-segments →
+//!   high energy, *high* ZCR variance; a subset of speech segments
+//!   carries the 2-second target phrase;
+//! * **sirens** sweep a pure tone between 850 and 1800 Hz for several
+//!   seconds → a dominant spectral peak above 750 Hz sustained beyond
+//!   650 ms.
+
+use crate::schedule::{fill_schedule, Budget};
+use crate::synth::{noise, ColoredNoise, Oscillator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sidewinder_sensors::{
+    EventKind, GroundTruth, LabeledInterval, Micros, SensorChannel, SensorTrace, TimeSeries,
+};
+
+/// The recording environment, setting the background bed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AudioEnvironment {
+    /// Quiet office: faint white noise plus sparse keyboard clicks.
+    Office,
+    /// Coffee shop: modulated babble-band noise plus clatter.
+    CoffeeShop,
+    /// Outdoors: low-frequency rumble and wind gusts.
+    Outdoors,
+}
+
+impl AudioEnvironment {
+    /// All environments, paper order.
+    pub const ALL: [AudioEnvironment; 3] = [
+        AudioEnvironment::Office,
+        AudioEnvironment::CoffeeShop,
+        AudioEnvironment::Outdoors,
+    ];
+
+    /// A short label for names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AudioEnvironment::Office => "office",
+            AudioEnvironment::CoffeeShop => "coffeeshop",
+            AudioEnvironment::Outdoors => "outdoors",
+        }
+    }
+}
+
+impl std::fmt::Display for AudioEnvironment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration for one audio trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AudioTraceConfig {
+    /// Trace length (the paper uses 30 minutes).
+    pub duration: Micros,
+    /// Background environment.
+    pub environment: AudioEnvironment,
+    /// Fraction of the trace containing music (paper: 0.05).
+    pub music_fraction: f64,
+    /// Fraction containing speech (paper: 0.05).
+    pub speech_fraction: f64,
+    /// Fraction containing sirens (paper: 0.02).
+    pub siren_fraction: f64,
+    /// Probability that a speech segment contains the target phrase.
+    pub phrase_probability: f64,
+    /// Sample rate (8 kHz telephone band).
+    pub rate_hz: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AudioTraceConfig {
+    fn default() -> Self {
+        AudioTraceConfig {
+            duration: Micros::from_secs(600),
+            environment: AudioEnvironment::Office,
+            music_fraction: 0.05,
+            speech_fraction: 0.05,
+            siren_fraction: 0.02,
+            phrase_probability: 0.5,
+            rate_hz: 8_000.0,
+            seed: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Sound {
+    Background,
+    Music,
+    Speech,
+    Siren,
+}
+
+/// Generates one audio trace with ground-truth labels on the `MIC`
+/// channel.
+///
+/// # Panics
+///
+/// Panics if fractions are negative or sum to 1.0 or more, or the
+/// configuration is degenerate.
+pub fn audio_trace(config: &AudioTraceConfig) -> SensorTrace {
+    let total_frac = config.music_fraction + config.speech_fraction + config.siren_fraction;
+    assert!(
+        config.music_fraction >= 0.0
+            && config.speech_fraction >= 0.0
+            && config.siren_fraction >= 0.0
+            && total_frac < 1.0,
+        "event fractions must be non-negative and sum below 1"
+    );
+    assert!(config.duration > Micros::ZERO && config.rate_hz > 0.0);
+    assert!((0.0..=1.0).contains(&config.phrase_probability));
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let secs = config.duration.as_secs_f64();
+    let budgets = vec![
+        Budget::new(
+            Sound::Music,
+            Micros::from_secs_f64(secs * config.music_fraction),
+            Micros::from_secs(8),
+            Micros::from_secs(25),
+        ),
+        Budget::new(
+            Sound::Speech,
+            Micros::from_secs_f64(secs * config.speech_fraction),
+            Micros::from_secs(6),
+            Micros::from_secs(15),
+        ),
+        Budget::new(
+            Sound::Siren,
+            Micros::from_secs_f64(secs * config.siren_fraction),
+            Micros::from_secs(3),
+            Micros::from_secs(8),
+        ),
+    ];
+    let segments = fill_schedule(&mut rng, config.duration, budgets, Sound::Background);
+
+    let rate = config.rate_hz;
+    let n = config.duration.samples_at(rate);
+    let mut samples = Vec::with_capacity(n);
+    let mut gt = GroundTruth::new();
+
+    // Background state shared across the whole trace.
+    let mut bed = BackgroundBed::new(config.environment);
+
+    let mut produced = 0usize;
+    for seg in &segments {
+        let end_index = ((seg.end.as_secs_f64() * rate) - 1e-9).ceil() as usize;
+        let end_index = end_index.min(n);
+        let count = end_index.saturating_sub(produced);
+        if count == 0 {
+            continue;
+        }
+        match seg.kind {
+            Sound::Background => {
+                for _ in 0..count {
+                    samples.push(bed.tick(&mut rng, rate));
+                }
+            }
+            Sound::Music => {
+                gt.push(
+                    LabeledInterval::new(EventKind::Music, seg.start, seg.end)
+                        .expect("non-empty segment"),
+                );
+                synth_music(&mut rng, &mut bed, rate, count, &mut samples);
+            }
+            Sound::Speech => {
+                gt.push(
+                    LabeledInterval::new(EventKind::Speech, seg.start, seg.end)
+                        .expect("non-empty segment"),
+                );
+                if rng.random_range(0.0..1.0) < config.phrase_probability {
+                    let seg_len = (seg.end - seg.start).as_secs_f64();
+                    if seg_len > 3.0 {
+                        let offset = rng.random_range(0.5..seg_len - 2.5);
+                        let start = seg.start + Micros::from_secs_f64(offset);
+                        gt.push(
+                            LabeledInterval::new(
+                                EventKind::Phrase,
+                                start,
+                                start + Micros::from_secs(2),
+                            )
+                            .expect("non-empty phrase"),
+                        );
+                    }
+                }
+                synth_speech(&mut rng, &mut bed, rate, count, &mut samples);
+            }
+            Sound::Siren => {
+                gt.push(
+                    LabeledInterval::new(EventKind::Siren, seg.start, seg.end)
+                        .expect("non-empty segment"),
+                );
+                synth_siren(&mut rng, &mut bed, rate, count, &mut samples);
+            }
+        }
+        produced += count;
+    }
+    // Round out any samples lost to boundary arithmetic.
+    while samples.len() < n {
+        let s = bed.tick(&mut rng, rate);
+        samples.push(s);
+    }
+
+    let mut trace = SensorTrace::new(format!(
+        "audio-{}-seed{}",
+        config.environment.label(),
+        config.seed
+    ));
+    trace.insert(
+        SensorChannel::Mic,
+        TimeSeries::from_samples(rate, samples).expect("validated rate"),
+    );
+    *trace.ground_truth_mut() = gt;
+    trace
+}
+
+/// The environment-specific background noise generator.
+#[derive(Debug)]
+struct BackgroundBed {
+    environment: AudioEnvironment,
+    rumble: ColoredNoise,
+    babble: ColoredNoise,
+    mod_phase: f64,
+    click_remaining: usize,
+}
+
+impl BackgroundBed {
+    fn new(environment: AudioEnvironment) -> Self {
+        BackgroundBed {
+            environment,
+            rumble: ColoredNoise::new(0.02),
+            babble: ColoredNoise::new(0.15),
+            mod_phase: 0.0,
+            click_remaining: 0,
+        }
+    }
+
+    fn tick<R: Rng>(&mut self, rng: &mut R, rate: f64) -> f64 {
+        match self.environment {
+            AudioEnvironment::Office => {
+                // Sparse keyboard clicks (~0.5/s) on a faint noise floor.
+                if self.click_remaining == 0 && rng.random_range(0.0..1.0) < 0.5 / rate {
+                    self.click_remaining = (rate * 0.01) as usize;
+                }
+                let click = if self.click_remaining > 0 {
+                    self.click_remaining -= 1;
+                    rng.random_range(-0.04..0.04)
+                } else {
+                    0.0
+                };
+                noise(rng, 0.004) + click
+            }
+            AudioEnvironment::CoffeeShop => {
+                // Babble: band-limited noise with 4 Hz loudness modulation.
+                self.mod_phase += 4.0 / rate;
+                let env = 0.7 + 0.3 * (2.0 * std::f64::consts::PI * self.mod_phase).sin();
+                self.babble.tick(rng, 0.012) * env + noise(rng, 0.003)
+            }
+            AudioEnvironment::Outdoors => {
+                // Rumble plus broadband wind.
+                self.rumble.tick(rng, 0.015) + noise(rng, 0.006)
+            }
+        }
+    }
+}
+
+/// Music: a chord of a fundamental (180–340 Hz) and two harmonics with a
+/// steady envelope. Notes change every ~0.5 s. All significant energy
+/// stays below 750 Hz.
+fn synth_music<R: Rng>(
+    rng: &mut R,
+    bed: &mut BackgroundBed,
+    rate: f64,
+    count: usize,
+    out: &mut Vec<f64>,
+) {
+    let mut osc1 = Oscillator::new();
+    let mut osc2 = Oscillator::new();
+    let mut osc3 = Oscillator::new();
+    let mut fundamental = rng.random_range(180.0..340.0);
+    let mut until_note_change = (rate * rng.random_range(0.4..0.7)) as usize;
+    for i in 0..count {
+        if until_note_change == 0 {
+            fundamental = rng.random_range(180.0..340.0);
+            until_note_change = (rate * rng.random_range(0.4..0.7)) as usize;
+        }
+        until_note_change -= 1;
+        let envelope = fade(i, count, rate);
+        let tone = 0.18 * osc1.tick(fundamental, rate)
+            + 0.12 * osc2.tick(fundamental * 2.0, rate)
+            + 0.02 * osc3.tick(fundamental * 3.0, rate);
+        out.push(tone * envelope + bed.tick(rng, rate));
+    }
+}
+
+/// Speech: alternating voiced (low harmonics), unvoiced (broadband hiss),
+/// and pause sub-segments.
+fn synth_speech<R: Rng>(
+    rng: &mut R,
+    bed: &mut BackgroundBed,
+    rate: f64,
+    count: usize,
+    out: &mut Vec<f64>,
+) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Phone {
+        Voiced,
+        Unvoiced,
+        Pause,
+    }
+    let mut osc1 = Oscillator::new();
+    let mut osc2 = Oscillator::new();
+    let mut phone = Phone::Voiced;
+    let mut remaining = (rate * 0.25) as usize;
+    let mut pitch = rng.random_range(120.0..180.0);
+    for i in 0..count {
+        if remaining == 0 {
+            phone = match (phone, rng.random_range(0.0..1.0)) {
+                (Phone::Voiced, p) if p < 0.5 => Phone::Unvoiced,
+                (Phone::Voiced, _) => Phone::Pause,
+                (Phone::Unvoiced, p) if p < 0.7 => Phone::Voiced,
+                (Phone::Unvoiced, _) => Phone::Pause,
+                (Phone::Pause, _) => Phone::Voiced,
+            };
+            remaining = match phone {
+                Phone::Voiced => (rate * rng.random_range(0.2..0.4)) as usize,
+                Phone::Unvoiced => (rate * rng.random_range(0.1..0.2)) as usize,
+                Phone::Pause => (rate * rng.random_range(0.05..0.15)) as usize,
+            };
+            if phone == Phone::Voiced {
+                pitch = rng.random_range(120.0..180.0);
+            }
+        }
+        remaining -= 1;
+        let envelope = fade(i, count, rate);
+        let s = match phone {
+            Phone::Voiced => 0.22 * osc1.tick(pitch, rate) + 0.12 * osc2.tick(pitch * 3.0, rate),
+            Phone::Unvoiced => noise(rng, 0.12),
+            Phone::Pause => 0.0,
+        };
+        out.push(s * envelope + bed.tick(rng, rate));
+    }
+}
+
+/// Siren: a pure tone sweeping 850–1800 Hz with a 3 s period.
+fn synth_siren<R: Rng>(
+    rng: &mut R,
+    bed: &mut BackgroundBed,
+    rate: f64,
+    count: usize,
+    out: &mut Vec<f64>,
+) {
+    let mut osc = Oscillator::new();
+    for i in 0..count {
+        let t = i as f64 / rate;
+        let sweep = 0.5 * (1.0 - (2.0 * std::f64::consts::PI * t / 3.0).cos());
+        let freq = 850.0 + (1800.0 - 850.0) * sweep;
+        let envelope = fade(i, count, rate);
+        out.push(0.32 * osc.tick(freq, rate) * envelope + bed.tick(rng, rate));
+    }
+}
+
+/// 100 ms linear fade-in/out so events do not start with clicks.
+fn fade(i: usize, count: usize, rate: f64) -> f64 {
+    let ramp = (rate * 0.1) as usize;
+    if ramp == 0 {
+        return 1.0;
+    }
+    let from_start = i as f64 / ramp as f64;
+    let from_end = (count.saturating_sub(i + 1)) as f64 / ramp as f64;
+    from_start.min(from_end).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_dsp::{fft, spectral, stats, zcr};
+
+    fn trace(env: AudioEnvironment, seed: u64) -> SensorTrace {
+        audio_trace(&AudioTraceConfig {
+            duration: Micros::from_secs(120),
+            environment: env,
+            seed,
+            ..AudioTraceConfig::default()
+        })
+    }
+
+    /// Computes `f` over up to six 2048-sample windows spread across each
+    /// event of `kind`, skipping the 100 ms fade zones.
+    fn window_feature<F: Fn(&[f64]) -> f64>(
+        trace: &SensorTrace,
+        kind: EventKind,
+        f: F,
+    ) -> Vec<f64> {
+        let mic = trace.channel(SensorChannel::Mic).unwrap();
+        let mut out = Vec::new();
+        for iv in trace.ground_truth().of_kind(kind) {
+            let usable_start = iv.start() + Micros::from_millis(200);
+            let usable_end = iv.end().saturating_sub(Micros::from_millis(450));
+            if usable_end <= usable_start {
+                continue;
+            }
+            let span = (usable_end - usable_start).as_micros();
+            for k in 0..6u64 {
+                let start = usable_start + Micros::from_micros(span * k / 6);
+                let slice = mic.slice(start, start + Micros::from_millis(256));
+                if slice.len() >= 2048 {
+                    out.push(f(&slice[..2048]));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn event_fractions_match_the_paper_mix() {
+        let t = trace(AudioEnvironment::Office, 1);
+        let gt = t.ground_truth();
+        let total = t.duration().as_secs_f64();
+        let frac = |k: EventKind| gt.total_duration_of(k).as_secs_f64() / total;
+        assert!(
+            (frac(EventKind::Music) - 0.05).abs() < 0.03,
+            "music {}",
+            frac(EventKind::Music)
+        );
+        assert!(
+            (frac(EventKind::Speech) - 0.05).abs() < 0.03,
+            "speech {}",
+            frac(EventKind::Speech)
+        );
+        assert!(
+            (frac(EventKind::Siren) - 0.02).abs() < 0.02,
+            "siren {}",
+            frac(EventKind::Siren)
+        );
+    }
+
+    #[test]
+    fn events_are_louder_than_every_background() {
+        for env in AudioEnvironment::ALL {
+            let t = trace(env, 3);
+            let mic = t.channel(SensorChannel::Mic).unwrap();
+            // Background variance from the first second (always filler).
+            let bg = stats::variance(mic.slice(Micros::ZERO, Micros::from_secs(1))).unwrap();
+            for kind in [EventKind::Music, EventKind::Speech, EventKind::Siren] {
+                for v in window_feature(&t, kind, |w| stats::variance(w).unwrap_or(0.0)) {
+                    assert!(
+                        v > 8.0 * bg,
+                        "{env}: {kind} window variance {v} vs background {bg}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speech_has_higher_zcr_variance_than_music() {
+        let t = trace(AudioEnvironment::Office, 5);
+        let music = window_feature(&t, EventKind::Music, |w| {
+            zcr::zcr_variance(w, 8).unwrap_or(0.0)
+        });
+        let speech = window_feature(&t, EventKind::Speech, |w| {
+            zcr::zcr_variance(w, 8).unwrap_or(0.0)
+        });
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&speech) > 4.0 * mean(&music),
+            "speech zcrvar {} vs music {}",
+            mean(&speech),
+            mean(&music)
+        );
+    }
+
+    #[test]
+    fn sirens_dominate_the_spectrum_above_750hz() {
+        let t = trace(AudioEnvironment::Office, 7);
+        // The siren wake-up feature: peak spectral magnitude after the
+        // 750 Hz high-pass. Sirens (0.32 amplitude tone at 850–1800 Hz)
+        // tower over music (whose energy sits below 750 Hz) and speech
+        // (broadband unvoiced hiss).
+        let peak_above_750 = |w: &[f64]| {
+            let filtered = sidewinder_dsp::filter::fft_highpass(w, 750.0, 8000.0).unwrap();
+            let mags = fft::real_fft_magnitudes(&filtered);
+            spectral::dominant_bin(&mags[1..])
+                .map(|p| p.magnitude)
+                .unwrap_or(0.0)
+        };
+        let sirens = window_feature(&t, EventKind::Siren, peak_above_750);
+        let music = window_feature(&t, EventKind::Music, peak_above_750);
+        let speech = window_feature(&t, EventKind::Speech, peak_above_750);
+        let min_siren = sirens.iter().cloned().fold(f64::MAX, f64::min);
+        let max_other = music.iter().chain(&speech).cloned().fold(0.0f64, f64::max);
+        assert!(
+            min_siren > 2.0 * max_other,
+            "siren peaks {sirens:?} vs others max {max_other}"
+        );
+        // And sirens are *pitched*: dominant-to-mean ratio is high.
+        let ratio = |w: &[f64]| {
+            let filtered = sidewinder_dsp::filter::fft_highpass(w, 750.0, 8000.0).unwrap();
+            let mags = fft::real_fft_magnitudes(&filtered);
+            spectral::dominant_to_mean_ratio(&mags[1..]).unwrap_or(0.0)
+        };
+        for r in window_feature(&t, EventKind::Siren, ratio) {
+            assert!(r > 10.0, "siren ratio {r}");
+        }
+    }
+
+    #[test]
+    fn phrases_lie_inside_speech() {
+        let t = trace(AudioEnvironment::CoffeeShop, 9);
+        let gt = t.ground_truth();
+        let phrases: Vec<_> = gt.of_kind(EventKind::Phrase).collect();
+        for p in &phrases {
+            assert!(
+                gt.of_kind(EventKind::Speech)
+                    .any(|s| s.start() <= p.start() && p.end() <= s.end()),
+                "phrase escapes its speech segment"
+            );
+        }
+        // Phrase time is well under 1 % + margin of the trace.
+        let frac =
+            gt.total_duration_of(EventKind::Phrase).as_secs_f64() / t.duration().as_secs_f64();
+        assert!(frac < 0.02, "phrase fraction {frac}");
+    }
+
+    #[test]
+    fn trace_is_full_length_and_deterministic() {
+        let a = trace(AudioEnvironment::Outdoors, 11);
+        assert_eq!(a.duration(), Micros::from_secs(120));
+        assert_eq!(a.channel(SensorChannel::Mic).unwrap().len(), 120 * 8000);
+        let b = trace(AudioEnvironment::Outdoors, 11);
+        assert_eq!(a, b);
+        assert_ne!(a, trace(AudioEnvironment::Outdoors, 12));
+        assert!(a.name().contains("outdoors"));
+    }
+
+    #[test]
+    #[should_panic(expected = "event fractions")]
+    fn rejects_overfull_event_mix() {
+        audio_trace(&AudioTraceConfig {
+            music_fraction: 0.5,
+            speech_fraction: 0.4,
+            siren_fraction: 0.2,
+            ..AudioTraceConfig::default()
+        });
+    }
+
+    #[test]
+    fn samples_stay_in_unit_range() {
+        let t = trace(AudioEnvironment::CoffeeShop, 13);
+        let mic = t.channel(SensorChannel::Mic).unwrap();
+        assert!(mic.samples().iter().all(|s| s.abs() <= 1.0));
+    }
+}

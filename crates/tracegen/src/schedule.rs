@@ -1,0 +1,298 @@
+//! Action scheduling: turning time budgets into randomized action lists.
+//!
+//! Mirrors the paper's methodology (§4.1): "To eliminate bias, the list of
+//! actions was generated randomly for each run, based on the expected
+//! probabilities of each action."
+
+use rand::Rng;
+use sidewinder_sensors::Micros;
+
+/// A time budget for one action category.
+#[derive(Debug, Clone)]
+pub struct Budget<K> {
+    /// The action kind this budget belongs to.
+    pub kind: K,
+    /// Time remaining for this kind.
+    pub remaining: Micros,
+    /// Shortest segment to schedule.
+    pub min_len: Micros,
+    /// Longest segment to schedule.
+    pub max_len: Micros,
+}
+
+impl<K: Copy> Budget<K> {
+    /// Creates a budget.
+    pub fn new(kind: K, total: Micros, min_len: Micros, max_len: Micros) -> Self {
+        assert!(min_len <= max_len, "min_len must not exceed max_len");
+        assert!(min_len > Micros::ZERO, "segments must have positive length");
+        Budget {
+            kind,
+            remaining: total,
+            min_len,
+            max_len,
+        }
+    }
+}
+
+/// A scheduled segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment<K> {
+    /// The action kind.
+    pub kind: K,
+    /// Segment start.
+    pub start: Micros,
+    /// Segment end (exclusive).
+    pub end: Micros,
+}
+
+impl<K> Segment<K> {
+    /// Segment length.
+    pub fn duration(&self) -> Micros {
+        self.end - self.start
+    }
+}
+
+/// Fills `[0, duration)` with segments drawn randomly in proportion to the
+/// remaining budget of each kind. `filler` labels whatever time is left
+/// once all budgets are exhausted (or when only slivers remain).
+///
+/// Budgets are treated as targets: actual allocations land within one
+/// segment length of the target, which is the same fidelity a scripted
+/// robot run achieves.
+pub fn fill_schedule<K: Copy, R: Rng>(
+    rng: &mut R,
+    duration: Micros,
+    mut budgets: Vec<Budget<K>>,
+    filler: K,
+) -> Vec<Segment<K>> {
+    let mut segments = Vec::new();
+    let mut t = Micros::ZERO;
+    let mut filler_since_action = false;
+
+    while t < duration {
+        let total_remaining: u64 = budgets.iter().map(|b| b.remaining.as_micros()).sum();
+        if total_remaining == 0 {
+            segments.push(Segment {
+                kind: filler,
+                start: t,
+                end: duration,
+            });
+            break;
+        }
+
+        // Alternate: after every scheduled action insert a filler gap so
+        // actions do not run back-to-back unrealistically.
+        if filler_since_action {
+            filler_since_action = false;
+            // Pick the next action kind in proportion to remaining budget.
+            let mut pick = rng.random_range(0..total_remaining);
+            let idx = budgets
+                .iter()
+                .position(|b| {
+                    if pick < b.remaining.as_micros() {
+                        true
+                    } else {
+                        pick -= b.remaining.as_micros();
+                        false
+                    }
+                })
+                .expect("total_remaining > 0 guarantees a pick");
+            let b = &mut budgets[idx];
+            let span = rng.random_range(b.min_len.as_micros()..=b.max_len.as_micros());
+            let span = Micros::from_micros(span)
+                .min(b.remaining.max(b.min_len))
+                .min(duration.saturating_sub(t));
+            if span == Micros::ZERO {
+                break;
+            }
+            segments.push(Segment {
+                kind: b.kind,
+                start: t,
+                end: t + span,
+            });
+            b.remaining = b.remaining.saturating_sub(span);
+            t += span;
+        } else {
+            filler_since_action = true;
+            // Size the gap so that total filler time converges to the
+            // time not claimed by action budgets: split the remaining
+            // filler time across the expected number of remaining
+            // actions, with ±50 % jitter.
+            let filler_remaining = duration
+                .saturating_sub(t)
+                .saturating_sub(Micros::from_micros(total_remaining));
+            let avg_action: u64 = budgets
+                .iter()
+                .map(|b| (b.min_len.as_micros() + b.max_len.as_micros()) / 2)
+                .sum::<u64>()
+                / budgets.len().max(1) as u64;
+            let n_actions = (total_remaining / avg_action.max(1)).max(1);
+            let target_gap = filler_remaining.as_micros() / (n_actions + 1);
+            if target_gap > 0 {
+                let jittered = rng.random_range(target_gap / 2..=target_gap * 3 / 2);
+                let gap = Micros::from_micros(jittered.max(200_000))
+                    .min(filler_remaining)
+                    .min(duration.saturating_sub(t));
+                if gap > Micros::ZERO {
+                    segments.push(Segment {
+                        kind: filler,
+                        start: t,
+                        end: t + gap,
+                    });
+                    t += gap;
+                }
+            }
+        }
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum Kind {
+        Idle,
+        Walk,
+        Jump,
+    }
+
+    fn total_of(segments: &[Segment<Kind>], kind: Kind) -> Micros {
+        segments
+            .iter()
+            .filter(|s| s.kind == kind)
+            .fold(Micros::ZERO, |acc, s| acc + s.duration())
+    }
+
+    #[test]
+    fn schedule_covers_duration_contiguously() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let duration = Micros::from_secs(600);
+        let segments = fill_schedule(
+            &mut rng,
+            duration,
+            vec![Budget::new(
+                Kind::Walk,
+                Micros::from_secs(60),
+                Micros::from_secs(5),
+                Micros::from_secs(15),
+            )],
+            Kind::Idle,
+        );
+        assert_eq!(segments.first().unwrap().start, Micros::ZERO);
+        assert_eq!(segments.last().unwrap().end, duration);
+        for w in segments.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "gap between segments");
+        }
+    }
+
+    #[test]
+    fn budgets_are_respected_within_one_segment() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let duration = Micros::from_secs(1800);
+        let walk_target = Micros::from_secs(300);
+        let jump_target = Micros::from_secs(30);
+        let segments = fill_schedule(
+            &mut rng,
+            duration,
+            vec![
+                Budget::new(
+                    Kind::Walk,
+                    walk_target,
+                    Micros::from_secs(5),
+                    Micros::from_secs(15),
+                ),
+                Budget::new(
+                    Kind::Jump,
+                    jump_target,
+                    Micros::from_millis(400),
+                    Micros::from_millis(400),
+                ),
+            ],
+            Kind::Idle,
+        );
+        let walk = total_of(&segments, Kind::Walk);
+        let jump = total_of(&segments, Kind::Jump);
+        assert!(
+            walk.as_secs_f64() >= 285.0 && walk.as_secs_f64() <= 315.0,
+            "walk total = {walk}"
+        );
+        assert!(
+            jump.as_secs_f64() >= 29.0 && jump.as_secs_f64() <= 31.0,
+            "jump total = {jump}"
+        );
+    }
+
+    #[test]
+    fn actions_are_separated_by_filler() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let segments = fill_schedule(
+            &mut rng,
+            Micros::from_secs(300),
+            vec![Budget::new(
+                Kind::Walk,
+                Micros::from_secs(100),
+                Micros::from_secs(5),
+                Micros::from_secs(10),
+            )],
+            Kind::Idle,
+        );
+        for w in segments.windows(2) {
+            assert!(
+                !(w[0].kind == Kind::Walk && w[1].kind == Kind::Walk),
+                "two walks back to back"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let schedule = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            fill_schedule(
+                &mut rng,
+                Micros::from_secs(120),
+                vec![Budget::new(
+                    Kind::Walk,
+                    Micros::from_secs(30),
+                    Micros::from_secs(5),
+                    Micros::from_secs(10),
+                )],
+                Kind::Idle,
+            )
+        };
+        assert_eq!(schedule(5), schedule(5));
+        assert_ne!(schedule(5), schedule(6));
+    }
+
+    #[test]
+    fn zero_budget_yields_pure_filler() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let segments = fill_schedule(
+            &mut rng,
+            Micros::from_secs(30),
+            vec![Budget::new(
+                Kind::Walk,
+                Micros::ZERO,
+                Micros::from_secs(1),
+                Micros::from_secs(2),
+            )],
+            Kind::Idle,
+        );
+        assert!(segments.iter().all(|s| s.kind == Kind::Idle));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_len must not exceed max_len")]
+    fn budget_validates_lengths() {
+        Budget::new(
+            Kind::Walk,
+            Micros::from_secs(10),
+            Micros::from_secs(5),
+            Micros::from_secs(1),
+        );
+    }
+}

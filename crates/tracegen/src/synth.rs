@@ -1,0 +1,168 @@
+//! Low-level signal synthesis helpers shared by the generators.
+
+use rand::Rng;
+
+/// Gaussian-ish noise via the sum of three uniforms (Irwin–Hall), scaled
+/// to the requested standard deviation. Cheap, deterministic, and close
+/// enough to Gaussian for sensor noise.
+pub fn noise<R: Rng>(rng: &mut R, std_dev: f64) -> f64 {
+    let sum: f64 = (0..3).map(|_| rng.random_range(-1.0..1.0)).sum();
+    // Var of one uniform(-1,1) = 1/3; of the sum = 1. So `sum` already has
+    // unit variance.
+    sum * std_dev
+}
+
+/// Smoothstep interpolation `3t² − 2t³` between `a` and `b` for
+/// `t ∈ [0, 1]` (clamped).
+pub fn smoothstep(a: f64, b: f64, t: f64) -> f64 {
+    let t = t.clamp(0.0, 1.0);
+    let s = t * t * (3.0 - 2.0 * t);
+    a + (b - a) * s
+}
+
+/// A raised-cosine pulse of unit peak: `0.5(1 − cos(2πt))` for
+/// `t ∈ [0, 1]`, zero outside.
+pub fn pulse(t: f64) -> f64 {
+    if !(0.0..=1.0).contains(&t) {
+        0.0
+    } else {
+        0.5 * (1.0 - (2.0 * std::f64::consts::PI * t).cos())
+    }
+}
+
+/// A phase-continuous oscillator for tones with time-varying frequency.
+#[derive(Debug, Clone, Default)]
+pub struct Oscillator {
+    phase: f64,
+}
+
+impl Oscillator {
+    /// Creates an oscillator at phase zero.
+    pub fn new() -> Self {
+        Oscillator::default()
+    }
+
+    /// Advances by one sample of `freq_hz` at `rate_hz` and returns the
+    /// sine value.
+    pub fn tick(&mut self, freq_hz: f64, rate_hz: f64) -> f64 {
+        let v = (2.0 * std::f64::consts::PI * self.phase).sin();
+        self.phase += freq_hz / rate_hz;
+        if self.phase >= 1.0 {
+            self.phase -= self.phase.floor();
+        }
+        v
+    }
+}
+
+/// A one-pole low-pass noise source: `y += alpha (white − y)`. Produces
+/// "rumble"-like colored noise for backgrounds.
+#[derive(Debug, Clone)]
+pub struct ColoredNoise {
+    state: f64,
+    alpha: f64,
+}
+
+impl ColoredNoise {
+    /// `alpha` in `(0, 1]`: smaller is darker.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        ColoredNoise { state: 0.0, alpha }
+    }
+
+    /// Next colored-noise sample with the given peak scale.
+    pub fn tick<R: Rng>(&mut self, rng: &mut R, scale: f64) -> f64 {
+        let white = rng.random_range(-1.0..1.0);
+        self.state += self.alpha * (white - self.state);
+        self.state * scale / self.alpha.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_has_requested_scale() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..20_000).map(|_| noise(&mut rng, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.1, "mean = {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.2, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn smoothstep_endpoints_and_midpoint() {
+        assert_eq!(smoothstep(1.0, 5.0, 0.0), 1.0);
+        assert_eq!(smoothstep(1.0, 5.0, 1.0), 5.0);
+        assert_eq!(smoothstep(1.0, 5.0, 0.5), 3.0);
+        // Clamped outside [0, 1].
+        assert_eq!(smoothstep(1.0, 5.0, -3.0), 1.0);
+        assert_eq!(smoothstep(1.0, 5.0, 9.0), 5.0);
+    }
+
+    #[test]
+    fn pulse_is_zero_outside_and_peaks_at_half() {
+        assert_eq!(pulse(-0.1), 0.0);
+        assert_eq!(pulse(1.1), 0.0);
+        assert!((pulse(0.5) - 1.0).abs() < 1e-12);
+        assert!(pulse(0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oscillator_produces_requested_frequency() {
+        let mut osc = Oscillator::new();
+        let rate = 8000.0;
+        let samples: Vec<f64> = (0..8000).map(|_| osc.tick(100.0, rate)).collect();
+        // Count zero crossings: a 100 Hz sine crosses ~200 times/second.
+        let crossings = samples
+            .windows(2)
+            .filter(|w| (w[0] > 0.0) != (w[1] > 0.0))
+            .count();
+        assert!(
+            (crossings as i64 - 200).abs() <= 2,
+            "crossings = {crossings}"
+        );
+    }
+
+    #[test]
+    fn oscillator_is_phase_continuous_across_frequency_change() {
+        let mut osc = Oscillator::new();
+        let rate = 8000.0;
+        let mut prev = osc.tick(500.0, rate);
+        let mut max_jump: f64 = 0.0;
+        for i in 0..2000 {
+            let f = if i < 1000 { 500.0 } else { 1500.0 };
+            let v = osc.tick(f, rate);
+            max_jump = max_jump.max((v - prev).abs());
+            prev = v;
+        }
+        // At 1500 Hz / 8 kHz the max per-sample delta of a sine is
+        // 2π·1500/8000 ≈ 1.18; a phase glitch would jump by up to 2.
+        assert!(max_jump < 1.3, "max jump = {max_jump}");
+    }
+
+    #[test]
+    fn colored_noise_is_darker_than_white() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cn = ColoredNoise::new(0.05);
+        let samples: Vec<f64> = (0..8192).map(|_| cn.tick(&mut rng, 0.1)).collect();
+        // Successive samples must be strongly correlated (unlike white).
+        let mut corr = 0.0;
+        let mut var = 0.0;
+        for w in samples.windows(2) {
+            corr += w[0] * w[1];
+            var += w[0] * w[0];
+        }
+        assert!(corr / var > 0.8, "lag-1 correlation = {}", corr / var);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn colored_noise_rejects_bad_alpha() {
+        ColoredNoise::new(0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests over the trace generators: structural invariants that
+//! must hold for any configuration.
+
+use proptest::prelude::*;
+use sidewinder_sensors::{EventKind, Micros, SensorChannel};
+use sidewinder_tracegen::{
+    audio_trace, human_trace, robot_run, AudioEnvironment, AudioTraceConfig, HumanTraceConfig,
+    RobotRunConfig,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Robot traces: exact duration, aligned channels, labels inside the
+    /// trace, activity fractions near their budgets, and physical sample
+    /// ranges.
+    #[test]
+    fn robot_traces_are_structurally_sound(
+        idle_pct in 5u32..=90,
+        seed in 0u64..1_000,
+        duration_s in 120u64..=400,
+    ) {
+        let trace = robot_run(&RobotRunConfig {
+            duration: Micros::from_secs(duration_s),
+            idle_fraction: idle_pct as f64 / 100.0,
+            rate_hz: 50.0,
+            seed,
+        });
+        prop_assert_eq!(trace.duration(), Micros::from_secs(duration_s));
+        trace.check_aligned().unwrap();
+        for channel in SensorChannel::ACCEL {
+            let series = trace.channel(channel).expect("accel channel present");
+            prop_assert_eq!(series.len(), (duration_s * 50) as usize);
+            // Accelerations stay physically plausible.
+            prop_assert!(series.samples().iter().all(|v| v.abs() < 25.0));
+        }
+        let gt = trace.ground_truth();
+        for interval in gt.intervals() {
+            prop_assert!(interval.end() <= trace.duration() + Micros::from_millis(1));
+        }
+        // Walking time tracks its budget (73% of active) loosely.
+        let active = duration_s as f64 * (1.0 - idle_pct as f64 / 100.0);
+        let walking = gt.total_duration_of(EventKind::Walking).as_secs_f64();
+        prop_assert!(
+            (walking - active * 0.73).abs() < active * 0.25 + 20.0,
+            "walking {walking} vs target {}", active * 0.73
+        );
+    }
+
+    /// Human traces: full length, labels in range, steps inside walking.
+    #[test]
+    fn human_traces_are_structurally_sound(
+        walk_pct in 10u32..=40,
+        misc_pct in 0u32..=40,
+        seed in 0u64..1_000,
+    ) {
+        let trace = human_trace(&HumanTraceConfig {
+            duration: Micros::from_secs(300),
+            walking_fraction: walk_pct as f64 / 100.0,
+            misc_fraction: misc_pct as f64 / 100.0,
+            rate_hz: 50.0,
+            seed,
+            subject: "prop",
+        });
+        prop_assert_eq!(trace.duration(), Micros::from_secs(300));
+        trace.check_aligned().unwrap();
+        let gt = trace.ground_truth();
+        for step in gt.of_kind(EventKind::Step) {
+            prop_assert!(
+                gt.of_kind(EventKind::Walking)
+                    .any(|w| w.overlaps(step.start(), step.end())),
+                "orphan step at {}", step.start()
+            );
+        }
+    }
+
+    /// Audio traces: full length, samples in [-1, 1], non-overlapping
+    /// events of different kinds, phrases inside speech.
+    #[test]
+    fn audio_traces_are_structurally_sound(
+        env_idx in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let trace = audio_trace(&AudioTraceConfig {
+            duration: Micros::from_secs(120),
+            environment: AudioEnvironment::ALL[env_idx],
+            seed,
+            ..AudioTraceConfig::default()
+        });
+        prop_assert_eq!(trace.duration(), Micros::from_secs(120));
+        let mic = trace.channel(SensorChannel::Mic).expect("mic present");
+        prop_assert!(mic.samples().iter().all(|v| v.abs() <= 1.0));
+        let gt = trace.ground_truth();
+        // Top-level events (music/speech/siren) never overlap each other.
+        let top: Vec<_> = gt
+            .intervals()
+            .iter()
+            .filter(|iv| {
+                matches!(
+                    iv.kind(),
+                    EventKind::Music | EventKind::Speech | EventKind::Siren
+                )
+            })
+            .collect();
+        for (i, a) in top.iter().enumerate() {
+            for b in &top[i + 1..] {
+                prop_assert!(
+                    !a.overlaps(b.start(), b.end()),
+                    "{a:?} overlaps {b:?}"
+                );
+            }
+        }
+        for phrase in gt.of_kind(EventKind::Phrase) {
+            prop_assert!(
+                gt.of_kind(EventKind::Speech)
+                    .any(|s| s.start() <= phrase.start() && phrase.end() <= s.end()),
+                "phrase outside speech"
+            );
+        }
+    }
+
+    /// Every generator is a pure function of its configuration.
+    #[test]
+    fn generators_are_deterministic(seed in 0u64..10_000) {
+        let robot_config = RobotRunConfig {
+            duration: Micros::from_secs(60),
+            idle_fraction: 0.5,
+            rate_hz: 50.0,
+            seed,
+        };
+        prop_assert_eq!(robot_run(&robot_config), robot_run(&robot_config));
+        let audio_config = AudioTraceConfig {
+            duration: Micros::from_secs(20),
+            seed,
+            ..AudioTraceConfig::default()
+        };
+        prop_assert_eq!(audio_trace(&audio_config), audio_trace(&audio_config));
+    }
+}

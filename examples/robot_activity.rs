@@ -1,0 +1,91 @@
+//! The paper's robot experiment in miniature: generate a scripted AIBO
+//! run, then compare all three accelerometer applications under the full
+//! configuration sweep (a one-run slice of Fig. 5).
+//!
+//! Run with: `cargo run --release --example robot_activity`
+
+use sidewinder::apps::{predefined, HeadbuttsApp, StepsApp, TransitionsApp};
+use sidewinder::sensors::{EventKind, Micros};
+use sidewinder::sim::report::savings_fraction;
+use sidewinder::sim::{simulate, Application, PhonePowerProfile, SimConfig, Strategy};
+use sidewinder::tracegen::{robot_run, RobotRunConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = robot_run(&RobotRunConfig {
+        duration: Micros::from_secs(600),
+        idle_fraction: 0.5,
+        rate_hz: 50.0,
+        seed: 42,
+    });
+    let gt = trace.ground_truth();
+    println!(
+        "Robot run: {} — {:.0}s walking, {} transitions, {} headbutts\n",
+        trace.name(),
+        gt.total_duration_of(EventKind::Walking).as_secs_f64(),
+        gt.count_of(EventKind::SitToStand) + gt.count_of(EventKind::StandToSit),
+        gt.count_of(EventKind::Headbutt),
+    );
+
+    let steps = StepsApp::new();
+    let transitions = TransitionsApp::new();
+    let headbutts = HeadbuttsApp::new();
+    let apps: [&dyn Application; 3] = [&steps, &transitions, &headbutts];
+
+    for app in apps {
+        println!("== {} ==", app.name());
+        let strategies = [
+            Strategy::Oracle,
+            Strategy::AlwaysAwake,
+            Strategy::DutyCycle {
+                sleep: Micros::from_secs(10),
+            },
+            Strategy::Batching {
+                interval: Micros::from_secs(10),
+                hub_mw: 3.6,
+            },
+            Strategy::HubWake {
+                program: predefined::significant_motion(),
+                hub_mw: predefined::hub_mw(),
+                label: "PA",
+            },
+            Strategy::HubWake {
+                program: app.wake_condition(),
+                hub_mw: app.wake_condition_hub_mw(),
+                label: "Sw",
+            },
+        ];
+        let mut oracle_mw = f64::NAN;
+        let mut aa_mw = f64::NAN;
+        for strategy in strategies {
+            let r = simulate(
+                &trace,
+                app,
+                &strategy,
+                &PhonePowerProfile::NEXUS4,
+                &SimConfig::default(),
+            )?;
+            match r.strategy.as_str() {
+                "Oracle" => oracle_mw = r.average_power_mw,
+                "AA" => aa_mw = r.average_power_mw,
+                _ => {}
+            }
+            let extra = if r.strategy == "Sw" {
+                format!(
+                    "  <- {:.1}% of possible savings",
+                    savings_fraction(r.average_power_mw, aa_mw, oracle_mw) * 100.0
+                )
+            } else {
+                String::new()
+            };
+            println!(
+                "  {:<8} {:>7.1} mW  recall {:>5.1}%  precision {:>5.1}%{extra}",
+                r.strategy,
+                r.average_power_mw,
+                r.recall() * 100.0,
+                r.precision() * 100.0,
+            );
+        }
+        println!();
+    }
+    Ok(())
+}
