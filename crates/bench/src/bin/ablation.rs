@@ -16,9 +16,9 @@
 use sidewinder_apps::{MusicJournalApp, StepsApp};
 use sidewinder_bench::{f1, pct};
 use sidewinder_ir::{AlgorithmKind, Program, Stmt};
-use sidewinder_sensors::Micros;
+use sidewinder_sensors::{Micros, SensorTrace};
 use sidewinder_sim::report::Table;
-use sidewinder_sim::{simulate, Application, PhonePowerProfile, SimConfig, Strategy};
+use sidewinder_sim::{Application, BatchRunner, SimConfig, SimResult, Strategy, SweepSpec};
 use sidewinder_tracegen::{audio_trace, robot_run, AudioTraceConfig, RobotRunConfig};
 
 /// Rewrites every node of `kind_name` using `patch`.
@@ -38,25 +38,31 @@ fn rewrite(program: &Program, patch: impl Fn(&AlgorithmKind) -> AlgorithmKind) -
     Program::from_stmts(stmts)
 }
 
-fn run(
-    trace: &sidewinder_sensors::SensorTrace,
-    app: &dyn Application,
-    program: Program,
-    hub_mw: f64,
-    config: &SimConfig,
-) -> sidewinder_sim::SimResult {
-    simulate(
-        trace,
-        app,
-        &Strategy::HubWake {
-            program,
-            hub_mw,
-            label: "Sw",
-        },
-        &PhonePowerProfile::NEXUS4,
-        config,
-    )
-    .expect("ablation configurations are valid")
+fn hub_wake(program: Program) -> Strategy {
+    Strategy::HubWake {
+        program,
+        hub_mw: 3.6,
+        label: "Sw",
+    }
+}
+
+/// Runs one app on one trace under a list of strategy variants (or,
+/// with one strategy, a list of configs); results come back in sweep
+/// order, so `results[i]` matches variant `i`.
+fn sweep_variants(
+    trace: &SensorTrace,
+    app: impl Application + Send + Sync + 'static,
+    strategies: Vec<Strategy>,
+    configs: Vec<SimConfig>,
+) -> Vec<SimResult> {
+    let mut spec = SweepSpec::new()
+        .app(app)
+        .trace(trace.clone())
+        .strategies(strategies);
+    for config in configs {
+        spec = spec.config(config);
+    }
+    BatchRunner::new().run(&spec).expect_all()
 }
 
 fn main() {
@@ -71,16 +77,22 @@ fn main() {
     });
     let steps = StepsApp::new();
     println!("Ablation 1: steps wake-band half-width (robot trace, 50% idle)");
+    let bands = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5];
+    let band_strategies: Vec<Strategy> = bands
+        .iter()
+        .map(|&band| {
+            hub_wake(rewrite(&steps.wake_condition(), |kind| match kind {
+                AlgorithmKind::OutsideThreshold { .. } => AlgorithmKind::OutsideThreshold {
+                    lo: -band,
+                    hi: band,
+                },
+                other => *other,
+            }))
+        })
+        .collect();
+    let results = sweep_variants(&robot, StepsApp::new(), band_strategies, vec![config]);
     let mut t1 = Table::new(["band +-m/s^2", "power mW", "recall", "wake-ups"]);
-    for band in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5] {
-        let program = rewrite(&steps.wake_condition(), |kind| match kind {
-            AlgorithmKind::OutsideThreshold { .. } => AlgorithmKind::OutsideThreshold {
-                lo: -band,
-                hi: band,
-            },
-            other => *other,
-        });
-        let r = run(&robot, &steps, program, 3.6, &config);
+    for (band, r) in bands.iter().zip(&results) {
         t1.push_row([
             format!("{band:.1}"),
             f1(r.average_power_mw),
@@ -98,16 +110,27 @@ fn main() {
     });
     let music = MusicJournalApp::new();
     println!("Ablation 2: music sustained-window count (office audio trace)");
+    let counts = [1u32, 2, 3, 5, 8];
+    let count_strategies: Vec<Strategy> = counts
+        .iter()
+        .map(|&count| {
+            hub_wake(rewrite(&music.wake_condition(), |kind| match kind {
+                AlgorithmKind::Sustained { max_gap, .. } => AlgorithmKind::Sustained {
+                    count,
+                    max_gap: *max_gap,
+                },
+                other => *other,
+            }))
+        })
+        .collect();
+    let results = sweep_variants(
+        &audio,
+        MusicJournalApp::new(),
+        count_strategies,
+        vec![config],
+    );
     let mut t2 = Table::new(["consecutive windows", "power mW", "recall"]);
-    for count in [1u32, 2, 3, 5, 8] {
-        let program = rewrite(&music.wake_condition(), |kind| match kind {
-            AlgorithmKind::Sustained { max_gap, .. } => AlgorithmKind::Sustained {
-                count,
-                max_gap: *max_gap,
-            },
-            other => *other,
-        });
-        let r = run(&audio, &music, program, 3.6, &config);
+    for (count, r) in counts.iter().zip(&results) {
         t2.push_row([count.to_string(), f1(r.average_power_mw), pct(r.recall())]);
     }
     println!("{t2}");
@@ -115,27 +138,38 @@ fn main() {
     // 3. Music ZCR-window sweep: rebuild the condition with different
     // window lengths for the ZCR branch.
     println!("Ablation 3: music ZCR-variance window length");
-    let mut t3 = Table::new(["window (samples)", "power mW", "recall"]);
-    for window in [256u32, 512, 1024, 2048] {
-        let program = rewrite(&music.wake_condition(), |kind| match kind {
-            AlgorithmKind::Window { size, hop, shape } if *size == 2048 => {
-                let _ = (size, hop);
-                AlgorithmKind::Window {
-                    size: window,
-                    hop: window,
-                    shape: *shape,
+    let windows = [256u32, 512, 1024, 2048];
+    let window_strategies: Vec<Strategy> = windows
+        .iter()
+        .map(|&window| {
+            hub_wake(rewrite(&music.wake_condition(), |kind| match kind {
+                AlgorithmKind::Window { size, hop, shape } if *size == 2048 => {
+                    let _ = (size, hop);
+                    AlgorithmKind::Window {
+                        size: window,
+                        hop: window,
+                        shape: *shape,
+                    }
                 }
-            }
-            // The AND-join emits where the two branch strides align:
-            // every max(window, 512) samples. The sustained gate must
-            // treat that stride as consecutive.
-            AlgorithmKind::Sustained { count, .. } => AlgorithmKind::Sustained {
-                count: *count,
-                max_gap: window.max(512),
-            },
-            other => *other,
-        });
-        let r = run(&audio, &music, program, 3.6, &config);
+                // The AND-join emits where the two branch strides align:
+                // every max(window, 512) samples. The sustained gate must
+                // treat that stride as consecutive.
+                AlgorithmKind::Sustained { count, .. } => AlgorithmKind::Sustained {
+                    count: *count,
+                    max_gap: window.max(512),
+                },
+                other => *other,
+            }))
+        })
+        .collect();
+    let results = sweep_variants(
+        &audio,
+        MusicJournalApp::new(),
+        window_strategies,
+        vec![config],
+    );
+    let mut t3 = Table::new(["window (samples)", "power mW", "recall"]);
+    for (window, r) in windows.iter().zip(&results) {
         t3.push_row([window.to_string(), f1(r.average_power_mw), pct(r.recall())]);
     }
     println!("{t3}");
@@ -145,15 +179,25 @@ fn main() {
          several phones and rejects speech.\n"
     );
 
-    // 4. Hub-chunk sweep: accounting sensitivity.
+    // 4. Hub-chunk sweep: accounting sensitivity. One strategy, many
+    // configs — results come back in config order.
     println!("Ablation 4: awake time charged per hub wake-up (steps app)");
-    let mut t4 = Table::new(["hub chunk (ms)", "power mW", "recall"]);
-    for chunk_ms in [100u64, 250, 500, 1_000, 2_000, 4_000] {
-        let cfg = SimConfig {
+    let chunks_ms = [100u64, 250, 500, 1_000, 2_000, 4_000];
+    let configs: Vec<SimConfig> = chunks_ms
+        .iter()
+        .map(|&chunk_ms| SimConfig {
             hub_chunk: Micros::from_millis(chunk_ms),
             ..SimConfig::default()
-        };
-        let r = run(&robot, &steps, steps.wake_condition(), 3.6, &cfg);
+        })
+        .collect();
+    let results = sweep_variants(
+        &robot,
+        StepsApp::new(),
+        vec![hub_wake(steps.wake_condition())],
+        configs,
+    );
+    let mut t4 = Table::new(["hub chunk (ms)", "power mW", "recall"]);
+    for (chunk_ms, r) in chunks_ms.iter().zip(&results) {
         t4.push_row([
             chunk_ms.to_string(),
             f1(r.average_power_mw),

@@ -7,26 +7,39 @@
 use sidewinder_apps::{
     HeadbuttsApp, MusicJournalApp, PhraseDetectionApp, SirenDetectorApp, StepsApp, TransitionsApp,
 };
-use sidewinder_bench::{audio_traces, f1, pct, robot_traces, run_over, sidewinder_strategy};
+use sidewinder_bench::{
+    audio_traces, f1, pct, robot_traces, share_traces, sidewinder_strategy, sweep_over,
+};
+use sidewinder_sensors::SensorTrace;
+use sidewinder_sim::batch::par_map;
 use sidewinder_sim::concurrent::simulate_concurrent;
 use sidewinder_sim::report::Table;
-use sidewinder_sim::{Application, PhonePowerProfile, SimConfig};
+use sidewinder_sim::{Application, BatchRunner, PhonePowerProfile, SharedApp, SimConfig};
 use sidewinder_tracegen::ActivityGroup;
+use std::sync::Arc;
 
-fn report(label: &str, traces: &[sidewinder_sensors::SensorTrace], apps: &[&dyn Application]) {
+fn report(label: &str, traces: &[Arc<SensorTrace>], apps: &[SharedApp]) {
     println!("== {label} ==");
     let config = SimConfig::default();
 
-    // Individual Sidewinder power per application (averaged over traces).
+    // Shared-phone simulation, one trace per worker; each application's
+    // solo Sidewinder power runs as a batch sweep on the same pool.
+    let shared_runs = par_map(BatchRunner::new().worker_count(), traces, |trace| {
+        let refs: Vec<&dyn Application> = apps.iter().map(|a| a.as_ref() as _).collect();
+        simulate_concurrent(trace, &refs, &PhonePowerProfile::NEXUS4, &config)
+            .expect("evaluation apps simulate")
+    });
+    let solo_report = sweep_over(traces, apps.iter().cloned(), |app| {
+        vec![sidewinder_strategy(app)]
+    });
+
     let mut solo_sum = 0.0;
     let mut solo_max: f64 = 0.0;
     let mut table = Table::new(["App", "alone mW", "shared recall"]);
     let mut shared_avg = 0.0;
     let mut per_app_recalls = vec![Vec::new(); apps.len()];
 
-    for trace in traces {
-        let shared = simulate_concurrent(trace, apps, &PhonePowerProfile::NEXUS4, &config)
-            .expect("evaluation apps simulate");
+    for shared in &shared_runs {
         shared_avg += shared.average_power_mw / traces.len() as f64;
         for (i, app_result) in shared.per_app.iter().enumerate() {
             per_app_recalls[i].push(app_result.stats.recall());
@@ -34,7 +47,7 @@ fn report(label: &str, traces: &[sidewinder_sensors::SensorTrace], apps: &[&dyn 
     }
 
     for (i, app) in apps.iter().enumerate() {
-        let solo = run_over(traces, *app, &sidewinder_strategy(*app));
+        let solo = solo_report.cell(app.name(), "Sw");
         let solo_mw = sidewinder_sim::report::mean_power_mw(&solo);
         solo_sum += solo_mw;
         solo_max = solo_max.max(solo_mw);
@@ -58,23 +71,25 @@ fn report(label: &str, traces: &[sidewinder_sensors::SensorTrace], apps: &[&dyn 
 fn main() {
     println!("Concurrent applications on one phone (paper S7)\n");
 
-    let robot = robot_traces(ActivityGroup::Group2);
-    let steps = StepsApp::new();
-    let transitions = TransitionsApp::new();
-    let headbutts = HeadbuttsApp::new();
+    let robot = share_traces(robot_traces(ActivityGroup::Group2));
     report(
         "3 accelerometer apps, robot traces (50% idle)",
         &robot,
-        &[&steps, &transitions, &headbutts],
+        &[
+            Arc::new(StepsApp::new()),
+            Arc::new(TransitionsApp::new()),
+            Arc::new(HeadbuttsApp::new()),
+        ],
     );
 
-    let audio = audio_traces();
-    let sirens = SirenDetectorApp::new();
-    let music = MusicJournalApp::new();
-    let phrase = PhraseDetectionApp::new();
+    let audio = share_traces(audio_traces());
     report(
         "3 audio apps, environmental traces",
         &audio,
-        &[&sirens, &music, &phrase],
+        &[
+            Arc::new(SirenDetectorApp::new()),
+            Arc::new(MusicJournalApp::new()),
+            Arc::new(PhraseDetectionApp::new()),
+        ],
     );
 }

@@ -5,13 +5,14 @@
 
 use sidewinder_apps::{HeadbuttsApp, StepsApp, TransitionsApp};
 use sidewinder_bench::{
-    f1, f2, pct, predefined_motion_strategy, robot_traces, run_over, sidewinder_strategy,
-    DC_SLEEPS_S,
+    f1, f2, pct, predefined_motion_strategy, robot_traces, share_traces, sidewinder_strategy,
+    sweep_over, DC_SLEEPS_S,
 };
 use sidewinder_sensors::Micros;
 use sidewinder_sim::report::{mean_power_mw, mean_recall, savings_fraction, Table};
-use sidewinder_sim::{Application, Strategy};
+use sidewinder_sim::{Application, SharedApp, Strategy};
 use sidewinder_tracegen::ActivityGroup;
+use std::sync::Arc;
 
 /// The Fig. 5 configuration sweep, Oracle first so ratios can be derived.
 fn strategies(app: &dyn Application) -> Vec<Strategy> {
@@ -37,10 +38,11 @@ struct Cell {
 }
 
 fn main() {
-    let steps = StepsApp::new();
-    let transitions = TransitionsApp::new();
-    let headbutts = HeadbuttsApp::new();
-    let apps: [&dyn Application; 3] = [&headbutts, &transitions, &steps];
+    let apps: Vec<SharedApp> = vec![
+        Arc::new(HeadbuttsApp::new()),
+        Arc::new(TransitionsApp::new()),
+        Arc::new(StepsApp::new()),
+    ];
 
     println!("Fig. 5: power relative to Oracle on synthetic robot traces\n");
 
@@ -50,21 +52,24 @@ fn main() {
     let mut oracle_range: Vec<f64> = Vec::new();
 
     for group in ActivityGroup::ALL {
-        let traces = robot_traces(group);
+        let traces = share_traces(robot_traces(group));
         println!(
             "--- group: {} ({} runs of {}s) ---",
             group,
             traces.len(),
             traces[0].duration().as_secs_f64()
         );
+        let report = sweep_over(&traces, apps.iter().cloned(), strategies);
         let mut table = Table::new(["App", "Config", "mW", "x Oracle", "Recall"]);
-        for app in apps {
+        for app in &apps {
+            let app: &dyn Application = app.as_ref();
             let cells: Vec<Cell> = strategies(app)
                 .iter()
                 .map(|strategy| {
-                    let results = run_over(&traces, app, strategy);
+                    let label = strategy.label();
+                    let results = report.cell(app.name(), &label);
                     Cell {
-                        label: strategy.label(),
+                        label,
                         mw: mean_power_mw(&results),
                         recall: mean_recall(&results),
                     }

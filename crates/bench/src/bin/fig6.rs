@@ -5,33 +5,40 @@
 //! recall below 30 % while walking-bout detection stays usable.
 
 use sidewinder_apps::{HeadbuttsApp, StepsApp, TransitionsApp};
-use sidewinder_bench::{pct, robot_traces, run_over, DC_SLEEPS_S};
+use sidewinder_bench::{pct, robot_traces, share_traces, sweep_over, DC_SLEEPS_S};
 use sidewinder_sensors::Micros;
 use sidewinder_sim::report::{mean_recall, Table};
-use sidewinder_sim::{Application, Strategy};
+use sidewinder_sim::{SharedApp, Strategy};
 use sidewinder_tracegen::ActivityGroup;
+use std::sync::Arc;
 
 fn main() {
-    let traces = robot_traces(ActivityGroup::Group1);
+    let traces = share_traces(robot_traces(ActivityGroup::Group1));
     println!(
         "Fig. 6: Duty Cycling recall at 90% idle ({} runs of {}s)\n",
         traces.len(),
         traces[0].duration().as_secs_f64()
     );
 
-    let steps = StepsApp::new();
-    let transitions = TransitionsApp::new();
-    let headbutts = HeadbuttsApp::new();
-    let apps: [&dyn Application; 3] = [&headbutts, &transitions, &steps];
+    let apps: Vec<SharedApp> = vec![
+        Arc::new(HeadbuttsApp::new()),
+        Arc::new(TransitionsApp::new()),
+        Arc::new(StepsApp::new()),
+    ];
+    let report = sweep_over(&traces, apps, |_| {
+        DC_SLEEPS_S
+            .iter()
+            .map(|&s| Strategy::DutyCycle {
+                sleep: Micros::from_secs(s),
+            })
+            .collect()
+    });
 
     let mut table = Table::new(["Sleep interval", "headbutts", "transitions", "steps"]);
     for sleep_s in DC_SLEEPS_S {
-        let strategy = Strategy::DutyCycle {
-            sleep: Micros::from_secs(sleep_s),
-        };
         let mut row = vec![format!("{sleep_s} s")];
-        for app in apps {
-            let recall = mean_recall(&run_over(&traces, app, &strategy));
+        for app in ["headbutts", "transitions", "steps"] {
+            let recall = mean_recall(&report.cell(app, &format!("DC-{sleep_s}")));
             row.push(pct(recall));
         }
         table.push_row(row);

@@ -9,50 +9,53 @@
 
 use sidewinder_apps::StepsApp;
 use sidewinder_bench::{
-    f1, f2, human_traces, pct, predefined_motion_strategy, run_over, sidewinder_strategy,
+    f1, f2, human_traces, one_result, pct, predefined_motion_strategy, share_traces,
+    sidewinder_strategy, sweep_over,
 };
 use sidewinder_sensors::Micros;
 use sidewinder_sim::report::{savings_fraction, Table};
-use sidewinder_sim::Strategy;
+use sidewinder_sim::{SharedApp, Strategy};
+use std::sync::Arc;
 
 fn main() {
-    let traces = human_traces();
+    let traces = share_traces(human_traces());
     println!(
         "Fig. 7: step detector on human traces ({} subjects, {}s each)\n",
         traces.len(),
         traces[0].duration().as_secs_f64()
     );
-    let app = StepsApp::new();
 
-    let strategies = vec![
-        Strategy::Oracle,
-        Strategy::AlwaysAwake,
-        Strategy::DutyCycle {
-            sleep: Micros::from_secs(10),
-        },
-        Strategy::Batching {
-            interval: Micros::from_secs(10),
-            hub_mw: 3.6,
-        },
-        predefined_motion_strategy(),
-        sidewinder_strategy(&app),
-    ];
+    let labels = ["Oracle", "AA", "DC-10", "Ba-10", "PA", "Sw"];
+    let report = sweep_over(&traces, [Arc::new(StepsApp::new()) as SharedApp], |app| {
+        vec![
+            Strategy::Oracle,
+            Strategy::AlwaysAwake,
+            Strategy::DutyCycle {
+                sleep: Micros::from_secs(10),
+            },
+            Strategy::Batching {
+                interval: Micros::from_secs(10),
+                hub_mw: 3.6,
+            },
+            predefined_motion_strategy(),
+            sidewinder_strategy(app),
+        ]
+    });
 
     let mut table = Table::new(["Subject", "Config", "mW", "x Oracle", "Recall"]);
     for trace in &traces {
-        let one = [trace.clone()];
-        let oracle_mw = run_over(&one, &app, &Strategy::Oracle)[0].average_power_mw;
-        let aa_mw = run_over(&one, &app, &Strategy::AlwaysAwake)[0].average_power_mw;
-        for strategy in &strategies {
-            let r = &run_over(&one, &app, strategy)[0];
+        let oracle_mw = one_result(&report, "steps", "Oracle", trace.name()).average_power_mw;
+        let aa_mw = one_result(&report, "steps", "AA", trace.name()).average_power_mw;
+        for label in labels {
+            let r = one_result(&report, "steps", label, trace.name());
             table.push_row([
                 trace.name().to_string(),
-                strategy.label(),
+                label.to_string(),
                 f1(r.average_power_mw),
                 f2(r.average_power_mw / oracle_mw),
                 pct(r.recall()),
             ]);
-            if strategy.label() == "Sw" {
+            if label == "Sw" {
                 let saved = savings_fraction(r.average_power_mw, aa_mw, oracle_mw);
                 println!(
                     "{}: Sidewinder achieves {} of the available saving (paper: >=91%)",

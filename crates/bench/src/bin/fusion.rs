@@ -6,19 +6,9 @@ use sidewinder_bench::pct;
 use sidewinder_core::fusion::FusedPlan;
 use sidewinder_hub::runtime::ChannelRates;
 use sidewinder_ir::Program;
+use sidewinder_sim::batch::par_map;
 use sidewinder_sim::report::Table;
-
-fn report_for(label: &str, programs: &[&Program], table: &mut Table) {
-    let report = FusedPlan::report(programs, &ChannelRates::default())
-        .expect("evaluation conditions are valid");
-    table.push_row([
-        label.to_string(),
-        report.unfused_nodes.to_string(),
-        report.fused_nodes.to_string(),
-        pct(report.node_saving()),
-        pct(report.compute_saving()),
-    ]);
-}
+use sidewinder_sim::BatchRunner;
 
 fn main() {
     println!("Pipeline fusion ablation (paper S7)\n");
@@ -28,7 +18,35 @@ fn main() {
         .map(|a| a.wake_condition())
         .collect();
     let audio: Vec<Program> = audio_apps().iter().map(|a| a.wake_condition()).collect();
-    let all: Vec<&Program> = accel.iter().chain(audio.iter()).collect();
+    let all: Vec<Program> = accel.iter().chain(audio.iter()).cloned().collect();
+    // The best case: many instances of the same application with
+    // different thresholds (e.g. several registered significant-motion
+    // listeners).
+    let clones: Vec<Program> = std::iter::repeat_n(audio[1].clone(), 4).collect();
+
+    let workloads: Vec<(&str, Vec<Program>)> = vec![
+        ("3 accel apps", accel),
+        ("3 audio apps", audio),
+        ("all 6 apps", all),
+        ("4 x music journal", clones),
+    ];
+
+    let rows = par_map(
+        BatchRunner::new().worker_count(),
+        &workloads,
+        |(label, programs)| {
+            let refs: Vec<&Program> = programs.iter().collect();
+            let report = FusedPlan::report(&refs, &ChannelRates::default())
+                .expect("evaluation conditions are valid");
+            [
+                label.to_string(),
+                report.unfused_nodes.to_string(),
+                report.fused_nodes.to_string(),
+                pct(report.node_saving()),
+                pct(report.compute_saving()),
+            ]
+        },
+    );
 
     let mut table = Table::new([
         "Workload",
@@ -37,24 +55,9 @@ fn main() {
         "Node saving",
         "Compute saving",
     ]);
-    report_for(
-        "3 accel apps",
-        &accel.iter().collect::<Vec<_>>(),
-        &mut table,
-    );
-    report_for(
-        "3 audio apps",
-        &audio.iter().collect::<Vec<_>>(),
-        &mut table,
-    );
-    report_for("all 6 apps", &all, &mut table);
-
-    // The best case: many instances of the same application with
-    // different thresholds (e.g. several registered significant-motion
-    // listeners).
-    let music = audio[1].clone();
-    let clones: Vec<&Program> = std::iter::repeat_n(&music, 4).collect();
-    report_for("4 x music journal", &clones, &mut table);
+    for row in rows {
+        table.push_row(row);
+    }
 
     println!("{table}");
     println!(

@@ -8,7 +8,18 @@ use sidewinder_hub::cost::PipelineCost;
 use sidewinder_hub::runtime::ChannelRates;
 use sidewinder_hub::Mcu;
 use sidewinder_ir::Program;
+use sidewinder_sim::batch::par_map;
 use sidewinder_sim::report::Table;
+use sidewinder_sim::BatchRunner;
+
+/// Everything the three report sections need for one condition,
+/// computed once on the worker pool.
+struct ConditionAnalysis {
+    name: String,
+    row: [String; 6],
+    headroom: Option<(f64, &'static str)>,
+    fits_fpga: bool,
+}
 
 fn main() {
     let rates = ChannelRates::default();
@@ -19,6 +30,40 @@ fn main() {
     conditions.push(("sig-motion".to_string(), predefined::significant_motion()));
     conditions.push(("sig-sound".to_string(), predefined::significant_sound()));
 
+    let fpga = Mcu::IGLOO_FPGA;
+    let analyses = par_map(
+        BatchRunner::new().worker_count(),
+        &conditions,
+        |(name, program)| {
+            let cost = PipelineCost::analyze(program, &rates);
+            let util = |mcu: &Mcu| {
+                cost.total_flops_per_second() * mcu.cycles_per_flop / mcu.cycle_budget()
+            };
+            let cheapest = Mcu::cheapest_for(program, &rates);
+            ConditionAnalysis {
+                name: name.clone(),
+                row: [
+                    name.clone(),
+                    format!("{:.0}", cost.total_flops_per_second() / 1e3),
+                    format!("{}", cost.total_memory_bytes()),
+                    pct(util(&Mcu::MSP430)),
+                    pct(util(&Mcu::LM4F120)),
+                    cheapest
+                        .as_ref()
+                        .map(|m| m.name.to_string())
+                        .unwrap_or_else(|e| format!("none ({e})")),
+                ],
+                headroom: cheapest.ok().map(|mcu| {
+                    let copies = (mcu.cycle_budget()
+                        / (cost.total_flops_per_second() * mcu.cycles_per_flop))
+                        .floor();
+                    (copies, mcu.name)
+                }),
+                fits_fpga: fpga.supports(program, &rates).is_ok(),
+            }
+        },
+    );
+
     println!("MCU sizing exploration (paper S3.8)\n");
     let mut table = Table::new([
         "Condition",
@@ -28,48 +73,34 @@ fn main() {
         "LM4F120 util",
         "Cheapest MCU",
     ]);
-    for (name, program) in &conditions {
-        let cost = PipelineCost::analyze(program, &rates);
-        let util =
-            |mcu: &Mcu| cost.total_flops_per_second() * mcu.cycles_per_flop / mcu.cycle_budget();
-        let cheapest = Mcu::cheapest_for(program, &rates)
-            .map(|m| m.name.to_string())
-            .unwrap_or_else(|e| format!("none ({e})"));
-        table.push_row([
-            name.clone(),
-            format!("{:.0}", cost.total_flops_per_second() / 1e3),
-            format!("{}", cost.total_memory_bytes()),
-            pct(util(&Mcu::MSP430)),
-            pct(util(&Mcu::LM4F120)),
-            cheapest,
-        ]);
+    for analysis in &analyses {
+        table.push_row(analysis.row.clone());
     }
     println!("{table}");
 
     // Concurrency headroom: how many copies of each condition fit on its
     // cheapest MCU (compute-wise)?
     println!("Concurrent-condition headroom (compute only):");
-    for (name, program) in &conditions {
-        let cost = PipelineCost::analyze(program, &rates);
-        if let Ok(mcu) = Mcu::cheapest_for(program, &rates) {
-            let copies = (mcu.cycle_budget()
-                / (cost.total_flops_per_second() * mcu.cycles_per_flop))
-                .floor();
+    for analysis in &analyses {
+        if let Some((copies, mcu_name)) = analysis.headroom {
             println!(
-                "    {name}: ~{copies:.0} concurrent copies on the {}",
-                mcu.name
+                "    {}: ~{copies:.0} concurrent copies on the {mcu_name}",
+                analysis.name
             );
         }
     }
 
     // What-if: the paper's §7 FPGA prototype.
     println!("\nWhat-if (paper S7 future work): an IGLOO-class FPGA hub");
-    let fpga = Mcu::IGLOO_FPGA;
-    for (name, program) in &conditions {
-        let fits = fpga.supports(program, &rates).is_ok();
+    for analysis in &analyses {
         println!(
-            "    {name}: {} on the {} ({} mW always-on)",
-            if fits { "fits" } else { "does NOT fit" },
+            "    {}: {} on the {} ({} mW always-on)",
+            analysis.name,
+            if analysis.fits_fpga {
+                "fits"
+            } else {
+                "does NOT fit"
+            },
             fpga.name,
             fpga.awake_power_mw
         );

@@ -7,24 +7,33 @@
 
 use sidewinder_apps::{MusicJournalApp, PhraseDetectionApp, SirenDetectorApp};
 use sidewinder_bench::{
-    audio_traces, f1, pct, predefined_sound_strategy, run_over, sidewinder_strategy,
+    audio_traces, f1, pct, predefined_sound_strategy, share_traces, sidewinder_strategy, sweep_over,
 };
 use sidewinder_sim::report::{mean_power_mw, mean_recall, savings_fraction, Table};
-use sidewinder_sim::{Application, Strategy};
+use sidewinder_sim::{SharedApp, Strategy};
+use std::sync::Arc;
 
 fn main() {
-    let traces = audio_traces();
+    let traces = share_traces(audio_traces());
     println!(
         "Table 2: average power for the audio applications ({} traces of {}s)",
         traces.len(),
         traces[0].duration().as_secs_f64()
     );
 
-    let siren = SirenDetectorApp::new();
-    let music = MusicJournalApp::new();
-    let phrase = PhraseDetectionApp::new();
-    let apps: [(&dyn Application, &str); 3] =
-        [(&siren, "Sirens"), (&music, "Music"), (&phrase, "Phrase")];
+    let apps: [(SharedApp, &str); 3] = [
+        (Arc::new(SirenDetectorApp::new()), "Sirens"),
+        (Arc::new(MusicJournalApp::new()), "Music"),
+        (Arc::new(PhraseDetectionApp::new()), "Phrase"),
+    ];
+    let report = sweep_over(&traces, apps.iter().map(|(app, _)| app.clone()), |app| {
+        vec![
+            Strategy::Oracle,
+            predefined_sound_strategy(),
+            sidewinder_strategy(app),
+            Strategy::AlwaysAwake,
+        ]
+    });
 
     let mut rows: Vec<(String, Vec<f64>)> = vec![
         ("Oracle".to_string(), Vec::new()),
@@ -36,10 +45,10 @@ fn main() {
     let mut savings = Vec::new();
 
     for (app, _) in &apps {
-        let oracle = run_over(&traces, *app, &Strategy::Oracle);
-        let pa = run_over(&traces, *app, &predefined_sound_strategy());
-        let sw = run_over(&traces, *app, &sidewinder_strategy(*app));
-        let aa = run_over(&traces, *app, &Strategy::AlwaysAwake);
+        let oracle = report.cell(app.name(), "Oracle");
+        let pa = report.cell(app.name(), "PA");
+        let sw = report.cell(app.name(), "Sw");
+        let aa = report.cell(app.name(), "AA");
         rows[0].1.push(mean_power_mw(&oracle));
         rows[1].1.push(mean_power_mw(&pa));
         rows[2].1.push(mean_power_mw(&sw));

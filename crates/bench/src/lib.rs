@@ -22,10 +22,14 @@
 
 use sidewinder_apps::predefined;
 use sidewinder_sensors::{Micros, SensorTrace};
-use sidewinder_sim::{simulate, Application, PhonePowerProfile, SimConfig, SimResult, Strategy};
+use sidewinder_sim::{
+    simulate, Application, BatchReport, BatchRunner, PhonePowerProfile, SharedApp, SimConfig,
+    SimResult, Strategy, SweepSpec,
+};
 use sidewinder_tracegen::{
     audio_trace, human_trace, robot_group_runs, ActivityGroup, AudioEnvironment, AudioTraceConfig,
 };
+use std::sync::Arc;
 
 /// Whether the user asked for full paper-scale traces.
 pub fn paper_scale() -> bool {
@@ -156,6 +160,53 @@ pub fn run_over(
             })
         })
         .collect()
+}
+
+/// Wraps freshly synthesized traces for cross-thread sharing.
+pub fn share_traces(traces: Vec<SensorTrace>) -> Vec<Arc<SensorTrace>> {
+    traces.into_iter().map(Arc::new).collect()
+}
+
+/// Runs an application × strategy × trace grid over the
+/// [`BatchRunner`] worker pool (`SIDEWINDER_SWEEP_WORKERS` overrides
+/// the worker count) and returns outcomes in deterministic spec order.
+///
+/// This is the parallel counterpart of [`run_over`]: each cell calls
+/// the same serial [`simulate`], so the results are bit-identical —
+/// `crates/sim/tests/batch_conformance.rs` pins that equivalence.
+pub fn sweep_over(
+    traces: &[Arc<SensorTrace>],
+    apps: impl IntoIterator<Item = SharedApp>,
+    strategies: impl Fn(&dyn Application) -> Vec<Strategy> + Send + Sync + 'static,
+) -> BatchReport {
+    let spec = SweepSpec::new()
+        .shared_apps(apps)
+        .shared_traces(traces.iter().cloned())
+        .strategies_per_app(strategies);
+    BatchRunner::new().run(&spec)
+}
+
+/// The single result of one (application, strategy, trace) cell in a
+/// one-config sweep.
+///
+/// # Panics
+///
+/// Panics if the cell is absent or failed — experiment configurations
+/// are validated by construction.
+pub fn one_result<'r>(
+    report: &'r BatchReport,
+    app: &str,
+    strategy: &str,
+    trace: &str,
+) -> &'r SimResult {
+    report
+        .outcomes()
+        .iter()
+        .find(|o| o.app == app && o.strategy == strategy && o.trace == trace)
+        .unwrap_or_else(|| panic!("no sweep cell {trace} / {app} / {strategy}"))
+        .result
+        .as_ref()
+        .unwrap_or_else(|e| panic!("sweep cell {trace} / {app} / {strategy} failed: {e}"))
 }
 
 /// The duty-cycling sleep intervals the paper sweeps (§4.2).

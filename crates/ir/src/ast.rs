@@ -1,13 +1,12 @@
 //! Program representation for the intermediate language.
 
-use serde::{Deserialize, Serialize};
 use sidewinder_sensors::SensorChannel;
 
 /// Identifier of an algorithm instance within one program.
 ///
 /// Ids are assigned by the sensor manager when a pipeline is compiled
 /// (paper §3.3) and must be unique and non-zero within a program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl std::fmt::Display for NodeId {
@@ -17,7 +16,7 @@ impl std::fmt::Display for NodeId {
 }
 
 /// The kind of value flowing along an edge of the dataflow graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ValueType {
     /// One number per sample or per window (sensor samples, features,
     /// admission-control outputs).
@@ -41,7 +40,7 @@ impl std::fmt::Display for ValueType {
 }
 
 /// Window taper selector carried in IR parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum WindowShapeParam {
     /// Rectangular (no taper); parameter value `0`.
     #[default]
@@ -75,7 +74,7 @@ impl WindowShapeParam {
 
 /// The statistical reductions offered by the platform's "set of statistical
 /// functions" (paper §3.6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StatFn {
     /// Arithmetic mean of the window.
     Mean,
@@ -134,7 +133,7 @@ impl StatFn {
 /// plus the aggregation operators (`vectorMagnitude`, `allOf`, `anyOf`)
 /// that merge processing branches, and `sustained` which expresses
 /// duration conditions such as the siren detector's "longer than 650 ms".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AlgorithmKind {
     /// Partition a scalar stream into windows of `size` samples emitted
     /// every `hop` samples with taper `shape`. Scalar → Vector.
@@ -413,7 +412,7 @@ impl std::fmt::Display for AlgorithmKind {
 }
 
 /// A data source feeding an algorithm: a sensor channel or an earlier node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Source {
     /// A hub sensor channel (`ACC_X`, `MIC`, …).
     Channel(SensorChannel),
@@ -431,7 +430,7 @@ impl std::fmt::Display for Source {
 }
 
 /// One statement of an IR program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `sources -> kind(id=N, params={…});` — instantiate an algorithm.
     Node {
@@ -450,7 +449,7 @@ pub enum Stmt {
 }
 
 /// A complete intermediate-language program.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     stmts: Vec<Stmt>,
 }

@@ -148,3 +148,58 @@ proptest! {
         prop_assert_eq!(parsed.uses_fft(), p.uses_fft());
     }
 }
+
+/// Golden textual fixtures: the wake-up conditions of the six
+/// evaluation applications, captured as `.swir` files. Each must be a
+/// parse → print → parse fixed point, and the printed form must equal
+/// the fixture byte for byte, so any change to the textual format (or
+/// to a condition) shows up as a reviewed fixture diff.
+const GOLDEN_FIXTURES: [(&str, &str); 6] = [
+    ("steps", include_str!("fixtures/steps.swir")),
+    ("transitions", include_str!("fixtures/transitions.swir")),
+    ("headbutts", include_str!("fixtures/headbutts.swir")),
+    ("sirens", include_str!("fixtures/sirens.swir")),
+    ("music", include_str!("fixtures/music.swir")),
+    ("phrase", include_str!("fixtures/phrase.swir")),
+];
+
+#[test]
+fn golden_fixtures_parse_and_validate() {
+    for (name, text) in GOLDEN_FIXTURES {
+        let program: Program = text
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}.swir does not parse: {e}"));
+        program
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}.swir does not validate: {e:?}"));
+    }
+}
+
+#[test]
+fn golden_fixtures_print_back_byte_identical() {
+    for (name, text) in GOLDEN_FIXTURES {
+        let program: Program = text.parse().unwrap();
+        assert_eq!(
+            program.to_string(),
+            text,
+            "{name}.swir is not in the printer's canonical form"
+        );
+    }
+}
+
+#[test]
+fn golden_fixtures_are_a_parse_print_parse_fixed_point() {
+    for (name, text) in GOLDEN_FIXTURES {
+        let first: Program = text.parse().unwrap();
+        let printed = first.to_string();
+        let second: Program = printed
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}: printed form does not re-parse: {e}"));
+        assert_eq!(first, second, "{name}: round trip changed the program");
+        assert_eq!(
+            second.to_string(),
+            printed,
+            "{name}: second print differs from the first"
+        );
+    }
+}

@@ -5,10 +5,8 @@
 //! (`SidewinderSensorManager.ACCELEROMETER_X` etc., Fig. 2a). Channels are
 //! the *sources* of processing branches in a wake-up condition.
 
-use serde::{Deserialize, Serialize};
-
 /// A sensor data channel available on the hub.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SensorChannel {
     /// Accelerometer x axis (m/s²). In the robot mount, the walking
     /// oscillation dominates this axis.

@@ -7,10 +7,9 @@
 //! Oracle configuration consume.
 
 use crate::time::Micros;
-use serde::{Deserialize, Serialize};
 
 /// The kind of activity or audio event occupying an interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EventKind {
     /// Robot or human standing/sitting still.
     Idle,
@@ -83,7 +82,7 @@ impl std::fmt::Display for EventKind {
 }
 
 /// A labeled time interval `[start, end)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LabeledInterval {
     kind: EventKind,
     start: Micros,
@@ -161,7 +160,7 @@ impl LabeledInterval {
 }
 
 /// A collection of labeled intervals kept sorted by start time.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GroundTruth {
     intervals: Vec<LabeledInterval>,
 }

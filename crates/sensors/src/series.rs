@@ -1,7 +1,6 @@
 //! Uniformly sampled time series.
 
 use crate::time::{sample_time, Micros};
-use serde::{Deserialize, Serialize};
 
 /// A uniformly sampled signal: a sample rate plus a sample vector, starting
 /// at trace time zero.
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.index_at(Micros::from_millis(1_000)), Some(50));
 /// # Ok::<(), sidewinder_sensors::series::InvalidRateError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     rate_hz: f64,
     samples: Vec<f64>,

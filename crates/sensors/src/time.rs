@@ -6,7 +6,6 @@
 //! origin is always zero, so a separate instant type would add ceremony
 //! without catching real bugs in this codebase.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// A timestamp or duration in whole microseconds.
@@ -20,10 +19,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// assert_eq!(t.as_secs_f64(), 1.5);
 /// assert_eq!(t + Micros::from_secs(1), Micros::from_millis(2_500));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Micros(pub u64);
 
 impl Micros {

@@ -4,7 +4,6 @@ use crate::channel::SensorChannel;
 use crate::ground_truth::GroundTruth;
 use crate::series::TimeSeries;
 use crate::time::Micros;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A multi-channel recording with ground-truth labels — the unit of
@@ -12,7 +11,7 @@ use std::collections::BTreeMap;
 ///
 /// Channels may have different sample rates (50 Hz accelerometer, 8 kHz
 /// microphone) but are expected to span the same duration.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SensorTrace {
     name: String,
     channels: BTreeMap<SensorChannel, TimeSeries>,

@@ -80,7 +80,7 @@ impl From<HubError> for SimError {
 }
 
 /// The outcome of one simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Strategy label (AA, DC-10, …).
     pub strategy: String,

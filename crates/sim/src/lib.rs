@@ -19,11 +19,15 @@
 //!   ground truth;
 //! * [`concurrent`] — several applications sharing one phone and hub
 //!   (the paper's §7 concurrency question);
+//! * [`batch`] — the parallel sweep engine: run an application ×
+//!   strategy × trace grid over scoped worker threads with
+//!   deterministic, bit-identical-to-serial results;
 //! * [`report`] — derived quantities (power relative to Oracle, fraction
 //!   of possible savings) and fixed-width table rendering for the
 //!   experiment binaries.
 
 pub mod app;
+pub mod batch;
 pub mod concurrent;
 pub mod engine;
 pub mod intervals;
@@ -33,7 +37,10 @@ pub mod report;
 pub mod strategy;
 
 pub use app::Application;
-pub use engine::{simulate, SimConfig, SimResult};
+pub use batch::{
+    par_map, BatchReport, BatchRunner, JobError, JobOutcome, JobSpec, SharedApp, SweepSpec,
+};
+pub use engine::{simulate, SimConfig, SimError, SimResult};
 pub use metrics::DetectionStats;
 pub use power::{PhonePowerProfile, PowerBreakdown};
 pub use strategy::Strategy;

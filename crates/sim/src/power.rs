@@ -10,11 +10,10 @@
 //! | Asleep-to-awake transition  | 384        | 1 s      |
 //! | Awake-to-asleep transition  | 341        | 1 s      |
 
-use serde::{Deserialize, Serialize};
 use sidewinder_sensors::Micros;
 
 /// Measured power constants of the main processor platform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhonePowerProfile {
     /// Power while awake running the sensing application, mW.
     pub awake_mw: f64,
@@ -47,7 +46,7 @@ impl Default for PhonePowerProfile {
 
 /// Time spent in each phone state over a simulated trace, plus the hub's
 /// always-on draw.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PowerBreakdown {
     /// Time awake.
     pub awake: Micros,

@@ -1,0 +1,242 @@
+//! Determinism conformance: the parallel [`BatchRunner`] must return
+//! exactly what the serial [`simulate`] path returns — same values,
+//! same order — at every worker count, for the full evaluation grid of
+//! six applications × seven strategies.
+//!
+//! The batch engine promises that parallelism changes only *when* a
+//! cell runs, never *what* it computes. This suite pins that promise
+//! against the real applications on real synthetic traces, including
+//! cells that fail.
+
+use sidewinder_apps::predefined;
+use sidewinder_apps::{
+    HeadbuttsApp, MusicJournalApp, PhraseDetectionApp, SirenDetectorApp, StepsApp, TransitionsApp,
+};
+use sidewinder_sensors::{Micros, SensorTrace};
+use sidewinder_sim::{
+    simulate, Application, BatchRunner, JobError, PhonePowerProfile, SharedApp, SimConfig,
+    SimError, Strategy, SweepSpec,
+};
+use sidewinder_tracegen::{audio_trace, robot_run, AudioTraceConfig, RobotRunConfig};
+use std::sync::Arc;
+
+/// Worker counts the conformance grid is replayed at.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A trace carrying both the accelerometer and the microphone channels
+/// (robot run + audio bed merged), so every evaluation application has
+/// the data its classifier and wake-up condition need.
+fn combined_trace(seed: u64, duration_s: u64) -> SensorTrace {
+    let mut trace = robot_run(&RobotRunConfig {
+        duration: Micros::from_secs(duration_s),
+        idle_fraction: 0.6,
+        rate_hz: 50.0,
+        seed,
+    });
+    let audio = audio_trace(&AudioTraceConfig {
+        duration: Micros::from_secs(duration_s),
+        seed: seed + 1000,
+        ..AudioTraceConfig::default()
+    });
+    for channel in audio.channels().collect::<Vec<_>>() {
+        trace.insert(
+            channel,
+            audio.channel(channel).expect("listed channel").clone(),
+        );
+    }
+    for interval in audio.ground_truth().intervals() {
+        trace.ground_truth_mut().push(*interval);
+    }
+    trace
+}
+
+/// All six evaluation applications.
+fn all_apps() -> Vec<SharedApp> {
+    vec![
+        Arc::new(StepsApp::new()),
+        Arc::new(TransitionsApp::new()),
+        Arc::new(HeadbuttsApp::new()),
+        Arc::new(SirenDetectorApp::new()),
+        Arc::new(MusicJournalApp::new()),
+        Arc::new(PhraseDetectionApp::new()),
+    ]
+}
+
+fn is_audio_app(app: &dyn Application) -> bool {
+    matches!(app.name(), "sirens" | "music" | "phrase")
+}
+
+/// The full strategy sweep for one application: every sensing
+/// configuration of the paper's §4.2, with the Predefined Activity
+/// condition matched to the application's modality.
+fn full_strategies(app: &dyn Application) -> Vec<Strategy> {
+    let predefined_program = if is_audio_app(app) {
+        predefined::significant_sound()
+    } else {
+        predefined::significant_motion()
+    };
+    vec![
+        Strategy::AlwaysAwake,
+        Strategy::DutyCycle {
+            sleep: Micros::from_secs(5),
+        },
+        Strategy::DutyCycle {
+            sleep: Micros::from_secs(10),
+        },
+        Strategy::Batching {
+            interval: Micros::from_secs(10),
+            hub_mw: 3.6,
+        },
+        Strategy::HubWake {
+            program: predefined_program,
+            hub_mw: predefined::hub_mw(),
+            label: "PA",
+        },
+        Strategy::HubWake {
+            program: app.wake_condition(),
+            hub_mw: app.wake_condition_hub_mw(),
+            label: "Sw",
+        },
+        Strategy::Oracle,
+    ]
+}
+
+fn full_grid(duration_s: u64) -> SweepSpec {
+    SweepSpec::new()
+        .shared_apps(all_apps())
+        .traces([
+            combined_trace(71, duration_s),
+            combined_trace(72, duration_s),
+        ])
+        .strategies_per_app(full_strategies)
+}
+
+#[test]
+fn parallel_grid_is_bit_identical_to_serial_at_every_worker_count() {
+    let spec = full_grid(300);
+    let jobs = spec.jobs();
+    // 6 apps x 7 strategies x 2 traces.
+    assert_eq!(jobs.len(), 84);
+
+    // Serial reference: plain `simulate` on each cell's exact inputs,
+    // in spec order.
+    let serial: Vec<_> = jobs
+        .iter()
+        .map(|job| {
+            simulate(
+                &job.trace,
+                &*job.app,
+                &job.strategy,
+                &job.profile,
+                &job.config,
+            )
+            .unwrap_or_else(|e| {
+                panic!(
+                    "serial cell {} / {} failed: {e}",
+                    job.app.name(),
+                    job.strategy.label()
+                )
+            })
+        })
+        .collect();
+
+    for workers in WORKER_COUNTS {
+        let report = BatchRunner::new().workers(workers).run(&spec);
+        assert_eq!(report.len(), serial.len(), "{workers} workers: grid size");
+        for (i, (reference, outcome)) in serial.iter().zip(report.outcomes()).enumerate() {
+            assert_eq!(outcome.index, i, "{workers} workers: outcome order");
+            let parallel = outcome
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{workers} workers: cell {i} failed: {e}"));
+            assert_eq!(
+                reference, parallel,
+                "{workers} workers: cell {i} ({} / {} / {}) diverged",
+                outcome.trace, outcome.app, outcome.strategy
+            );
+        }
+    }
+}
+
+#[test]
+fn outcome_labels_follow_spec_order_regardless_of_workers() {
+    // Ordering is independent of simulation length; short traces keep
+    // the three replays cheap.
+    let spec = full_grid(60);
+    let expected: Vec<(String, String, String)> = spec
+        .jobs()
+        .iter()
+        .map(|j| {
+            (
+                j.app.name().to_string(),
+                j.strategy.label(),
+                j.trace.name().to_string(),
+            )
+        })
+        .collect();
+    for workers in WORKER_COUNTS {
+        let report = BatchRunner::new().workers(workers).run(&spec);
+        let got: Vec<(String, String, String)> = report
+            .outcomes()
+            .iter()
+            .map(|o| (o.app.clone(), o.strategy.clone(), o.trace.clone()))
+            .collect();
+        assert_eq!(got, expected, "{workers} workers reordered the sweep");
+    }
+}
+
+#[test]
+fn failing_cells_match_serial_errors_at_every_worker_count() {
+    // Audio applications on a microphone-less robot trace: the hub
+    // wake-up condition is rejected with the same SimError the serial
+    // path reports, and the valid cells still complete.
+    let robot_only = robot_run(&RobotRunConfig {
+        duration: Micros::from_secs(120),
+        idle_fraction: 0.6,
+        rate_hz: 50.0,
+        seed: 7,
+    });
+    let app = MusicJournalApp::new();
+    let strategy = Strategy::HubWake {
+        program: app.wake_condition(),
+        hub_mw: app.wake_condition_hub_mw(),
+        label: "Sw",
+    };
+    let serial_err = simulate(
+        &robot_only,
+        &app,
+        &strategy,
+        &PhonePowerProfile::NEXUS4,
+        &SimConfig::default(),
+    )
+    .expect_err("music condition needs the microphone");
+    assert!(matches!(serial_err, SimError::MissingChannel(_)));
+
+    let spec = SweepSpec::new()
+        .app(MusicJournalApp::new())
+        .app(StepsApp::new())
+        .trace(robot_only)
+        .strategies_per_app(|app| {
+            vec![
+                Strategy::HubWake {
+                    program: app.wake_condition(),
+                    hub_mw: app.wake_condition_hub_mw(),
+                    label: "Sw",
+                },
+                Strategy::Oracle,
+            ]
+        });
+    for workers in WORKER_COUNTS {
+        let report = BatchRunner::new().workers(workers).run(&spec);
+        assert_eq!(report.len(), 4);
+        // Cell 0: music Sw fails exactly like the serial path.
+        assert_eq!(
+            report.outcomes()[0].result,
+            Err(JobError::Sim(serial_err.clone())),
+            "{workers} workers"
+        );
+        // Every other cell succeeds (Oracle needs no channels; steps has
+        // its accelerometer data).
+        assert_eq!(report.results().count(), 3, "{workers} workers");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the awake-interval set algebra.
+//!
+//! [`IntervalSet::from_spans`] is the engine's accounting foundation:
+//! every strategy's awake time flows through it before power is
+//! integrated, so its invariants — sorted, disjoint, gap-respecting,
+//! input-order-independent, idempotent — are what make the simulated
+//! power numbers well-defined.
+
+use proptest::prelude::*;
+use sidewinder_sensors::Micros;
+use sidewinder_sim::intervals::IntervalSet;
+
+/// Raw span lists: up to 32 arbitrary (possibly inverted, possibly
+/// zero-width) endpoint pairs below ~100 s.
+fn raw_spans() -> impl Strategy<Value = Vec<(Micros, Micros)>> {
+    prop::collection::vec((0u64..100_000_000, 0u64..100_000_000), 0..32).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(a, b)| (Micros::from_micros(a), Micros::from_micros(b)))
+            .collect()
+    })
+}
+
+/// Merge gaps from zero to 5 s.
+fn merge_gaps() -> impl Strategy<Value = Micros> {
+    (0u64..5_000_000).prop_map(Micros::from_micros)
+}
+
+/// A deterministic permutation: rotate by `rot`, then optionally
+/// reverse — enough to exercise order sensitivity without a shuffle.
+fn permute<T: Clone>(items: &[T], rot: usize, rev: bool) -> Vec<T> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let rot = rot % items.len();
+    let mut out: Vec<T> = items[rot..].iter().chain(&items[..rot]).cloned().collect();
+    if rev {
+        out.reverse();
+    }
+    out
+}
+
+proptest! {
+    /// No zero-width spans, sorted, and consecutive spans separated by
+    /// MORE than the merge gap (a gap of exactly `merge_gap` merges).
+    #[test]
+    fn spans_are_sorted_disjoint_and_gap_respecting(
+        raw in raw_spans(),
+        gap in merge_gaps(),
+    ) {
+        let set = IntervalSet::from_spans(raw, gap);
+        for &(s, e) in set.spans() {
+            prop_assert!(e > s, "zero or negative width span ({s}, {e})");
+        }
+        for pair in set.spans().windows(2) {
+            let (_, prev_end) = pair[0];
+            let (next_start, _) = pair[1];
+            prop_assert!(
+                next_start > prev_end + gap,
+                "spans {pair:?} should have merged under gap {gap}"
+            );
+        }
+    }
+
+    /// Re-coalescing an already coalesced set changes nothing.
+    #[test]
+    fn coalescing_is_idempotent(raw in raw_spans(), gap in merge_gaps()) {
+        let once = IntervalSet::from_spans(raw, gap);
+        let twice = IntervalSet::from_spans(once.spans().to_vec(), gap);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The input order of the raw spans never matters.
+    #[test]
+    fn coalescing_is_order_insensitive(
+        raw in raw_spans(),
+        gap in merge_gaps(),
+        rot in 0usize..32,
+        rev in proptest::bool::ANY,
+    ) {
+        let reference = IntervalSet::from_spans(raw.clone(), gap);
+        let permuted = IntervalSet::from_spans(permute(&raw, rot, rev), gap);
+        prop_assert_eq!(reference, permuted);
+    }
+
+    /// Every valid input instant stays covered, and the covered total
+    /// is bounded by the spans' overall extent.
+    #[test]
+    fn coverage_is_preserved(raw in raw_spans(), gap in merge_gaps()) {
+        let set = IntervalSet::from_spans(raw.clone(), gap);
+        for &(s, e) in &raw {
+            if e > s {
+                prop_assert!(set.contains(s), "lost start of ({s}, {e})");
+                prop_assert!(set.overlaps(s, e), "lost span ({s}, {e})");
+            }
+        }
+        let widest: Micros = raw
+            .iter()
+            .filter(|(s, e)| e > s)
+            .fold(Micros::ZERO, |acc, &(s, e)| acc.max(e - s));
+        prop_assert!(set.total() >= widest, "coverage shrank below the widest input span");
+        if let (Some(&(first, _)), Some(&(_, last))) =
+            (set.spans().first(), set.spans().last())
+        {
+            prop_assert!(set.total() <= last - first);
+        }
+    }
+
+    /// Clipping keeps spans inside `[0, end)`, never grows the total,
+    /// and is idempotent.
+    #[test]
+    fn clip_bounds_and_is_idempotent(
+        raw in raw_spans(),
+        gap in merge_gaps(),
+        end_us in 0u64..120_000_000,
+    ) {
+        let set = IntervalSet::from_spans(raw, gap);
+        let end = Micros::from_micros(end_us);
+        let clipped = set.clip(end);
+        for &(s, e) in clipped.spans() {
+            prop_assert!(e <= end && e > s);
+        }
+        prop_assert!(clipped.total() <= set.total());
+        prop_assert_eq!(clipped.clip(end), clipped);
+    }
+}

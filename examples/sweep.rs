@@ -1,0 +1,101 @@
+//! The evaluation sweep on the parallel batch runner.
+//!
+//! Builds the Fig. 5-style grid — three accelerometer applications ×
+//! ten sensing strategies × three robot traces — runs it once serially
+//! (the reference path) and then on the [`BatchRunner`] worker pool at
+//! increasing worker counts, verifying that every parallel run returns
+//! bit-identical results in the same deterministic order.
+//!
+//! ```sh
+//! cargo run --release --example sweep
+//! SIDEWINDER_SWEEP_WORKERS=4 cargo run --release --example sweep
+//! ```
+//!
+//! [`BatchRunner`]: sidewinder::sim::BatchRunner
+
+use sidewinder::apps::{predefined, HeadbuttsApp, StepsApp, TransitionsApp};
+use sidewinder::sensors::Micros;
+use sidewinder::sim::{Application, BatchRunner, SharedApp, Strategy, SweepSpec};
+use sidewinder::tracegen::{robot_group_runs, ActivityGroup};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The Fig. 5 strategy sweep for one application.
+fn strategies(app: &dyn Application) -> Vec<Strategy> {
+    let mut out = vec![Strategy::Oracle, Strategy::AlwaysAwake];
+    for sleep_s in [2u64, 5, 10, 20, 30] {
+        out.push(Strategy::DutyCycle {
+            sleep: Micros::from_secs(sleep_s),
+        });
+    }
+    out.push(Strategy::Batching {
+        interval: Micros::from_secs(10),
+        hub_mw: 3.6,
+    });
+    out.push(Strategy::HubWake {
+        program: predefined::significant_motion(),
+        hub_mw: predefined::hub_mw(),
+        label: "PA",
+    });
+    out.push(Strategy::HubWake {
+        program: app.wake_condition(),
+        hub_mw: app.wake_condition_hub_mw(),
+        label: "Sw",
+    });
+    out
+}
+
+fn main() {
+    let apps: Vec<SharedApp> = vec![
+        Arc::new(HeadbuttsApp::new()),
+        Arc::new(TransitionsApp::new()),
+        Arc::new(StepsApp::new()),
+    ];
+    let spec = SweepSpec::new()
+        .shared_apps(apps)
+        .traces(robot_group_runs(
+            ActivityGroup::Group1,
+            3,
+            Micros::from_secs(600),
+            101,
+        ))
+        .strategies_per_app(strategies);
+
+    let jobs = spec.jobs();
+    println!(
+        "sweep: 3 apps x 10 strategies x 3 traces = {} cells",
+        jobs.len()
+    );
+
+    // Serial reference: every cell on the calling thread, in spec order.
+    let started = Instant::now();
+    let serial: Vec<_> = jobs.iter().map(|job| job.run()).collect();
+    let serial_elapsed = started.elapsed();
+    println!("serial reference: {serial_elapsed:?}");
+
+    let available = BatchRunner::new().worker_count();
+    let mut worker_counts = vec![2, 4, available];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+
+    for workers in worker_counts {
+        let report = BatchRunner::new().workers(workers).run(&spec);
+        assert_eq!(report.len(), serial.len());
+        for (s, p) in serial.iter().zip(report.outcomes()) {
+            assert_eq!(
+                s.result.as_ref().ok(),
+                p.result.as_ref().ok(),
+                "parallel result diverged at cell {} ({} / {} / {})",
+                p.index,
+                p.trace,
+                p.app,
+                p.strategy,
+            );
+        }
+        let speedup = serial_elapsed.as_secs_f64() / report.elapsed.as_secs_f64();
+        println!(
+            "{} workers: {:?} ({speedup:.2}x vs serial, results identical)",
+            report.workers, report.elapsed,
+        );
+    }
+}
