@@ -3,70 +3,13 @@
 //! paper's §3.8 complexity/power trade-off discussion. Includes the
 //! Goertzel-vs-FFT ablation: probing a handful of bins is the kind of
 //! narrow-band shortcut that could fit the smaller MCU.
+//!
+//! The suite bodies live in [`sidewinder_bench::suites`] so the
+//! `perfreport` binary can run the same definitions and capture the
+//! measurements machine-readably.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sidewinder_dsp::filter::{fft_highpass, MovingAverage};
-use sidewinder_dsp::window::WindowShape;
-use sidewinder_dsp::{fft, goertzel, stats, zcr};
-use std::hint::black_box;
-
-fn tone(freq: f64, rate: f64, n: usize) -> Vec<f64> {
-    (0..n)
-        .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / rate).sin())
-        .collect()
-}
-
-fn bench_fft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft");
-    for n in [256usize, 1024, 2048] {
-        let signal = tone(1000.0, 8000.0, n);
-        group.bench_with_input(BenchmarkId::new("real_fft", n), &signal, |b, s| {
-            b.iter(|| fft::real_fft(black_box(s)).unwrap())
-        });
-    }
-    group.finish();
-}
-
-fn bench_filters(c: &mut Criterion) {
-    let signal = tone(1000.0, 8000.0, 1024);
-    c.bench_function("highpass_750hz_1024", |b| {
-        b.iter(|| fft_highpass(black_box(&signal), 750.0, 8000.0).unwrap())
-    });
-    c.bench_function("moving_average_w10_1024_samples", |b| {
-        b.iter(|| {
-            let mut ma = MovingAverage::new(10).unwrap();
-            ma.filter(black_box(&signal))
-        })
-    });
-}
-
-fn bench_features(c: &mut Criterion) {
-    let signal = tone(440.0, 8000.0, 2048);
-    c.bench_function("zcr_variance_8x2048", |b| {
-        b.iter(|| zcr::zcr_variance(black_box(&signal), 8))
-    });
-    c.bench_function("summary_stats_2048", |b| {
-        b.iter(|| stats::Summary::of(black_box(&signal)))
-    });
-    c.bench_function("hamming_window_2048", |b| {
-        b.iter(|| WindowShape::Hamming.apply(black_box(&signal)))
-    });
-}
-
-/// Ablation: full FFT spectrum vs probing 8 Goertzel bins for the siren
-/// band.
-fn bench_goertzel_ablation(c: &mut Criterion) {
-    let signal = tone(1200.0, 8000.0, 1024);
-    let probes: Vec<f64> = (0..8).map(|i| 850.0 + i as f64 * 135.0).collect();
-    let mut group = c.benchmark_group("siren_band_detection");
-    group.bench_function("full_fft_magnitudes", |b| {
-        b.iter(|| fft::real_fft_magnitudes(black_box(&signal)))
-    });
-    group.bench_function("goertzel_8_probes", |b| {
-        b.iter(|| goertzel::strongest_of(black_box(&signal), &probes, 8000.0))
-    });
-    group.finish();
-}
+use criterion::{criterion_group, criterion_main};
+use sidewinder_bench::suites::{bench_features, bench_fft, bench_filters, bench_goertzel_ablation};
 
 criterion_group!(
     benches,

@@ -2,95 +2,13 @@
 //! IR runtime sustains for each evaluation wake-up condition, plus the
 //! fusion ablation (shared vs separate instances for concurrent
 //! conditions).
+//!
+//! The suite bodies live in [`sidewinder_bench::suites`] so the
+//! `perfreport` binary can run the same definitions and capture the
+//! measurements machine-readably.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sidewinder_apps::{MusicJournalApp, SirenDetectorApp, StepsApp};
-use sidewinder_core::fusion::{FusedPlan, FusedRuntime};
-use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
-use sidewinder_sensors::SensorChannel;
-use sidewinder_sim::Application;
-use std::hint::black_box;
-
-fn bench_conditions(c: &mut Criterion) {
-    let cases: Vec<(&str, sidewinder_ir::Program, SensorChannel)> = vec![
-        (
-            "steps_condition",
-            StepsApp::new().wake_condition(),
-            SensorChannel::AccX,
-        ),
-        (
-            "music_condition",
-            MusicJournalApp::new().wake_condition(),
-            SensorChannel::Mic,
-        ),
-        (
-            "siren_condition",
-            SirenDetectorApp::new().wake_condition(),
-            SensorChannel::Mic,
-        ),
-    ];
-    let mut group = c.benchmark_group("hub_interpreter");
-    let batch = 8192usize;
-    group.throughput(Throughput::Elements(batch as u64));
-    for (name, program, channel) in cases {
-        let samples: Vec<f64> = (0..batch).map(|i| (i as f64 * 0.37).sin()).collect();
-        group.bench_function(name, |b| {
-            let mut hub = HubRuntime::load(&program, &ChannelRates::default()).unwrap();
-            b.iter(|| {
-                let mut wakes = 0usize;
-                for &s in &samples {
-                    wakes += hub.push_sample(channel, black_box(s)).unwrap().len();
-                }
-                wakes
-            })
-        });
-    }
-    group.finish();
-}
-
-/// Fusion ablation: two music-journal conditions with different
-/// recognizer thresholds, run as separate hubs vs one fused runtime.
-fn bench_fusion(c: &mut Criterion) {
-    let program = MusicJournalApp::new().wake_condition();
-    let batch = 8192usize;
-    let samples: Vec<f64> = (0..batch).map(|i| (i as f64 * 0.21).sin() * 0.2).collect();
-
-    let mut group = c.benchmark_group("concurrent_conditions");
-    group.throughput(Throughput::Elements(batch as u64));
-    group.bench_function("two_separate_runtimes", |b| {
-        let mut a = HubRuntime::load(&program, &ChannelRates::default()).unwrap();
-        let mut bb = HubRuntime::load(&program, &ChannelRates::default()).unwrap();
-        b.iter(|| {
-            let mut wakes = 0usize;
-            for &s in &samples {
-                wakes += a
-                    .push_sample(SensorChannel::Mic, black_box(s))
-                    .unwrap()
-                    .len();
-                wakes += bb
-                    .push_sample(SensorChannel::Mic, black_box(s))
-                    .unwrap()
-                    .len();
-            }
-            wakes
-        })
-    });
-    group.bench_function("one_fused_runtime", |b| {
-        let plan = FusedPlan::fuse(&[&program, &program]).unwrap();
-        let mut fused = FusedRuntime::load(&plan, &ChannelRates::default());
-        b.iter(|| {
-            let mut wakes = 0usize;
-            for &s in &samples {
-                wakes += fused
-                    .push_sample(SensorChannel::Mic, black_box(s))
-                    .unwrap()
-                    .len();
-            }
-            wakes
-        })
-    });
-    group.finish();
-}
+use criterion::{criterion_group, criterion_main};
+use sidewinder_bench::suites::{bench_conditions, bench_fusion};
 
 criterion_group!(benches, bench_conditions, bench_fusion);
 criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Machine-readable performance report for the hub hot path.
+//!
+//! Runs the interpreter and algorithm bench suites (the same definitions
+//! `cargo bench` uses, via [`sidewinder_bench::suites`]) in a calibrated
+//! smoke configuration — few samples, but the shim's ~5 ms-per-sample
+//! calibration keeps each number stable to a few percent — then writes
+//! `BENCH_interpreter.json` at the repository root:
+//!
+//! * `ns_per_iter` — fresh measurement, minimum over samples;
+//! * `melem_per_s` — throughput for benches that declare element counts;
+//! * `baseline_ns_per_iter` / `speedup` — against the committed
+//!   pre-optimization numbers in `results/bench_interpreter_baseline.json`
+//!   (absent for benches with no recorded baseline).
+//!
+//! Usage: `cargo run --release -p sidewinder-bench --bin perfreport`
+
+use criterion::{take_records, Criterion, Throughput};
+use sidewinder_bench::suites;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Samples per benchmark: enough for a stable minimum, cheap enough that
+/// the whole report runs in well under a minute.
+const SAMPLES: usize = 7;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Parses the flat `"id": number` baseline map without a JSON dependency:
+/// one entry per line, string key, numeric value.
+fn load_baseline(path: &Path) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("warning: no baseline at {}", path.display());
+        return out;
+    };
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if key == "comment" {
+            continue;
+        }
+        if let Ok(ns) = value.trim().parse::<f64>() {
+            out.insert(key.to_string(), ns);
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let root = repo_root();
+    let baseline = load_baseline(&root.join("results/bench_interpreter_baseline.json"));
+
+    println!("perfreport: running bench suites ({SAMPLES} samples each)...");
+    let mut c = Criterion::default();
+    c.sample_size(SAMPLES);
+    suites::bench_conditions(&mut c);
+    suites::bench_fusion(&mut c);
+    suites::bench_fft(&mut c);
+    suites::bench_filters(&mut c);
+    suites::bench_features(&mut c);
+    suites::bench_goertzel_ablation(&mut c);
+
+    let records = take_records();
+    assert!(
+        !records.is_empty(),
+        "suites produced no measurements — was perfreport run with --test?"
+    );
+
+    let mut body = String::new();
+    body.push_str("{\n  \"benches\": {\n");
+    for (i, r) in records.iter().enumerate() {
+        let ns = r.ns_per_iter;
+        let _ = writeln!(body, "    \"{}\": {{", json_escape(&r.id));
+        let _ = write!(body, "      \"ns_per_iter\": {ns:.1}");
+        if let Some(Throughput::Elements(n)) = r.throughput {
+            let _ = write!(
+                body,
+                ",\n      \"melem_per_s\": {:.2}",
+                n as f64 / ns * 1_000.0
+            );
+        }
+        if let Some(&base) = baseline.get(&r.id) {
+            let _ = write!(body, ",\n      \"baseline_ns_per_iter\": {base:.1}");
+            let _ = write!(body, ",\n      \"speedup\": {:.2}", base / ns);
+        }
+        body.push_str("\n    }");
+        body.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    body.push_str("  }\n}\n");
+
+    let out_path = root.join("BENCH_interpreter.json");
+    std::fs::write(&out_path, &body).expect("write BENCH_interpreter.json");
+
+    println!("\nperfreport: wrote {}", out_path.display());
+    println!("{:<45} {:>12} {:>9}", "bench", "ns/iter", "speedup");
+    for r in &records {
+        let speedup = baseline
+            .get(&r.id)
+            .map(|b| format!("{:.2}x", b / r.ns_per_iter))
+            .unwrap_or_else(|| "-".to_string());
+        println!("{:<45} {:>12.0} {:>9}", r.id, r.ns_per_iter, speedup);
+    }
+}

@@ -20,6 +20,8 @@
 //! `SIDEWINDER_PAPER_SCALE=1` to reproduce the paper's full trace lengths
 //! (30-minute audio traces, hour-long robot runs, the full 18-run set).
 
+pub mod suites;
+
 use sidewinder_apps::predefined;
 use sidewinder_sensors::{Micros, SensorTrace};
 use sidewinder_sim::{

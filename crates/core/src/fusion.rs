@@ -15,7 +15,7 @@
 use sidewinder_hub::cost::PipelineCost;
 use sidewinder_hub::instance::AlgoInstance;
 use sidewinder_hub::runtime::{ChannelRates, WakeEvent};
-use sidewinder_hub::value::Tagged;
+use sidewinder_hub::value::ValueRef;
 use sidewinder_hub::HubError;
 use sidewinder_ir::{AlgorithmKind, NodeId, Program, Source};
 use sidewinder_sensors::SensorChannel;
@@ -185,20 +185,47 @@ impl FusedPlan {
     }
 }
 
+/// One loaded fused node: its shared instance, its input edges, and the
+/// dense indices of its consumers (for readiness propagation).
+#[derive(Debug)]
+struct FusedInstance {
+    instance: AlgoInstance,
+    sources: Vec<Source>,
+    consumers: Vec<usize>,
+}
+
 /// Executes a fused plan: shared instances, one wake stream per original
 /// program.
+///
+/// Uses the same dense ready/fresh pass as `HubRuntime`: fused node ids
+/// are contiguous (`NodeId(i + 1)` ↔ index `i`) and define-before-use, so
+/// one walk of the node list per sample propagates every result, with
+/// values borrowed from the producers' reusable slots.
 #[derive(Debug)]
 pub struct FusedRuntime {
-    instances: Vec<(AlgoInstance, Vec<Source>)>,
-    outs: Vec<NodeId>,
-    channel_seq: BTreeMap<SensorChannel, u64>,
+    nodes: Vec<FusedInstance>,
+    /// For each input program, the dense index of the node feeding its
+    /// `OUT`.
+    outs: Vec<usize>,
+    /// For each channel (by [`SensorChannel::index`]): the nodes with at
+    /// least one port fed directly by it.
+    channel_entries: [Vec<usize>; SensorChannel::COUNT],
+    channel_seq: [u64; SensorChannel::COUNT],
+    ready: Vec<bool>,
+    fresh: Vec<bool>,
+}
+
+/// Dense index of a fused source node (`NodeId(i + 1)` ↔ index `i`).
+fn dense(n: NodeId) -> usize {
+    n.0 as usize - 1
 }
 
 impl FusedRuntime {
     /// Loads a fused plan with the given channel rates.
     pub fn load(plan: &FusedPlan, rates: &ChannelRates) -> FusedRuntime {
         let mut node_rates: BTreeMap<NodeId, f64> = BTreeMap::new();
-        let mut instances = Vec::new();
+        let mut nodes: Vec<FusedInstance> = Vec::new();
+        let mut channel_entries: [Vec<usize>; SensorChannel::COUNT] = Default::default();
         for (i, node) in plan.nodes.iter().enumerate() {
             let id = NodeId(i as u32 + 1);
             let rate = match node.sources.first() {
@@ -207,15 +234,31 @@ impl FusedRuntime {
                 None => 0.0,
             };
             node_rates.insert(id, rate);
-            instances.push((
-                AlgoInstance::new(id, &node.kind, node.sources.len(), rate),
-                node.sources.clone(),
-            ));
+            for source in &node.sources {
+                match source {
+                    Source::Channel(c) => {
+                        let entries = &mut channel_entries[c.index()];
+                        if !entries.contains(&i) {
+                            entries.push(i);
+                        }
+                    }
+                    Source::Node(n) => nodes[dense(*n)].consumers.push(i),
+                }
+            }
+            nodes.push(FusedInstance {
+                instance: AlgoInstance::new(id, &node.kind, node.sources.len(), rate),
+                sources: node.sources.clone(),
+                consumers: Vec::new(),
+            });
         }
+        let count = nodes.len();
         FusedRuntime {
-            instances,
-            outs: plan.outs.clone(),
-            channel_seq: BTreeMap::new(),
+            nodes,
+            outs: plan.outs.iter().map(|&n| dense(n)).collect(),
+            channel_entries,
+            channel_seq: [0; SensorChannel::COUNT],
+            ready: vec![false; count],
+            fresh: vec![false; count],
         }
     }
 
@@ -230,40 +273,64 @@ impl FusedRuntime {
         channel: SensorChannel,
         sample: f64,
     ) -> Result<Vec<(usize, WakeEvent)>, HubError> {
-        let seq_entry = self.channel_seq.entry(channel).or_insert(0);
-        let seq = *seq_entry;
-        *seq_entry += 1;
-        let sample_tag = Tagged::new(seq, sample);
+        let seq = self.channel_seq[channel.index()];
+        self.channel_seq[channel.index()] += 1;
 
-        let mut fresh: BTreeMap<NodeId, Tagged> = BTreeMap::new();
-        for (instance, sources) in &mut self.instances {
-            let mut produced = None;
-            for (port, source) in sources.iter().enumerate() {
-                let input = match source {
-                    Source::Channel(c) if *c == channel => Some(&sample_tag),
-                    Source::Channel(_) => None,
-                    Source::Node(n) => fresh.get(n),
-                };
-                if let Some(input) = input {
-                    instance.feed(port, input).map_err(HubError::from)?;
-                    if let Some(r) = instance.take_result() {
-                        produced = Some(r);
+        self.ready.fill(false);
+        self.fresh.fill(false);
+        for &entry in &self.channel_entries[channel.index()] {
+            self.ready[entry] = true;
+        }
+
+        for i in 0..self.nodes.len() {
+            if !self.ready[i] {
+                continue;
+            }
+            let (before, rest) = self.nodes.split_at_mut(i);
+            let node = &mut rest[0];
+            node.instance.clear_result();
+            for (port, source) in node.sources.iter().enumerate() {
+                match source {
+                    Source::Channel(c) if *c == channel => {
+                        node.instance
+                            .feed_ref(port, seq, ValueRef::Scalar(sample))
+                            .map_err(HubError::from)?;
+                    }
+                    Source::Channel(_) => {}
+                    Source::Node(n) => {
+                        let src = dense(*n);
+                        if self.fresh[src] {
+                            let (src_seq, value) = before[src]
+                                .instance
+                                .result_ref()
+                                .expect("fresh producer holds a result");
+                            node.instance
+                                .feed_ref(port, src_seq, value)
+                                .map_err(HubError::from)?;
+                        }
                     }
                 }
             }
-            if let Some(r) = produced {
-                fresh.insert(instance.id(), r);
+            if node.instance.has_result() {
+                self.fresh[i] = true;
+                for &consumer in &node.consumers {
+                    self.ready[consumer] = true;
+                }
             }
         }
 
         let mut wakes = Vec::new();
-        for (program_idx, out) in self.outs.iter().enumerate() {
-            if let Some(tagged) = fresh.get(out) {
-                if let Some(value) = tagged.value.as_scalar() {
+        for (program_idx, &out) in self.outs.iter().enumerate() {
+            if self.fresh[out] {
+                let (out_seq, value) = self.nodes[out]
+                    .instance
+                    .result_ref()
+                    .expect("fresh node holds a result");
+                if let Some(value) = value.as_scalar() {
                     wakes.push((
                         program_idx,
                         WakeEvent {
-                            seq: tagged.seq,
+                            seq: out_seq,
                             value,
                         },
                     ));

@@ -9,8 +9,20 @@
 //! The implementation is an iterative, in-place, decimation-in-time radix-2
 //! transform. Input lengths must be powers of two; the hub-side windowing
 //! stage guarantees that in practice.
+//!
+//! Because the hub replays hours of sensor traces window by window at a
+//! fixed transform length, the twiddle factors and the bit-reversal
+//! permutation are worth computing once: [`FftPlan`] precomputes both and
+//! applies them with in-place `process` passes. The plan's butterflies use
+//! the exact twiddle values the direct kernel would compute (the same
+//! `w *= wlen` recurrence, tabulated), so planned and direct transforms are
+//! bit-identical. The module-level entry points ([`fft_in_place`],
+//! [`ifft_in_place`], [`real_fft`], [`real_fft_magnitudes`]) route through
+//! a per-thread plan cache keyed by transform length.
 
 use crate::complex::Complex;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Error returned when a transform is given a length that is not a power of
 /// two (or is zero).
@@ -68,9 +80,7 @@ fn check_len(n: usize) -> Result<(), NonPowerOfTwoError> {
 /// # Ok::<(), sidewinder_dsp::fft::NonPowerOfTwoError>(())
 /// ```
 pub fn fft_in_place(data: &mut [Complex]) -> Result<(), NonPowerOfTwoError> {
-    check_len(data.len())?;
-    transform(data, false);
-    Ok(())
+    with_plan(data.len(), |plan| plan.process_forward(data))
 }
 
 /// Performs an in-place inverse FFT, including the `1/N` normalization.
@@ -80,13 +90,7 @@ pub fn fft_in_place(data: &mut [Complex]) -> Result<(), NonPowerOfTwoError> {
 /// Returns [`NonPowerOfTwoError`] if `data.len()` is zero or not a power of
 /// two.
 pub fn ifft_in_place(data: &mut [Complex]) -> Result<(), NonPowerOfTwoError> {
-    check_len(data.len())?;
-    transform(data, true);
-    let scale = 1.0 / data.len() as f64;
-    for z in data.iter_mut() {
-        *z = z.scale(scale);
-    }
-    Ok(())
+    with_plan(data.len(), |plan| plan.process_inverse(data))
 }
 
 /// Forward FFT of a real signal, returning the full complex spectrum.
@@ -96,10 +100,11 @@ pub fn ifft_in_place(data: &mut [Complex]) -> Result<(), NonPowerOfTwoError> {
 /// Returns [`NonPowerOfTwoError`] if `signal.len()` is zero or not a power
 /// of two.
 pub fn real_fft(signal: &[f64]) -> Result<Vec<Complex>, NonPowerOfTwoError> {
-    check_len(signal.len())?;
-    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
-    transform(&mut data, false);
-    Ok(data)
+    with_plan(signal.len(), |plan| {
+        let mut data = Vec::new();
+        plan.process_real_forward_into(signal, &mut data);
+        data
+    })
 }
 
 /// Forward FFT of a real signal reduced to one-sided magnitudes.
@@ -133,8 +138,205 @@ pub fn frequency_to_bin(freq_hz: f64, n: usize, sample_rate_hz: f64) -> usize {
     ((freq_hz * n as f64 / sample_rate_hz).round().max(0.0)) as usize
 }
 
-/// The iterative radix-2 Cooley–Tukey kernel shared by both directions.
-fn transform(data: &mut [Complex], inverse: bool) {
+/// A precomputed radix-2 FFT plan for one transform length.
+///
+/// Building a plan tabulates the bit-reversal swap list and the per-stage
+/// twiddle factors; [`FftPlan::process_forward`] and
+/// [`FftPlan::process_inverse`] then run the butterfly passes with table
+/// lookups instead of recomputing `e^{±2πik/len}` per chunk. The tables are
+/// generated with the same `w *= wlen` recurrence the direct
+/// [`transform`] kernel uses, so a planned transform is bit-identical to
+/// the direct one.
+///
+/// # Example
+///
+/// ```
+/// use sidewinder_dsp::{fft::FftPlan, Complex};
+///
+/// let plan = FftPlan::new(8)?;
+/// let mut data = vec![Complex::ONE; 8];
+/// plan.process_forward(&mut data);
+/// assert!((data[0].re - 8.0).abs() < 1e-12);
+/// # Ok::<(), sidewinder_dsp::fft::NonPowerOfTwoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FftPlan {
+    len: usize,
+    /// Bit-reversal swaps `(i, j)` with `j > i`.
+    swaps: Vec<(u32, u32)>,
+    /// Forward twiddles, stages concatenated: `len/2` entries for stage 2,
+    /// then stage 4, … — `len - 1` entries total.
+    forward: Vec<Complex>,
+    /// Inverse twiddles in the same layout.
+    inverse: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Precomputes a plan for `len`-point transforms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonPowerOfTwoError`] if `len` is zero or not a power of
+    /// two.
+    pub fn new(len: usize) -> Result<FftPlan, NonPowerOfTwoError> {
+        check_len(len)?;
+        let mut swaps = Vec::new();
+        if len > 1 {
+            let bits = len.trailing_zeros();
+            for i in 0..len {
+                let j = i.reverse_bits() >> (usize::BITS - bits);
+                if j > i {
+                    swaps.push((i as u32, j as u32));
+                }
+            }
+        }
+        Ok(FftPlan {
+            len,
+            swaps,
+            forward: twiddle_table(len, -1.0),
+            inverse: twiddle_table(len, 1.0),
+        })
+    }
+
+    /// The transform length this plan serves.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` only for the degenerate one-point plan.
+    pub fn is_empty(&self) -> bool {
+        self.len <= 1
+    }
+
+    /// In-place forward FFT (unscaled, like [`fft_in_place`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn process_forward(&self, data: &mut [Complex]) {
+        self.run(data, &self.forward);
+    }
+
+    /// In-place inverse FFT including the `1/N` normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn process_inverse(&self, data: &mut [Complex]) {
+        self.run(data, &self.inverse);
+        let scale = 1.0 / self.len as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+
+    /// Forward FFT of a real signal written into `out` (cleared first).
+    ///
+    /// The caller owns `out`, so steady-state reuse performs no heap
+    /// allocation once the buffer has grown to the plan length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len()` differs from the plan length.
+    pub fn process_real_forward_into(&self, signal: &[f64], out: &mut Vec<Complex>) {
+        assert_eq!(signal.len(), self.len, "signal length != plan length");
+        out.clear();
+        out.extend(signal.iter().map(|&x| Complex::from_real(x)));
+        self.process_forward(out);
+    }
+
+    /// Shared butterfly driver over a twiddle table.
+    fn run(&self, data: &mut [Complex], twiddles: &[Complex]) {
+        assert_eq!(data.len(), self.len, "data length != plan length");
+        let n = self.len;
+        if n <= 1 {
+            return;
+        }
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+        let mut offset = 0;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stage = &twiddles[offset..offset + half];
+            for chunk in data.chunks_exact_mut(len) {
+                // Splitting the chunk lets the butterflies run without
+                // per-element bounds checks; the arithmetic (and therefore
+                // the output bits) is unchanged.
+                let (lo, hi) = chunk.split_at_mut(half);
+                for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
+                    let u = *a;
+                    let v = *b * w;
+                    *a = u + v;
+                    *b = u - v;
+                }
+            }
+            offset += half;
+            len <<= 1;
+        }
+    }
+}
+
+/// Tabulates the per-stage twiddle factors with the exact recurrence the
+/// direct kernel uses (`w` starts at 1 and is repeatedly multiplied by
+/// `wlen`), preserving bit-for-bit output equality.
+fn twiddle_table(n: usize, sign: f64) -> Vec<Complex> {
+    let mut table = Vec::with_capacity(n.saturating_sub(1));
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        let mut w = Complex::ONE;
+        for _ in 0..len / 2 {
+            table.push(w);
+            w *= wlen;
+        }
+        len <<= 1;
+    }
+    table
+}
+
+thread_local! {
+    /// Per-thread plan cache, indexed by `log2(len)`. Plans are immutable
+    /// and shared by `Rc`, so nested `with_plan` calls are fine.
+    static PLAN_CACHE: RefCell<Vec<Option<Rc<FftPlan>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with the cached plan for `len`, building it on first use.
+///
+/// # Errors
+///
+/// Returns [`NonPowerOfTwoError`] if `len` is zero or not a power of two.
+pub fn with_plan<R>(len: usize, f: impl FnOnce(&FftPlan) -> R) -> Result<R, NonPowerOfTwoError> {
+    check_len(len)?;
+    let slot = len.trailing_zeros() as usize;
+    let plan = PLAN_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if cache.len() <= slot {
+            cache.resize(slot + 1, None);
+        }
+        match &cache[slot] {
+            Some(plan) => Rc::clone(plan),
+            None => {
+                let plan = Rc::new(FftPlan::new(len).expect("length checked"));
+                cache[slot] = Some(Rc::clone(&plan));
+                plan
+            }
+        }
+    });
+    Ok(f(&plan))
+}
+
+/// The iterative radix-2 Cooley–Tukey reference kernel.
+///
+/// This is the portable reference implementation the paper-faithful hub
+/// originally interpreted against; the hot paths use [`FftPlan`], which is
+/// bit-identical. It stays public so the equivalence suite (and any future
+/// alternative backend) can compare against it. `data.len()` must be a
+/// power of two (check with [`is_power_of_two`]); other lengths produce
+/// unspecified results.
+pub fn transform(data: &mut [Complex], inverse: bool) {
     let n = data.len();
     if n <= 1 {
         return;

@@ -43,3 +43,5 @@ pub mod window;
 pub mod zcr;
 
 pub use complex::Complex;
+pub use fft::FftPlan;
+pub use filter::{BandFilterPlan, BandShape};

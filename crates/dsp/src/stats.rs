@@ -139,8 +139,19 @@ pub fn local_maxima_in_band(signal: &[f64], lo: f64, hi: f64) -> Vec<usize> {
 /// The headbutt application searches for y-axis local minima between
 /// −6.75 and −3.75 m/s² (§3.7.1).
 pub fn local_minima_in_band(signal: &[f64], lo: f64, hi: f64) -> Vec<usize> {
-    let negated: Vec<f64> = signal.iter().map(|x| -x).collect();
-    local_maxima_in_band(&negated, -hi, -lo)
+    // The mirror of `local_maxima_in_band` with flipped comparisons —
+    // equivalent to negating the signal and band, without the copy.
+    let mut out = Vec::new();
+    for i in 1..signal.len().saturating_sub(1) {
+        if signal[i] < signal[i - 1]
+            && signal[i] <= signal[i + 1]
+            && signal[i] >= lo
+            && signal[i] <= hi
+        {
+            out.push(i);
+        }
+    }
+    out
 }
 
 #[cfg(test)]

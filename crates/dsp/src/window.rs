@@ -90,6 +90,9 @@ pub struct Windower {
     len: usize,
     hop: usize,
     shape: WindowShape,
+    /// Taper coefficients tabulated once at construction; emission applies
+    /// them with a multiply per sample instead of recomputing the cosine.
+    coeffs: Vec<f64>,
     buf: std::collections::VecDeque<f64>,
     since_emit: usize,
     primed: bool,
@@ -131,6 +134,7 @@ impl Windower {
             len,
             hop,
             shape,
+            coeffs: shape.coefficients(len),
             buf: std::collections::VecDeque::with_capacity(len + 1),
             since_emit: 0,
             primed: false,
@@ -168,12 +172,35 @@ impl Windower {
 
     /// Pushes one sample; returns a tapered window when one completes.
     pub fn push(&mut self, sample: f64) -> Option<Vec<f64>> {
+        let mut window = Vec::new();
+        self.push_into(sample, &mut window).then_some(window)
+    }
+
+    /// Pushes one sample; when a window completes, writes the tapered
+    /// window into `out` (cleared first) and returns `true`.
+    ///
+    /// This is the allocation-free form of [`Windower::push`]: once `out`
+    /// has grown to the window length, steady-state emissions reuse its
+    /// storage.
+    pub fn push_into(&mut self, sample: f64, out: &mut Vec<f64>) -> bool {
+        if self.hop == self.len {
+            // Non-overlapping windows partition the stream, so accumulate
+            // and flush: no per-sample pop, no emission bookkeeping. The
+            // emitted windows are identical to the sliding path's.
+            self.buf.push_back(sample);
+            if self.buf.len() < self.len {
+                return false;
+            }
+            self.emit_into(out);
+            self.buf.clear();
+            return true;
+        }
         if self.buf.len() == self.len {
             self.buf.pop_front();
         }
         self.buf.push_back(sample);
         if self.buf.len() < self.len {
-            return None;
+            return false;
         }
         let emit = if !self.primed {
             self.primed = true;
@@ -189,16 +216,23 @@ impl Windower {
             }
         };
         if emit {
-            let (front, back) = self.buf.as_slices();
-            let mut window = Vec::with_capacity(self.len);
-            window.extend_from_slice(front);
-            window.extend_from_slice(back);
-            for (i, x) in window.iter_mut().enumerate() {
-                *x *= self.shape.coefficient(i, self.len);
+            self.emit_into(out);
+        }
+        emit
+    }
+
+    /// Copies the buffered window into `out` (cleared first) and applies
+    /// the taper. Rectangular windows skip the multiply pass: every
+    /// coefficient is exactly 1, so the copy already is the emission.
+    fn emit_into(&self, out: &mut Vec<f64>) {
+        let (front, back) = self.buf.as_slices();
+        out.clear();
+        out.extend_from_slice(front);
+        out.extend_from_slice(back);
+        if self.shape != WindowShape::Rectangular {
+            for (x, c) in out.iter_mut().zip(&self.coeffs) {
+                *x *= c;
             }
-            Some(window)
-        } else {
-            None
         }
     }
 

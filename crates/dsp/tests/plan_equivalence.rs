@@ -1,0 +1,126 @@
+//! Bit-exactness of the planned FFT against the reference kernel.
+//!
+//! The determinism conformance suite compares wake sequences bit for bit,
+//! so [`FftPlan`] must not merely approximate [`fft::transform`] — every
+//! output float must match exactly, for every transform length the hub can
+//! encounter. The plan tabulates the same `w *= wlen` twiddle recurrence
+//! the reference kernel evaluates inline, which makes the butterflies
+//! arithmetically identical; these tests pin that guarantee down.
+
+use sidewinder_dsp::fft::{self, FftPlan};
+use sidewinder_dsp::Complex;
+
+/// Deterministic pseudo-signal: no two test lengths share a prefix.
+fn test_signal(n: usize, salt: f64) -> Vec<Complex> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64;
+            Complex::new((x * 0.37 + salt).sin(), (x * 0.11 - salt).cos())
+        })
+        .collect()
+}
+
+fn assert_bits_equal(planned: &[Complex], reference: &[Complex], what: &str) {
+    for (i, (p, r)) in planned.iter().zip(reference).enumerate() {
+        assert_eq!(
+            p.re.to_bits(),
+            r.re.to_bits(),
+            "{what}: re differs at bin {i}: {} vs {}",
+            p.re,
+            r.re
+        );
+        assert_eq!(
+            p.im.to_bits(),
+            r.im.to_bits(),
+            "{what}: im differs at bin {i}: {} vs {}",
+            p.im,
+            r.im
+        );
+    }
+}
+
+#[test]
+fn planned_forward_matches_reference_bit_for_bit() {
+    let mut len = 2;
+    while len <= 4096 {
+        let plan = FftPlan::new(len).unwrap();
+        let signal = test_signal(len, 0.5);
+        let mut planned = signal.clone();
+        let mut reference = signal;
+        plan.process_forward(&mut planned);
+        fft::transform(&mut reference, false);
+        assert_bits_equal(&planned, &reference, &format!("forward n={len}"));
+        len *= 2;
+    }
+}
+
+#[test]
+fn planned_inverse_matches_reference_bit_for_bit() {
+    let mut len = 2;
+    while len <= 4096 {
+        let plan = FftPlan::new(len).unwrap();
+        let spectrum = test_signal(len, -1.25);
+        let mut planned = spectrum.clone();
+        let mut reference = spectrum;
+        plan.process_inverse(&mut planned);
+        fft::transform(&mut reference, true);
+        // The reference kernel leaves the transform unscaled; the plan's
+        // inverse applies the same 1/N factor ifft_in_place always did.
+        let scale = 1.0 / len as f64;
+        for z in reference.iter_mut() {
+            *z = z.scale(scale);
+        }
+        assert_bits_equal(&planned, &reference, &format!("inverse n={len}"));
+        len *= 2;
+    }
+}
+
+#[test]
+fn real_forward_into_matches_reference_bit_for_bit() {
+    let mut len = 2;
+    while len <= 4096 {
+        let plan = FftPlan::new(len).unwrap();
+        let signal: Vec<f64> = (0..len).map(|i| (i as f64 * 0.73).sin()).collect();
+        let mut planned = Vec::new();
+        plan.process_real_forward_into(&signal, &mut planned);
+        let mut reference: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+        fft::transform(&mut reference, false);
+        assert_bits_equal(&planned, &reference, &format!("real forward n={len}"));
+        len *= 2;
+    }
+}
+
+#[test]
+fn module_entry_points_route_through_equivalent_plans() {
+    for len in [2usize, 64, 1024] {
+        let signal = test_signal(len, 2.0);
+        let mut via_module = signal.clone();
+        let mut reference = signal;
+        fft::fft_in_place(&mut via_module).unwrap();
+        fft::transform(&mut reference, false);
+        assert_bits_equal(&via_module, &reference, &format!("fft_in_place n={len}"));
+    }
+}
+
+#[test]
+fn every_non_power_of_two_length_is_rejected() {
+    for len in 2..=4096usize {
+        if fft::is_power_of_two(len) {
+            continue;
+        }
+        assert!(
+            FftPlan::new(len).is_err(),
+            "length {len} should be rejected"
+        );
+    }
+}
+
+#[test]
+fn degenerate_one_point_plan_is_identity() {
+    let plan = FftPlan::new(1).unwrap();
+    let mut data = [Complex::new(3.5, -0.25)];
+    plan.process_forward(&mut data);
+    assert_eq!(data[0], Complex::new(3.5, -0.25));
+    plan.process_inverse(&mut data);
+    assert_eq!(data[0], Complex::new(3.5, -0.25));
+}

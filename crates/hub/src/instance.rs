@@ -9,10 +9,10 @@
 //! until its window fills, and a threshold only produces a result when it
 //! is met.
 
-use crate::value::Tagged;
-use sidewinder_dsp::filter::{ExponentialMovingAverage, MovingAverage};
+use crate::value::{Tagged, ValueRef};
+use sidewinder_dsp::filter::{BandFilterPlan, BandShape, ExponentialMovingAverage, MovingAverage};
 use sidewinder_dsp::window::{WindowShape, Windower};
-use sidewinder_dsp::{fft, spectral, stats, zcr, Complex};
+use sidewinder_dsp::{fft, spectral, stats, zcr, Complex, FftPlan};
 use sidewinder_ir::{AlgorithmKind, NodeId, StatFn, WindowShapeParam};
 
 /// An execution-time failure inside an algorithm instance.
@@ -67,18 +67,26 @@ impl std::error::Error for ExecError {}
 #[derive(Debug, Clone)]
 enum AlgoState {
     Window(Windower),
-    Fft,
-    Ifft,
+    Fft {
+        /// Cached transform plan, rebuilt only when the window length
+        /// changes (in practice: built once on the first window).
+        plan: Option<FftPlan>,
+    },
+    Ifft {
+        plan: Option<FftPlan>,
+    },
     SpectralMagnitude,
     MovingAvg(MovingAverage),
     ExpMovingAvg(ExponentialMovingAverage),
     LowPass {
         cutoff_hz: f64,
         rate_hz: f64,
+        plan: Option<BandFilterPlan>,
     },
     HighPass {
         cutoff_hz: f64,
         rate_hz: f64,
+        plan: Option<BandFilterPlan>,
     },
     /// AND-join across ports computing the Euclidean norm; emits when
     /// every port holds a value derived from the same source samples
@@ -121,12 +129,43 @@ enum AlgoState {
     AnyOf,
 }
 
+/// The kind of value currently held by a [`ResultSlot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum SlotKind {
+    #[default]
+    Empty,
+    Scalar,
+    Vector,
+    Spectrum,
+}
+
+/// The paper's per-node result + `hasResult` flag, with owned storage that
+/// is reused across emissions: clearing the slot resets only the kind tag,
+/// so the vector/spectrum buffers keep their capacity and steady-state
+/// emissions write in place without allocating.
+#[derive(Debug, Clone, Default)]
+struct ResultSlot {
+    kind: SlotKind,
+    seq: u64,
+    scalar: f64,
+    vector: Vec<f64>,
+    spectrum: Vec<Complex>,
+}
+
+impl ResultSlot {
+    fn set_scalar(&mut self, seq: u64, x: f64) {
+        self.kind = SlotKind::Scalar;
+        self.seq = seq;
+        self.scalar = x;
+    }
+}
+
 /// One executable node: the paper's per-algorithm data structure.
 #[derive(Debug, Clone)]
 pub struct AlgoInstance {
     id: NodeId,
     state: AlgoState,
-    result: Option<Tagged>,
+    out: ResultSlot,
 }
 
 impl AlgoInstance {
@@ -141,8 +180,8 @@ impl AlgoInstance {
                 Windower::new(size as usize, hop as usize, convert_shape(shape))
                     .expect("validated window geometry"),
             ),
-            AlgorithmKind::Fft => AlgoState::Fft,
-            AlgorithmKind::Ifft => AlgoState::Ifft,
+            AlgorithmKind::Fft => AlgoState::Fft { plan: None },
+            AlgorithmKind::Ifft => AlgoState::Ifft { plan: None },
             AlgorithmKind::SpectralMagnitude => AlgoState::SpectralMagnitude,
             AlgorithmKind::MovingAvg { window } => {
                 AlgoState::MovingAvg(MovingAverage::new(window as usize).expect("validated window"))
@@ -150,8 +189,16 @@ impl AlgoInstance {
             AlgorithmKind::ExpMovingAvg { alpha } => AlgoState::ExpMovingAvg(
                 ExponentialMovingAverage::new(alpha).expect("validated alpha"),
             ),
-            AlgorithmKind::LowPass { cutoff_hz } => AlgoState::LowPass { cutoff_hz, rate_hz },
-            AlgorithmKind::HighPass { cutoff_hz } => AlgoState::HighPass { cutoff_hz, rate_hz },
+            AlgorithmKind::LowPass { cutoff_hz } => AlgoState::LowPass {
+                cutoff_hz,
+                rate_hz,
+                plan: None,
+            },
+            AlgorithmKind::HighPass { cutoff_hz } => AlgoState::HighPass {
+                cutoff_hz,
+                rate_hz,
+                plan: None,
+            },
             AlgorithmKind::VectorMagnitude => AlgoState::VectorMagnitude {
                 latest: vec![None; ports],
             },
@@ -178,7 +225,7 @@ impl AlgoInstance {
         AlgoInstance {
             id,
             state,
-            result: None,
+            out: ResultSlot::default(),
         }
     }
 
@@ -190,12 +237,42 @@ impl AlgoInstance {
     /// Whether a result is waiting to be collected — the paper's
     /// `hasResult` flag.
     pub fn has_result(&self) -> bool {
-        self.result.is_some()
+        self.out.kind != SlotKind::Empty
+    }
+
+    /// Clears the `hasResult` flag without touching the slot's storage,
+    /// so the next emission reuses the buffers. The interpreter calls this
+    /// on a node before feeding it, replacing the take-per-pass pattern.
+    pub fn clear_result(&mut self) {
+        self.out.kind = SlotKind::Empty;
+    }
+
+    /// Borrows the pending result without clearing the flag.
+    ///
+    /// This is the hot-path read: fan-out to several consumers borrows the
+    /// same slot repeatedly instead of cloning the payload per edge.
+    pub fn result_ref(&self) -> Option<(u64, ValueRef<'_>)> {
+        let value = match self.out.kind {
+            SlotKind::Empty => return None,
+            SlotKind::Scalar => ValueRef::Scalar(self.out.scalar),
+            SlotKind::Vector => ValueRef::Vector(&self.out.vector),
+            SlotKind::Spectrum => ValueRef::Spectrum(&self.out.spectrum),
+        };
+        Some((self.out.seq, value))
     }
 
     /// Collects the pending result, clearing the flag.
+    ///
+    /// This clones the payload out of the reusable slot; hot paths use
+    /// [`AlgoInstance::result_ref`] instead.
     pub fn take_result(&mut self) -> Option<Tagged> {
-        self.result.take()
+        let (seq, value) = self.result_ref()?;
+        let owned = Tagged {
+            seq,
+            value: value.to_owned(),
+        };
+        self.clear_result();
+        Some(owned)
     }
 
     /// Feeds one input value on `port`.
@@ -208,64 +285,109 @@ impl AlgoInstance {
     /// Returns an [`ExecError`] on type confusion (unvalidated programs)
     /// or impossible transform lengths.
     pub fn feed(&mut self, port: usize, input: &Tagged) -> Result<(), ExecError> {
-        let id = self.id;
-        let seq = input.seq;
+        self.feed_ref(port, input.seq, input.value.as_ref())
+    }
+
+    /// Feeds one borrowed input value on `port` — the allocation-free form
+    /// of [`AlgoInstance::feed`]. Emissions are written into the instance's
+    /// reusable result slot; a pending result is only overwritten when a
+    /// new one is produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on type confusion (unvalidated programs)
+    /// or impossible transform lengths.
+    pub fn feed_ref(
+        &mut self,
+        port: usize,
+        seq: u64,
+        input: ValueRef<'_>,
+    ) -> Result<(), ExecError> {
+        let AlgoInstance { id, state, out } = self;
+        let id = *id;
         let type_err = ExecError::TypeError { id };
-        match &mut self.state {
+        match state {
             AlgoState::Window(w) => {
-                let x = input.value.as_scalar().ok_or(type_err)?;
-                if let Some(win) = w.push(x) {
-                    self.result = Some(Tagged::new(seq, win));
+                let x = input.as_scalar().ok_or(type_err)?;
+                if w.push_into(x, &mut out.vector) {
+                    out.kind = SlotKind::Vector;
+                    out.seq = seq;
                 }
             }
-            AlgoState::Fft => {
-                let window = input.value.as_vector().ok_or(type_err)?;
-                let spectrum = fft::real_fft(window)
-                    .map_err(|e| ExecError::BadTransformLength { id, len: e.len })?;
-                self.result = Some(Tagged::new(seq, spectrum));
+            AlgoState::Fft { plan } => {
+                let window = input.as_vector().ok_or(type_err)?;
+                let plan = ensure_fft_plan(plan, window.len(), id)?;
+                plan.process_real_forward_into(window, &mut out.spectrum);
+                out.kind = SlotKind::Spectrum;
+                out.seq = seq;
             }
-            AlgoState::Ifft => {
-                let spectrum = input.value.as_spectrum().ok_or(type_err)?;
-                let mut data: Vec<Complex> = spectrum.to_vec();
-                fft::ifft_in_place(&mut data)
-                    .map_err(|e| ExecError::BadTransformLength { id, len: e.len })?;
-                let time: Vec<f64> = data.iter().map(|z| z.re).collect();
-                self.result = Some(Tagged::new(seq, time));
+            AlgoState::Ifft { plan } => {
+                let spectrum = input.as_spectrum().ok_or(type_err)?;
+                let plan = ensure_fft_plan(plan, spectrum.len(), id)?;
+                // The spectrum buffer doubles as the inverse-transform
+                // scratch; the result itself is the real part, a vector.
+                out.spectrum.clear();
+                out.spectrum.extend_from_slice(spectrum);
+                plan.process_inverse(&mut out.spectrum);
+                out.vector.clear();
+                out.vector.extend(out.spectrum.iter().map(|z| z.re));
+                out.kind = SlotKind::Vector;
+                out.seq = seq;
             }
             AlgoState::SpectralMagnitude => {
-                let spectrum = input.value.as_spectrum().ok_or(type_err)?;
+                let spectrum = input.as_spectrum().ok_or(type_err)?;
                 if !spectrum.is_empty() {
-                    let mags: Vec<f64> = spectrum[..=spectrum.len() / 2]
-                        .iter()
-                        .map(|z| z.magnitude())
-                        .collect();
-                    self.result = Some(Tagged::new(seq, mags));
+                    out.vector.clear();
+                    out.vector.extend(
+                        spectrum[..=spectrum.len() / 2]
+                            .iter()
+                            .map(|z| z.magnitude()),
+                    );
+                    out.kind = SlotKind::Vector;
+                    out.seq = seq;
                 }
             }
             AlgoState::MovingAvg(ma) => {
-                let x = input.value.as_scalar().ok_or(type_err)?;
+                let x = input.as_scalar().ok_or(type_err)?;
                 if let Some(y) = ma.push(x) {
-                    self.result = Some(Tagged::new(seq, y));
+                    out.set_scalar(seq, y);
                 }
             }
             AlgoState::ExpMovingAvg(ema) => {
-                let x = input.value.as_scalar().ok_or(type_err)?;
-                self.result = Some(Tagged::new(seq, ema.push(x)));
+                let x = input.as_scalar().ok_or(type_err)?;
+                let y = ema.push(x);
+                out.set_scalar(seq, y);
             }
-            AlgoState::LowPass { cutoff_hz, rate_hz } => {
-                let window = input.value.as_vector().ok_or(type_err)?;
-                let filtered = sidewinder_dsp::filter::fft_lowpass(window, *cutoff_hz, *rate_hz)
-                    .map_err(|e| ExecError::BadTransformLength { id, len: e.len })?;
-                self.result = Some(Tagged::new(seq, filtered));
+            AlgoState::LowPass {
+                cutoff_hz,
+                rate_hz,
+                plan,
+            } => {
+                let window = input.as_vector().ok_or(type_err)?;
+                let shape = BandShape::LowPass {
+                    cutoff_hz: *cutoff_hz,
+                };
+                let plan = ensure_band_plan(plan, window.len(), shape, *rate_hz, id)?;
+                plan.filter_into(window, &mut out.spectrum, &mut out.vector);
+                out.kind = SlotKind::Vector;
+                out.seq = seq;
             }
-            AlgoState::HighPass { cutoff_hz, rate_hz } => {
-                let window = input.value.as_vector().ok_or(type_err)?;
-                let filtered = sidewinder_dsp::filter::fft_highpass(window, *cutoff_hz, *rate_hz)
-                    .map_err(|e| ExecError::BadTransformLength { id, len: e.len })?;
-                self.result = Some(Tagged::new(seq, filtered));
+            AlgoState::HighPass {
+                cutoff_hz,
+                rate_hz,
+                plan,
+            } => {
+                let window = input.as_vector().ok_or(type_err)?;
+                let shape = BandShape::HighPass {
+                    cutoff_hz: *cutoff_hz,
+                };
+                let plan = ensure_band_plan(plan, window.len(), shape, *rate_hz, id)?;
+                plan.filter_into(window, &mut out.spectrum, &mut out.vector);
+                out.kind = SlotKind::Vector;
+                out.seq = seq;
             }
             AlgoState::VectorMagnitude { latest } => {
-                let x = input.value.as_scalar().ok_or(type_err)?;
+                let x = input.as_scalar().ok_or(type_err)?;
                 let slot = latest
                     .get_mut(port)
                     .ok_or(ExecError::BadPort { id, port })?;
@@ -277,25 +399,33 @@ impl AlgoInstance {
                     .iter()
                     .all(|v| matches!(v, Some((s, _)) if *s == seq))
                 {
-                    let components: Vec<f64> =
-                        latest.iter().map(|v| v.expect("checked Some").1).collect();
-                    self.result = Some(Tagged::new(seq, stats::vector_magnitude(&components)));
+                    // Σx² in port order — the same reduction (and float
+                    // op order) as `stats::vector_magnitude`, without
+                    // collecting the components.
+                    let energy: f64 = latest
+                        .iter()
+                        .map(|v| {
+                            let x = v.expect("checked Some").1;
+                            x * x
+                        })
+                        .sum();
+                    out.set_scalar(seq, energy.sqrt());
                 }
             }
             AlgoState::Zcr => {
-                let window = input.value.as_vector().ok_or(type_err)?;
+                let window = input.as_vector().ok_or(type_err)?;
                 if let Some(r) = zcr::zero_crossing_rate(window) {
-                    self.result = Some(Tagged::new(seq, r));
+                    out.set_scalar(seq, r);
                 }
             }
             AlgoState::ZcrVariance { sub_windows } => {
-                let window = input.value.as_vector().ok_or(type_err)?;
+                let window = input.as_vector().ok_or(type_err)?;
                 if let Some(v) = zcr::zcr_variance(window, *sub_windows as usize) {
-                    self.result = Some(Tagged::new(seq, v));
+                    out.set_scalar(seq, v);
                 }
             }
             AlgoState::Stat(s) => {
-                let window = input.value.as_vector().ok_or(type_err)?;
+                let window = input.as_vector().ok_or(type_err)?;
                 if let Some(summary) = stats::Summary::of(window) {
                     let y = match s {
                         StatFn::Mean => summary.mean,
@@ -308,53 +438,53 @@ impl AlgoInstance {
                         StatFn::Max => summary.max,
                         StatFn::PeakToPeak => summary.peak_to_peak(),
                     };
-                    self.result = Some(Tagged::new(seq, y));
+                    out.set_scalar(seq, y);
                 }
             }
             AlgoState::DominantRatio => {
-                let mags = input.value.as_vector().ok_or(type_err)?;
+                let mags = input.as_vector().ok_or(type_err)?;
                 // Skip DC: pitched-sound detection must not be fooled by
                 // offset.
                 if mags.len() > 1 {
                     if let Some(r) = spectral::dominant_to_mean_ratio(&mags[1..]) {
-                        self.result = Some(Tagged::new(seq, r));
+                        out.set_scalar(seq, r);
                     }
                 }
             }
             AlgoState::DominantFreq { rate_hz } => {
-                let mags = input.value.as_vector().ok_or(type_err)?;
+                let mags = input.as_vector().ok_or(type_err)?;
                 if mags.len() > 1 {
                     if let Some(peak) = spectral::dominant_bin(&mags[1..]) {
                         // One-sided magnitudes of an N-point transform have
                         // N/2+1 entries.
                         let n = (mags.len() - 1) * 2;
                         let freq = fft::bin_to_frequency(peak.bin + 1, n, *rate_hz);
-                        self.result = Some(Tagged::new(seq, freq));
+                        out.set_scalar(seq, freq);
                     }
                 }
             }
             AlgoState::MinThreshold { threshold } => {
-                let x = input.value.as_scalar().ok_or(type_err)?;
+                let x = input.as_scalar().ok_or(type_err)?;
                 if x >= *threshold {
-                    self.result = Some(Tagged::new(seq, x));
+                    out.set_scalar(seq, x);
                 }
             }
             AlgoState::MaxThreshold { threshold } => {
-                let x = input.value.as_scalar().ok_or(type_err)?;
+                let x = input.as_scalar().ok_or(type_err)?;
                 if x <= *threshold {
-                    self.result = Some(Tagged::new(seq, x));
+                    out.set_scalar(seq, x);
                 }
             }
             AlgoState::BandThreshold { lo, hi } => {
-                let x = input.value.as_scalar().ok_or(type_err)?;
+                let x = input.as_scalar().ok_or(type_err)?;
                 if x >= *lo && x <= *hi {
-                    self.result = Some(Tagged::new(seq, x));
+                    out.set_scalar(seq, x);
                 }
             }
             AlgoState::OutsideThreshold { lo, hi } => {
-                let x = input.value.as_scalar().ok_or(type_err)?;
+                let x = input.as_scalar().ok_or(type_err)?;
                 if x < *lo || x > *hi {
-                    self.result = Some(Tagged::new(seq, x));
+                    out.set_scalar(seq, x);
                 }
             }
             AlgoState::Sustained {
@@ -363,7 +493,7 @@ impl AlgoInstance {
                 streak,
                 last_seq,
             } => {
-                let x = input.value.as_scalar().ok_or(type_err)?;
+                let x = input.as_scalar().ok_or(type_err)?;
                 let consecutive = match last_seq {
                     Some(prev) => seq.saturating_sub(*prev) <= *max_gap,
                     None => false,
@@ -371,11 +501,11 @@ impl AlgoInstance {
                 *streak = if consecutive { *streak + 1 } else { 1 };
                 *last_seq = Some(seq);
                 if *streak >= *count {
-                    self.result = Some(Tagged::new(seq, x));
+                    out.set_scalar(seq, x);
                 }
             }
             AlgoState::AllOf { latest } => {
-                let x = input.value.as_scalar().ok_or(type_err)?;
+                let x = input.as_scalar().ok_or(type_err)?;
                 let slot = latest
                     .get_mut(port)
                     .ok_or(ExecError::BadPort { id, port })?;
@@ -386,12 +516,12 @@ impl AlgoInstance {
                     .iter()
                     .all(|v| matches!(v, Some((s, _)) if *s == seq))
                 {
-                    self.result = Some(Tagged::new(seq, x));
+                    out.set_scalar(seq, x);
                 }
             }
             AlgoState::AnyOf => {
-                let x = input.value.as_scalar().ok_or(type_err)?;
-                self.result = Some(Tagged::new(seq, x));
+                let x = input.as_scalar().ok_or(type_err)?;
+                out.set_scalar(seq, x);
             }
         }
         Ok(())
@@ -401,7 +531,7 @@ impl AlgoInstance {
     /// keeping the configuration; used when an application re-arms a
     /// condition.
     pub fn reset(&mut self) {
-        self.result = None;
+        self.clear_result();
         match &mut self.state {
             AlgoState::Window(w) => w.reset(),
             AlgoState::MovingAvg(ma) => ma.reset(),
@@ -418,6 +548,38 @@ impl AlgoInstance {
             _ => {}
         }
     }
+}
+
+/// Returns the cached transform plan, (re)building it when the incoming
+/// window length differs from the planned length.
+fn ensure_fft_plan(
+    slot: &mut Option<FftPlan>,
+    len: usize,
+    id: NodeId,
+) -> Result<&FftPlan, ExecError> {
+    if slot.as_ref().map(FftPlan::len) != Some(len) {
+        *slot =
+            Some(FftPlan::new(len).map_err(|e| ExecError::BadTransformLength { id, len: e.len })?);
+    }
+    Ok(slot.as_ref().expect("just ensured"))
+}
+
+/// Returns the cached band-filter plan, (re)building it when the incoming
+/// window length differs from the planned length.
+fn ensure_band_plan(
+    slot: &mut Option<BandFilterPlan>,
+    len: usize,
+    shape: BandShape,
+    rate_hz: f64,
+    id: NodeId,
+) -> Result<&BandFilterPlan, ExecError> {
+    if slot.as_ref().map(BandFilterPlan::len) != Some(len) {
+        *slot = Some(
+            BandFilterPlan::new(len, shape, rate_hz)
+                .map_err(|e| ExecError::BadTransformLength { id, len: e.len })?,
+        );
+    }
+    Ok(slot.as_ref().expect("just ensured"))
 }
 
 fn convert_shape(shape: WindowShapeParam) -> WindowShape {

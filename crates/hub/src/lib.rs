@@ -54,4 +54,4 @@ pub mod value;
 
 pub use mcu::Mcu;
 pub use runtime::{HubError, HubRuntime};
-pub use value::{Tagged, Value};
+pub use value::{Tagged, Value, ValueRef};

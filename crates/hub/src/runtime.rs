@@ -14,7 +14,7 @@
 //! list per incoming sample propagates every derived result.
 
 use crate::instance::{AlgoInstance, ExecError};
-use crate::value::Tagged;
+use crate::value::ValueRef;
 use sidewinder_ir::{NodeId, Program, Source, ValidateError};
 use sidewinder_sensors::SensorChannel;
 use std::collections::BTreeMap;
@@ -111,21 +111,62 @@ impl From<ExecError> for HubError {
     }
 }
 
-/// One loaded node: its instance plus its input edges.
+/// An input edge resolved to the dense node index space: either a sensor
+/// channel or the position of the producing node in statement order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PortSource {
+    Channel(SensorChannel),
+    Node(usize),
+}
+
+/// One loaded node: its instance, its resolved input edges, and the dense
+/// indices of the nodes consuming its output (for readiness propagation).
 #[derive(Debug, Clone)]
 struct LoadedNode {
     instance: AlgoInstance,
-    sources: Vec<Source>,
+    sources: Vec<PortSource>,
+    consumers: Vec<usize>,
+    /// `consumers` as a bitmask over dense indices; meaningful only when
+    /// the program fits [`MASK_BITS`] nodes (the mask-based fast pass).
+    consumer_mask: u128,
 }
+
+/// Node-count ceiling for the bitmask pass; larger programs fall back to
+/// the flag-vector scan.
+const MASK_BITS: usize = 128;
 
 /// The hub interpreter: a loaded wake-up condition ready to consume
 /// samples.
+///
+/// Because the IR is define-before-use, statement order is a topological
+/// order of the dataflow graph, so nodes live in a dense `Vec` in that
+/// order and each pass walks it once: per-pass bookkeeping is two `bool`
+/// flags per node (`ready`, `fresh`) instead of a per-sample map, and
+/// values move between nodes as borrows of the producers' reusable result
+/// slots. After warm-up, a pass performs no heap allocation.
 #[derive(Debug, Clone)]
 pub struct HubRuntime {
     nodes: Vec<LoadedNode>,
-    out_source: NodeId,
-    channel_seq: BTreeMap<SensorChannel, u64>,
+    /// Dense index of the node feeding `OUT`.
+    out_index: usize,
+    /// For each channel (by [`SensorChannel::index`]): the nodes with at
+    /// least one port fed directly by it.
+    channel_entries: [Vec<usize>; SensorChannel::COUNT],
+    /// Nodes whose only input is the channel itself (the common entry
+    /// shape: a window or moving average hanging off a sensor). The mask
+    /// pass feeds these directly, skipping the ready-set machinery.
+    direct_feeds: [Vec<usize>; SensorChannel::COUNT],
+    /// Remaining channel-fed nodes (joins, mixed sources) as bitmasks,
+    /// seeding the mask-based pass.
+    entry_masks: [u128; SensorChannel::COUNT],
+    channel_seq: [u64; SensorChannel::COUNT],
     wake_count: u64,
+    /// Per-pass flag: node has at least one active input this pass.
+    ready: Vec<bool>,
+    /// Per-pass flag: node produced a result this pass.
+    fresh: Vec<bool>,
+    /// Wake events accumulated by the current `push_samples` batch.
+    wake_buf: Vec<WakeEvent>,
 }
 
 impl HubRuntime {
@@ -139,7 +180,9 @@ impl HubRuntime {
         // Propagate sample rates: a node inherits the rate of its first
         // source (aggregators merge branches of equal rate in practice).
         let mut node_rates: BTreeMap<NodeId, f64> = BTreeMap::new();
-        let mut nodes = Vec::new();
+        let mut index_of: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut nodes: Vec<LoadedNode> = Vec::new();
+        let mut channel_entries: [Vec<usize>; SensorChannel::COUNT] = Default::default();
         for (sources, id, kind) in program.nodes() {
             let rate = match sources
                 .first()
@@ -149,18 +192,71 @@ impl HubRuntime {
                 Source::Node(src) => node_rates[src],
             };
             node_rates.insert(id, rate);
+            let index = nodes.len();
+            let dense: Vec<PortSource> = sources
+                .iter()
+                .map(|s| match s {
+                    Source::Channel(c) => PortSource::Channel(*c),
+                    // Define-before-use: the producer is already indexed.
+                    Source::Node(src) => PortSource::Node(index_of[src]),
+                })
+                .collect();
+            for source in &dense {
+                match *source {
+                    PortSource::Channel(c) => {
+                        let entries = &mut channel_entries[c.index()];
+                        if !entries.contains(&index) {
+                            entries.push(index);
+                        }
+                    }
+                    PortSource::Node(src) => nodes[src].consumers.push(index),
+                }
+            }
+            index_of.insert(id, index);
             nodes.push(LoadedNode {
                 instance: AlgoInstance::new(id, kind, sources.len(), rate),
-                sources: sources.to_vec(),
+                sources: dense,
+                consumers: Vec::new(),
+                consumer_mask: 0,
             });
         }
+        let count = nodes.len();
+        if count <= MASK_BITS {
+            for node in &mut nodes {
+                for &consumer in &node.consumers {
+                    node.consumer_mask |= 1u128 << consumer;
+                }
+            }
+        }
+        let mut direct_feeds: [Vec<usize>; SensorChannel::COUNT] = Default::default();
+        let mut entry_masks = [0u128; SensorChannel::COUNT];
+        if count <= MASK_BITS {
+            for (i, node) in nodes.iter().enumerate() {
+                if let [PortSource::Channel(c)] = node.sources[..] {
+                    direct_feeds[c.index()].push(i);
+                } else {
+                    for source in &node.sources {
+                        if let PortSource::Channel(c) = source {
+                            entry_masks[c.index()] |= 1u128 << i;
+                        }
+                    }
+                }
+            }
+        }
+        let out_index = index_of[&program
+            .out_source()
+            .expect("validation guarantees an OUT statement")];
         Ok(HubRuntime {
             nodes,
-            out_source: program
-                .out_source()
-                .expect("validation guarantees an OUT statement"),
-            channel_seq: BTreeMap::new(),
+            out_index,
+            channel_entries,
+            direct_feeds,
+            entry_masks,
+            channel_seq: [0; SensorChannel::COUNT],
             wake_count: 0,
+            ready: vec![false; count],
+            fresh: vec![false; count],
+            wake_buf: Vec::new(),
         })
     }
 
@@ -188,45 +284,189 @@ impl HubRuntime {
         channel: SensorChannel,
         sample: f64,
     ) -> Result<Vec<WakeEvent>, HubError> {
-        let seq_entry = self.channel_seq.entry(channel).or_insert(0);
-        let seq = *seq_entry;
-        *seq_entry += 1;
+        self.push_samples(channel, std::slice::from_ref(&sample))
+            .map(<[WakeEvent]>::to_vec)
+    }
 
-        let sample_tag = Tagged::new(seq, sample);
-        // Results freshly produced during this pass, consumable by later
-        // nodes (statement order is topological).
-        let mut fresh: BTreeMap<NodeId, Tagged> = BTreeMap::new();
-        let mut wakes = Vec::new();
-
-        for node in &mut self.nodes {
-            let mut produced = None;
-            for (port, source) in node.sources.iter().enumerate() {
-                let input = match source {
-                    Source::Channel(c) if *c == channel => Some(&sample_tag),
-                    Source::Channel(_) => None,
-                    Source::Node(src) => fresh.get(src),
-                };
-                if let Some(input) = input {
-                    node.instance.feed(port, input)?;
-                    if let Some(result) = node.instance.take_result() {
-                        produced = Some(result);
-                    }
-                }
+    /// Feeds a batch of consecutive samples from one channel — the
+    /// allocation-free bulk form of [`HubRuntime::push_sample`].
+    ///
+    /// Equivalent to pushing each sample in order; the returned slice
+    /// holds every wake event the batch raised, in order, and borrows a
+    /// buffer that the next push reuses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`HubError::Exec`] an instance reports; samples
+    /// after the failing one are not consumed (wake events raised earlier
+    /// in the batch are discarded with the failed call, exactly as if the
+    /// caller had looped [`HubRuntime::push_sample`] and aborted on the
+    /// error).
+    pub fn push_samples(
+        &mut self,
+        channel: SensorChannel,
+        samples: &[f64],
+    ) -> Result<&[WakeEvent], HubError> {
+        self.wake_buf.clear();
+        if self.nodes.len() <= MASK_BITS {
+            for &sample in samples {
+                self.run_pass_masked(channel, sample)?;
             }
-            if let Some(result) = produced {
-                if node.instance.id() == self.out_source {
-                    if let Some(value) = result.value.as_scalar() {
-                        wakes.push(WakeEvent {
-                            seq: result.seq,
-                            value,
-                        });
-                    }
-                }
-                fresh.insert(node.instance.id(), result);
+        } else {
+            for &sample in samples {
+                self.run_pass_scan(channel, sample)?;
             }
         }
-        self.wake_count += wakes.len() as u64;
-        Ok(wakes)
+        Ok(&self.wake_buf)
+    }
+
+    /// One interpreter pass for programs that fit [`MASK_BITS`] nodes: the
+    /// ready/fresh flags live in two `u128` registers and the pass visits
+    /// only ready nodes. `trailing_zeros` drains the ready set in
+    /// increasing-index (topological) order, and a node's consumers always
+    /// have larger indices, so newly-readied bits are still ahead of the
+    /// cursor — this visits exactly the nodes the full scan would.
+    fn run_pass_masked(&mut self, channel: SensorChannel, sample: f64) -> Result<(), HubError> {
+        let ci = channel.index();
+        let seq = self.channel_seq[ci];
+        self.channel_seq[ci] += 1;
+
+        let mut ready: u128 = self.entry_masks[ci];
+        let mut fresh: u128 = 0;
+        // Single-source entry nodes have no upstream producers and no
+        // port to select, so feed them without consulting the ready set.
+        // They sit ahead of their consumers in index order, so running
+        // them first matches the scan pass's results exactly.
+        for &i in &self.direct_feeds[ci] {
+            let node = &mut self.nodes[i];
+            node.instance.clear_result();
+            node.instance.feed_ref(0, seq, ValueRef::Scalar(sample))?;
+            if node.instance.has_result() {
+                fresh |= 1u128 << i;
+                ready |= node.consumer_mask;
+                if i == self.out_index {
+                    let (out_seq, value) = node
+                        .instance
+                        .result_ref()
+                        .expect("has_result was just checked");
+                    if let Some(value) = value.as_scalar() {
+                        self.wake_buf.push(WakeEvent {
+                            seq: out_seq,
+                            value,
+                        });
+                        self.wake_count += 1;
+                    }
+                }
+            }
+        }
+        while ready != 0 {
+            let i = ready.trailing_zeros() as usize;
+            ready &= ready - 1;
+            // Producers precede consumers in statement order, so node i's
+            // active sources all live in `before`.
+            let (before, rest) = self.nodes.split_at_mut(i);
+            let node = &mut rest[0];
+            node.instance.clear_result();
+            for (port, source) in node.sources.iter().enumerate() {
+                match *source {
+                    PortSource::Channel(c) if c == channel => {
+                        node.instance
+                            .feed_ref(port, seq, ValueRef::Scalar(sample))?;
+                    }
+                    PortSource::Channel(_) => {}
+                    PortSource::Node(src) => {
+                        if fresh & (1u128 << src) != 0 {
+                            let (src_seq, value) = before[src]
+                                .instance
+                                .result_ref()
+                                .expect("fresh producer holds a result");
+                            node.instance.feed_ref(port, src_seq, value)?;
+                        }
+                    }
+                }
+            }
+            if node.instance.has_result() {
+                fresh |= 1u128 << i;
+                ready |= node.consumer_mask;
+                if i == self.out_index {
+                    let (out_seq, value) = node
+                        .instance
+                        .result_ref()
+                        .expect("has_result was just checked");
+                    if let Some(value) = value.as_scalar() {
+                        self.wake_buf.push(WakeEvent {
+                            seq: out_seq,
+                            value,
+                        });
+                        self.wake_count += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One interpreter pass: feed `sample` and propagate results down the
+    /// topologically-ordered node list, appending any wake-ups to
+    /// `wake_buf`. Fallback for programs too large for the mask pass.
+    fn run_pass_scan(&mut self, channel: SensorChannel, sample: f64) -> Result<(), HubError> {
+        let seq = self.channel_seq[channel.index()];
+        self.channel_seq[channel.index()] += 1;
+
+        self.ready.fill(false);
+        self.fresh.fill(false);
+        for &entry in &self.channel_entries[channel.index()] {
+            self.ready[entry] = true;
+        }
+
+        for i in 0..self.nodes.len() {
+            if !self.ready[i] {
+                continue;
+            }
+            // Producers precede consumers in statement order, so node i's
+            // active sources all live in `before`.
+            let (before, rest) = self.nodes.split_at_mut(i);
+            let node = &mut rest[0];
+            node.instance.clear_result();
+            for (port, source) in node.sources.iter().enumerate() {
+                match *source {
+                    PortSource::Channel(c) if c == channel => {
+                        node.instance
+                            .feed_ref(port, seq, ValueRef::Scalar(sample))?;
+                    }
+                    PortSource::Channel(_) => {}
+                    PortSource::Node(src) => {
+                        if self.fresh[src] {
+                            let (src_seq, value) = before[src]
+                                .instance
+                                .result_ref()
+                                .expect("fresh producer holds a result");
+                            node.instance.feed_ref(port, src_seq, value)?;
+                        }
+                    }
+                }
+            }
+            if node.instance.has_result() {
+                self.fresh[i] = true;
+                for &consumer in &node.consumers {
+                    self.ready[consumer] = true;
+                }
+                if i == self.out_index {
+                    let (out_seq, value) = node
+                        .instance
+                        .result_ref()
+                        .expect("has_result was just checked");
+                    if let Some(value) = value.as_scalar() {
+                        self.wake_buf.push(WakeEvent {
+                            seq: out_seq,
+                            value,
+                        });
+                        self.wake_count += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Clears all instance state and counters, keeping the configuration.
@@ -234,8 +474,9 @@ impl HubRuntime {
         for node in &mut self.nodes {
             node.instance.reset();
         }
-        self.channel_seq.clear();
+        self.channel_seq = [0; SensorChannel::COUNT];
         self.wake_count = 0;
+        self.wake_buf.clear();
     }
 }
 

@@ -50,6 +50,74 @@ impl Value {
     }
 }
 
+/// A borrowed view of a [`Value`], used on the interpreter hot path so
+/// fan-out to multiple consumers passes windows and spectra by reference
+/// instead of cloning them per edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    /// One number.
+    Scalar(f64),
+    /// A window of real samples or a magnitude spectrum.
+    Vector(&'a [f64]),
+    /// A complex spectrum produced by `fft`.
+    Spectrum(&'a [Complex]),
+}
+
+impl ValueRef<'_> {
+    /// The IR-level type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            ValueRef::Scalar(_) => ValueType::Scalar,
+            ValueRef::Vector(_) => ValueType::Vector,
+            ValueRef::Spectrum(_) => ValueType::Spectrum,
+        }
+    }
+
+    /// The scalar payload, if this is a scalar.
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            ValueRef::Scalar(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The vector payload, if this is a vector.
+    pub fn as_vector(&self) -> Option<&[f64]> {
+        match self {
+            ValueRef::Vector(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The spectrum payload, if this is a spectrum.
+    pub fn as_spectrum(&self) -> Option<&[Complex]> {
+        match self {
+            ValueRef::Spectrum(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Copies the view into an owned [`Value`].
+    pub fn to_owned(self) -> Value {
+        match self {
+            ValueRef::Scalar(x) => Value::Scalar(x),
+            ValueRef::Vector(v) => Value::Vector(v.to_vec()),
+            ValueRef::Spectrum(s) => Value::Spectrum(s.to_vec()),
+        }
+    }
+}
+
+impl Value {
+    /// Borrows this value as a [`ValueRef`].
+    pub fn as_ref(&self) -> ValueRef<'_> {
+        match self {
+            Value::Scalar(x) => ValueRef::Scalar(*x),
+            Value::Vector(v) => ValueRef::Vector(v),
+            Value::Spectrum(s) => ValueRef::Spectrum(s),
+        }
+    }
+}
+
 impl From<f64> for Value {
     fn from(x: f64) -> Self {
         Value::Scalar(x)

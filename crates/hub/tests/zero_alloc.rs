@@ -1,0 +1,120 @@
+//! Steady-state allocation audit of the hub hot path.
+//!
+//! The interpreter promises that once every instance's scratch buffers
+//! have warmed up, feeding samples performs no heap allocation at all —
+//! the property that makes the hot path cache-friendly and its latency
+//! flat. This test pins it with a counting global allocator: replaying
+//! the steps wake-up condition (including wake emissions) after warm-up
+//! must leave the allocation counter untouched.
+//!
+//! Lives in its own integration-test binary because `#[global_allocator]`
+//! is process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+use sidewinder_ir::Program;
+use sidewinder_sensors::SensorChannel;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The steps accelerometer drive: walking bursts (outside the ±2 band,
+/// raising wakes) alternating with rest.
+fn step_signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| if (i / 40) % 2 == 0 { 3.5 } else { 0.2 })
+        .collect()
+}
+
+#[test]
+fn steps_steady_state_performs_zero_allocations() {
+    let program: Program = include_str!("../../ir/tests/fixtures/steps.swir")
+        .parse()
+        .unwrap();
+    let mut hub = HubRuntime::load(&program, &ChannelRates::default()).unwrap();
+    let samples = step_signal(8192);
+
+    // Warm-up: fills the moving-average buffer and grows the wake buffer
+    // to this batch's wake count.
+    let warm_wakes = hub
+        .push_samples(SensorChannel::AccX, &samples)
+        .unwrap()
+        .len();
+    assert!(
+        warm_wakes > 0,
+        "warm-up must raise wakes to size the buffer"
+    );
+
+    // Steady state: the same batch again must not touch the allocator.
+    let before = allocations();
+    let wakes = hub
+        .push_samples(SensorChannel::AccX, &samples)
+        .unwrap()
+        .len();
+    let after = allocations();
+    assert!(wakes > 0, "steady-state batch must still raise wakes");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state push_samples allocated {} times over {} samples",
+        after - before,
+        samples.len()
+    );
+}
+
+/// The windowed music condition also reaches an allocation-free steady
+/// state for its per-sample work; only the per-window ZCR feature (a
+/// handful of sub-window rates every 2048 samples) may allocate. Assert
+/// the per-sample path stays clean by bounding the whole batch to the
+/// four window emissions.
+#[test]
+fn music_per_sample_path_does_not_allocate() {
+    let program: Program = include_str!("../../ir/tests/fixtures/music.swir")
+        .parse()
+        .unwrap();
+    let mut hub = HubRuntime::load(&program, &ChannelRates::default()).unwrap();
+    let samples: Vec<f64> = (0..8192).map(|i| (i as f64 * 0.785).sin()).collect();
+
+    hub.push_samples(SensorChannel::Mic, &samples).unwrap();
+
+    let before = allocations();
+    hub.push_samples(SensorChannel::Mic, &samples).unwrap();
+    let after = allocations();
+    // 8192 samples, 4 zcrVariance windows: two small vectors each.
+    assert!(
+        after - before <= 8,
+        "music batch allocated {} times (expected only per-window ZCR scratch)",
+        after - before
+    );
+}

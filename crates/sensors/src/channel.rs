@@ -22,6 +22,9 @@ pub enum SensorChannel {
 }
 
 impl SensorChannel {
+    /// Number of channels (the length of [`SensorChannel::ALL`]).
+    pub const COUNT: usize = 4;
+
     /// All channels, in canonical order.
     pub const ALL: [SensorChannel; 4] = [
         SensorChannel::AccX,
@@ -29,6 +32,17 @@ impl SensorChannel {
         SensorChannel::AccZ,
         SensorChannel::Mic,
     ];
+
+    /// Dense index of this channel within [`SensorChannel::ALL`]; lets
+    /// per-channel state live in a fixed array instead of a map.
+    pub fn index(self) -> usize {
+        match self {
+            SensorChannel::AccX => 0,
+            SensorChannel::AccY => 1,
+            SensorChannel::AccZ => 2,
+            SensorChannel::Mic => 3,
+        }
+    }
 
     /// The three accelerometer axes, in x/y/z order.
     pub const ACCEL: [SensorChannel; 3] = [

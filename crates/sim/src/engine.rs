@@ -325,7 +325,10 @@ fn hub_wake(
     let mut hub = HubRuntime::load(program, &rates)?;
 
     // Replay samples in time order across the program's channels and
-    // collect wake times.
+    // collect wake times. Consecutive samples from one channel are pushed
+    // as a single batch; the batch boundary reproduces the serial pick
+    // exactly (first channel index with a strictly minimal time wins), so
+    // the hub sees the samples in the identical order.
     let mut wake_times: Vec<Micros> = Vec::new();
     let mut cursors: Vec<(sidewinder_sensors::SensorChannel, usize)> =
         channels.iter().map(|&c| (c, 0usize)).collect();
@@ -341,14 +344,40 @@ fn hub_wake(
                 }
             }
         }
-        let Some((i, t)) = best else { break };
+        let Some((i, _)) = best else { break };
         let (channel, idx) = cursors[i];
         let series = trace.channel(channel).expect("checked above");
-        let sample = series.samples()[idx];
-        cursors[i].1 += 1;
-        if !hub.push_sample(channel, sample)?.is_empty() {
-            wake_times.push(t);
+        // The other channels' next-sample times are fixed while this
+        // channel runs, so the run extends as long as this channel keeps
+        // winning the serial pick: strictly earlier than channels at a
+        // smaller index, no later than channels at a larger index.
+        let mut before_min: Option<Micros> = None;
+        let mut after_min: Option<Micros> = None;
+        for (j, &(other, jdx)) in cursors.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let other_series = trace.channel(other).expect("checked above");
+            if jdx < other_series.len() {
+                let tj = other_series.time_of(jdx);
+                let slot = if j < i {
+                    &mut before_min
+                } else {
+                    &mut after_min
+                };
+                *slot = Some(slot.map_or(tj, |m| m.min(tj)));
+            }
         }
+        let wins = |t: Micros| before_min.is_none_or(|m| t < m) && after_min.is_none_or(|m| t <= m);
+        let mut end = idx + 1;
+        while end < series.len() && wins(series.time_of(end)) {
+            end += 1;
+        }
+        cursors[i].1 = end;
+        // Within one channel, a sample's sequence number is its series
+        // index, so each wake's trigger time is recoverable from its tag.
+        let wakes = hub.push_samples(channel, &series.samples()[idx..end])?;
+        wake_times.extend(wakes.iter().map(|w| series.time_of(w.seq as usize)));
     }
 
     // Each wake keeps the phone up briefly; close wakes merge into a

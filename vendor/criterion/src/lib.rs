@@ -8,9 +8,20 @@
 //! sample it runs enough iterations to cover ~5 ms, takes the minimum
 //! over the samples (least-noise estimator), and prints one line per
 //! benchmark. No statistical analysis, no HTML reports.
+//!
+//! Two extras the workspace's tooling relies on:
+//!
+//! * **Smoke mode** — like the real crate, `cargo bench -- --test` runs
+//!   every benchmark body exactly once without timing it, so CI can
+//!   verify the benches still execute without paying for measurement.
+//! * **Record capture** — every completed measurement is appended to a
+//!   process-wide list that [`take_records`] drains, letting report
+//!   binaries (e.g. `perfreport`) reuse the bench definitions and emit
+//!   machine-readable output instead of scraping stdout.
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export so `criterion::black_box` call sites work.
@@ -54,15 +65,46 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// One completed measurement, captured for machine-readable reporting.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark id (`group/name` for grouped benches).
+    pub id: String,
+    /// Best-of-samples time per iteration in nanoseconds.
+    pub ns_per_iter: f64,
+    /// The group's throughput declaration, if any.
+    pub throughput: Option<Throughput>,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded since the last call (or process
+/// start). Smoke-mode runs record nothing.
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut *RECORDS.lock().expect("records lock"))
+}
+
+/// `cargo bench -- --test` parity with the real crate: run each bench
+/// body once, skip measurement.
+fn smoke_requested() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Collects timing for one benchmark via [`Bencher::iter`].
 pub struct Bencher {
     samples: usize,
+    smoke: bool,
     result: Option<Duration>,
 }
 
 impl Bencher {
-    /// Times `f`, storing the per-iteration minimum across samples.
+    /// Times `f`, storing the per-iteration minimum across samples. In
+    /// smoke mode runs `f` once and stores nothing.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            std_black_box(f());
+            return;
+        }
         // Warm-up and calibration: target ~5 ms per sample.
         let start = Instant::now();
         std_black_box(f());
@@ -81,11 +123,20 @@ impl Bencher {
     }
 }
 
-fn report(id: &str, result: Option<Duration>, throughput: Option<Throughput>) {
+fn report(id: &str, result: Option<Duration>, throughput: Option<Throughput>, smoke: bool) {
+    if smoke {
+        println!("{id:<40} smoke: ran once, ok");
+        return;
+    }
     let Some(d) = result else {
         println!("{id:<40} (no measurement)");
         return;
     };
+    RECORDS.lock().expect("records lock").push(BenchRecord {
+        id: id.to_string(),
+        ns_per_iter: d.as_nanos() as f64,
+        throughput,
+    });
     let ns = d.as_nanos() as f64;
     let time = if ns < 1_000.0 {
         format!("{ns:.1} ns")
@@ -112,11 +163,15 @@ fn report(id: &str, result: Option<Duration>, throughput: Option<Throughput>) {
 /// Top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            smoke: smoke_requested(),
+        }
     }
 }
 
@@ -135,10 +190,11 @@ impl Criterion {
         let id = id.into();
         let mut b = Bencher {
             samples: self.sample_size,
+            smoke: self.smoke,
             result: None,
         };
         f(&mut b);
-        report(&id.id, b.result, None);
+        report(&id.id, b.result, None, self.smoke);
         self
     }
 
@@ -147,6 +203,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.sample_size,
+            smoke: self.smoke,
             throughput: None,
             _parent: self,
         }
@@ -158,6 +215,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    smoke: bool,
     throughput: Option<Throughput>,
     _parent: &'a mut Criterion,
 }
@@ -183,6 +241,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut b = Bencher {
             samples: self.sample_size,
+            smoke: self.smoke,
             result: None,
         };
         f(&mut b);
@@ -190,6 +249,7 @@ impl BenchmarkGroup<'_> {
             &format!("{}/{}", self.name, id.id),
             b.result,
             self.throughput,
+            self.smoke,
         );
         self
     }
@@ -207,6 +267,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut b = Bencher {
             samples: self.sample_size,
+            smoke: self.smoke,
             result: None,
         };
         f(&mut b, input);
@@ -214,6 +275,7 @@ impl BenchmarkGroup<'_> {
             &format!("{}/{}", self.name, id.id),
             b.result,
             self.throughput,
+            self.smoke,
         );
         self
     }
