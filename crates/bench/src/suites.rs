@@ -90,7 +90,7 @@ pub fn bench_fusion(c: &mut Criterion) {
     });
     group.bench_function("one_fused_runtime", |b| {
         let plan = FusedPlan::fuse(&[&program, &program]).unwrap();
-        let mut fused = FusedRuntime::load(&plan, &ChannelRates::default());
+        let mut fused = FusedRuntime::load(&plan, &ChannelRates::default()).unwrap();
         b.iter(|| {
             let mut wakes = 0usize;
             for &s in &samples {

@@ -222,7 +222,13 @@ fn dense(n: NodeId) -> usize {
 
 impl FusedRuntime {
     /// Loads a fused plan with the given channel rates.
-    pub fn load(plan: &FusedPlan, rates: &ChannelRates) -> FusedRuntime {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HubError::Exec`] if an algorithm parameter is unusable —
+    /// the input programs are validated, but instantiation stays fallible
+    /// so malformed plans error instead of panicking.
+    pub fn load(plan: &FusedPlan, rates: &ChannelRates) -> Result<FusedRuntime, HubError> {
         let mut node_rates: BTreeMap<NodeId, f64> = BTreeMap::new();
         let mut nodes: Vec<FusedInstance> = Vec::new();
         let mut channel_entries: [Vec<usize>; SensorChannel::COUNT] = Default::default();
@@ -246,20 +252,20 @@ impl FusedRuntime {
                 }
             }
             nodes.push(FusedInstance {
-                instance: AlgoInstance::new(id, &node.kind, node.sources.len(), rate),
+                instance: AlgoInstance::new(id, &node.kind, node.sources.len(), rate)?,
                 sources: node.sources.clone(),
                 consumers: Vec::new(),
             });
         }
         let count = nodes.len();
-        FusedRuntime {
+        Ok(FusedRuntime {
             nodes,
             outs: plan.outs.iter().map(|&n| dense(n)).collect(),
             channel_entries,
             channel_seq: [0; SensorChannel::COUNT],
             ready: vec![false; count],
             fresh: vec![false; count],
-        }
+        })
     }
 
     /// Feeds one sample; returns `(program_index, wake)` pairs for every
@@ -424,7 +430,7 @@ mod tests {
         let low = sig_motion(5.0);
         let high = sig_motion(50.0);
         let plan = FusedPlan::fuse(&[&low, &high]).unwrap();
-        let mut rt = FusedRuntime::load(&plan, &ChannelRates::default());
+        let mut rt = FusedRuntime::load(&plan, &ChannelRates::default()).unwrap();
         let mut low_wakes = 0;
         let mut high_wakes = 0;
         for _ in 0..20 {
@@ -447,7 +453,7 @@ mod tests {
         use sidewinder_hub::runtime::HubRuntime;
         let a = sig_motion(8.0);
         let plan = FusedPlan::fuse(&[&a]).unwrap();
-        let mut fused = FusedRuntime::load(&plan, &ChannelRates::default());
+        let mut fused = FusedRuntime::load(&plan, &ChannelRates::default()).unwrap();
         let mut solo = HubRuntime::load(&a, &ChannelRates::default()).unwrap();
         for i in 0..60 {
             let x = (i as f64 * 0.37).sin() * 12.0;

@@ -10,11 +10,13 @@
 use crate::compile::CompileError;
 use crate::listener::{ConditionId, DataDelivery, SensorEvent, SensorEventListener};
 use crate::pipeline::ProcessingPipeline;
+use sidewinder_hub::fault::{HUB_REBOOT_TIME, PROBE_FRAME_BYTES};
+use sidewinder_hub::link::SerialLink;
 use sidewinder_hub::mcu::{CapacityError, Mcu};
 use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
 use sidewinder_hub::HubError;
 use sidewinder_ir::Program;
-use sidewinder_sensors::SensorChannel;
+use sidewinder_sensors::{Micros, SensorChannel};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Errors raised while registering or running wake-up conditions.
@@ -68,6 +70,21 @@ impl From<CapacityError> for ManagerError {
     fn from(e: CapacityError) -> Self {
         ManagerError::Capacity(e)
     }
+}
+
+/// Accounting for one hub-reset recovery pass: what was re-downloaded and
+/// how long the hub was out of service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Conditions whose runtimes were cleared and re-armed.
+    pub conditions_reloaded: usize,
+    /// Total program bytes pushed back over the serial link.
+    pub bytes_redownloaded: usize,
+    /// Link time spent on the re-download alone (CRC-framed).
+    pub redownload_time: Micros,
+    /// End-to-end outage: reboot, then a health-probe round trip, then
+    /// the re-download.
+    pub total_time: Micros,
 }
 
 /// A registered condition: its compiled program, sized MCU, hub runtime,
@@ -286,6 +303,35 @@ impl SidewinderSensorManager {
             .map(|c| c.runtime.wake_count())
     }
 
+    /// Time for one health-probe round trip on `link`: a probe frame out
+    /// and its echo back, both CRC-framed. The phone sends one after a
+    /// transfer timeout to distinguish a lost frame from a dead hub.
+    pub fn probe_time(link: &SerialLink) -> Micros {
+        link.framed_transfer_time(PROBE_FRAME_BYTES) * 2
+    }
+
+    /// Recovers from a hub watchdog reset: every registered condition's
+    /// runtime state is gone, so each is cleared and re-armed, and the
+    /// compiled programs are re-downloaded over `link`.
+    ///
+    /// Returns the accounting the caller charges through its power model:
+    /// reboot time, one probe round trip (confirming the hub is back),
+    /// and the CRC-framed re-download of every program.
+    pub fn on_hub_reset(&mut self, link: &SerialLink) -> RecoveryReport {
+        let mut bytes = 0usize;
+        for condition in &mut self.conditions {
+            condition.runtime.reset();
+            bytes += condition.program.to_string().len();
+        }
+        let redownload_time = link.framed_transfer_time(bytes);
+        RecoveryReport {
+            conditions_reloaded: self.conditions.len(),
+            bytes_redownloaded: bytes,
+            redownload_time,
+            total_time: HUB_REBOOT_TIME + Self::probe_time(link) + redownload_time,
+        }
+    }
+
     /// The hub's always-on power draw in milliwatts: the most expensive
     /// microcontroller any registered condition needs (one hub serves all
     /// conditions, sized for the most demanding).
@@ -473,6 +519,50 @@ mod tests {
         let events = events.borrow();
         assert!(!events.is_empty());
         assert!(events.iter().all(|e| e.data.is_empty()));
+    }
+
+    #[test]
+    fn hub_reset_recovery_rearms_conditions() {
+        let mut m = SidewinderSensorManager::new();
+        let events = Rc::new(RefCell::new(0usize));
+        let sink = events.clone();
+        let id = m
+            .push(&significant_motion(15.0), move |_: &SensorEvent| {
+                *sink.borrow_mut() += 1;
+            })
+            .unwrap();
+        for _ in 0..20 {
+            for c in SensorChannel::ACCEL {
+                m.on_sample(c, 12.0).unwrap();
+            }
+        }
+        let before_reset = *events.borrow();
+        assert!(before_reset > 0);
+
+        let report = m.on_hub_reset(&SerialLink::NEXUS4_UART);
+        assert_eq!(report.conditions_reloaded, 1);
+        assert!(report.bytes_redownloaded > 0);
+        assert!(report.redownload_time > Micros::ZERO);
+        assert!(report.total_time > HUB_REBOOT_TIME + report.redownload_time);
+        // Reset clears hub-side state, including wake counters…
+        assert_eq!(m.wake_count(id), Some(0));
+
+        // …and the condition keeps firing on fresh data afterwards.
+        for _ in 0..20 {
+            for c in SensorChannel::ACCEL {
+                m.on_sample(c, 12.0).unwrap();
+            }
+        }
+        assert!(*events.borrow() > before_reset);
+        assert!(m.wake_count(id).unwrap() > 0);
+    }
+
+    #[test]
+    fn probe_time_scales_with_link_speed() {
+        let fast = SidewinderSensorManager::probe_time(&SerialLink::NEXUS4_UART);
+        let slow = SidewinderSensorManager::probe_time(&SerialLink::new(9_600));
+        assert!(slow > fast);
+        assert!(fast > Micros::ZERO);
     }
 
     #[test]

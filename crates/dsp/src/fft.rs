@@ -432,14 +432,32 @@ mod tests {
         let mags = real_fft_magnitudes(&signal);
         let bin = frequency_to_bin(f, n, rate);
         assert_eq!(bin, 16);
-        let (peak_bin, _) = mags
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
+        let (peak_bin, _) = rank_peak(&mags).unwrap();
         assert_eq!(peak_bin, bin);
         // A unit-amplitude cosine carries N/2 magnitude in its bin.
         assert_close(mags[bin], n as f64 / 2.0, 1e-9);
+    }
+
+    /// Largest-magnitude bin with a NaN-total ordering (the comparison
+    /// `dsp::spectral::dominant_bin` uses): a NaN anywhere in the spectrum
+    /// must not panic the ranking.
+    fn rank_peak(mags: &[f64]) -> Option<(usize, f64)> {
+        mags.iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    #[test]
+    fn magnitude_ranking_survives_nan() {
+        // A corrupted sample can push a NaN through the whole transform;
+        // ranking with a partial order would panic here.
+        let mags = [1.0, f64::NAN, 7.0, 3.0];
+        let (peak_bin, peak) = rank_peak(&mags).unwrap();
+        assert_eq!(peak_bin, 2);
+        assert_eq!(peak, 7.0);
+        assert!(rank_peak(&[f64::NAN, f64::NAN]).is_some());
+        assert!(rank_peak(&[]).is_none());
     }
 
     #[test]

@@ -43,6 +43,15 @@ pub enum ExecError {
         /// The offending port index.
         port: usize,
     },
+    /// An algorithm parameter that static validation should have rejected
+    /// reached instantiation — the shape a corrupted program re-download
+    /// produces if it slips past the parser.
+    BadParameter {
+        /// The node that failed.
+        id: NodeId,
+        /// What is wrong with the parameter.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -56,6 +65,9 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::BadPort { id, port } => {
                 write!(f, "node {id}: no input port {port}")
+            }
+            ExecError::BadParameter { id, what } => {
+                write!(f, "node {id}: invalid parameter: {what}")
             }
         }
     }
@@ -174,21 +186,47 @@ impl AlgoInstance {
     /// `ports` is the number of input edges (only aggregators use more
     /// than one) and `rate_hz` the sample rate of the data arriving on the
     /// node's input path, needed by frequency-aware stages.
-    pub fn new(id: NodeId, kind: &AlgorithmKind, ports: usize, rate_hz: f64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadParameter`] when an algorithm parameter is
+    /// unusable (zero-size window, out-of-range smoothing factor).
+    /// Validation rejects these statically, but a malformed program that
+    /// bypasses validation must surface an error here, not panic the hub.
+    pub fn new(
+        id: NodeId,
+        kind: &AlgorithmKind,
+        ports: usize,
+        rate_hz: f64,
+    ) -> Result<Self, ExecError> {
         let state = match *kind {
             AlgorithmKind::Window { size, hop, shape } => AlgoState::Window(
-                Windower::new(size as usize, hop as usize, convert_shape(shape))
-                    .expect("validated window geometry"),
+                Windower::new(size as usize, hop as usize, convert_shape(shape)).map_err(|_| {
+                    ExecError::BadParameter {
+                        id,
+                        what: "window size and hop must be positive",
+                    }
+                })?,
             ),
             AlgorithmKind::Fft => AlgoState::Fft { plan: None },
             AlgorithmKind::Ifft => AlgoState::Ifft { plan: None },
             AlgorithmKind::SpectralMagnitude => AlgoState::SpectralMagnitude,
             AlgorithmKind::MovingAvg { window } => {
-                AlgoState::MovingAvg(MovingAverage::new(window as usize).expect("validated window"))
+                AlgoState::MovingAvg(MovingAverage::new(window as usize).map_err(|_| {
+                    ExecError::BadParameter {
+                        id,
+                        what: "moving-average window must be positive",
+                    }
+                })?)
             }
-            AlgorithmKind::ExpMovingAvg { alpha } => AlgoState::ExpMovingAvg(
-                ExponentialMovingAverage::new(alpha).expect("validated alpha"),
-            ),
+            AlgorithmKind::ExpMovingAvg { alpha } => {
+                AlgoState::ExpMovingAvg(ExponentialMovingAverage::new(alpha).map_err(|_| {
+                    ExecError::BadParameter {
+                        id,
+                        what: "smoothing factor must be in (0, 1]",
+                    }
+                })?)
+            }
             AlgorithmKind::LowPass { cutoff_hz } => AlgoState::LowPass {
                 cutoff_hz,
                 rate_hz,
@@ -222,11 +260,11 @@ impl AlgoInstance {
             },
             AlgorithmKind::AnyOf => AlgoState::AnyOf,
         };
-        AlgoInstance {
+        Ok(AlgoInstance {
             id,
             state,
             out: ResultSlot::default(),
-        }
+        })
     }
 
     /// The node id.
@@ -431,7 +469,9 @@ impl AlgoInstance {
                         StatFn::Mean => summary.mean,
                         StatFn::Variance => summary.variance,
                         StatFn::StdDev => summary.std_dev(),
-                        StatFn::MeanAbs => stats::mean_abs(window).unwrap(),
+                        StatFn::MeanAbs => {
+                            stats::mean_abs(window).ok_or(ExecError::TypeError { id })?
+                        }
                         StatFn::Rms => summary.rms,
                         StatFn::Energy => stats::energy(window),
                         StatFn::Min => summary.min,
@@ -608,7 +648,7 @@ mod tests {
         // §3.5: "A moving average with a window size of N will not produce
         // a result until it has received N data points."
         let mut inst =
-            AlgoInstance::new(NodeId(1), &AlgorithmKind::MovingAvg { window: 3 }, 1, 50.0);
+            AlgoInstance::new(NodeId(1), &AlgorithmKind::MovingAvg { window: 3 }, 1, 50.0).unwrap();
         assert!(!inst.has_result());
         assert_eq!(feed_scalar(&mut inst, 0, 3.0), None);
         assert_eq!(feed_scalar(&mut inst, 1, 6.0), None);
@@ -622,7 +662,8 @@ mod tests {
             &AlgorithmKind::MinThreshold { threshold: 5.0 },
             1,
             50.0,
-        );
+        )
+        .unwrap();
         assert_eq!(feed_scalar(&mut inst, 0, 4.9), None);
         assert_eq!(feed_scalar(&mut inst, 1, 5.0), Some(5.0));
         assert_eq!(feed_scalar(&mut inst, 2, 7.5), Some(7.5));
@@ -635,7 +676,8 @@ mod tests {
             &AlgorithmKind::MaxThreshold { threshold: -3.75 },
             1,
             50.0,
-        );
+        )
+        .unwrap();
         assert_eq!(feed_scalar(&mut max, 0, -1.0), None);
         assert_eq!(feed_scalar(&mut max, 1, -5.0), Some(-5.0));
 
@@ -644,7 +686,8 @@ mod tests {
             &AlgorithmKind::BandThreshold { lo: 2.5, hi: 4.5 },
             1,
             50.0,
-        );
+        )
+        .unwrap();
         assert_eq!(feed_scalar(&mut band, 0, 2.0), None);
         assert_eq!(feed_scalar(&mut band, 1, 3.0), Some(3.0));
         assert_eq!(feed_scalar(&mut band, 2, 5.0), None);
@@ -654,7 +697,8 @@ mod tests {
             &AlgorithmKind::OutsideThreshold { lo: -1.0, hi: 1.0 },
             1,
             50.0,
-        );
+        )
+        .unwrap();
         assert_eq!(feed_scalar(&mut outside, 0, 0.0), None);
         assert_eq!(feed_scalar(&mut outside, 1, 2.0), Some(2.0));
         assert_eq!(feed_scalar(&mut outside, 2, -2.0), Some(-2.0));
@@ -662,7 +706,8 @@ mod tests {
 
     #[test]
     fn vector_magnitude_waits_for_all_ports() {
-        let mut vm = AlgoInstance::new(NodeId(4), &AlgorithmKind::VectorMagnitude, 3, 50.0);
+        let mut vm =
+            AlgoInstance::new(NodeId(4), &AlgorithmKind::VectorMagnitude, 3, 50.0).unwrap();
         vm.feed(0, &scalar(0, 3.0)).unwrap();
         assert!(!vm.has_result());
         vm.feed(1, &scalar(0, 4.0)).unwrap();
@@ -686,7 +731,8 @@ mod tests {
             },
             1,
             8000.0,
-        );
+        )
+        .unwrap();
         let mut windows = 0;
         for i in 0..12 {
             w.feed(0, &scalar(i, i as f64)).unwrap();
@@ -713,10 +759,12 @@ mod tests {
             },
             1,
             rate,
-        );
-        let mut fft_node = AlgoInstance::new(NodeId(2), &AlgorithmKind::Fft, 1, rate);
-        let mut mag = AlgoInstance::new(NodeId(3), &AlgorithmKind::SpectralMagnitude, 1, rate);
-        let mut dom = AlgoInstance::new(NodeId(4), &AlgorithmKind::DominantFreq, 1, rate);
+        )
+        .unwrap();
+        let mut fft_node = AlgoInstance::new(NodeId(2), &AlgorithmKind::Fft, 1, rate).unwrap();
+        let mut mag =
+            AlgoInstance::new(NodeId(3), &AlgorithmKind::SpectralMagnitude, 1, rate).unwrap();
+        let mut dom = AlgoInstance::new(NodeId(4), &AlgorithmKind::DominantFreq, 1, rate).unwrap();
 
         let mut freq_out = None;
         for i in 0..n as u64 {
@@ -739,7 +787,8 @@ mod tests {
     #[test]
     fn dominant_ratio_flags_pitched_windows() {
         let rate = 8000.0;
-        let mut ratio = AlgoInstance::new(NodeId(1), &AlgorithmKind::DominantRatio, 1, rate);
+        let mut ratio =
+            AlgoInstance::new(NodeId(1), &AlgorithmKind::DominantRatio, 1, rate).unwrap();
         // Peaked magnitude spectrum (as if from a siren).
         let mut mags = vec![0.1; 129];
         mags[40] = 30.0;
@@ -763,7 +812,8 @@ mod tests {
             },
             1,
             8000.0,
-        );
+        )
+        .unwrap();
         assert_eq!(feed_scalar(&mut s, 256, 1.0), None);
         assert_eq!(feed_scalar(&mut s, 512, 1.0), None);
         assert_eq!(feed_scalar(&mut s, 768, 1.0), Some(1.0));
@@ -775,13 +825,13 @@ mod tests {
 
     #[test]
     fn all_of_and_any_of_join_semantics() {
-        let mut all = AlgoInstance::new(NodeId(1), &AlgorithmKind::AllOf, 2, 50.0);
+        let mut all = AlgoInstance::new(NodeId(1), &AlgorithmKind::AllOf, 2, 50.0).unwrap();
         all.feed(0, &scalar(0, 1.0)).unwrap();
         assert!(!all.has_result());
         all.feed(1, &scalar(0, 2.0)).unwrap();
         assert_eq!(all.take_result().unwrap().value.as_scalar(), Some(2.0));
 
-        let mut any = AlgoInstance::new(NodeId(2), &AlgorithmKind::AnyOf, 2, 50.0);
+        let mut any = AlgoInstance::new(NodeId(2), &AlgorithmKind::AnyOf, 2, 50.0).unwrap();
         any.feed(1, &scalar(0, 7.0)).unwrap();
         assert_eq!(any.take_result().unwrap().value.as_scalar(), Some(7.0));
     }
@@ -798,7 +848,7 @@ mod tests {
             (StatFn::Energy, 30.0),
         ];
         for (s, expected) in cases {
-            let mut inst = AlgoInstance::new(NodeId(1), &AlgorithmKind::Stat(s), 1, 50.0);
+            let mut inst = AlgoInstance::new(NodeId(1), &AlgorithmKind::Stat(s), 1, 50.0).unwrap();
             inst.feed(0, &window).unwrap();
             let got = inst.take_result().unwrap().value.as_scalar().unwrap();
             assert!((got - expected).abs() < 1e-9, "{s:?}: {got} != {expected}");
@@ -812,7 +862,8 @@ mod tests {
             &AlgorithmKind::ZcrVariance { sub_windows: 4 },
             1,
             8000.0,
-        );
+        )
+        .unwrap();
         // Half alternating, half constant → non-zero variance.
         let mut samples: Vec<f64> = (0..32)
             .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
@@ -825,7 +876,7 @@ mod tests {
 
     #[test]
     fn type_errors_are_reported() {
-        let mut fft_node = AlgoInstance::new(NodeId(9), &AlgorithmKind::Fft, 1, 8000.0);
+        let mut fft_node = AlgoInstance::new(NodeId(9), &AlgorithmKind::Fft, 1, 8000.0).unwrap();
         let err = fft_node.feed(0, &scalar(0, 1.0)).unwrap_err();
         assert_eq!(err, ExecError::TypeError { id: NodeId(9) });
         assert!(err.to_string().contains("node 9"));
@@ -833,7 +884,7 @@ mod tests {
 
     #[test]
     fn bad_transform_length_is_reported() {
-        let mut fft_node = AlgoInstance::new(NodeId(3), &AlgorithmKind::Fft, 1, 8000.0);
+        let mut fft_node = AlgoInstance::new(NodeId(3), &AlgorithmKind::Fft, 1, 8000.0).unwrap();
         let err = fft_node
             .feed(0, &Tagged::new(0, vec![0.0; 100]))
             .unwrap_err();
@@ -848,7 +899,8 @@ mod tests {
 
     #[test]
     fn bad_port_is_reported() {
-        let mut vm = AlgoInstance::new(NodeId(5), &AlgorithmKind::VectorMagnitude, 2, 50.0);
+        let mut vm =
+            AlgoInstance::new(NodeId(5), &AlgorithmKind::VectorMagnitude, 2, 50.0).unwrap();
         let err = vm.feed(5, &scalar(0, 1.0)).unwrap_err();
         assert_eq!(
             err,
@@ -862,8 +914,8 @@ mod tests {
     #[test]
     fn ifft_round_trips_through_fft() {
         let n = 64;
-        let mut fft_node = AlgoInstance::new(NodeId(1), &AlgorithmKind::Fft, 1, 8000.0);
-        let mut ifft_node = AlgoInstance::new(NodeId(2), &AlgorithmKind::Ifft, 1, 8000.0);
+        let mut fft_node = AlgoInstance::new(NodeId(1), &AlgorithmKind::Fft, 1, 8000.0).unwrap();
+        let mut ifft_node = AlgoInstance::new(NodeId(2), &AlgorithmKind::Ifft, 1, 8000.0).unwrap();
         let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
         fft_node.feed(0, &Tagged::new(0, signal.clone())).unwrap();
         let spectrum = fft_node.take_result().unwrap();
@@ -876,7 +928,8 @@ mod tests {
 
     #[test]
     fn reset_clears_state() {
-        let mut ma = AlgoInstance::new(NodeId(1), &AlgorithmKind::MovingAvg { window: 2 }, 1, 50.0);
+        let mut ma =
+            AlgoInstance::new(NodeId(1), &AlgorithmKind::MovingAvg { window: 2 }, 1, 50.0).unwrap();
         feed_scalar(&mut ma, 0, 100.0);
         ma.reset();
         assert_eq!(feed_scalar(&mut ma, 1, 1.0), None);
@@ -890,10 +943,53 @@ mod tests {
             },
             1,
             50.0,
-        );
+        )
+        .unwrap();
         feed_scalar(&mut s, 0, 1.0);
         s.reset();
         assert_eq!(feed_scalar(&mut s, 1, 1.0), None);
+    }
+
+    #[test]
+    fn bad_parameters_error_instead_of_panicking() {
+        // These kinds are rejected by validation, but a malformed program
+        // that bypasses it (the shape a corrupted re-download produces)
+        // must surface a typed error, not panic the hub.
+        let zero_window = AlgorithmKind::Window {
+            size: 0,
+            hop: 0,
+            shape: WindowShapeParam::Rectangular,
+        };
+        assert_eq!(
+            AlgoInstance::new(NodeId(1), &zero_window, 1, 50.0).unwrap_err(),
+            ExecError::BadParameter {
+                id: NodeId(1),
+                what: "window size and hop must be positive",
+            }
+        );
+        let zero_avg = AlgorithmKind::MovingAvg { window: 0 };
+        assert_eq!(
+            AlgoInstance::new(NodeId(2), &zero_avg, 1, 50.0).unwrap_err(),
+            ExecError::BadParameter {
+                id: NodeId(2),
+                what: "moving-average window must be positive",
+            }
+        );
+        let bad_alpha = AlgorithmKind::ExpMovingAvg { alpha: f64::NAN };
+        let err = AlgoInstance::new(NodeId(3), &bad_alpha, 1, 50.0).unwrap_err();
+        assert!(err.to_string().contains("node 3"), "{err}");
+    }
+
+    #[test]
+    fn mean_abs_on_empty_window_does_not_panic() {
+        let mut inst =
+            AlgoInstance::new(NodeId(1), &AlgorithmKind::Stat(StatFn::MeanAbs), 1, 50.0).unwrap();
+        // An empty window yields no summary, hence no result — and must
+        // never reach the unchecked reduction that used to unwrap.
+        inst.feed(0, &Tagged::new(0, Vec::<f64>::new())).unwrap();
+        assert!(!inst.has_result());
+        inst.feed(0, &Tagged::new(1, vec![-2.0, 2.0])).unwrap();
+        assert_eq!(inst.take_result().unwrap().value.as_scalar(), Some(2.0));
     }
 
     #[test]
@@ -905,7 +1001,8 @@ mod tests {
             &AlgorithmKind::LowPass { cutoff_hz: 500.0 },
             1,
             rate,
-        );
+        )
+        .unwrap();
         let high_tone: Vec<f64> = (0..n)
             .map(|i| (2.0 * std::f64::consts::PI * 3000.0 * i as f64 / rate).sin())
             .collect();

@@ -18,7 +18,10 @@
 //! * [`cost`] — a flop/memory cost model for pipelines;
 //! * [`mcu`] — microcontroller capability models; the MSP430 cannot run
 //!   FFT stages in real time, reproducing the paper's Table 2 footnote;
-//! * [`link`] — the phone↔hub serial link budget (paper §3.4).
+//! * [`link`] — the phone↔hub serial link budget (paper §3.4), with
+//!   CRC-framed transfer modeling so corruption is detectable;
+//! * [`fault`] — deterministic fault injection for the link and hub
+//!   (frame corruption/drops, watchdog resets, channel dropouts).
 //!
 //! # Example
 //!
@@ -46,12 +49,14 @@
 //! ```
 
 pub mod cost;
+pub mod fault;
 pub mod instance;
 pub mod link;
 pub mod mcu;
 pub mod runtime;
 pub mod value;
 
+pub use fault::{ChannelDropout, FaultPlan, FaultSchedule, FrameFate, RetryPolicy};
 pub use mcu::Mcu;
 pub use runtime::{HubError, HubRuntime};
 pub use value::{Tagged, Value, ValueRef};

@@ -12,6 +12,81 @@
 
 use sidewinder_sensors::{Micros, SensorChannel};
 
+/// Maximum payload bytes per CRC-protected frame.
+pub const FRAME_PAYLOAD_BYTES: usize = 64;
+
+/// Per-frame overhead: 1 start-of-frame byte, 1 length byte, 2 CRC bytes.
+pub const FRAME_OVERHEAD_BYTES: usize = 4;
+
+/// CRC-16/CCITT-FALSE (poly `0x1021`, init `0xFFFF`), the checksum the
+/// frame format carries so the receiver can *detect* corruption rather
+/// than silently interpret a flipped bit as a wake-up.
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Number of frames needed to carry `bytes` of payload (at least one, so
+/// even an empty notification costs a frame on the wire).
+pub fn frames_for(bytes: usize) -> usize {
+    bytes.div_ceil(FRAME_PAYLOAD_BYTES).max(1)
+}
+
+/// Encodes one payload chunk as a wire frame: `[0x7E, len, payload…, crc]`.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`FRAME_PAYLOAD_BYTES`].
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= FRAME_PAYLOAD_BYTES,
+        "payload exceeds frame capacity"
+    );
+    let mut frame = Vec::with_capacity(payload.len() + FRAME_OVERHEAD_BYTES);
+    frame.push(0x7E);
+    frame.push(payload.len() as u8);
+    frame.extend_from_slice(payload);
+    let crc = crc16_ccitt(&frame);
+    frame.extend_from_slice(&crc.to_be_bytes());
+    frame
+}
+
+/// Checks a wire frame's structure and CRC, returning the payload if it
+/// is intact and `None` if any bit was flipped in transit.
+pub fn verify_frame(frame: &[u8]) -> Option<&[u8]> {
+    if frame.len() < FRAME_OVERHEAD_BYTES || frame[0] != 0x7E {
+        return None;
+    }
+    let len = frame[1] as usize;
+    if frame.len() != len + FRAME_OVERHEAD_BYTES {
+        return None;
+    }
+    let (body, crc_bytes) = frame.split_at(frame.len() - 2);
+    let wire_crc = u16::from_be_bytes([crc_bytes[0], crc_bytes[1]]);
+    if crc16_ccitt(body) == wire_crc {
+        Some(&body[2..])
+    } else {
+        None
+    }
+}
+
+/// Flips one bit of `frame` in place — the corruption a fault schedule
+/// models, used by tests to show the CRC catches it.
+pub fn corrupt_bit(frame: &mut [u8], bit: usize) {
+    let byte = (bit / 8) % frame.len();
+    frame[byte] ^= 1 << (bit % 8);
+}
+
 /// A serial link with a fixed symbol rate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SerialLink {
@@ -88,6 +163,12 @@ impl SerialLink {
     pub fn transfer_time(&self, bytes: usize) -> Micros {
         Micros::from_secs_f64(bytes as f64 / self.capacity_bytes_per_s())
     }
+
+    /// Time to transfer `bytes` of payload split into CRC-protected
+    /// frames: the raw time plus [`FRAME_OVERHEAD_BYTES`] per frame.
+    pub fn framed_transfer_time(&self, bytes: usize) -> Micros {
+        self.transfer_time(bytes + frames_for(bytes) * FRAME_OVERHEAD_BYTES)
+    }
 }
 
 #[cfg(test)]
@@ -137,5 +218,61 @@ mod tests {
     #[test]
     fn accessor_returns_baud() {
         assert_eq!(SerialLink::NEXUS4_UART.baud(), 115_200);
+    }
+
+    #[test]
+    fn crc_matches_check_value() {
+        // CRC-16/CCITT-FALSE check value for "123456789".
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+        assert_eq!(crc16_ccitt(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = b"wake: node 7 fired";
+        let frame = encode_frame(payload);
+        assert_eq!(frame.len(), payload.len() + FRAME_OVERHEAD_BYTES);
+        assert_eq!(verify_frame(&frame), Some(&payload[..]));
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected() {
+        let frame = encode_frame(b"sensor data");
+        for bit in 0..frame.len() * 8 {
+            let mut damaged = frame.clone();
+            corrupt_bit(&mut damaged, bit);
+            assert_eq!(verify_frame(&damaged), None, "bit {bit} slipped through");
+        }
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        assert_eq!(verify_frame(&[]), None);
+        assert_eq!(verify_frame(&[0x7E, 0x00]), None);
+        let mut frame = encode_frame(b"ok");
+        frame.pop();
+        assert_eq!(verify_frame(&frame), None);
+    }
+
+    #[test]
+    fn frame_counts_at_boundaries() {
+        assert_eq!(frames_for(0), 1);
+        assert_eq!(frames_for(1), 1);
+        assert_eq!(frames_for(FRAME_PAYLOAD_BYTES), 1);
+        assert_eq!(frames_for(FRAME_PAYLOAD_BYTES + 1), 2);
+        assert_eq!(frames_for(3 * FRAME_PAYLOAD_BYTES), 3);
+    }
+
+    #[test]
+    fn framing_costs_more_than_raw() {
+        let link = SerialLink::NEXUS4_UART;
+        let raw = link.transfer_time(1_000);
+        let framed = link.framed_transfer_time(1_000);
+        assert!(framed > raw);
+        // 1000 B → 16 frames → 64 B overhead.
+        assert_eq!(
+            framed,
+            link.transfer_time(1_000 + 16 * FRAME_OVERHEAD_BYTES)
+        );
     }
 }

@@ -159,6 +159,11 @@ pub struct HubRuntime {
     /// Remaining channel-fed nodes (joins, mixed sources) as bitmasks,
     /// seeding the mask-based pass.
     entry_masks: [u128; SensorChannel::COUNT],
+    /// Whether passes use the `u128` mask fast path. Set iff the program
+    /// fits [`MASK_BITS`] nodes — the guard that keeps `1u128 << i` from
+    /// ever seeing `i >= 128` — and clearable via
+    /// [`HubRuntime::force_dense_scan`] for conformance testing.
+    use_mask: bool,
     channel_seq: [u64; SensorChannel::COUNT],
     wake_count: u64,
     /// Per-pass flag: node has at least one active input this pass.
@@ -184,10 +189,17 @@ impl HubRuntime {
         let mut nodes: Vec<LoadedNode> = Vec::new();
         let mut channel_entries: [Vec<usize>; SensorChannel::COUNT] = Default::default();
         for (sources, id, kind) in program.nodes() {
-            let rate = match sources
-                .first()
-                .expect("validation guarantees at least one source")
-            {
+            // Validation guarantees at least one source, but a program
+            // that bypasses it (e.g. assembled from a corrupted
+            // re-download) must surface a typed error, not panic.
+            let Some(first) = sources.first() else {
+                return Err(HubError::Invalid(ValidateError::BadArity {
+                    id,
+                    algorithm: kind.ir_name(),
+                    got: 0,
+                }));
+            };
+            let rate = match first {
                 Source::Channel(c) => rates.rate_of(*c),
                 Source::Node(src) => node_rates[src],
             };
@@ -214,7 +226,7 @@ impl HubRuntime {
             }
             index_of.insert(id, index);
             nodes.push(LoadedNode {
-                instance: AlgoInstance::new(id, kind, sources.len(), rate),
+                instance: AlgoInstance::new(id, kind, sources.len(), rate)?,
                 sources: dense,
                 consumers: Vec::new(),
                 consumer_mask: 0,
@@ -243,12 +255,14 @@ impl HubRuntime {
                 }
             }
         }
-        let out_index = index_of[&program
+        let out_id = program
             .out_source()
-            .expect("validation guarantees an OUT statement")];
+            .ok_or(HubError::Invalid(ValidateError::MissingOut))?;
+        let out_index = index_of[&out_id];
         Ok(HubRuntime {
             nodes,
             out_index,
+            use_mask: count <= MASK_BITS,
             channel_entries,
             direct_feeds,
             entry_masks,
@@ -308,7 +322,7 @@ impl HubRuntime {
         samples: &[f64],
     ) -> Result<&[WakeEvent], HubError> {
         self.wake_buf.clear();
-        if self.nodes.len() <= MASK_BITS {
+        if self.use_mask {
             for &sample in samples {
                 self.run_pass_masked(channel, sample)?;
             }
@@ -318,6 +332,14 @@ impl HubRuntime {
             }
         }
         Ok(&self.wake_buf)
+    }
+
+    /// Forces every subsequent pass onto the dense-scan fallback, even for
+    /// programs small enough for the `u128` mask path. The two paths must
+    /// produce identical wakes; conformance tests pin that equivalence at
+    /// the 128/129-node boundary.
+    pub fn force_dense_scan(&mut self) {
+        self.use_mask = false;
     }
 
     /// One interpreter pass for programs that fit [`MASK_BITS`] nodes: the

@@ -149,6 +149,58 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Arbitrary bytes — including invalid UTF-8 replaced by U+FFFD —
+    /// must never panic the parser, whatever they decode to.
+    #[test]
+    fn garbage_bytes_never_panic_the_parser(
+        bytes in prop::collection::vec(0u8..=255u8, 0..200)
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = text.parse::<Program>();
+    }
+
+    /// Cutting a valid program anywhere — mid-keyword, mid-number,
+    /// inside a `params={...}` list — must yield an error or a valid
+    /// prefix, never a panic.
+    #[test]
+    fn truncated_programs_error_instead_of_panicking(
+        (text, cut) in arb_program().prop_flat_map(|p| {
+            let text = p.to_string();
+            let len = text.len();
+            (Just(text), 0usize..len)
+        })
+    ) {
+        if let Some(truncated) = text.get(..cut) {
+            if let Ok(p) = truncated.parse::<Program>() {
+                // A cut at a statement boundary can leave a well-formed
+                // prefix; it must still survive validation or reject
+                // cleanly.
+                let _ = p.validate();
+            }
+        }
+    }
+
+    /// Re-declaring a node id is rejected by the parser or by
+    /// validation — a duplicated statement never slips through.
+    #[test]
+    fn duplicated_statements_are_rejected(p in arb_program()) {
+        let text = p.to_string();
+        let node_line = text
+            .lines()
+            .find(|l| l.contains("id="))
+            .expect("every generated program declares a node");
+        let mutated = format!("{node_line}\n{text}");
+        match mutated.parse::<Program>() {
+            Err(_) => {}
+            Ok(p) => prop_assert!(
+                p.validate().is_err(),
+                "duplicate node id accepted:\n{mutated}"
+            ),
+        }
+    }
+}
+
 /// Golden textual fixtures: the wake-up conditions of the six
 /// evaluation applications, captured as `.swir` files. Each must be a
 /// parse → print → parse fixed point, and the printed form must equal

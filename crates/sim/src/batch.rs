@@ -25,11 +25,13 @@
 //! trace and each program once, not once per cell.
 //!
 //! [`Program`]: sidewinder_ir::Program
+//! [`simulate`]: crate::engine::simulate
 
 use crate::app::Application;
-use crate::engine::{simulate, SimConfig, SimError, SimResult};
+use crate::engine::{simulate_with_faults, SimConfig, SimError, SimResult};
 use crate::power::PhonePowerProfile;
 use crate::strategy::Strategy;
+use sidewinder_hub::fault::FaultSchedule;
 use sidewinder_sensors::SensorTrace;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -64,6 +66,7 @@ pub struct SweepSpec {
     configs: Vec<SimConfig>,
     profile: PhonePowerProfile,
     strategies: StrategySource,
+    faults: Arc<FaultSchedule>,
 }
 
 impl Default for SweepSpec {
@@ -82,6 +85,7 @@ impl SweepSpec {
             configs: Vec::new(),
             profile: PhonePowerProfile::NEXUS4,
             strategies: StrategySource::Fixed(Vec::new()),
+            faults: Arc::new(FaultSchedule::none()),
         }
     }
 
@@ -175,6 +179,14 @@ impl SweepSpec {
         self
     }
 
+    /// Sets the fault schedule every cell runs under (defaults to
+    /// [`FaultSchedule::none`], which leaves all cells bit-identical to
+    /// the fault-free path).
+    pub fn faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = Arc::new(faults);
+        self
+    }
+
     /// Enumerates the sweep's jobs in deterministic spec order.
     pub fn jobs(&self) -> Vec<JobSpec> {
         let default_config = [SimConfig::default()];
@@ -203,6 +215,7 @@ impl SweepSpec {
                             trace: Arc::clone(trace),
                             config: *config,
                             profile: self.profile,
+                            faults: Arc::clone(&self.faults),
                         });
                     }
                 }
@@ -212,7 +225,7 @@ impl SweepSpec {
     }
 }
 
-/// One cell of a sweep: everything [`simulate`] needs, with the heavy
+/// One cell of a sweep: everything the engine needs, with the heavy
 /// inputs behind [`Arc`]s.
 #[derive(Clone)]
 pub struct JobSpec {
@@ -236,20 +249,27 @@ pub struct JobSpec {
     pub config: SimConfig,
     /// Power profile.
     pub profile: PhonePowerProfile,
+    /// Fault schedule (shared; empty for fault-free sweeps).
+    pub faults: Arc<FaultSchedule>,
 }
 
 impl JobSpec {
     /// Runs this cell on the calling thread via the serial reference
-    /// [`simulate`], converting panics into [`JobError::Panicked`].
+    /// engine ([`simulate_with_faults`], which is [`simulate`] exactly
+    /// when the schedule is empty), converting panics into
+    /// [`JobError::Panicked`].
+    ///
+    /// [`simulate`]: crate::engine::simulate
     pub fn run(&self) -> JobOutcome {
         let started = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
-            simulate(
+            simulate_with_faults(
                 &self.trace,
                 &*self.app,
                 &self.strategy,
                 &self.profile,
                 &self.config,
+                &self.faults,
             )
         }));
         let result = match result {
@@ -490,7 +510,7 @@ impl BatchRunner {
 }
 
 /// Order-preserving parallel map over the runner's worker pool — for
-/// sweep-shaped work that is not a [`simulate`] call (pipeline-cost
+/// sweep-shaped work that is not a [`simulate`](crate::engine::simulate) call (pipeline-cost
 /// analysis, concurrent-app simulation, trace synthesis). `f` must not
 /// panic; a panicking `f` aborts the whole map, unlike the isolated
 /// cells of [`BatchRunner::run`].

@@ -8,13 +8,17 @@
 
 use crate::app::Application;
 use crate::intervals::IntervalSet;
-use crate::metrics::DetectionStats;
+use crate::metrics::{DetectionStats, FaultCounters};
 use crate::power::{PhonePowerProfile, PowerBreakdown};
 use crate::strategy::Strategy;
+use sidewinder_hub::fault::{
+    FaultSchedule, FrameFate, HUB_REBOOT_TIME, PROBE_FRAME_BYTES, WAKE_FRAME_BYTES,
+};
+use sidewinder_hub::link::SerialLink;
 use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
 use sidewinder_hub::HubError;
 use sidewinder_ir::Program;
-use sidewinder_sensors::{Micros, SensorTrace};
+use sidewinder_sensors::{Micros, SensorChannel, SensorTrace};
 
 /// Tunable simulation constants.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,6 +107,8 @@ pub struct SimResult {
     /// strategies; up to one interval for batching — the paper's §5.4
     /// timeliness objection.
     pub discovery_delays: Vec<Micros>,
+    /// Fault activity during the run; all zeros for fault-free runs.
+    pub fault: FaultCounters,
 }
 
 impl SimResult {
@@ -167,7 +173,11 @@ pub fn simulate(
             discovery_delays = delays;
             (awake, detections)
         }
-        Strategy::HubWake { program, .. } => hub_wake(trace, app, program, config)?,
+        Strategy::HubWake { program, .. } | Strategy::HubWakeDegraded { program, .. } => {
+            // With no faults to degrade under, the hardened strategy *is*
+            // plain hub wake-up.
+            hub_wake(trace, app, program, config)?
+        }
         Strategy::Oracle => {
             let spans: Vec<(Micros, Micros)> = app
                 .target_kinds()
@@ -202,6 +212,75 @@ pub fn simulate(
         stats,
         detections,
         discovery_delays,
+        fault: FaultCounters::default(),
+    })
+}
+
+/// Replays `trace` through `app` under `strategy` while injecting the
+/// faults described by `schedule`.
+///
+/// With an empty schedule this is exactly [`simulate`] — bit-identical
+/// results, zeroed [`FaultCounters`]. Faults live on the phone↔hub link
+/// and the hub itself, so only the hub-resident strategies
+/// ([`Strategy::HubWake`], [`Strategy::HubWakeDegraded`]) are affected;
+/// phone-only strategies delegate to [`simulate`] unchanged.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the wake-up condition cannot be loaded or
+/// executed on the trace.
+pub fn simulate_with_faults(
+    trace: &SensorTrace,
+    app: &dyn Application,
+    strategy: &Strategy,
+    profile: &PhonePowerProfile,
+    config: &SimConfig,
+    schedule: &FaultSchedule,
+) -> Result<SimResult, SimError> {
+    if schedule.is_empty() {
+        return simulate(trace, app, strategy, profile, config);
+    }
+    let (program, fallback) = match strategy {
+        Strategy::HubWake { program, .. } => (program, None),
+        Strategy::HubWakeDegraded {
+            program,
+            fallback_sleep,
+            ..
+        } => (program, Some(*fallback_sleep)),
+        _ => return simulate(trace, app, strategy, profile, config),
+    };
+    let duration = trace.duration();
+    let (awake, mut detections, fault) =
+        hub_wake_faulted(trace, app, program, config, profile, schedule, fallback)?;
+    let awake = awake.clip(duration);
+    detections.sort();
+    detections.dedup();
+
+    let stats = DetectionStats::match_events(
+        trace.ground_truth(),
+        &app.target_kinds(),
+        &detections,
+        config.match_tolerance,
+    );
+
+    let mut breakdown = integrate(&awake, duration, profile, strategy.hub_mw());
+    // Recovery work (backoff waits, probes, retransmissions, program
+    // re-downloads) keeps the phone out of sleep: move that time from the
+    // sleep budget to awake, preserving the trace-time partition.
+    let recovery_awake = fault.recovery_time.min(breakdown.asleep);
+    breakdown.awake += recovery_awake;
+    breakdown.asleep -= recovery_awake;
+    Ok(SimResult {
+        strategy: strategy.label(),
+        app: app.name().to_string(),
+        trace: trace.name().to_string(),
+        average_power_mw: breakdown.average_power_mw(profile),
+        wake_ups: awake.len(),
+        breakdown,
+        stats,
+        detections,
+        discovery_delays: Vec::new(),
+        fault,
     })
 }
 
@@ -395,6 +474,205 @@ fn hub_wake(
         detections.extend(app.classify(trace, start.saturating_sub(config.lookback), end));
     }
     Ok((awake, detections))
+}
+
+/// [`hub_wake`] under an active fault schedule: the serial link corrupts
+/// and drops frames, the hub resets and browns out, sensor channels fall
+/// silent. The phone retries frames with capped exponential backoff,
+/// probes hub health after timeouts, and re-downloads the program after
+/// each reset; when `fallback` is set it additionally duty-cycles on the
+/// main CPU through every window where the hub is unusable.
+fn hub_wake_faulted(
+    trace: &SensorTrace,
+    app: &dyn Application,
+    program: &Program,
+    config: &SimConfig,
+    profile: &PhonePowerProfile,
+    schedule: &FaultSchedule,
+    fallback: Option<Micros>,
+) -> Result<(IntervalSet, Vec<Micros>, FaultCounters), SimError> {
+    let duration = trace.duration();
+    let mut rates = ChannelRates::default();
+    let channels = program.channels();
+    for &channel in &channels {
+        let series = trace
+            .channel(channel)
+            .ok_or(SimError::MissingChannel(channel))?;
+        rates = rates.with_rate(channel, series.rate_hz());
+    }
+    let mut hub = HubRuntime::load(program, &rates)?;
+
+    // Link-cost model: every transfer is CRC-framed; a health probe is a
+    // round trip; recovering from a hub reset takes the reboot, a program
+    // re-download, and a probe to confirm the hub is back.
+    let link = SerialLink::NEXUS4_UART;
+    let frame_time = link.framed_transfer_time(WAKE_FRAME_BYTES);
+    let probe_time = link.framed_transfer_time(PROBE_FRAME_BYTES) * 2;
+    let program_bytes = program.to_string().len();
+    let recovery = HUB_REBOOT_TIME + link.framed_transfer_time(program_bytes) + probe_time;
+    let mut plan = schedule.plan(duration, recovery);
+    let retry = plan.retry();
+    let mut fault = FaultCounters::default();
+
+    // Wake times that actually reached the phone, and windows in which the
+    // link blew through its retry budget (feeding the degraded fallback).
+    let mut wake_times: Vec<Micros> = Vec::new();
+    let mut saturated: Vec<(Micros, Micros)> = Vec::new();
+    // Per program channel, the series index of each sample the hub has
+    // consumed since its last reset: a wake's `seq` tag indexes this map
+    // to recover the trigger time. Cleared on reset, exactly as the hub
+    // clears its per-channel sequence counters.
+    let mut consumed: Vec<Vec<usize>> = vec![Vec::new(); channels.len()];
+    let mut next_reset = 0usize;
+
+    // Same time-ordered serial pick as `hub_wake`, but samples feed the
+    // hub one at a time so each can be checked against the fault plan.
+    let mut cursors: Vec<(SensorChannel, usize)> = channels.iter().map(|&c| (c, 0usize)).collect();
+    loop {
+        let mut best: Option<(usize, Micros)> = None;
+        for (i, &(channel, idx)) in cursors.iter().enumerate() {
+            let series = trace.channel(channel).expect("checked above");
+            if idx < series.len() {
+                let t = series.time_of(idx);
+                if best.map(|(_, bt)| t < bt).unwrap_or(true) {
+                    best = Some((i, t));
+                }
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let (channel, idx) = cursors[i];
+        let series = trace.channel(channel).expect("checked above");
+        let mut before_min: Option<Micros> = None;
+        let mut after_min: Option<Micros> = None;
+        for (j, &(other, jdx)) in cursors.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let other_series = trace.channel(other).expect("checked above");
+            if jdx < other_series.len() {
+                let tj = other_series.time_of(jdx);
+                let slot = if j < i {
+                    &mut before_min
+                } else {
+                    &mut after_min
+                };
+                *slot = Some(slot.map_or(tj, |m| m.min(tj)));
+            }
+        }
+        let wins = |t: Micros| before_min.is_none_or(|m| t < m) && after_min.is_none_or(|m| t <= m);
+        let mut end = idx + 1;
+        while end < series.len() && wins(series.time_of(end)) {
+            end += 1;
+        }
+        cursors[i].1 = end;
+
+        for s in idx..end {
+            let t = series.time_of(s);
+            // Fire any watchdog reset that has come due: the hub loses
+            // all filter state and its sequence counters, and the phone
+            // pays reboot + re-download + probe to bring it back.
+            while next_reset < plan.resets().len() && plan.resets()[next_reset] <= t {
+                hub.reset();
+                for map in &mut consumed {
+                    map.clear();
+                }
+                fault.hub_resets += 1;
+                fault.redownloads += 1;
+                fault.recovery_time += recovery;
+                next_reset += 1;
+            }
+            if plan.hub_down_at(t) || plan.channel_dropped(channel, t) {
+                fault.samples_dropped += 1;
+                continue;
+            }
+            consumed[i].push(s);
+            let wakes = hub.push_sample(channel, series.samples()[s])?;
+            for wake in wakes {
+                let tw = series.time_of(consumed[i][wake.seq as usize]);
+                // Transfer the wake notification: retry corrupted/dropped
+                // frames with capped exponential backoff until delivery or
+                // budget exhaustion. A clean first attempt costs nothing
+                // extra — the fault-free path stays bit-identical.
+                let mut delay = Micros::ZERO;
+                let mut attempt = 1u32;
+                loop {
+                    fault.frames_sent += 1;
+                    match plan.next_frame_fate() {
+                        FrameFate::Delivered => {
+                            wake_times.push((tw + delay).min(duration));
+                            break;
+                        }
+                        FrameFate::Corrupted => fault.frames_corrupted += 1,
+                        FrameFate::Dropped => fault.frames_dropped += 1,
+                    }
+                    if attempt >= retry.max_attempts {
+                        fault.frames_lost += 1;
+                        if let Some(fb) = fallback {
+                            // The link is saturated past its budget: cover
+                            // the loss with one fallback duty cycle.
+                            saturated.push((tw, (tw + fb + config.awake_chunk).min(duration)));
+                        }
+                        break;
+                    }
+                    fault.frames_retried += 1;
+                    delay = delay + retry.backoff_before(attempt) + probe_time + frame_time;
+                    fault.recovery_time += probe_time + frame_time;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    // Delivered wakes behave exactly as in the fault-free path.
+    let spans: Vec<(Micros, Micros)> = wake_times
+        .iter()
+        .map(|&w| (w, w + config.hub_chunk))
+        .collect();
+    let hub_awake = IntervalSet::from_spans(spans, config.merge_gap);
+    let mut detections = Vec::new();
+    for &(start, end) in hub_awake.spans() {
+        detections.extend(app.classify(trace, start.saturating_sub(config.lookback), end));
+    }
+
+    // Degraded mode: while the hub is down or the link saturated, fall
+    // back to duty-cycling on the main CPU — the paper's DC strategy,
+    // bounded to the outage window, so wake conditions keep firing (late,
+    // at phone power) instead of never.
+    let mut all_spans: Vec<(Micros, Micros)> = hub_awake.spans().to_vec();
+    if let Some(sleep) = fallback {
+        let mut windows: Vec<(Micros, Micros)> = plan.downtime().to_vec();
+        windows.extend(saturated);
+        let windows = IntervalSet::from_spans(windows, Micros::ZERO);
+        let chunk = config.awake_chunk;
+        for &(win_start, win_end) in windows.spans() {
+            fault.degraded_time += win_end - win_start;
+            // The exact duty_cycle pacing loop, bounded to the window, so
+            // a full-trace outage reproduces DutyCycle detections
+            // identically.
+            let mut t = win_start;
+            while t < win_end {
+                let mut end = (t + chunk).min(win_end);
+                loop {
+                    let chunk_start = end.saturating_sub(chunk).max(t);
+                    let found = app.classify(trace, chunk_start, end);
+                    let fresh: Vec<Micros> = found
+                        .into_iter()
+                        .filter(|&d| d >= chunk_start && d < end)
+                        .collect();
+                    let keep_going = !fresh.is_empty() && end < win_end;
+                    detections.extend(fresh);
+                    if !keep_going {
+                        break;
+                    }
+                    end = (end + chunk).min(win_end);
+                }
+                all_spans.push((t, end));
+                t = end + sleep.max(profile.transition_time * 2);
+            }
+        }
+    }
+    let awake = IntervalSet::from_spans(all_spans, Micros::ZERO);
+    Ok((awake, detections, fault))
 }
 
 #[cfg(test)]
@@ -623,5 +901,123 @@ mod tests {
         sorted.dedup();
         assert_eq!(r.detections, sorted);
         assert!(!r.detections.is_empty());
+    }
+
+    fn run_faulted(strategy: Strategy, schedule: &FaultSchedule) -> SimResult {
+        simulate_with_faults(
+            &toy_trace(),
+            &ToyApp,
+            &strategy,
+            &PhonePowerProfile::NEXUS4,
+            &SimConfig::default(),
+            schedule,
+        )
+        .unwrap()
+    }
+
+    fn sidewinder() -> Strategy {
+        Strategy::HubWake {
+            program: ToyApp.wake_condition(),
+            hub_mw: 3.6,
+            label: "Sw",
+        }
+    }
+
+    fn sidewinder_degraded(fallback_sleep: Micros) -> Strategy {
+        Strategy::HubWakeDegraded {
+            program: ToyApp.wake_condition(),
+            hub_mw: 3.6,
+            label: "Sw+",
+            fallback_sleep,
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_bit_identical_to_fault_free_path() {
+        for strategy in [
+            Strategy::AlwaysAwake,
+            Strategy::DutyCycle {
+                sleep: Micros::from_secs(5),
+            },
+            sidewinder(),
+            sidewinder_degraded(Micros::from_secs(5)),
+        ] {
+            let clean = run(strategy.clone());
+            let faulted = run_faulted(strategy, &FaultSchedule::none());
+            assert_eq!(clean, faulted);
+            assert!(faulted.fault.is_clean());
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_are_retried_and_recovered() {
+        let schedule = FaultSchedule::seeded(11).with_frame_corruption(0.4);
+        let r = run_faulted(sidewinder(), &schedule);
+        assert!(r.fault.frames_corrupted > 0);
+        assert!(r.fault.frames_retried > 0);
+        assert!(r.fault.frames_sent > r.fault.frames_retried);
+        assert!(r.fault.recovery_time > Micros::ZERO);
+        // Retransmissions are plentiful enough that both events still get
+        // through, just at a higher energy bill than the clean run.
+        assert_eq!(r.recall(), 1.0);
+        assert!(r.average_power_mw > run(sidewinder()).average_power_mw);
+    }
+
+    #[test]
+    fn hub_reset_forces_program_redownload() {
+        let schedule = FaultSchedule::seeded(1).with_hub_reset_at(Micros::from_secs(60));
+        let r = run_faulted(sidewinder(), &schedule);
+        assert_eq!(r.fault.hub_resets, 1);
+        assert_eq!(r.fault.redownloads, 1);
+        assert!(r.fault.recovery_time >= HUB_REBOOT_TIME);
+        // The reset lands between the two events, so both still fire.
+        assert_eq!(r.recall(), 1.0);
+    }
+
+    #[test]
+    fn downtime_without_fallback_misses_events() {
+        // Hub down across the first event: plain HubWake loses it.
+        let schedule = FaultSchedule::seeded(1)
+            .with_hub_downtime(Micros::from_secs(20), Micros::from_secs(40));
+        let r = run_faulted(sidewinder(), &schedule);
+        assert!(r.fault.samples_dropped > 0);
+        assert!(r.recall() < 1.0, "recall {}", r.recall());
+    }
+
+    #[test]
+    fn degraded_mode_covers_downtime_like_duty_cycling() {
+        // Hub down for the whole trace: the degraded strategy must fire
+        // exactly the detections DutyCycle fires at the fallback interval.
+        let sleep = Micros::from_secs(5);
+        let schedule =
+            FaultSchedule::seeded(1).with_hub_downtime(Micros::ZERO, Micros::from_secs(120));
+        let degraded = run_faulted(sidewinder_degraded(sleep), &schedule);
+        let dc = run(Strategy::DutyCycle { sleep });
+        assert_eq!(degraded.detections, dc.detections);
+        assert_eq!(degraded.stats, dc.stats);
+        assert_eq!(degraded.wake_ups, dc.wake_ups);
+        assert_eq!(degraded.fault.degraded_time, Micros::from_secs(120));
+        assert_eq!(degraded.fault.samples_dropped, 6000);
+    }
+
+    #[test]
+    fn faulted_runs_are_reproducible() {
+        let schedule = FaultSchedule::seeded(99)
+            .with_frame_corruption(0.3)
+            .with_frame_drops(0.2)
+            .with_hub_resets_every(Micros::from_secs(40));
+        let a = run_faulted(sidewinder_degraded(Micros::from_secs(5)), &schedule);
+        let b = run_faulted(sidewinder_degraded(Micros::from_secs(5)), &schedule);
+        assert_eq!(a, b);
+        assert!(!a.fault.is_clean());
+    }
+
+    #[test]
+    fn breakdown_still_partitions_time_under_faults() {
+        let schedule = FaultSchedule::seeded(5)
+            .with_frame_corruption(0.5)
+            .with_hub_reset_at(Micros::from_secs(50));
+        let r = run_faulted(sidewinder_degraded(Micros::from_secs(5)), &schedule);
+        assert_eq!(r.breakdown.total(), Micros::from_secs(120));
     }
 }

@@ -15,8 +15,12 @@
 //! * [`strategy`] — the sensing configurations;
 //! * [`engine`] — [`engine::simulate`]: replay a trace under a strategy,
 //!   producing awake intervals, detections, wake-up counts, and power;
+//!   [`engine::simulate_with_faults`] layers a deterministic
+//!   [`FaultSchedule`] (corrupted/dropped frames, hub resets, sensor
+//!   dropouts) on top, with retry/backoff recovery and an optional
+//!   degraded duty-cycling fallback;
 //! * [`metrics`] — recall/precision matching of detections against
-//!   ground truth;
+//!   ground truth, plus [`FaultCounters`] for fault-injected runs;
 //! * [`concurrent`] — several applications sharing one phone and hub
 //!   (the paper's §7 concurrency question);
 //! * [`batch`] — the parallel sweep engine: run an application ×
@@ -40,7 +44,8 @@ pub use app::Application;
 pub use batch::{
     par_map, BatchReport, BatchRunner, JobError, JobOutcome, JobSpec, SharedApp, SweepSpec,
 };
-pub use engine::{simulate, SimConfig, SimError, SimResult};
-pub use metrics::DetectionStats;
+pub use engine::{simulate, simulate_with_faults, SimConfig, SimError, SimResult};
+pub use metrics::{DetectionStats, FaultCounters};
 pub use power::{PhonePowerProfile, PowerBreakdown};
+pub use sidewinder_hub::fault::{ChannelDropout, FaultSchedule, FrameFate, RetryPolicy};
 pub use strategy::Strategy;

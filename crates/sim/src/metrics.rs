@@ -84,10 +84,94 @@ impl DetectionStats {
     }
 }
 
+/// Counters accumulated while simulating under a fault schedule.
+///
+/// All zeros (the [`Default`]) means the run saw no faults — the invariant
+/// the empty-schedule conformance tests pin.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultCounters {
+    /// Wake/probe frame transfer attempts, including retries.
+    pub frames_sent: u64,
+    /// Attempts that arrived with a CRC mismatch and were discarded.
+    pub frames_corrupted: u64,
+    /// Attempts that never arrived (detected by timeout).
+    pub frames_dropped: u64,
+    /// Retransmissions issued after a corrupted or dropped attempt.
+    pub frames_retried: u64,
+    /// Frames abandoned after the retry budget was exhausted.
+    pub frames_lost: u64,
+    /// Hub watchdog resets taken.
+    pub hub_resets: u64,
+    /// Program re-downloads performed after resets.
+    pub redownloads: u64,
+    /// Sensor samples the hub never saw (downtime or channel dropout).
+    pub samples_dropped: u64,
+    /// Time spent in the degraded duty-cycling fallback.
+    pub degraded_time: Micros,
+    /// Phone-side time spent on recovery work (backoff waits, probes,
+    /// retransmissions, re-downloads) — charged at awake power.
+    pub recovery_time: Micros,
+}
+
+impl FaultCounters {
+    /// Whether the run completed without any fault activity.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultCounters::default()
+    }
+
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.frames_sent += other.frames_sent;
+        self.frames_corrupted += other.frames_corrupted;
+        self.frames_dropped += other.frames_dropped;
+        self.frames_retried += other.frames_retried;
+        self.frames_lost += other.frames_lost;
+        self.hub_resets += other.hub_resets;
+        self.redownloads += other.redownloads;
+        self.samples_dropped += other.samples_dropped;
+        self.degraded_time += other.degraded_time;
+        self.recovery_time += other.recovery_time;
+    }
+
+    /// Seconds spent in the degraded fallback.
+    pub fn degraded_s(&self) -> f64 {
+        self.degraded_time.as_secs_f64()
+    }
+
+    /// Energy attributable to recovery, in millijoules, at the given
+    /// awake power draw.
+    pub fn recovery_energy_mj(&self, awake_power_mw: f64) -> f64 {
+        awake_power_mw * self.recovery_time.as_secs_f64()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sidewinder_sensors::LabeledInterval;
+
+    #[test]
+    fn fault_counters_default_is_clean_and_merge_accumulates() {
+        let mut a = FaultCounters::default();
+        assert!(a.is_clean());
+        let b = FaultCounters {
+            frames_sent: 3,
+            frames_corrupted: 1,
+            frames_retried: 1,
+            hub_resets: 2,
+            degraded_time: Micros::from_secs(5),
+            recovery_time: Micros::from_millis(400),
+            ..FaultCounters::default()
+        };
+        assert!(!b.is_clean());
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.frames_sent, 6);
+        assert_eq!(a.hub_resets, 4);
+        assert_eq!(a.degraded_s(), 10.0);
+        // 0.8 s of recovery at 323 mW.
+        assert!((a.recovery_energy_mj(323.0) - 258.4).abs() < 1e-9);
+    }
 
     fn gt(intervals: &[(u64, u64)]) -> GroundTruth {
         intervals

@@ -1,6 +1,7 @@
 //! Derived metrics and table rendering for the experiment binaries.
 
 use crate::engine::SimResult;
+use crate::metrics::FaultCounters;
 
 /// Power of a strategy relative to Oracle — the y-axis of the paper's
 /// Fig. 5 and Fig. 7.
@@ -47,6 +48,17 @@ pub fn mean_precision(results: &[SimResult]) -> f64 {
         return f64::NAN;
     }
     results.iter().map(|r| r.precision()).sum::<f64>() / results.len() as f64
+}
+
+/// Accumulates the fault counters of a batch of results — the summary
+/// row of a fault-injection sweep. Clean (fault-free) runs contribute
+/// nothing.
+pub fn fault_totals(results: &[SimResult]) -> FaultCounters {
+    let mut total = FaultCounters::default();
+    for r in results {
+        total.merge(&r.fault);
+    }
+    total
 }
 
 /// A minimal fixed-width table renderer for terminal reports.
@@ -171,5 +183,10 @@ mod tests {
         assert!(mean_power_mw(&[]).is_nan());
         assert!(mean_recall(&[]).is_nan());
         assert!(mean_precision(&[]).is_nan());
+    }
+
+    #[test]
+    fn fault_totals_of_empty_are_clean() {
+        assert!(fault_totals(&[]).is_clean());
     }
 }

@@ -36,6 +36,21 @@ pub enum Strategy {
         /// Display label (`"PA"` or `"Sw"`).
         label: &'static str,
     },
+    /// [`Strategy::HubWake`] hardened for faulty hardware: while the hub
+    /// is down (watchdog reset, brown-out) or the link has blown through
+    /// its retry budget, the phone falls back to duty-cycling on the main
+    /// CPU so wake conditions keep firing — late and at higher energy —
+    /// instead of never.
+    HubWakeDegraded {
+        /// The intermediate-language wake-up condition.
+        program: Program,
+        /// Hub power, mW.
+        hub_mw: f64,
+        /// Display label (e.g. `"Sw+"`).
+        label: &'static str,
+        /// Sleep interval of the duty-cycle fallback while degraded.
+        fallback_sleep: Micros,
+    },
     /// The hypothetical ideal: awake exactly during events of interest,
     /// perfect recall and precision, no hub (paper §4.2).
     Oracle,
@@ -52,7 +67,9 @@ impl Strategy {
             Strategy::Batching { interval, .. } => {
                 format!("Ba-{}", interval.as_secs_f64().round() as u64)
             }
-            Strategy::HubWake { label, .. } => (*label).to_string(),
+            Strategy::HubWake { label, .. } | Strategy::HubWakeDegraded { label, .. } => {
+                (*label).to_string()
+            }
             Strategy::Oracle => "Oracle".to_string(),
         }
     }
@@ -60,7 +77,9 @@ impl Strategy {
     /// The hub draw this strategy adds, mW.
     pub fn hub_mw(&self) -> f64 {
         match self {
-            Strategy::Batching { hub_mw, .. } | Strategy::HubWake { hub_mw, .. } => *hub_mw,
+            Strategy::Batching { hub_mw, .. }
+            | Strategy::HubWake { hub_mw, .. }
+            | Strategy::HubWakeDegraded { hub_mw, .. } => *hub_mw,
             _ => 0.0,
         }
     }
@@ -96,6 +115,18 @@ mod tests {
         );
         assert_eq!(Strategy::Oracle.label(), "Oracle");
         assert_eq!(Strategy::Oracle.to_string(), "Oracle");
+    }
+
+    #[test]
+    fn degraded_variant_reports_label_and_hub_power() {
+        let s = Strategy::HubWakeDegraded {
+            program: Program::new(),
+            hub_mw: 3.6,
+            label: "Sw+",
+            fallback_sleep: Micros::from_secs(10),
+        };
+        assert_eq!(s.label(), "Sw+");
+        assert_eq!(s.hub_mw(), 3.6);
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Fault-injection conformance: the fault-aware engine must (1) be
+//! bit-identical to the fault-free path when the schedule is empty,
+//! (2) be bit-identical across worker counts for a fixed seed — the
+//! PR 1 determinism promise extended to fault runs — and (3) degrade
+//! into genuine duty cycling while the hub is down.
+
+use sidewinder_apps::{
+    HeadbuttsApp, MusicJournalApp, PhraseDetectionApp, SirenDetectorApp, StepsApp, TransitionsApp,
+};
+use sidewinder_sensors::{Micros, SensorTrace};
+use sidewinder_sim::{
+    simulate, simulate_with_faults, Application, BatchRunner, FaultSchedule, PhonePowerProfile,
+    SharedApp, SimConfig, Strategy, SweepSpec,
+};
+use sidewinder_tracegen::{audio_trace, robot_run, AudioTraceConfig, RobotRunConfig};
+use std::sync::Arc;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A trace carrying both the accelerometer and the microphone channels,
+/// so every evaluation application has the data its classifier and
+/// wake-up condition need.
+fn combined_trace(seed: u64, duration_s: u64) -> SensorTrace {
+    let mut trace = robot_run(&RobotRunConfig {
+        duration: Micros::from_secs(duration_s),
+        idle_fraction: 0.6,
+        rate_hz: 50.0,
+        seed,
+    });
+    let audio = audio_trace(&AudioTraceConfig {
+        duration: Micros::from_secs(duration_s),
+        seed: seed + 1000,
+        ..AudioTraceConfig::default()
+    });
+    for channel in audio.channels().collect::<Vec<_>>() {
+        trace.insert(
+            channel,
+            audio.channel(channel).expect("listed channel").clone(),
+        );
+    }
+    for interval in audio.ground_truth().intervals() {
+        trace.ground_truth_mut().push(*interval);
+    }
+    trace
+}
+
+fn all_apps() -> Vec<SharedApp> {
+    vec![
+        Arc::new(StepsApp::new()),
+        Arc::new(TransitionsApp::new()),
+        Arc::new(HeadbuttsApp::new()),
+        Arc::new(SirenDetectorApp::new()),
+        Arc::new(MusicJournalApp::new()),
+        Arc::new(PhraseDetectionApp::new()),
+    ]
+}
+
+/// Each application's own Sidewinder wake-up condition, plain and
+/// hardened.
+fn sidewinder_strategies(app: &dyn Application) -> Vec<Strategy> {
+    vec![
+        Strategy::HubWake {
+            program: app.wake_condition(),
+            hub_mw: app.wake_condition_hub_mw(),
+            label: "Sw",
+        },
+        Strategy::HubWakeDegraded {
+            program: app.wake_condition(),
+            hub_mw: app.wake_condition_hub_mw(),
+            label: "Sw+",
+            fallback_sleep: Micros::from_secs(5),
+        },
+    ]
+}
+
+/// A schedule that exercises every fault class at once.
+fn stress_schedule() -> FaultSchedule {
+    FaultSchedule::seeded(0xFA57)
+        .with_frame_corruption(0.2)
+        .with_frame_drops(0.1)
+        .with_hub_resets_every(Micros::from_secs(40))
+}
+
+#[test]
+fn empty_schedule_is_bit_identical_for_every_cell() {
+    let spec = SweepSpec::new()
+        .shared_apps(all_apps())
+        .trace(combined_trace(71, 120))
+        .strategies_per_app(sidewinder_strategies);
+    let none = FaultSchedule::none();
+    for job in spec.jobs() {
+        let clean = simulate(
+            &job.trace,
+            &*job.app,
+            &job.strategy,
+            &job.profile,
+            &job.config,
+        )
+        .expect("clean cell");
+        let faulted = simulate_with_faults(
+            &job.trace,
+            &*job.app,
+            &job.strategy,
+            &job.profile,
+            &job.config,
+            &none,
+        )
+        .expect("empty-schedule cell");
+        assert_eq!(
+            clean,
+            faulted,
+            "{} / {}: empty schedule diverged from the fault-free path",
+            job.app.name(),
+            job.strategy.label()
+        );
+        assert!(faulted.fault.is_clean());
+    }
+}
+
+#[test]
+fn seeded_faults_are_bit_identical_across_worker_counts() {
+    let spec = SweepSpec::new()
+        .shared_apps(all_apps())
+        .trace(combined_trace(72, 120))
+        .strategies_per_app(sidewinder_strategies)
+        .faults(stress_schedule());
+    let jobs = spec.jobs();
+    assert_eq!(jobs.len(), 12);
+
+    // Serial reference: every cell through the fault-aware engine on
+    // the calling thread.
+    let schedule = stress_schedule();
+    let serial: Vec<_> = jobs
+        .iter()
+        .map(|job| {
+            simulate_with_faults(
+                &job.trace,
+                &*job.app,
+                &job.strategy,
+                &job.profile,
+                &job.config,
+                &schedule,
+            )
+            .expect("fault cell")
+        })
+        .collect();
+    // The schedule genuinely fired: the rate-based resets alone strike
+    // every cell on a 120 s horizon.
+    assert!(serial.iter().all(|r| r.fault.hub_resets > 0));
+    assert!(serial.iter().any(|r| r.fault.frames_corrupted > 0));
+
+    for workers in WORKER_COUNTS {
+        let report = BatchRunner::new().workers(workers).run(&spec);
+        assert_eq!(report.len(), serial.len());
+        for (i, (reference, outcome)) in serial.iter().zip(report.outcomes()).enumerate() {
+            assert_eq!(outcome.index, i, "{workers} workers: outcome order");
+            let parallel = outcome
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{workers} workers: cell {i} failed: {e}"));
+            assert_eq!(
+                reference, parallel,
+                "{workers} workers: cell {i} ({} / {}) diverged",
+                outcome.app, outcome.strategy
+            );
+        }
+    }
+}
+
+#[test]
+fn degraded_fallback_matches_duty_cycling_during_full_outage() {
+    // With the hub down for the entire trace, the hardened strategy is
+    // duty cycling at the fallback interval: identical detections and
+    // recall for every evaluation application.
+    let trace = combined_trace(73, 120);
+    let sleep = Micros::from_secs(5);
+    let outage = FaultSchedule::seeded(1).with_hub_downtime(Micros::ZERO, trace.duration());
+    for app in all_apps() {
+        let degraded = simulate_with_faults(
+            &trace,
+            &*app,
+            &Strategy::HubWakeDegraded {
+                program: app.wake_condition(),
+                hub_mw: app.wake_condition_hub_mw(),
+                label: "Sw+",
+                fallback_sleep: sleep,
+            },
+            &PhonePowerProfile::NEXUS4,
+            &SimConfig::default(),
+            &outage,
+        )
+        .expect("degraded cell");
+        let dc = simulate(
+            &trace,
+            &*app,
+            &Strategy::DutyCycle { sleep },
+            &PhonePowerProfile::NEXUS4,
+            &SimConfig::default(),
+        )
+        .expect("duty-cycle cell");
+        assert_eq!(
+            degraded.detections,
+            dc.detections,
+            "{}: degraded mode missed detections duty cycling fires",
+            app.name()
+        );
+        assert_eq!(degraded.stats, dc.stats, "{}", app.name());
+        assert_eq!(degraded.wake_ups, dc.wake_ups, "{}", app.name());
+        assert_eq!(degraded.fault.degraded_time, trace.duration());
+        assert!(degraded.fault.samples_dropped > 0);
+    }
+}

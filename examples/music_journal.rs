@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Run both conditions on one fused hub over the trace.
     let plan = FusedPlan::fuse(&[&music_program, &phrase_program])?;
-    let mut hub = FusedRuntime::load(&plan, &ChannelRates::default());
+    let mut hub = FusedRuntime::load(&plan, &ChannelRates::default())?;
     let mic = trace.channel(SensorChannel::Mic).expect("audio trace");
     let mut music_wakes = 0usize;
     let mut phrase_wakes = 0usize;

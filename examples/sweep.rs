@@ -6,6 +6,12 @@
 //! increasing worker counts, verifying that every parallel run returns
 //! bit-identical results in the same deterministic order.
 //!
+//! A second pass replays the Sidewinder cells under a seeded
+//! [`FaultSchedule`] (corrupted and dropped frames, periodic hub
+//! watchdog resets) with the hardened `Sw+` strategy alongside, and
+//! checks the fault runs are just as bit-identical across worker
+//! counts before printing the accumulated fault counters.
+//!
 //! ```sh
 //! cargo run --release --example sweep
 //! SIDEWINDER_SWEEP_WORKERS=4 cargo run --release --example sweep
@@ -15,7 +21,8 @@
 
 use sidewinder::apps::{predefined, HeadbuttsApp, StepsApp, TransitionsApp};
 use sidewinder::sensors::Micros;
-use sidewinder::sim::{Application, BatchRunner, SharedApp, Strategy, SweepSpec};
+use sidewinder::sim::report::fault_totals;
+use sidewinder::sim::{Application, BatchRunner, FaultSchedule, SharedApp, Strategy, SweepSpec};
 use sidewinder::tracegen::{robot_group_runs, ActivityGroup};
 use std::sync::Arc;
 use std::time::Instant;
@@ -98,4 +105,72 @@ fn main() {
             report.workers, report.elapsed,
         );
     }
+
+    // Second pass: the same applications and traces under a seeded fault
+    // schedule — a flaky serial link plus a hub watchdog reset every
+    // ~90 s — comparing plain Sidewinder against the hardened `Sw+`
+    // fallback. The seed makes the whole run reproducible, so worker
+    // counts must not change a single bit of the results.
+    let faults = FaultSchedule::seeded(0xF0_07)
+        .with_frame_corruption(0.15)
+        .with_frame_drops(0.05)
+        .with_hub_resets_every(Micros::from_secs(90));
+    let fault_spec = SweepSpec::new()
+        .shared_apps(vec![
+            Arc::new(HeadbuttsApp::new()) as SharedApp,
+            Arc::new(TransitionsApp::new()),
+            Arc::new(StepsApp::new()),
+        ])
+        .traces(robot_group_runs(
+            ActivityGroup::Group1,
+            3,
+            Micros::from_secs(600),
+            101,
+        ))
+        .strategies_per_app(|app| {
+            vec![
+                Strategy::HubWake {
+                    program: app.wake_condition(),
+                    hub_mw: app.wake_condition_hub_mw(),
+                    label: "Sw",
+                },
+                Strategy::HubWakeDegraded {
+                    program: app.wake_condition(),
+                    hub_mw: app.wake_condition_hub_mw(),
+                    label: "Sw+",
+                    fallback_sleep: Micros::from_secs(10),
+                },
+            ]
+        })
+        .faults(faults);
+    println!(
+        "\nfault sweep: {} cells under a seeded schedule",
+        fault_spec.jobs().len()
+    );
+    let reference = BatchRunner::new().workers(1).run(&fault_spec).expect_all();
+    for workers in [2, 4] {
+        let report = BatchRunner::new().workers(workers).run(&fault_spec);
+        assert_eq!(
+            report.expect_all(),
+            reference,
+            "{workers}-worker fault sweep diverged from the single-worker run"
+        );
+        println!("{workers} workers: fault results identical");
+    }
+    let totals = fault_totals(&reference);
+    println!(
+        "fault totals: {} frames sent, {} corrupted, {} dropped, {} retried, {} lost",
+        totals.frames_sent,
+        totals.frames_corrupted,
+        totals.frames_dropped,
+        totals.frames_retried,
+        totals.frames_lost,
+    );
+    println!(
+        "              {} hub resets, {} re-downloads, {:.1} s degraded, {:.1} s recovering",
+        totals.hub_resets,
+        totals.redownloads,
+        totals.degraded_s(),
+        totals.recovery_time.as_secs_f64(),
+    );
 }

@@ -122,7 +122,7 @@ fn fused_runtime_agrees_with_separate_runtimes_on_audio_conditions() {
     assert!(plan.node_count() < music.nodes().count() + phrase.nodes().count());
 
     let rates = ChannelRates::default();
-    let mut fused = FusedRuntime::load(&plan, &rates);
+    let mut fused = FusedRuntime::load(&plan, &rates).unwrap();
     let mut solo_music = HubRuntime::load(&music, &rates).unwrap();
     let mut solo_phrase = HubRuntime::load(&phrase, &rates).unwrap();
 
