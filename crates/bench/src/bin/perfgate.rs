@@ -1,0 +1,117 @@
+//! CI perf/conformance gate.
+//!
+//! Compares the fresh `BENCH_interpreter.json` report (written by
+//! `perfreport`) against the committed baseline and checks every golden
+//! fixture's wake-sequence digest against `results/wake_digests.json`.
+//! Exits nonzero on any violation, so CI fails the build.
+//!
+//! Usage:
+//!
+//! ```text
+//! perfgate                  # check; exit 1 on violations
+//! perfgate --write-digests  # regenerate results/wake_digests.json
+//! perfgate --skip-perf      # digest check only (no fresh bench report)
+//! ```
+
+use sidewinder_bench::gate;
+use std::path::Path;
+use std::process::ExitCode;
+
+const BASELINE: &str = "results/bench_interpreter_baseline.json";
+const FRESH: &str = "BENCH_interpreter.json";
+const DIGESTS: &str = "results/wake_digests.json";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write_digests = args.iter().any(|a| a == "--write-digests");
+    let skip_perf = args.iter().any(|a| a == "--skip-perf");
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| *a != "--write-digests" && *a != "--skip-perf")
+    {
+        eprintln!("perfgate: unknown flag {unknown}");
+        eprintln!("usage: perfgate [--write-digests] [--skip-perf]");
+        return ExitCode::from(2);
+    }
+
+    let fresh_digests = gate::fixture_digests();
+    if write_digests {
+        let text = gate::render_digests(&fresh_digests);
+        if let Err(e) = std::fs::write(DIGESTS, &text) {
+            eprintln!("perfgate: cannot write {DIGESTS}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "perfgate: wrote {} digests to {DIGESTS}",
+            fresh_digests.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut violations = Vec::new();
+
+    // Wake conformance: every fixture's digest must match the golden.
+    match std::fs::read_to_string(DIGESTS) {
+        Ok(text) => {
+            let golden = gate::parse_digests(&text);
+            violations.extend(gate::check_digests(&golden, &fresh_digests));
+        }
+        Err(e) => {
+            eprintln!("perfgate: cannot read {DIGESTS}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    // Perf: fresh interpreter numbers against the committed baseline.
+    if skip_perf {
+        println!("perfgate: --skip-perf, perf comparison skipped");
+    } else if !Path::new(FRESH).exists() {
+        eprintln!("perfgate: {FRESH} not found — run `cargo run --release -p sidewinder-bench --bin perfreport` first");
+        return ExitCode::from(2);
+    } else {
+        let baseline = match std::fs::read_to_string(BASELINE) {
+            Ok(text) => gate::parse_flat_json(&text),
+            Err(e) => {
+                eprintln!("perfgate: cannot read {BASELINE}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let fresh = match std::fs::read_to_string(FRESH) {
+            Ok(text) => gate::parse_bench_report(&text),
+            Err(e) => {
+                eprintln!("perfgate: cannot read {FRESH}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if baseline.is_empty() || fresh.is_empty() {
+            eprintln!("perfgate: empty baseline or report — refusing to pass vacuously");
+            return ExitCode::from(2);
+        }
+        println!(
+            "perfgate: {} baseline benches, tolerance {:.0}%, {} speedup floors",
+            baseline.len(),
+            gate::MAX_REGRESSION * 100.0,
+            gate::SPEEDUP_FLOORS.len()
+        );
+        violations.extend(gate::check_perf(
+            &baseline,
+            &fresh,
+            gate::MAX_REGRESSION,
+            &gate::SPEEDUP_FLOORS,
+        ));
+    }
+
+    if violations.is_empty() {
+        println!(
+            "perfgate: OK ({} wake digests verified)",
+            fresh_digests.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perfgate: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  FAIL {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -110,4 +110,22 @@ fn main() {
             .unwrap_or_else(|| "-".to_string());
         println!("{:<45} {:>12.0} {:>9}", r.id, r.ns_per_iter, speedup);
     }
+
+    // Every committed baseline entry must have a fresh measurement — a
+    // silently renamed or dropped bench would otherwise sail through the
+    // perf gate with a stale number.
+    let missing: Vec<&String> = baseline
+        .keys()
+        .filter(|id| !records.iter().any(|r| &r.id == *id))
+        .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "perfreport: {} baseline bench(es) were not measured:",
+            missing.len()
+        );
+        for id in missing {
+            eprintln!("  {id}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,398 @@
+//! Performance and wake-conformance gate logic.
+//!
+//! The CI `perf-gate` job runs the `perfgate` binary, which is a thin
+//! shell around this module: pure comparison functions over parsed
+//! benchmark reports (so the pass/fail rules are unit-testable without
+//! running a single benchmark) plus a deterministic wake-sequence digest
+//! for each golden wake-up condition.
+//!
+//! Two perf rules, both against the committed pre-optimization baseline
+//! in `results/bench_interpreter_baseline.json`:
+//!
+//! 1. **Regression rule** — a bench may not run more than
+//!    [`MAX_REGRESSION`] slower than its allowed time.
+//! 2. **Speedup floors** — the interpreter benches that the hot-path
+//!    rework accelerated must keep their gains: the allowed time for a
+//!    floored bench is `baseline / floor`, so e.g. the music condition
+//!    failing back to 1.5× of baseline trips the gate even though it is
+//!    still faster than the committed numbers.
+//!
+//! The wake digest hashes the exact wake sequence (sequence numbers and
+//! result bits) each fixture program produces on a fixed synthetic
+//! input. Committed goldens live in `results/wake_digests.json`; any
+//! change to interpreter semantics shows up as a digest mismatch.
+
+use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+use sidewinder_hub::HubError;
+use sidewinder_ir::Program;
+use std::collections::BTreeMap;
+
+/// Maximum tolerated slowdown versus the allowed time: 0.15 = 15 %.
+pub const MAX_REGRESSION: f64 = 0.15;
+
+/// Minimum speedups versus the committed pre-optimization baseline,
+/// pinned when the zero-allocation hot-path rework landed.
+pub const SPEEDUP_FLOORS: [(&str, f64); 3] = [
+    ("hub_interpreter/steps_condition", 1.3),
+    ("hub_interpreter/music_condition", 2.0),
+    ("hub_interpreter/siren_condition", 2.0),
+];
+
+/// The six golden wake-up conditions, by fixture name.
+pub const FIXTURES: [(&str, &str); 6] = [
+    ("steps", include_str!("../../ir/tests/fixtures/steps.swir")),
+    (
+        "transitions",
+        include_str!("../../ir/tests/fixtures/transitions.swir"),
+    ),
+    (
+        "headbutts",
+        include_str!("../../ir/tests/fixtures/headbutts.swir"),
+    ),
+    (
+        "sirens",
+        include_str!("../../ir/tests/fixtures/sirens.swir"),
+    ),
+    ("music", include_str!("../../ir/tests/fixtures/music.swir")),
+    (
+        "phrase",
+        include_str!("../../ir/tests/fixtures/phrase.swir"),
+    ),
+];
+
+/// One gate failure, human-readable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateViolation {
+    /// The bench or fixture that tripped the gate.
+    pub id: String,
+    /// What went wrong, with the numbers.
+    pub message: String,
+}
+
+impl std::fmt::Display for GateViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.id, self.message)
+    }
+}
+
+/// Parses the flat `"id": number` map format of the committed baseline
+/// (one entry per line; a `comment` key is ignored). No JSON dependency:
+/// the files are machine-written in exactly this shape.
+pub fn parse_flat_json(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.rsplit_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if key == "comment" {
+            continue;
+        }
+        if let Ok(ns) = value.trim().parse::<f64>() {
+            out.insert(key.to_string(), ns);
+        }
+    }
+    out
+}
+
+/// Extracts `id → ns_per_iter` from the nested `BENCH_interpreter.json`
+/// report `perfreport` writes (each bench is an object opened by a
+/// quoted id; its `ns_per_iter` field follows before the object closes).
+pub fn parse_bench_report(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(id) = line
+            .strip_suffix(": {")
+            .map(|k| k.trim().trim_matches('"'))
+            .filter(|k| !k.is_empty() && *k != "benches")
+        {
+            current = Some(id.to_string());
+            continue;
+        }
+        if let Some((key, value)) = line.split_once(':') {
+            if key.trim().trim_matches('"') == "ns_per_iter" {
+                if let (Some(id), Ok(ns)) = (current.take(), value.trim().parse::<f64>()) {
+                    out.insert(id, ns);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses the committed digest map: `"name": "0x..."` per line.
+pub fn parse_digests(text: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if key == "comment" {
+            continue;
+        }
+        let value = value.trim().trim_matches('"');
+        if let Some(hex) = value.strip_prefix("0x") {
+            if let Ok(digest) = u64::from_str_radix(hex, 16) {
+                out.insert(key.to_string(), digest);
+            }
+        }
+    }
+    out
+}
+
+/// The perf gate rule, pure over parsed reports: for every baseline
+/// bench, the fresh time must not exceed `baseline / floor ×
+/// (1 + max_regression)`. Unmatched baseline entries (bench renamed or
+/// dropped) are violations too — a silently vanished bench must not pass.
+pub fn check_perf(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    max_regression: f64,
+    floors: &[(&str, f64)],
+) -> Vec<GateViolation> {
+    let mut violations = Vec::new();
+    for (id, &base_ns) in baseline {
+        let Some(&fresh_ns) = fresh.get(id) else {
+            violations.push(GateViolation {
+                id: id.clone(),
+                message: "present in baseline but missing from the fresh report".to_string(),
+            });
+            continue;
+        };
+        let floor = floors
+            .iter()
+            .find(|(fid, _)| fid == id)
+            .map_or(1.0, |&(_, f)| f);
+        let allowed_ns = base_ns / floor * (1.0 + max_regression);
+        if fresh_ns > allowed_ns {
+            violations.push(GateViolation {
+                id: id.clone(),
+                message: format!(
+                    "{fresh_ns:.0} ns/iter exceeds the allowed {allowed_ns:.0} ns/iter \
+                     (baseline {base_ns:.0}, required speedup {floor}x, tolerance {:.0}%)",
+                    max_regression * 100.0
+                ),
+            });
+        }
+    }
+    violations
+}
+
+/// FNV-1a over a byte stream.
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Samples per channel fed to [`wake_digest`]; enough to fill the
+/// largest fixture window (2048) and `sustained` span (6 × 1024) many
+/// times over.
+const DIGEST_SAMPLES: usize = 16_384;
+
+/// Hashes the wake sequence a program produces on a fixed synthetic
+/// input: per channel, a sinusoid alternating every 8192 samples (long
+/// enough to hold the fixtures' `sustained` spans) between a loud
+/// steady tone at 1.3 rad/sample (≈1.65 kHz at the default mic rate —
+/// above the siren fixture's 750 Hz high-pass, with the near-zero
+/// zero-crossing variance the music fixture looks for) and a quiet
+/// frequency-modulated segment (the high zero-crossing variance the
+/// phrase fixture looks for). The digest covers each wake's order,
+/// sequence tag, and exact result bits — any semantic change to the
+/// interpreter or the fixture moves it.
+///
+/// # Errors
+///
+/// Returns [`HubError`] if the program fails to load or execute.
+pub fn wake_digest(program: &Program) -> Result<u64, HubError> {
+    let mut hub = HubRuntime::load(program, &ChannelRates::default())?;
+    let channels = program.channels();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for i in 0..DIGEST_SAMPLES {
+        let loud = (i / 8192) % 2 == 1;
+        let step = if loud {
+            1.3
+        } else {
+            1.3 + 0.8 * (i as f64 / 97.0).sin()
+        };
+        for (ci, &channel) in channels.iter().enumerate() {
+            let phase = i as f64 * step + ci as f64 * 0.7;
+            let sample = phase.sin() * if loud { 12.0 } else { 2.0 };
+            for wake in hub.push_samples(channel, &[sample])? {
+                hash = fnv1a(hash, &wake.seq.to_le_bytes());
+                hash = fnv1a(hash, &wake.value.to_bits().to_le_bytes());
+            }
+        }
+    }
+    Ok(hash)
+}
+
+/// Digests every golden fixture, in [`FIXTURES`] order.
+///
+/// # Panics
+///
+/// Panics if a committed fixture fails to parse or execute — that is
+/// itself a conformance failure.
+pub fn fixture_digests() -> Vec<(String, u64)> {
+    FIXTURES
+        .iter()
+        .map(|(name, text)| {
+            let program: Program = text
+                .parse()
+                .unwrap_or_else(|e| panic!("fixture {name} does not parse: {e}"));
+            let digest =
+                wake_digest(&program).unwrap_or_else(|e| panic!("fixture {name} failed: {e}"));
+            (name.to_string(), digest)
+        })
+        .collect()
+}
+
+/// Renders the digest map in the committed `wake_digests.json` format.
+pub fn render_digests(digests: &[(String, u64)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"comment\": \"FNV-1a digests of each golden fixture's wake sequence on the \
+         perfgate synthetic input; regenerate with perfgate --write-digests\",\n",
+    );
+    for (i, (name, digest)) in digests.iter().enumerate() {
+        out.push_str(&format!("  \"{name}\": \"{digest:#018x}\""));
+        out.push_str(if i + 1 < digests.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Compares fresh digests against the committed goldens: mismatches and
+/// fixtures missing from the goldens are violations.
+pub fn check_digests(
+    golden: &BTreeMap<String, u64>,
+    fresh: &[(String, u64)],
+) -> Vec<GateViolation> {
+    let mut violations = Vec::new();
+    for (name, digest) in fresh {
+        match golden.get(name) {
+            None => violations.push(GateViolation {
+                id: name.clone(),
+                message: "no committed wake digest; run perfgate --write-digests".to_string(),
+            }),
+            Some(&want) if want != *digest => violations.push(GateViolation {
+                id: name.clone(),
+                message: format!("wake digest {digest:#018x} != committed {want:#018x}"),
+            }),
+            Some(_) => {}
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(entries: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        entries.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn twenty_percent_regression_fails_the_fifteen_percent_gate() {
+        let baseline = map(&[("bench/a", 100_000.0)]);
+        let fresh = map(&[("bench/a", 120_000.0)]);
+        let violations = check_perf(&baseline, &fresh, MAX_REGRESSION, &[]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].id, "bench/a");
+        assert!(violations[0].message.contains("exceeds"));
+    }
+
+    #[test]
+    fn regressions_inside_the_tolerance_pass() {
+        let baseline = map(&[("bench/a", 100_000.0)]);
+        let fresh = map(&[("bench/a", 114_000.0)]);
+        assert!(check_perf(&baseline, &fresh, MAX_REGRESSION, &[]).is_empty());
+    }
+
+    #[test]
+    fn speedup_floor_rejects_losing_the_optimization() {
+        let baseline = map(&[("hub_interpreter/music_condition", 474_220.0)]);
+        let floors = [("hub_interpreter/music_condition", 2.0)];
+        // Allowed: 474220 / 2 × 1.15 ≈ 272677 ns. 300 µs — still faster
+        // than baseline, but the 2× gain is gone.
+        let fresh = map(&[("hub_interpreter/music_condition", 300_000.0)]);
+        assert_eq!(
+            check_perf(&baseline, &fresh, MAX_REGRESSION, &floors).len(),
+            1
+        );
+        // At 250 µs the floor holds.
+        let fresh = map(&[("hub_interpreter/music_condition", 250_000.0)]);
+        assert!(check_perf(&baseline, &fresh, MAX_REGRESSION, &floors).is_empty());
+    }
+
+    #[test]
+    fn vanished_benches_are_violations() {
+        let baseline = map(&[("bench/a", 100.0)]);
+        let violations = check_perf(&baseline, &BTreeMap::new(), MAX_REGRESSION, &[]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("missing"));
+    }
+
+    #[test]
+    fn bench_report_parser_reads_perfreport_output() {
+        let text = r#"{
+  "benches": {
+    "hub_interpreter/steps_condition": {
+      "ns_per_iter": 190687.0,
+      "melem_per_s": 157.33,
+      "baseline_ns_per_iter": 463370.0,
+      "speedup": 2.43
+    },
+    "fft/real_fft/256": {
+      "ns_per_iter": 4111.0
+    }
+  }
+}"#;
+        let parsed = parse_bench_report(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["hub_interpreter/steps_condition"], 190_687.0);
+        assert_eq!(parsed["fft/real_fft/256"], 4_111.0);
+    }
+
+    #[test]
+    fn flat_parser_skips_comments() {
+        let text = "{\n  \"comment\": \"notes: x\",\n  \"a\": 12.5,\n  \"b\": 3\n}\n";
+        let parsed = parse_flat_json(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["a"], 12.5);
+    }
+
+    #[test]
+    fn digests_are_deterministic_and_distinguish_fixtures() {
+        let all = fixture_digests();
+        assert_eq!(all.len(), FIXTURES.len());
+        let again = fixture_digests();
+        assert_eq!(all, again);
+        let unique: std::collections::BTreeSet<u64> = all.iter().map(|&(_, d)| d).collect();
+        assert_eq!(unique.len(), all.len(), "digest collision across fixtures");
+    }
+
+    #[test]
+    fn digest_roundtrip_through_render_and_parse() {
+        let digests = vec![("steps".to_string(), 0x1234_5678_9abc_def0u64)];
+        let text = render_digests(&digests);
+        let parsed = parse_digests(&text);
+        assert_eq!(parsed["steps"], 0x1234_5678_9abc_def0);
+        assert!(check_digests(&parsed, &digests).is_empty());
+        let mismatched = vec![("steps".to_string(), 1u64)];
+        assert_eq!(check_digests(&parsed, &mismatched).len(), 1);
+        let unknown = vec![("novel".to_string(), 2u64)];
+        assert!(check_digests(&parsed, &unknown)[0]
+            .message
+            .contains("no committed"));
+    }
+}

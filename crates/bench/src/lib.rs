@@ -20,6 +20,7 @@
 //! `SIDEWINDER_PAPER_SCALE=1` to reproduce the paper's full trace lengths
 //! (30-minute audio traces, hour-long robot runs, the full 18-run set).
 
+pub mod gate;
 pub mod suites;
 
 use sidewinder_apps::predefined;

@@ -16,8 +16,10 @@
 use crate::instance::{AlgoInstance, ExecError};
 use crate::value::ValueRef;
 use sidewinder_ir::{NodeId, Program, Source, ValidateError};
+use sidewinder_obs::{Event, EventSink, NullSink};
 use sidewinder_sensors::SensorChannel;
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Per-channel sample rates used to configure frequency-aware stages.
 ///
@@ -144,8 +146,19 @@ const MASK_BITS: usize = 128;
 /// flags per node (`ready`, `fresh`) instead of a per-sample map, and
 /// values move between nodes as borrows of the producers' reusable result
 /// slots. After warm-up, a pass performs no heap allocation.
+///
+/// The runtime is generic over an observability [`EventSink`]. The
+/// default [`NullSink`] has `ENABLED = false`, and every instrumentation
+/// site is guarded on that associated constant, so the unobserved runtime
+/// compiles to exactly the uninstrumented interpreter — no timing calls,
+/// no event construction, no extra branches (pinned by
+/// `tests/zero_alloc.rs` and the sim conformance suites). Pass a
+/// [`CounterSink`](sidewinder_obs::CounterSink) or
+/// [`TimelineSink`](sidewinder_obs::TimelineSink) via
+/// [`HubRuntime::load_with_sink`] to observe node executions, wake
+/// emissions, and resets.
 #[derive(Debug, Clone)]
-pub struct HubRuntime {
+pub struct HubRuntime<S: EventSink = NullSink> {
     nodes: Vec<LoadedNode>,
     /// Dense index of the node feeding `OUT`.
     out_index: usize,
@@ -172,15 +185,34 @@ pub struct HubRuntime {
     fresh: Vec<bool>,
     /// Wake events accumulated by the current `push_samples` batch.
     wake_buf: Vec<WakeEvent>,
+    /// Observability sink; [`NullSink`] by default, in which case every
+    /// use below is guarded out at compile time.
+    sink: S,
 }
 
 impl HubRuntime {
-    /// Validates `program` and allocates one algorithm instance per node.
+    /// Validates `program` and allocates one algorithm instance per node,
+    /// with observability disabled ([`NullSink`]).
     ///
     /// # Errors
     ///
     /// Returns [`HubError::Invalid`] if the program fails validation.
     pub fn load(program: &Program, rates: &ChannelRates) -> Result<Self, HubError> {
+        Self::load_with_sink(program, rates, NullSink)
+    }
+}
+
+impl<S: EventSink> HubRuntime<S> {
+    /// Like [`HubRuntime::load`], but events flow into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HubError::Invalid`] if the program fails validation.
+    pub fn load_with_sink(
+        program: &Program,
+        rates: &ChannelRates,
+        sink: S,
+    ) -> Result<Self, HubError> {
         program.validate()?;
         // Propagate sample rates: a node inherits the rate of its first
         // source (aggregators merge branches of equal rate in practice).
@@ -271,7 +303,18 @@ impl HubRuntime {
             ready: vec![false; count],
             fresh: vec![false; count],
             wake_buf: Vec::new(),
+            sink,
         })
+    }
+
+    /// The observability sink (e.g. to read counters after a run).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the sink (e.g. to move its time cursor).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
     }
 
     /// Number of algorithm instances allocated.
@@ -362,8 +405,22 @@ impl HubRuntime {
         for &i in &self.direct_feeds[ci] {
             let node = &mut self.nodes[i];
             node.instance.clear_result();
+            let started = if S::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            };
             node.instance.feed_ref(0, seq, ValueRef::Scalar(sample))?;
-            if node.instance.has_result() {
+            let produced = node.instance.has_result();
+            if S::ENABLED {
+                self.sink.record(Event::NodeExecuted {
+                    index: i,
+                    node: node.instance.id(),
+                    elapsed_ns: started.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                    produced,
+                });
+            }
+            if produced {
                 fresh |= 1u128 << i;
                 ready |= node.consumer_mask;
                 if i == self.out_index {
@@ -377,6 +434,13 @@ impl HubRuntime {
                             value,
                         });
                         self.wake_count += 1;
+                        if S::ENABLED {
+                            self.sink.record(Event::Wake {
+                                node: node.instance.id(),
+                                seq: out_seq,
+                                value,
+                            });
+                        }
                     }
                 }
             }
@@ -389,6 +453,11 @@ impl HubRuntime {
             let (before, rest) = self.nodes.split_at_mut(i);
             let node = &mut rest[0];
             node.instance.clear_result();
+            let started = if S::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            };
             for (port, source) in node.sources.iter().enumerate() {
                 match *source {
                     PortSource::Channel(c) if c == channel => {
@@ -407,7 +476,16 @@ impl HubRuntime {
                     }
                 }
             }
-            if node.instance.has_result() {
+            let produced = node.instance.has_result();
+            if S::ENABLED {
+                self.sink.record(Event::NodeExecuted {
+                    index: i,
+                    node: node.instance.id(),
+                    elapsed_ns: started.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                    produced,
+                });
+            }
+            if produced {
                 fresh |= 1u128 << i;
                 ready |= node.consumer_mask;
                 if i == self.out_index {
@@ -421,6 +499,13 @@ impl HubRuntime {
                             value,
                         });
                         self.wake_count += 1;
+                        if S::ENABLED {
+                            self.sink.record(Event::Wake {
+                                node: node.instance.id(),
+                                seq: out_seq,
+                                value,
+                            });
+                        }
                     }
                 }
             }
@@ -450,6 +535,11 @@ impl HubRuntime {
             let (before, rest) = self.nodes.split_at_mut(i);
             let node = &mut rest[0];
             node.instance.clear_result();
+            let started = if S::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            };
             for (port, source) in node.sources.iter().enumerate() {
                 match *source {
                     PortSource::Channel(c) if c == channel => {
@@ -468,7 +558,16 @@ impl HubRuntime {
                     }
                 }
             }
-            if node.instance.has_result() {
+            let produced = node.instance.has_result();
+            if S::ENABLED {
+                self.sink.record(Event::NodeExecuted {
+                    index: i,
+                    node: node.instance.id(),
+                    elapsed_ns: started.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                    produced,
+                });
+            }
+            if produced {
                 self.fresh[i] = true;
                 for &consumer in &node.consumers {
                     self.ready[consumer] = true;
@@ -484,6 +583,13 @@ impl HubRuntime {
                             value,
                         });
                         self.wake_count += 1;
+                        if S::ENABLED {
+                            self.sink.record(Event::Wake {
+                                node: node.instance.id(),
+                                seq: out_seq,
+                                value,
+                            });
+                        }
                     }
                 }
             }
@@ -499,6 +605,9 @@ impl HubRuntime {
         self.channel_seq = [0; SensorChannel::COUNT];
         self.wake_count = 0;
         self.wake_buf.clear();
+        if S::ENABLED {
+            self.sink.record(Event::HubReset);
+        }
     }
 }
 

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
 use sidewinder_ir::Program;
+use sidewinder_obs::CounterSink;
 use sidewinder_sensors::SensorChannel;
 
 struct CountingAllocator;
@@ -91,6 +92,47 @@ fn steps_steady_state_performs_zero_allocations() {
         after - before,
         samples.len()
     );
+}
+
+/// The zero-allocation promise holds with observability enabled too: a
+/// preallocated [`CounterSink`] tallies every execution, wake, and
+/// timing observation into fixed slots, so the instrumented hot path
+/// still never touches the allocator after warm-up.
+#[test]
+fn steps_with_counters_enabled_performs_zero_allocations() {
+    let program: Program = include_str!("../../ir/tests/fixtures/steps.swir")
+        .parse()
+        .unwrap();
+    let node_count = program.nodes().count();
+    let mut hub = HubRuntime::load_with_sink(
+        &program,
+        &ChannelRates::default(),
+        CounterSink::with_nodes(node_count),
+    )
+    .unwrap();
+    let samples = step_signal(8192);
+
+    hub.push_samples(SensorChannel::AccX, &samples).unwrap();
+
+    let before = allocations();
+    let wakes = hub
+        .push_samples(SensorChannel::AccX, &samples)
+        .unwrap()
+        .len();
+    let after = allocations();
+    assert!(wakes > 0, "steady-state batch must still raise wakes");
+    assert_eq!(
+        after - before,
+        0,
+        "counter-instrumented push_samples allocated {} times over {} samples",
+        after - before,
+        samples.len()
+    );
+    // The sink really was recording while the allocator stayed idle.
+    let sink = hub.sink();
+    assert_eq!(sink.nodes()[0].executions, 2 * samples.len() as u64);
+    assert_eq!(sink.wakes, hub.wake_count());
+    assert!(sink.total_timing().count() > 0);
 }
 
 /// The windowed music condition also reaches an allocation-free steady

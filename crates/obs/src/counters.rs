@@ -1,0 +1,225 @@
+//! Per-node counters and timing histograms.
+
+use crate::event::{Event, EventSink, FrameOutcome};
+use crate::hist::Histogram;
+use sidewinder_ir::NodeId;
+
+/// Execution statistics for one pipeline node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeStats {
+    /// The node's IR id.
+    pub node: NodeId,
+    /// Interpreter passes that executed this node.
+    pub executions: u64,
+    /// Executions that produced a result (set the `hasResult` flag).
+    pub productions: u64,
+    /// Execution-time histogram, nanoseconds.
+    pub timing: Histogram,
+}
+
+impl Default for NodeStats {
+    fn default() -> Self {
+        NodeStats {
+            node: NodeId(0),
+            executions: 0,
+            productions: 0,
+            timing: Histogram::new(),
+        }
+    }
+}
+
+/// An [`EventSink`] that tallies everything: per-node execution counts
+/// and timing histograms (dense, in statement order), wake emissions,
+/// link-frame outcomes, and fault activity.
+///
+/// Sized with [`CounterSink::with_nodes`], recording is allocation-free:
+/// every event lands in a preallocated slot or a plain integer. (An
+/// undersized sink grows its node table on first contact instead of
+/// losing data — that growth is the only allocation it can ever make.)
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CounterSink {
+    nodes: Vec<NodeStats>,
+    /// Wake-ups raised (values reaching `OUT`).
+    pub wakes: u64,
+    /// Hub resets observed.
+    pub hub_resets: u64,
+    /// Program re-downloads after resets.
+    pub redownloads: u64,
+    /// Link-frame transfer attempts.
+    pub frames_sent: u64,
+    /// Attempts that arrived corrupted.
+    pub frames_corrupted: u64,
+    /// Attempts that never arrived.
+    pub frames_dropped: u64,
+    /// Attempts that were retries (attempt number above one).
+    pub frames_retried: u64,
+    /// Frames abandoned after the retry budget.
+    pub frames_lost: u64,
+    /// Sensor samples lost to downtime or channel dropouts.
+    pub samples_dropped: u64,
+    /// Entries into the degraded duty-cycle fallback.
+    pub degraded_entries: u64,
+}
+
+impl CounterSink {
+    /// An empty sink; the node table grows on demand.
+    pub fn new() -> CounterSink {
+        CounterSink::default()
+    }
+
+    /// A sink preallocated for a program of `nodes` nodes, so recording
+    /// never allocates.
+    pub fn with_nodes(nodes: usize) -> CounterSink {
+        CounterSink {
+            nodes: vec![NodeStats::default(); nodes],
+            ..CounterSink::default()
+        }
+    }
+
+    /// Per-node statistics in dense statement order. Nodes the
+    /// interpreter never executed keep zero counts (and a zero id if the
+    /// sink was preallocated).
+    pub fn nodes(&self) -> &[NodeStats] {
+        &self.nodes
+    }
+
+    /// Total node executions across the program.
+    pub fn total_executions(&self) -> u64 {
+        self.nodes.iter().map(|n| n.executions).sum()
+    }
+
+    /// Merged execution-time histogram across all nodes.
+    pub fn total_timing(&self) -> Histogram {
+        let mut total = Histogram::new();
+        for n in &self.nodes {
+            total.merge(&n.timing);
+        }
+        total
+    }
+}
+
+impl EventSink for CounterSink {
+    fn record(&mut self, event: Event) {
+        match event {
+            Event::NodeExecuted {
+                index,
+                node,
+                elapsed_ns,
+                produced,
+            } => {
+                if index >= self.nodes.len() {
+                    self.nodes.resize(index + 1, NodeStats::default());
+                }
+                let stats = &mut self.nodes[index];
+                stats.node = node;
+                stats.executions += 1;
+                stats.productions += u64::from(produced);
+                stats.timing.record(elapsed_ns);
+            }
+            Event::Wake { .. } => self.wakes += 1,
+            Event::HubReset => self.hub_resets += 1,
+            Event::ProgramRedownload => self.redownloads += 1,
+            Event::LinkFrame { outcome, attempt } => {
+                self.frames_sent += 1;
+                self.frames_retried += u64::from(attempt > 1);
+                match outcome {
+                    FrameOutcome::Delivered => {}
+                    FrameOutcome::Corrupted => self.frames_corrupted += 1,
+                    FrameOutcome::Dropped => self.frames_dropped += 1,
+                }
+            }
+            Event::FrameLost => self.frames_lost += 1,
+            Event::SampleDropped { .. } => self.samples_dropped += 1,
+            Event::Degraded { entered } => self.degraded_entries += u64::from(entered),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_events_land_in_dense_slots() {
+        let mut sink = CounterSink::with_nodes(2);
+        sink.record(Event::NodeExecuted {
+            index: 0,
+            node: NodeId(7),
+            elapsed_ns: 100,
+            produced: true,
+        });
+        sink.record(Event::NodeExecuted {
+            index: 0,
+            node: NodeId(7),
+            elapsed_ns: 300,
+            produced: false,
+        });
+        sink.record(Event::NodeExecuted {
+            index: 1,
+            node: NodeId(9),
+            elapsed_ns: 50,
+            produced: true,
+        });
+        assert_eq!(sink.nodes()[0].node, NodeId(7));
+        assert_eq!(sink.nodes()[0].executions, 2);
+        assert_eq!(sink.nodes()[0].productions, 1);
+        assert_eq!(sink.nodes()[0].timing.sum_ns(), 400);
+        assert_eq!(sink.nodes()[1].executions, 1);
+        assert_eq!(sink.total_executions(), 3);
+        assert_eq!(sink.total_timing().count(), 3);
+    }
+
+    #[test]
+    fn undersized_sink_grows_instead_of_dropping() {
+        let mut sink = CounterSink::new();
+        sink.record(Event::NodeExecuted {
+            index: 3,
+            node: NodeId(4),
+            elapsed_ns: 10,
+            produced: true,
+        });
+        assert_eq!(sink.nodes().len(), 4);
+        assert_eq!(sink.nodes()[3].executions, 1);
+        assert_eq!(sink.nodes()[0].executions, 0);
+    }
+
+    #[test]
+    fn link_and_fault_events_tally() {
+        let mut sink = CounterSink::new();
+        sink.record(Event::LinkFrame {
+            outcome: FrameOutcome::Corrupted,
+            attempt: 1,
+        });
+        sink.record(Event::LinkFrame {
+            outcome: FrameOutcome::Delivered,
+            attempt: 2,
+        });
+        sink.record(Event::LinkFrame {
+            outcome: FrameOutcome::Dropped,
+            attempt: 1,
+        });
+        sink.record(Event::FrameLost);
+        sink.record(Event::HubReset);
+        sink.record(Event::ProgramRedownload);
+        sink.record(Event::SampleDropped {
+            channel: sidewinder_sensors::SensorChannel::Mic,
+        });
+        sink.record(Event::Degraded { entered: true });
+        sink.record(Event::Degraded { entered: false });
+        sink.record(Event::Wake {
+            node: NodeId(1),
+            seq: 0,
+            value: 1.0,
+        });
+        assert_eq!(sink.frames_sent, 3);
+        assert_eq!(sink.frames_corrupted, 1);
+        assert_eq!(sink.frames_dropped, 1);
+        assert_eq!(sink.frames_retried, 1);
+        assert_eq!(sink.frames_lost, 1);
+        assert_eq!(sink.hub_resets, 1);
+        assert_eq!(sink.redownloads, 1);
+        assert_eq!(sink.samples_dropped, 1);
+        assert_eq!(sink.degraded_entries, 1);
+        assert_eq!(sink.wakes, 1);
+    }
+}

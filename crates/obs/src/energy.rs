@@ -1,0 +1,162 @@
+//! Energy attribution: splitting a simulation's joules across the parts
+//! that spent them.
+//!
+//! The simulator knows a run's *total* energy (hub milliwatts times
+//! duration, plus the phone's power-state energies), and observed counts
+//! tell us *relative* per-node effort (cost-model flops × executions).
+//! [`EnergyLedger::close`] reconciles the two: raw per-node and link
+//! estimates are taken as-is when they fit inside the hub budget and the
+//! remainder becomes MCU idle; if the raw estimates overshoot the budget
+//! they are scaled down proportionally and idle closes at zero. Either
+//! way the parts sum back to the measured totals to within f64 rounding,
+//! which is what lets `report.rs` print a per-node table whose bottom
+//! line matches the `SimResult`.
+
+/// Energy attributed to one pipeline node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeEnergy {
+    /// Display label (algorithm name plus node id).
+    pub label: String,
+    /// Observed interpreter executions of the node.
+    pub executions: u64,
+    /// Joules attributed to the node.
+    pub joules: f64,
+}
+
+/// An exact-sum split of one simulation run's energy.
+///
+/// Hub-side parts ([`nodes`](EnergyLedger::nodes) + [`link_j`] +
+/// [`mcu_idle_j`]) sum to the hub budget passed to
+/// [`EnergyLedger::close`]; adding the phone-state parts gives
+/// [`total_j`](EnergyLedger::total_j).
+///
+/// [`link_j`]: EnergyLedger::link_j
+/// [`mcu_idle_j`]: EnergyLedger::mcu_idle_j
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnergyLedger {
+    /// Per-node attribution, in dense statement order.
+    pub nodes: Vec<NodeEnergy>,
+    /// Energy spent driving the serial link (frame transfers).
+    pub link_j: f64,
+    /// Hub energy not attributable to compute or the link: the MCU's
+    /// idle/sleep floor. Zero when raw estimates were scaled down.
+    pub mcu_idle_j: f64,
+    /// Scale factor applied to raw node/link estimates; `1.0` when they
+    /// fit the hub budget, below one when they had to be compressed.
+    pub scale: f64,
+    /// Phone energy spent awake processing wakes.
+    pub phone_awake_j: f64,
+    /// Phone energy spent asleep.
+    pub phone_asleep_j: f64,
+    /// Phone energy spent in sleep/wake transitions.
+    pub phone_transition_j: f64,
+}
+
+impl EnergyLedger {
+    /// Closes the ledger over a run.
+    ///
+    /// `hub_total_j` is the measured hub budget; `raw_nodes` carries
+    /// `(label, executions, raw_joules)` estimates and `link_raw_j` the
+    /// raw link estimate. The phone-state energies are passed through
+    /// unchanged.
+    pub fn close(
+        hub_total_j: f64,
+        raw_nodes: Vec<(String, u64, f64)>,
+        link_raw_j: f64,
+        phone_awake_j: f64,
+        phone_asleep_j: f64,
+        phone_transition_j: f64,
+    ) -> EnergyLedger {
+        let raw_sum: f64 = raw_nodes.iter().map(|(_, _, j)| j).sum::<f64>() + link_raw_j;
+        let (scale, mcu_idle_j) = if raw_sum > hub_total_j && raw_sum > 0.0 {
+            (hub_total_j / raw_sum, 0.0)
+        } else {
+            (1.0, hub_total_j - raw_sum)
+        };
+        let nodes = raw_nodes
+            .into_iter()
+            .map(|(label, executions, joules)| NodeEnergy {
+                label,
+                executions,
+                joules: joules * scale,
+            })
+            .collect();
+        EnergyLedger {
+            nodes,
+            link_j: link_raw_j * scale,
+            mcu_idle_j,
+            scale,
+            phone_awake_j,
+            phone_asleep_j,
+            phone_transition_j,
+        }
+    }
+
+    /// Hub-side energy: nodes + link + MCU idle.
+    pub fn hub_j(&self) -> f64 {
+        self.nodes.iter().map(|n| n.joules).sum::<f64>() + self.link_j + self.mcu_idle_j
+    }
+
+    /// Phone-side energy across its power states.
+    pub fn phone_j(&self) -> f64 {
+        self.phone_awake_j + self.phone_asleep_j + self.phone_transition_j
+    }
+
+    /// Whole-system energy for the run.
+    pub fn total_j(&self) -> f64 {
+        self.hub_j() + self.phone_j()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(label: &str, execs: u64, j: f64) -> (String, u64, f64) {
+        (label.to_string(), execs, j)
+    }
+
+    #[test]
+    fn residual_becomes_mcu_idle() {
+        let ledger = EnergyLedger::close(
+            10.0,
+            vec![raw("a", 5, 2.0), raw("b", 3, 1.0)],
+            0.5,
+            4.0,
+            2.0,
+            1.0,
+        );
+        assert_eq!(ledger.scale, 1.0);
+        assert!((ledger.mcu_idle_j - 6.5).abs() < 1e-12);
+        assert!((ledger.hub_j() - 10.0).abs() < 1e-12);
+        assert!((ledger.total_j() - 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overshoot_scales_down_and_idle_closes_at_zero() {
+        let ledger = EnergyLedger::close(6.0, vec![raw("a", 1, 9.0)], 3.0, 0.0, 0.0, 0.0);
+        assert!(ledger.scale < 1.0);
+        assert_eq!(ledger.mcu_idle_j, 0.0);
+        assert!((ledger.nodes[0].joules - 4.5).abs() < 1e-12);
+        assert!((ledger.link_j - 1.5).abs() < 1e-12);
+        assert!((ledger.hub_j() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_all_idle() {
+        let ledger = EnergyLedger::close(2.5, Vec::new(), 0.0, 0.0, 0.0, 0.0);
+        assert_eq!(ledger.mcu_idle_j, 2.5);
+        assert_eq!(ledger.total_j(), 2.5);
+    }
+
+    #[test]
+    fn parts_sum_to_totals_within_tolerance() {
+        // Many tiny parts still close exactly against the measured total.
+        let nodes: Vec<_> = (0..100)
+            .map(|i| raw(&format!("n{i}"), i, 1e-4 * i as f64))
+            .collect();
+        let ledger = EnergyLedger::close(40.0, nodes, 0.123, 8.0, 3.0, 0.5);
+        assert!((ledger.hub_j() - 40.0).abs() < 1e-9);
+        assert!((ledger.total_j() - 51.5).abs() < 1e-9);
+    }
+}

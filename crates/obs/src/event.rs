@@ -1,0 +1,199 @@
+//! The event vocabulary and the sink trait it flows into.
+
+use sidewinder_ir::NodeId;
+use sidewinder_sensors::{Micros, SensorChannel};
+
+/// What happened to one link-frame transfer attempt.
+///
+/// Mirrors the hub's frame-fate model without depending on it: the hub
+/// crate sits *above* this one so it can emit events itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameOutcome {
+    /// The frame arrived with a valid CRC.
+    Delivered,
+    /// The frame arrived corrupted and was discarded.
+    Corrupted,
+    /// The frame never arrived (detected by timeout).
+    Dropped,
+}
+
+/// One structured observability event.
+///
+/// Events are small `Copy` values so emitting one is a couple of stores;
+/// with [`NullSink`] the emission (and the work to build the event)
+/// constant-folds away entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// The interpreter executed one algorithm instance during a pass.
+    NodeExecuted {
+        /// Dense statement-order index of the node in the program.
+        index: usize,
+        /// The node's IR id.
+        node: NodeId,
+        /// Wall-clock execution time of the instance, nanoseconds.
+        elapsed_ns: u64,
+        /// Whether the instance produced a result this pass.
+        produced: bool,
+    },
+    /// A value reached `OUT`: the hub raised a wake-up.
+    Wake {
+        /// The node feeding `OUT`.
+        node: NodeId,
+        /// Source-sample sequence number the wake derives from.
+        seq: u64,
+        /// The scalar delivered to `OUT`.
+        value: f64,
+    },
+    /// The hub lost all interpreter state (watchdog reset, reload).
+    HubReset,
+    /// The phone re-downloaded the wake-up condition after a reset.
+    ProgramRedownload,
+    /// One transfer attempt of a wake/probe frame on the serial link.
+    LinkFrame {
+        /// How the attempt ended.
+        outcome: FrameOutcome,
+        /// 1-based attempt number; anything above 1 is a retry.
+        attempt: u32,
+    },
+    /// A frame was abandoned after the retry budget was exhausted.
+    FrameLost,
+    /// A fault swallowed one sensor sample before the hub saw it
+    /// (hub downtime or a per-channel dropout).
+    SampleDropped {
+        /// The channel the lost sample belonged to.
+        channel: SensorChannel,
+    },
+    /// The strategy changed operating mode (degraded duty-cycle fallback
+    /// entered or left).
+    Degraded {
+        /// `true` on entry into degraded mode, `false` on exit.
+        entered: bool,
+    },
+}
+
+/// A consumer of [`Event`]s.
+///
+/// The hub runtime and the simulation engine take an `EventSink` as a
+/// generic type parameter (static dispatch). Call sites guard event
+/// construction on [`EventSink::ENABLED`]:
+///
+/// ```ignore
+/// if S::ENABLED {
+///     sink.record(Event::Wake { node, seq, value });
+/// }
+/// ```
+///
+/// so a [`NullSink`] build performs no timing calls, builds no events,
+/// and branches on a compile-time constant the optimizer deletes.
+pub trait EventSink {
+    /// Whether this sink observes anything at all. `false` only for
+    /// [`NullSink`]-like sinks; used to constant-fold instrumentation.
+    const ENABLED: bool = true;
+
+    /// Consumes one event.
+    fn record(&mut self, event: Event);
+
+    /// Moves the sink's simulated-time cursor; sinks that build
+    /// timelines timestamp subsequent events with it. No-op by default.
+    #[inline(always)]
+    fn set_time(&mut self, _t: Micros) {}
+}
+
+/// The disabled sink: observes nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: Event) {}
+}
+
+/// Sinks pass through mutable references, so a caller can lend a sink to
+/// the hub for a run and keep using it afterwards.
+impl<S: EventSink> EventSink for &mut S {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline(always)]
+    fn record(&mut self, event: Event) {
+        (**self).record(event);
+    }
+
+    #[inline(always)]
+    fn set_time(&mut self, t: Micros) {
+        (**self).set_time(t);
+    }
+}
+
+/// Fan-out: one emission feeds two sinks (e.g. counters and a timeline
+/// over the same run).
+impl<A: EventSink, B: EventSink> EventSink for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline(always)]
+    fn record(&mut self, event: Event) {
+        self.0.record(event);
+        self.1.record(event);
+    }
+
+    #[inline(always)]
+    fn set_time(&mut self, t: Micros) {
+        self.0.set_time(t);
+        self.1.set_time(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Tally {
+        events: usize,
+        last_time: Micros,
+    }
+
+    impl EventSink for Tally {
+        fn record(&mut self, _event: Event) {
+            self.events += 1;
+        }
+        fn set_time(&mut self, t: Micros) {
+            self.last_time = t;
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_inert() {
+        const { assert!(!NullSink::ENABLED) };
+        let mut sink = NullSink;
+        sink.record(Event::HubReset);
+        sink.set_time(Micros::from_secs(5));
+    }
+
+    #[test]
+    fn mut_ref_forwards_and_preserves_enabled() {
+        const { assert!(!<&mut NullSink as EventSink>::ENABLED) };
+        const { assert!(<&mut Tally as EventSink>::ENABLED) };
+        let mut tally = Tally::default();
+        {
+            let mut lent = &mut tally;
+            <&mut Tally as EventSink>::record(&mut lent, Event::HubReset);
+            <&mut Tally as EventSink>::set_time(&mut lent, Micros::from_secs(7));
+        }
+        assert_eq!(tally.events, 1);
+        assert_eq!(tally.last_time, Micros::from_secs(7));
+    }
+
+    #[test]
+    fn pair_fans_out_to_both_sinks() {
+        const { assert!(<(Tally, NullSink) as EventSink>::ENABLED) };
+        const { assert!(!<(NullSink, NullSink) as EventSink>::ENABLED) };
+        let mut pair = (Tally::default(), Tally::default());
+        pair.record(Event::FrameLost);
+        pair.set_time(Micros::from_millis(250));
+        assert_eq!(pair.0.events, 1);
+        assert_eq!(pair.1.events, 1);
+        assert_eq!(pair.1.last_time, Micros::from_millis(250));
+    }
+}

@@ -1,0 +1,170 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Buckets are powers of two over nanoseconds: bucket `i` counts values
+//! in `[2^i, 2^(i+1))`, with bucket 0 also absorbing zero. Everything is
+//! a plain array — no allocation ever, `no_std`-friendly — so recording
+//! into one from the interpreter hot path cannot disturb the hub's
+//! zero-allocation guarantee.
+
+/// Number of power-of-two buckets; covers sub-nanosecond through ~2 s.
+pub const BUCKETS: usize = 32;
+
+/// An allocation-free power-of-two histogram of nanosecond durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Index of the bucket that counts `ns`.
+    #[inline]
+    fn bucket_index(ns: u64) -> usize {
+        if ns <= 1 {
+            0
+        } else {
+            ((63 - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded durations, nanoseconds (saturating).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded duration, nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean recorded duration in nanoseconds; zero when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts; bucket `i` spans `[2^i, 2^(i+1))` ns.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`): the
+    /// exclusive upper edge of the bucket containing that rank. Zero when
+    /// empty.
+    pub fn quantile_upper_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(1023), 9);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn records_accumulate_count_sum_max() {
+        let mut h = Histogram::new();
+        for ns in [0, 1, 2, 100, 1000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_ns(), 1103);
+        assert_eq!(h.max_ns(), 1000);
+        assert!((h.mean_ns() - 220.6).abs() < 1e-9);
+        // 0 and 1 share bucket 0; 2 lands in bucket 1.
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[1], 1);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 3: [8, 16)
+        }
+        h.record(1 << 20); // bucket 20
+        assert_eq!(h.quantile_upper_ns(0.5), 16);
+        assert_eq!(h.quantile_upper_ns(1.0), 1 << 21);
+        assert_eq!(Histogram::new().quantile_upper_ns(0.5), 0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(500);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum_ns(), 512);
+        assert_eq!(a.max_ns(), 500);
+    }
+}

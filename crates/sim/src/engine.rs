@@ -18,6 +18,7 @@ use sidewinder_hub::link::SerialLink;
 use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
 use sidewinder_hub::HubError;
 use sidewinder_ir::Program;
+use sidewinder_obs::{Event, EventSink, FrameOutcome, NullSink};
 use sidewinder_sensors::{Micros, SensorChannel, SensorTrace};
 
 /// Tunable simulation constants.
@@ -157,6 +158,31 @@ pub fn simulate(
     profile: &PhonePowerProfile,
     config: &SimConfig,
 ) -> Result<SimResult, SimError> {
+    simulate_traced(trace, app, strategy, profile, config, &mut NullSink)
+}
+
+/// [`simulate`] with an observability sink attached.
+///
+/// Hub-resident strategies thread `sink` into the [`HubRuntime`], so it
+/// sees every node execution and wake emission; the engine additionally
+/// moves the sink's time cursor to each sample's trace time and reports
+/// one delivered link frame per wake. With [`NullSink`] this *is*
+/// [`simulate`]: the instrumentation compiles out and the sample replay
+/// takes the identical batched path (pinned by the obs conformance
+/// suite).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if a hub wake-up condition cannot be loaded or
+/// executed on the trace.
+pub fn simulate_traced<S: EventSink>(
+    trace: &SensorTrace,
+    app: &dyn Application,
+    strategy: &Strategy,
+    profile: &PhonePowerProfile,
+    config: &SimConfig,
+    sink: &mut S,
+) -> Result<SimResult, SimError> {
     let duration = trace.duration();
     let mut discovery_delays = Vec::new();
     let (awake, mut detections) = match strategy {
@@ -176,7 +202,7 @@ pub fn simulate(
         Strategy::HubWake { program, .. } | Strategy::HubWakeDegraded { program, .. } => {
             // With no faults to degrade under, the hardened strategy *is*
             // plain hub wake-up.
-            hub_wake(trace, app, program, config)?
+            hub_wake(trace, app, program, config, sink)?
         }
         Strategy::Oracle => {
             let spans: Vec<(Micros, Micros)> = app
@@ -237,8 +263,37 @@ pub fn simulate_with_faults(
     config: &SimConfig,
     schedule: &FaultSchedule,
 ) -> Result<SimResult, SimError> {
+    simulate_with_faults_traced(
+        trace,
+        app,
+        strategy,
+        profile,
+        config,
+        schedule,
+        &mut NullSink,
+    )
+}
+
+/// [`simulate_with_faults`] with an observability sink attached: on top
+/// of what [`simulate_traced`] reports, the sink sees every link-frame
+/// fate and retry, lost frames, dropped samples, hub resets with their
+/// program re-downloads, and degraded-mode entries/exits.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the wake-up condition cannot be loaded or
+/// executed on the trace.
+pub fn simulate_with_faults_traced<S: EventSink>(
+    trace: &SensorTrace,
+    app: &dyn Application,
+    strategy: &Strategy,
+    profile: &PhonePowerProfile,
+    config: &SimConfig,
+    schedule: &FaultSchedule,
+    sink: &mut S,
+) -> Result<SimResult, SimError> {
     if schedule.is_empty() {
-        return simulate(trace, app, strategy, profile, config);
+        return simulate_traced(trace, app, strategy, profile, config, sink);
     }
     let (program, fallback) = match strategy {
         Strategy::HubWake { program, .. } => (program, None),
@@ -247,11 +302,12 @@ pub fn simulate_with_faults(
             fallback_sleep,
             ..
         } => (program, Some(*fallback_sleep)),
-        _ => return simulate(trace, app, strategy, profile, config),
+        _ => return simulate_traced(trace, app, strategy, profile, config, sink),
     };
     let duration = trace.duration();
-    let (awake, mut detections, fault) =
-        hub_wake_faulted(trace, app, program, config, profile, schedule, fallback)?;
+    let (awake, mut detections, fault) = hub_wake_faulted(
+        trace, app, program, config, profile, schedule, fallback, sink,
+    )?;
     let awake = awake.clip(duration);
     detections.sort();
     detections.dedup();
@@ -386,11 +442,12 @@ fn batching(
 }
 
 /// Hub-resident wake-up condition (Predefined Activity or Sidewinder).
-fn hub_wake(
+fn hub_wake<S: EventSink>(
     trace: &SensorTrace,
     app: &dyn Application,
     program: &Program,
     config: &SimConfig,
+    sink: &mut S,
 ) -> Result<(IntervalSet, Vec<Micros>), SimError> {
     // Configure hub channel rates from the trace itself.
     let mut rates = ChannelRates::default();
@@ -401,7 +458,7 @@ fn hub_wake(
             .ok_or(SimError::MissingChannel(channel))?;
         rates = rates.with_rate(channel, series.rate_hz());
     }
-    let mut hub = HubRuntime::load(program, &rates)?;
+    let mut hub = HubRuntime::load_with_sink(program, &rates, &mut *sink)?;
 
     // Replay samples in time order across the program's channels and
     // collect wake times. Consecutive samples from one channel are pushed
@@ -455,8 +512,28 @@ fn hub_wake(
         cursors[i].1 = end;
         // Within one channel, a sample's sequence number is its series
         // index, so each wake's trigger time is recoverable from its tag.
-        let wakes = hub.push_samples(channel, &series.samples()[idx..end])?;
-        wake_times.extend(wakes.iter().map(|w| series.time_of(w.seq as usize)));
+        if S::ENABLED {
+            // Traced: feed one sample at a time so each event is stamped
+            // with its sample's trace time, and report each wake's frame
+            // crossing the link. Batch-equivalence of the two paths is
+            // pinned by the hub's conformance tests.
+            for s in idx..end {
+                hub.sink_mut().set_time(series.time_of(s));
+                let wakes = hub.push_sample(channel, series.samples()[s])?;
+                for w in &wakes {
+                    wake_times.push(series.time_of(w.seq as usize));
+                }
+                for _ in &wakes {
+                    hub.sink_mut().record(Event::LinkFrame {
+                        outcome: FrameOutcome::Delivered,
+                        attempt: 1,
+                    });
+                }
+            }
+        } else {
+            let wakes = hub.push_samples(channel, &series.samples()[idx..end])?;
+            wake_times.extend(wakes.iter().map(|w| series.time_of(w.seq as usize)));
+        }
     }
 
     // Each wake keeps the phone up briefly; close wakes merge into a
@@ -482,7 +559,8 @@ fn hub_wake(
 /// probes hub health after timeouts, and re-downloads the program after
 /// each reset; when `fallback` is set it additionally duty-cycles on the
 /// main CPU through every window where the hub is unusable.
-fn hub_wake_faulted(
+#[allow(clippy::too_many_arguments)]
+fn hub_wake_faulted<S: EventSink>(
     trace: &SensorTrace,
     app: &dyn Application,
     program: &Program,
@@ -490,6 +568,7 @@ fn hub_wake_faulted(
     profile: &PhonePowerProfile,
     schedule: &FaultSchedule,
     fallback: Option<Micros>,
+    sink: &mut S,
 ) -> Result<(IntervalSet, Vec<Micros>, FaultCounters), SimError> {
     let duration = trace.duration();
     let mut rates = ChannelRates::default();
@@ -500,7 +579,7 @@ fn hub_wake_faulted(
             .ok_or(SimError::MissingChannel(channel))?;
         rates = rates.with_rate(channel, series.rate_hz());
     }
-    let mut hub = HubRuntime::load(program, &rates)?;
+    let mut hub = HubRuntime::load_with_sink(program, &rates, &mut *sink)?;
 
     // Link-cost model: every transfer is CRC-framed; a health probe is a
     // round trip; recovering from a hub reset takes the reboot, a program
@@ -572,7 +651,13 @@ fn hub_wake_faulted(
             // all filter state and its sequence counters, and the phone
             // pays reboot + re-download + probe to bring it back.
             while next_reset < plan.resets().len() && plan.resets()[next_reset] <= t {
+                if S::ENABLED {
+                    hub.sink_mut().set_time(plan.resets()[next_reset]);
+                }
                 hub.reset();
+                if S::ENABLED {
+                    hub.sink_mut().record(Event::ProgramRedownload);
+                }
                 for map in &mut consumed {
                     map.clear();
                 }
@@ -581,8 +666,14 @@ fn hub_wake_faulted(
                 fault.recovery_time += recovery;
                 next_reset += 1;
             }
+            if S::ENABLED {
+                hub.sink_mut().set_time(t);
+            }
             if plan.hub_down_at(t) || plan.channel_dropped(channel, t) {
                 fault.samples_dropped += 1;
+                if S::ENABLED {
+                    hub.sink_mut().record(Event::SampleDropped { channel });
+                }
                 continue;
             }
             consumed[i].push(s);
@@ -597,7 +688,16 @@ fn hub_wake_faulted(
                 let mut attempt = 1u32;
                 loop {
                     fault.frames_sent += 1;
-                    match plan.next_frame_fate() {
+                    let fate = plan.next_frame_fate();
+                    if S::ENABLED {
+                        let outcome = match fate {
+                            FrameFate::Delivered => FrameOutcome::Delivered,
+                            FrameFate::Corrupted => FrameOutcome::Corrupted,
+                            FrameFate::Dropped => FrameOutcome::Dropped,
+                        };
+                        hub.sink_mut().record(Event::LinkFrame { outcome, attempt });
+                    }
+                    match fate {
                         FrameFate::Delivered => {
                             wake_times.push((tw + delay).min(duration));
                             break;
@@ -607,6 +707,9 @@ fn hub_wake_faulted(
                     }
                     if attempt >= retry.max_attempts {
                         fault.frames_lost += 1;
+                        if S::ENABLED {
+                            hub.sink_mut().record(Event::FrameLost);
+                        }
                         if let Some(fb) = fallback {
                             // The link is saturated past its budget: cover
                             // the loss with one fallback duty cycle.
@@ -646,6 +749,10 @@ fn hub_wake_faulted(
         let chunk = config.awake_chunk;
         for &(win_start, win_end) in windows.spans() {
             fault.degraded_time += win_end - win_start;
+            if S::ENABLED {
+                hub.sink_mut().set_time(win_start);
+                hub.sink_mut().record(Event::Degraded { entered: true });
+            }
             // The exact duty_cycle pacing loop, bounded to the window, so
             // a full-trace outage reproduces DutyCycle detections
             // identically.
@@ -668,6 +775,10 @@ fn hub_wake_faulted(
                 }
                 all_spans.push((t, end));
                 t = end + sleep.max(profile.transition_time * 2);
+            }
+            if S::ENABLED {
+                hub.sink_mut().set_time(win_end);
+                hub.sink_mut().record(Event::Degraded { entered: false });
             }
         }
     }

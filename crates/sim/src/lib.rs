@@ -28,11 +28,16 @@
 //!   deterministic, bit-identical-to-serial results;
 //! * [`report`] — derived quantities (power relative to Oracle, fraction
 //!   of possible savings) and fixed-width table rendering for the
-//!   experiment binaries.
+//!   experiment binaries;
+//! * [`energy`] — [`energy::attribute_energy`]: run with counters
+//!   attached and close an exact-sum [`EnergyLedger`] splitting the
+//!   run's joules across pipeline nodes, the serial link, MCU idle, and
+//!   the phone's power states.
 
 pub mod app;
 pub mod batch;
 pub mod concurrent;
+pub mod energy;
 pub mod engine;
 pub mod intervals;
 pub mod metrics;
@@ -44,8 +49,13 @@ pub use app::Application;
 pub use batch::{
     par_map, BatchReport, BatchRunner, JobError, JobOutcome, JobSpec, SharedApp, SweepSpec,
 };
-pub use engine::{simulate, simulate_with_faults, SimConfig, SimError, SimResult};
+pub use energy::{attribute_energy, attribute_energy_with_faults, AttributedRun};
+pub use engine::{
+    simulate, simulate_traced, simulate_with_faults, simulate_with_faults_traced, SimConfig,
+    SimError, SimResult,
+};
 pub use metrics::{DetectionStats, FaultCounters};
 pub use power::{PhonePowerProfile, PowerBreakdown};
 pub use sidewinder_hub::fault::{ChannelDropout, FaultSchedule, FrameFate, RetryPolicy};
+pub use sidewinder_obs::{CounterSink, EnergyLedger, EventSink, NullSink, TimelineSink};
 pub use strategy::Strategy;

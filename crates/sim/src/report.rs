@@ -2,6 +2,7 @@
 
 use crate::engine::SimResult;
 use crate::metrics::FaultCounters;
+use sidewinder_obs::EnergyLedger;
 
 /// Power of a strategy relative to Oracle — the y-axis of the paper's
 /// Fig. 5 and Fig. 7.
@@ -59,6 +60,52 @@ pub fn fault_totals(results: &[SimResult]) -> FaultCounters {
         total.merge(&r.fault);
     }
     total
+}
+
+/// Renders an [`EnergyLedger`] as a per-component table: one row per
+/// pipeline node, then the link, the MCU idle floor, and the phone's
+/// power states, each with its joules and share of the run total. The
+/// final `total` row reproduces the run's measured energy — the ledger
+/// closes exactly by construction.
+pub fn energy_table(ledger: &EnergyLedger) -> Table {
+    let total = ledger.total_j();
+    let share = |j: f64| {
+        if total > 0.0 {
+            format!("{:.2}%", 100.0 * j / total)
+        } else {
+            "-".to_string()
+        }
+    };
+    let mut table = Table::new(["component", "executions", "energy (mJ)", "share"]);
+    for node in &ledger.nodes {
+        table.push_row([
+            node.label.clone(),
+            node.executions.to_string(),
+            format!("{:.3}", node.joules * 1_000.0),
+            share(node.joules),
+        ]);
+    }
+    for (label, j) in [
+        ("serial link", ledger.link_j),
+        ("mcu idle", ledger.mcu_idle_j),
+        ("phone awake", ledger.phone_awake_j),
+        ("phone asleep", ledger.phone_asleep_j),
+        ("phone transitions", ledger.phone_transition_j),
+    ] {
+        table.push_row([
+            label.to_string(),
+            String::new(),
+            format!("{:.3}", j * 1_000.0),
+            share(j),
+        ]);
+    }
+    table.push_row([
+        "total".to_string(),
+        String::new(),
+        format!("{:.3}", total * 1_000.0),
+        share(total),
+    ]);
+    table
 }
 
 /// A minimal fixed-width table renderer for terminal reports.
@@ -188,5 +235,26 @@ mod tests {
     #[test]
     fn fault_totals_of_empty_are_clean() {
         assert!(fault_totals(&[]).is_clean());
+    }
+
+    #[test]
+    fn energy_table_lists_components_and_total() {
+        let ledger = EnergyLedger::close(
+            0.01,
+            vec![("movingAvg#1".to_string(), 3000, 0.004)],
+            0.001,
+            1.0,
+            0.5,
+            0.1,
+        );
+        let table = energy_table(&ledger);
+        let rendered = table.render();
+        assert!(rendered.contains("movingAvg#1"));
+        assert!(rendered.contains("serial link"));
+        assert!(rendered.contains("mcu idle"));
+        assert!(rendered.contains("phone awake"));
+        assert!(rendered.contains("total"));
+        // 1 node + 5 fixed components + total.
+        assert_eq!(table.len(), 7);
     }
 }

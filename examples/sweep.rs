@@ -80,6 +80,20 @@ fn main() {
     let serial_elapsed = started.elapsed();
     println!("serial reference: {serial_elapsed:?}");
 
+    // A failed cell must fail the sweep — the parallel comparison below
+    // only checks that workers agree with the serial run, and two runs
+    // can agree on an error.
+    let mut failed_cells = 0usize;
+    for outcome in &serial {
+        if let Err(e) = &outcome.result {
+            eprintln!(
+                "cell {} ({} / {} / {}) failed: {e}",
+                outcome.index, outcome.trace, outcome.app, outcome.strategy
+            );
+            failed_cells += 1;
+        }
+    }
+
     let available = BatchRunner::new().worker_count();
     let mut worker_counts = vec![2, 4, available];
     worker_counts.sort_unstable();
@@ -173,4 +187,9 @@ fn main() {
         totals.degraded_s(),
         totals.recovery_time.as_secs_f64(),
     );
+
+    if failed_cells > 0 {
+        eprintln!("sweep: {failed_cells} cell(s) failed");
+        std::process::exit(1);
+    }
 }

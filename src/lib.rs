@@ -24,7 +24,10 @@
 //! * [`tracegen`] — synthetic robot / human / audio trace generators;
 //! * [`apps`] — the six evaluation applications and the
 //!   predefined-activity baselines;
-//! * [`sim`] — the trace-driven power/recall simulator.
+//! * [`sim`] — the trace-driven power/recall simulator;
+//! * [`obs`] — the observability layer: structured event sinks,
+//!   per-node counters and timing histograms, energy ledgers, and the
+//!   Chrome-tracing timeline exporter.
 //!
 //! # Quickstart
 //!
@@ -63,6 +66,7 @@ pub use sidewinder_core as core;
 pub use sidewinder_dsp as dsp;
 pub use sidewinder_hub as hub;
 pub use sidewinder_ir as ir;
+pub use sidewinder_obs as obs;
 pub use sidewinder_sensors as sensors;
 pub use sidewinder_sim as sim;
 pub use sidewinder_tracegen as tracegen;
