@@ -152,7 +152,12 @@ fn retarget(program: &Program, target: NodeId, threshold: f64) -> Program {
         .stmts()
         .iter()
         .map(|stmt| match stmt {
-            Stmt::Node { sources, id, kind } if *id == target => {
+            Stmt::Node {
+                sources,
+                id,
+                kind,
+                line,
+            } if *id == target => {
                 let kind = match kind {
                     AlgorithmKind::MinThreshold { .. } => AlgorithmKind::MinThreshold { threshold },
                     AlgorithmKind::MaxThreshold { .. } => AlgorithmKind::MaxThreshold { threshold },
@@ -168,6 +173,7 @@ fn retarget(program: &Program, target: NodeId, threshold: f64) -> Program {
                     sources: sources.clone(),
                     id: *id,
                     kind,
+                    line: *line,
                 }
             }
             other => other.clone(),

@@ -27,10 +27,16 @@ fn rewrite(program: &Program, patch: impl Fn(&AlgorithmKind) -> AlgorithmKind) -
         .stmts()
         .iter()
         .map(|stmt| match stmt {
-            Stmt::Node { sources, id, kind } => Stmt::Node {
+            Stmt::Node {
+                sources,
+                id,
+                kind,
+                line,
+            } => Stmt::Node {
                 sources: sources.clone(),
                 id: *id,
                 kind: patch(kind),
+                line: *line,
             },
             out => out.clone(),
         })

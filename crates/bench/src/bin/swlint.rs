@@ -1,0 +1,141 @@
+//! `swlint` — static analyzer front end for Sidewinder IR programs.
+//!
+//! Parses and validates each input, runs the full lint suite from
+//! `sidewinder-lint`, and renders diagnostics for humans or machines.
+//!
+//! Usage:
+//!
+//! ```text
+//! swlint wake.swir                  # lint one file, human diagnostics
+//! swlint a.swir b.swir              # lint several files
+//! swlint < wake.swir                # lint stdin
+//! swlint --format json *.swir       # one JSON array across all inputs
+//! swlint --deny warnings wake.swir  # warnings fail the build (CI mode)
+//! ```
+//!
+//! Exit codes: `0` clean (or only undenied findings), `1` denied
+//! diagnostics present, `2` usage, I/O, parse, or validation error.
+
+use sidewinder_hub::runtime::ChannelRates;
+use sidewinder_ir::Program;
+use sidewinder_lint::{lint_program, render_json_array, LintReport, Severity};
+use std::io::Read;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: swlint [--format human|json] [--deny warnings] [FILE...]";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut format = Format::Human;
+    let mut deny_warnings = false;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("swlint: --format expects human|json, got {other:?}");
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny" => match args.next().as_deref() {
+                Some("warnings") => deny_warnings = true,
+                other => {
+                    eprintln!("swlint: --deny expects `warnings`, got {other:?}");
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("swlint: unknown flag {flag}");
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    // No files: lint stdin, the `swlint < wake.swir` pipe mode.
+    let inputs: Vec<(String, Option<String>)> = if files.is_empty() {
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("swlint: cannot read stdin: {e}");
+            return ExitCode::from(2);
+        }
+        vec![("<stdin>".to_string(), Some(text))]
+    } else {
+        files.into_iter().map(|f| (f, None)).collect()
+    };
+
+    let rates = ChannelRates::default();
+    let mut reports: Vec<(String, LintReport)> = Vec::new();
+    for (source, text) in inputs {
+        let text = match text {
+            Some(t) => t,
+            None => match std::fs::read_to_string(&source) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("swlint: cannot read {source}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+        };
+        let program: Program = match text.parse() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {source}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = program.validate_located() {
+            eprintln!("error: {source}: {e}");
+            return ExitCode::from(2);
+        }
+        reports.push((source, lint_program(&program, &rates)));
+    }
+
+    match format {
+        Format::Json => {
+            let entries: Vec<String> = reports
+                .iter()
+                .flat_map(|(source, r)| r.json_entries(source))
+                .collect();
+            println!("{}", render_json_array(&entries));
+        }
+        Format::Human => {
+            for (source, r) in &reports {
+                print!("{}", r.render_human(source));
+            }
+            let (errors, warnings, notes) = reports.iter().fold((0, 0, 0), |(e, w, n), (_, r)| {
+                (
+                    e + r.count(Severity::Error),
+                    w + r.count(Severity::Warn),
+                    n + r.count(Severity::Info),
+                )
+            });
+            eprintln!(
+                "swlint: {} file(s): {errors} error(s), {warnings} warning(s), {notes} note(s)",
+                reports.len()
+            );
+        }
+    }
+
+    if reports.iter().any(|(_, r)| r.fails(deny_warnings)) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -53,18 +53,36 @@ impl PipelineCost {
         let mut nodes = Vec::new();
 
         for (sources, id, kind) in program.nodes() {
-            let (input_rate, input_len) = sources
-                .first()
+            // A multi-input aggregator processes every arriving value, so
+            // it is charged for the *sum* of its source rates, not just
+            // the first source's.
+            let src_rates: Vec<f64> = sources
+                .iter()
                 .map(|s| match s {
-                    Source::Channel(c) => (rates.rate_of(*c), 1),
-                    Source::Node(n) => (
-                        out_rate.get(n).copied().unwrap_or(0.0),
-                        out_len.get(n).copied().unwrap_or(1),
-                    ),
+                    Source::Channel(c) => rates.rate_of(*c),
+                    Source::Node(n) => out_rate.get(n).copied().unwrap_or(0.0),
                 })
-                .unwrap_or((0.0, 1));
+                .collect();
+            let input_rate: f64 = src_rates.iter().sum();
+            let input_len = sources
+                .iter()
+                .map(|s| match s {
+                    Source::Channel(_) => 1,
+                    Source::Node(n) => out_len.get(n).copied().unwrap_or(1),
+                })
+                .max()
+                .unwrap_or(1);
 
-            let (flops, mem, rate_out, len_out) = cost_of(kind, input_rate, input_len);
+            let (flops, mem, mut rate_out, len_out) = cost_of(kind, input_rate, input_len);
+            // Joins that wait for every branch emit at the slowest
+            // branch's cadence; anyOf forwards every arrival (the summed
+            // rate cost_of already returned).
+            if matches!(kind, AlgorithmKind::VectorMagnitude | AlgorithmKind::AllOf) {
+                rate_out = src_rates.iter().copied().fold(f64::INFINITY, f64::min);
+                if !rate_out.is_finite() {
+                    rate_out = 0.0;
+                }
+            }
             nodes.push(NodeCost {
                 id,
                 input_rate_hz: input_rate,
@@ -237,6 +255,42 @@ mod tests {
         // dominantFreq consumes 129-point magnitude vectors: 2 flops/bin.
         let dom = &cost.nodes()[3];
         assert!((dom.flops_per_input - 258.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregator_input_rate_sums_all_sources() {
+        // Regression: analyze() used to read only sources.first(), so a
+        // two-input aggregator was charged for one 50 Hz stream instead
+        // of two.
+        let cost = analyze(
+            "ACC_X -> movingAvg(id=1, params={5});
+             ACC_Y -> movingAvg(id=2, params={5});
+             1,2 -> vectorMagnitude(id=3);
+             3 -> minThreshold(id=4, params={15});
+             4 -> OUT;",
+        );
+        let join = &cost.nodes()[2];
+        assert!((join.input_rate_hz - 100.0).abs() < 1e-9);
+        // 100 arrivals/s × 20 flops each.
+        assert!((join.flops_per_second() - 2_000.0).abs() < 1e-9);
+        // The join emits once per completed set — at the branch rate —
+        // so the downstream threshold sees 50 Hz, not 100 Hz.
+        let thr = &cost.nodes()[3];
+        assert!((thr.input_rate_hz - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn any_of_forwards_the_summed_rate() {
+        let cost = analyze(
+            "ACC_X -> movingAvg(id=1, params={5});
+             ACC_Y -> movingAvg(id=2, params={5});
+             1,2 -> anyOf(id=3);
+             3 -> minThreshold(id=4, params={15});
+             4 -> OUT;",
+        );
+        // An OR join emits on every arrival: downstream sees 100 Hz.
+        let thr = &cost.nodes()[3];
+        assert!((thr.input_rate_hz - 100.0).abs() < 1e-9);
     }
 
     #[test]

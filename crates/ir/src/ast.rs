@@ -430,7 +430,13 @@ impl std::fmt::Display for Source {
 }
 
 /// One statement of an IR program.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Statements carry the 1-based source line they were parsed from so
+/// diagnostics (validator errors, lints) can cite `line N` instead of
+/// only node ids. Programs built through the API use line `0`
+/// ("synthesized"); the line is *metadata* and is ignored by `PartialEq`,
+/// so a parsed program compares equal to the same program built by hand.
+#[derive(Debug, Clone)]
 pub enum Stmt {
     /// `sources -> kind(id=N, params={…});` — instantiate an algorithm.
     Node {
@@ -440,12 +446,51 @@ pub enum Stmt {
         id: NodeId,
         /// The algorithm and its parameters.
         kind: AlgorithmKind,
+        /// 1-based source line, or 0 when synthesized via the API.
+        line: u32,
     },
     /// `N -> OUT;` — results of node `N` wake the main processor.
     Out {
         /// The node whose output triggers the wake-up.
         source: NodeId,
+        /// 1-based source line, or 0 when synthesized via the API.
+        line: u32,
     },
+}
+
+impl Stmt {
+    /// The 1-based source line this statement was parsed from, or `None`
+    /// for statements synthesized through the API.
+    pub fn line(&self) -> Option<u32> {
+        let raw = match self {
+            Stmt::Node { line, .. } | Stmt::Out { line, .. } => *line,
+        };
+        (raw != 0).then_some(raw)
+    }
+}
+
+impl PartialEq for Stmt {
+    /// Structural equality; the source line is metadata and ignored.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                Stmt::Node {
+                    sources: a,
+                    id: ia,
+                    kind: ka,
+                    ..
+                },
+                Stmt::Node {
+                    sources: b,
+                    id: ib,
+                    kind: kb,
+                    ..
+                },
+            ) => a == b && ia == ib && ka == kb,
+            (Stmt::Out { source: a, .. }, Stmt::Out { source: b, .. }) => a == b,
+            _ => false,
+        }
+    }
 }
 
 /// A complete intermediate-language program.
@@ -471,14 +516,56 @@ impl Program {
         &self.stmts
     }
 
-    /// Appends a node statement.
+    /// Appends a node statement (no source line; see
+    /// [`Program::push_node_at`]).
     pub fn push_node(&mut self, sources: Vec<Source>, id: NodeId, kind: AlgorithmKind) {
-        self.stmts.push(Stmt::Node { sources, id, kind });
+        self.push_node_at(sources, id, kind, 0);
     }
 
-    /// Appends the terminal `OUT` statement.
+    /// Appends a node statement carrying its 1-based source line
+    /// (0 = synthesized).
+    pub fn push_node_at(
+        &mut self,
+        sources: Vec<Source>,
+        id: NodeId,
+        kind: AlgorithmKind,
+        line: u32,
+    ) {
+        self.stmts.push(Stmt::Node {
+            sources,
+            id,
+            kind,
+            line,
+        });
+    }
+
+    /// Appends the terminal `OUT` statement (no source line; see
+    /// [`Program::push_out_at`]).
     pub fn push_out(&mut self, source: NodeId) {
-        self.stmts.push(Stmt::Out { source });
+        self.push_out_at(source, 0);
+    }
+
+    /// Appends the terminal `OUT` statement carrying its 1-based source
+    /// line (0 = synthesized).
+    pub fn push_out_at(&mut self, source: NodeId, line: u32) {
+        self.stmts.push(Stmt::Out { source, line });
+    }
+
+    /// The source line declaring node `id`, if the program was parsed
+    /// from text.
+    pub fn line_of(&self, id: NodeId) -> Option<u32> {
+        self.stmts.iter().find_map(|s| match s {
+            Stmt::Node { id: nid, .. } if *nid == id => s.line(),
+            _ => None,
+        })
+    }
+
+    /// The source line of the `OUT` statement, if parsed from text.
+    pub fn out_line(&self) -> Option<u32> {
+        self.stmts.iter().find_map(|s| match s {
+            Stmt::Out { .. } => s.line(),
+            _ => None,
+        })
     }
 
     /// Number of statements.
@@ -494,7 +581,9 @@ impl Program {
     /// Iterates node statements (skipping `OUT`).
     pub fn nodes(&self) -> impl Iterator<Item = (&[Source], NodeId, &AlgorithmKind)> {
         self.stmts.iter().filter_map(|s| match s {
-            Stmt::Node { sources, id, kind } => Some((sources.as_slice(), *id, kind)),
+            Stmt::Node {
+                sources, id, kind, ..
+            } => Some((sources.as_slice(), *id, kind)),
             Stmt::Out { .. } => None,
         })
     }
@@ -502,7 +591,7 @@ impl Program {
     /// The node feeding `OUT`, if the program has an `OUT` statement.
     pub fn out_source(&self) -> Option<NodeId> {
         self.stmts.iter().find_map(|s| match s {
-            Stmt::Out { source } => Some(*source),
+            Stmt::Out { source, .. } => Some(*source),
             _ => None,
         })
     }
@@ -545,6 +634,17 @@ impl Program {
     pub fn validate(&self) -> Result<(), crate::validate::ValidateError> {
         crate::validate::validate(self)
     }
+
+    /// Validates the program, attaching source lines to any defect; see
+    /// [`crate::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect found, located at the
+    /// statement that introduced it when line metadata is available.
+    pub fn validate_located(&self) -> Result<(), crate::validate::LocatedValidateError> {
+        crate::validate::validate_located(self)
+    }
 }
 
 impl std::fmt::Display for Program {
@@ -553,7 +653,9 @@ impl std::fmt::Display for Program {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for stmt in &self.stmts {
             match stmt {
-                Stmt::Node { sources, id, kind } => {
+                Stmt::Node {
+                    sources, id, kind, ..
+                } => {
                     let src: Vec<String> = sources.iter().map(|s| s.to_string()).collect();
                     write!(f, "{} -> {}(id={}", src.join(","), kind.ir_name(), id)?;
                     let params = kind.encode_params();
@@ -564,7 +666,7 @@ impl std::fmt::Display for Program {
                     }
                     writeln!(f, ");")?;
                 }
-                Stmt::Out { source } => writeln!(f, "{source} -> OUT;")?,
+                Stmt::Out { source, .. } => writeln!(f, "{source} -> OUT;")?,
             }
         }
         Ok(())
@@ -772,6 +874,28 @@ ACC_Z -> movingAvg(id=3, params={10});
         );
         p.push_out(NodeId(1));
         assert!(!p.uses_fft());
+    }
+
+    #[test]
+    fn lines_are_metadata_not_identity() {
+        let mut by_hand = Program::new();
+        by_hand.push_node(
+            vec![Source::Channel(SensorChannel::AccX)],
+            NodeId(1),
+            AlgorithmKind::MovingAvg { window: 10 },
+        );
+        by_hand.push_out(NodeId(1));
+        let parsed: Program = "ACC_X -> movingAvg(id=1, params={10});\n1 -> OUT;"
+            .parse()
+            .unwrap();
+        // Equality ignores line metadata...
+        assert_eq!(parsed, by_hand);
+        // ...but parsed statements still know where they came from.
+        assert_eq!(parsed.line_of(NodeId(1)), Some(1));
+        assert_eq!(parsed.out_line(), Some(2));
+        assert_eq!(by_hand.line_of(NodeId(1)), None);
+        assert_eq!(by_hand.out_line(), None);
+        assert_eq!(by_hand.line_of(NodeId(42)), None);
     }
 
     #[test]

@@ -48,4 +48,4 @@ pub mod validate;
 
 pub use ast::{AlgorithmKind, NodeId, Program, Source, StatFn, Stmt, ValueType, WindowShapeParam};
 pub use parse::ParseError;
-pub use validate::ValidateError;
+pub use validate::{validate_located, LocatedValidateError, ValidateError};

@@ -80,9 +80,12 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
         line += stmt_text.matches('\n').count();
         rest = &rest[semi + 1..];
         let stmt = parse_statement(stmt_text, stmt_line)?;
+        let line = u32::try_from(stmt_line).unwrap_or(u32::MAX);
         match stmt {
-            Stmt::Node { sources, id, kind } => program.push_node(sources, id, kind),
-            Stmt::Out { source } => program.push_out(source),
+            Stmt::Node {
+                sources, id, kind, ..
+            } => program.push_node_at(sources, id, kind, line),
+            Stmt::Out { source, .. } => program.push_out_at(source, line),
         }
     }
     Ok(program)
@@ -100,9 +103,13 @@ fn parse_statement(text: &str, line: usize) -> Result<Stmt, ParseError> {
         return Err(err(line, "statement missing '->'"));
     };
     let rhs = rhs.trim();
+    let stmt_line = u32::try_from(line).unwrap_or(u32::MAX);
     if rhs == "OUT" {
         let source = parse_node_id(lhs.trim(), line)?;
-        return Ok(Stmt::Out { source });
+        return Ok(Stmt::Out {
+            source,
+            line: stmt_line,
+        });
     }
     let sources = lhs
         .split(',')
@@ -112,7 +119,12 @@ fn parse_statement(text: &str, line: usize) -> Result<Stmt, ParseError> {
         return Err(err(line, "statement has no sources"));
     }
     let (id, kind) = parse_target(rhs, line)?;
-    Ok(Stmt::Node { sources, id, kind })
+    Ok(Stmt::Node {
+        sources,
+        id,
+        kind,
+        line: stmt_line,
+    })
 }
 
 fn parse_source(text: &str, line: usize) -> Result<Source, ParseError> {
@@ -297,6 +309,22 @@ ACC_X   ->   movingAvg( id = 7 , params = { 10 } )  ;
         let text =
             "MIC -> window(id=1, params={16, 16, 0});\n1 -> fft(id=2, params={});\n2 -> OUT;";
         assert!(parse(text).is_ok());
+    }
+
+    #[test]
+    fn statements_carry_their_source_lines() {
+        let text = "\
+# comment
+ACC_X -> movingAvg(id=1, params={10});
+
+1 ->
+  minThreshold(id=2, params={15});
+2 -> OUT;";
+        let p = parse(text).unwrap();
+        assert_eq!(p.line_of(NodeId(1)), Some(2));
+        // The multi-line statement is attributed to its starting line.
+        assert_eq!(p.line_of(NodeId(2)), Some(4));
+        assert_eq!(p.out_line(), Some(6));
     }
 
     #[test]

@@ -107,62 +107,110 @@ impl std::fmt::Display for ValidateError {
 
 impl std::error::Error for ValidateError {}
 
+/// A [`ValidateError`] located at the source line of the offending
+/// statement (when the program was parsed from text).
+///
+/// Rendering cites `line N: …` so toolchain diagnostics (the `swlint`
+/// CLI, hub admission logs) point at the defective statement instead of
+/// only naming node ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocatedValidateError {
+    /// The structural defect.
+    pub error: ValidateError,
+    /// 1-based source line of the offending statement, if known.
+    pub line: Option<u32>,
+}
+
+impl std::fmt::Display for LocatedValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.error),
+            None => self.error.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LocatedValidateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// Validates a program; returns the first defect found.
 ///
 /// # Errors
 ///
 /// See [`ValidateError`] for the possible defects.
 pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    validate_located(program).map_err(|e| e.error)
+}
+
+/// Validates a program; the first defect found is returned together
+/// with the source line of the statement that caused it.
+///
+/// # Errors
+///
+/// See [`ValidateError`] for the possible defects; the wrapping
+/// [`LocatedValidateError`] adds the line.
+pub fn validate_located(program: &Program) -> Result<(), LocatedValidateError> {
     let mut defined: BTreeMap<NodeId, ValueType> = BTreeMap::new();
     let mut out_seen = false;
     let mut out_node = None;
 
     for stmt in program.stmts() {
+        let at_line = |error: ValidateError| LocatedValidateError {
+            error,
+            line: stmt.line(),
+        };
         match stmt {
-            Stmt::Node { sources, id, kind } => {
+            Stmt::Node {
+                sources, id, kind, ..
+            } => {
                 if id.0 == 0 {
-                    return Err(ValidateError::ZeroId);
+                    return Err(at_line(ValidateError::ZeroId));
                 }
                 if defined.contains_key(id) {
-                    return Err(ValidateError::DuplicateId(*id));
+                    return Err(at_line(ValidateError::DuplicateId(*id)));
                 }
-                check_arity(*id, sources.len(), kind)?;
+                check_arity(*id, sources.len(), kind).map_err(at_line)?;
                 for source in sources {
                     let produced = match source {
                         Source::Channel(_) => ValueType::Scalar,
-                        Source::Node(src_id) => {
-                            *defined.get(src_id).ok_or(ValidateError::UndefinedSource {
+                        Source::Node(src_id) => *defined.get(src_id).ok_or_else(|| {
+                            at_line(ValidateError::UndefinedSource {
                                 at: Some(*id),
                                 source: *src_id,
-                            })?
-                        }
+                            })
+                        })?,
                     };
                     let expected = kind.input_type();
                     if produced != expected {
-                        return Err(ValidateError::TypeMismatch {
+                        return Err(at_line(ValidateError::TypeMismatch {
                             id: *id,
                             expected,
                             found: produced,
-                        });
+                        }));
                     }
                 }
-                check_params(*id, kind)?;
+                check_params(*id, kind).map_err(at_line)?;
                 defined.insert(*id, kind.output_type());
             }
-            Stmt::Out { source } => {
+            Stmt::Out { source, .. } => {
                 if out_seen {
-                    return Err(ValidateError::MultipleOut);
+                    return Err(at_line(ValidateError::MultipleOut));
                 }
                 out_seen = true;
-                let produced = *defined.get(source).ok_or(ValidateError::UndefinedSource {
-                    at: None,
-                    source: *source,
+                let produced = *defined.get(source).ok_or_else(|| {
+                    at_line(ValidateError::UndefinedSource {
+                        at: None,
+                        source: *source,
+                    })
                 })?;
                 if produced != ValueType::Scalar {
-                    return Err(ValidateError::NonScalarOut {
+                    return Err(at_line(ValidateError::NonScalarOut {
                         id: *source,
                         found: produced,
-                    });
+                    }));
                 }
                 out_node = Some(*source);
             }
@@ -170,7 +218,10 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
     }
 
     let Some(out_node) = out_node else {
-        return Err(ValidateError::MissingOut);
+        return Err(LocatedValidateError {
+            error: ValidateError::MissingOut,
+            line: None,
+        });
     };
 
     // Dead-node check: walk backwards from OUT.
@@ -190,7 +241,10 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
     }
     for (_, id, _) in program.nodes() {
         if !live.contains(&id) {
-            return Err(ValidateError::DeadNode(id));
+            return Err(LocatedValidateError {
+                error: ValidateError::DeadNode(id),
+                line: program.line_of(id),
+            });
         }
     }
     Ok(())
@@ -528,8 +582,10 @@ mod tests {
         let mut q = Program::new();
         for stmt in p.stmts().iter().take(2).cloned() {
             match stmt {
-                Stmt::Node { sources, id, kind } => q.push_node(sources, id, kind),
-                Stmt::Out { source } => q.push_out(source),
+                Stmt::Node {
+                    sources, id, kind, ..
+                } => q.push_node(sources, id, kind),
+                Stmt::Out { source, .. } => q.push_out(source),
             }
         }
         q.push_node(
@@ -576,6 +632,41 @@ mod tests {
         );
         p.push_out(NodeId(7));
         assert_eq!(validate(&p), Ok(()));
+    }
+
+    #[test]
+    fn located_errors_cite_source_lines() {
+        let p: Program = "ACC_X -> movingAvg(id=1, params={10});
+ACC_Y -> movingAvg(id=1, params={10});
+1 -> OUT;"
+            .parse()
+            .unwrap();
+        let e = validate_located(&p).unwrap_err();
+        assert_eq!(e.error, ValidateError::DuplicateId(NodeId(1)));
+        assert_eq!(e.line, Some(2));
+        assert_eq!(e.to_string(), "line 2: node id 1 declared twice");
+
+        // Dead nodes are located at their declaration, not at OUT.
+        let p: Program = "ACC_X -> movingAvg(id=1, params={10});
+ACC_Z -> movingAvg(id=9, params={2});
+1 -> OUT;"
+            .parse()
+            .unwrap();
+        let e = validate_located(&p).unwrap_err();
+        assert_eq!(e.error, ValidateError::DeadNode(NodeId(9)));
+        assert_eq!(e.line, Some(2));
+
+        // API-built programs have no lines; rendering falls back to ids.
+        let mut q = Program::new();
+        q.push_node(
+            ch(SensorChannel::AccX),
+            NodeId(0),
+            AlgorithmKind::MovingAvg { window: 1 },
+        );
+        q.push_out(NodeId(0));
+        let e = validate_located(&q).unwrap_err();
+        assert_eq!(e.line, None);
+        assert_eq!(e.to_string(), "node ids must be non-zero");
     }
 
     #[test]

@@ -1,0 +1,598 @@
+//! Abstract interpretation of IR dataflow graphs.
+//!
+//! One forward pass propagates four abstract properties through the
+//! (acyclic, define-before-use) program:
+//!
+//! * a **value interval** per emitted element, seeded from the physical
+//!   sensor bounds (±2 g accelerometer, ±1 normalized audio);
+//! * an **emission rate** in Hz and the expected **period in source
+//!   sample ticks** between emissions (what `sustained` compares its
+//!   `max_gap` against);
+//! * the **vector length** flowing along each edge;
+//! * **feasibility** flags: can the node ever emit, and does it emit for
+//!   every upstream arrival (the two ends of the admission-control
+//!   spectrum — a dead wake condition versus a wake storm).
+//!
+//! The pass is *total*: it never panics, even on unvalidated or
+//! malformed programs. References to undefined nodes resolve to a
+//! conservative top element (unbounded value, possibly non-finite),
+//! which is also what lets the numeric-hazard lint reason about
+//! FFT stages fed by unconstrained intermediates.
+
+use crate::interval::Interval;
+use sidewinder_hub::runtime::ChannelRates;
+use sidewinder_ir::{AlgorithmKind, NodeId, Program, Source, StatFn};
+use sidewinder_sensors::SensorChannel;
+use std::collections::BTreeMap;
+
+/// Standard gravity, m/s² — the accelerometer seed is ±2 g.
+const G: f64 = 9.80665;
+
+/// The physical value bounds of a sensor channel: ±2 g for the
+/// accelerometer axes (the part's configured full-scale range), `[-1, 1]`
+/// for normalized microphone amplitude.
+pub fn channel_interval(channel: SensorChannel) -> Interval {
+    if channel.is_accelerometer() {
+        Interval::symmetric(2.0 * G)
+    } else {
+        Interval::symmetric(1.0)
+    }
+}
+
+/// Everything the analyzer derived about one node.
+#[derive(Debug, Clone)]
+pub struct NodeFacts {
+    /// The node.
+    pub id: NodeId,
+    /// Source line of its declaration, when parsed from text.
+    pub line: Option<u32>,
+    /// The algorithm running at this node.
+    pub kind: AlgorithmKind,
+    /// Per-element interval of emitted values ([`Interval::EMPTY`] when
+    /// the node provably never emits).
+    pub value: Interval,
+    /// Hull of the incoming element intervals.
+    pub input_value: Interval,
+    /// Emission rate of each input edge, in Hz.
+    pub input_rates: Vec<f64>,
+    /// Whether an emitted value could be NaN or ±∞.
+    pub may_non_finite: bool,
+    /// Whether any incoming value could be NaN or ±∞.
+    pub input_may_non_finite: bool,
+    /// Emissions per second (upper bound).
+    pub rate_hz: f64,
+    /// Elements per emission (1 for scalars).
+    pub len: usize,
+    /// Expected source-sample ticks between emissions — the unit
+    /// `sustained` compares its `max_gap` parameter against.
+    pub period_ticks: f64,
+    /// Sample rate of the driving sensor channel (Nyquist context for
+    /// `dominantFreq`).
+    pub base_rate_hz: f64,
+    /// Whether the node can ever emit.
+    pub feasible: bool,
+    /// Whether the node emits for *every* upstream arrival.
+    pub always_emits: bool,
+    /// For admission-control nodes: the gate provably passes every
+    /// possible input value (it filters nothing).
+    pub passes_all: bool,
+    /// For admission-control nodes: the gate provably rejects every
+    /// possible input value.
+    pub passes_none: bool,
+}
+
+/// The result of analyzing a program.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    facts: BTreeMap<NodeId, NodeFacts>,
+    order: Vec<NodeId>,
+    out_source: Option<NodeId>,
+    out_line: Option<u32>,
+}
+
+impl Analysis {
+    /// Facts for one node, if it exists.
+    pub fn fact(&self, id: NodeId) -> Option<&NodeFacts> {
+        self.facts.get(&id)
+    }
+
+    /// Facts in statement order.
+    pub fn facts(&self) -> impl Iterator<Item = &NodeFacts> {
+        self.order.iter().filter_map(|id| self.facts.get(id))
+    }
+
+    /// The node feeding `OUT`, if any.
+    pub fn out_source(&self) -> Option<NodeId> {
+        self.out_source
+    }
+
+    /// Source line of the `OUT` statement, when parsed from text.
+    pub fn out_line(&self) -> Option<u32> {
+        self.out_line
+    }
+
+    /// Facts of the node feeding `OUT`.
+    pub fn out_fact(&self) -> Option<&NodeFacts> {
+        self.out_source.and_then(|id| self.facts.get(&id))
+    }
+}
+
+/// An upstream edge resolved to its abstract properties.
+#[derive(Debug, Clone)]
+struct Up {
+    value: Interval,
+    may_non_finite: bool,
+    rate_hz: f64,
+    len: usize,
+    period_ticks: f64,
+    base_rate_hz: f64,
+    feasible: bool,
+    always: bool,
+}
+
+impl Up {
+    /// Conservative top for references the program never defines
+    /// (unvalidated input): value unknown and possibly non-finite, but
+    /// neither provably dead nor provably storming.
+    fn unknown() -> Up {
+        Up {
+            value: Interval::UNBOUNDED,
+            may_non_finite: true,
+            rate_hz: 0.0,
+            len: 1,
+            period_ticks: f64::INFINITY,
+            base_rate_hz: 0.0,
+            feasible: true,
+            always: false,
+        }
+    }
+}
+
+/// Runs the forward pass. Total: accepts unvalidated programs and never
+/// panics; garbage in yields conservative facts out.
+pub fn analyze(program: &Program, rates: &ChannelRates) -> Analysis {
+    let mut facts: BTreeMap<NodeId, NodeFacts> = BTreeMap::new();
+    let mut order = Vec::new();
+
+    for (sources, id, kind) in program.nodes() {
+        let ups: Vec<Up> = sources
+            .iter()
+            .map(|s| match s {
+                Source::Channel(c) => {
+                    let rate = rates.rate_of(*c);
+                    Up {
+                        value: channel_interval(*c),
+                        may_non_finite: false,
+                        rate_hz: rate,
+                        len: 1,
+                        period_ticks: 1.0,
+                        base_rate_hz: rate,
+                        feasible: true,
+                        always: true,
+                    }
+                }
+                Source::Node(n) => facts.get(n).map_or_else(Up::unknown, |f| Up {
+                    value: f.value,
+                    may_non_finite: f.may_non_finite,
+                    rate_hz: f.rate_hz,
+                    len: f.len,
+                    period_ticks: f.period_ticks,
+                    base_rate_hz: f.base_rate_hz,
+                    feasible: f.feasible,
+                    always: f.always_emits,
+                }),
+            })
+            .collect();
+        let fact = transfer(id, program.line_of(id), kind, &ups);
+        if !facts.contains_key(&id) {
+            order.push(id);
+        }
+        facts.insert(id, fact);
+    }
+
+    Analysis {
+        facts,
+        order,
+        out_source: program.out_source(),
+        out_line: program.out_line(),
+    }
+}
+
+/// Applies one node's transfer function to its resolved inputs.
+fn transfer(id: NodeId, line: Option<u32>, kind: &AlgorithmKind, ups: &[Up]) -> NodeFacts {
+    // Aggregate input properties; a node with no inputs (malformed)
+    // degrades to the conservative unknown edge.
+    let ups_or_unknown: Vec<Up> = if ups.is_empty() {
+        vec![Up::unknown()]
+    } else {
+        ups.to_vec()
+    };
+    let ups = &ups_or_unknown[..];
+    let primary = &ups[0];
+    let input_value = ups
+        .iter()
+        .fold(Interval::EMPTY, |acc, u| acc.hull(&u.value));
+    let input_rates: Vec<f64> = ups.iter().map(|u| u.rate_hz).collect();
+    let input_may_non_finite = ups.iter().any(|u| u.may_non_finite);
+    let inputs_feasible = ups.iter().all(|u| u.feasible);
+    let base_rate_hz = ups.iter().fold(0.0f64, |m, u| m.max(u.base_rate_hz));
+
+    let n = primary.len as f64;
+    let m = primary.value.abs_bound();
+    let v = primary.value;
+
+    // Defaults: scalar pass-through of the primary edge.
+    let mut value = v;
+    let mut may_non_finite = input_may_non_finite;
+    let mut rate_hz = primary.rate_hz;
+    let mut len = 1usize;
+    let mut period_ticks = primary.period_ticks;
+    let mut feasible = inputs_feasible;
+    let mut always_emits = ups.iter().all(|u| u.always);
+    let mut passes_all = false;
+    let mut passes_none = false;
+
+    match *kind {
+        AlgorithmKind::Window { size, hop, shape } => {
+            value = match shape {
+                sidewinder_ir::WindowShapeParam::Rectangular => v,
+                _ => v.tapered(),
+            };
+            let hop = hop.max(1) as f64;
+            rate_hz = primary.rate_hz / hop;
+            period_ticks = primary.period_ticks * hop;
+            len = size as usize;
+        }
+        AlgorithmKind::Fft => {
+            // An N-point transform's bins are bounded by Σ|x| ≤ N·max|x|.
+            value = Interval::symmetric(n.max(1.0) * m);
+            may_non_finite |= !v.is_bounded();
+            len = primary.len;
+        }
+        AlgorithmKind::Ifft => {
+            // Normalized inverse: |y| ≤ (1/N)·Σ|X| ≤ max|X|.
+            value = Interval::symmetric(m);
+            may_non_finite |= !v.is_bounded();
+            len = primary.len;
+        }
+        AlgorithmKind::SpectralMagnitude => {
+            // |re + j·im| ≤ √2·max(|re|, |im|).
+            value = Interval::new(0.0, std::f64::consts::SQRT_2 * m);
+            len = primary.len / 2 + 1;
+        }
+        AlgorithmKind::LowPass { .. } | AlgorithmKind::HighPass { .. } => {
+            // fft → mask → ifft; ringing can overshoot the input range
+            // but stays within the spectral bound.
+            value = Interval::symmetric(n.max(1.0) * m);
+            may_non_finite |= !v.is_bounded();
+            len = primary.len;
+        }
+        AlgorithmKind::MovingAvg { .. } | AlgorithmKind::ExpMovingAvg { .. } => {
+            // Convex combinations of history stay inside the input hull.
+            value = v;
+        }
+        AlgorithmKind::VectorMagnitude => {
+            let sq: f64 = ups.iter().map(|u| u.value.abs_bound().powi(2)).sum();
+            value = Interval::new(0.0, sq.sqrt());
+            rate_hz = min_rate(&input_rates);
+            period_ticks = ups.iter().fold(0.0f64, |p, u| p.max(u.period_ticks));
+        }
+        AlgorithmKind::Zcr => value = Interval::new(0.0, 1.0),
+        AlgorithmKind::ZcrVariance { .. } => {
+            // Variance of values in [0, 1] is at most 1/4.
+            value = Interval::new(0.0, 0.25);
+        }
+        AlgorithmKind::Stat(s) => {
+            value = match s {
+                StatFn::Mean | StatFn::Min | StatFn::Max => v,
+                StatFn::PeakToPeak => Interval::new(0.0, v.width()),
+                StatFn::Variance => Interval::new(0.0, (v.width() / 2.0).powi(2)),
+                StatFn::StdDev => Interval::new(0.0, v.width() / 2.0),
+                StatFn::MeanAbs | StatFn::Rms => Interval::new(0.0, m),
+                StatFn::Energy => Interval::new(0.0, n.max(1.0) * m * m),
+            };
+        }
+        AlgorithmKind::DominantRatio => {
+            // max/mean of non-DC magnitudes lies in [1, bins]; the hub
+            // kernel skips emission entirely on an all-zero spectrum, so
+            // the division can never produce NaN.
+            value = Interval::new(1.0, (primary.len.saturating_sub(1)).max(1) as f64);
+        }
+        AlgorithmKind::DominantFreq => {
+            value = Interval::new(0.0, base_rate_hz / 2.0);
+        }
+        AlgorithmKind::MinThreshold { threshold } => {
+            gate(
+                v,
+                Interval::new(threshold, f64::INFINITY),
+                &mut value,
+                &mut passes_all,
+                &mut passes_none,
+            );
+        }
+        AlgorithmKind::MaxThreshold { threshold } => {
+            gate(
+                v,
+                Interval::new(f64::NEG_INFINITY, threshold),
+                &mut value,
+                &mut passes_all,
+                &mut passes_none,
+            );
+        }
+        AlgorithmKind::BandThreshold { lo, hi } => {
+            gate(
+                v,
+                Interval::new(lo, hi),
+                &mut value,
+                &mut passes_all,
+                &mut passes_none,
+            );
+        }
+        AlgorithmKind::OutsideThreshold { lo, hi } => {
+            let band = Interval::new(lo, hi);
+            let below = v.intersect(&Interval::new(f64::NEG_INFINITY, lo));
+            let above = v.intersect(&Interval::new(hi, f64::INFINITY));
+            value = below.hull(&above);
+            passes_none = v.subset_of(&band);
+            passes_all = !v.is_empty() && (v.hi < lo || v.lo > hi);
+        }
+        AlgorithmKind::Sustained { count, max_gap } => {
+            // Arrivals are "consecutive" when their sequence tags are at
+            // most max_gap ticks apart; an input cadence wider than the
+            // gap can never chain count ≥ 2 arrivals.
+            passes_none = count >= 2 && (max_gap as f64) < primary.period_ticks;
+            passes_all = !passes_none;
+        }
+        AlgorithmKind::AllOf => {
+            // Forwards the last input's value once every branch delivered.
+            value = ups.last().map_or(Interval::EMPTY, |u| u.value);
+            rate_hz = min_rate(&input_rates);
+            period_ticks = ups.iter().fold(0.0f64, |p, u| p.max(u.period_ticks));
+        }
+        AlgorithmKind::AnyOf => {
+            value = input_value;
+            rate_hz = input_rates.iter().sum();
+            period_ticks = ups.iter().fold(f64::INFINITY, |p, u| p.min(u.period_ticks));
+            feasible = ups.iter().any(|u| u.feasible);
+            always_emits = ups.iter().any(|u| u.always);
+        }
+    }
+
+    if passes_none {
+        feasible = false;
+    }
+    if is_gate(kind) {
+        always_emits = always_emits && passes_all;
+    }
+    if !feasible {
+        value = Interval::EMPTY;
+    }
+
+    NodeFacts {
+        id,
+        line,
+        kind: *kind,
+        value,
+        input_value,
+        input_rates,
+        may_non_finite,
+        input_may_non_finite,
+        rate_hz,
+        len,
+        period_ticks,
+        base_rate_hz,
+        feasible,
+        always_emits,
+        passes_all,
+        passes_none,
+    }
+}
+
+/// Threshold transfer: intersect the input interval with the pass set.
+fn gate(
+    input: Interval,
+    pass: Interval,
+    value: &mut Interval,
+    passes_all: &mut bool,
+    passes_none: &mut bool,
+) {
+    *value = input.intersect(&pass);
+    *passes_all = !input.is_empty() && input.subset_of(&pass);
+    *passes_none = value.is_empty();
+}
+
+/// Whether this algorithm filters its input stream (admission control or
+/// a duration condition).
+pub fn is_gate(kind: &AlgorithmKind) -> bool {
+    matches!(
+        kind,
+        AlgorithmKind::MinThreshold { .. }
+            | AlgorithmKind::MaxThreshold { .. }
+            | AlgorithmKind::BandThreshold { .. }
+            | AlgorithmKind::OutsideThreshold { .. }
+            | AlgorithmKind::Sustained { .. }
+    )
+}
+
+fn min_rate(rates: &[f64]) -> f64 {
+    let r = rates.iter().copied().fold(f64::INFINITY, f64::min);
+    if r.is_finite() {
+        r
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzed(text: &str) -> Analysis {
+        let p: Program = text.parse().unwrap();
+        analyze(&p, &ChannelRates::default())
+    }
+
+    #[test]
+    fn channel_seeds_match_physical_bounds() {
+        assert_eq!(
+            channel_interval(SensorChannel::AccX),
+            Interval::symmetric(2.0 * G)
+        );
+        assert_eq!(
+            channel_interval(SensorChannel::Mic),
+            Interval::new(-1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn rates_and_lengths_propagate_through_windows() {
+        let a = analyzed(
+            "MIC -> window(id=1, params={512, 512, 0});
+             1 -> rms(id=2);
+             2 -> minThreshold(id=3, params={0.5});
+             3 -> OUT;",
+        );
+        let w = a.fact(NodeId(1)).unwrap();
+        assert_eq!(w.len, 512);
+        assert!((w.rate_hz - 8000.0 / 512.0).abs() < 1e-9);
+        assert_eq!(w.period_ticks, 512.0);
+        let rms = a.fact(NodeId(2)).unwrap();
+        assert_eq!(rms.value, Interval::new(0.0, 1.0));
+        assert_eq!(rms.len, 1);
+    }
+
+    #[test]
+    fn threshold_narrows_and_detects_dead_gates() {
+        let a = analyzed(
+            "ACC_Y -> movingAvg(id=1, params={3});
+             1 -> minThreshold(id=2, params={25});
+             2 -> OUT;",
+        );
+        let thr = a.fact(NodeId(2)).unwrap();
+        // ±2 g ≈ ±19.6 m/s² can never reach 25.
+        assert!(thr.passes_none);
+        assert!(!thr.feasible);
+        assert!(thr.value.is_empty());
+        assert!(!a.out_fact().unwrap().feasible);
+    }
+
+    #[test]
+    fn always_passing_threshold_is_flagged() {
+        let a = analyzed(
+            "ACC_X -> movingAvg(id=1, params={5});
+             1 -> minThreshold(id=2, params={-100});
+             2 -> OUT;",
+        );
+        let thr = a.fact(NodeId(2)).unwrap();
+        assert!(thr.passes_all);
+        assert!(thr.always_emits);
+        assert!(a.out_fact().unwrap().always_emits);
+    }
+
+    #[test]
+    fn outside_threshold_splits_the_interval() {
+        let a = analyzed(
+            "ACC_X -> movingAvg(id=1, params={5});
+             1 -> outsideThreshold(id=2, params={-2, 2});
+             2 -> OUT;",
+        );
+        let t = a.fact(NodeId(2)).unwrap();
+        assert!(!t.passes_all && !t.passes_none);
+        assert_eq!(t.value, Interval::symmetric(2.0 * G));
+    }
+
+    #[test]
+    fn sustained_with_unreachable_gap_is_dead() {
+        let a = analyzed(
+            "MIC -> window(id=1, params={1024, 1024, 0});
+             1 -> rms(id=2);
+             2 -> minThreshold(id=3, params={0});
+             3 -> sustained(id=4, params={3, 64});
+             4 -> OUT;",
+        );
+        // Emissions arrive 1024 ticks apart; a 64-tick gap never chains.
+        let s = a.fact(NodeId(4)).unwrap();
+        assert!(s.passes_none);
+        assert!(!s.feasible);
+
+        let ok = analyzed(
+            "MIC -> window(id=1, params={1024, 1024, 0});
+             1 -> rms(id=2);
+             2 -> minThreshold(id=3, params={0});
+             3 -> sustained(id=4, params={3, 1024});
+             4 -> OUT;",
+        );
+        assert!(ok.fact(NodeId(4)).unwrap().feasible);
+    }
+
+    #[test]
+    fn vector_magnitude_joins_at_the_slowest_branch() {
+        let a = analyzed(
+            "ACC_X -> movingAvg(id=1, params={10});
+             ACC_Y -> movingAvg(id=2, params={10});
+             ACC_Z -> movingAvg(id=3, params={10});
+             1,2,3 -> vectorMagnitude(id=4);
+             4 -> minThreshold(id=5, params={15});
+             5 -> OUT;",
+        );
+        let vm = a.fact(NodeId(4)).unwrap();
+        assert_eq!(vm.input_rates, vec![50.0, 50.0, 50.0]);
+        assert!((vm.rate_hz - 50.0).abs() < 1e-9);
+        // √(3·(2g)²) ≈ 33.97 — the 15 m/s² wake threshold is reachable.
+        let bound = (3.0f64 * (2.0 * G).powi(2)).sqrt();
+        assert!((vm.value.hi - bound).abs() < 1e-9);
+        assert!(a.fact(NodeId(5)).unwrap().feasible);
+    }
+
+    #[test]
+    fn fft_chain_stays_bounded_and_finite() {
+        let a = analyzed(
+            "MIC -> window(id=1, params={1024, 1024, 0});
+             1 -> highPass(id=2, params={750});
+             2 -> fft(id=3);
+             3 -> spectralMagnitude(id=4);
+             4 -> max(id=5);
+             5 -> minThreshold(id=6, params={25});
+             6 -> OUT;",
+        );
+        for id in 1..=6 {
+            let f = a.fact(NodeId(id)).unwrap();
+            assert!(!f.may_non_finite, "node {id} flagged non-finite");
+            assert!(f.value.is_bounded(), "node {id} unbounded");
+        }
+        // The 25-threshold on a [0, …] magnitude peak is reachable.
+        assert!(a.fact(NodeId(6)).unwrap().feasible);
+        assert!(!a.fact(NodeId(6)).unwrap().always_emits);
+    }
+
+    #[test]
+    fn undefined_sources_degrade_to_unknown_not_panic() {
+        // Unvalidated program: node 7 was never defined.
+        let p = Program::from_stmts(vec![sidewinder_ir::Stmt::Node {
+            sources: vec![Source::Node(NodeId(7))],
+            id: NodeId(1),
+            kind: AlgorithmKind::MovingAvg { window: 2 },
+            line: 0,
+        }]);
+        let a = analyze(&p, &ChannelRates::default());
+        let f = a.fact(NodeId(1)).unwrap();
+        assert!(f.input_may_non_finite);
+        assert!(!f.value.is_bounded());
+        assert!(f.feasible);
+        assert!(!f.always_emits);
+    }
+
+    #[test]
+    fn dominant_freq_bounded_by_nyquist() {
+        let a = analyzed(
+            "MIC -> window(id=1, params={256, 256, 0});
+             1 -> fft(id=2);
+             2 -> spectralMagnitude(id=3);
+             3 -> dominantFreq(id=4);
+             4 -> minThreshold(id=5, params={500});
+             5 -> OUT;",
+        );
+        let df = a.fact(NodeId(4)).unwrap();
+        assert_eq!(df.value, Interval::new(0.0, 4000.0));
+    }
+}

@@ -1,0 +1,197 @@
+//! A closed-interval abstract domain over `f64`.
+//!
+//! The analyzer tracks, for every node of an IR program, a conservative
+//! over-approximation of the values its emissions can take. The domain is
+//! the classic interval lattice: the bottom element is the empty interval
+//! (the node provably never emits), the top element is `(-∞, +∞)`. All
+//! transfer functions in [`crate::absint`] are monotone hull operations,
+//! so a single forward pass over the (acyclic, define-before-use) IR
+//! reaches the fixed point.
+
+/// A closed interval `[lo, hi]` of real values, possibly unbounded, or
+/// the empty set.
+///
+/// Invariant: `lo <= hi` for non-empty intervals; the canonical empty
+/// interval is `lo = +∞, hi = -∞`. Bounds are never NaN — NaN potential
+/// is tracked separately by the analysis (`may_non_finite`), because an
+/// interval with NaN endpoints would poison every comparison below.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (inclusive when finite).
+    pub lo: f64,
+    /// Upper bound (inclusive when finite).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The empty interval (bottom): no value is possible.
+    pub const EMPTY: Interval = Interval {
+        lo: f64::INFINITY,
+        hi: f64::NEG_INFINITY,
+    };
+
+    /// The unbounded interval (top): nothing is known.
+    pub const UNBOUNDED: Interval = Interval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    /// Creates `[lo, hi]`; returns [`Interval::EMPTY`] when `lo > hi` or
+    /// either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            Interval::EMPTY
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// The single-point interval `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval::new(v, v)
+    }
+
+    /// Whether no value is possible.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether both bounds are finite.
+    pub fn is_bounded(&self) -> bool {
+        self.is_empty() || (self.lo.is_finite() && self.hi.is_finite())
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        !self.is_empty() && self.lo <= v && v <= self.hi
+    }
+
+    /// Whether `self` is entirely inside `other`.
+    pub fn subset_of(&self, other: &Interval) -> bool {
+        self.is_empty() || (!other.is_empty() && other.lo <= self.lo && self.hi <= other.hi)
+    }
+
+    /// The smallest interval containing both operands (lattice join).
+    pub fn hull(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            *other
+        } else if other.is_empty() {
+            *self
+        } else {
+            Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+        }
+    }
+
+    /// The intersection of both operands (lattice meet).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// The largest absolute value the interval admits (`0` when empty).
+    pub fn abs_bound(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.lo.abs().max(self.hi.abs())
+        }
+    }
+
+    /// `hi - lo`, or `0` when empty.
+    pub fn width(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.hi - self.lo
+        }
+    }
+
+    /// The interval after multiplying every value by a weight in
+    /// `[0, 1]` — the effect of a window taper. The hull necessarily
+    /// includes 0 (the weight can vanish).
+    pub fn tapered(&self) -> Interval {
+        if self.is_empty() {
+            Interval::EMPTY
+        } else {
+            Interval::new(self.lo.min(0.0), self.hi.max(0.0))
+        }
+    }
+
+    /// The symmetric interval `[-m, m]` with `m` the given magnitude
+    /// bound (empty input stays empty).
+    pub fn symmetric(m: f64) -> Interval {
+        Interval::new(-m, m)
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            f.write_str("∅")
+        } else {
+            write!(f, "[{:.4}, {:.4}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_interval_identities() {
+        assert!(Interval::EMPTY.is_empty());
+        assert!(!Interval::new(1.0, 2.0).is_empty());
+        assert!(Interval::new(2.0, 1.0).is_empty());
+        assert!(Interval::new(f64::NAN, 1.0).is_empty());
+        assert_eq!(Interval::EMPTY.abs_bound(), 0.0);
+        assert_eq!(Interval::EMPTY.width(), 0.0);
+        assert!(!Interval::EMPTY.contains(0.0));
+    }
+
+    #[test]
+    fn hull_and_intersect() {
+        let a = Interval::new(-1.0, 2.0);
+        let b = Interval::new(1.0, 5.0);
+        assert_eq!(a.hull(&b), Interval::new(-1.0, 5.0));
+        assert_eq!(a.intersect(&b), Interval::new(1.0, 2.0));
+        assert_eq!(a.hull(&Interval::EMPTY), a);
+        assert_eq!(Interval::EMPTY.hull(&b), b);
+        assert!(a.intersect(&Interval::new(3.0, 4.0)).is_empty());
+    }
+
+    #[test]
+    fn subset_and_contains() {
+        let outer = Interval::new(-10.0, 10.0);
+        assert!(Interval::new(-1.0, 1.0).subset_of(&outer));
+        assert!(Interval::EMPTY.subset_of(&outer));
+        assert!(!outer.subset_of(&Interval::new(-1.0, 1.0)));
+        assert!(outer.contains(0.0));
+        assert!(!outer.contains(11.0));
+        assert!(Interval::UNBOUNDED.contains(1e300));
+    }
+
+    #[test]
+    fn boundedness_and_magnitude() {
+        assert!(Interval::new(-2.0, 3.0).is_bounded());
+        assert!(!Interval::UNBOUNDED.is_bounded());
+        assert_eq!(Interval::new(-5.0, 3.0).abs_bound(), 5.0);
+        assert_eq!(Interval::symmetric(4.0), Interval::new(-4.0, 4.0));
+    }
+
+    #[test]
+    fn taper_pulls_hull_to_zero() {
+        assert_eq!(Interval::new(2.0, 5.0).tapered(), Interval::new(0.0, 5.0));
+        assert_eq!(
+            Interval::new(-3.0, -1.0).tapered(),
+            Interval::new(-3.0, 0.0)
+        );
+        assert_eq!(Interval::new(-1.0, 1.0).tapered(), Interval::new(-1.0, 1.0));
+        assert!(Interval::EMPTY.tapered().is_empty());
+    }
+
+    #[test]
+    fn display_renders_compactly() {
+        assert_eq!(Interval::EMPTY.to_string(), "∅");
+        assert!(Interval::new(0.0, 1.0).to_string().contains("[0.0000"));
+    }
+}

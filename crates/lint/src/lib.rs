@@ -1,0 +1,57 @@
+//! `sidewinder-lint`: a static analyzer for Sidewinder IR programs.
+//!
+//! Wake-up conditions run unattended on a battery-powered sensor hub, so
+//! the two classic dataflow bugs are expensive in a very literal sense: a
+//! condition that can never fire silently disables an application, and a
+//! condition that always fires wakes the main CPU for every sample and
+//! erases the hub's energy win. Neither is visible in unit tests that
+//! drive the pipeline with synthetic traces chosen to trigger it.
+//!
+//! This crate finds both — plus numeric hazards, no-op nodes, rate-
+//! mismatched joins, and MCU schedulability problems — by *abstract
+//! interpretation*: a single forward pass propagates per-node value
+//! intervals (seeded from the physical sensor bounds, ±2 g acceleration
+//! and ±1 normalized audio), emission rates, vector lengths, and
+//! feasibility flags through the dataflow graph ([`absint`]). The lint
+//! passes ([`lints`]) then read those facts and report findings through a
+//! registry of stable `SW0xx` codes ([`registry`]) with both human and
+//! JSON renderings. The schedulability lints reuse the hub's own cost
+//! model and MCU catalog, so "does not fit TI MSP430 (needs TI LM4F120)"
+//! is derived from the same numbers the simulator charges for energy.
+//!
+//! The command-line front end lives in the `bench` crate as the `swlint`
+//! binary.
+//!
+//! ```
+//! use sidewinder_hub::runtime::ChannelRates;
+//! use sidewinder_ir::Program;
+//! use sidewinder_lint::{lint, LintCode};
+//!
+//! let program: Program = "ACC_Y -> movingAvg(id=1, params={10});
+//!                         1 -> minThreshold(id=2, params={25});
+//!                         2 -> OUT;"
+//!     .parse()
+//!     .unwrap();
+//! let report = lint(&program, &ChannelRates::default());
+//! // ±2 g is ±19.61 m/s²; a 25 m/s² threshold can never pass.
+//! assert!(report.has(LintCode::DeadWake));
+//! ```
+
+pub mod absint;
+pub mod interval;
+pub mod lints;
+pub mod registry;
+
+pub use absint::{analyze, channel_interval, Analysis, NodeFacts};
+pub use interval::Interval;
+pub use lints::lint_program;
+pub use registry::{render_json_array, Diagnostic, LintCode, LintReport, Severity};
+
+use sidewinder_hub::runtime::ChannelRates;
+use sidewinder_ir::Program;
+
+/// Lints `program` with every registered lint (alias for
+/// [`lints::lint_program`]).
+pub fn lint(program: &Program, rates: &ChannelRates) -> LintReport {
+    lint_program(program, rates)
+}

@@ -1,0 +1,403 @@
+//! The lint registry: stable codes, severities, diagnostics, and the
+//! machine-readable / human renderings of a lint report.
+//!
+//! Codes are append-only: once shipped, `SW001` always means "dead wake
+//! condition" so that CI suppressions and editor integrations stay
+//! stable across releases.
+
+use sidewinder_ir::NodeId;
+
+/// How severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; never fails a build.
+    Info,
+    /// Suspicious; fails builds run with `--deny warnings`.
+    Warn,
+    /// Definitely broken; always fails the build.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in renderings (`info`, `warning`, `error`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The stable identity of a lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintCode {
+    /// `SW001` — the wake condition can never fire: some gate on the
+    /// path to `OUT` provably rejects every possible value.
+    DeadWake,
+    /// `SW002` — the wake condition fires for every upstream arrival: a
+    /// wake storm that defeats the energy model.
+    WakeStorm,
+    /// `SW003` — a node provably does nothing (moving average of 1,
+    /// always-passing threshold, `sustained` of 1, …).
+    RedundantNode,
+    /// `SW004` — an FFT-family stage consumes values that are not
+    /// provably finite; NaN/Inf can propagate through the transform.
+    NumericHazard,
+    /// `SW005` — a join aggregator's inputs emit at incommensurate
+    /// rates, so sequence tags rarely (or never) align.
+    RateMismatch,
+    /// `SW006` — the pipeline does not fit the cheapest catalog MCU and
+    /// must be scheduled on a more powerful (more power-hungry) part.
+    NeedsBiggerMcu,
+    /// `SW007` — the pipeline fits no supported MCU at all.
+    FitsNoMcu,
+}
+
+impl LintCode {
+    /// Every registered lint, in code order.
+    pub const ALL: [LintCode; 7] = [
+        LintCode::DeadWake,
+        LintCode::WakeStorm,
+        LintCode::RedundantNode,
+        LintCode::NumericHazard,
+        LintCode::RateMismatch,
+        LintCode::NeedsBiggerMcu,
+        LintCode::FitsNoMcu,
+    ];
+
+    /// The stable `SWnnn` code.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::DeadWake => "SW001",
+            LintCode::WakeStorm => "SW002",
+            LintCode::RedundantNode => "SW003",
+            LintCode::NumericHazard => "SW004",
+            LintCode::RateMismatch => "SW005",
+            LintCode::NeedsBiggerMcu => "SW006",
+            LintCode::FitsNoMcu => "SW007",
+        }
+    }
+
+    /// Short kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::DeadWake => "dead-wake-condition",
+            LintCode::WakeStorm => "wake-storm",
+            LintCode::RedundantNode => "redundant-node",
+            LintCode::NumericHazard => "numeric-hazard",
+            LintCode::RateMismatch => "rate-mismatched-join",
+            LintCode::NeedsBiggerMcu => "needs-bigger-mcu",
+            LintCode::FitsNoMcu => "fits-no-mcu",
+        }
+    }
+
+    /// The severity this lint fires at.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::DeadWake | LintCode::FitsNoMcu => Severity::Error,
+            LintCode::WakeStorm
+            | LintCode::RedundantNode
+            | LintCode::NumericHazard
+            | LintCode::RateMismatch => Severity::Warn,
+            // Needing the LM4F120 is a legitimate, paper-sanctioned
+            // configuration (Table 2's siren footnote) — advisory only.
+            LintCode::NeedsBiggerMcu => Severity::Info,
+        }
+    }
+
+    /// One-line description for `swlint --explain`-style listings.
+    pub fn description(self) -> &'static str {
+        match self {
+            LintCode::DeadWake => {
+                "a gate on the path to OUT rejects every possible value; the wake condition can never fire"
+            }
+            LintCode::WakeStorm => {
+                "no gate ever filters; the hub wakes the main CPU for every arrival, defeating the energy model"
+            }
+            LintCode::RedundantNode => {
+                "the node provably does nothing and wastes hub cycles and memory"
+            }
+            LintCode::NumericHazard => {
+                "an FFT-family stage consumes values that are not provably finite; NaN/Inf can propagate"
+            }
+            LintCode::RateMismatch => {
+                "join inputs emit at incommensurate rates, so their sequence tags rarely or never align"
+            }
+            LintCode::NeedsBiggerMcu => {
+                "the pipeline exceeds the cheapest MCU's real-time or memory budget and needs a more powerful part"
+            }
+            LintCode::FitsNoMcu => "the pipeline fits no supported hub microcontroller",
+        }
+    }
+
+    /// Looks a lint up by its `SWnnn` code.
+    pub fn from_code(code: &str) -> Option<LintCode> {
+        LintCode::ALL.into_iter().find(|l| l.code() == code)
+    }
+}
+
+impl std::fmt::Display for LintCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Its severity (the lint's registered severity).
+    pub severity: Severity,
+    /// The node the finding anchors to, when node-specific.
+    pub node: Option<NodeId>,
+    /// 1-based source line, when the program was parsed from text.
+    pub line: Option<u32>,
+    /// Human-readable explanation with the concrete intervals/budgets.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic for `code` at the lint's registered severity.
+    pub fn new(
+        code: LintCode,
+        node: Option<NodeId>,
+        line: Option<u32>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            node,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// All findings for one program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    /// Findings, sorted by line then code.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Whether no lints fired at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings at exactly `severity`.
+    pub fn at(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.severity == severity)
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.at(severity).count()
+    }
+
+    /// The most severe finding, if any.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Whether the report contains `code`.
+    pub fn has(&self, code: LintCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Whether the report should fail the build: any error, or any
+    /// warning when `deny_warnings` is set.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        let floor = if deny_warnings {
+            Severity::Warn
+        } else {
+            Severity::Error
+        };
+        self.worst().is_some_and(|w| w >= floor)
+    }
+
+    /// Renders `rustc`-style human diagnostics:
+    ///
+    /// ```text
+    /// warning[SW002]: fixtures/storm.swir:3: wake condition always fires …
+    /// ```
+    pub fn render_human(&self, source: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(d.severity.label());
+            out.push('[');
+            out.push_str(d.code.code());
+            out.push_str("]: ");
+            out.push_str(source);
+            if let Some(line) = d.line {
+                out.push_str(&format!(":{line}"));
+            }
+            out.push_str(": ");
+            out.push_str(&d.message);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders each diagnostic as a standalone JSON object; `swlint`
+    /// merges entries from several files into one array.
+    pub fn json_entries(&self, source: &str) -> Vec<String> {
+        self.diagnostics
+            .iter()
+            .map(|d| {
+                let mut out = String::from("{");
+                out.push_str(&format!("\"file\": {}, ", json_string(source)));
+                out.push_str(&format!("\"code\": \"{}\", ", d.code.code()));
+                out.push_str(&format!("\"name\": \"{}\", ", d.code.name()));
+                out.push_str(&format!("\"severity\": \"{}\", ", d.severity.label()));
+                match d.line {
+                    Some(line) => out.push_str(&format!("\"line\": {line}, ")),
+                    None => out.push_str("\"line\": null, "),
+                }
+                match d.node {
+                    Some(node) => out.push_str(&format!("\"node\": {}, ", node.0)),
+                    None => out.push_str("\"node\": null, "),
+                }
+                out.push_str(&format!("\"message\": {}", json_string(&d.message)));
+                out.push('}');
+                out
+            })
+            .collect()
+    }
+
+    /// Renders the report as a JSON array of diagnostic objects.
+    pub fn to_json(&self, source: &str) -> String {
+        render_json_array(&self.json_entries(source))
+    }
+}
+
+/// Joins pre-rendered diagnostic objects into a JSON array.
+pub fn render_json_array(entries: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        out.push_str(e);
+    }
+    out.push_str("\n]");
+    out
+}
+
+/// Escapes a string for JSON output.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let codes: Vec<&str> = LintCode::ALL.iter().map(|l| l.code()).collect();
+        assert_eq!(
+            codes,
+            vec!["SW001", "SW002", "SW003", "SW004", "SW005", "SW006", "SW007"]
+        );
+        for l in LintCode::ALL {
+            assert_eq!(LintCode::from_code(l.code()), Some(l));
+            assert!(!l.name().is_empty());
+            assert!(!l.description().is_empty());
+        }
+        assert_eq!(LintCode::from_code("SW999"), None);
+    }
+
+    #[test]
+    fn severity_ordering_drives_fails() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+
+        let mut report = LintReport::default();
+        assert!(!report.fails(true));
+        report
+            .diagnostics
+            .push(Diagnostic::new(LintCode::NeedsBiggerMcu, None, None, "x"));
+        assert!(!report.fails(true), "info never fails");
+        report
+            .diagnostics
+            .push(Diagnostic::new(LintCode::WakeStorm, None, Some(3), "y"));
+        assert!(!report.fails(false));
+        assert!(report.fails(true), "--deny warnings promotes warnings");
+        report
+            .diagnostics
+            .push(Diagnostic::new(LintCode::DeadWake, None, Some(2), "z"));
+        assert!(report.fails(false));
+        assert_eq!(report.worst(), Some(Severity::Error));
+        assert_eq!(report.count(Severity::Warn), 1);
+        assert!(report.has(LintCode::DeadWake));
+        assert!(!report.has(LintCode::RateMismatch));
+    }
+
+    #[test]
+    fn human_rendering_cites_file_and_line() {
+        let mut report = LintReport::default();
+        report.diagnostics.push(Diagnostic::new(
+            LintCode::DeadWake,
+            Some(NodeId(2)),
+            Some(2),
+            "threshold can never pass",
+        ));
+        let text = report.render_human("dead.swir");
+        assert_eq!(
+            text,
+            "error[SW001]: dead.swir:2: threshold can never pass\n"
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut report = LintReport::default();
+        report.diagnostics.push(Diagnostic::new(
+            LintCode::WakeStorm,
+            Some(NodeId(1)),
+            None,
+            "fires \"always\"\n(every sample)",
+        ));
+        let json = report.to_json("a\\b.swir");
+        assert!(json.contains(r#""code": "SW002""#));
+        assert!(json.contains(r#""line": null"#));
+        assert!(json.contains(r#""node": 1"#));
+        assert!(json.contains(r#"\"always\""#));
+        assert!(json.contains(r"a\\b.swir"));
+        assert!(json.contains(r"\n"));
+    }
+
+    #[test]
+    fn json_string_escapes_control_characters() {
+        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\there\"");
+    }
+}

@@ -1,0 +1,119 @@
+//! Defective fixture variants with their expected diagnostics pinned
+//! verbatim: code, severity, source line, and the load-bearing phrases
+//! of each message. These are the contract the CI `lint-fixtures` job
+//! and editor integrations rely on.
+
+use sidewinder_hub::runtime::ChannelRates;
+use sidewinder_ir::Program;
+use sidewinder_lint::{lint_program, LintReport, Severity};
+
+fn lint_fixture(name: &str, text: &str) -> LintReport {
+    let program: Program = text
+        .parse()
+        .unwrap_or_else(|e| panic!("{name}.swir does not parse: {e}"));
+    program
+        .validate()
+        .unwrap_or_else(|e| panic!("{name}.swir does not validate: {e:?}"));
+    lint_program(&program, &ChannelRates::default())
+}
+
+/// `(code, severity, line, must_contain)` for every expected finding,
+/// in report order.
+fn assert_expected(name: &str, report: &LintReport, expected: &[(&str, Severity, u32, &str)]) {
+    assert_eq!(
+        report.diagnostics.len(),
+        expected.len(),
+        "{name}: unexpected diagnostics:\n{}",
+        report.render_human(name)
+    );
+    for (d, (code, severity, line, phrase)) in report.diagnostics.iter().zip(expected) {
+        assert_eq!(d.code.code(), *code, "{name}: wrong code: {}", d.message);
+        assert_eq!(d.severity, *severity, "{name}: wrong severity for {code}");
+        assert_eq!(d.line, Some(*line), "{name}: wrong line for {code}");
+        assert!(
+            d.message.contains(phrase),
+            "{name}: {code} message missing {phrase:?}: {}",
+            d.message
+        );
+    }
+}
+
+#[test]
+fn dead_threshold_is_flagged_at_the_gate() {
+    // ±2 g is ±19.61 m/s²; a ≥ 25 threshold can never pass.
+    let report = lint_fixture(
+        "dead_threshold",
+        include_str!("fixtures/dead_threshold.swir"),
+    );
+    assert_expected(
+        "dead_threshold",
+        &report,
+        &[("SW001", Severity::Error, 2, "wake condition can never fire")],
+    );
+    assert!(report.fails(false), "SW001 must fail even without --deny");
+}
+
+#[test]
+fn wake_storm_reports_the_no_op_gate_and_the_storm() {
+    let report = lint_fixture("wake_storm", include_str!("fixtures/wake_storm.swir"));
+    assert_expected(
+        "wake_storm",
+        &report,
+        &[
+            ("SW003", Severity::Warn, 2, "it filters nothing"),
+            (
+                "SW002",
+                Severity::Warn,
+                3,
+                "fires for every upstream arrival",
+            ),
+        ],
+    );
+    assert!(!report.fails(false), "warnings pass by default");
+    assert!(report.fails(true), "--deny warnings rejects the storm");
+}
+
+#[test]
+fn overdriven_siren_fits_no_mcu() {
+    // A 2048-point FFT filter sliding every 2 samples needs ~1 Gflop/s —
+    // beyond both catalog parts.
+    let report = lint_fixture(
+        "siren_overflow",
+        include_str!("fixtures/siren_overflow.swir"),
+    );
+    assert_expected(
+        "siren_overflow",
+        &report,
+        &[("SW007", Severity::Error, 7, "fits no supported MCU")],
+    );
+    let d = &report.diagnostics[0];
+    assert!(
+        d.message.contains("heaviest compute: `highPass`"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn human_rendering_matches_verbatim() {
+    let report = lint_fixture(
+        "dead_threshold",
+        include_str!("fixtures/dead_threshold.swir"),
+    );
+    assert_eq!(
+        report.render_human("dead_threshold.swir"),
+        "error[SW001]: dead_threshold.swir:2: wake condition can never fire: \
+         no value in [-19.6133, 19.6133] can reach the >= 25 threshold\n"
+    );
+}
+
+#[test]
+fn json_rendering_carries_code_line_and_node() {
+    let report = lint_fixture("wake_storm", include_str!("fixtures/wake_storm.swir"));
+    let json = report.to_json("wake_storm.swir");
+    assert!(json.contains(r#""code": "SW002""#), "{json}");
+    assert!(json.contains(r#""code": "SW003""#), "{json}");
+    assert!(json.contains(r#""line": 2"#), "{json}");
+    assert!(json.contains(r#""line": 3"#), "{json}");
+    assert!(json.contains(r#""severity": "warning""#), "{json}");
+}

@@ -1,0 +1,77 @@
+//! The six golden wake-condition fixtures must stay lint-clean: no
+//! errors, no warnings. The FFT-based siren condition is *expected* to
+//! carry the advisory SW006 note — the paper's Table 2 footnote ("…
+//! includes the more powerful TI LM4F120") as a diagnostic.
+
+use sidewinder_hub::runtime::ChannelRates;
+use sidewinder_ir::Program;
+use sidewinder_lint::{lint_program, LintCode, LintReport, Severity};
+
+const GOLDEN_FIXTURES: [(&str, &str); 6] = [
+    ("steps", include_str!("../../ir/tests/fixtures/steps.swir")),
+    (
+        "transitions",
+        include_str!("../../ir/tests/fixtures/transitions.swir"),
+    ),
+    (
+        "headbutts",
+        include_str!("../../ir/tests/fixtures/headbutts.swir"),
+    ),
+    (
+        "sirens",
+        include_str!("../../ir/tests/fixtures/sirens.swir"),
+    ),
+    ("music", include_str!("../../ir/tests/fixtures/music.swir")),
+    (
+        "phrase",
+        include_str!("../../ir/tests/fixtures/phrase.swir"),
+    ),
+];
+
+fn lint_fixture(name: &str, text: &str) -> LintReport {
+    let program: Program = text
+        .parse()
+        .unwrap_or_else(|e| panic!("{name}.swir does not parse: {e}"));
+    program
+        .validate()
+        .unwrap_or_else(|e| panic!("{name}.swir does not validate: {e:?}"));
+    lint_program(&program, &ChannelRates::default())
+}
+
+#[test]
+fn golden_fixtures_have_no_errors_or_warnings() {
+    for (name, text) in GOLDEN_FIXTURES {
+        let report = lint_fixture(name, text);
+        assert!(
+            !report.fails(true),
+            "{name}.swir fails --deny warnings:\n{}",
+            report.render_human(name)
+        );
+    }
+}
+
+#[test]
+fn only_the_siren_condition_needs_the_bigger_mcu() {
+    for (name, text) in GOLDEN_FIXTURES {
+        let report = lint_fixture(name, text);
+        if name == "sirens" {
+            let note = report
+                .diagnostics
+                .iter()
+                .find(|d| d.code == LintCode::NeedsBiggerMcu)
+                .expect("sirens.swir must carry the SW006 note");
+            assert_eq!(note.severity, Severity::Info);
+            assert!(
+                note.message.contains("needs TI LM4F120"),
+                "{}",
+                note.message
+            );
+        } else {
+            assert!(
+                report.is_clean(),
+                "{name}.swir is not lint-clean:\n{}",
+                report.render_human(name)
+            );
+        }
+    }
+}

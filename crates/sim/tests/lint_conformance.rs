@@ -1,0 +1,51 @@
+//! Every evaluation application's wake-up condition must be lint-clean:
+//! the static analyzer proves each condition can actually fire, does not
+//! storm, wastes no hub cycles on no-op nodes, and fits a catalog MCU.
+//! The FFT-based siren condition is expected to carry the advisory SW006
+//! note — the paper's Table 2 footnote as a diagnostic.
+
+use sidewinder_apps::{accelerometer_apps, audio_apps};
+use sidewinder_hub::runtime::ChannelRates;
+use sidewinder_lint::{lint_program, LintCode, Severity};
+
+#[test]
+fn all_wake_conditions_lint_clean_of_errors_and_warnings() {
+    let rates = ChannelRates::default();
+    for app in accelerometer_apps().iter().chain(audio_apps().iter()) {
+        let program = app.wake_condition();
+        program
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: wake condition invalid: {e:?}", app.name()));
+        let report = lint_program(&program, &rates);
+        assert!(
+            !report.fails(true),
+            "{} fails --deny warnings:\n{}",
+            app.name(),
+            report.render_human(app.name())
+        );
+    }
+}
+
+#[test]
+fn only_the_siren_detector_needs_the_lm4f120() {
+    let rates = ChannelRates::default();
+    for app in accelerometer_apps().iter().chain(audio_apps().iter()) {
+        let report = lint_program(&app.wake_condition(), &rates);
+        let needs_big = report.has(LintCode::NeedsBiggerMcu);
+        if app.name().contains("siren") || app.name().contains("Siren") {
+            assert!(
+                needs_big,
+                "{} should carry the SW006 Table 2 footnote",
+                app.name()
+            );
+            assert_eq!(report.count(Severity::Info), 1);
+        } else {
+            assert!(
+                report.is_clean(),
+                "{} is not lint-clean:\n{}",
+                app.name(),
+                report.render_human(app.name())
+            );
+        }
+    }
+}

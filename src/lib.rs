@@ -24,6 +24,9 @@
 //! * [`tracegen`] — synthetic robot / human / audio trace generators;
 //! * [`apps`] — the six evaluation applications and the
 //!   predefined-activity baselines;
+//! * [`lint`] — the `swlint` static analyzer: abstract interpretation
+//!   over value intervals, the `SW0xx` lint catalog, MCU schedulability
+//!   checks;
 //! * [`sim`] — the trace-driven power/recall simulator;
 //! * [`obs`] — the observability layer: structured event sinks,
 //!   per-node counters and timing histograms, energy ledgers, and the
@@ -66,6 +69,7 @@ pub use sidewinder_core as core;
 pub use sidewinder_dsp as dsp;
 pub use sidewinder_hub as hub;
 pub use sidewinder_ir as ir;
+pub use sidewinder_lint as lint;
 pub use sidewinder_obs as obs;
 pub use sidewinder_sensors as sensors;
 pub use sidewinder_sim as sim;
