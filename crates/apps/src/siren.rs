@@ -15,7 +15,8 @@
 
 use crate::common::{hub_mw_for, visible_slice, windows_of};
 use sidewinder_core::algorithm::{
-    Fft, HighPassFilter, MinThreshold, SpectralMagnitude, Statistic, Sustained, Window,
+    Fft, HighPassFilter, LowPassFilter, MinThreshold, SpectralMagnitude, Statistic, Sustained,
+    Window,
 };
 use sidewinder_core::{ProcessingBranch, ProcessingPipeline};
 use sidewinder_dsp::{fft, filter, spectral};
@@ -39,6 +40,12 @@ const BAND_LO_HZ: f64 = 800.0;
 const BAND_HI_HZ: f64 = 1_900.0;
 /// Classifier: dominant-to-mean ratio for "pitched".
 const PITCH_RATIO: f64 = 6.0;
+/// Narrow-band variant: fixed-tone alarm band, Hz. Many regulated
+/// alarm tones sit at a known frequency (the bench tone is 1 kHz), so
+/// the wake-up condition only needs the spectral peak *inside* this
+/// 40 Hz band — 5 FFT bins at 8 kHz / 1024 — not the whole spectrum.
+const TONE_LO_HZ: f64 = 980.0;
+const TONE_HI_HZ: f64 = 1_020.0;
 
 /// The emergency-siren detector.
 #[derive(Debug, Clone, Default)]
@@ -68,6 +75,35 @@ impl SirenDetectorApp {
             .add(Sustained::new(WAKE_SUSTAIN));
         pipeline.add_branch(mic);
         pipeline
+    }
+
+    /// Narrow-band wake-up condition for fixed-tone alarms: band-pass
+    /// the 40 Hz tone band, then wake on a sustained in-band spectral
+    /// peak. Written the natural way — filters plus an FFT — it needs
+    /// the LM4F120 like [`SirenDetectorApp::wake_pipeline`]; the
+    /// optimizer's Goertzel strength reduction rewrites the whole
+    /// spectral chain into 5 single-bin probes that fit the MSP430
+    /// (see the `narrowband_*` tests).
+    pub fn narrowband_wake_pipeline() -> ProcessingPipeline {
+        let mut pipeline = ProcessingPipeline::new();
+        let mut mic = ProcessingBranch::new(SensorChannel::Mic);
+        mic.add(Window::rectangular(WINDOW as u32))
+            .add(HighPassFilter::new(TONE_LO_HZ))
+            .add(LowPassFilter::new(TONE_HI_HZ))
+            .add(Fft::new())
+            .add(SpectralMagnitude::new())
+            .add(Statistic::max())
+            .add(MinThreshold::new(WAKE_PEAK))
+            .add(Sustained::new(WAKE_SUSTAIN));
+        pipeline.add_branch(mic);
+        pipeline
+    }
+
+    /// The narrow-band pipeline compiled to IR.
+    pub fn narrowband_wake_condition() -> Program {
+        SirenDetectorApp::narrowband_wake_pipeline()
+            .compile()
+            .expect("narrow-band siren pipeline is well-formed")
     }
 
     /// Whether one window is a pitched sound in the siren band.
@@ -197,6 +233,108 @@ mod tests {
         program.validate().unwrap();
         assert!(program.uses_fft());
         assert_eq!(app.wake_condition_hub_mw(), Mcu::LM4F120.awake_power_mw);
+    }
+
+    /// 30 s at 8 kHz: quiet noise with a steady 1 kHz alarm tone (the
+    /// center of the narrow band) from t=10 to t=14.
+    fn tone_trace() -> SensorTrace {
+        let rate = 8000.0;
+        let n = 30 * 8000;
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f64 / rate;
+            let mut v = 0.004 * ((i * 2_654_435_761 % 1000) as f64 / 500.0 - 1.0);
+            if (10.0..14.0).contains(&t) {
+                v += 0.32 * (2.0 * std::f64::consts::PI * 1000.0 * t).sin();
+            }
+            samples.push(v);
+        }
+        let mut trace = SensorTrace::new("tone");
+        trace.insert(
+            SensorChannel::Mic,
+            TimeSeries::from_samples(rate, samples).unwrap(),
+        );
+        trace
+    }
+
+    #[test]
+    fn narrowband_condition_strength_reduces_to_goertzel() {
+        use sidewinder_hub::runtime::ChannelRates;
+        use sidewinder_opt::{optimize, EquivalenceTier, OptOptions};
+        let program = SirenDetectorApp::narrowband_wake_condition();
+        program.validate().unwrap();
+        assert!(program.uses_fft(), "written naively, the condition FFTs");
+        let (optimized, report) = optimize(
+            &program,
+            &ChannelRates::default(),
+            &OptOptions::aggressive(),
+        );
+        assert_eq!(report.goertzel_rewrites, 1, "{}", report.summary());
+        assert_eq!(report.tier, EquivalenceTier::TolerancePinned);
+        assert!(optimized.validate().is_ok());
+        assert!(!optimized.uses_fft(), "the spectral chain must be gone");
+        // window + goertzel + minThreshold + sustained.
+        assert_eq!(optimized.nodes().count(), 4);
+        assert!(
+            report.flops_after < report.flops_before / 2.0,
+            "{} -> {}",
+            report.flops_before,
+            report.flops_after
+        );
+    }
+
+    #[test]
+    fn optimized_narrowband_fits_the_msp430() {
+        use sidewinder_hub::runtime::ChannelRates;
+        use sidewinder_opt::{optimize, OptOptions};
+        let rates = ChannelRates::default();
+        let program = SirenDetectorApp::narrowband_wake_condition();
+        assert_eq!(Mcu::cheapest_for(&program, &rates).unwrap(), Mcu::LM4F120);
+        let (optimized, _) = optimize(&program, &rates, &OptOptions::aggressive());
+        // 5 Goertzel probes over a 1024-sample window at 8 kHz is
+        // ~120 kflops/s, inside the MSP430's 256 kflop/s budget; the
+        // hub idles at 3.6 mW instead of 49.4 mW.
+        assert_eq!(Mcu::cheapest_for(&optimized, &rates).unwrap(), Mcu::MSP430);
+        assert_eq!(hub_mw_for(&optimized), Mcu::MSP430.awake_power_mw);
+    }
+
+    #[test]
+    fn narrowband_detection_parity_on_the_alarm_tone() {
+        use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+        use sidewinder_opt::{optimize, OptOptions};
+        let program = SirenDetectorApp::narrowband_wake_condition();
+        let (optimized, report) = optimize(
+            &program,
+            &ChannelRates::default(),
+            &OptOptions::aggressive(),
+        );
+        assert_eq!(report.goertzel_rewrites, 1);
+
+        let trace = tone_trace();
+        let mic = trace.channel(SensorChannel::Mic).unwrap();
+        let replay = |p: &Program| {
+            let mut hub = HubRuntime::load(p, &ChannelRates::default()).unwrap();
+            let mut wakes = Vec::new();
+            for (i, &v) in mic.samples().iter().enumerate() {
+                for wake in hub.push_sample(SensorChannel::Mic, v).unwrap() {
+                    wakes.push((i, wake.seq, wake.value));
+                }
+            }
+            wakes
+        };
+        let before = replay(&program);
+        let after = replay(&optimized);
+        assert!(!before.is_empty(), "the tone must trigger the wake");
+        assert_eq!(before.len(), after.len(), "wake cadence diverges");
+        for (&(i_a, seq_a, val_a), &(i_b, seq_b, val_b)) in before.iter().zip(after.iter()) {
+            assert_eq!((i_a, seq_a), (i_b, seq_b), "wake timing diverges");
+            assert!((10.0..14.5).contains(&(i_a as f64 / 8000.0)));
+            let scale = val_a.abs().max(val_b.abs()).max(1.0);
+            assert!(
+                (val_a - val_b).abs() <= 1e-6 * scale,
+                "in-band peak diverges: {val_a} vs {val_b}"
+            );
+        }
     }
 
     #[test]

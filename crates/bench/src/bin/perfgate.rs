@@ -88,10 +88,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!(
-            "perfgate: {} baseline benches, tolerance {:.0}%, {} speedup floors",
+            "perfgate: {} baseline benches, tolerance {:.0}%, {} speedup floors, {} ratio floors",
             baseline.len(),
             gate::MAX_REGRESSION * 100.0,
-            gate::SPEEDUP_FLOORS.len()
+            gate::SPEEDUP_FLOORS.len(),
+            gate::RATIO_FLOORS.len()
         );
         violations.extend(gate::check_perf(
             &baseline,
@@ -99,6 +100,9 @@ fn main() -> ExitCode {
             gate::MAX_REGRESSION,
             &gate::SPEEDUP_FLOORS,
         ));
+        // Same-run ratio floors: what the optimizing compiler buys,
+        // independent of this machine's absolute speed.
+        violations.extend(gate::check_ratios(&fresh, &gate::RATIO_FLOORS));
     }
 
     if violations.is_empty() {

@@ -1,0 +1,247 @@
+//! `swopt` — optimizing compiler front end for Sidewinder IR programs.
+//!
+//! Parses and validates each input, runs the `sidewinder-opt` pass
+//! pipeline, and emits the optimized IR plus a cost report. Composes
+//! with `swlint` the obvious way: `swopt wake.swir | swlint --deny
+//! warnings` proves the optimizer traded cycles without buying
+//! diagnostics.
+//!
+//! Usage:
+//!
+//! ```text
+//! swopt wake.swir                   # optimize, IR to stdout, report to stderr
+//! swopt --level exact wake.swir     # exact passes only (no Goertzel rewrite)
+//! swopt --fuse a.swir b.swir        # merge all inputs into one program first
+//! swopt --format json *.swir        # machine-readable cost table
+//! swopt -o opt.swir wake.swir       # write the optimized IR to a file
+//! swopt < wake.swir                 # stdin mode
+//! ```
+//!
+//! Exit codes: `0` success, `2` usage, I/O, parse, or validation error.
+
+use sidewinder_hub::cost::PipelineCost;
+use sidewinder_hub::runtime::ChannelRates;
+use sidewinder_ir::Program;
+use sidewinder_opt::{fuse_programs, optimize, OptOptions, OptReport};
+use std::io::Read;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: swopt [--level exact|aggressive] [--format ir|json] [--fuse] [-o FILE] [FILE...]";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Ir,
+    Json,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+        .replace('\t', "\\t")
+}
+
+/// One optimized input, ready to render.
+struct Outcome {
+    source: String,
+    optimized: Program,
+    report: OptReport,
+    memory_before: usize,
+    memory_after: usize,
+}
+
+fn render_json(outcomes: &[Outcome]) -> String {
+    let mut out = String::from("[\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let r = &o.report;
+        out.push_str(&format!(
+            "  {{\n    \"source\": \"{}\",\n    \"tier\": \"{}\",\n    \
+             \"nodes_before\": {},\n    \"nodes_after\": {},\n    \
+             \"flops_per_s_before\": {:.1},\n    \"flops_per_s_after\": {:.1},\n    \
+             \"memory_bytes_before\": {},\n    \"memory_bytes_after\": {},\n    \
+             \"identities_removed\": {},\n    \"gates_fused\": {},\n    \
+             \"duplicates_merged\": {},\n    \"goertzel_rewrites\": {},\n    \
+             \"dead_swept\": {},\n    \"program\": \"{}\"\n  }}",
+            json_escape(&o.source),
+            r.tier,
+            r.nodes_before,
+            r.nodes_after,
+            r.flops_before,
+            r.flops_after,
+            o.memory_before,
+            o.memory_after,
+            r.identities_removed,
+            r.gates_fused,
+            r.duplicates_merged,
+            r.goertzel_rewrites,
+            r.dead_swept,
+            json_escape(&o.optimized.to_string()),
+        ));
+        out.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let mut format = Format::Ir;
+    let mut options = OptOptions::aggressive();
+    let mut fuse = false;
+    let mut output: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--level" => match args.next().as_deref() {
+                Some("exact") => options = OptOptions::exact(),
+                Some("aggressive") => options = OptOptions::aggressive(),
+                other => {
+                    eprintln!("swopt: --level expects exact|aggressive, got {other:?}");
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("ir") => format = Format::Ir,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("swopt: --format expects ir|json, got {other:?}");
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--fuse" => fuse = true,
+            "-o" | "--output" => match args.next() {
+                Some(path) => output = Some(path),
+                None => {
+                    eprintln!("swopt: -o expects a path");
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("swopt: unknown flag {flag}");
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    // No files: optimize stdin, the `swopt < wake.swir` pipe mode.
+    let inputs: Vec<(String, Option<String>)> = if files.is_empty() {
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("swopt: cannot read stdin: {e}");
+            return ExitCode::from(2);
+        }
+        vec![("<stdin>".to_string(), Some(text))]
+    } else {
+        files.into_iter().map(|f| (f, None)).collect()
+    };
+
+    let mut programs: Vec<(String, Program)> = Vec::new();
+    for (source, text) in inputs {
+        let text = match text {
+            Some(t) => t,
+            None => match std::fs::read_to_string(&source) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("swopt: cannot read {source}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+        };
+        let program: Program = match text.parse() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {source}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = program.validate_located() {
+            eprintln!("error: {source}: {e}");
+            return ExitCode::from(2);
+        }
+        programs.push((source, program));
+    }
+
+    if fuse {
+        let fused = fuse_programs(
+            &programs
+                .iter()
+                .map(|(_, p)| p.clone())
+                .collect::<Vec<Program>>(),
+        );
+        if let Err(e) = fused.validate() {
+            eprintln!("error: fused program is invalid: {e}");
+            return ExitCode::from(2);
+        }
+        let names: Vec<&str> = programs.iter().map(|(s, _)| s.as_str()).collect();
+        programs = vec![(format!("fused({})", names.join(", ")), fused)];
+    }
+
+    let rates = ChannelRates::default();
+    let outcomes: Vec<Outcome> = programs
+        .into_iter()
+        .map(|(source, program)| {
+            let memory_before = PipelineCost::analyze(&program, &rates).total_memory_bytes();
+            let (optimized, report) = optimize(&program, &rates, &options);
+            let memory_after = PipelineCost::analyze(&optimized, &rates).total_memory_bytes();
+            Outcome {
+                source,
+                optimized,
+                report,
+                memory_before,
+                memory_after,
+            }
+        })
+        .collect();
+
+    let rendered = match format {
+        Format::Json => render_json(&outcomes),
+        Format::Ir => {
+            // Note multiple inputs render as several programs separated
+            // by `#` comment headers — informative, but not one valid
+            // program; use --fuse to get a single program.
+            let mut out = String::new();
+            for o in &outcomes {
+                if outcomes.len() > 1 {
+                    out.push_str(&format!("# {}\n", o.source));
+                }
+                out.push_str(&o.optimized.to_string());
+                out.push('\n');
+            }
+            out
+        }
+    };
+    match &output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("swopt: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{rendered}"),
+    }
+
+    // The cost table goes to stderr so `swopt a.swir | swlint` stays a
+    // clean pipe.
+    for o in &outcomes {
+        eprintln!(
+            "swopt: {}: {}, {} -> {} bytes",
+            o.source,
+            o.report.summary(),
+            o.memory_before,
+            o.memory_after,
+        );
+    }
+    ExitCode::SUCCESS
+}

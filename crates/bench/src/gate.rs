@@ -38,6 +38,31 @@ pub const SPEEDUP_FLOORS: [(&str, f64); 3] = [
     ("hub_interpreter/siren_condition", 2.0),
 ];
 
+/// Minimum ratios between two rows of the *same* fresh report:
+/// `(slow_id, fast_id, floor)` demands `slow / fast >= floor`. Unlike
+/// [`SPEEDUP_FLOORS`], both sides are measured in the same run, so the
+/// rule is immune to machine-speed drift; it pins what the optimizing
+/// compiler buys, not how fast this host is.
+///
+/// * The optimized-fused row must hold at least 1.3x over the runtime
+///   fusion of the same two conditions — the paper's 1.34x fusion gap
+///   is the optimizer's to close, and losing CSE would silently reopen
+///   it.
+/// * The Goertzel strength reduction must keep the narrow-band alarm
+///   condition at least 2x cheaper than its filters-plus-FFT form.
+pub const RATIO_FLOORS: [(&str, &str, f64); 2] = [
+    (
+        "concurrent_conditions/one_fused_runtime",
+        "concurrent_conditions/one_optimized_fused_runtime",
+        1.3,
+    ),
+    (
+        "siren_band_detection/narrowband_fft_pipeline",
+        "siren_band_detection/goertzel_rewrite",
+        2.0,
+    ),
+];
+
 /// The six golden wake-up conditions, by fixture name.
 pub const FIXTURES: [(&str, &str); 6] = [
     ("steps", include_str!("../../ir/tests/fixtures/steps.swir")),
@@ -183,6 +208,41 @@ pub fn check_perf(
     violations
 }
 
+/// The ratio rule, pure over the fresh report: each [`RATIO_FLOORS`]
+/// entry requires both rows to be present and `slow / fast >= floor`.
+/// A missing row is a violation — the optimizer's win must stay
+/// measured, not silently dropped.
+pub fn check_ratios(
+    fresh: &BTreeMap<String, f64>,
+    ratios: &[(&str, &str, f64)],
+) -> Vec<GateViolation> {
+    let mut violations = Vec::new();
+    for &(slow_id, fast_id, floor) in ratios {
+        let (slow, fast) = match (fresh.get(slow_id), fresh.get(fast_id)) {
+            (Some(&s), Some(&f)) => (s, f),
+            (slow, _) => {
+                let missing = if slow.is_none() { slow_id } else { fast_id };
+                violations.push(GateViolation {
+                    id: missing.to_string(),
+                    message: "ratio-floor row missing from the fresh report".to_string(),
+                });
+                continue;
+            }
+        };
+        let ratio = slow / fast;
+        if ratio < floor {
+            violations.push(GateViolation {
+                id: fast_id.to_string(),
+                message: format!(
+                    "only {ratio:.2}x faster than {slow_id} \
+                     ({slow:.0} / {fast:.0} ns/iter); the floor is {floor}x"
+                ),
+            });
+        }
+    }
+    violations
+}
+
 /// FNV-1a over a byte stream.
 fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
     let mut h = hash;
@@ -235,24 +295,44 @@ pub fn wake_digest(program: &Program) -> Result<u64, HubError> {
     Ok(hash)
 }
 
-/// Digests every golden fixture, in [`FIXTURES`] order.
+/// Digests every golden fixture, in [`FIXTURES`] order, plus the
+/// `fused_all_six` entry: all six conditions merged by
+/// [`sidewinder_opt::fuse_programs`] and run through the optimizer at
+/// the aggressive level. The committed golden therefore pins the
+/// acceptance criterion end to end — any optimizer change that alters
+/// the fused program's wake stream moves this digest.
 ///
 /// # Panics
 ///
 /// Panics if a committed fixture fails to parse or execute — that is
 /// itself a conformance failure.
 pub fn fixture_digests() -> Vec<(String, u64)> {
-    FIXTURES
+    let programs: Vec<Program> = FIXTURES
         .iter()
         .map(|(name, text)| {
-            let program: Program = text
-                .parse()
-                .unwrap_or_else(|e| panic!("fixture {name} does not parse: {e}"));
+            text.parse()
+                .unwrap_or_else(|e| panic!("fixture {name} does not parse: {e}"))
+        })
+        .collect();
+    let mut digests: Vec<(String, u64)> = FIXTURES
+        .iter()
+        .zip(programs.iter())
+        .map(|(&(name, _), program)| {
             let digest =
-                wake_digest(&program).unwrap_or_else(|e| panic!("fixture {name} failed: {e}"));
+                wake_digest(program).unwrap_or_else(|e| panic!("fixture {name} failed: {e}"));
             (name.to_string(), digest)
         })
-        .collect()
+        .collect();
+    let fused = sidewinder_opt::fuse_programs(&programs);
+    let (optimized, _) = sidewinder_opt::optimize(
+        &fused,
+        &ChannelRates::default(),
+        &sidewinder_opt::OptOptions::aggressive(),
+    );
+    let digest =
+        wake_digest(&optimized).unwrap_or_else(|e| panic!("optimized fused fixture failed: {e}"));
+    digests.push(("fused_all_six".to_string(), digest));
+    digests
 }
 
 /// Renders the digest map in the committed `wake_digests.json` format.
@@ -372,9 +452,59 @@ mod tests {
     }
 
     #[test]
+    fn ratio_floor_rejects_a_lost_optimization() {
+        let floors = [("suite/slow", "suite/fast", 1.3)];
+        // 1.5x holds the 1.3x floor.
+        let fresh = map(&[("suite/slow", 300_000.0), ("suite/fast", 200_000.0)]);
+        assert!(check_ratios(&fresh, &floors).is_empty());
+        // 1.2x does not.
+        let fresh = map(&[("suite/slow", 240_000.0), ("suite/fast", 200_000.0)]);
+        let violations = check_ratios(&fresh, &floors);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].id, "suite/fast");
+        assert!(violations[0].message.contains("1.20x"), "{}", violations[0]);
+    }
+
+    #[test]
+    fn ratio_floor_rejects_missing_rows() {
+        let floors = [("suite/slow", "suite/fast", 1.3)];
+        let fresh = map(&[("suite/slow", 300_000.0)]);
+        let violations = check_ratios(&fresh, &floors);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].id, "suite/fast");
+        assert!(violations[0].message.contains("missing"));
+    }
+
+    /// The acceptance criterion behind the committed `fused_all_six`
+    /// golden: optimizing the fused six-app program must not move its
+    /// wake digest — the exact-tier passes are digest-preserving on the
+    /// conformance input.
+    #[test]
+    fn optimizing_the_fused_fixtures_preserves_the_wake_digest() {
+        let programs: Vec<Program> = FIXTURES.iter().map(|(_, t)| t.parse().unwrap()).collect();
+        let fused = sidewinder_opt::fuse_programs(&programs);
+        let (optimized, report) = sidewinder_opt::optimize(
+            &fused,
+            &ChannelRates::default(),
+            &sidewinder_opt::OptOptions::aggressive(),
+        );
+        assert!(report.changed(), "CSE must fire on the fused fixtures");
+        assert_eq!(
+            wake_digest(&fused).unwrap(),
+            wake_digest(&optimized).unwrap(),
+            "optimization moved the fused wake digest"
+        );
+    }
+
+    #[test]
     fn digests_are_deterministic_and_distinguish_fixtures() {
         let all = fixture_digests();
-        assert_eq!(all.len(), FIXTURES.len());
+        assert_eq!(
+            all.len(),
+            FIXTURES.len() + 1,
+            "six fixtures + fused_all_six"
+        );
+        assert_eq!(all.last().unwrap().0, "fused_all_six");
         let again = fixture_digests();
         assert_eq!(all, again);
         let unique: std::collections::BTreeSet<u64> = all.iter().map(|&(_, d)| d).collect();

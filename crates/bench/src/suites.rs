@@ -11,6 +11,7 @@ use sidewinder_dsp::filter::{fft_highpass, MovingAverage};
 use sidewinder_dsp::window::WindowShape;
 use sidewinder_dsp::{fft, goertzel, stats, zcr};
 use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+use sidewinder_opt::{fuse_programs, optimize, OptOptions};
 use sidewinder_sensors::SensorChannel;
 use sidewinder_sim::Application;
 
@@ -102,6 +103,31 @@ pub fn bench_fusion(c: &mut Criterion) {
             wakes
         })
     });
+    // The optimizing compiler's answer to the same workload: fuse the
+    // two conditions into one IR program and let CSE collapse the
+    // duplicated chain, so the hub interprets one condition plus an
+    // `anyOf` join instead of two. The perf gate's ratio floor pins
+    // this row at >= 1.3x over `one_fused_runtime` — the fusion gap the
+    // optimizer exists to close.
+    group.bench_function("one_optimized_fused_runtime", |b| {
+        let fused_ir = fuse_programs(&[program.clone(), program.clone()]);
+        let (optimized, _) = optimize(
+            &fused_ir,
+            &ChannelRates::default(),
+            &OptOptions::aggressive(),
+        );
+        let mut hub = HubRuntime::load(&optimized, &ChannelRates::default()).unwrap();
+        b.iter(|| {
+            let mut wakes = 0usize;
+            for &s in &samples {
+                wakes += hub
+                    .push_sample(SensorChannel::Mic, black_box(s))
+                    .unwrap()
+                    .len();
+            }
+            wakes
+        })
+    });
     group.finish();
 }
 
@@ -156,6 +182,32 @@ pub fn bench_goertzel_ablation(c: &mut Criterion) {
     });
     group.bench_function("goertzel_8_probes", |b| {
         b.iter(|| goertzel::strongest_of(black_box(&signal), &probes, 8000.0))
+    });
+    // Interpreter-level counterpart: the narrow-band alarm condition
+    // written with filters + FFT, against the same condition after the
+    // optimizer's Goertzel strength reduction. Both push a 1 kHz tone
+    // (the center of the 980-1020 Hz band) through a real HubRuntime;
+    // the ratio floor pins the rewrite's win.
+    let alarm = SirenDetectorApp::narrowband_wake_condition();
+    let tone_batch = tone(1000.0, 8000.0, INTERPRETER_BATCH);
+    group.bench_function("narrowband_fft_pipeline", |b| {
+        let mut hub = HubRuntime::load(&alarm, &ChannelRates::default()).unwrap();
+        b.iter(|| {
+            hub.push_samples(SensorChannel::Mic, black_box(&tone_batch))
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("goertzel_rewrite", |b| {
+        let (optimized, report) =
+            optimize(&alarm, &ChannelRates::default(), &OptOptions::aggressive());
+        assert_eq!(report.goertzel_rewrites, 1, "{}", report.summary());
+        let mut hub = HubRuntime::load(&optimized, &ChannelRates::default()).unwrap();
+        b.iter(|| {
+            hub.push_samples(SensorChannel::Mic, black_box(&tone_batch))
+                .unwrap()
+                .len()
+        })
     });
     group.finish();
 }

@@ -47,9 +47,12 @@ impl PipelineCost {
     /// Unvalidated programs may yield meaningless costs, but analysis
     /// never panics on them.
     pub fn analyze(program: &Program, rates: &ChannelRates) -> PipelineCost {
-        // Track per-node emission rate and vector length flowing out.
+        // Track per-node emission rate, vector length, and the sample
+        // rate of the data *inside* those vectors (the base rate a
+        // frequency-aware stage like goertzel sees) flowing out.
         let mut out_rate: BTreeMap<NodeId, f64> = BTreeMap::new();
         let mut out_len: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut out_base: BTreeMap<NodeId, f64> = BTreeMap::new();
         let mut nodes = Vec::new();
 
         for (sources, id, kind) in program.nodes() {
@@ -72,8 +75,16 @@ impl PipelineCost {
                 })
                 .max()
                 .unwrap_or(1);
+            let input_base = sources
+                .iter()
+                .map(|s| match s {
+                    Source::Channel(c) => rates.rate_of(*c),
+                    Source::Node(n) => out_base.get(n).copied().unwrap_or(0.0),
+                })
+                .fold(0.0, f64::max);
 
-            let (flops, mem, mut rate_out, len_out) = cost_of(kind, input_rate, input_len);
+            let (flops, mem, mut rate_out, len_out) =
+                cost_of(kind, input_rate, input_len, input_base);
             // Joins that wait for every branch emit at the slowest
             // branch's cadence; anyOf forwards every arrival (the summed
             // rate cost_of already returned).
@@ -91,6 +102,7 @@ impl PipelineCost {
             });
             out_rate.insert(id, rate_out);
             out_len.insert(id, len_out);
+            out_base.insert(id, input_base);
         }
         PipelineCost { nodes }
     }
@@ -112,7 +124,14 @@ impl PipelineCost {
 }
 
 /// Returns `(flops_per_input, memory_bytes, output_rate, output_len)`.
-fn cost_of(kind: &AlgorithmKind, input_rate: f64, input_len: usize) -> (f64, usize, f64, usize) {
+/// `input_base_rate` is the sample rate of the data inside incoming
+/// vectors — what frequency-aware stages use to place DFT bins.
+fn cost_of(
+    kind: &AlgorithmKind,
+    input_rate: f64,
+    input_len: usize,
+    input_base_rate: f64,
+) -> (f64, usize, f64, usize) {
     let n = input_len as f64;
     match *kind {
         AlgorithmKind::Window { size, hop, shape } => {
@@ -176,6 +195,24 @@ fn cost_of(kind: &AlgorithmKind, input_rate: f64, input_len: usize) -> (f64, usi
             (per_sample * n + 10.0, 32, input_rate, 1)
         }
         AlgorithmKind::DominantRatio | AlgorithmKind::DominantFreq => (2.0 * n, 16, input_rate, 1),
+        AlgorithmKind::Goertzel { lo_hz, hi_hz } => {
+            // One Goertzel recurrence per in-band bin: ~3 flops per
+            // sample plus the closing magnitude (a sqrt ≈ 15 flops).
+            // Without a known base rate the bin spacing is unknown, so
+            // assume the worst case (every bin in band).
+            let probes = if input_base_rate > 0.0 && input_len > 0 {
+                let bin_hz = input_base_rate / n;
+                (0..=input_len / 2)
+                    .filter(|&k| {
+                        let f = k as f64 * bin_hz;
+                        lo_hz <= f && f <= hi_hz
+                    })
+                    .count() as f64
+            } else {
+                n / 2.0 + 1.0
+            };
+            (probes * (3.0 * n + 20.0), 32 + input_len * 4, input_rate, 1)
+        }
         AlgorithmKind::MinThreshold { .. }
         | AlgorithmKind::MaxThreshold { .. }
         | AlgorithmKind::BandThreshold { .. }

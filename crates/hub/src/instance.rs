@@ -12,7 +12,7 @@
 use crate::value::{Tagged, ValueRef};
 use sidewinder_dsp::filter::{BandFilterPlan, BandShape, ExponentialMovingAverage, MovingAverage};
 use sidewinder_dsp::window::{WindowShape, Windower};
-use sidewinder_dsp::{fft, spectral, stats, zcr, Complex, FftPlan};
+use sidewinder_dsp::{fft, goertzel, spectral, stats, zcr, Complex, FftPlan};
 use sidewinder_ir::{AlgorithmKind, NodeId, StatFn, WindowShapeParam};
 
 /// An execution-time failure inside an algorithm instance.
@@ -114,6 +114,17 @@ enum AlgoState {
     DominantRatio,
     DominantFreq {
         rate_hz: f64,
+    },
+    /// Narrow-band spectral probe: max Goertzel magnitude over the DFT
+    /// bins of the incoming window whose center frequency falls in
+    /// `[lo_hz, hi_hz]`. The probe frequency list is cached per window
+    /// length so steady-state feeds never allocate.
+    Goertzel {
+        lo_hz: f64,
+        hi_hz: f64,
+        rate_hz: f64,
+        planned_len: usize,
+        probes: Vec<f64>,
     },
     MinThreshold {
         threshold: f64,
@@ -245,6 +256,22 @@ impl AlgoInstance {
             AlgorithmKind::Stat(s) => AlgoState::Stat(s),
             AlgorithmKind::DominantRatio => AlgoState::DominantRatio,
             AlgorithmKind::DominantFreq => AlgoState::DominantFreq { rate_hz },
+            AlgorithmKind::Goertzel { lo_hz, hi_hz } => {
+                if !(lo_hz.is_finite() && hi_hz.is_finite() && 0.0 <= lo_hz && lo_hz <= hi_hz) {
+                    return Err(ExecError::BadParameter {
+                        id,
+                        what: "goertzel band must be finite with 0 <= lo <= hi",
+                    });
+                }
+                AlgoState::Goertzel {
+                    lo_hz,
+                    hi_hz,
+                    rate_hz,
+                    // Sentinel: no window length planned yet.
+                    planned_len: usize::MAX,
+                    probes: Vec::new(),
+                }
+            }
             AlgorithmKind::MinThreshold { threshold } => AlgoState::MinThreshold { threshold },
             AlgorithmKind::MaxThreshold { threshold } => AlgoState::MaxThreshold { threshold },
             AlgorithmKind::BandThreshold { lo, hi } => AlgoState::BandThreshold { lo, hi },
@@ -501,6 +528,41 @@ impl AlgoInstance {
                         let freq = fft::bin_to_frequency(peak.bin + 1, n, *rate_hz);
                         out.set_scalar(seq, freq);
                     }
+                }
+            }
+            AlgoState::Goertzel {
+                lo_hz,
+                hi_hz,
+                rate_hz,
+                planned_len,
+                probes,
+            } => {
+                let window = input.as_vector().ok_or(type_err)?;
+                if *planned_len != window.len() {
+                    *planned_len = window.len();
+                    probes.clear();
+                    if *rate_hz > 0.0 && !window.is_empty() {
+                        let n = window.len();
+                        for k in 0..=n / 2 {
+                            let f = fft::bin_to_frequency(k, n, *rate_hz);
+                            // Inclusive band edges, mirroring the
+                            // fft-filter keep masks this node replaces.
+                            if *lo_hz <= f && f <= *hi_hz {
+                                probes.push(f);
+                            }
+                        }
+                    }
+                }
+                // Zero in-band bins behaves like an empty band filter's
+                // downstream: nothing to measure, so no emission.
+                let strongest = probes
+                    .iter()
+                    .filter_map(|&f| goertzel::goertzel_magnitude(window, f, *rate_hz))
+                    .fold(None, |best: Option<f64>, m| {
+                        Some(best.map_or(m, |b| if m > b { m } else { b }))
+                    });
+                if let Some(m) = strongest {
+                    out.set_scalar(seq, m);
                 }
             }
             AlgoState::MinThreshold { threshold } => {
@@ -990,6 +1052,80 @@ mod tests {
         assert!(!inst.has_result());
         inst.feed(0, &Tagged::new(1, vec![-2.0, 2.0])).unwrap();
         assert_eq!(inst.take_result().unwrap().value.as_scalar(), Some(2.0));
+    }
+
+    #[test]
+    fn goertzel_matches_fft_band_peak_on_bin_tones() {
+        let rate = 8000.0;
+        let n = 1024usize;
+        // A tone exactly on bin 128 (1000 Hz at 8 kHz / 1024).
+        let tone: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 1000.0 * i as f64 / rate).sin())
+            .collect();
+
+        let mut g = AlgoInstance::new(
+            NodeId(1),
+            &AlgorithmKind::Goertzel {
+                lo_hz: 980.0,
+                hi_hz: 1020.0,
+            },
+            1,
+            rate,
+        )
+        .unwrap();
+        g.feed(0, &Tagged::new(0, tone.clone())).unwrap();
+        let probe = g.take_result().unwrap().value.as_scalar().unwrap();
+
+        // Reference: fft → spectralMagnitude, max over bins in band.
+        let mut fft_node = AlgoInstance::new(NodeId(2), &AlgorithmKind::Fft, 1, rate).unwrap();
+        let mut mag =
+            AlgoInstance::new(NodeId(3), &AlgorithmKind::SpectralMagnitude, 1, rate).unwrap();
+        fft_node.feed(0, &Tagged::new(0, tone)).unwrap();
+        mag.feed(0, &fft_node.take_result().unwrap()).unwrap();
+        let mags = mag.take_result().unwrap();
+        let mags = mags.value.as_vector().unwrap();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| {
+                let f = *k as f64 * rate / n as f64;
+                (980.0..=1020.0).contains(&f)
+            })
+            .map(|(_, &m)| m)
+            .fold(0.0f64, f64::max);
+
+        assert!(
+            (probe - peak).abs() / peak < 1e-9,
+            "goertzel {probe} vs fft peak {peak}"
+        );
+    }
+
+    #[test]
+    fn goertzel_with_empty_band_never_emits() {
+        // 100–101 Hz at 8 kHz / 64-point windows: bins are 125 Hz apart,
+        // so no bin center lands in the band.
+        let mut g = AlgoInstance::new(
+            NodeId(1),
+            &AlgorithmKind::Goertzel {
+                lo_hz: 100.0,
+                hi_hz: 101.0,
+            },
+            1,
+            8000.0,
+        )
+        .unwrap();
+        g.feed(0, &Tagged::new(0, vec![1.0; 64])).unwrap();
+        assert!(!g.has_result());
+    }
+
+    #[test]
+    fn goertzel_rejects_bad_band() {
+        let bad = AlgorithmKind::Goertzel {
+            lo_hz: 500.0,
+            hi_hz: 100.0,
+        };
+        let err = AlgoInstance::new(NodeId(7), &bad, 1, 8000.0).unwrap_err();
+        assert!(err.to_string().contains("node 7"), "{err}");
     }
 
     #[test]

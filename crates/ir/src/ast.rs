@@ -191,6 +191,19 @@ pub enum AlgorithmKind {
     /// Frequency (Hz) of the dominant non-DC spectral bin.
     /// Vector → Scalar.
     DominantFreq,
+    /// Maximum Goertzel magnitude over the DFT bins of the incoming
+    /// window whose center frequency lies in `[lo_hz, hi_hz]` — the
+    /// strength-reduced form of a narrow-band spectral gate
+    /// (`fft → spectralMagnitude → max` restricted to a band). Probing
+    /// K bins costs `O(K·N)` instead of the filter+FFT chain's
+    /// `O(N log N)`, so it wins exactly when the band is narrow.
+    /// Vector → Scalar.
+    Goertzel {
+        /// Lower band edge in Hz (inclusive).
+        lo_hz: f64,
+        /// Upper band edge in Hz (inclusive).
+        hi_hz: f64,
+    },
     /// Passes values `>= threshold` (the paper's low-bound admission
     /// control). Scalar → Scalar.
     MinThreshold {
@@ -254,6 +267,7 @@ impl AlgorithmKind {
             AlgorithmKind::Stat(s) => s.ir_name(),
             AlgorithmKind::DominantRatio => "dominantRatio",
             AlgorithmKind::DominantFreq => "dominantFreq",
+            AlgorithmKind::Goertzel { .. } => "goertzel",
             AlgorithmKind::MinThreshold { .. } => "minThreshold",
             AlgorithmKind::MaxThreshold { .. } => "maxThreshold",
             AlgorithmKind::BandThreshold { .. } => "bandThreshold",
@@ -275,6 +289,7 @@ impl AlgorithmKind {
             AlgorithmKind::LowPass { cutoff_hz } => vec![cutoff_hz],
             AlgorithmKind::HighPass { cutoff_hz } => vec![cutoff_hz],
             AlgorithmKind::ZcrVariance { sub_windows } => vec![sub_windows as f64],
+            AlgorithmKind::Goertzel { lo_hz, hi_hz } => vec![lo_hz, hi_hz],
             AlgorithmKind::MinThreshold { threshold } => vec![threshold],
             AlgorithmKind::MaxThreshold { threshold } => vec![threshold],
             AlgorithmKind::BandThreshold { lo, hi } => vec![lo, hi],
@@ -326,6 +341,10 @@ impl AlgorithmKind {
             },
             ("dominantRatio", 0) => AlgorithmKind::DominantRatio,
             ("dominantFreq", 0) => AlgorithmKind::DominantFreq,
+            ("goertzel", 2) => AlgorithmKind::Goertzel {
+                lo_hz: params[0],
+                hi_hz: params[1],
+            },
             ("minThreshold", 1) => AlgorithmKind::MinThreshold {
                 threshold: params[0],
             },
@@ -378,7 +397,8 @@ impl AlgorithmKind {
             | AlgorithmKind::ZcrVariance { .. }
             | AlgorithmKind::Stat(_)
             | AlgorithmKind::DominantRatio
-            | AlgorithmKind::DominantFreq => ValueType::Vector,
+            | AlgorithmKind::DominantFreq
+            | AlgorithmKind::Goertzel { .. } => ValueType::Vector,
             AlgorithmKind::Ifft | AlgorithmKind::SpectralMagnitude => ValueType::Spectrum,
         }
     }
@@ -718,6 +738,10 @@ mod tests {
             AlgorithmKind::Stat(StatFn::Variance),
             AlgorithmKind::DominantRatio,
             AlgorithmKind::DominantFreq,
+            AlgorithmKind::Goertzel {
+                lo_hz: 980.0,
+                hi_hz: 1020.0,
+            },
             AlgorithmKind::MinThreshold { threshold: 15.0 },
             AlgorithmKind::MaxThreshold { threshold: -3.75 },
             AlgorithmKind::BandThreshold { lo: 1.0, hi: 2.0 },

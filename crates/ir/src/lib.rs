@@ -44,8 +44,10 @@
 pub mod ast;
 pub mod diagram;
 pub mod parse;
+pub mod rewrite;
 pub mod validate;
 
 pub use ast::{AlgorithmKind, NodeId, Program, Source, StatFn, Stmt, ValueType, WindowShapeParam};
 pub use parse::ParseError;
+pub use rewrite::{canonicalize_ids, live_from_out, Rewrite, StructuralKey};
 pub use validate::{validate_located, LocatedValidateError, ValidateError};

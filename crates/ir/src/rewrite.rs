@@ -1,0 +1,354 @@
+//! Program rewriting primitives.
+//!
+//! The optimizer (`sidewinder-opt`) expresses each pass as an *edit
+//! script* over one program — node removals, source redirections, and
+//! in-place node replacements — applied atomically by [`Rewrite::apply`].
+//! Keeping the mechanics here, next to the AST, means passes never
+//! hand-roll statement surgery: they describe *what* changes and this
+//! module guarantees the result is still a well-formed statement list
+//! (statement order preserved, line metadata carried over, `OUT`
+//! retargeted through redirect chains).
+//!
+//! [`StructuralKey`] is the companion hashing scheme: two nodes with the
+//! same key compute the same function of the same inputs, which is the
+//! foundation of common-subexpression elimination and cross-program
+//! sharing.
+
+use crate::ast::{AlgorithmKind, NodeId, Program, Source, Stmt};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A structural identity for one node: algorithm name, parameters (as
+/// exact bit patterns, so `0.0`/`-0.0` and NaN payloads never collide),
+/// and the sources it reads, in port order.
+///
+/// Port order is significant — `vectorMagnitude` sums squares in port
+/// order (float addition is not associative) and `allOf` forwards the
+/// *last* input's value — so keys deliberately do not sort sources.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StructuralKey {
+    name: &'static str,
+    param_bits: Vec<u64>,
+    sources: Vec<Source>,
+}
+
+impl StructuralKey {
+    /// Builds the key for a node reading `sources` (already canonicalized
+    /// by the caller if deduplication across a replacement map is in
+    /// progress).
+    pub fn of(sources: &[Source], kind: &AlgorithmKind) -> StructuralKey {
+        StructuralKey {
+            name: kind.ir_name(),
+            param_bits: kind.encode_params().iter().map(|p| p.to_bits()).collect(),
+            sources: sources.to_vec(),
+        }
+    }
+}
+
+/// An edit script over one program: removals, redirections, and in-place
+/// replacements, applied together by [`Rewrite::apply`].
+#[derive(Debug, Clone, Default)]
+pub struct Rewrite {
+    /// Consumers of the key read from the mapped source instead.
+    redirects: BTreeMap<NodeId, Source>,
+    /// Statements to drop entirely.
+    removals: BTreeSet<NodeId>,
+    /// Nodes whose sources/kind are swapped in place (id and line kept).
+    replacements: BTreeMap<NodeId, (Vec<Source>, AlgorithmKind)>,
+}
+
+impl Rewrite {
+    /// An empty edit script.
+    pub fn new() -> Rewrite {
+        Rewrite::default()
+    }
+
+    /// Whether the script changes anything.
+    pub fn is_empty(&self) -> bool {
+        self.redirects.is_empty() && self.removals.is_empty() && self.replacements.is_empty()
+    }
+
+    /// Consumers of `from` (including `OUT`) should read `to` instead.
+    /// Chains are resolved transitively at apply time.
+    pub fn redirect(&mut self, from: NodeId, to: Source) {
+        self.redirects.insert(from, to);
+    }
+
+    /// Drop node `id`'s statement. Callers normally pair this with a
+    /// [`Rewrite::redirect`] so remaining consumers stay defined.
+    pub fn remove(&mut self, id: NodeId) {
+        self.removals.insert(id);
+    }
+
+    /// Swap node `id`'s sources and algorithm in place, keeping its id
+    /// and source line.
+    pub fn replace(&mut self, id: NodeId, sources: Vec<Source>, kind: AlgorithmKind) {
+        self.replacements.insert(id, (sources, kind));
+    }
+
+    /// Resolves a source through the redirect chain. Bounded by the
+    /// number of redirects, so reference cycles in malformed scripts
+    /// terminate at the cycle edge instead of spinning.
+    pub fn resolve(&self, source: Source) -> Source {
+        let mut current = source;
+        for _ in 0..=self.redirects.len() {
+            match current {
+                Source::Node(id) => match self.redirects.get(&id) {
+                    Some(next) => current = *next,
+                    None => return current,
+                },
+                Source::Channel(_) => return current,
+            }
+        }
+        current
+    }
+
+    /// Applies the script, producing the rewritten program.
+    ///
+    /// Statement order and line metadata are preserved. `OUT` follows
+    /// redirect chains like any other consumer, except that a chain
+    /// ending at a channel leaves `OUT` untouched — `OUT` must name a
+    /// node, and passes guard against creating that shape; this is the
+    /// backstop that keeps apply total.
+    pub fn apply(&self, program: &Program) -> Program {
+        let mut stmts = Vec::with_capacity(program.len());
+        for stmt in program.stmts() {
+            match stmt {
+                Stmt::Node {
+                    sources,
+                    id,
+                    kind,
+                    line,
+                } => {
+                    if self.removals.contains(id) {
+                        continue;
+                    }
+                    let (sources, kind) = match self.replacements.get(id) {
+                        Some((s, k)) => (s.clone(), *k),
+                        None => (sources.clone(), *kind),
+                    };
+                    let sources = sources.into_iter().map(|s| self.resolve(s)).collect();
+                    stmts.push(Stmt::Node {
+                        sources,
+                        id: *id,
+                        kind,
+                        line: *line,
+                    });
+                }
+                Stmt::Out { source, line } => {
+                    let resolved = match self.resolve(Source::Node(*source)) {
+                        Source::Node(id) => id,
+                        Source::Channel(_) => *source,
+                    };
+                    stmts.push(Stmt::Out {
+                        source: resolved,
+                        line: *line,
+                    });
+                }
+            }
+        }
+        Program::from_stmts(stmts)
+    }
+}
+
+/// Renumbers node ids to `1..=N` in statement order, remapping every
+/// reference (including `OUT`). Two programs that differ only in id
+/// choice canonicalize to equal programs — the equality cross-program
+/// deduplication tests against. Unresolvable references (malformed
+/// input) are left as-is.
+pub fn canonicalize_ids(program: &Program) -> Program {
+    let mut map: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    let mut next = 1u32;
+    for (_, id, _) in program.nodes() {
+        map.entry(id).or_insert_with(|| {
+            let fresh = NodeId(next);
+            next += 1;
+            fresh
+        });
+    }
+    let remap = |s: &Source| match s {
+        Source::Node(n) => Source::Node(*map.get(n).unwrap_or(n)),
+        Source::Channel(c) => Source::Channel(*c),
+    };
+    let stmts = program
+        .stmts()
+        .iter()
+        .map(|stmt| match stmt {
+            Stmt::Node {
+                sources,
+                id,
+                kind,
+                line,
+            } => Stmt::Node {
+                sources: sources.iter().map(remap).collect(),
+                id: *map.get(id).unwrap_or(id),
+                kind: *kind,
+                line: *line,
+            },
+            Stmt::Out { source, line } => Stmt::Out {
+                source: *map.get(source).unwrap_or(source),
+                line: *line,
+            },
+        })
+        .collect();
+    Program::from_stmts(stmts)
+}
+
+/// The set of nodes transitively reachable from `OUT` — the live set a
+/// dead-code sweep keeps. Total on malformed programs: no `OUT` yields
+/// an empty set, undefined references are skipped.
+pub fn live_from_out(program: &Program) -> BTreeSet<NodeId> {
+    let mut sources_of: BTreeMap<NodeId, &[Source]> = BTreeMap::new();
+    for (sources, id, _) in program.nodes() {
+        sources_of.insert(id, sources);
+    }
+    let mut live = BTreeSet::new();
+    let mut stack: Vec<NodeId> = program.out_source().into_iter().collect();
+    while let Some(id) = stack.pop() {
+        if !live.insert(id) {
+            continue;
+        }
+        if let Some(sources) = sources_of.get(&id) {
+            for s in sources.iter() {
+                if let Source::Node(n) = s {
+                    stack.push(*n);
+                }
+            }
+        }
+    }
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_sensors::SensorChannel;
+
+    fn program(text: &str) -> Program {
+        text.parse().unwrap()
+    }
+
+    const CHAIN: &str = "ACC_X -> movingAvg(id=1, params={10});
+         1 -> movingAvg(id=2, params={1});
+         2 -> minThreshold(id=3, params={15});
+         3 -> OUT;";
+
+    #[test]
+    fn structural_keys_distinguish_params_and_source_order() {
+        let a = StructuralKey::of(
+            &[Source::Channel(SensorChannel::AccX)],
+            &AlgorithmKind::MovingAvg { window: 10 },
+        );
+        let b = StructuralKey::of(
+            &[Source::Channel(SensorChannel::AccX)],
+            &AlgorithmKind::MovingAvg { window: 10 },
+        );
+        let c = StructuralKey::of(
+            &[Source::Channel(SensorChannel::AccX)],
+            &AlgorithmKind::MovingAvg { window: 11 },
+        );
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+
+        let xy = StructuralKey::of(
+            &[Source::Node(NodeId(1)), Source::Node(NodeId(2))],
+            &AlgorithmKind::AllOf,
+        );
+        let yx = StructuralKey::of(
+            &[Source::Node(NodeId(2)), Source::Node(NodeId(1))],
+            &AlgorithmKind::AllOf,
+        );
+        assert_ne!(xy, yx, "allOf forwards the last input; order matters");
+    }
+
+    #[test]
+    fn bypass_removal_redirects_consumers() {
+        let p = program(CHAIN);
+        let mut rw = Rewrite::new();
+        rw.redirect(NodeId(2), Source::Node(NodeId(1)));
+        rw.remove(NodeId(2));
+        let out = rw.apply(&p);
+        assert_eq!(out.len(), 3);
+        assert!(out.validate().is_ok());
+        let (sources, id, _) = out.nodes().nth(1).unwrap();
+        assert_eq!(id, NodeId(3));
+        assert_eq!(sources, &[Source::Node(NodeId(1))]);
+    }
+
+    #[test]
+    fn redirect_chains_resolve_transitively_and_out_follows() {
+        let p = program(
+            "ACC_X -> movingAvg(id=1, params={10});
+             1 -> movingAvg(id=2, params={1});
+             2 -> expMovingAvg(id=3, params={1});
+             3 -> OUT;",
+        );
+        let mut rw = Rewrite::new();
+        rw.redirect(NodeId(3), Source::Node(NodeId(2)));
+        rw.remove(NodeId(3));
+        rw.redirect(NodeId(2), Source::Node(NodeId(1)));
+        rw.remove(NodeId(2));
+        let out = rw.apply(&p);
+        assert_eq!(out.out_source(), Some(NodeId(1)));
+        assert!(out.validate().is_ok());
+    }
+
+    #[test]
+    fn out_never_retargets_to_a_channel() {
+        let p = program(CHAIN);
+        let mut rw = Rewrite::new();
+        rw.redirect(NodeId(3), Source::Channel(SensorChannel::AccX));
+        let out = rw.apply(&p);
+        assert_eq!(out.out_source(), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn replace_keeps_id_and_line() {
+        let p = program(CHAIN);
+        let mut rw = Rewrite::new();
+        rw.replace(
+            NodeId(2),
+            vec![Source::Node(NodeId(1))],
+            AlgorithmKind::ExpMovingAvg { alpha: 0.5 },
+        );
+        let out = rw.apply(&p);
+        assert_eq!(out.line_of(NodeId(2)), p.line_of(NodeId(2)));
+        let (_, _, kind) = out.nodes().nth(1).unwrap();
+        assert_eq!(*kind, AlgorithmKind::ExpMovingAvg { alpha: 0.5 });
+    }
+
+    #[test]
+    fn live_set_walks_back_from_out() {
+        let p = program(CHAIN);
+        let live = live_from_out(&p);
+        assert_eq!(
+            live.into_iter().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert!(live_from_out(&Program::new()).is_empty());
+    }
+
+    #[test]
+    fn canonicalization_erases_id_choice() {
+        let a = program(
+            "ACC_X -> movingAvg(id=7, params={10});
+             7 -> minThreshold(id=3, params={15});
+             3 -> OUT;",
+        );
+        let b = program(
+            "ACC_X -> movingAvg(id=1, params={10});
+             1 -> minThreshold(id=2, params={15});
+             2 -> OUT;",
+        );
+        assert_ne!(a, b);
+        assert_eq!(canonicalize_ids(&a), canonicalize_ids(&b));
+        assert!(canonicalize_ids(&a).validate().is_ok());
+    }
+
+    #[test]
+    fn empty_rewrite_is_identity() {
+        let p = program(CHAIN);
+        let rw = Rewrite::new();
+        assert!(rw.is_empty());
+        assert_eq!(rw.apply(&p), p);
+    }
+}

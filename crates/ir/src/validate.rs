@@ -307,6 +307,11 @@ fn check_params(id: NodeId, kind: &AlgorithmKind) -> Result<(), ValidateError> {
         AlgorithmKind::Sustained { count, max_gap } if (count == 0 || max_gap == 0) => {
             return bad(format!("sustained count={count}, max_gap={max_gap}"));
         }
+        AlgorithmKind::Goertzel { lo_hz, hi_hz }
+            if !(lo_hz.is_finite() && hi_hz.is_finite() && 0.0 <= lo_hz && lo_hz <= hi_hz) =>
+        {
+            return bad(format!("goertzel band [{lo_hz}, {hi_hz}] is invalid"));
+        }
         _ => {}
     }
     Ok(())

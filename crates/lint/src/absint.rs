@@ -293,13 +293,43 @@ fn transfer(id: NodeId, line: Option<u32>, kind: &AlgorithmKind, ups: &[Up]) -> 
             };
         }
         AlgorithmKind::DominantRatio => {
-            // max/mean of non-DC magnitudes lies in [1, bins]; the hub
-            // kernel skips emission entirely on an all-zero spectrum, so
-            // the division can never produce NaN.
-            value = Interval::new(1.0, (primary.len.saturating_sub(1)).max(1) as f64);
+            // The hub kernel skips emission when the mean is <= 0, so the
+            // division never produces NaN and the peak (the max element,
+            // >= the mean) keeps the ratio >= 1. The [1, bins] upper
+            // bound additionally needs every element nonnegative (a true
+            // magnitude spectrum): then mean >= peak/bins. On signed
+            // input — the IR type system also admits raw time-domain
+            // windows here — cancellation can drive the mean arbitrarily
+            // close to zero while the peak stays large, so the ratio is
+            // unbounded above.
+            value = if v.lo >= 0.0 {
+                Interval::new(1.0, (primary.len.saturating_sub(1)).max(1) as f64)
+            } else {
+                Interval::new(1.0, f64::INFINITY)
+            };
+            may_non_finite |= !value.is_bounded();
         }
         AlgorithmKind::DominantFreq => {
             value = Interval::new(0.0, base_rate_hz / 2.0);
+        }
+        AlgorithmKind::Goertzel { lo_hz, hi_hz } => {
+            // A single DFT bin obeys the same bound as an FFT bin:
+            // |X_k| ≤ Σ|x| ≤ N·max|x|.
+            value = Interval::new(0.0, n.max(1.0) * m);
+            may_non_finite |= !v.is_bounded();
+            // With a known bin grid, an empty probe set (no bin center
+            // inside the band) means the node can never emit.
+            if base_rate_hz > 0.0 && primary.len > 0 {
+                let bins = primary.len;
+                let bin_hz = base_rate_hz / bins as f64;
+                let any_in_band = (0..=bins / 2).any(|k| {
+                    let f = k as f64 * bin_hz;
+                    lo_hz <= f && f <= hi_hz
+                });
+                if !any_in_band {
+                    feasible = false;
+                }
+            }
         }
         AlgorithmKind::MinThreshold { threshold } => {
             gate(

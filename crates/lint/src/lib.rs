@@ -38,11 +38,15 @@
 //! ```
 
 pub mod absint;
+pub mod facts;
 pub mod interval;
 pub mod lints;
 pub mod registry;
+#[cfg(feature = "testing")]
+pub mod testing;
 
 pub use absint::{analyze, channel_interval, Analysis, NodeFacts};
+pub use facts::{redundancy, Redundancy};
 pub use interval::Interval;
 pub use lints::lint_program;
 pub use registry::{render_json_array, Diagnostic, LintCode, LintReport, Severity};

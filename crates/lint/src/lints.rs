@@ -103,41 +103,19 @@ fn wake_storm(analysis: &Analysis, report: &mut LintReport) {
     }
 }
 
-/// SW003: nodes that provably do nothing.
+/// SW003: nodes that provably do nothing. The predicate lives in
+/// [`crate::facts`] so the optimizer's dead-node elimination and this
+/// lint can never drift apart.
 fn redundant_nodes(analysis: &Analysis, report: &mut LintReport) {
     for f in analysis.facts() {
-        let detail = match f.kind {
-            AlgorithmKind::MovingAvg { window } if window <= 1 => {
-                format!("`movingAvg` over {window} sample(s) is the identity")
-            }
-            AlgorithmKind::ExpMovingAvg { alpha } if alpha >= 1.0 => {
-                format!("`expMovingAvg` with alpha = {alpha} is the identity")
-            }
-            AlgorithmKind::Window { size: 1, .. } => {
-                "a 1-sample window re-emits each sample unchanged".to_string()
-            }
-            AlgorithmKind::Sustained { count, .. } if count <= 1 => {
-                format!("`sustained` of {count} arrival(s) passes every arrival")
-            }
-            AlgorithmKind::MinThreshold { .. }
-            | AlgorithmKind::MaxThreshold { .. }
-            | AlgorithmKind::BandThreshold { .. }
-            | AlgorithmKind::OutsideThreshold { .. }
-                if f.passes_all =>
-            {
-                format!(
-                    "`{}` passes every value in {}; it filters nothing",
-                    f.kind.ir_name(),
-                    f.input_value
-                )
-            }
-            _ => continue,
+        let Some(r) = crate::facts::redundancy(f) else {
+            continue;
         };
         report.diagnostics.push(Diagnostic::new(
             LintCode::RedundantNode,
             Some(f.id),
             f.line,
-            format!("redundant node: {detail}"),
+            format!("redundant node: {}", r.detail(f)),
         ));
     }
 }

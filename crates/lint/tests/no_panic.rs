@@ -4,120 +4,9 @@
 
 use proptest::prelude::*;
 use sidewinder_hub::runtime::ChannelRates;
-use sidewinder_ir::{AlgorithmKind, NodeId, Program, Source, StatFn, WindowShapeParam};
+use sidewinder_ir::Program;
+use sidewinder_lint::testing::arb_program;
 use sidewinder_lint::{analyze, lint_program, LintReport};
-use sidewinder_sensors::SensorChannel;
-
-fn arb_scalar_chain_kind() -> impl Strategy<Value = AlgorithmKind> {
-    prop_oneof![
-        (1u32..64).prop_map(|window| AlgorithmKind::MovingAvg { window }),
-        (0.01f64..=1.0).prop_map(|alpha| AlgorithmKind::ExpMovingAvg { alpha }),
-        (-100.0f64..100.0).prop_map(|threshold| AlgorithmKind::MinThreshold { threshold }),
-        (-100.0f64..100.0).prop_map(|threshold| AlgorithmKind::MaxThreshold { threshold }),
-        (-100.0f64..100.0, 0.0f64..50.0)
-            .prop_map(|(lo, span)| AlgorithmKind::BandThreshold { lo, hi: lo + span }),
-        (-100.0f64..100.0, 0.0f64..50.0)
-            .prop_map(|(lo, span)| AlgorithmKind::OutsideThreshold { lo, hi: lo + span }),
-        (1u32..10, 1u32..4096)
-            .prop_map(|(count, max_gap)| AlgorithmKind::Sustained { count, max_gap }),
-    ]
-}
-
-fn arb_vector_reducer() -> impl Strategy<Value = AlgorithmKind> {
-    prop_oneof![
-        Just(AlgorithmKind::Zcr),
-        (2u32..16).prop_map(|sub_windows| AlgorithmKind::ZcrVariance { sub_windows }),
-        (0usize..StatFn::ALL.len()).prop_map(|i| AlgorithmKind::Stat(StatFn::ALL[i])),
-        Just(AlgorithmKind::DominantRatio),
-        Just(AlgorithmKind::DominantFreq),
-        Just(AlgorithmKind::Fft),
-        (100.0f64..2000.0).prop_map(|cutoff_hz| AlgorithmKind::HighPass { cutoff_hz }),
-    ]
-}
-
-fn arb_window() -> impl Strategy<Value = AlgorithmKind> {
-    (3u32..10, 0usize..3).prop_flat_map(|(bits, shape_idx)| {
-        let size = 1u32 << bits;
-        (1u32..=size).prop_map(move |hop| AlgorithmKind::Window {
-            size,
-            hop,
-            shape: [
-                WindowShapeParam::Rectangular,
-                WindowShapeParam::Hamming,
-                WindowShapeParam::Hann,
-            ][shape_idx],
-        })
-    })
-}
-
-/// Valid programs shaped like the evaluation apps: accelerometer
-/// branches joined by vectorMagnitude, or a mic window reduced to a
-/// scalar, with arbitrary threshold chains.
-fn arb_program() -> impl Strategy<Value = Program> {
-    prop_oneof![accel_program(), audio_program()]
-}
-
-fn accel_program() -> impl Strategy<Value = Program> {
-    (
-        1usize..=3,
-        prop::collection::vec(arb_scalar_chain_kind(), 1..4),
-        prop::collection::vec(arb_scalar_chain_kind(), 0..3),
-    )
-        .prop_map(|(branches, per_branch, tail)| {
-            let mut p = Program::new();
-            let mut next_id = 1u32;
-            let mut joins = Vec::new();
-            for b in 0..branches {
-                let mut src = Source::Channel(SensorChannel::ACCEL[b]);
-                for kind in &per_branch {
-                    let id = NodeId(next_id);
-                    next_id += 1;
-                    p.push_node(vec![src], id, *kind);
-                    src = Source::Node(id);
-                }
-                joins.push(src);
-            }
-            let join_id = NodeId(next_id);
-            next_id += 1;
-            p.push_node(joins, join_id, AlgorithmKind::VectorMagnitude);
-            let mut src = Source::Node(join_id);
-            for kind in &tail {
-                let id = NodeId(next_id);
-                next_id += 1;
-                p.push_node(vec![src], id, *kind);
-                src = Source::Node(id);
-            }
-            let Source::Node(last) = src else {
-                unreachable!()
-            };
-            p.push_out(last);
-            p
-        })
-}
-
-fn audio_program() -> impl Strategy<Value = Program> {
-    (
-        arb_window(),
-        arb_vector_reducer(),
-        prop::collection::vec(arb_scalar_chain_kind(), 0..3),
-    )
-        .prop_map(|(window, reducer, tail)| {
-            let mut p = Program::new();
-            p.push_node(vec![Source::Channel(SensorChannel::Mic)], NodeId(1), window);
-            p.push_node(vec![Source::Node(NodeId(1))], NodeId(2), reducer);
-            let mut src = Source::Node(NodeId(2));
-            for (offset, kind) in tail.iter().enumerate() {
-                let id = NodeId(3 + offset as u32);
-                p.push_node(vec![src], id, *kind);
-                src = Source::Node(id);
-            }
-            let Source::Node(last) = src else {
-                unreachable!()
-            };
-            p.push_out(last);
-            p
-        })
-}
 
 /// Structural invariants every report must satisfy, whatever fired.
 fn check_report_invariants(report: &LintReport) {

@@ -1,0 +1,439 @@
+//! `sidewinder-opt`: an optimizing compiler for Sidewinder IR programs.
+//!
+//! The hub interprets wake-up conditions exactly as applications wrote
+//! them, and applications write them for clarity, not for the MCU's
+//! flop budget. This crate closes that gap with a small pass framework
+//! over the IR graph, reusing the linter's abstract-interpretation
+//! facts ([`sidewinder_lint::absint`]) as its analysis layer:
+//!
+//! * **Dead-node elimination** ([`passes::dce`]) — the SW003 redundancy
+//!   predicate ([`sidewinder_lint::facts`]) becomes a transform: no-op
+//!   averages, pass-everything gates, and single-arrival `sustained`
+//!   nodes are deleted and their consumers rewired; a closing liveness
+//!   sweep drops anything no longer feeding `OUT`.
+//! * **Gate fusion / constant folding** ([`passes::gates`]) — adjacent
+//!   threshold gates compose into one gate whose pass set is the
+//!   intersection of intervals. Statically-known scalar subgraphs fold
+//!   through the same machinery: the interval domain's singleton
+//!   intervals decide a downstream gate (`passes_all`/`passes_none`),
+//!   which dead-node elimination then removes — the IR has no literal
+//!   constant node, so a folded decision *is* a deleted gate.
+//! * **Common-subexpression elimination** ([`passes::cse`]) — nodes
+//!   with equal structural keys (algorithm + exact parameter bits +
+//!   canonicalized sources, in port order) are merged, so N programs
+//!   fused onto one hub share identical windows, filters, and FFTs.
+//!   [`optimize_suite`] extends this across applications by
+//!   deduplicating whole optimized programs up to id renaming.
+//! * **Goertzel strength reduction** ([`passes::goertzel`]) — a
+//!   narrow-band spectral gate (`window → filters → fft →
+//!   spectralMagnitude → max`) becomes a single `goertzel` probe node
+//!   when the cost model says probing the in-band bins is cheaper than
+//!   the filter + FFT chain.
+//!
+//! # Equivalence tiers
+//!
+//! Every pass carries one of two equivalence guarantees, recorded in
+//! [`OptReport::tier`]:
+//!
+//! * [`EquivalenceTier::DigestExact`] — dead-node elimination, gate
+//!   fusion, and CSE replay *bit-identically*: the optimized program's
+//!   wake sequence (sequence tags and `f64` bit patterns) equals the
+//!   original's on every trace. The differential harness enforces this
+//!   with FNV digests over `(seq, value.to_bits())`.
+//! * [`EquivalenceTier::TolerancePinned`] — the Goertzel rewrite
+//!   evaluates the *same* DFT bins by a different recurrence, so values
+//!   agree only to floating-point rounding (and out-of-band filter
+//!   residue on the order of 1e-13 relative). The harness pins a
+//!   relative tolerance instead of bit equality and requires detection
+//!   parity away from the threshold boundary.
+//!
+//! The optimizer is *total*: invalid or malformed programs are returned
+//! unchanged (never a panic), and a final validation backstop returns
+//! the original program if a pass ever produced something invalid.
+
+pub mod passes;
+pub mod suite;
+
+pub use suite::{fuse_programs, optimize_suite, SuiteResult};
+
+use sidewinder_hub::cost::PipelineCost;
+use sidewinder_hub::runtime::ChannelRates;
+use sidewinder_ir::rewrite::{live_from_out, Rewrite};
+use sidewinder_ir::Program;
+
+/// How aggressively to rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// Only digest-exact passes: dead-node elimination, gate fusion,
+    /// CSE. The optimized program replays bit-identically.
+    Exact,
+    /// Exact passes plus Goertzel strength reduction, which is
+    /// tolerance-pinned rather than bit-exact.
+    #[default]
+    Aggressive,
+}
+
+/// Optimizer configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptOptions {
+    /// The pass set to run.
+    pub level: OptLevel,
+}
+
+impl OptOptions {
+    /// Only digest-exact passes.
+    pub fn exact() -> OptOptions {
+        OptOptions {
+            level: OptLevel::Exact,
+        }
+    }
+
+    /// All passes, including the tolerance-pinned Goertzel rewrite.
+    pub fn aggressive() -> OptOptions {
+        OptOptions {
+            level: OptLevel::Aggressive,
+        }
+    }
+}
+
+/// The equivalence guarantee an optimized program carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EquivalenceTier {
+    /// Bit-identical wake sequences (seq and value bits) on every trace.
+    DigestExact,
+    /// Same wake cadence; values agree within a pinned relative
+    /// tolerance, so detections match except exactly at a threshold
+    /// boundary.
+    TolerancePinned,
+}
+
+impl std::fmt::Display for EquivalenceTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EquivalenceTier::DigestExact => write!(f, "digest-exact"),
+            EquivalenceTier::TolerancePinned => write!(f, "tolerance-pinned"),
+        }
+    }
+}
+
+/// What the optimizer did to one program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptReport {
+    /// Nodes before optimization.
+    pub nodes_before: usize,
+    /// Nodes after optimization.
+    pub nodes_after: usize,
+    /// Cost-model flops/s before optimization.
+    pub flops_before: f64,
+    /// Cost-model flops/s after optimization.
+    pub flops_after: f64,
+    /// Redundant identity nodes bypassed and deleted.
+    pub identities_removed: usize,
+    /// Adjacent threshold gates composed into one.
+    pub gates_fused: usize,
+    /// Structurally-identical nodes merged.
+    pub duplicates_merged: usize,
+    /// Narrow-band spectral chains rewritten to `goertzel` probes.
+    pub goertzel_rewrites: usize,
+    /// Nodes dropped by the closing liveness sweep.
+    pub dead_swept: usize,
+    /// The strongest guarantee still holding for the output.
+    pub tier: EquivalenceTier,
+}
+
+impl OptReport {
+    fn start(program: &Program, rates: &ChannelRates) -> OptReport {
+        let cost = PipelineCost::analyze(program, rates);
+        OptReport {
+            nodes_before: program.nodes().count(),
+            nodes_after: program.nodes().count(),
+            flops_before: cost.total_flops_per_second(),
+            flops_after: cost.total_flops_per_second(),
+            identities_removed: 0,
+            gates_fused: 0,
+            duplicates_merged: 0,
+            goertzel_rewrites: 0,
+            dead_swept: 0,
+            tier: EquivalenceTier::DigestExact,
+        }
+    }
+
+    fn finish(&mut self, program: &Program, rates: &ChannelRates) {
+        let cost = PipelineCost::analyze(program, rates);
+        self.nodes_after = program.nodes().count();
+        self.flops_after = cost.total_flops_per_second();
+    }
+
+    /// Whether any rewrite fired.
+    pub fn changed(&self) -> bool {
+        self.identities_removed
+            + self.gates_fused
+            + self.duplicates_merged
+            + self.goertzel_rewrites
+            + self.dead_swept
+            > 0
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} -> {} nodes, {:.0} -> {:.0} flop/s ({}): \
+             {} identity, {} gate-fusion, {} cse, {} goertzel, {} swept",
+            self.nodes_before,
+            self.nodes_after,
+            self.flops_before,
+            self.flops_after,
+            self.tier,
+            self.identities_removed,
+            self.gates_fused,
+            self.duplicates_merged,
+            self.goertzel_rewrites,
+            self.dead_swept,
+        )
+    }
+}
+
+/// Optimizes one program.
+///
+/// Total: programs that fail validation are returned unchanged (with an
+/// all-zero report), and if any pass were ever to produce an invalid
+/// program, the original is returned instead — the optimizer never
+/// trades correctness for cost.
+pub fn optimize(
+    program: &Program,
+    rates: &ChannelRates,
+    options: &OptOptions,
+) -> (Program, OptReport) {
+    let mut report = OptReport::start(program, rates);
+    if program.validate().is_err() {
+        return (program.clone(), report);
+    }
+
+    let mut current = program.clone();
+    // Exact passes to a fixpoint: each iteration strictly shrinks the
+    // node count or stops, so the bound is generous.
+    for _ in 0..program.nodes().count() + 2 {
+        let mut changed = false;
+        if let Some((next, n)) = passes::dce::run(&current, rates) {
+            report.identities_removed += n;
+            current = next;
+            changed = true;
+        }
+        if let Some((next, n)) = passes::gates::run(&current) {
+            report.gates_fused += n;
+            current = next;
+            changed = true;
+        }
+        if let Some((next, n)) = passes::cse::run(&current) {
+            report.duplicates_merged += n;
+            current = next;
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    if options.level == OptLevel::Aggressive {
+        if let Some((next, n)) = passes::goertzel::run(&current, rates) {
+            report.goertzel_rewrites += n;
+            report.tier = EquivalenceTier::TolerancePinned;
+            current = next;
+        }
+    }
+
+    // Closing liveness sweep: passes rewire consumers as they delete,
+    // so this is a backstop against anything left feeding nothing.
+    let live = live_from_out(&current);
+    let orphans: Vec<_> = current
+        .nodes()
+        .map(|(_, id, _)| id)
+        .filter(|id| !live.contains(id))
+        .collect();
+    if !orphans.is_empty() {
+        let mut rw = Rewrite::new();
+        for id in &orphans {
+            rw.remove(*id);
+        }
+        report.dead_swept += orphans.len();
+        current = rw.apply(&current);
+    }
+
+    if current.validate().is_err() {
+        // A pass broke the program — keep correctness, drop the rewrite.
+        return (program.clone(), OptReport::start(program, rates));
+    }
+    report.finish(&current, rates);
+    (current, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates() -> ChannelRates {
+        ChannelRates::default()
+    }
+
+    fn parse(text: &str) -> Program {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn clean_program_is_untouched() {
+        let p = parse(
+            "ACC_X -> movingAvg(id=1, params={10});
+             1 -> minThreshold(id=2, params={15});
+             2 -> OUT;",
+        );
+        let (q, report) = optimize(&p, &rates(), &OptOptions::default());
+        assert_eq!(q, p);
+        assert!(!report.changed());
+        assert_eq!(report.tier, EquivalenceTier::DigestExact);
+    }
+
+    #[test]
+    fn invalid_program_is_returned_unchanged() {
+        // Node 9 is never defined; validation rejects this.
+        let p: Result<Program, _> = "9 -> minThreshold(id=1, params={5});
+             1 -> OUT;"
+            .parse();
+        let p = p.unwrap();
+        assert!(p.validate().is_err());
+        let (q, report) = optimize(&p, &rates(), &OptOptions::default());
+        assert_eq!(q, p);
+        assert!(!report.changed());
+    }
+
+    #[test]
+    fn identity_chain_collapses_to_the_useful_gate() {
+        let p = parse(
+            "ACC_X -> movingAvg(id=1, params={1});
+             1 -> expMovingAvg(id=2, params={1});
+             2 -> minThreshold(id=3, params={15});
+             3 -> OUT;",
+        );
+        let (q, report) = optimize(&p, &rates(), &OptOptions::default());
+        assert_eq!(q.nodes().count(), 1);
+        assert_eq!(report.identities_removed, 2);
+        assert!(q.validate().is_ok());
+        assert!(report.flops_after <= report.flops_before);
+    }
+
+    #[test]
+    fn out_fed_by_identity_from_channel_keeps_one_node() {
+        // `OUT` must name a node, so the last identity before OUT
+        // survives when its source is a raw channel.
+        let p = parse(
+            "ACC_X -> movingAvg(id=1, params={1});
+             1 -> OUT;",
+        );
+        let (q, _report) = optimize(&p, &rates(), &OptOptions::default());
+        assert!(q.validate().is_ok());
+        assert_eq!(q.nodes().count(), 1);
+    }
+
+    #[test]
+    fn adjacent_gates_fuse_into_a_band() {
+        let p = parse(
+            "ACC_X -> movingAvg(id=1, params={10});
+             1 -> minThreshold(id=2, params={5});
+             2 -> maxThreshold(id=3, params={12});
+             3 -> OUT;",
+        );
+        let (q, report) = optimize(&p, &rates(), &OptOptions::default());
+        assert_eq!(report.gates_fused, 1);
+        assert_eq!(q.nodes().count(), 2);
+        let (_, _, kind) = q.nodes().last().unwrap();
+        assert_eq!(
+            *kind,
+            sidewinder_ir::AlgorithmKind::BandThreshold { lo: 5.0, hi: 12.0 }
+        );
+    }
+
+    #[test]
+    fn duplicate_branches_merge() {
+        // Two identical smoothing chains off the same channel.
+        let p = parse(
+            "ACC_X -> movingAvg(id=1, params={10});
+             ACC_X -> movingAvg(id=2, params={10});
+             1,2 -> vectorMagnitude(id=3);
+             3 -> minThreshold(id=4, params={15});
+             4 -> OUT;",
+        );
+        let (q, report) = optimize(&p, &rates(), &OptOptions::default());
+        assert_eq!(report.duplicates_merged, 1);
+        assert!(q.validate().is_ok());
+        // The join now reads the surviving node on both ports.
+        let (sources, _, _) = q
+            .nodes()
+            .find(|(_, _, k)| matches!(k, sidewinder_ir::AlgorithmKind::VectorMagnitude))
+            .unwrap();
+        assert_eq!(sources[0], sources[1]);
+    }
+
+    #[test]
+    fn exact_level_never_introduces_goertzel() {
+        let p = parse(
+            "MIC -> window(id=1, params={1024, 1024, 0});
+             1 -> highPass(id=2, params={980});
+             2 -> lowPass(id=3, params={1020});
+             3 -> fft(id=4);
+             4 -> spectralMagnitude(id=5);
+             5 -> max(id=6);
+             6 -> minThreshold(id=7, params={25});
+             7 -> OUT;",
+        );
+        let (q, report) = optimize(&p, &rates(), &OptOptions::exact());
+        assert_eq!(report.goertzel_rewrites, 0);
+        assert_eq!(report.tier, EquivalenceTier::DigestExact);
+        assert!(!q
+            .nodes()
+            .any(|(_, _, k)| matches!(k, sidewinder_ir::AlgorithmKind::Goertzel { .. })));
+    }
+
+    #[test]
+    fn narrow_band_chain_strength_reduces_under_aggressive() {
+        let p = parse(
+            "MIC -> window(id=1, params={1024, 1024, 0});
+             1 -> highPass(id=2, params={980});
+             2 -> lowPass(id=3, params={1020});
+             3 -> fft(id=4);
+             4 -> spectralMagnitude(id=5);
+             5 -> max(id=6);
+             6 -> minThreshold(id=7, params={25});
+             7 -> OUT;",
+        );
+        let (q, report) = optimize(&p, &rates(), &OptOptions::aggressive());
+        assert_eq!(report.goertzel_rewrites, 1);
+        assert_eq!(report.tier, EquivalenceTier::TolerancePinned);
+        assert!(q.validate().is_ok());
+        assert!(
+            report.flops_after < report.flops_before / 2.0,
+            "{}",
+            report.summary()
+        );
+        // window -> goertzel -> minThreshold
+        assert_eq!(q.nodes().count(), 3);
+    }
+
+    #[test]
+    fn wide_band_chain_is_left_alone_by_the_cost_gate() {
+        // The paper's siren condition: 750 Hz – Nyquist covers ~417
+        // bins, where Goertzel probing costs more than the FFT.
+        let p = parse(
+            "MIC -> window(id=1, params={1024, 1024, 0});
+             1 -> highPass(id=2, params={750});
+             2 -> fft(id=3);
+             3 -> spectralMagnitude(id=4);
+             4 -> max(id=5);
+             5 -> minThreshold(id=6, params={25});
+             6 -> sustained(id=7, params={6, 1024});
+             7 -> OUT;",
+        );
+        let (q, report) = optimize(&p, &rates(), &OptOptions::aggressive());
+        assert_eq!(report.goertzel_rewrites, 0);
+        assert_eq!(report.tier, EquivalenceTier::DigestExact);
+        assert_eq!(q, p);
+    }
+}

@@ -1,0 +1,60 @@
+//! The optimizer's rewrite passes.
+//!
+//! Each pass takes a *valid* program and returns `Some((rewritten, n))`
+//! when it fired `n` times, or `None` when it has nothing to do — the
+//! driver in the crate root loops the exact passes to a fixpoint and
+//! runs the tolerance-pinned Goertzel pass once at the end.
+
+pub mod cse;
+pub mod dce;
+pub mod gates;
+pub mod goertzel;
+
+use sidewinder_ir::{AlgorithmKind, NodeId, Program, Source};
+use std::collections::BTreeMap;
+
+/// How many consumers read each node, counting `OUT` as a consumer.
+/// Nodes read on several ports of the same consumer count once per port.
+pub(crate) fn consumer_counts(program: &Program) -> BTreeMap<NodeId, usize> {
+    let mut counts = BTreeMap::new();
+    for (sources, _, _) in program.nodes() {
+        for s in sources {
+            if let Source::Node(n) = s {
+                *counts.entry(*n).or_insert(0) += 1;
+            }
+        }
+    }
+    if let Some(out) = program.out_source() {
+        *counts.entry(out).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Sources and algorithm of each node, keyed by id.
+pub(crate) fn node_info(program: &Program) -> BTreeMap<NodeId, (&[Source], &AlgorithmKind)> {
+    let mut info = BTreeMap::new();
+    for (sources, id, kind) in program.nodes() {
+        info.insert(id, (sources, kind));
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_counts_as_a_consumer() {
+        let p: Program = "ACC_X -> movingAvg(id=1, params={10});
+             1 -> minThreshold(id=2, params={15});
+             1 -> maxThreshold(id=3, params={30});
+             2,3 -> allOf(id=4);
+             4 -> OUT;"
+            .parse()
+            .unwrap();
+        let counts = consumer_counts(&p);
+        assert_eq!(counts.get(&NodeId(1)), Some(&2));
+        assert_eq!(counts.get(&NodeId(2)), Some(&1));
+        assert_eq!(counts.get(&NodeId(4)), Some(&1), "OUT reads node 4");
+    }
+}

@@ -1,0 +1,109 @@
+//! Common-subexpression elimination.
+//!
+//! Two nodes with equal [`StructuralKey`]s — same algorithm, same exact
+//! parameter bits, same sources in port order — compute the same
+//! function of the same input stream, so their state trajectories and
+//! emissions are identical sample for sample. The pass keeps the first
+//! occurrence (statement order) and rewires every consumer of a
+//! duplicate to it. Sources are canonicalized through the alias map as
+//! the scan proceeds, so duplicates whose inputs are *themselves*
+//! duplicates merge in a single round.
+//!
+//! This is what makes cross-application fusion pay: N programs merged
+//! onto one hub typically window, filter, and FFT the same microphone
+//! channel with the same parameters, and after CSE they share one copy
+//! of that front end.
+//!
+//! Digest-exact: consumers receive the same values with the same
+//! sequence tags from the surviving twin as they did from the deleted
+//! one. Stateful nodes (windows, averages, `sustained`) are safe to
+//! merge because identical inputs drive identical state.
+
+use sidewinder_ir::rewrite::{Rewrite, StructuralKey};
+use sidewinder_ir::{NodeId, Program, Source};
+use std::collections::{BTreeMap, HashMap};
+
+pub(crate) fn run(program: &Program) -> Option<(Program, usize)> {
+    let mut seen: HashMap<StructuralKey, NodeId> = HashMap::new();
+    let mut alias: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    let mut rw = Rewrite::new();
+    let mut merged = 0;
+    for (sources, id, kind) in program.nodes() {
+        let canonical: Vec<Source> = sources
+            .iter()
+            .map(|s| match s {
+                Source::Node(n) => Source::Node(*alias.get(n).unwrap_or(n)),
+                Source::Channel(c) => Source::Channel(*c),
+            })
+            .collect();
+        let key = StructuralKey::of(&canonical, kind);
+        match seen.get(&key) {
+            Some(&first) => {
+                alias.insert(id, first);
+                rw.redirect(id, Source::Node(first));
+                rw.remove(id);
+                merged += 1;
+            }
+            None => {
+                seen.insert(key, id);
+            }
+        }
+    }
+    if merged == 0 {
+        None
+    } else {
+        Some((rw.apply(program), merged))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Program {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn transitive_duplicates_merge_in_one_round() {
+        // Two identical two-stage chains: the second stage only matches
+        // once its source has been aliased to the first chain.
+        let p = parse(
+            "ACC_X -> movingAvg(id=1, params={10});
+             1 -> minThreshold(id=2, params={5});
+             ACC_X -> movingAvg(id=3, params={10});
+             3 -> minThreshold(id=4, params={5});
+             2,4 -> allOf(id=5);
+             5 -> OUT;",
+        );
+        let (q, merged) = run(&p).unwrap();
+        assert_eq!(merged, 2);
+        assert!(q.validate().is_ok());
+        let (sources, _, _) = q.nodes().last().unwrap();
+        assert_eq!(sources, [Source::Node(NodeId(2)), Source::Node(NodeId(2))]);
+    }
+
+    #[test]
+    fn parameter_bits_must_match_exactly() {
+        let p = parse(
+            "ACC_X -> movingAvg(id=1, params={10});
+             ACC_X -> movingAvg(id=2, params={11});
+             1,2 -> vectorMagnitude(id=3);
+             3 -> minThreshold(id=4, params={15});
+             4 -> OUT;",
+        );
+        assert!(run(&p).is_none());
+    }
+
+    #[test]
+    fn different_channels_never_merge() {
+        let p = parse(
+            "ACC_X -> movingAvg(id=1, params={10});
+             ACC_Y -> movingAvg(id=2, params={10});
+             1,2 -> vectorMagnitude(id=3);
+             3 -> minThreshold(id=4, params={15});
+             4 -> OUT;",
+        );
+        assert!(run(&p).is_none());
+    }
+}

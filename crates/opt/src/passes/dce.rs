@@ -1,0 +1,162 @@
+//! Dead-node elimination.
+//!
+//! The linter's SW003 redundancy predicate ([`sidewinder_lint::facts`])
+//! identifies nodes that provably forward every value unchanged —
+//! 1-sample moving averages, `expMovingAvg` with `alpha = 1`,
+//! single-arrival `sustained` nodes, and gates whose pass set covers the
+//! whole input interval. Here the same predicate becomes a transform:
+//! every bypassable redundant node is deleted and its consumers rewired
+//! to its source. Because the redirect map is exactly the set of
+//! lint-verified identities, a node this pass deletes is exactly one
+//! SW003 would have flagged — that correspondence is unit-tested from
+//! both sides.
+//!
+//! Digest-exact: a bypassed node emits its input value with its input's
+//! sequence tag, so the wake stream is bit-identical. (The lone
+//! documented corner is `expMovingAvg` with `alpha = 1`, which maps an
+//! incoming `-0.0` to `+0.0` once warm; the bypass is the mathematically
+//! faithful identity — see `lint::facts::Redundancy::bypassable`.)
+//!
+//! `OUT` must name a node, so when the entire chain above `OUT`
+//! dissolves into a raw channel the node closest to `OUT` is kept.
+
+use sidewinder_hub::runtime::ChannelRates;
+use sidewinder_ir::rewrite::Rewrite;
+use sidewinder_ir::{NodeId, Program, Source};
+use sidewinder_lint::{analyze, redundancy};
+use std::collections::BTreeMap;
+
+pub(crate) fn run(program: &Program, rates: &ChannelRates) -> Option<(Program, usize)> {
+    let analysis = analyze(program, rates);
+    let mut bypass: BTreeMap<NodeId, Source> = BTreeMap::new();
+    for (sources, id, _) in program.nodes() {
+        // Only single-input nodes have an unambiguous "the" source to
+        // bypass to; every redundancy the predicate reports is one.
+        if sources.len() != 1 {
+            continue;
+        }
+        let Some(fact) = analysis.fact(id) else {
+            continue;
+        };
+        let Some(r) = redundancy(fact) else {
+            continue;
+        };
+        if !r.bypassable() {
+            continue;
+        }
+        bypass.insert(id, sources[0]);
+    }
+
+    // Keep the program rooted: if OUT's whole upstream chain of
+    // identities resolves to a channel, un-bypass the node OUT names.
+    // This must be checked after chain resolution — with
+    // `CH -> a -> b -> OUT` and both a, b redundant, removing only b's
+    // bypass is what keeps OUT on a node.
+    if let Some(out) = program.out_source() {
+        if bypass.contains_key(&out) && matches!(resolve(&bypass, out), Source::Channel(_)) {
+            bypass.remove(&out);
+        }
+    }
+    if bypass.is_empty() {
+        return None;
+    }
+
+    let mut rw = Rewrite::new();
+    for (&id, &src) in &bypass {
+        rw.redirect(id, src);
+        rw.remove(id);
+    }
+    Some((rw.apply(program), bypass.len()))
+}
+
+/// Resolves a node through the bypass chain, bounded against cycles.
+fn resolve(bypass: &BTreeMap<NodeId, Source>, start: NodeId) -> Source {
+    let mut current = Source::Node(start);
+    for _ in 0..=bypass.len() {
+        match current {
+            Source::Node(id) => match bypass.get(&id) {
+                Some(next) => current = *next,
+                None => return current,
+            },
+            Source::Channel(_) => return current,
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_lint::{lint_program, LintCode};
+
+    fn rates() -> ChannelRates {
+        ChannelRates::default()
+    }
+
+    #[test]
+    fn every_deleted_node_is_an_sw003_finding() {
+        // The pass and the lint must agree: optimize deletes exactly
+        // the redundant-node set SW003 reports (minus non-bypassable
+        // shapes and the OUT backstop).
+        let p: Program = "ACC_X -> movingAvg(id=1, params={1});
+             1 -> expMovingAvg(id=2, params={1});
+             2 -> sustained(id=3, params={1, 10});
+             3 -> minThreshold(id=4, params={15});
+             4 -> OUT;"
+            .parse()
+            .unwrap();
+        let report = lint_program(&p, &rates());
+        let flagged: Vec<NodeId> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::RedundantNode)
+            .filter_map(|d| d.node)
+            .collect();
+        let (optimized, removed) = run(&p, &rates()).unwrap();
+        let kept: Vec<NodeId> = optimized.nodes().map(|(_, id, _)| id).collect();
+        assert_eq!(removed, flagged.len());
+        for id in &flagged {
+            assert!(!kept.contains(id), "lint flagged {id:?}, pass kept it");
+        }
+        assert_eq!(kept, vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn one_sample_window_is_flagged_but_never_deleted() {
+        // SW003 reports a 1-sample window, but bypassing it would retype
+        // the edge (Vector -> Scalar), so the pass must leave it alone.
+        let p: Program = "MIC -> window(id=1, params={1, 1, 0});
+             1 -> max(id=2);
+             2 -> minThreshold(id=3, params={25});
+             3 -> OUT;"
+            .parse()
+            .unwrap();
+        assert!(run(&p, &rates()).is_none());
+    }
+
+    #[test]
+    fn filterless_gate_is_removed() {
+        // ZCR emits in [0, 1]; a minThreshold at -5 filters nothing.
+        let p: Program = "MIC -> window(id=1, params={256, 256, 0});
+             1 -> zcr(id=2);
+             2 -> minThreshold(id=3, params={-5});
+             3 -> maxThreshold(id=4, params={0.5});
+             4 -> OUT;"
+            .parse()
+            .unwrap();
+        let (optimized, removed) = run(&p, &rates()).unwrap();
+        assert_eq!(removed, 1);
+        assert!(optimized.validate().is_ok());
+        assert!(!optimized.nodes().any(|(_, id, _)| id == NodeId(3)));
+    }
+
+    #[test]
+    fn clean_program_reports_nothing() {
+        let p: Program = "ACC_X -> movingAvg(id=1, params={10});
+             1 -> minThreshold(id=2, params={15});
+             2 -> OUT;"
+            .parse()
+            .unwrap();
+        assert!(run(&p, &rates()).is_none());
+    }
+}

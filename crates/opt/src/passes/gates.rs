@@ -1,0 +1,181 @@
+//! Threshold-gate fusion (interval constant folding).
+//!
+//! Admission-control gates forward their input unchanged when it lies in
+//! a pass interval: `minThreshold(t)` passes `[t, +inf)`,
+//! `maxThreshold(t)` passes `(-inf, t]`, `bandThreshold(lo, hi)` passes
+//! `[lo, hi]`. Two adjacent gates therefore compose into one whose pass
+//! set is the *intersection* of intervals — folding the downstream
+//! gate's decision into the upstream one at compile time.
+//!
+//! Digest-exact: both gates forward the value bit-unchanged, both reject
+//! NaN (every comparison with NaN is false), and the fused gate admits
+//! exactly the intersection, so the surviving emissions are identical in
+//! sequence tag and bit pattern.
+//!
+//! `outsideThreshold` is excluded (its pass set is not an interval, so
+//! intersections need a union domain), and an empty intersection is
+//! deliberately left alone — a provably-dead program is SW001's story to
+//! tell the developer, not something to silently "optimize".
+
+use super::{consumer_counts, node_info};
+use sidewinder_ir::rewrite::Rewrite;
+use sidewinder_ir::{AlgorithmKind, NodeId, Program, Source};
+use std::collections::BTreeSet;
+
+/// The pass interval of an interval-shaped gate.
+fn interval(kind: &AlgorithmKind) -> Option<(f64, f64)> {
+    match kind {
+        AlgorithmKind::MinThreshold { threshold } => Some((*threshold, f64::INFINITY)),
+        AlgorithmKind::MaxThreshold { threshold } => Some((f64::NEG_INFINITY, *threshold)),
+        AlgorithmKind::BandThreshold { lo, hi } => Some((*lo, *hi)),
+        _ => None,
+    }
+}
+
+/// The cheapest gate whose pass set is `[lo, hi]`.
+fn gate_for(lo: f64, hi: f64) -> Option<AlgorithmKind> {
+    match (lo.is_finite(), hi.is_finite()) {
+        (true, true) => Some(AlgorithmKind::BandThreshold { lo, hi }),
+        (true, false) => Some(AlgorithmKind::MinThreshold { threshold: lo }),
+        (false, true) => Some(AlgorithmKind::MaxThreshold { threshold: hi }),
+        // (-inf, +inf) cannot arise from intersecting two real gates.
+        (false, false) => None,
+    }
+}
+
+pub(crate) fn run(program: &Program) -> Option<(Program, usize)> {
+    let consumers = consumer_counts(program);
+    let info = node_info(program);
+    let out = program.out_source();
+    let mut rw = Rewrite::new();
+    let mut touched: BTreeSet<NodeId> = BTreeSet::new();
+    let mut fused = 0;
+    for (sources, id, kind) in program.nodes() {
+        let Some((lo2, hi2)) = interval(kind) else {
+            continue;
+        };
+        let [Source::Node(up)] = sources else {
+            continue;
+        };
+        let up = *up;
+        // One fusion per node per round; the driver's fixpoint loop
+        // collapses longer gate chains across rounds.
+        if touched.contains(&id) || touched.contains(&up) {
+            continue;
+        }
+        let Some((up_sources, up_kind)) = info.get(&up) else {
+            continue;
+        };
+        let Some((lo1, hi1)) = interval(up_kind) else {
+            continue;
+        };
+        // The upstream gate must feed only this gate (and not OUT), or
+        // its other consumers would lose their filtered stream.
+        if consumers.get(&up).copied().unwrap_or(0) != 1 || Some(up) == out {
+            continue;
+        }
+        if up_sources.len() != 1 {
+            continue;
+        }
+        let up_source = up_sources[0];
+        let lo = lo1.max(lo2);
+        let hi = hi1.min(hi2);
+        if lo > hi {
+            continue; // provably dead — SW001 reports it, we keep it
+        }
+        let Some(fused_kind) = gate_for(lo, hi) else {
+            continue;
+        };
+        rw.replace(id, vec![up_source], fused_kind);
+        rw.remove(up);
+        touched.insert(id);
+        touched.insert(up);
+        fused += 1;
+    }
+    if fused == 0 {
+        None
+    } else {
+        Some((rw.apply(program), fused))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Program {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn min_then_max_becomes_band() {
+        let p = parse(
+            "ACC_X -> movingAvg(id=1, params={10});
+             1 -> minThreshold(id=2, params={5});
+             2 -> maxThreshold(id=3, params={12});
+             3 -> OUT;",
+        );
+        let (q, n) = run(&p).unwrap();
+        assert_eq!(n, 1);
+        assert!(q.validate().is_ok());
+        let (_, id, kind) = q.nodes().last().unwrap();
+        assert_eq!(id, NodeId(3));
+        assert_eq!(*kind, AlgorithmKind::BandThreshold { lo: 5.0, hi: 12.0 });
+    }
+
+    #[test]
+    fn redundant_same_direction_gates_collapse() {
+        // min(5) then min(8): the intersection is [8, inf).
+        let p = parse(
+            "ACC_X -> movingAvg(id=1, params={10});
+             1 -> minThreshold(id=2, params={5});
+             2 -> minThreshold(id=3, params={8});
+             3 -> OUT;",
+        );
+        let (q, _) = run(&p).unwrap();
+        let (_, _, kind) = q.nodes().last().unwrap();
+        assert_eq!(*kind, AlgorithmKind::MinThreshold { threshold: 8.0 });
+    }
+
+    #[test]
+    fn empty_intersection_is_left_for_the_linter() {
+        let p = parse(
+            "ACC_X -> minThreshold(id=1, params={10});
+             1 -> maxThreshold(id=2, params={5});
+             2 -> OUT;",
+        );
+        assert!(run(&p).is_none());
+    }
+
+    #[test]
+    fn fan_out_blocks_fusion() {
+        // Gate 2 feeds both gate 3 and gate 4; fusing 2 into 3 would
+        // change what 4 sees.
+        let p = parse(
+            "ACC_X -> minThreshold(id=2, params={5});
+             2 -> maxThreshold(id=3, params={12});
+             2 -> maxThreshold(id=4, params={20});
+             3,4 -> anyOf(id=5);
+             5 -> OUT;",
+        );
+        assert!(run(&p).is_none());
+    }
+
+    #[test]
+    fn chain_of_three_fuses_fully_across_rounds() {
+        let p = parse(
+            "ACC_X -> minThreshold(id=1, params={5});
+             1 -> maxThreshold(id=2, params={12});
+             2 -> minThreshold(id=3, params={6});
+             3 -> OUT;",
+        );
+        let (q1, n1) = run(&p).unwrap();
+        assert_eq!(n1, 1);
+        let (q2, n2) = run(&q1).unwrap();
+        assert_eq!(n2, 1);
+        assert_eq!(q2.nodes().count(), 1);
+        let (_, _, kind) = q2.nodes().last().unwrap();
+        assert_eq!(*kind, AlgorithmKind::BandThreshold { lo: 6.0, hi: 12.0 });
+        assert!(run(&q2).is_none());
+    }
+}

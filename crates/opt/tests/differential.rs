@@ -1,0 +1,221 @@
+//! Differential equivalence: the optimizer's contract, enforced.
+//!
+//! Exact-tier passes (dead-node elimination, gate fusion, CSE) must
+//! replay *bit-identically*: same wakes, same sequence tags, same `f64`
+//! bit patterns, on every trace. The tolerance-pinned tier (Goertzel
+//! strength reduction) must keep the wake cadence and match values
+//! within [`TOLERANCE`] — floating-point rounding, not approximation.
+//!
+//! Programs come from the linter's shared generator
+//! (`sidewinder_lint::testing`), so the corpus is the same one the
+//! lint totality suite runs; invalid generations double as totality
+//! probes (the optimizer must return them unchanged, never panic).
+
+use proptest::prelude::*;
+use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+use sidewinder_ir::Program;
+use sidewinder_lint::testing::arb_program;
+use sidewinder_opt::{optimize, EquivalenceTier, OptOptions};
+
+/// Pinned relative tolerance for the Goertzel tier. The rewrite
+/// evaluates the same DFT bins by a different recurrence, and the
+/// filter chain it replaces leaves ~1e-13 relative ifft/fft residue in
+/// out-of-band bins; 1e-6 is six orders of magnitude of headroom above
+/// both while still catching any algorithmic divergence.
+const TOLERANCE: f64 = 1e-6;
+
+/// Replays a program on a perfgate-style synthetic input: per channel,
+/// a sinusoid alternating between a loud steady tone and a quiet
+/// frequency-modulated segment. Returns the full wake stream.
+///
+/// Amplitudes stay inside each channel's *physical* range (±2 g for
+/// accelerometer axes, |x| <= 1 for normalized mic amplitude): the
+/// optimizer's dead-node pass trusts the linter's abstract
+/// interpretation, whose facts are conditional on those ranges
+/// (`lint::absint::channel_interval`), so its equivalence guarantee is
+/// quantified over physically possible traces.
+fn replay(program: &Program, samples: usize) -> Vec<(u64, f64)> {
+    let mut hub =
+        HubRuntime::load(program, &ChannelRates::default()).expect("valid program must load");
+    let channels = program.channels();
+    let mut wakes = Vec::new();
+    for i in 0..samples {
+        let loud = (i / (samples / 2).max(1)) & 1 == 0;
+        let step = if loud {
+            1.3
+        } else {
+            1.3 + 0.8 * (i as f64 / 97.0).sin()
+        };
+        for (ci, &channel) in channels.iter().enumerate() {
+            let (loud_amp, quiet_amp) = if channel.is_accelerometer() {
+                (12.0, 2.0)
+            } else {
+                (0.9, 0.15)
+            };
+            let phase = i as f64 * step + ci as f64 * 0.7;
+            let sample = phase.sin() * if loud { loud_amp } else { quiet_amp };
+            for wake in hub
+                .push_samples(channel, &[sample])
+                .expect("valid program must execute")
+            {
+                wakes.push((wake.seq, wake.value));
+            }
+        }
+    }
+    wakes
+}
+
+fn assert_bit_identical(original: &[(u64, f64)], optimized: &[(u64, f64)], context: &str) {
+    assert_eq!(
+        original.len(),
+        optimized.len(),
+        "{context}: wake counts diverge"
+    );
+    for (i, ((seq_a, val_a), (seq_b, val_b))) in original.iter().zip(optimized.iter()).enumerate() {
+        assert_eq!(seq_a, seq_b, "{context}: wake {i} sequence tag diverges");
+        assert_eq!(
+            val_a.to_bits(),
+            val_b.to_bits(),
+            "{context}: wake {i} value bits diverge ({val_a} vs {val_b})"
+        );
+    }
+}
+
+proptest! {
+    /// Exact-tier optimization replays bit-identically on every valid
+    /// generated program; invalid generations must come back unchanged.
+    #[test]
+    fn exact_optimization_is_digest_exact(program in arb_program()) {
+        let rates = ChannelRates::default();
+        let (optimized, report) = optimize(&program, &rates, &OptOptions::exact());
+        if program.validate().is_err() {
+            assert_eq!(optimized, program, "invalid input must pass through");
+            assert!(!report.changed());
+            return;
+        }
+        assert_eq!(report.tier, EquivalenceTier::DigestExact);
+        assert!(optimized.validate().is_ok(), "optimizer broke validity");
+        assert!(
+            report.nodes_after <= report.nodes_before,
+            "exact passes only shrink"
+        );
+        let before = replay(&program, 2048);
+        let after = replay(&optimized, 2048);
+        assert_bit_identical(&before, &after, &format!("{program}"));
+    }
+
+    /// The aggressive level on arbitrary programs: whenever the report
+    /// says the result is still digest-exact (no Goertzel rewrite
+    /// fired), it must actually be bit-identical.
+    #[test]
+    fn aggressive_without_goertzel_stays_exact(program in arb_program()) {
+        let rates = ChannelRates::default();
+        let (optimized, report) = optimize(&program, &rates, &OptOptions::aggressive());
+        if program.validate().is_err() {
+            assert_eq!(optimized, program);
+            return;
+        }
+        assert!(optimized.validate().is_ok());
+        if report.tier == EquivalenceTier::DigestExact {
+            let before = replay(&program, 2048);
+            let after = replay(&optimized, 2048);
+            assert_bit_identical(&before, &after, &format!("{program}"));
+        }
+    }
+
+    /// Goertzel tier: generated narrow-band spectral gates keep their
+    /// wake cadence exactly and their values within the pinned
+    /// tolerance. The band is centered on a bin the loud tone excites,
+    /// so both loud and quiet segments are exercised.
+    #[test]
+    fn goertzel_rewrites_hold_the_pinned_tolerance(
+        size_bits in 8u32..11,
+        lo in 150.0f64..3000.0,
+        span in 10.0f64..120.0,
+    ) {
+        let size = 1u32 << size_bits;
+        let hi = lo + span;
+        let text = format!(
+            "MIC -> window(id=1, params={{{size}, {size}, 0}});
+             1 -> highPass(id=2, params={{{lo}}});
+             2 -> lowPass(id=3, params={{{hi}}});
+             3 -> fft(id=4);
+             4 -> spectralMagnitude(id=5);
+             5 -> max(id=6);
+             6 -> OUT;"
+        );
+        let program: Program = text.parse().unwrap();
+        prop_assert!(program.validate().is_ok());
+        let rates = ChannelRates::default();
+        let (optimized, report) = optimize(&program, &rates, &OptOptions::aggressive());
+        if report.goertzel_rewrites == 0 {
+            // Cost gate declined (band too wide for this window size, or
+            // no bin in band) — the program must be untouched.
+            assert_eq!(optimized, program);
+            return;
+        }
+        assert_eq!(report.tier, EquivalenceTier::TolerancePinned);
+        assert!(optimized.validate().is_ok());
+        let samples = size as usize * 6;
+        let before = replay(&program, samples);
+        let after = replay(&optimized, samples);
+        assert_eq!(before.len(), after.len(), "wake cadence diverges");
+        assert!(!before.is_empty(), "max emits once per window");
+        for ((seq_a, val_a), (seq_b, val_b)) in before.iter().zip(after.iter()) {
+            assert_eq!(seq_a, seq_b, "sequence tags diverge");
+            let scale = val_a.abs().max(val_b.abs()).max(1.0);
+            assert!(
+                (val_a - val_b).abs() <= TOLERANCE * scale,
+                "band max diverges past tolerance: {val_a} vs {val_b} \
+                 (band [{lo}, {hi}], window {size})"
+            );
+        }
+    }
+}
+
+/// Truncated fixture corpora: every prefix of a real fixture that still
+/// parses must go through the optimizer without panicking, and anything
+/// invalid must pass through unchanged.
+#[test]
+fn optimizer_is_total_on_truncated_corpora() {
+    let fixtures = [
+        include_str!("../../ir/tests/fixtures/sirens.swir"),
+        include_str!("../../ir/tests/fixtures/music.swir"),
+        include_str!("../../ir/tests/fixtures/steps.swir"),
+    ];
+    let rates = ChannelRates::default();
+    let mut parsed = 0usize;
+    for text in fixtures {
+        for end in 0..=text.len() {
+            let Ok(program) = text[..end].parse::<Program>() else {
+                continue;
+            };
+            parsed += 1;
+            for options in [OptOptions::exact(), OptOptions::aggressive()] {
+                let (optimized, _) = optimize(&program, &rates, &options);
+                if program.validate().is_err() {
+                    assert_eq!(
+                        optimized, program,
+                        "invalid prefix (len {end}) was rewritten"
+                    );
+                } else {
+                    assert!(optimized.validate().is_ok());
+                }
+            }
+        }
+    }
+    assert!(parsed > 3, "corpus produced too few parseable prefixes");
+}
+
+/// The empty program is a fixed point.
+#[test]
+fn optimizer_is_total_on_the_empty_program() {
+    let program = Program::new();
+    let (optimized, report) = optimize(
+        &program,
+        &ChannelRates::default(),
+        &OptOptions::aggressive(),
+    );
+    assert_eq!(optimized, program);
+    assert!(!report.changed());
+}

@@ -1,0 +1,190 @@
+//! Golden optimization fixtures: the six paper applications,
+//! individually and fused into one program.
+//!
+//! Each standalone fixture is already lint-clean and minimal, so the
+//! optimizer must be a no-op on it — pinned node counts and cost-model
+//! flop totals prove nothing is silently rewritten. The all-six fusion
+//! is where optimization pays: music and phrase share their entire
+//! analysis front end (512-window + variance + gate, 2048-window +
+//! zcrVariance), and CSE must merge exactly those five nodes while the
+//! wake stream stays bit-identical.
+
+use sidewinder_hub::cost::PipelineCost;
+use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+use sidewinder_ir::Program;
+use sidewinder_opt::{fuse_programs, optimize, EquivalenceTier, OptOptions};
+
+/// `(name, text, node_count)` for the six golden fixtures.
+const FIXTURES: [(&str, &str, usize); 6] = [
+    (
+        "steps",
+        include_str!("../../ir/tests/fixtures/steps.swir"),
+        2,
+    ),
+    (
+        "transitions",
+        include_str!("../../ir/tests/fixtures/transitions.swir"),
+        3,
+    ),
+    (
+        "headbutts",
+        include_str!("../../ir/tests/fixtures/headbutts.swir"),
+        2,
+    ),
+    (
+        "sirens",
+        include_str!("../../ir/tests/fixtures/sirens.swir"),
+        7,
+    ),
+    (
+        "music",
+        include_str!("../../ir/tests/fixtures/music.swir"),
+        8,
+    ),
+    (
+        "phrase",
+        include_str!("../../ir/tests/fixtures/phrase.swir"),
+        7,
+    ),
+];
+
+fn parse_fixture(name: &str, text: &str) -> Program {
+    let program: Program = text
+        .parse()
+        .unwrap_or_else(|e| panic!("fixture {name} does not parse: {e}"));
+    program
+        .validate()
+        .unwrap_or_else(|e| panic!("fixture {name} is invalid: {e}"));
+    program
+}
+
+fn flops(program: &Program) -> f64 {
+    PipelineCost::analyze(program, &ChannelRates::default()).total_flops_per_second()
+}
+
+/// Replays a program on an in-range synthetic input (see
+/// `differential.rs` for why amplitudes respect the channels' physical
+/// ranges) and returns the wake stream.
+fn replay(program: &Program, samples: usize) -> Vec<(u64, u64)> {
+    let mut hub = HubRuntime::load(program, &ChannelRates::default()).expect("fixture must load");
+    let channels = program.channels();
+    let mut wakes = Vec::new();
+    for i in 0..samples {
+        let loud = (i / 8192) % 2 == 1;
+        let step = if loud {
+            1.3
+        } else {
+            1.3 + 0.8 * (i as f64 / 97.0).sin()
+        };
+        for (ci, &channel) in channels.iter().enumerate() {
+            let (loud_amp, quiet_amp) = if channel.is_accelerometer() {
+                (12.0, 2.0)
+            } else {
+                (0.9, 0.15)
+            };
+            let phase = i as f64 * step + ci as f64 * 0.7;
+            let sample = phase.sin() * if loud { loud_amp } else { quiet_amp };
+            for wake in hub
+                .push_samples(channel, &[sample])
+                .expect("fixture must execute")
+            {
+                wakes.push((wake.seq, wake.value.to_bits()));
+            }
+        }
+    }
+    wakes
+}
+
+#[test]
+fn standalone_fixtures_are_already_optimal() {
+    for (name, text, nodes) in FIXTURES {
+        let program = parse_fixture(name, text);
+        assert_eq!(program.nodes().count(), nodes, "{name}: fixture drifted");
+        let (optimized, report) = optimize(
+            &program,
+            &ChannelRates::default(),
+            &OptOptions::aggressive(),
+        );
+        assert_eq!(optimized, program, "{name}: clean fixture was rewritten");
+        assert!(!report.changed(), "{name}: {}", report.summary());
+        assert_eq!(report.tier, EquivalenceTier::DigestExact);
+        assert_eq!(report.flops_after, report.flops_before, "{name}");
+    }
+}
+
+/// The siren fixture's band (750 Hz to Nyquist) spans ~417 of the 513
+/// bins of its 1024-point window: Goertzel probing would cost more than
+/// the FFT chain, and the cost gate must know it.
+#[test]
+fn siren_band_is_too_wide_for_goertzel() {
+    let program = parse_fixture("sirens", FIXTURES[3].1);
+    let (_, report) = optimize(
+        &program,
+        &ChannelRates::default(),
+        &OptOptions::aggressive(),
+    );
+    assert_eq!(report.goertzel_rewrites, 0);
+}
+
+#[test]
+fn fused_all_six_shares_the_music_phrase_front_end() {
+    let programs: Vec<Program> = FIXTURES
+        .iter()
+        .map(|(name, text, _)| parse_fixture(name, text))
+        .collect();
+    let fused = fuse_programs(&programs);
+    assert!(fused.validate().is_ok());
+    // 2+3+2+7+8+7 fixture nodes plus the anyOf join.
+    assert_eq!(fused.nodes().count(), 30);
+
+    let (optimized, report) = optimize(&fused, &ChannelRates::default(), &OptOptions::aggressive());
+    assert!(optimized.validate().is_ok());
+    // music and phrase share: window(512)+variance+minThreshold(0.002)
+    // and window(2048)+zcrVariance(8). Nothing else is duplicated.
+    assert_eq!(report.duplicates_merged, 5, "{}", report.summary());
+    assert_eq!(report.identities_removed, 0);
+    assert_eq!(report.gates_fused, 0);
+    assert_eq!(report.goertzel_rewrites, 0);
+    assert_eq!(report.tier, EquivalenceTier::DigestExact);
+    assert_eq!(optimized.nodes().count(), 25);
+
+    // Pinned cost-model totals (flops per second, default rates). The
+    // shared front end is the expensive half of the mic processing.
+    let before = flops(&fused);
+    let after = flops(&optimized);
+    assert_eq!(
+        before.round(),
+        FUSED_FLOPS_BEFORE.round(),
+        "before = {before}"
+    );
+    assert_eq!(after.round(), FUSED_FLOPS_AFTER.round(), "after = {after}");
+    // The shared front end is all O(n) stages (no FFT), so the saving
+    // is the full duplicated-chain cost, ~7% of the fused total — the
+    // FFT-heavy siren chain dominates the rest.
+    assert!(
+        after < before * 0.95,
+        "CSE should reclaim the duplicated front end: {before} -> {after}"
+    );
+    assert_eq!(report.flops_before, before);
+    assert_eq!(report.flops_after, after);
+}
+
+/// Expected cost totals for the fused-six program; regenerate by
+/// running this test and copying the printed actuals if the cost model
+/// itself changes.
+const FUSED_FLOPS_BEFORE: f64 = 1_518_084.0;
+const FUSED_FLOPS_AFTER: f64 = 1_413_896.0;
+
+#[test]
+fn fused_optimization_replays_bit_identically() {
+    let programs: Vec<Program> = FIXTURES
+        .iter()
+        .map(|(name, text, _)| parse_fixture(name, text))
+        .collect();
+    let fused = fuse_programs(&programs);
+    let (optimized, _) = optimize(&fused, &ChannelRates::default(), &OptOptions::aggressive());
+    let before = replay(&fused, 16_384);
+    let after = replay(&optimized, 16_384);
+    assert!(!before.is_empty(), "the synthetic trace must produce wakes");
+    assert_eq!(before, after, "optimized fused program diverged");
+}

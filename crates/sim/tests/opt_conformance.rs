@@ -1,0 +1,161 @@
+//! Optimizer conformance against the evaluation applications on
+//! simulator traces.
+//!
+//! The differential suite in `sidewinder-opt` proves equivalence on
+//! generated programs and synthetic sinusoids; this suite closes the
+//! loop on the *deployed* surface: every evaluation application's
+//! wake-up condition, optimized at the aggressive level, must replay
+//! its wake stream over tracegen's robot-run and audio-bed traces
+//! exactly as the unoptimized condition does — individually, and fused
+//! into the one merged program a real hub would run. Optimized output
+//! must also stay lint-clean, so `swopt | swlint` pipelines never trade
+//! cycles for diagnostics.
+
+use sidewinder_apps::{accelerometer_apps, audio_apps, SirenDetectorApp};
+use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+use sidewinder_ir::Program;
+use sidewinder_lint::lint_program;
+use sidewinder_opt::{fuse_programs, optimize, EquivalenceTier, OptOptions};
+use sidewinder_sensors::{Micros, SensorTrace};
+use sidewinder_tracegen::{audio_trace, robot_run, AudioTraceConfig, RobotRunConfig};
+
+/// A trace carrying both the accelerometer and the microphone channels,
+/// so any wake-up condition — including the fused all-apps program —
+/// has data on every source it reads.
+fn combined_trace(seed: u64, duration_s: u64) -> SensorTrace {
+    let mut trace = robot_run(&RobotRunConfig {
+        duration: Micros::from_secs(duration_s),
+        idle_fraction: 0.6,
+        rate_hz: 50.0,
+        seed,
+    });
+    let audio = audio_trace(&AudioTraceConfig {
+        duration: Micros::from_secs(duration_s),
+        seed: seed + 1000,
+        ..AudioTraceConfig::default()
+    });
+    for channel in audio.channels().collect::<Vec<_>>() {
+        trace.insert(
+            channel,
+            audio.channel(channel).expect("listed channel").clone(),
+        );
+    }
+    trace
+}
+
+/// Replays `program` over the trace, channel by channel in the
+/// program's own channel order, and returns the full wake stream with
+/// `f64` values reduced to bit patterns. Both sides of a differential
+/// comparison use the same feeding order, so equal streams mean the
+/// optimized program computed the same wakes.
+fn replay(program: &Program, trace: &SensorTrace) -> Vec<(usize, u64, u64)> {
+    let mut hub = HubRuntime::load(program, &ChannelRates::default())
+        .expect("evaluation condition must load");
+    let mut wakes = Vec::new();
+    for (ci, &channel) in program.channels().iter().enumerate() {
+        let series = trace
+            .channel(channel)
+            .unwrap_or_else(|| panic!("trace lacks {channel:?}"));
+        for wake in hub
+            .push_samples(channel, series.samples())
+            .expect("evaluation condition must execute")
+        {
+            wakes.push((ci, wake.seq, wake.value.to_bits()));
+        }
+    }
+    wakes
+}
+
+fn conditions() -> Vec<(String, Program)> {
+    accelerometer_apps()
+        .iter()
+        .chain(audio_apps().iter())
+        .map(|app| (app.name().to_string(), app.wake_condition()))
+        .collect()
+}
+
+#[test]
+fn evaluation_conditions_optimize_digest_exact_on_sim_traces() {
+    let rates = ChannelRates::default();
+    let trace = combined_trace(7, 20);
+    for (name, program) in conditions() {
+        let (optimized, report) = optimize(&program, &rates, &OptOptions::aggressive());
+        // The stock conditions carry no narrow-band spectral gate, so
+        // even the aggressive level stays in the exact tier.
+        assert_eq!(
+            report.tier,
+            EquivalenceTier::DigestExact,
+            "{name}: {}",
+            report.summary()
+        );
+        assert_eq!(
+            replay(&program, &trace),
+            replay(&optimized, &trace),
+            "{name}: optimized wake stream diverged"
+        );
+    }
+}
+
+#[test]
+fn fused_evaluation_suite_replays_bit_identically() {
+    let rates = ChannelRates::default();
+    let programs: Vec<Program> = conditions().into_iter().map(|(_, p)| p).collect();
+    let fused = fuse_programs(&programs);
+    assert!(fused.validate().is_ok());
+    let (optimized, report) = optimize(&fused, &rates, &OptOptions::aggressive());
+    // Music and phrase share their five-node analysis front end.
+    assert_eq!(report.duplicates_merged, 5, "{}", report.summary());
+    assert_eq!(report.tier, EquivalenceTier::DigestExact);
+    let trace = combined_trace(11, 20);
+    let before = replay(&fused, &trace);
+    let after = replay(&optimized, &trace);
+    assert!(!before.is_empty(), "the sim trace must produce wakes");
+    assert_eq!(before, after, "optimized fused suite diverged");
+}
+
+#[test]
+fn optimized_conditions_stay_lint_clean() {
+    let rates = ChannelRates::default();
+    for (name, program) in conditions() {
+        let (optimized, _) = optimize(&program, &rates, &OptOptions::aggressive());
+        let report = lint_program(&optimized, &rates);
+        assert!(
+            !report.fails(true),
+            "{name} optimized output fails --deny warnings:\n{}",
+            report.render_human(&name)
+        );
+    }
+}
+
+#[test]
+fn goertzel_rewritten_condition_holds_tolerance_on_sim_audio() {
+    let rates = ChannelRates::default();
+    let program = SirenDetectorApp::narrowband_wake_condition();
+    let (optimized, report) = optimize(&program, &rates, &OptOptions::aggressive());
+    assert_eq!(report.goertzel_rewrites, 1, "{}", report.summary());
+    assert_eq!(report.tier, EquivalenceTier::TolerancePinned);
+
+    let trace = combined_trace(23, 20);
+    let mic = trace
+        .channel(sidewinder_sensors::SensorChannel::Mic)
+        .unwrap();
+    let run = |p: &Program| {
+        let mut hub = HubRuntime::load(p, &rates).unwrap();
+        hub.push_samples(sidewinder_sensors::SensorChannel::Mic, mic.samples())
+            .unwrap()
+            .to_vec()
+    };
+    let before = run(&program);
+    let after = run(&optimized);
+    assert_eq!(before.len(), after.len(), "wake cadence diverged");
+    for (a, b) in before.iter().zip(after.iter()) {
+        assert_eq!(a.seq, b.seq);
+        let scale = a.value.abs().max(b.value.abs()).max(1.0);
+        assert!(
+            (a.value - b.value).abs() <= 1e-6 * scale,
+            "in-band peak diverged: {} vs {}",
+            a.value,
+            b.value
+        );
+    }
+}

@@ -27,6 +27,10 @@
 //! * [`lint`] — the `swlint` static analyzer: abstract interpretation
 //!   over value intervals, the `SW0xx` lint catalog, MCU schedulability
 //!   checks;
+//! * [`opt`] — the `swopt` optimizing IR compiler: dead-node
+//!   elimination, gate fusion, cross-application common-subexpression
+//!   elimination, and Goertzel strength reduction, built on the
+//!   linter's abstract-interpretation facts;
 //! * [`sim`] — the trace-driven power/recall simulator;
 //! * [`obs`] — the observability layer: structured event sinks,
 //!   per-node counters and timing histograms, energy ledgers, and the
@@ -71,6 +75,7 @@ pub use sidewinder_hub as hub;
 pub use sidewinder_ir as ir;
 pub use sidewinder_lint as lint;
 pub use sidewinder_obs as obs;
+pub use sidewinder_opt as opt;
 pub use sidewinder_sensors as sensors;
 pub use sidewinder_sim as sim;
 pub use sidewinder_tracegen as tracegen;
