@@ -50,7 +50,8 @@ fn main() -> ExitCode {
 
     let mut violations = Vec::new();
 
-    // Wake conformance: every fixture's digest must match the golden.
+    // Wake conformance, bit-exact tier: every fixture's f64 digest must
+    // match the golden.
     match std::fs::read_to_string(DIGESTS) {
         Ok(text) => {
             let golden = gate::parse_digests(&text);
@@ -61,6 +62,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+
+    // Wake conformance, tolerance tier: the f32 pipeline must reproduce
+    // each fixture's f64 wake sequence within the pinned tolerance.
+    violations.extend(gate::check_f32_conformance());
 
     // Perf: fresh interpreter numbers against the committed baseline.
     if skip_perf {
@@ -107,7 +112,7 @@ fn main() -> ExitCode {
 
     if violations.is_empty() {
         println!(
-            "perfgate: OK ({} wake digests verified)",
+            "perfgate: OK ({} wake digests verified, f32 conformance held)",
             fresh_digests.len()
         );
         ExitCode::SUCCESS

@@ -10,7 +10,7 @@ use sidewinder_core::fusion::{FusedPlan, FusedRuntime};
 use sidewinder_dsp::filter::{fft_highpass, MovingAverage};
 use sidewinder_dsp::window::WindowShape;
 use sidewinder_dsp::{fft, goertzel, stats, zcr};
-use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+use sidewinder_hub::runtime::{ChannelRates, HubRuntime, HubRuntime32};
 use sidewinder_opt::{fuse_programs, optimize, OptOptions};
 use sidewinder_sensors::SensorChannel;
 use sidewinder_sim::Application;
@@ -48,12 +48,28 @@ pub fn bench_conditions(c: &mut Criterion) {
     let mut group = c.benchmark_group("hub_interpreter");
     let batch = INTERPRETER_BATCH;
     group.throughput(Throughput::Elements(batch as u64));
-    for (name, program, channel) in cases {
+    for (name, program, channel) in &cases {
         let samples: Vec<f64> = (0..batch).map(|i| (i as f64 * 0.37).sin()).collect();
-        group.bench_function(name, |b| {
-            let mut hub = HubRuntime::load(&program, &ChannelRates::default()).unwrap();
+        group.bench_function(*name, |b| {
+            let mut hub = HubRuntime::load(program, &ChannelRates::default()).unwrap();
             b.iter(|| {
-                hub.push_samples(channel, black_box(&samples))
+                hub.push_samples(*channel, black_box(&samples))
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    // The same conditions through the single-precision pipeline mode.
+    // Sensor ingestion stays f64 (the ADC side is unchanged), so the
+    // input batch is identical; only the buffered vector stages narrow.
+    // Their committed baselines are the f64 seed numbers, so the
+    // reported speedup is the combined lane + f32 win.
+    for (name, program, channel) in &cases {
+        let samples: Vec<f64> = (0..batch).map(|i| (i as f64 * 0.37).sin()).collect();
+        group.bench_function(format!("{name}_f32"), |b| {
+            let mut hub = HubRuntime32::load_f32(program, &ChannelRates::default()).unwrap();
+            b.iter(|| {
+                hub.push_samples(*channel, black_box(&samples))
                     .unwrap()
                     .len()
             })

@@ -9,6 +9,7 @@
 
 use crate::complex::Complex;
 use crate::fft::{self, NonPowerOfTwoError};
+use crate::sample::Sample;
 
 /// A streaming simple moving average over the last `window` samples.
 ///
@@ -29,9 +30,9 @@ use crate::fft::{self, NonPowerOfTwoError};
 /// # Ok::<(), sidewinder_dsp::filter::ZeroWindowError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct MovingAverage {
+pub struct MovingAverage<P: Sample = f64> {
     window: usize,
-    buf: std::collections::VecDeque<f64>,
+    buf: std::collections::VecDeque<P>,
 }
 
 /// Error returned when a filter is configured with a zero-length window.
@@ -46,7 +47,7 @@ impl std::fmt::Display for ZeroWindowError {
 
 impl std::error::Error for ZeroWindowError {}
 
-impl MovingAverage {
+impl<P: Sample> MovingAverage<P> {
     /// Creates a moving average over `window` samples.
     ///
     /// # Errors
@@ -68,7 +69,7 @@ impl MovingAverage {
     }
 
     /// Pushes a sample; returns the average once the window is full.
-    pub fn push(&mut self, sample: f64) -> Option<f64> {
+    pub fn push(&mut self, sample: P) -> Option<P> {
         if self.buf.len() == self.window {
             self.buf.pop_front();
         }
@@ -78,8 +79,18 @@ impl MovingAverage {
         } else {
             // Recompute rather than maintain a rolling sum: hub windows are
             // small (tens of samples) and this avoids drift on long runs.
-            Some(self.buf.iter().sum::<f64>() / self.window as f64)
+            Some(self.window_sum() / P::from_usize(self.window))
         }
+    }
+
+    /// Oldest-to-newest sum of the buffered window — the exact reduction
+    /// `push` has always performed; the block path below reproduces it.
+    fn window_sum(&self) -> P {
+        let mut sum = P::ZERO;
+        for &x in &self.buf {
+            sum += x;
+        }
+        sum
     }
 
     /// Clears all buffered samples.
@@ -88,8 +99,58 @@ impl MovingAverage {
     }
 
     /// Filters a whole slice, returning one output per input once primed.
-    pub fn filter(&mut self, signal: &[f64]) -> Vec<f64> {
+    ///
+    /// When the filter is cold (empty buffer) and the slice covers at
+    /// least one full window, the unrolled build computes four output
+    /// windows in flight — each output is still the oldest-to-newest
+    /// recompute `push` performs, so results (and the buffered tail left
+    /// behind) are bit-identical to the streaming path.
+    pub fn filter(&mut self, signal: &[P]) -> Vec<P> {
+        #[cfg(feature = "simd")]
+        if self.buf.is_empty() && signal.len() >= self.window {
+            return self.filter_block(signal);
+        }
         signal.iter().filter_map(|&x| self.push(x)).collect()
+    }
+
+    /// Block evaluation of a cold filter: output `k` averages
+    /// `signal[k..k + window]` in ascending index order, exactly as the
+    /// per-push recompute does; sixteen outputs in flight give LLVM four
+    /// independent vector accumulators, hiding the serial-add latency
+    /// each individual output's sum carries. The final buffer state (last
+    /// `window` samples) matches what streaming would have left.
+    #[cfg(feature = "simd")]
+    fn filter_block(&mut self, signal: &[P]) -> Vec<P> {
+        const BLOCK: usize = 16;
+        let w = self.window;
+        let n_out = signal.len() - w + 1;
+        let divisor = P::from_usize(w);
+        let mut out = Vec::with_capacity(n_out);
+        let mut k = 0;
+        while k + BLOCK <= n_out {
+            let mut acc = [P::ZERO; BLOCK];
+            for j in 0..w {
+                let lane = &signal[k + j..k + j + BLOCK];
+                for l in 0..BLOCK {
+                    acc[l] += lane[l];
+                }
+            }
+            for a in acc {
+                out.push(a / divisor);
+            }
+            k += BLOCK;
+        }
+        while k < n_out {
+            let mut a = P::ZERO;
+            for j in 0..w {
+                a += signal[k + j];
+            }
+            out.push(a / divisor);
+            k += 1;
+        }
+        self.buf.clear();
+        self.buf.extend(signal[signal.len() - w..].iter().copied());
+        out
     }
 }
 
@@ -366,11 +427,57 @@ mod tests {
 
     #[test]
     fn moving_average_rejects_zero_window() {
-        assert!(MovingAverage::new(0).is_err());
+        assert!(MovingAverage::<f64>::new(0).is_err());
         assert_eq!(
             ZeroWindowError.to_string(),
             "filter window length must be non-zero"
         );
+    }
+
+    #[test]
+    fn block_filter_is_bit_identical_to_streaming() {
+        // Cold-start slice filtering takes the four-wide block path;
+        // pushing sample-by-sample takes the streaming path. Outputs and
+        // the buffered tail must agree bit-for-bit, including when the
+        // output count is not a multiple of four and when the filter is
+        // re-used after the block (tail continuity).
+        for (w, n) in [(10, 1024), (7, 23), (3, 3), (5, 6), (1, 17)] {
+            let signal: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.61).sin() / 3.0).collect();
+            let mut block = MovingAverage::new(w).unwrap();
+            let mut stream = MovingAverage::new(w).unwrap();
+            let got = block.filter(&signal);
+            let want: Vec<f64> = signal.iter().filter_map(|&x| stream.push(x)).collect();
+            assert_eq!(got.len(), want.len(), "w={w} n={n}");
+            for (g, e) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), e.to_bits(), "w={w} n={n}");
+            }
+            // Continuity: the next pushed sample sees the same window.
+            assert_eq!(block.push(0.25), stream.push(0.25), "w={w} n={n}");
+        }
+    }
+
+    #[test]
+    fn warm_filter_keeps_streaming_semantics() {
+        // A non-empty buffer must take the per-sample path: outputs
+        // spanning the old buffer and the new slice stay correct.
+        let mut warm = MovingAverage::new(4).unwrap();
+        let mut reference = MovingAverage::new(4).unwrap();
+        warm.push(1.0);
+        warm.push(2.0);
+        reference.push(1.0);
+        reference.push(2.0);
+        let tail = [3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let got = warm.filter(&tail);
+        let want: Vec<f64> = tail.iter().filter_map(|&x| reference.push(x)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn f32_moving_average_runs_at_single_precision() {
+        let mut ma = MovingAverage::<f32>::new(2).unwrap();
+        assert_eq!(ma.push(1.0), None);
+        assert_eq!(ma.push(3.0), Some(2.0));
+        assert_eq!(ma.push(5.0), Some(4.0));
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod complex;
 pub mod fft;
 pub mod filter;
 pub mod goertzel;
+pub mod sample;
 pub mod spectral;
 pub mod stats;
 pub mod window;
@@ -45,3 +46,4 @@ pub mod zcr;
 pub use complex::Complex;
 pub use fft::FftPlan;
 pub use filter::{BandFilterPlan, BandShape};
+pub use sample::Sample;

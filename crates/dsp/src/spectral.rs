@@ -5,13 +5,15 @@
 //! the mean magnitude of all frequency bins", and uses their ratio to decide
 //! whether the window contains a pitched sound. These reductions live here.
 
+use crate::sample::Sample;
+
 /// A dominant spectral peak: the bin index and its magnitude.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Peak {
+pub struct Peak<P: Sample = f64> {
     /// Index into the magnitude spectrum that was searched.
     pub bin: usize,
     /// Magnitude at that bin.
-    pub magnitude: f64,
+    pub magnitude: P,
 }
 
 /// Returns the bin with the largest magnitude, or `None` for an empty
@@ -19,7 +21,7 @@ pub struct Peak {
 ///
 /// Callers typically skip the DC bin by searching `&spectrum[1..]` and
 /// adding 1 to the returned index.
-pub fn dominant_bin(magnitudes: &[f64]) -> Option<Peak> {
+pub fn dominant_bin<P: Sample>(magnitudes: &[P]) -> Option<Peak<P>> {
     magnitudes
         .iter()
         .enumerate()
@@ -32,10 +34,14 @@ pub fn dominant_bin(magnitudes: &[f64]) -> Option<Peak> {
 ///
 /// Pitched sounds (sirens, musical notes) concentrate energy in one bin and
 /// produce a high ratio; broadband noise stays near 1.
-pub fn dominant_to_mean_ratio(magnitudes: &[f64]) -> Option<f64> {
+pub fn dominant_to_mean_ratio<P: Sample>(magnitudes: &[P]) -> Option<P> {
     let peak = dominant_bin(magnitudes)?;
-    let mean = magnitudes.iter().sum::<f64>() / magnitudes.len() as f64;
-    if mean <= 0.0 {
+    let mut sum = P::ZERO;
+    for &m in magnitudes {
+        sum += m;
+    }
+    let mean = sum / P::from_usize(magnitudes.len());
+    if mean <= P::ZERO {
         return None;
     }
     Some(peak.magnitude / mean)
@@ -84,7 +90,7 @@ mod tests {
 
     #[test]
     fn dominant_bin_of_empty_is_none() {
-        assert!(dominant_bin(&[]).is_none());
+        assert!(dominant_bin::<f64>(&[]).is_none());
     }
 
     #[test]
@@ -121,7 +127,7 @@ mod tests {
     #[test]
     fn ratio_of_zero_spectrum_is_none() {
         assert!(dominant_to_mean_ratio(&[0.0; 8]).is_none());
-        assert!(dominant_to_mean_ratio(&[]).is_none());
+        assert!(dominant_to_mean_ratio::<f64>(&[]).is_none());
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! is the streaming partitioner used by the hub runtime: it accumulates
 //! samples and emits a tapered window every `hop` samples.
 
+use crate::sample::Sample;
+
 /// The taper applied to each window of samples.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum WindowShape {
@@ -42,13 +44,61 @@ impl WindowShape {
         (0..n).map(|i| self.coefficient(i, n)).collect()
     }
 
-    /// Applies the taper to a signal, returning the windowed copy.
-    pub fn apply(self, signal: &[f64]) -> Vec<f64> {
-        signal
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| x * self.coefficient(i, signal.len()))
+    /// [`WindowShape::coefficients`] at any sample precision: coefficients
+    /// are computed in `f64` and narrowed per element, so the `f64`
+    /// instantiation is bit-identical to `coefficients`.
+    pub fn coefficients_in<P: Sample>(self, n: usize) -> Vec<P> {
+        (0..n)
+            .map(|i| P::from_f64(self.coefficient(i, n)))
             .collect()
+    }
+
+    /// Applies the taper to a signal, returning the windowed copy.
+    ///
+    /// Each output element is exactly `x * coefficient(i, len)`. The
+    /// unrolled (`simd`) build tabulates the coefficients once per
+    /// `(shape, length)` in a thread-local cache and applies them with an
+    /// element-wise multiply — the same products in the same order, so
+    /// results are bit-identical to the per-element recomputation the
+    /// scalar fallback performs (cosine tabulation is where the previous
+    /// kernel spent ~95% of its time).
+    pub fn apply<P: Sample>(self, signal: &[P]) -> Vec<P> {
+        #[cfg(feature = "simd")]
+        {
+            let coeffs = self.cached_coefficients::<P>(signal.len());
+            signal
+                .iter()
+                .zip(coeffs.iter())
+                .map(|(&x, &c)| x * c)
+                .collect()
+        }
+        #[cfg(not(feature = "simd"))]
+        {
+            signal
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| x * P::from_f64(self.coefficient(i, signal.len())))
+                .collect()
+        }
+    }
+
+    /// The thread-local single-entry coefficient cache behind
+    /// [`WindowShape::apply`]. Steady-state pipelines re-window the same
+    /// geometry forever, so one entry per precision is enough; switching
+    /// shape or length just retabulates.
+    #[cfg(feature = "simd")]
+    fn cached_coefficients<P: Sample>(self, n: usize) -> std::rc::Rc<[P]> {
+        P::taper_cache().with(|cell| {
+            let mut entry = cell.borrow_mut();
+            if entry.0 != self as u8 || entry.1 != n {
+                *entry = (
+                    self as u8,
+                    n,
+                    std::rc::Rc::from(self.coefficients_in::<P>(n)),
+                );
+            }
+            std::rc::Rc::clone(&entry.2)
+        })
     }
 }
 
@@ -70,6 +120,10 @@ impl std::fmt::Display for WindowShape {
 /// recent `len` samples. With `hop == len` windows do not overlap, matching
 /// the paper's description of partitioning.
 ///
+/// The sample precision is generic: `Windower<f64>` (the default) is the
+/// host-exact configuration, `Windower<f32>` stores the ring buffer at the
+/// width the paper's hub MCUs actually use.
+///
 /// # Example
 ///
 /// ```
@@ -86,14 +140,14 @@ impl std::fmt::Display for WindowShape {
 /// # Ok::<(), sidewinder_dsp::window::InvalidWindowError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct Windower {
+pub struct Windower<P: Sample = f64> {
     len: usize,
     hop: usize,
     shape: WindowShape,
     /// Taper coefficients tabulated once at construction; emission applies
     /// them with a multiply per sample instead of recomputing the cosine.
-    coeffs: Vec<f64>,
-    buf: std::collections::VecDeque<f64>,
+    coeffs: Vec<P>,
+    buf: std::collections::VecDeque<P>,
     since_emit: usize,
     primed: bool,
 }
@@ -119,7 +173,7 @@ impl std::fmt::Display for InvalidWindowError {
 
 impl std::error::Error for InvalidWindowError {}
 
-impl Windower {
+impl<P: Sample> Windower<P> {
     /// Creates a windower emitting `len`-sample windows every `hop` samples.
     ///
     /// # Errors
@@ -134,7 +188,7 @@ impl Windower {
             len,
             hop,
             shape,
-            coeffs: shape.coefficients(len),
+            coeffs: shape.coefficients_in(len),
             buf: std::collections::VecDeque::with_capacity(len + 1),
             since_emit: 0,
             primed: false,
@@ -171,7 +225,7 @@ impl Windower {
     }
 
     /// Pushes one sample; returns a tapered window when one completes.
-    pub fn push(&mut self, sample: f64) -> Option<Vec<f64>> {
+    pub fn push(&mut self, sample: P) -> Option<Vec<P>> {
         let mut window = Vec::new();
         self.push_into(sample, &mut window).then_some(window)
     }
@@ -182,7 +236,7 @@ impl Windower {
     /// This is the allocation-free form of [`Windower::push`]: once `out`
     /// has grown to the window length, steady-state emissions reuse its
     /// storage.
-    pub fn push_into(&mut self, sample: f64, out: &mut Vec<f64>) -> bool {
+    pub fn push_into(&mut self, sample: P, out: &mut Vec<P>) -> bool {
         if self.hop == self.len {
             // Non-overlapping windows partition the stream, so accumulate
             // and flush: no per-sample pop, no emission bookkeeping. The
@@ -224,14 +278,14 @@ impl Windower {
     /// Copies the buffered window into `out` (cleared first) and applies
     /// the taper. Rectangular windows skip the multiply pass: every
     /// coefficient is exactly 1, so the copy already is the emission.
-    fn emit_into(&self, out: &mut Vec<f64>) {
+    fn emit_into(&self, out: &mut Vec<P>) {
         let (front, back) = self.buf.as_slices();
         out.clear();
         out.extend_from_slice(front);
         out.extend_from_slice(back);
         if self.shape != WindowShape::Rectangular {
             for (x, c) in out.iter_mut().zip(&self.coeffs) {
-                *x *= c;
+                *x = *x * *c;
             }
         }
     }
@@ -310,11 +364,40 @@ mod tests {
     }
 
     #[test]
+    fn apply_is_bit_identical_to_per_element_products() {
+        // The cache must never change the products — pin bit equality
+        // across shape and length switches (which thrash the one-entry
+        // cache on purpose).
+        let signal: Vec<f64> = (0..37).map(|i| ((i as f64) * 1.3).sin() * 2.0).collect();
+        for shape in [
+            WindowShape::Hamming,
+            WindowShape::Hann,
+            WindowShape::Hamming,
+        ] {
+            for n in [37, 16, 37] {
+                let windowed = shape.apply(&signal[..n]);
+                for (i, (&got, &x)) in windowed.iter().zip(&signal).enumerate() {
+                    assert_eq!(got.to_bits(), (x * shape.coefficient(i, n)).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_apply_narrows_coefficients_per_element() {
+        let signal = vec![1.0f32; 8];
+        let windowed = WindowShape::Hann.apply(&signal);
+        for (i, &got) in windowed.iter().enumerate() {
+            assert_eq!(got, WindowShape::Hann.coefficient(i, 8) as f32);
+        }
+    }
+
+    #[test]
     fn windower_rejects_degenerate_geometry() {
-        assert!(Windower::new(0, 1, WindowShape::Rectangular).is_err());
-        assert!(Windower::new(4, 0, WindowShape::Rectangular).is_err());
-        assert!(Windower::new(4, 5, WindowShape::Rectangular).is_err());
-        let err = Windower::new(4, 5, WindowShape::Rectangular).unwrap_err();
+        assert!(Windower::<f64>::new(0, 1, WindowShape::Rectangular).is_err());
+        assert!(Windower::<f64>::new(4, 0, WindowShape::Rectangular).is_err());
+        assert!(Windower::<f64>::new(4, 5, WindowShape::Rectangular).is_err());
+        let err = Windower::<f64>::new(4, 5, WindowShape::Rectangular).unwrap_err();
         assert!(err.to_string().contains("len=4"));
     }
 
@@ -368,7 +451,7 @@ mod tests {
 
     #[test]
     fn accessors_report_geometry() {
-        let w = Windower::new(8, 4, WindowShape::Hamming).unwrap();
+        let w = Windower::<f64>::new(8, 4, WindowShape::Hamming).unwrap();
         assert_eq!(w.len(), 8);
         assert_eq!(w.hop(), 4);
         assert_eq!(w.shape(), WindowShape::Hamming);
@@ -378,6 +461,19 @@ mod tests {
     fn tapered_stream_windows_match_apply() {
         let mut w = Windower::non_overlapping(4, WindowShape::Hamming).unwrap();
         let signal = [1.0, -2.0, 3.0, 0.5];
+        let mut emitted = None;
+        for &s in &signal {
+            if let Some(win) = w.push(s) {
+                emitted = Some(win);
+            }
+        }
+        assert_eq!(emitted.unwrap(), WindowShape::Hamming.apply(&signal));
+    }
+
+    #[test]
+    fn f32_windower_streams_at_single_precision() {
+        let mut w = Windower::<f32>::non_overlapping(4, WindowShape::Hamming).unwrap();
+        let signal = [1.0f32, -2.0, 3.0, 0.5];
         let mut emitted = None;
         for &s in &signal {
             if let Some(win) = w.push(s) {

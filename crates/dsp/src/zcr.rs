@@ -7,40 +7,102 @@
 //! (high ZCR) segments and therefore has high ZCR variance, while music and
 //! steady noise are more uniform.
 
+use crate::sample::Sample;
+
+/// Chunk width of the vectorized crossing counter. Chunks whose samples
+/// are all strictly signed take the branch-free path; chunks containing
+/// zeros or NaNs fall back to the per-sample state machine. The count is
+/// an integer either way, so the chunking never changes the result.
+#[cfg(feature = "simd")]
+const ZCR_CHUNK: usize = 64;
+
 /// Counts sign changes in `window`.
 ///
 /// A crossing is counted when consecutive samples have strictly opposite
 /// signs; zeros adopt the sign of the previous non-zero sample so that a
 /// touch of zero is not double counted.
-pub fn zero_crossings(window: &[f64]) -> usize {
-    let mut count = 0;
-    let mut prev_sign = 0i8;
-    for &x in window {
-        let sign = if x > 0.0 {
-            1
-        } else if x < 0.0 {
-            -1
-        } else {
-            prev_sign
-        };
-        if prev_sign != 0 && sign != 0 && sign != prev_sign {
-            count += 1;
+///
+/// # NaN policy
+///
+/// A NaN sample compares neither above nor below zero, so it behaves
+/// exactly like a zero: it keeps the previous sign and can never flip it
+/// or count as a crossing (consistent with `lint` SW004 — NaN flows
+/// through reductions without panicking and cannot inflate the count).
+pub fn zero_crossings<P: Sample>(window: &[P]) -> usize {
+    #[cfg(feature = "simd")]
+    {
+        let mut count = 0;
+        let mut prev_sign = 0i8;
+        for chunk in window.chunks(ZCR_CHUNK) {
+            // "Clean" = every sample strictly signed: no zeros, no NaNs.
+            // An AND-reduction of two compares, which vectorizes.
+            let mut clean = true;
+            for &x in chunk {
+                clean &= (x > P::ZERO) | (x < P::ZERO);
+            }
+            if clean {
+                let first_neg = chunk[0] < P::ZERO;
+                if prev_sign != 0 && first_neg != (prev_sign < 0) {
+                    count += 1;
+                }
+                // Interior crossings: adjacent pairs with unequal signs.
+                // Pure integer work once the compares become masks.
+                let mut interior = 0usize;
+                for i in 1..chunk.len() {
+                    interior += usize::from((chunk[i] < P::ZERO) != (chunk[i - 1] < P::ZERO));
+                }
+                count += interior;
+                prev_sign = if chunk[chunk.len() - 1] < P::ZERO {
+                    -1
+                } else {
+                    1
+                };
+            } else {
+                for &x in chunk {
+                    step(x, &mut prev_sign, &mut count);
+                }
+            }
         }
-        if sign != 0 {
-            prev_sign = sign;
-        }
+        count
     }
-    count
+    #[cfg(not(feature = "simd"))]
+    {
+        let mut count = 0;
+        let mut prev_sign = 0i8;
+        for &x in window {
+            step(x, &mut prev_sign, &mut count);
+        }
+        count
+    }
+}
+
+/// The original per-sample sign state machine; the chunked path defers
+/// to it whenever a chunk contains zeros or NaNs.
+#[inline]
+fn step<P: Sample>(x: P, prev_sign: &mut i8, count: &mut usize) {
+    let sign = if x > P::ZERO {
+        1
+    } else if x < P::ZERO {
+        -1
+    } else {
+        *prev_sign
+    };
+    if *prev_sign != 0 && sign != 0 && sign != *prev_sign {
+        *count += 1;
+    }
+    if sign != 0 {
+        *prev_sign = sign;
+    }
 }
 
 /// Zero-crossing rate: crossings per sample, in `[0, 1]`.
 ///
 /// Returns `None` for windows with fewer than two samples.
-pub fn zero_crossing_rate(window: &[f64]) -> Option<f64> {
+pub fn zero_crossing_rate<P: Sample>(window: &[P]) -> Option<P> {
     if window.len() < 2 {
         return None;
     }
-    Some(zero_crossings(window) as f64 / (window.len() - 1) as f64)
+    Some(P::from_usize(zero_crossings(window)) / P::from_usize(window.len() - 1))
 }
 
 /// Splits `window` into `sub_windows` equal parts and returns each part's
@@ -49,7 +111,7 @@ pub fn zero_crossing_rate(window: &[f64]) -> Option<f64> {
 /// Trailing samples that do not fill the last sub-window are ignored, as in
 /// the paper's streaming implementation. Returns `None` if `sub_windows` is
 /// zero or the window is too short to give every sub-window two samples.
-pub fn sub_window_zcr(window: &[f64], sub_windows: usize) -> Option<Vec<f64>> {
+pub fn sub_window_zcr<P: Sample>(window: &[P], sub_windows: usize) -> Option<Vec<P>> {
     if sub_windows == 0 {
         return None;
     }
@@ -69,7 +131,7 @@ pub fn sub_window_zcr(window: &[f64], sub_windows: usize) -> Option<Vec<f64>> {
 
 /// Variance of sub-window zero-crossing rates — the feature the music and
 /// phrase wake-up conditions threshold (§3.7.2).
-pub fn zcr_variance(window: &[f64], sub_windows: usize) -> Option<f64> {
+pub fn zcr_variance<P: Sample>(window: &[P], sub_windows: usize) -> Option<P> {
     let rates = sub_window_zcr(window, sub_windows)?;
     crate::stats::variance(&rates)
 }
@@ -106,8 +168,44 @@ mod tests {
     }
 
     #[test]
+    fn nan_behaves_like_zero() {
+        // NaN keeps the previous sign: one crossing, same as a zero.
+        assert_eq!(zero_crossings(&[1.0, f64::NAN, -1.0]), 1);
+        assert_eq!(zero_crossings(&[1.0, f64::NAN, 1.0]), 0);
+        // Leading NaNs, like leading zeros, never count.
+        assert_eq!(zero_crossings(&[f64::NAN, -1.0, 1.0]), 1);
+        assert_eq!(zero_crossings(&[f64::NAN; 16]), 0);
+    }
+
+    #[test]
+    fn chunked_count_matches_serial_state_machine() {
+        // Straddle several chunk boundaries with a messy signal that
+        // mixes clean runs, zeros, and NaN so both paths execute.
+        let signal: Vec<f64> = (0..1000)
+            .map(|i| match i % 97 {
+                0 => 0.0,
+                1 => f64::NAN,
+                _ => ((i as f64) * 0.73).sin() - 0.1,
+            })
+            .collect();
+        let mut count = 0;
+        let mut prev_sign = 0i8;
+        for &x in &signal {
+            step(x, &mut prev_sign, &mut count);
+        }
+        assert_eq!(zero_crossings(&signal), count);
+    }
+
+    #[test]
+    fn f32_counts_match_f64_on_clean_signals() {
+        let wide: Vec<f64> = (0..2048).map(|i| ((i as f64) * 0.37).sin() + 0.2).collect();
+        let narrow: Vec<f32> = wide.iter().map(|&x| x as f32).collect();
+        assert_eq!(zero_crossings(&wide), zero_crossings(&narrow));
+    }
+
+    #[test]
     fn rate_needs_two_samples() {
-        assert_eq!(zero_crossing_rate(&[]), None);
+        assert_eq!(zero_crossing_rate::<f64>(&[]), None);
         assert_eq!(zero_crossing_rate(&[1.0]), None);
     }
 

@@ -195,11 +195,15 @@ fn cost_of(
             (per_sample * n + 10.0, 32, input_rate, 1)
         }
         AlgorithmKind::DominantRatio | AlgorithmKind::DominantFreq => (2.0 * n, 16, input_rate, 1),
-        AlgorithmKind::Goertzel { lo_hz, hi_hz } => {
+        AlgorithmKind::Goertzel { lo_hz, hi_hz }
+        | AlgorithmKind::GoertzelFreq { lo_hz, hi_hz }
+        | AlgorithmKind::GoertzelRatio { lo_hz, hi_hz } => {
             // One Goertzel recurrence per in-band bin: ~3 flops per
             // sample plus the closing magnitude (a sqrt ≈ 15 flops).
             // Without a known base rate the bin spacing is unknown, so
-            // assume the worst case (every bin in band).
+            // assume the worst case (every bin in band). The freq/ratio
+            // variants skip the DC probe; one bin of difference is noise
+            // at this model's resolution, so all three share the count.
             let probes = if input_base_rate > 0.0 && input_len > 0 {
                 let bin_hz = input_base_rate / n;
                 (0..=input_len / 2)

@@ -12,7 +12,7 @@
 use crate::value::{Tagged, ValueRef};
 use sidewinder_dsp::filter::{BandFilterPlan, BandShape, ExponentialMovingAverage, MovingAverage};
 use sidewinder_dsp::window::{WindowShape, Windower};
-use sidewinder_dsp::{fft, goertzel, spectral, stats, zcr, Complex, FftPlan};
+use sidewinder_dsp::{fft, goertzel, spectral, stats, zcr, Complex, FftPlan, Sample};
 use sidewinder_ir::{AlgorithmKind, NodeId, StatFn, WindowShapeParam};
 
 /// An execution-time failure inside an algorithm instance.
@@ -76,9 +76,13 @@ impl std::fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// Per-kind mutable algorithm state.
+///
+/// Generic over the vector sample precision `P`: windows buffer and
+/// reduce at `P`, while scalar state (thresholds, joins, averages of
+/// scalar features) stays `f64` — see [`crate::value::Value`].
 #[derive(Debug, Clone)]
-enum AlgoState {
-    Window(Windower),
+enum AlgoState<P: Sample> {
+    Window(Windower<P>),
     Fft {
         /// Cached transform plan, rebuilt only when the window length
         /// changes (in practice: built once on the first window).
@@ -126,6 +130,27 @@ enum AlgoState {
         planned_len: usize,
         probes: Vec<f64>,
     },
+    /// Like [`AlgoState::Goertzel`], but reporting the *frequency* of the
+    /// strongest in-band probe — the strength-reduced `dominantFreq`
+    /// consumer. The probe grid skips DC, as the replaced chain does.
+    GoertzelFreq {
+        lo_hz: f64,
+        hi_hz: f64,
+        rate_hz: f64,
+        planned_len: usize,
+        probes: Vec<f64>,
+    },
+    /// Like [`AlgoState::Goertzel`], but reporting the peak-to-mean
+    /// magnitude ratio the replaced `dominantRatio` chain computes; the
+    /// mean's denominator is the full non-DC bin count, since out-of-band
+    /// bins of the filtered spectrum carry only rounding residue.
+    GoertzelRatio {
+        lo_hz: f64,
+        hi_hz: f64,
+        rate_hz: f64,
+        planned_len: usize,
+        probes: Vec<f64>,
+    },
     MinThreshold {
         threshold: f64,
     },
@@ -167,15 +192,22 @@ enum SlotKind {
 /// so the vector/spectrum buffers keep their capacity and steady-state
 /// emissions write in place without allocating.
 #[derive(Debug, Clone, Default)]
-struct ResultSlot {
+struct ResultSlot<P: Sample> {
     kind: SlotKind,
     seq: u64,
     scalar: f64,
-    vector: Vec<f64>,
+    vector: Vec<P>,
     spectrum: Vec<Complex>,
+    /// Widening scratch presenting a `P` window to the f64-only FFT
+    /// kernels; never touched when `P = f64` (the window is borrowed
+    /// straight through).
+    wide_in: Vec<f64>,
+    /// Narrowing scratch collecting f64 filter output back into `P`;
+    /// never touched when `P = f64`.
+    wide_out: Vec<f64>,
 }
 
-impl ResultSlot {
+impl<P: Sample> ResultSlot<P> {
     fn set_scalar(&mut self, seq: u64, x: f64) {
         self.kind = SlotKind::Scalar;
         self.seq = seq;
@@ -184,14 +216,17 @@ impl ResultSlot {
 }
 
 /// One executable node: the paper's per-algorithm data structure.
+///
+/// Generic over the vector sample precision `P` (default `f64`); see
+/// [`crate::value::Value`] for the precision model.
 #[derive(Debug, Clone)]
-pub struct AlgoInstance {
+pub struct AlgoInstance<P: Sample = f64> {
     id: NodeId,
-    state: AlgoState,
-    out: ResultSlot,
+    state: AlgoState<P>,
+    out: ResultSlot<P>,
 }
 
-impl AlgoInstance {
+impl<P: Sample> AlgoInstance<P> {
     /// Instantiates an algorithm.
     ///
     /// `ports` is the number of input edges (only aggregators use more
@@ -272,6 +307,36 @@ impl AlgoInstance {
                     probes: Vec::new(),
                 }
             }
+            AlgorithmKind::GoertzelFreq { lo_hz, hi_hz } => {
+                if !(lo_hz.is_finite() && hi_hz.is_finite() && 0.0 <= lo_hz && lo_hz <= hi_hz) {
+                    return Err(ExecError::BadParameter {
+                        id,
+                        what: "goertzel band must be finite with 0 <= lo <= hi",
+                    });
+                }
+                AlgoState::GoertzelFreq {
+                    lo_hz,
+                    hi_hz,
+                    rate_hz,
+                    planned_len: usize::MAX,
+                    probes: Vec::new(),
+                }
+            }
+            AlgorithmKind::GoertzelRatio { lo_hz, hi_hz } => {
+                if !(lo_hz.is_finite() && hi_hz.is_finite() && 0.0 <= lo_hz && lo_hz <= hi_hz) {
+                    return Err(ExecError::BadParameter {
+                        id,
+                        what: "goertzel band must be finite with 0 <= lo <= hi",
+                    });
+                }
+                AlgoState::GoertzelRatio {
+                    lo_hz,
+                    hi_hz,
+                    rate_hz,
+                    planned_len: usize::MAX,
+                    probes: Vec::new(),
+                }
+            }
             AlgorithmKind::MinThreshold { threshold } => AlgoState::MinThreshold { threshold },
             AlgorithmKind::MaxThreshold { threshold } => AlgoState::MaxThreshold { threshold },
             AlgorithmKind::BandThreshold { lo, hi } => AlgoState::BandThreshold { lo, hi },
@@ -316,7 +381,7 @@ impl AlgoInstance {
     ///
     /// This is the hot-path read: fan-out to several consumers borrows the
     /// same slot repeatedly instead of cloning the payload per edge.
-    pub fn result_ref(&self) -> Option<(u64, ValueRef<'_>)> {
+    pub fn result_ref(&self) -> Option<(u64, ValueRef<'_, P>)> {
         let value = match self.out.kind {
             SlotKind::Empty => return None,
             SlotKind::Scalar => ValueRef::Scalar(self.out.scalar),
@@ -330,7 +395,7 @@ impl AlgoInstance {
     ///
     /// This clones the payload out of the reusable slot; hot paths use
     /// [`AlgoInstance::result_ref`] instead.
-    pub fn take_result(&mut self) -> Option<Tagged> {
+    pub fn take_result(&mut self) -> Option<Tagged<P>> {
         let (seq, value) = self.result_ref()?;
         let owned = Tagged {
             seq,
@@ -349,7 +414,7 @@ impl AlgoInstance {
     ///
     /// Returns an [`ExecError`] on type confusion (unvalidated programs)
     /// or impossible transform lengths.
-    pub fn feed(&mut self, port: usize, input: &Tagged) -> Result<(), ExecError> {
+    pub fn feed(&mut self, port: usize, input: &Tagged<P>) -> Result<(), ExecError> {
         self.feed_ref(port, input.seq, input.value.as_ref())
     }
 
@@ -366,7 +431,7 @@ impl AlgoInstance {
         &mut self,
         port: usize,
         seq: u64,
-        input: ValueRef<'_>,
+        input: ValueRef<'_, P>,
     ) -> Result<(), ExecError> {
         let AlgoInstance { id, state, out } = self;
         let id = *id;
@@ -374,7 +439,10 @@ impl AlgoInstance {
         match state {
             AlgoState::Window(w) => {
                 let x = input.as_scalar().ok_or(type_err)?;
-                if w.push_into(x, &mut out.vector) {
+                // The precision boundary: samples narrow to `P` as they
+                // enter the window ring buffer, exactly where the paper's
+                // hub stores its f32 sample buffers.
+                if w.push_into(P::from_f64(x), &mut out.vector) {
                     out.kind = SlotKind::Vector;
                     out.seq = seq;
                 }
@@ -382,7 +450,8 @@ impl AlgoInstance {
             AlgoState::Fft { plan } => {
                 let window = input.as_vector().ok_or(type_err)?;
                 let plan = ensure_fft_plan(plan, window.len(), id)?;
-                plan.process_real_forward_into(window, &mut out.spectrum);
+                let wide = P::widen_into(window, &mut out.wide_in);
+                plan.process_real_forward_into(wide, &mut out.spectrum);
                 out.kind = SlotKind::Spectrum;
                 out.seq = seq;
             }
@@ -395,7 +464,10 @@ impl AlgoInstance {
                 out.spectrum.extend_from_slice(spectrum);
                 plan.process_inverse(&mut out.spectrum);
                 out.vector.clear();
-                out.vector.extend(out.spectrum.iter().map(|z| z.re));
+                let ResultSlot {
+                    vector, spectrum, ..
+                } = &mut *out;
+                P::extend_from_f64(vector, spectrum.iter().map(|z| z.re));
                 out.kind = SlotKind::Vector;
                 out.seq = seq;
             }
@@ -403,7 +475,8 @@ impl AlgoInstance {
                 let spectrum = input.as_spectrum().ok_or(type_err)?;
                 if !spectrum.is_empty() {
                     out.vector.clear();
-                    out.vector.extend(
+                    P::extend_from_f64(
+                        &mut out.vector,
                         spectrum[..=spectrum.len() / 2]
                             .iter()
                             .map(|z| z.magnitude()),
@@ -433,7 +506,17 @@ impl AlgoInstance {
                     cutoff_hz: *cutoff_hz,
                 };
                 let plan = ensure_band_plan(plan, window.len(), shape, *rate_hz, id)?;
-                plan.filter_into(window, &mut out.spectrum, &mut out.vector);
+                let ResultSlot {
+                    vector,
+                    spectrum,
+                    wide_in,
+                    wide_out,
+                    ..
+                } = &mut *out;
+                let wide = P::widen_into(window, wide_in);
+                P::with_wide_out(vector, wide_out, |dst| {
+                    plan.filter_into(wide, spectrum, dst);
+                });
                 out.kind = SlotKind::Vector;
                 out.seq = seq;
             }
@@ -447,7 +530,17 @@ impl AlgoInstance {
                     cutoff_hz: *cutoff_hz,
                 };
                 let plan = ensure_band_plan(plan, window.len(), shape, *rate_hz, id)?;
-                plan.filter_into(window, &mut out.spectrum, &mut out.vector);
+                let ResultSlot {
+                    vector,
+                    spectrum,
+                    wide_in,
+                    wide_out,
+                    ..
+                } = &mut *out;
+                let wide = P::widen_into(window, wide_in);
+                P::with_wide_out(vector, wide_out, |dst| {
+                    plan.filter_into(wide, spectrum, dst);
+                });
                 out.kind = SlotKind::Vector;
                 out.seq = seq;
             }
@@ -480,13 +573,13 @@ impl AlgoInstance {
             AlgoState::Zcr => {
                 let window = input.as_vector().ok_or(type_err)?;
                 if let Some(r) = zcr::zero_crossing_rate(window) {
-                    out.set_scalar(seq, r);
+                    out.set_scalar(seq, r.to_f64());
                 }
             }
             AlgoState::ZcrVariance { sub_windows } => {
                 let window = input.as_vector().ok_or(type_err)?;
                 if let Some(v) = zcr::zcr_variance(window, *sub_windows as usize) {
-                    out.set_scalar(seq, v);
+                    out.set_scalar(seq, v.to_f64());
                 }
             }
             AlgoState::Stat(s) => {
@@ -505,7 +598,9 @@ impl AlgoInstance {
                         StatFn::Max => summary.max,
                         StatFn::PeakToPeak => summary.peak_to_peak(),
                     };
-                    out.set_scalar(seq, y);
+                    // Features leave the vector domain here, so widen the
+                    // reduction back to the f64 scalar plane.
+                    out.set_scalar(seq, y.to_f64());
                 }
             }
             AlgoState::DominantRatio => {
@@ -514,7 +609,7 @@ impl AlgoInstance {
                 // offset.
                 if mags.len() > 1 {
                     if let Some(r) = spectral::dominant_to_mean_ratio(&mags[1..]) {
-                        out.set_scalar(seq, r);
+                        out.set_scalar(seq, r.to_f64());
                     }
                 }
             }
@@ -538,31 +633,75 @@ impl AlgoInstance {
                 probes,
             } => {
                 let window = input.as_vector().ok_or(type_err)?;
-                if *planned_len != window.len() {
-                    *planned_len = window.len();
-                    probes.clear();
-                    if *rate_hz > 0.0 && !window.is_empty() {
-                        let n = window.len();
-                        for k in 0..=n / 2 {
-                            let f = fft::bin_to_frequency(k, n, *rate_hz);
-                            // Inclusive band edges, mirroring the
-                            // fft-filter keep masks this node replaces.
-                            if *lo_hz <= f && f <= *hi_hz {
-                                probes.push(f);
-                            }
-                        }
-                    }
-                }
+                replan_probes(
+                    probes,
+                    planned_len,
+                    window.len(),
+                    *rate_hz,
+                    *lo_hz,
+                    *hi_hz,
+                    false,
+                );
                 // Zero in-band bins behaves like an empty band filter's
-                // downstream: nothing to measure, so no emission.
-                let strongest = probes
-                    .iter()
-                    .filter_map(|&f| goertzel::goertzel_magnitude(window, f, *rate_hz))
-                    .fold(None, |best: Option<f64>, m| {
-                        Some(best.map_or(m, |b| if m > b { m } else { b }))
-                    });
-                if let Some(m) = strongest {
+                // downstream: nothing to measure, so no emission. The
+                // grouped kernel runs the probes in interleaved lanes but
+                // keeps per-probe math and the first-max reduction
+                // identical to probing one frequency at a time.
+                if let Some(m) = goertzel::strongest_magnitude(window, probes, *rate_hz) {
                     out.set_scalar(seq, m);
+                }
+            }
+            AlgoState::GoertzelFreq {
+                lo_hz,
+                hi_hz,
+                rate_hz,
+                planned_len,
+                probes,
+            } => {
+                let window = input.as_vector().ok_or(type_err)?;
+                replan_probes(
+                    probes,
+                    planned_len,
+                    window.len(),
+                    *rate_hz,
+                    *lo_hz,
+                    *hi_hz,
+                    true,
+                );
+                // Ties keep the last maximal probe — `dominantFreq`'s
+                // `max_by` semantics over the spectrum it replaces.
+                if let Some((f, _)) = goertzel::strongest_of(window, probes, *rate_hz) {
+                    out.set_scalar(seq, f);
+                }
+            }
+            AlgoState::GoertzelRatio {
+                lo_hz,
+                hi_hz,
+                rate_hz,
+                planned_len,
+                probes,
+            } => {
+                let window = input.as_vector().ok_or(type_err)?;
+                replan_probes(
+                    probes,
+                    planned_len,
+                    window.len(),
+                    *rate_hz,
+                    *lo_hz,
+                    *hi_hz,
+                    true,
+                );
+                if let Some((peak, sum)) = goertzel::magnitude_max_and_sum(window, probes, *rate_hz)
+                {
+                    // The replaced chain divides the peak by the mean over
+                    // all n/2 non-DC bins; the out-of-band bins it averages
+                    // in are rounding residue of the filters, so the
+                    // in-band sum stands in for the total. A zero sum
+                    // mirrors `dominantRatio`'s no-emission guard.
+                    let bins = (window.len() / 2) as f64;
+                    if sum > 0.0 && bins > 0.0 {
+                        out.set_scalar(seq, peak * bins / sum);
+                    }
                 }
             }
             AlgoState::MinThreshold { threshold } => {
@@ -682,6 +821,36 @@ fn ensure_band_plan(
         );
     }
     Ok(slot.as_ref().expect("just ensured"))
+}
+
+/// Rebuilds a goertzel-family node's cached probe grid when the observed
+/// window length changes: one probe per DFT bin of an `n`-point window
+/// whose center frequency lies in `[lo_hz, hi_hz]` (inclusive edges,
+/// mirroring the fft-filter keep masks these nodes replace). `skip_dc`
+/// drops bin 0 — the dominant-feature chains search `mags[1..]`, so
+/// their strength-reduced forms never probe DC.
+fn replan_probes(
+    probes: &mut Vec<f64>,
+    planned_len: &mut usize,
+    n: usize,
+    rate_hz: f64,
+    lo_hz: f64,
+    hi_hz: f64,
+    skip_dc: bool,
+) {
+    if *planned_len == n {
+        return;
+    }
+    *planned_len = n;
+    probes.clear();
+    if rate_hz > 0.0 && n > 0 {
+        for k in usize::from(skip_dc)..=n / 2 {
+            let f = fft::bin_to_frequency(k, n, rate_hz);
+            if lo_hz <= f && f <= hi_hz {
+                probes.push(f);
+            }
+        }
+    }
 }
 
 fn convert_shape(shape: WindowShapeParam) -> WindowShape {
@@ -1023,7 +1192,7 @@ mod tests {
             shape: WindowShapeParam::Rectangular,
         };
         assert_eq!(
-            AlgoInstance::new(NodeId(1), &zero_window, 1, 50.0).unwrap_err(),
+            AlgoInstance::<f64>::new(NodeId(1), &zero_window, 1, 50.0).unwrap_err(),
             ExecError::BadParameter {
                 id: NodeId(1),
                 what: "window size and hop must be positive",
@@ -1031,14 +1200,14 @@ mod tests {
         );
         let zero_avg = AlgorithmKind::MovingAvg { window: 0 };
         assert_eq!(
-            AlgoInstance::new(NodeId(2), &zero_avg, 1, 50.0).unwrap_err(),
+            AlgoInstance::<f64>::new(NodeId(2), &zero_avg, 1, 50.0).unwrap_err(),
             ExecError::BadParameter {
                 id: NodeId(2),
                 what: "moving-average window must be positive",
             }
         );
         let bad_alpha = AlgorithmKind::ExpMovingAvg { alpha: f64::NAN };
-        let err = AlgoInstance::new(NodeId(3), &bad_alpha, 1, 50.0).unwrap_err();
+        let err = AlgoInstance::<f64>::new(NodeId(3), &bad_alpha, 1, 50.0).unwrap_err();
         assert!(err.to_string().contains("node 3"), "{err}");
     }
 
@@ -1101,6 +1270,98 @@ mod tests {
     }
 
     #[test]
+    fn goertzel_freq_and_ratio_match_the_dominant_chain_on_bin_tones() {
+        let rate = 8000.0;
+        let n = 1024usize;
+        // Two in-band tones: the stronger one at bin 128 (1000 Hz) must
+        // win the argmax; a weaker one at bin 130 pads the in-band sum.
+        let tone: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / rate;
+                (2.0 * std::f64::consts::PI * 1000.0 * t).sin()
+                    + 0.3 * (2.0 * std::f64::consts::PI * 1015.625 * t).sin()
+            })
+            .collect();
+        let band = (980.0, 1020.0);
+
+        let mut gf = AlgoInstance::new(
+            NodeId(1),
+            &AlgorithmKind::GoertzelFreq {
+                lo_hz: band.0,
+                hi_hz: band.1,
+            },
+            1,
+            rate,
+        )
+        .unwrap();
+        gf.feed(0, &Tagged::new(0, tone.clone())).unwrap();
+        let freq = gf.take_result().unwrap().value.as_scalar().unwrap();
+        assert!(
+            (freq - 1000.0).abs() < 1e-9,
+            "strongest in-band probe should sit on the 1000 Hz bin, got {freq}"
+        );
+
+        let mut gr = AlgoInstance::new(
+            NodeId(2),
+            &AlgorithmKind::GoertzelRatio {
+                lo_hz: band.0,
+                hi_hz: band.1,
+            },
+            1,
+            rate,
+        )
+        .unwrap();
+        gr.feed(0, &Tagged::new(0, tone.clone())).unwrap();
+        let ratio = gr.take_result().unwrap().value.as_scalar().unwrap();
+
+        // Reference: the chain this node strength-reduces, with an ideal
+        // band filter (out-of-band bins zeroed exactly).
+        let mut fft_node = AlgoInstance::new(NodeId(3), &AlgorithmKind::Fft, 1, rate).unwrap();
+        let mut mag =
+            AlgoInstance::new(NodeId(4), &AlgorithmKind::SpectralMagnitude, 1, rate).unwrap();
+        fft_node.feed(0, &Tagged::new(0, tone)).unwrap();
+        mag.feed(0, &fft_node.take_result().unwrap()).unwrap();
+        let mags = mag.take_result().unwrap();
+        let mags = mags.value.as_vector().unwrap();
+        let in_band: Vec<f64> = mags
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| {
+                let f = *k as f64 * rate / n as f64;
+                *k > 0 && (band.0..=band.1).contains(&f)
+            })
+            .map(|(_, &m)| m)
+            .collect();
+        let peak = in_band.iter().copied().fold(0.0f64, f64::max);
+        let mean = in_band.iter().sum::<f64>() / (n / 2) as f64;
+        let expected = peak / mean;
+        assert!(
+            (ratio - expected).abs() / expected < 1e-6,
+            "goertzelRatio {ratio} vs chain ratio {expected}"
+        );
+    }
+
+    #[test]
+    fn goertzel_freq_and_ratio_skip_dc_and_empty_bands() {
+        // A DC-only "signal": the band covers only bin 0, which the
+        // dominant-feature probes skip, so neither node may emit.
+        for kind in [
+            AlgorithmKind::GoertzelFreq {
+                lo_hz: 0.0,
+                hi_hz: 100.0,
+            },
+            AlgorithmKind::GoertzelRatio {
+                lo_hz: 0.0,
+                hi_hz: 100.0,
+            },
+        ] {
+            let mut g = AlgoInstance::new(NodeId(1), &kind, 1, 8000.0).unwrap();
+            g.feed(0, &Tagged::new(0, vec![1.0; 64])).unwrap();
+            assert!(!g.has_result(), "{kind:?} probed the DC bin");
+        }
+    }
+
+    #[test]
     fn goertzel_with_empty_band_never_emits() {
         // 100–101 Hz at 8 kHz / 64-point windows: bins are 125 Hz apart,
         // so no bin center lands in the band.
@@ -1124,8 +1385,72 @@ mod tests {
             lo_hz: 500.0,
             hi_hz: 100.0,
         };
-        let err = AlgoInstance::new(NodeId(7), &bad, 1, 8000.0).unwrap_err();
+        let err = AlgoInstance::<f64>::new(NodeId(7), &bad, 1, 8000.0).unwrap_err();
         assert!(err.to_string().contains("node 7"), "{err}");
+    }
+
+    #[test]
+    fn f32_instances_run_the_vector_pipeline_at_single_precision() {
+        let rate = 8000.0;
+        let n = 256;
+        let freq = 1000.0;
+        let mut window = AlgoInstance::<f32>::new(
+            NodeId(1),
+            &AlgorithmKind::Window {
+                size: n,
+                hop: n,
+                shape: WindowShapeParam::Rectangular,
+            },
+            1,
+            rate,
+        )
+        .unwrap();
+        let mut fft_node =
+            AlgoInstance::<f32>::new(NodeId(2), &AlgorithmKind::Fft, 1, rate).unwrap();
+        let mut mag =
+            AlgoInstance::<f32>::new(NodeId(3), &AlgorithmKind::SpectralMagnitude, 1, rate)
+                .unwrap();
+        let mut dom =
+            AlgoInstance::<f32>::new(NodeId(4), &AlgorithmKind::DominantFreq, 1, rate).unwrap();
+
+        let mut freq_out = None;
+        for i in 0..n as u64 {
+            let x = (2.0 * std::f64::consts::PI * freq * i as f64 / rate).sin();
+            // Scalars are fed as f64 and narrow inside the window node.
+            window.feed(0, &Tagged::new(i, x)).unwrap();
+            if let Some(w) = window.take_result() {
+                assert!(matches!(w.value, crate::value::Value::Vector(ref v)
+                    if v.len() == n as usize));
+                fft_node.feed(0, &w).unwrap();
+                let s = fft_node.take_result().unwrap();
+                mag.feed(0, &s).unwrap();
+                let m = mag.take_result().unwrap();
+                dom.feed(0, &m).unwrap();
+                freq_out = dom.take_result().and_then(|t| t.value.as_scalar());
+            }
+        }
+        let f = freq_out.expect("a full f32 window must yield a dominant frequency");
+        assert!((f - freq).abs() < rate / f64::from(n), "freq = {f}");
+    }
+
+    #[test]
+    fn f32_stats_track_f64_within_single_precision() {
+        let window: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+        let tagged64 = Tagged::<f64>::new(0, window.clone());
+        let tagged32 =
+            Tagged::<f32>::new(0, window.iter().map(|&x| x as f32).collect::<Vec<f32>>());
+        for s in [StatFn::Mean, StatFn::Rms, StatFn::Energy, StatFn::Max] {
+            let mut i64_ =
+                AlgoInstance::<f64>::new(NodeId(1), &AlgorithmKind::Stat(s), 1, 50.0).unwrap();
+            let mut i32_ =
+                AlgoInstance::<f32>::new(NodeId(1), &AlgorithmKind::Stat(s), 1, 50.0).unwrap();
+            i64_.feed(0, &tagged64).unwrap();
+            i32_.feed(0, &tagged32).unwrap();
+            let a = i64_.take_result().unwrap().value.as_scalar().unwrap();
+            let b = i32_.take_result().unwrap().value.as_scalar().unwrap();
+            let scale = a.abs().max(1.0);
+            assert!((a - b).abs() / scale < 1e-4, "{s:?}: f64 {a} vs f32 {b}");
+        }
     }
 
     #[test]

@@ -58,5 +58,6 @@ pub mod value;
 
 pub use fault::{ChannelDropout, FaultPlan, FaultSchedule, FrameFate, RetryPolicy};
 pub use mcu::Mcu;
-pub use runtime::{HubError, HubRuntime};
+pub use runtime::{HubError, HubRuntime, HubRuntime32};
+pub use sidewinder_dsp::Sample;
 pub use value::{Tagged, Value, ValueRef};

@@ -15,6 +15,7 @@
 
 use crate::instance::{AlgoInstance, ExecError};
 use crate::value::ValueRef;
+use sidewinder_dsp::Sample;
 use sidewinder_ir::{NodeId, Program, Source, ValidateError};
 use sidewinder_obs::{Event, EventSink, NullSink};
 use sidewinder_sensors::SensorChannel;
@@ -124,8 +125,8 @@ enum PortSource {
 /// One loaded node: its instance, its resolved input edges, and the dense
 /// indices of the nodes consuming its output (for readiness propagation).
 #[derive(Debug, Clone)]
-struct LoadedNode {
-    instance: AlgoInstance,
+struct LoadedNode<P: Sample> {
+    instance: AlgoInstance<P>,
     sources: Vec<PortSource>,
     consumers: Vec<usize>,
     /// `consumers` as a bitmask over dense indices; meaningful only when
@@ -157,9 +158,17 @@ const MASK_BITS: usize = 128;
 /// [`TimelineSink`](sidewinder_obs::TimelineSink) via
 /// [`HubRuntime::load_with_sink`] to observe node executions, wake
 /// emissions, and resets.
+///
+/// The runtime is also generic over the vector sample precision `P`
+/// (default `f64`). In `f32` mode (the [`HubRuntime32`] alias, loaded
+/// via [`HubRuntime32::load_f32`]) windows and magnitude spectra are
+/// buffered and reduced at single precision — the hardware-faithful
+/// hub mode, since the paper's MCUs have at most an f32 FPU — while
+/// sensor ingestion, scalar features, thresholds, and [`WakeEvent`]s
+/// stay `f64` end to end.
 #[derive(Debug, Clone)]
-pub struct HubRuntime<S: EventSink = NullSink> {
-    nodes: Vec<LoadedNode>,
+pub struct HubRuntime<S: EventSink = NullSink, P: Sample = f64> {
+    nodes: Vec<LoadedNode<P>>,
     /// Dense index of the node feeding `OUT`.
     out_index: usize,
     /// For each channel (by [`SensorChannel::index`]): the nodes with at
@@ -202,7 +211,38 @@ impl HubRuntime {
     }
 }
 
-impl<S: EventSink> HubRuntime<S> {
+/// The hub interpreter in single-precision (`f32`) vector mode.
+pub type HubRuntime32<S = NullSink> = HubRuntime<S, f32>;
+
+impl HubRuntime32 {
+    /// Validates `program` and allocates instances whose vector payloads
+    /// (windows, magnitude spectra) live at `f32`, with observability
+    /// disabled ([`NullSink`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HubError::Invalid`] if the program fails validation.
+    pub fn load_f32(program: &Program, rates: &ChannelRates) -> Result<Self, HubError> {
+        Self::load_f32_with_sink(program, rates, NullSink)
+    }
+}
+
+impl<S: EventSink> HubRuntime<S, f32> {
+    /// Like [`HubRuntime32::load_f32`], but events flow into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HubError::Invalid`] if the program fails validation.
+    pub fn load_f32_with_sink(
+        program: &Program,
+        rates: &ChannelRates,
+        sink: S,
+    ) -> Result<Self, HubError> {
+        Self::load_generic(program, rates, sink)
+    }
+}
+
+impl<S: EventSink> HubRuntime<S, f64> {
     /// Like [`HubRuntime::load`], but events flow into `sink`.
     ///
     /// # Errors
@@ -213,12 +253,30 @@ impl<S: EventSink> HubRuntime<S> {
         rates: &ChannelRates,
         sink: S,
     ) -> Result<Self, HubError> {
+        Self::load_generic(program, rates, sink)
+    }
+}
+
+impl<S: EventSink, P: Sample> HubRuntime<S, P> {
+    /// The precision-generic loader behind [`HubRuntime::load_with_sink`]
+    /// and [`HubRuntime32::load_f32`]. Callers name the precision at the
+    /// type level (`HubRuntime::<_, f32>::load_generic(..)`); the named
+    /// loaders exist so ordinary call sites never need a turbofish.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HubError::Invalid`] if the program fails validation.
+    pub fn load_generic(
+        program: &Program,
+        rates: &ChannelRates,
+        sink: S,
+    ) -> Result<Self, HubError> {
         program.validate()?;
         // Propagate sample rates: a node inherits the rate of its first
         // source (aggregators merge branches of equal rate in practice).
         let mut node_rates: BTreeMap<NodeId, f64> = BTreeMap::new();
         let mut index_of: BTreeMap<NodeId, usize> = BTreeMap::new();
-        let mut nodes: Vec<LoadedNode> = Vec::new();
+        let mut nodes: Vec<LoadedNode<P>> = Vec::new();
         let mut channel_entries: [Vec<usize>; SensorChannel::COUNT] = Default::default();
         for (sources, id, kind) in program.nodes() {
             // Validation guarantees at least one source, but a program
@@ -886,6 +944,48 @@ mod tests {
             .push_sample(SensorChannel::AccX, 0.0)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn f32_runtime_agrees_with_f64_on_the_music_shape() {
+        // The branching window/variance/zcr shape at both precisions:
+        // identical wake decisions on a well-separated signal, with wake
+        // values within single-precision tolerance.
+        let text = "MIC -> window(id=1, params={64, 64, 0});
+             1 -> variance(id=2);
+             1 -> zcrVariance(id=3, params={4});
+             2 -> minThreshold(id=4, params={0.01});
+             3 -> minThreshold(id=5, params={0});
+             4,5 -> allOf(id=6);
+             6 -> OUT;";
+        let program: Program = text.parse().unwrap();
+        let mut h64 = HubRuntime::load(&program, &ChannelRates::default()).unwrap();
+        let mut h32 = HubRuntime32::load_f32(&program, &ChannelRates::default()).unwrap();
+        for i in 0..512u64 {
+            let x = if (i / 8) % 2 == 0 {
+                if i % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            } else {
+                0.0
+            };
+            let a = h64.push_sample(SensorChannel::Mic, x).unwrap();
+            let b = h32.push_sample(SensorChannel::Mic, x).unwrap();
+            assert_eq!(a.len(), b.len(), "wake count diverged at sample {i}");
+            for (wa, wb) in a.iter().zip(&b) {
+                assert_eq!(wa.seq, wb.seq);
+                assert!(
+                    (wa.value - wb.value).abs() < 1e-4,
+                    "{} vs {}",
+                    wa.value,
+                    wb.value
+                );
+            }
+        }
+        assert!(h64.wake_count() > 0, "the loud segments must wake");
+        assert_eq!(h64.wake_count(), h32.wake_count());
     }
 
     #[test]

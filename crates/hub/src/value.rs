@@ -1,21 +1,29 @@
 //! Values flowing along pipeline edges.
+//!
+//! Values are generic over the vector sample precision `P` (default
+//! `f64`): windows and magnitude spectra are stored as `Vec<P>`, while
+//! scalars — raw samples, extracted features, admission-control outputs —
+//! stay `f64` at every precision, matching the hub hardware (the MCU
+//! ADCs and wake messages are narrow; only the buffered vector data is
+//! stored at reduced width). Complex spectra stay `f64`: the FFT runs on
+//! the larger MCU where double-precision twiddles are the reference.
 
-use sidewinder_dsp::Complex;
+use sidewinder_dsp::{Complex, Sample};
 use sidewinder_ir::ValueType;
 
 /// A value produced by an algorithm instance.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Value {
+pub enum Value<P: Sample = f64> {
     /// One number: a raw sample, an extracted feature, or an
     /// admission-control output.
     Scalar(f64),
     /// A window of real samples or a magnitude spectrum.
-    Vector(Vec<f64>),
+    Vector(Vec<P>),
     /// A complex spectrum produced by `fft`.
     Spectrum(Vec<Complex>),
 }
 
-impl Value {
+impl<P: Sample> Value<P> {
     /// The IR-level type of this value.
     pub fn value_type(&self) -> ValueType {
         match self {
@@ -34,7 +42,7 @@ impl Value {
     }
 
     /// The vector payload, if this is a vector.
-    pub fn as_vector(&self) -> Option<&[f64]> {
+    pub fn as_vector(&self) -> Option<&[P]> {
         match self {
             Value::Vector(v) => Some(v),
             _ => None,
@@ -54,16 +62,16 @@ impl Value {
 /// fan-out to multiple consumers passes windows and spectra by reference
 /// instead of cloning them per edge.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ValueRef<'a> {
+pub enum ValueRef<'a, P: Sample = f64> {
     /// One number.
     Scalar(f64),
     /// A window of real samples or a magnitude spectrum.
-    Vector(&'a [f64]),
+    Vector(&'a [P]),
     /// A complex spectrum produced by `fft`.
     Spectrum(&'a [Complex]),
 }
 
-impl ValueRef<'_> {
+impl<P: Sample> ValueRef<'_, P> {
     /// The IR-level type of this value.
     pub fn value_type(&self) -> ValueType {
         match self {
@@ -82,7 +90,7 @@ impl ValueRef<'_> {
     }
 
     /// The vector payload, if this is a vector.
-    pub fn as_vector(&self) -> Option<&[f64]> {
+    pub fn as_vector(&self) -> Option<&[P]> {
         match self {
             ValueRef::Vector(v) => Some(v),
             _ => None,
@@ -98,7 +106,7 @@ impl ValueRef<'_> {
     }
 
     /// Copies the view into an owned [`Value`].
-    pub fn to_owned(self) -> Value {
+    pub fn to_owned(self) -> Value<P> {
         match self {
             ValueRef::Scalar(x) => Value::Scalar(x),
             ValueRef::Vector(v) => Value::Vector(v.to_vec()),
@@ -107,9 +115,9 @@ impl ValueRef<'_> {
     }
 }
 
-impl Value {
+impl<P: Sample> Value<P> {
     /// Borrows this value as a [`ValueRef`].
-    pub fn as_ref(&self) -> ValueRef<'_> {
+    pub fn as_ref(&self) -> ValueRef<'_, P> {
         match self {
             Value::Scalar(x) => ValueRef::Scalar(*x),
             Value::Vector(v) => ValueRef::Vector(v),
@@ -118,19 +126,28 @@ impl Value {
     }
 }
 
-impl From<f64> for Value {
+impl<P: Sample> From<f64> for Value<P> {
     fn from(x: f64) -> Self {
         Value::Scalar(x)
     }
 }
 
-impl From<Vec<f64>> for Value {
-    fn from(v: Vec<f64>) -> Self {
+impl<P: Sample> From<Vec<P>> for Value<P> {
+    fn from(v: Vec<P>) -> Self {
         Value::Vector(v)
     }
 }
 
-impl From<Vec<Complex>> for Value {
+// Concrete per-precision impls: a blanket `impl<P: Sample>` would
+// overlap `From<Vec<P>>` in coherence's eyes (it must assume `Complex`
+// could implement `Sample` someday, sealed or not).
+impl From<Vec<Complex>> for Value<f64> {
+    fn from(s: Vec<Complex>) -> Self {
+        Value::Spectrum(s)
+    }
+}
+
+impl From<Vec<Complex>> for Value<f32> {
     fn from(s: Vec<Complex>) -> Self {
         Value::Spectrum(s)
     }
@@ -142,16 +159,16 @@ impl From<Vec<Complex>> for Value {
 /// *consecutive* window emissions without the interpreter having a clock:
 /// two windows are consecutive when their tags differ by the window hop.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Tagged {
+pub struct Tagged<P: Sample = f64> {
     /// Index of the newest source sample this value derives from.
     pub seq: u64,
     /// The payload.
-    pub value: Value,
+    pub value: Value<P>,
 }
 
-impl Tagged {
+impl<P: Sample> Tagged<P> {
     /// Creates a tagged value.
-    pub fn new(seq: u64, value: impl Into<Value>) -> Self {
+    pub fn new(seq: u64, value: impl Into<Value<P>>) -> Self {
         Tagged {
             seq,
             value: value.into(),
@@ -165,40 +182,52 @@ mod tests {
 
     #[test]
     fn value_types_match_payloads() {
-        assert_eq!(Value::Scalar(1.0).value_type(), ValueType::Scalar);
-        assert_eq!(Value::Vector(vec![]).value_type(), ValueType::Vector);
-        assert_eq!(Value::Spectrum(vec![]).value_type(), ValueType::Spectrum);
+        assert_eq!(Value::<f64>::Scalar(1.0).value_type(), ValueType::Scalar);
+        assert_eq!(Value::<f64>::Vector(vec![]).value_type(), ValueType::Vector);
+        assert_eq!(
+            Value::<f64>::Spectrum(vec![]).value_type(),
+            ValueType::Spectrum
+        );
     }
 
     #[test]
     fn accessors_are_type_selective() {
-        let s = Value::Scalar(2.5);
+        let s = Value::<f64>::Scalar(2.5);
         assert_eq!(s.as_scalar(), Some(2.5));
         assert!(s.as_vector().is_none());
         assert!(s.as_spectrum().is_none());
 
-        let v = Value::Vector(vec![1.0, 2.0]);
+        let v = Value::<f64>::Vector(vec![1.0, 2.0]);
         assert_eq!(v.as_vector(), Some(&[1.0, 2.0][..]));
         assert!(v.as_scalar().is_none());
 
-        let sp = Value::Spectrum(vec![Complex::ONE]);
+        let sp = Value::<f64>::Spectrum(vec![Complex::ONE]);
         assert_eq!(sp.as_spectrum().unwrap().len(), 1);
         assert!(sp.as_vector().is_none());
     }
 
     #[test]
     fn conversions() {
-        assert_eq!(Value::from(1.5), Value::Scalar(1.5));
-        assert_eq!(Value::from(vec![1.0]), Value::Vector(vec![1.0]));
+        assert_eq!(Value::<f64>::from(1.5), Value::Scalar(1.5));
+        assert_eq!(Value::<f64>::from(vec![1.0]), Value::Vector(vec![1.0]));
         assert_eq!(
-            Value::from(vec![Complex::ZERO]),
+            Value::<f64>::from(vec![Complex::ZERO]),
             Value::Spectrum(vec![Complex::ZERO])
         );
     }
 
     #[test]
+    fn f32_vectors_carry_single_precision_payloads() {
+        let v = Value::<f32>::Vector(vec![1.5f32, -2.0]);
+        assert_eq!(v.as_vector(), Some(&[1.5f32, -2.0][..]));
+        assert_eq!(v.value_type(), ValueType::Vector);
+        // Scalars stay f64 at every precision.
+        assert_eq!(Value::<f32>::Scalar(2.5).as_scalar(), Some(2.5));
+    }
+
+    #[test]
     fn tagged_carries_seq() {
-        let t = Tagged::new(42, 1.0);
+        let t = Tagged::<f64>::new(42, 1.0);
         assert_eq!(t.seq, 42);
         assert_eq!(t.value, Value::Scalar(1.0));
     }

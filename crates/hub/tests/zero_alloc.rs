@@ -13,7 +13,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+use sidewinder_hub::runtime::{ChannelRates, HubRuntime, HubRuntime32};
 use sidewinder_ir::Program;
 use sidewinder_obs::CounterSink;
 use sidewinder_sensors::SensorChannel;
@@ -157,6 +157,51 @@ fn music_per_sample_path_does_not_allocate() {
     assert!(
         after - before <= 8,
         "music batch allocated {} times (expected only per-window ZCR scratch)",
+        after - before
+    );
+}
+
+/// The precision parameter does not change the allocation story: the
+/// `f32` pipeline (ring buffers and vector scratch at single precision)
+/// reaches the same allocation-free steady state on the scalar steps
+/// chain and the same per-window bound on the windowed music condition.
+#[test]
+fn f32_pipelines_hold_the_same_allocation_bounds() {
+    let steps: Program = include_str!("../../ir/tests/fixtures/steps.swir")
+        .parse()
+        .unwrap();
+    let mut hub = HubRuntime32::load_f32(&steps, &ChannelRates::default()).unwrap();
+    let samples = step_signal(8192);
+    hub.push_samples(SensorChannel::AccX, &samples).unwrap();
+
+    let before = allocations();
+    let wakes = hub
+        .push_samples(SensorChannel::AccX, &samples)
+        .unwrap()
+        .len();
+    let after = allocations();
+    assert!(wakes > 0, "f32 steady-state batch must still raise wakes");
+    assert_eq!(
+        after - before,
+        0,
+        "f32 steps steady state allocated {} times over {} samples",
+        after - before,
+        samples.len()
+    );
+
+    let music: Program = include_str!("../../ir/tests/fixtures/music.swir")
+        .parse()
+        .unwrap();
+    let mut hub = HubRuntime32::load_f32(&music, &ChannelRates::default()).unwrap();
+    let samples: Vec<f64> = (0..8192).map(|i| (i as f64 * 0.785).sin()).collect();
+    hub.push_samples(SensorChannel::Mic, &samples).unwrap();
+
+    let before = allocations();
+    hub.push_samples(SensorChannel::Mic, &samples).unwrap();
+    let after = allocations();
+    assert!(
+        after - before <= 8,
+        "f32 music batch allocated {} times (expected only per-window ZCR scratch)",
         after - before
     );
 }

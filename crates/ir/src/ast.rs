@@ -204,6 +204,30 @@ pub enum AlgorithmKind {
         /// Upper band edge in Hz (inclusive).
         hi_hz: f64,
     },
+    /// Frequency (Hz) of the strongest Goertzel probe among the non-DC
+    /// DFT bins of the incoming window whose center frequency lies in
+    /// `[lo_hz, hi_hz]` — the strength-reduced form of a narrow-band
+    /// `fft → spectralMagnitude → dominantFreq` chain (the chain skips
+    /// the DC bin, so the probe grid does too). Vector → Scalar.
+    GoertzelFreq {
+        /// Lower band edge in Hz (inclusive).
+        lo_hz: f64,
+        /// Upper band edge in Hz (inclusive).
+        hi_hz: f64,
+    },
+    /// Ratio of the strongest in-band Goertzel magnitude to the mean
+    /// magnitude the replaced chain would compute over all non-DC bins
+    /// of the one-sided spectrum (out-of-band bins of a filtered
+    /// spectrum carry only rounding residue, so the in-band sum stands
+    /// in for the total) — the strength-reduced form of a narrow-band
+    /// `fft → spectralMagnitude → dominantRatio` chain.
+    /// Vector → Scalar.
+    GoertzelRatio {
+        /// Lower band edge in Hz (inclusive).
+        lo_hz: f64,
+        /// Upper band edge in Hz (inclusive).
+        hi_hz: f64,
+    },
     /// Passes values `>= threshold` (the paper's low-bound admission
     /// control). Scalar → Scalar.
     MinThreshold {
@@ -268,6 +292,8 @@ impl AlgorithmKind {
             AlgorithmKind::DominantRatio => "dominantRatio",
             AlgorithmKind::DominantFreq => "dominantFreq",
             AlgorithmKind::Goertzel { .. } => "goertzel",
+            AlgorithmKind::GoertzelFreq { .. } => "goertzelFreq",
+            AlgorithmKind::GoertzelRatio { .. } => "goertzelRatio",
             AlgorithmKind::MinThreshold { .. } => "minThreshold",
             AlgorithmKind::MaxThreshold { .. } => "maxThreshold",
             AlgorithmKind::BandThreshold { .. } => "bandThreshold",
@@ -289,7 +315,9 @@ impl AlgorithmKind {
             AlgorithmKind::LowPass { cutoff_hz } => vec![cutoff_hz],
             AlgorithmKind::HighPass { cutoff_hz } => vec![cutoff_hz],
             AlgorithmKind::ZcrVariance { sub_windows } => vec![sub_windows as f64],
-            AlgorithmKind::Goertzel { lo_hz, hi_hz } => vec![lo_hz, hi_hz],
+            AlgorithmKind::Goertzel { lo_hz, hi_hz }
+            | AlgorithmKind::GoertzelFreq { lo_hz, hi_hz }
+            | AlgorithmKind::GoertzelRatio { lo_hz, hi_hz } => vec![lo_hz, hi_hz],
             AlgorithmKind::MinThreshold { threshold } => vec![threshold],
             AlgorithmKind::MaxThreshold { threshold } => vec![threshold],
             AlgorithmKind::BandThreshold { lo, hi } => vec![lo, hi],
@@ -342,6 +370,14 @@ impl AlgorithmKind {
             ("dominantRatio", 0) => AlgorithmKind::DominantRatio,
             ("dominantFreq", 0) => AlgorithmKind::DominantFreq,
             ("goertzel", 2) => AlgorithmKind::Goertzel {
+                lo_hz: params[0],
+                hi_hz: params[1],
+            },
+            ("goertzelFreq", 2) => AlgorithmKind::GoertzelFreq {
+                lo_hz: params[0],
+                hi_hz: params[1],
+            },
+            ("goertzelRatio", 2) => AlgorithmKind::GoertzelRatio {
                 lo_hz: params[0],
                 hi_hz: params[1],
             },
@@ -398,7 +434,9 @@ impl AlgorithmKind {
             | AlgorithmKind::Stat(_)
             | AlgorithmKind::DominantRatio
             | AlgorithmKind::DominantFreq
-            | AlgorithmKind::Goertzel { .. } => ValueType::Vector,
+            | AlgorithmKind::Goertzel { .. }
+            | AlgorithmKind::GoertzelFreq { .. }
+            | AlgorithmKind::GoertzelRatio { .. } => ValueType::Vector,
             AlgorithmKind::Ifft | AlgorithmKind::SpectralMagnitude => ValueType::Spectrum,
         }
     }
@@ -739,6 +777,14 @@ mod tests {
             AlgorithmKind::DominantRatio,
             AlgorithmKind::DominantFreq,
             AlgorithmKind::Goertzel {
+                lo_hz: 980.0,
+                hi_hz: 1020.0,
+            },
+            AlgorithmKind::GoertzelFreq {
+                lo_hz: 980.0,
+                hi_hz: 1020.0,
+            },
+            AlgorithmKind::GoertzelRatio {
                 lo_hz: 980.0,
                 hi_hz: 1020.0,
             },

@@ -308,6 +308,8 @@ fn check_params(id: NodeId, kind: &AlgorithmKind) -> Result<(), ValidateError> {
             return bad(format!("sustained count={count}, max_gap={max_gap}"));
         }
         AlgorithmKind::Goertzel { lo_hz, hi_hz }
+        | AlgorithmKind::GoertzelFreq { lo_hz, hi_hz }
+        | AlgorithmKind::GoertzelRatio { lo_hz, hi_hz }
             if !(lo_hz.is_finite() && hi_hz.is_finite() && 0.0 <= lo_hz && lo_hz <= hi_hz) =>
         {
             return bad(format!("goertzel band [{lo_hz}, {hi_hz}] is invalid"));

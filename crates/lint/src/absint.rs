@@ -331,6 +331,49 @@ fn transfer(id: NodeId, line: Option<u32>, kind: &AlgorithmKind, ups: &[Up]) -> 
                 }
             }
         }
+        AlgorithmKind::GoertzelFreq { lo_hz, hi_hz } => {
+            // Emits the frequency of an in-band, sub-Nyquist, non-DC
+            // probe, so the result is confined to the band clipped to
+            // (0, rate/2]; without a known rate only the band bounds it.
+            let nyquist = if base_rate_hz > 0.0 {
+                base_rate_hz / 2.0
+            } else {
+                f64::INFINITY
+            };
+            let hi = hi_hz.min(nyquist);
+            value = Interval::new(lo_hz.min(hi), hi);
+            if base_rate_hz > 0.0 && primary.len > 0 {
+                let bins = primary.len;
+                let bin_hz = base_rate_hz / bins as f64;
+                // DC is never probed — the chains this node strength-
+                // reduces search `mags[1..]`.
+                let any_in_band = (1..=bins / 2).any(|k| {
+                    let f = k as f64 * bin_hz;
+                    lo_hz <= f && f <= hi_hz
+                });
+                if !any_in_band {
+                    feasible = false;
+                }
+            }
+        }
+        AlgorithmKind::GoertzelRatio { lo_hz, hi_hz } => {
+            // peak ≥ sum/probes and sum ≥ peak, so the emitted
+            // `peak · bins / sum` lies in [1, bins] with bins = len/2 —
+            // Goertzel magnitudes are nonnegative by construction, so
+            // unlike `dominantRatio` no signed-input caveat applies.
+            value = Interval::new(1.0, (primary.len / 2).max(1) as f64);
+            if base_rate_hz > 0.0 && primary.len > 0 {
+                let bins = primary.len;
+                let bin_hz = base_rate_hz / bins as f64;
+                let any_in_band = (1..=bins / 2).any(|k| {
+                    let f = k as f64 * bin_hz;
+                    lo_hz <= f && f <= hi_hz
+                });
+                if !any_in_band {
+                    feasible = false;
+                }
+            }
+        }
         AlgorithmKind::MinThreshold { threshold } => {
             gate(
                 v,

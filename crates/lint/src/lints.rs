@@ -121,6 +121,13 @@ fn redundant_nodes(analysis: &Analysis, report: &mut LintReport) {
 }
 
 /// SW004: FFT-family stages fed by values that are not provably finite.
+///
+/// The premise is the DSP kernel contract's NaN policy (see
+/// `sidewinder_dsp::stats::Summary::of` and `sidewinder_dsp::zcr`):
+/// reductions pass NaN *through* rather than panic or filter, so a
+/// non-finite value entering a transform silently poisons every bin and
+/// everything downstream — which is exactly why it deserves a lint
+/// rather than a runtime check.
 fn numeric_hazards(analysis: &Analysis, report: &mut LintReport) {
     for f in analysis.facts() {
         let fft_family = matches!(

@@ -40,6 +40,14 @@ pub fn arb_vector_reducer() -> impl Strategy<Value = AlgorithmKind> {
             lo_hz: lo,
             hi_hz: lo + span,
         }),
+        (100.0f64..2000.0, 0.0f64..1500.0).prop_map(|(lo, span)| AlgorithmKind::GoertzelFreq {
+            lo_hz: lo,
+            hi_hz: lo + span,
+        }),
+        (100.0f64..2000.0, 0.0f64..1500.0).prop_map(|(lo, span)| AlgorithmKind::GoertzelRatio {
+            lo_hz: lo,
+            hi_hz: lo + span,
+        }),
     ]
 }
 

@@ -25,10 +25,12 @@
 //!   [`optimize_suite`] extends this across applications by
 //!   deduplicating whole optimized programs up to id renaming.
 //! * **Goertzel strength reduction** ([`passes::goertzel`]) — a
-//!   narrow-band spectral gate (`window → filters → fft →
-//!   spectralMagnitude → max`) becomes a single `goertzel` probe node
-//!   when the cost model says probing the in-band bins is cheaper than
-//!   the filter + FFT chain.
+//!   narrow-band spectral chain (`window → filters → fft →
+//!   spectralMagnitude` feeding `max`, `dominantFreq`, or
+//!   `dominantRatio`) becomes a single goertzel-family probe node
+//!   (`goertzel`, `goertzelFreq`, `goertzelRatio`) when the cost model
+//!   says probing the in-band bins is cheaper than the filter + FFT
+//!   chain.
 //!
 //! # Equivalence tiers
 //!
@@ -133,7 +135,8 @@ pub struct OptReport {
     pub gates_fused: usize,
     /// Structurally-identical nodes merged.
     pub duplicates_merged: usize,
-    /// Narrow-band spectral chains rewritten to `goertzel` probes.
+    /// Narrow-band spectral chains rewritten to goertzel-family probes
+    /// (`goertzel`, `goertzelFreq`, `goertzelRatio`).
     pub goertzel_rewrites: usize,
     /// Nodes dropped by the closing liveness sweep.
     pub dead_swept: usize,

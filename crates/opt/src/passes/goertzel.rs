@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! window -> highPass/lowPass* -> fft -> spectralMagnitude -> max
+//!                                                         |- dominantFreq
+//!                                                         |- dominantRatio
 //! ```
 //!
 //! The filters are FFT-based bin masks (`fft -> zero out-of-band bins ->
@@ -13,14 +15,21 @@
 //! bins carry only ifft/fft rounding residue, ~1e-13 relative). The
 //! whole chain is therefore one question — "how strong is the strongest
 //! in-band bin?" — which the Goertzel algorithm answers per bin in
-//! `O(N)` without ever materializing a spectrum.
+//! `O(N)` without ever materializing a spectrum. A `dominantFreq` head
+//! asks *which* bin that is (its frequency) and a `dominantRatio` head
+//! asks how it compares to the mean bin magnitude; both are in-band
+//! reductions the same probes answer, so all three heads strength-reduce
+//! to a goertzel-family node (`goertzel`, `goertzelFreq`,
+//! `goertzelRatio`).
 //!
-//! The rewrite replaces the `max` node in place with a `goertzel` node
-//! reading the window directly, and deletes the filter/FFT/magnitude
-//! chain. Band edges are inclusive on both sides, mirroring the
-//! filters' bin masks, and the upper edge is capped at Nyquist (the
-//! one-sided magnitude never sees higher bins, and `goertzel` needs a
-//! finite edge).
+//! The rewrite replaces the head node in place with its goertzel-family
+//! counterpart reading the window directly, and deletes the
+//! filter/FFT/magnitude chain. Band edges are inclusive on both sides,
+//! mirroring the filters' bin masks, and the upper edge is capped at
+//! Nyquist (the one-sided magnitude never sees higher bins, and the
+//! goertzel nodes need a finite edge). The dominant-feature heads skip
+//! the DC bin (`mags[1..]`), so their rewrites additionally require a
+//! band with `lo > 0` — in practice a high-pass filter in the chain.
 //!
 //! Two guards keep it honest:
 //!
@@ -58,6 +67,35 @@ pub(crate) fn run(program: &Program, rates: &ChannelRates) -> Option<(Program, u
     }
 }
 
+/// Which spectral reduction sits at the head of the chain — each has a
+/// strength-reduced goertzel-family counterpart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Head {
+    /// `max` → [`AlgorithmKind::Goertzel`].
+    Max,
+    /// `dominantFreq` → [`AlgorithmKind::GoertzelFreq`].
+    Freq,
+    /// `dominantRatio` → [`AlgorithmKind::GoertzelRatio`].
+    Ratio,
+}
+
+impl Head {
+    /// The dominant-feature heads skip the DC bin (`mags[1..]`), so
+    /// their probe grids must too.
+    fn skips_dc(self) -> bool {
+        !matches!(self, Head::Max)
+    }
+
+    /// The replacement node for a band of `[lo_hz, hi_hz]`.
+    fn replacement(self, lo_hz: f64, hi_hz: f64) -> AlgorithmKind {
+        match self {
+            Head::Max => AlgorithmKind::Goertzel { lo_hz, hi_hz },
+            Head::Freq => AlgorithmKind::GoertzelFreq { lo_hz, hi_hz },
+            Head::Ratio => AlgorithmKind::GoertzelRatio { lo_hz, hi_hz },
+        }
+    }
+}
+
 /// Applies the first cost-improving strength reduction, if any.
 fn reduce_one(program: &Program, rates: &ChannelRates) -> Option<Program> {
     let analysis = analyze(program, rates);
@@ -65,10 +103,13 @@ fn reduce_one(program: &Program, rates: &ChannelRates) -> Option<Program> {
     let info = node_info(program);
     let before = PipelineCost::analyze(program, rates).total_flops_per_second();
     for (sources, id, kind) in program.nodes() {
-        if !matches!(kind, AlgorithmKind::Stat(StatFn::Max)) {
-            continue;
-        }
-        let Some(rw) = candidate(&analysis, &consumers, &info, sources, id) else {
+        let head = match kind {
+            AlgorithmKind::Stat(StatFn::Max) => Head::Max,
+            AlgorithmKind::DominantFreq => Head::Freq,
+            AlgorithmKind::DominantRatio => Head::Ratio,
+            _ => continue,
+        };
+        let Some(rw) = candidate(&analysis, &consumers, &info, sources, id, head) else {
             continue;
         };
         let rewritten = rw.apply(program);
@@ -87,16 +128,18 @@ fn single(consumers: &BTreeMap<NodeId, usize>, id: NodeId) -> bool {
     consumers.get(&id).copied().unwrap_or(0) == 1
 }
 
-/// Walks upward from a `max` node through `spectralMagnitude -> fft ->
-/// filters* -> window` and builds the replacement edit script. Every
-/// intermediate node must have this chain as its only consumer (the
-/// window itself may fan out — it survives).
+/// Walks upward from the head node (`max`, `dominantFreq`, or
+/// `dominantRatio`) through `spectralMagnitude -> fft -> filters* ->
+/// window` and builds the replacement edit script. Every intermediate
+/// node must have this chain as its only consumer (the window itself may
+/// fan out — it survives).
 fn candidate(
     analysis: &Analysis,
     consumers: &BTreeMap<NodeId, usize>,
     info: &BTreeMap<NodeId, (&[Source], &AlgorithmKind)>,
     max_sources: &[Source],
     max_id: NodeId,
+    head: Head,
 ) -> Option<Rewrite> {
     let [Source::Node(mag)] = max_sources else {
         return None;
@@ -145,11 +188,18 @@ fn candidate(
                 if lo > hi {
                     return None; // dead band — SW001's finding, not ours
                 }
-                // The band must keep at least one bin, or the rewrite
-                // would turn "max over nothing" semantics into silence
-                // differently than the chain does.
+                // The dominant-feature heads skip the DC bin, so only a
+                // band that already excludes DC (a high-pass with a
+                // positive cutoff) has an exactly matching probe grid.
+                if head.skips_dc() && lo <= 0.0 {
+                    return None;
+                }
+                // The band must keep at least one probeable bin, or the
+                // rewrite would turn "max over nothing" semantics into
+                // silence differently than the chain does.
                 let bin_hz = base / n as f64;
-                let in_band = (0..=n / 2).any(|k| {
+                let first_bin = usize::from(head.skips_dc());
+                let in_band = (first_bin..=n / 2).any(|k| {
                     let f = k as f64 * bin_hz;
                     lo <= f && f <= hi
                 });
@@ -157,14 +207,7 @@ fn candidate(
                     return None;
                 }
                 let mut rw = Rewrite::new();
-                rw.replace(
-                    max_id,
-                    vec![Source::Node(nid)],
-                    AlgorithmKind::Goertzel {
-                        lo_hz: lo,
-                        hi_hz: hi,
-                    },
-                );
+                rw.replace(max_id, vec![Source::Node(nid)], head.replacement(lo, hi));
                 for r in removed {
                     rw.remove(r);
                 }
@@ -212,6 +255,71 @@ mod tests {
                 hi_hz: 1020.0
             }
         );
+    }
+
+    #[test]
+    fn narrow_band_dominant_freq_reduces_to_goertzel_freq() {
+        let p = parse(
+            "MIC -> window(id=1, params={1024, 1024, 0});
+             1 -> highPass(id=2, params={980});
+             2 -> lowPass(id=3, params={1020});
+             3 -> fft(id=4);
+             4 -> spectralMagnitude(id=5);
+             5 -> dominantFreq(id=6);
+             6 -> bandThreshold(id=7, params={990, 1010});
+             7 -> OUT;",
+        );
+        let (q, n) = run(&p, &rates()).unwrap();
+        assert_eq!(n, 1);
+        assert!(q.validate().is_ok());
+        assert_eq!(q.nodes().count(), 3);
+        let (sources, id, kind) = q.nodes().nth(1).unwrap();
+        assert_eq!(id, NodeId(6), "dominantFreq is replaced in place");
+        assert_eq!(sources, &[Source::Node(NodeId(1))]);
+        assert_eq!(
+            *kind,
+            AlgorithmKind::GoertzelFreq {
+                lo_hz: 980.0,
+                hi_hz: 1020.0
+            }
+        );
+    }
+
+    #[test]
+    fn narrow_band_dominant_ratio_reduces_to_goertzel_ratio() {
+        let p = parse(
+            "MIC -> window(id=1, params={1024, 1024, 0});
+             1 -> highPass(id=2, params={980});
+             2 -> lowPass(id=3, params={1020});
+             3 -> fft(id=4);
+             4 -> spectralMagnitude(id=5);
+             5 -> dominantRatio(id=6);
+             6 -> minThreshold(id=7, params={3});
+             7 -> OUT;",
+        );
+        let (q, n) = run(&p, &rates()).unwrap();
+        assert_eq!(n, 1);
+        assert!(q
+            .nodes()
+            .any(|(_, _, k)| matches!(k, AlgorithmKind::GoertzelRatio { .. })));
+    }
+
+    #[test]
+    fn dominant_heads_require_a_dc_free_band() {
+        // No high-pass: the band starts at DC, which the dominant chains
+        // skip, so there is no exactly matching probe grid. (A plain
+        // `max` head over the same shape is only stopped by the cost
+        // gate, not this guard.)
+        let p = parse(
+            "MIC -> window(id=1, params={1024, 1024, 0});
+             1 -> lowPass(id=2, params={200});
+             2 -> fft(id=3);
+             3 -> spectralMagnitude(id=4);
+             4 -> dominantFreq(id=5);
+             5 -> bandThreshold(id=6, params={50, 150});
+             6 -> OUT;",
+        );
+        assert!(run(&p, &rates()).is_none());
     }
 
     #[test]

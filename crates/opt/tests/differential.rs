@@ -171,6 +171,62 @@ proptest! {
             );
         }
     }
+
+    /// The dominant-feature heads: generated narrow-band
+    /// `dominantFreq`/`dominantRatio` chains keep detection parity
+    /// through the strength reduction. The frequency answer lives on the
+    /// bin grid, so a tie flip between near-identical bins can move it
+    /// by at most one grid step; the ratio holds the same pinned
+    /// relative tolerance as the band max.
+    #[test]
+    fn dominant_head_rewrites_keep_detection_parity(
+        size_bits in 8u32..11,
+        lo in 150.0f64..3000.0,
+        span in 10.0f64..120.0,
+        ratio_head in proptest::bool::ANY,
+    ) {
+        let size = 1u32 << size_bits;
+        let hi = lo + span;
+        let head = if ratio_head { "dominantRatio" } else { "dominantFreq" };
+        let text = format!(
+            "MIC -> window(id=1, params={{{size}, {size}, 0}});
+             1 -> highPass(id=2, params={{{lo}}});
+             2 -> lowPass(id=3, params={{{hi}}});
+             3 -> fft(id=4);
+             4 -> spectralMagnitude(id=5);
+             5 -> {head}(id=6);
+             6 -> OUT;"
+        );
+        let program: Program = text.parse().unwrap();
+        prop_assert!(program.validate().is_ok());
+        let rates = ChannelRates::default();
+        let (optimized, report) = optimize(&program, &rates, &OptOptions::aggressive());
+        if report.goertzel_rewrites == 0 {
+            assert_eq!(optimized, program);
+            return;
+        }
+        assert_eq!(report.tier, EquivalenceTier::TolerancePinned);
+        assert!(optimized.validate().is_ok());
+        let samples = size as usize * 6;
+        let before = replay(&program, samples);
+        let after = replay(&optimized, samples);
+        assert_eq!(before.len(), after.len(), "wake cadence diverges");
+        assert!(!before.is_empty(), "{head} emits once per window");
+        let mic_rate = rates.rate_of(sidewinder_sensors::SensorChannel::Mic);
+        let bin_hz = mic_rate / size as f64;
+        for ((seq_a, val_a), (seq_b, val_b)) in before.iter().zip(after.iter()) {
+            assert_eq!(seq_a, seq_b, "sequence tags diverge");
+            let slack = if ratio_head {
+                TOLERANCE * val_a.abs().max(val_b.abs()).max(1.0)
+            } else {
+                bin_hz * (1.0 + TOLERANCE)
+            };
+            assert!(
+                (val_a - val_b).abs() <= slack,
+                "{head} diverges: {val_a} vs {val_b} (band [{lo}, {hi}], window {size})"
+            );
+        }
+    }
 }
 
 /// Truncated fixture corpora: every prefix of a real fixture that still

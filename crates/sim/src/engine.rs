@@ -16,7 +16,7 @@ use sidewinder_hub::fault::{
 };
 use sidewinder_hub::link::SerialLink;
 use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
-use sidewinder_hub::HubError;
+use sidewinder_hub::{HubError, Sample};
 use sidewinder_ir::Program;
 use sidewinder_obs::{Event, EventSink, FrameOutcome, NullSink};
 use sidewinder_sensors::{Micros, SensorChannel, SensorTrace};
@@ -161,6 +161,29 @@ pub fn simulate(
     simulate_traced(trace, app, strategy, profile, config, &mut NullSink)
 }
 
+/// [`simulate`] with the hub interpreter running its vector pipeline at
+/// single precision — the hardware-faithful hub mode (the paper's MCUs
+/// have at most an f32 FPU). Phone-side strategies (Always Awake, Duty
+/// Cycling, Batching, Oracle) are unaffected: the precision parameter
+/// only governs windows and spectra buffered *on the hub*, so their
+/// results are identical to [`simulate`]. Hub-resident strategies may
+/// wake at slightly different sample positions when a feature value sits
+/// within single-precision rounding of its threshold.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if a hub wake-up condition cannot be loaded or
+/// executed on the trace.
+pub fn simulate_f32(
+    trace: &SensorTrace,
+    app: &dyn Application,
+    strategy: &Strategy,
+    profile: &PhonePowerProfile,
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    simulate_traced_f32(trace, app, strategy, profile, config, &mut NullSink)
+}
+
 /// [`simulate`] with an observability sink attached.
 ///
 /// Hub-resident strategies thread `sink` into the [`HubRuntime`], so it
@@ -176,6 +199,37 @@ pub fn simulate(
 /// Returns [`SimError`] if a hub wake-up condition cannot be loaded or
 /// executed on the trace.
 pub fn simulate_traced<S: EventSink>(
+    trace: &SensorTrace,
+    app: &dyn Application,
+    strategy: &Strategy,
+    profile: &PhonePowerProfile,
+    config: &SimConfig,
+    sink: &mut S,
+) -> Result<SimResult, SimError> {
+    simulate_traced_generic::<S, f64>(trace, app, strategy, profile, config, sink)
+}
+
+/// [`simulate_f32`] with an observability sink attached; see
+/// [`simulate_traced`] for what the sink observes.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if a hub wake-up condition cannot be loaded or
+/// executed on the trace.
+pub fn simulate_traced_f32<S: EventSink>(
+    trace: &SensorTrace,
+    app: &dyn Application,
+    strategy: &Strategy,
+    profile: &PhonePowerProfile,
+    config: &SimConfig,
+    sink: &mut S,
+) -> Result<SimResult, SimError> {
+    simulate_traced_generic::<S, f32>(trace, app, strategy, profile, config, sink)
+}
+
+/// The precision-generic replay behind [`simulate_traced`] and
+/// [`simulate_traced_f32`]: `P` is the hub's vector sample precision.
+fn simulate_traced_generic<S: EventSink, P: Sample>(
     trace: &SensorTrace,
     app: &dyn Application,
     strategy: &Strategy,
@@ -202,7 +256,7 @@ pub fn simulate_traced<S: EventSink>(
         Strategy::HubWake { program, .. } | Strategy::HubWakeDegraded { program, .. } => {
             // With no faults to degrade under, the hardened strategy *is*
             // plain hub wake-up.
-            hub_wake(trace, app, program, config, sink)?
+            hub_wake::<S, P>(trace, app, program, config, sink)?
         }
         Strategy::Oracle => {
             let spans: Vec<(Micros, Micros)> = app
@@ -441,8 +495,9 @@ fn batching(
     )
 }
 
-/// Hub-resident wake-up condition (Predefined Activity or Sidewinder).
-fn hub_wake<S: EventSink>(
+/// Hub-resident wake-up condition (Predefined Activity or Sidewinder),
+/// interpreted at vector precision `P`.
+fn hub_wake<S: EventSink, P: Sample>(
     trace: &SensorTrace,
     app: &dyn Application,
     program: &Program,
@@ -458,7 +513,7 @@ fn hub_wake<S: EventSink>(
             .ok_or(SimError::MissingChannel(channel))?;
         rates = rates.with_rate(channel, series.rate_hz());
     }
-    let mut hub = HubRuntime::load_with_sink(program, &rates, &mut *sink)?;
+    let mut hub = HubRuntime::<_, P>::load_generic(program, &rates, &mut *sink)?;
 
     // Replay samples in time order across the program's channels and
     // collect wake times. Consecutive samples from one channel are pushed
@@ -910,6 +965,34 @@ mod tests {
         let aa = run(Strategy::AlwaysAwake).average_power_mw;
         assert!(r.average_power_mw > oracle);
         assert!(r.average_power_mw < aa / 3.0);
+    }
+
+    #[test]
+    fn f32_hub_mode_detects_the_same_toy_events() {
+        let r64 = run(sidewinder());
+        let r32 = simulate_f32(
+            &toy_trace(),
+            &ToyApp,
+            &sidewinder(),
+            &PhonePowerProfile::NEXUS4,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r32.recall(), 1.0);
+        assert_eq!(r32.wake_ups, r64.wake_ups);
+        assert_eq!(r32.detections, r64.detections);
+        // Phone-side strategies are precision-independent: the hub never
+        // buffers their data, so f32 mode must be exactly f64 mode.
+        let aa64 = run(Strategy::AlwaysAwake);
+        let aa32 = simulate_f32(
+            &toy_trace(),
+            &ToyApp,
+            &Strategy::AlwaysAwake,
+            &PhonePowerProfile::NEXUS4,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(aa64, aa32);
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub use batch::{
 };
 pub use energy::{attribute_energy, attribute_energy_with_faults, AttributedRun};
 pub use engine::{
-    simulate, simulate_traced, simulate_with_faults, simulate_with_faults_traced, SimConfig,
-    SimError, SimResult,
+    simulate, simulate_f32, simulate_traced, simulate_traced_f32, simulate_with_faults,
+    simulate_with_faults_traced, SimConfig, SimError, SimResult,
 };
 pub use metrics::{DetectionStats, FaultCounters};
 pub use power::{PhonePowerProfile, PowerBreakdown};
