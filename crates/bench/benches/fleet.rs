@@ -1,0 +1,48 @@
+//! Fleet-service throughput: devices simulated per second through the
+//! full shard pipeline (spec derivation, streaming trace generation,
+//! fault-injected simulation, rollup folding), and the wire layer's
+//! submit/ack round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sidewinder_apps::StepsApp;
+use sidewinder_fleet::wire::{decode_message, encode_submit};
+use sidewinder_fleet::{run_fleet, run_shard, FleetConfig};
+use sidewinder_sensors::Micros;
+use sidewinder_sim::Application;
+use std::hint::black_box;
+
+fn bench_shard(c: &mut Criterion) {
+    let config = FleetConfig {
+        shard_size: 64,
+        device_duration: Micros::from_secs(20),
+        ..FleetConfig::new(0xBE7C4, 64)
+    };
+    let program = StepsApp::new().wake_condition();
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    group.bench_function("shard_64_devices_20s", |b| {
+        b.iter(|| run_shard(black_box(&config), black_box(&program), 0))
+    });
+    let fleet = FleetConfig {
+        shard_size: 64,
+        device_duration: Micros::from_secs(20),
+        ..FleetConfig::new(0xBE7C4, 256)
+    };
+    group.bench_function("fleet_256_devices_2_workers", |b| {
+        b.iter(|| run_fleet(black_box(&fleet), black_box(&program), 2))
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let program = StepsApp::new().wake_condition();
+    c.bench_function("wire_submit_encode_decode", |b| {
+        b.iter(|| {
+            let stream = encode_submit(black_box(&program));
+            decode_message(black_box(&stream)).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_shard, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,225 @@
+//! `fleetd` — drive the fleet simulation service from the command line.
+//!
+//! Every request goes through the wire layer ([`sidewinder_fleet::wire`])
+//! exactly as a remote client's would: conditions are framed, submitted,
+//! and acknowledged; the rollup is fetched with a framed query and
+//! decoded from the reply. CI's `fleet-smoke` job runs this binary and
+//! asserts the digest against `results/fleet_digest.json`.
+//!
+//! ```text
+//! fleetd run [--devices N] [--seed N] [--workers N] [--shard-size N]
+//!            [--duration-secs N] [--submit FILE]... [--report FILE]
+//!            [--json FILE] [--check FILE] [--write-digest FILE]
+//! ```
+//!
+//! With no `--submit`, the three accelerometer evaluation applications'
+//! wake conditions are submitted (the audio conditions would make every
+//! default device incompatible — the fleet is accelerometer-borne).
+
+use std::process::ExitCode;
+
+use sidewinder_apps::{HeadbuttsApp, StepsApp, TransitionsApp};
+use sidewinder_fleet::wire::{
+    decode_message, decode_submit_ack, encode_message, encode_query_rollup, MessageType,
+};
+use sidewinder_fleet::{FleetConfig, FleetService};
+use sidewinder_sensors::Micros;
+use sidewinder_sim::Application;
+
+struct Options {
+    devices: u64,
+    seed: u64,
+    workers: usize,
+    shard_size: u64,
+    duration_secs: u64,
+    submissions: Vec<String>,
+    report: Option<String>,
+    json: Option<String>,
+    check: Option<String>,
+    write_digest: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            devices: 10_000,
+            seed: 0x51DE_F1EE,
+            workers: 2,
+            shard_size: 1024,
+            duration_secs: 60,
+            submissions: Vec::new(),
+            report: None,
+            json: None,
+            check: None,
+            write_digest: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: fleetd run [--devices N] [--seed N] [--workers N] \
+[--shard-size N] [--duration-secs N] [--submit FILE]... [--report FILE] \
+[--json FILE] [--check FILE] [--write-digest FILE]";
+
+fn parse_u64(flag: &str, value: Option<String>) -> Result<u64, String> {
+    let value = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    let parsed = if let Some(hex) = value.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        value.parse()
+    };
+    parsed.map_err(|_| format!("{flag}: not a number: {value}"))
+}
+
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.into_iter();
+    match it.next().as_deref() {
+        Some("run") => {}
+        Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
+        None => return Err(USAGE.to_string()),
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--devices" => opts.devices = parse_u64(&arg, it.next())?,
+            "--seed" => opts.seed = parse_u64(&arg, it.next())?,
+            "--workers" => opts.workers = parse_u64(&arg, it.next())?.max(1) as usize,
+            "--shard-size" => opts.shard_size = parse_u64(&arg, it.next())?.max(1),
+            "--duration-secs" => opts.duration_secs = parse_u64(&arg, it.next())?.max(1),
+            "--submit" => opts
+                .submissions
+                .push(it.next().ok_or("--submit needs a file")?),
+            "--report" => opts.report = Some(it.next().ok_or("--report needs a file")?),
+            "--json" => opts.json = Some(it.next().ok_or("--json needs a file")?),
+            "--check" => opts.check = Some(it.next().ok_or("--check needs a file")?),
+            "--write-digest" => {
+                opts.write_digest = Some(it.next().ok_or("--write-digest needs a file")?)
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Extracts the `"digest": "0x..."` value from rollup/digest JSON.
+fn digest_in(json: &str) -> Option<String> {
+    let key = "\"digest\": \"";
+    let start = json.find(key)? + key.len();
+    let rest = &json[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn run(opts: Options) -> Result<(), String> {
+    let config = FleetConfig {
+        shard_size: opts.shard_size,
+        device_duration: Micros::from_secs(opts.duration_secs),
+        ..FleetConfig::new(opts.seed, opts.devices)
+    };
+    let mut service = FleetService::new(config).with_workers(opts.workers);
+
+    // Gather the conditions to submit: files, or the default suite.
+    let mut conditions: Vec<(String, String)> = Vec::new();
+    if opts.submissions.is_empty() {
+        for app in [
+            Box::new(StepsApp::new()) as Box<dyn Application>,
+            Box::new(TransitionsApp::new()),
+            Box::new(HeadbuttsApp::new()),
+        ] {
+            conditions.push((app.name().to_string(), app.wake_condition().to_string()));
+        }
+    } else {
+        for path in &opts.submissions {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            conditions.push((path.clone(), text));
+        }
+    }
+
+    // Submit each through the wire path, like a remote client.
+    for (name, text) in &conditions {
+        let request = encode_message(MessageType::SubmitProgram, text.as_bytes());
+        let reply = service.handle(&request);
+        let (kind, payload) =
+            decode_message(&reply).map_err(|e| format!("undecodable reply: {e}"))?;
+        match kind {
+            MessageType::SubmitAck => {
+                let ack = decode_submit_ack(&payload).map_err(|e| e.to_string())?;
+                println!(
+                    "submitted {name}: condition {} -> unique {}{} ({} active, digest {:#018x})",
+                    ack.condition_id,
+                    ack.unique_index,
+                    if ack.deduplicated {
+                        " (deduplicated)"
+                    } else {
+                        ""
+                    },
+                    ack.active_unique,
+                    ack.program_digest,
+                );
+            }
+            MessageType::ErrorReply => {
+                return Err(format!(
+                    "submission {name} rejected: {}",
+                    String::from_utf8_lossy(&payload)
+                ));
+            }
+            other => return Err(format!("unexpected reply {other:?} to submission")),
+        }
+    }
+
+    // Query the rollup (this runs the fleet), again over the wire.
+    let reply = service.handle(&encode_query_rollup());
+    let (kind, payload) = decode_message(&reply).map_err(|e| format!("undecodable reply: {e}"))?;
+    let json = match kind {
+        MessageType::RollupReply => String::from_utf8_lossy(&payload).into_owned(),
+        MessageType::ErrorReply => {
+            return Err(format!(
+                "rollup query failed: {}",
+                String::from_utf8_lossy(&payload)
+            ))
+        }
+        other => return Err(format!("unexpected reply {other:?} to rollup query")),
+    };
+    let rollup = service.run().map_err(|e| e.to_string())?.clone();
+
+    print!("{}", rollup.report());
+    if let Some(path) = &opts.report {
+        std::fs::write(path, rollup.report()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.json {
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
+    let digest = format!("{:#018x}", rollup.digest());
+    if let Some(path) = &opts.write_digest {
+        let pinned = format!(
+            "{{\n  \"devices\": {},\n  \"seed\": \"{:#x}\",\n  \"shard_size\": {},\n  \"duration_secs\": {},\n  \"digest\": \"{digest}\"\n}}\n",
+            opts.devices, opts.seed, opts.shard_size, opts.duration_secs,
+        );
+        std::fs::write(path, pinned).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("pinned digest {digest} to {path}");
+    }
+    if let Some(path) = &opts.check {
+        let pinned = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let expected = digest_in(&pinned)
+            .ok_or_else(|| format!("{path}: no \"digest\": \"0x...\" entry found"))?;
+        if expected == digest {
+            println!("digest check OK: {digest} matches {path}");
+        } else {
+            return Err(format!(
+                "digest mismatch: fleet produced {digest}, {path} pins {expected}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(args).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fleetd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

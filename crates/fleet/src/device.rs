@@ -1,0 +1,386 @@
+//! Per-device identity: archetype, seed derivation, and fault class.
+//!
+//! A fleet never stores a device table. Everything about device `i` —
+//! which kind of user carries it, what its sensor data looks like, how
+//! unreliable its hub and serial link are — is a pure function of the
+//! fleet seed and the device id, computed on demand by the shard that
+//! owns the device and discarded as soon as the device is simulated.
+//! That is what keeps a million-device run's memory bounded by the
+//! shard size rather than the fleet size.
+
+use sidewinder_apps::{HeadbuttsApp, StepsApp, TransitionsApp};
+use sidewinder_hub::fault::FaultSchedule;
+use sidewinder_sensors::{Micros, SensorTrace};
+use sidewinder_sim::Application;
+use sidewinder_tracegen::{human_trace, robot_run, HumanTraceConfig, RobotRunConfig};
+
+/// SplitMix64: the standard one-shot seed mixer. Used for every
+/// per-device derivation so that nearby device ids get statistically
+/// independent streams while remaining a pure function of the fleet
+/// seed.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a 64-bit word to a unit-interval float (53-bit mantissa).
+#[inline]
+fn unit(word: u64) -> f64 {
+    (word >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// What kind of carrier a simulated device rides on. The archetype
+/// fixes both the trace generator (motion statistics) and the
+/// application whose classifier judges the wake condition's output.
+///
+/// All four archetypes are accelerometer-borne: at fleet scale the
+/// 8 kHz microphone generators would dominate runtime for no extra
+/// coverage of the fleet machinery itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceArchetype {
+    /// A phone in a commuter's pocket: long walking bouts, transit
+    /// stretches of stillness. Runs the *Steps* classifier.
+    CommuterPhone,
+    /// A phone carried around a retail floor: the paper's most
+    /// walking-heavy subject profile. Runs the *Steps* classifier.
+    RetailPhone,
+    /// A desk worker's phone: mostly still, occasional sit/stand
+    /// transitions. Runs the *Transitions* classifier.
+    OfficePhone,
+    /// The paper's robot mount (§4.1): scripted motion with headbutt
+    /// events. Runs the *Headbutts* classifier.
+    RobotMount,
+}
+
+impl DeviceArchetype {
+    /// Every archetype, in mix order.
+    pub const ALL: [DeviceArchetype; 4] = [
+        DeviceArchetype::CommuterPhone,
+        DeviceArchetype::RetailPhone,
+        DeviceArchetype::OfficePhone,
+        DeviceArchetype::RobotMount,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceArchetype::CommuterPhone => "commuter",
+            DeviceArchetype::RetailPhone => "retail",
+            DeviceArchetype::OfficePhone => "office",
+            DeviceArchetype::RobotMount => "robot",
+        }
+    }
+
+    /// The application whose main-CPU classifier this archetype runs.
+    pub fn app(self) -> Box<dyn Application + Send + Sync> {
+        match self {
+            DeviceArchetype::CommuterPhone | DeviceArchetype::RetailPhone => {
+                Box::new(StepsApp::new())
+            }
+            DeviceArchetype::OfficePhone => Box::new(TransitionsApp::new()),
+            DeviceArchetype::RobotMount => Box::new(HeadbuttsApp::new()),
+        }
+    }
+
+    /// Generates this device's sensor trace. Streaming by construction:
+    /// the caller materializes one trace, simulates it, and drops it
+    /// before moving to the next device.
+    pub fn generate_trace(self, seed: u64, duration: Micros) -> SensorTrace {
+        match self {
+            DeviceArchetype::CommuterPhone => human_trace(&HumanTraceConfig {
+                duration,
+                walking_fraction: 0.20,
+                misc_fraction: 0.40,
+                rate_hz: 50.0,
+                seed,
+                subject: "commuter",
+            }),
+            DeviceArchetype::RetailPhone => human_trace(&HumanTraceConfig {
+                duration,
+                walking_fraction: 0.37,
+                misc_fraction: 0.30,
+                rate_hz: 50.0,
+                seed,
+                subject: "retail",
+            }),
+            DeviceArchetype::OfficePhone => human_trace(&HumanTraceConfig {
+                duration,
+                walking_fraction: 0.08,
+                misc_fraction: 0.15,
+                rate_hz: 50.0,
+                seed,
+                subject: "office",
+            }),
+            DeviceArchetype::RobotMount => robot_run(&RobotRunConfig {
+                duration,
+                idle_fraction: 0.80,
+                rate_hz: 50.0,
+                seed,
+            }),
+        }
+    }
+}
+
+/// Population weights over the four archetypes. Need not sum to one —
+/// they are normalized when sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceMix {
+    /// Weight of [`DeviceArchetype::CommuterPhone`].
+    pub commuter: f64,
+    /// Weight of [`DeviceArchetype::RetailPhone`].
+    pub retail: f64,
+    /// Weight of [`DeviceArchetype::OfficePhone`].
+    pub office: f64,
+    /// Weight of [`DeviceArchetype::RobotMount`].
+    pub robot: f64,
+}
+
+impl Default for DeviceMix {
+    fn default() -> Self {
+        DeviceMix {
+            commuter: 0.40,
+            retail: 0.25,
+            office: 0.25,
+            robot: 0.10,
+        }
+    }
+}
+
+impl DeviceMix {
+    /// Picks an archetype for a unit-interval draw.
+    pub fn pick(&self, u: f64) -> DeviceArchetype {
+        let weights = [self.commuter, self.retail, self.office, self.robot];
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return DeviceArchetype::CommuterPhone;
+        }
+        let mut mark = u.clamp(0.0, 1.0) * total;
+        for (archetype, w) in DeviceArchetype::ALL.iter().zip(weights) {
+            if !(w.is_finite() && w > 0.0) {
+                continue;
+            }
+            if mark < w {
+                return *archetype;
+            }
+            mark -= w;
+        }
+        DeviceArchetype::RobotMount
+    }
+}
+
+/// Which reliability class a device falls into, in fault-model order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// No faults: the majority of the fleet.
+    Clean,
+    /// A noisy serial link: corrupted and dropped frames, recovered by
+    /// the retry policy.
+    NoisyLink,
+    /// A hub that resets spontaneously, forcing program re-downloads.
+    FlakyHub,
+    /// A hub that is down for the whole run: the phone rides the
+    /// degraded duty-cycle fallback end to end.
+    Outage,
+}
+
+/// Population fractions for the per-device fault classes. The remainder
+/// after the three faulty classes is clean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetFaultModel {
+    /// Fraction of devices with a noisy serial link.
+    pub noisy_link: f64,
+    /// Fraction of devices whose hub resets spontaneously.
+    pub flaky_hub: f64,
+    /// Fraction of devices whose hub is down for the entire run.
+    pub outage: f64,
+    /// Frame corruption rate on noisy links.
+    pub corruption_rate: f64,
+    /// Frame drop rate on noisy links.
+    pub drop_rate: f64,
+    /// Mean interval between spontaneous resets on flaky hubs.
+    pub reset_interval: Micros,
+}
+
+impl Default for FleetFaultModel {
+    fn default() -> Self {
+        FleetFaultModel {
+            noisy_link: 0.12,
+            flaky_hub: 0.05,
+            outage: 0.03,
+            corruption_rate: 0.20,
+            drop_rate: 0.05,
+            reset_interval: Micros::from_secs(20),
+        }
+    }
+}
+
+impl FleetFaultModel {
+    /// A model where every device is fault-free.
+    pub fn none() -> Self {
+        FleetFaultModel {
+            noisy_link: 0.0,
+            flaky_hub: 0.0,
+            outage: 0.0,
+            ..FleetFaultModel::default()
+        }
+    }
+
+    /// Classifies a unit-interval draw. Faulty classes occupy the low
+    /// end of the interval so shrinking a fraction only reclassifies
+    /// devices at the class boundary.
+    pub fn classify(&self, u: f64) -> FaultClass {
+        let noisy = self.noisy_link.clamp(0.0, 1.0);
+        let flaky = self.flaky_hub.clamp(0.0, 1.0);
+        let outage = self.outage.clamp(0.0, 1.0);
+        if u < outage {
+            FaultClass::Outage
+        } else if u < outage + flaky {
+            FaultClass::FlakyHub
+        } else if u < outage + flaky + noisy {
+            FaultClass::NoisyLink
+        } else {
+            FaultClass::Clean
+        }
+    }
+
+    /// Builds the fault schedule for one device.
+    pub fn schedule_for(&self, class: FaultClass, seed: u64, duration: Micros) -> FaultSchedule {
+        match class {
+            FaultClass::Clean => FaultSchedule::none(),
+            FaultClass::NoisyLink => FaultSchedule::seeded(seed)
+                .with_frame_corruption(self.corruption_rate)
+                .with_frame_drops(self.drop_rate),
+            FaultClass::FlakyHub => {
+                FaultSchedule::seeded(seed).with_hub_resets_every(self.reset_interval)
+            }
+            FaultClass::Outage => {
+                FaultSchedule::seeded(seed).with_hub_downtime(Micros::ZERO, duration)
+            }
+        }
+    }
+}
+
+/// Everything the shard runner needs to simulate one device, derived
+/// on demand from the fleet seed — never stored fleet-wide.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Fleet-unique device id.
+    pub device_id: u64,
+    /// This device's private seed (trace generation and fault RNG).
+    pub seed: u64,
+    /// Carrier archetype.
+    pub archetype: DeviceArchetype,
+    /// Reliability class.
+    pub fault_class: FaultClass,
+    /// Fault schedule realizing the class.
+    pub faults: FaultSchedule,
+    /// Trace length.
+    pub duration: Micros,
+}
+
+impl DeviceSpec {
+    /// Derives device `device_id`'s spec from the fleet parameters.
+    pub fn derive(
+        fleet_seed: u64,
+        device_id: u64,
+        mix: &DeviceMix,
+        faults: &FleetFaultModel,
+        duration: Micros,
+    ) -> DeviceSpec {
+        let seed = splitmix64(fleet_seed ^ splitmix64(device_id.wrapping_add(1)));
+        let archetype = mix.pick(unit(splitmix64(seed ^ 0xA1)));
+        let fault_class = faults.classify(unit(splitmix64(seed ^ 0xF2)));
+        let schedule = faults.schedule_for(fault_class, splitmix64(seed ^ 0x5C), duration);
+        DeviceSpec {
+            device_id,
+            seed,
+            archetype,
+            fault_class,
+            faults: schedule,
+            duration,
+        }
+    }
+
+    /// Generates this device's trace (streaming: caller drops it after
+    /// simulating).
+    pub fn trace(&self) -> SensorTrace {
+        self.archetype.generate_trace(self.seed, self.duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_stable() {
+        // Reference values pin the mixer; changing it would silently
+        // re-shuffle every fleet.
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(1), 0x910a_2dec_8902_5cc1);
+    }
+
+    #[test]
+    fn mix_pick_covers_all_archetypes_and_is_deterministic() {
+        let mix = DeviceMix::default();
+        assert_eq!(mix.pick(0.0), DeviceArchetype::CommuterPhone);
+        assert_eq!(mix.pick(0.5), DeviceArchetype::RetailPhone);
+        assert_eq!(mix.pick(0.7), DeviceArchetype::OfficePhone);
+        assert_eq!(mix.pick(0.95), DeviceArchetype::RobotMount);
+        assert_eq!(mix.pick(1.0), DeviceArchetype::RobotMount);
+        // Degenerate all-zero mix still resolves.
+        let zero = DeviceMix {
+            commuter: 0.0,
+            retail: 0.0,
+            office: 0.0,
+            robot: 0.0,
+        };
+        assert_eq!(zero.pick(0.3), DeviceArchetype::CommuterPhone);
+    }
+
+    #[test]
+    fn fault_classes_partition_the_unit_interval() {
+        let m = FleetFaultModel::default();
+        assert_eq!(m.classify(0.0), FaultClass::Outage);
+        assert_eq!(m.classify(0.04), FaultClass::FlakyHub);
+        assert_eq!(m.classify(0.10), FaultClass::NoisyLink);
+        assert_eq!(m.classify(0.5), FaultClass::Clean);
+        let none = FleetFaultModel::none();
+        assert_eq!(none.classify(0.0), FaultClass::Clean);
+    }
+
+    #[test]
+    fn device_specs_are_pure_functions_of_seed_and_id() {
+        let mix = DeviceMix::default();
+        let faults = FleetFaultModel::default();
+        let d = Micros::from_secs(30);
+        let a = DeviceSpec::derive(7, 42, &mix, &faults, d);
+        let b = DeviceSpec::derive(7, 42, &mix, &faults, d);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.archetype, b.archetype);
+        assert_eq!(a.fault_class, b.fault_class);
+        // A different id or fleet seed moves the device seed.
+        assert_ne!(a.seed, DeviceSpec::derive(7, 43, &mix, &faults, d).seed);
+        assert_ne!(a.seed, DeviceSpec::derive(8, 42, &mix, &faults, d).seed);
+    }
+
+    #[test]
+    fn traces_regenerate_bit_identically() {
+        let mix = DeviceMix::default();
+        let faults = FleetFaultModel::none();
+        let spec = DeviceSpec::derive(11, 3, &mix, &faults, Micros::from_secs(20));
+        let t1 = spec.trace();
+        let t2 = spec.trace();
+        assert_eq!(t1.duration(), t2.duration());
+        for ch in t1.channels().collect::<Vec<_>>() {
+            assert_eq!(
+                t1.channel(ch).unwrap().samples(),
+                t2.channel(ch).unwrap().samples()
+            );
+        }
+    }
+}

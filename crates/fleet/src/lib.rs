@@ -1,0 +1,46 @@
+//! Fleet-scale simulation service for the Sidewinder reproduction.
+//!
+//! The paper evaluates one phone at a time; a platform operator cares
+//! about the *population*: what happens to wake rates, energy, and
+//! degraded-mode prevalence when a wake condition ships to a million
+//! heterogeneous, partly-faulty devices? This crate answers that by
+//! scaling the existing single-device machinery out, without loading
+//! more than a shard of it into memory at once:
+//!
+//! * [`device`] — per-device identity as a pure function of the fleet
+//!   seed: carrier archetype (trace statistics + classifier app),
+//!   private RNG seed, and reliability class realized as a
+//!   [`sidewinder_hub::fault::FaultSchedule`];
+//! * [`shard`] — the execution core: [`shard::FleetConfig`],
+//!   [`shard::run_shard`] (streaming one generated trace at a time
+//!   through [`sidewinder_sim::engine::simulate_with_faults`], panics
+//!   caught per device), and [`shard::run_fleet`] (shards fanned out
+//!   over [`sidewinder_sim::try_par_map`], merged in shard order — the
+//!   rollup digest is bit-identical at any worker count or shard size);
+//! * [`rollup`] — integer-only observability aggregates built on
+//!   [`sidewinder_obs::Histogram`]: wake-rate and power-percentile
+//!   rollups, fault totals, degraded-population fractions, and the
+//!   FNV-1a fleet digest the conformance suite pins;
+//! * [`wire`] — the service's client protocol, carried over the hub's
+//!   CRC-framed link encoding; total (typed-error) decoding;
+//! * [`service`] — [`service::FleetService`]: submissions are
+//!   optimized and structurally deduplicated on ingest
+//!   ([`sidewinder_opt::optimize_suite`]), the fleet serves the fused
+//!   join of the unique survivors, rollups are computed lazily and
+//!   cached until the served set changes.
+//!
+//! The `fleetd` binary wraps [`service::FleetService`] in a CLI that
+//! drives every request through the wire layer, so CI exercises the
+//! same byte path a remote client would.
+
+pub mod device;
+pub mod rollup;
+pub mod service;
+pub mod shard;
+pub mod wire;
+
+pub use device::{DeviceArchetype, DeviceMix, DeviceSpec, FaultClass, FleetFaultModel};
+pub use rollup::{DeviceDisposition, DeviceFailure, FleetRollup, ShardRollup, ShardSummary};
+pub use service::{FleetService, ServiceError};
+pub use shard::{run_fleet, run_shard, run_shard_with_apps, FleetConfig};
+pub use wire::{MessageType, SubmitAck, WireError};

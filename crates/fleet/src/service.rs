@@ -1,0 +1,275 @@
+//! The long-running fleet service.
+//!
+//! [`FleetService`] is the stateful core `fleetd` wraps: clients submit
+//! wake-condition programs over the wire API, the service runs every
+//! submission through the optimizing compiler's suite pass
+//! ([`sidewinder_opt::optimize_suite`]) on ingest — optimizing each
+//! program and deduplicating structural twins — and serves the fleet
+//! with the fused join of the surviving unique conditions. Rollup
+//! queries run the fleet (lazily, cached until the served program set
+//! changes) and return the deterministic [`FleetRollup`] as JSON.
+
+use sidewinder_hub::runtime::ChannelRates;
+use sidewinder_ir::Program;
+use sidewinder_opt::{optimize_suite, OptOptions, SuiteResult};
+
+use crate::rollup::FleetRollup;
+use crate::shard::{run_fleet, FleetConfig};
+use crate::wire::{
+    decode_message, decode_submit, encode_message, encode_submit_ack, MessageType, SubmitAck,
+    WireError,
+};
+
+/// A service-level failure (wire fault or empty service).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The request could not be decoded or admitted.
+    Wire(WireError),
+    /// A rollup was requested before any condition was submitted.
+    NothingSubmitted,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Wire(e) => write!(f, "{e}"),
+            ServiceError::NothingSubmitted => {
+                write!(f, "no wake condition submitted yet; nothing to run")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::Wire(e)
+    }
+}
+
+/// The fleet simulation service: ingest, optimize, dedup, run, report.
+#[derive(Debug)]
+pub struct FleetService {
+    config: FleetConfig,
+    workers: usize,
+    submissions: Vec<Program>,
+    suite: Option<SuiteResult>,
+    rollup: Option<FleetRollup>,
+}
+
+impl FleetService {
+    /// A service over `config`, initially serving nothing.
+    pub fn new(config: FleetConfig) -> FleetService {
+        FleetService {
+            config,
+            workers: 1,
+            submissions: Vec::new(),
+            suite: None,
+            rollup: None,
+        }
+    }
+
+    /// Sets the worker-thread count used for fleet runs.
+    pub fn with_workers(mut self, workers: usize) -> FleetService {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The fleet configuration being served.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Conditions submitted so far, in arrival order.
+    pub fn submissions(&self) -> &[Program] {
+        &self.submissions
+    }
+
+    /// The fused program the fleet executes, if any conditions are in.
+    pub fn served_program(&self) -> Option<Program> {
+        self.suite.as_ref().and_then(|s| s.fused())
+    }
+
+    /// Ingests one already-decoded program: validate, re-optimize the
+    /// whole suite, dedup, and describe where the submission landed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Invalid`] when the program fails validation; the
+    /// service's served set is unchanged.
+    pub fn submit_program(&mut self, program: Program) -> Result<SubmitAck, WireError> {
+        program
+            .validate_located()
+            .map_err(|e| WireError::Invalid(format!("{e}")))?;
+        let unique_before = self.suite.as_ref().map_or(0, |s| s.unique.len());
+        self.submissions.push(program);
+        let suite = optimize_suite(
+            &self.submissions,
+            &ChannelRates::default(),
+            &OptOptions::default(),
+        );
+        let condition_id = self.submissions.len() - 1;
+        let unique_index = suite.assignment[condition_id];
+        let ack = SubmitAck {
+            condition_id: condition_id as u32,
+            unique_index: unique_index as u32,
+            deduplicated: suite.unique.len() == unique_before,
+            active_unique: suite.unique.len() as u32,
+            program_digest: suite.unique[unique_index].stable_digest(),
+        };
+        self.suite = Some(suite);
+        self.rollup = None; // the served program changed
+        Ok(ack)
+    }
+
+    /// Runs the fleet under the currently served program, or returns
+    /// the cached rollup when the served set has not changed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NothingSubmitted`] when no condition is in.
+    pub fn run(&mut self) -> Result<&FleetRollup, ServiceError> {
+        if self.rollup.is_none() {
+            let program = self
+                .served_program()
+                .ok_or(ServiceError::NothingSubmitted)?;
+            self.rollup = Some(run_fleet(&self.config, &program, self.workers));
+        }
+        Ok(self.rollup.as_ref().expect("rollup just ensured"))
+    }
+
+    /// Handles one framed request and produces one framed reply:
+    /// submissions get a [`MessageType::SubmitAck`], rollup queries a
+    /// [`MessageType::RollupReply`] carrying the rollup JSON, and every
+    /// failure a [`MessageType::ErrorReply`] with the error text — the
+    /// service never panics on hostile input.
+    pub fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        match self.handle_inner(request) {
+            Ok(reply) => reply,
+            Err(e) => encode_message(MessageType::ErrorReply, e.to_string().as_bytes()),
+        }
+    }
+
+    fn handle_inner(&mut self, request: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        let (kind, payload) = decode_message(request)?;
+        match kind {
+            MessageType::SubmitProgram => {
+                let program = decode_submit(&payload)?;
+                let ack = self.submit_program(program)?;
+                Ok(encode_submit_ack(&ack))
+            }
+            MessageType::QueryRollup => {
+                let json = self.run()?.to_json();
+                Ok(encode_message(MessageType::RollupReply, json.as_bytes()))
+            }
+            other => Err(ServiceError::Wire(WireError::UnexpectedType {
+                expected: MessageType::SubmitProgram,
+                got: other,
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{encode_query_rollup, encode_submit};
+    use sidewinder_sensors::Micros;
+
+    fn tiny_service() -> FleetService {
+        let config = FleetConfig {
+            shard_size: 8,
+            device_duration: Micros::from_secs(10),
+            ..FleetConfig::new(0xBEE, 16)
+        };
+        FleetService::new(config).with_workers(2)
+    }
+
+    fn steps() -> Program {
+        "ACC_X -> movingAvg(id=1, params={10});
+         1 -> minThreshold(id=2, params={15});
+         2 -> OUT;"
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn duplicate_submissions_share_an_instance() {
+        let mut svc = tiny_service();
+        let first = svc.submit_program(steps()).unwrap();
+        assert_eq!(first.condition_id, 0);
+        assert!(!first.deduplicated);
+        assert_eq!(first.active_unique, 1);
+        // The same condition with different node ids: deduplicated.
+        let twin: Program = "ACC_X -> movingAvg(id=9, params={10});
+                             9 -> minThreshold(id=4, params={15});
+                             4 -> OUT;"
+            .parse()
+            .unwrap();
+        let second = svc.submit_program(twin).unwrap();
+        assert!(second.deduplicated);
+        assert_eq!(second.active_unique, 1);
+        assert_eq!(second.unique_index, first.unique_index);
+        assert_eq!(second.program_digest, first.program_digest);
+    }
+
+    #[test]
+    fn full_wire_round_trip_submit_then_query() {
+        let mut svc = tiny_service();
+        let reply = svc.handle(&encode_submit(&steps()));
+        let (kind, payload) = decode_message(&reply).unwrap();
+        assert_eq!(kind, MessageType::SubmitAck);
+        let ack = crate::wire::decode_submit_ack(&payload).unwrap();
+        assert_eq!(ack.active_unique, 1);
+
+        let reply = svc.handle(&encode_query_rollup());
+        let (kind, payload) = decode_message(&reply).unwrap();
+        assert_eq!(kind, MessageType::RollupReply);
+        let json = String::from_utf8(payload).unwrap();
+        assert!(json.contains("\"devices\": 16"));
+        assert!(json.contains("\"digest\": \"0x"));
+    }
+
+    #[test]
+    fn hostile_requests_get_error_replies_not_panics() {
+        let mut svc = tiny_service();
+        for request in [
+            &b""[..],
+            &[0u8; 3][..],
+            &[0xFFu8; 300][..],
+            &encode_submit(&steps())[..10],
+            &encode_message(MessageType::SubmitProgram, b"not a program")[..],
+        ] {
+            let reply = svc.handle(request);
+            let (kind, payload) = decode_message(&reply).unwrap();
+            assert_eq!(kind, MessageType::ErrorReply);
+            assert!(!payload.is_empty());
+        }
+        // A rollup query with nothing submitted is an error, not a run.
+        let reply = svc.handle(&encode_query_rollup());
+        let (kind, _) = decode_message(&reply).unwrap();
+        assert_eq!(kind, MessageType::ErrorReply);
+    }
+
+    #[test]
+    fn rollups_are_cached_until_the_served_set_changes() {
+        let mut svc = tiny_service();
+        svc.submit_program(steps()).unwrap();
+        let d1 = svc.run().unwrap().digest();
+        let d2 = svc.run().unwrap().digest();
+        assert_eq!(d1, d2);
+        // A genuinely new condition invalidates the cache and changes
+        // the served program.
+        let other: Program = "ACC_Y -> movingAvg(id=1, params={4});
+                              1 -> maxThreshold(id=2, params={-2});
+                              2 -> OUT;"
+            .parse()
+            .unwrap();
+        let ack = svc.submit_program(other).unwrap();
+        assert!(!ack.deduplicated);
+        assert_eq!(ack.active_unique, 2);
+        let d3 = svc.run().unwrap().digest();
+        assert_ne!(d1, d3);
+    }
+}

@@ -1,0 +1,345 @@
+//! The fleet's execution core: configuration, the per-shard device
+//! loop, and the parallel fleet runner.
+//!
+//! A fleet of `N` devices is split into `ceil(N / shard_size)` shards.
+//! Shards are the parallel unit: they fan out over
+//! [`sidewinder_sim::try_par_map`], so a panicking device *or* shard is
+//! caught and reported rather than killing the run. Within a shard,
+//! devices stream one at a time — derive the spec, generate the trace,
+//! simulate, fold into the rollup, drop the trace — so peak memory is
+//! one trace per worker regardless of fleet size.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use sidewinder_hub::runtime::ChannelRates;
+use sidewinder_hub::Mcu;
+use sidewinder_ir::Program;
+use sidewinder_sensors::Micros;
+use sidewinder_sim::engine::{simulate_with_faults, SimConfig};
+use sidewinder_sim::power::PhonePowerProfile;
+use sidewinder_sim::{try_par_map, Application, SimResult, Strategy};
+
+use crate::device::{DeviceArchetype, DeviceMix, DeviceSpec, FleetFaultModel};
+use crate::rollup::{DeviceDisposition, FleetRollup, ShardRollup, ShardSummary};
+
+/// Everything that defines a fleet run. Two equal configs produce
+/// bit-identical rollups at any worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Root seed every per-device derivation flows from.
+    pub seed: u64,
+    /// Number of simulated devices.
+    pub devices: u64,
+    /// Devices per shard (the parallel work unit).
+    pub shard_size: u64,
+    /// Length of each device's trace.
+    pub device_duration: Micros,
+    /// Archetype population weights.
+    pub mix: DeviceMix,
+    /// Fault-class population fractions.
+    pub faults: FleetFaultModel,
+    /// Sleep interval of the degraded duty-cycle fallback.
+    pub fallback_sleep: Micros,
+}
+
+impl FleetConfig {
+    /// A fleet of `devices` devices derived from `seed`, with default
+    /// mix, fault model, 60 s traces, and 1024-device shards.
+    pub fn new(seed: u64, devices: u64) -> FleetConfig {
+        FleetConfig {
+            seed,
+            devices,
+            shard_size: 1024,
+            device_duration: Micros::from_secs(60),
+            mix: DeviceMix::default(),
+            faults: FleetFaultModel::default(),
+            fallback_sleep: Micros::from_secs(10),
+        }
+    }
+
+    /// Number of shards the fleet splits into.
+    pub fn shards(&self) -> u64 {
+        if self.devices == 0 {
+            0
+        } else {
+            self.devices.div_ceil(self.shard_size.max(1))
+        }
+    }
+
+    /// The device-id range shard `shard` owns.
+    pub fn shard_range(&self, shard: u64) -> std::ops::Range<u64> {
+        let size = self.shard_size.max(1);
+        let start = shard * size;
+        start.min(self.devices)..((shard + 1) * size).min(self.devices)
+    }
+
+    /// Derives device `device_id`'s spec.
+    pub fn device_spec(&self, device_id: u64) -> DeviceSpec {
+        DeviceSpec::derive(
+            self.seed,
+            device_id,
+            &self.mix,
+            &self.faults,
+            self.device_duration,
+        )
+    }
+
+    /// The hub draw for serving `program`: the cheapest capable MCU, or
+    /// the big LM4F120 when even it cannot fit the program (the run
+    /// still proceeds; the cost model just charges the ceiling).
+    pub fn hub_mw_for(&self, program: &Program) -> f64 {
+        Mcu::cheapest_for(program, &ChannelRates::default())
+            .map(|m| m.awake_power_mw)
+            .unwrap_or(Mcu::LM4F120.awake_power_mw)
+    }
+
+    /// The strategy every device of the fleet runs: the submitted
+    /// condition on the hub, hardened with the degraded duty-cycle
+    /// fallback so full-outage devices keep detecting.
+    pub fn strategy_for(&self, program: &Program) -> Strategy {
+        Strategy::HubWakeDegraded {
+            program: program.clone(),
+            hub_mw: self.hub_mw_for(program),
+            label: "Sw+",
+            fallback_sleep: self.fallback_sleep,
+        }
+    }
+}
+
+/// Renders a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// One device's journey through the shard loop, before rollup folding.
+enum DeviceRun {
+    Sim(Box<Result<SimResult, sidewinder_sim::SimError>>),
+    Incompatible(String),
+}
+
+fn archetype_slot(a: DeviceArchetype) -> usize {
+    match a {
+        DeviceArchetype::CommuterPhone => 0,
+        DeviceArchetype::RetailPhone => 1,
+        DeviceArchetype::OfficePhone => 2,
+        DeviceArchetype::RobotMount => 3,
+    }
+}
+
+/// Simulates every device of shard `shard`, streaming traces one at a
+/// time, and returns the shard's rollup.
+///
+/// Panic isolation is per *device*: a device whose trace generator,
+/// classifier, or simulation panics is recorded as a
+/// [`DeviceDisposition::Panicked`] failure and the loop moves on —
+/// the UnwindSafe audit mirrors the batch runner's: the closure only
+/// touches the per-device trace and spec (dropped on unwind) and shared
+/// read-only state (`program`, apps, config), so no observable broken
+/// invariant survives the catch.
+pub fn run_shard(config: &FleetConfig, program: &Program, shard: u64) -> ShardRollup {
+    let apps: [Box<dyn Application + Send + Sync>; 4] = [
+        DeviceArchetype::CommuterPhone.app(),
+        DeviceArchetype::RetailPhone.app(),
+        DeviceArchetype::OfficePhone.app(),
+        DeviceArchetype::RobotMount.app(),
+    ];
+    run_shard_with_apps(config, program, shard, &apps)
+}
+
+/// [`run_shard`] with the archetype→application table supplied by the
+/// caller (indexed per [`DeviceArchetype::ALL`]) — the seam the
+/// conformance suite uses to plant a deliberately panicking classifier
+/// and watch it degrade to a per-device failure.
+pub fn run_shard_with_apps(
+    config: &FleetConfig,
+    program: &Program,
+    shard: u64,
+    apps: &[Box<dyn Application + Send + Sync>; 4],
+) -> ShardRollup {
+    let mut rollup = ShardRollup::new(shard);
+    let strategy = config.strategy_for(program);
+    let profile = PhonePowerProfile::default();
+    let sim_config = SimConfig::default();
+    let channels = program.channels();
+    for device_id in config.shard_range(shard) {
+        let spec = config.device_spec(device_id);
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let trace = spec.trace();
+            for &ch in &channels {
+                if !trace.has_channel(ch) {
+                    return DeviceRun::Incompatible(format!(
+                        "condition reads {ch} which the {} trace does not record",
+                        spec.archetype.label()
+                    ));
+                }
+            }
+            let app = &apps[archetype_slot(spec.archetype)];
+            DeviceRun::Sim(Box::new(simulate_with_faults(
+                &trace,
+                app.as_ref(),
+                &strategy,
+                &profile,
+                &sim_config,
+                &spec.faults,
+            )))
+        }));
+        match run {
+            Ok(DeviceRun::Sim(result)) => match *result {
+                Ok(result) => rollup.absorb_ok(spec.fault_class, &result),
+                Err(e) => {
+                    rollup.absorb_failure(device_id, DeviceDisposition::Failed, e.to_string())
+                }
+            },
+            Ok(DeviceRun::Incompatible(why)) => {
+                rollup.absorb_failure(device_id, DeviceDisposition::Incompatible, why)
+            }
+            Err(panic) => rollup.absorb_failure(
+                device_id,
+                DeviceDisposition::Panicked,
+                panic_message(&*panic),
+            ),
+        }
+    }
+    rollup
+}
+
+/// Runs the whole fleet over `workers` threads and merges the shard
+/// rollups in shard-index order.
+///
+/// Determinism: each shard's rollup is a pure function of
+/// `(config, program, shard)`, shards never share mutable state, and
+/// the merge order is the shard index — so the returned rollup (and its
+/// digest) is bit-identical at any worker count. A shard whose runner
+/// itself panics (outside any device's catch) is folded in as a shard
+/// of panicked devices rather than aborting the fleet.
+pub fn run_fleet(config: &FleetConfig, program: &Program, workers: usize) -> FleetRollup {
+    let shard_ids: Vec<u64> = (0..config.shards()).collect();
+    let results = try_par_map(workers, &shard_ids, |&shard| {
+        run_shard(config, program, shard)
+    });
+    let mut totals = ShardRollup::new(0);
+    let mut shards = Vec::with_capacity(results.len());
+    for (shard, outcome) in shard_ids.iter().zip(results) {
+        let rollup = match outcome {
+            Ok(rollup) => rollup,
+            Err(panic) => {
+                let mut lost = ShardRollup::new(*shard);
+                for device_id in config.shard_range(*shard) {
+                    lost.absorb_failure(
+                        device_id,
+                        DeviceDisposition::Panicked,
+                        format!("shard {shard} worker panicked: {}", panic.message),
+                    );
+                }
+                lost
+            }
+        };
+        shards.push(ShardSummary {
+            shard: *shard,
+            devices: rollup.devices,
+            failed: rollup.failed + rollup.panicked,
+            frames_lost: rollup.fault.frames_lost,
+            hub_resets: rollup.fault.hub_resets,
+            digest: rollup.digest(),
+        });
+        totals.merge(&rollup);
+    }
+    FleetRollup {
+        seed: config.seed,
+        totals,
+        shards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steps_condition() -> Program {
+        sidewinder_apps::StepsApp::new().wake_condition()
+    }
+
+    fn tiny_config() -> FleetConfig {
+        FleetConfig {
+            shard_size: 8,
+            device_duration: Micros::from_secs(10),
+            ..FleetConfig::new(0xF1EE7, 24)
+        }
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_fleet() {
+        let c = tiny_config();
+        assert_eq!(c.shards(), 3);
+        assert_eq!(c.shard_range(0), 0..8);
+        assert_eq!(c.shard_range(2), 16..24);
+        let uneven = FleetConfig {
+            shard_size: 10,
+            ..c.clone()
+        };
+        assert_eq!(uneven.shards(), 3);
+        assert_eq!(uneven.shard_range(2), 20..24);
+        assert_eq!(FleetConfig::new(1, 0).shards(), 0);
+    }
+
+    #[test]
+    fn shard_rollups_are_reproducible() {
+        let c = tiny_config();
+        let p = steps_condition();
+        let a = run_shard(&c, &p, 1);
+        let b = run_shard(&c, &p, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.devices, 8);
+        assert_eq!(a.devices, a.ok + a.incompatible + a.failed + a.panicked);
+    }
+
+    #[test]
+    fn fleet_digest_is_worker_count_invariant() {
+        let c = tiny_config();
+        let p = steps_condition();
+        let serial = run_fleet(&c, &p, 1);
+        let parallel = run_fleet(&c, &p, 4);
+        assert_eq!(serial.digest(), parallel.digest());
+        assert_eq!(serial.shards, parallel.shards);
+        assert_eq!(serial.totals, parallel.totals);
+    }
+
+    #[test]
+    fn fleet_digest_is_shard_size_invariant() {
+        let p = steps_condition();
+        let small = FleetConfig {
+            shard_size: 5,
+            ..tiny_config()
+        };
+        let large = FleetConfig {
+            shard_size: 24,
+            ..tiny_config()
+        };
+        let a = run_fleet(&small, &p, 2);
+        let b = run_fleet(&large, &p, 2);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.totals, b.totals);
+        assert_ne!(a.shards.len(), b.shards.len());
+    }
+
+    #[test]
+    fn incompatible_conditions_are_population_level_not_failures() {
+        // A microphone condition meets an all-accelerometer fleet.
+        let p: Program = "MIC -> movingAvg(id=1, params={8});
+                          1 -> minThreshold(id=2, params={100});
+                          2 -> OUT;"
+            .parse()
+            .unwrap();
+        let c = tiny_config();
+        let rollup = run_fleet(&c, &p, 2);
+        assert_eq!(rollup.totals.incompatible, 24);
+        assert_eq!(rollup.totals.failed, 0);
+        assert_eq!(rollup.totals.ok, 0);
+    }
+}

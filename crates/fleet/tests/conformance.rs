@@ -1,0 +1,218 @@
+//! Fleet conformance suite: the guarantees the service advertises,
+//! checked end to end.
+//!
+//! 1. Determinism — one fixed seed, workers 1/2/8: bit-identical fleet
+//!    digest *and* per-shard fault totals.
+//! 2. Degraded-mode semantics — an all-outage fleet detects exactly
+//!    what per-device duty cycling at the fallback interval detects.
+//! 3. Wire robustness — truncated and garbage submissions are typed
+//!    error replies, never panics.
+//! 4. Panic isolation — a device cell whose classifier panics degrades
+//!    to a reported per-device failure; the shard completes.
+
+use sidewinder_fleet::device::DeviceArchetype;
+use sidewinder_fleet::wire::{decode_message, encode_message, MessageType};
+use sidewinder_fleet::{
+    run_fleet, run_shard_with_apps, DeviceDisposition, FleetConfig, FleetFaultModel, FleetService,
+};
+use sidewinder_ir::Program;
+use sidewinder_sensors::Micros;
+use sidewinder_sim::engine::{simulate, SimConfig};
+use sidewinder_sim::power::PhonePowerProfile;
+use sidewinder_sim::{Application, Strategy};
+
+fn steps_condition() -> Program {
+    sidewinder_apps::StepsApp::new().wake_condition()
+}
+
+fn conformance_config() -> FleetConfig {
+    FleetConfig {
+        shard_size: 64,
+        device_duration: Micros::from_secs(20),
+        ..FleetConfig::new(0xC0FF_EE00_5EED, 512)
+    }
+}
+
+#[test]
+fn one_seed_is_bit_identical_at_1_2_and_8_workers() {
+    let config = conformance_config();
+    let program = steps_condition();
+    let baseline = run_fleet(&config, &program, 1);
+    for workers in [2, 8] {
+        let run = run_fleet(&config, &program, workers);
+        assert_eq!(
+            baseline.digest(),
+            run.digest(),
+            "fleet digest diverged at {workers} workers"
+        );
+        assert_eq!(
+            baseline.totals, run.totals,
+            "merged totals diverged at {workers} workers"
+        );
+        // Per-shard fault totals, not just the merged fleet view.
+        assert_eq!(baseline.shards.len(), run.shards.len());
+        for (a, b) in baseline.shards.iter().zip(&run.shards) {
+            assert_eq!(a.shard, b.shard);
+            assert_eq!(
+                (a.frames_lost, a.hub_resets, a.digest),
+                (b.frames_lost, b.hub_resets, b.digest),
+                "shard {} fault totals diverged at {workers} workers",
+                a.shard
+            );
+        }
+    }
+    // The fleet actually exercised the fault machinery: with the
+    // default model ~20% of 512 devices are faulty.
+    assert!(baseline.totals.fault.frames_sent > 0);
+    assert!(baseline.totals.fault.hub_resets > 0);
+    assert!(baseline.totals.degraded_devices > 0);
+    assert_eq!(baseline.totals.devices, 512);
+    assert_eq!(baseline.totals.failed + baseline.totals.panicked, 0);
+}
+
+#[test]
+fn all_outage_fleet_detects_exactly_like_duty_cycling() {
+    // Every hub down for the whole run: each device rides the degraded
+    // duty-cycle fallback end to end, so the fleet's detections must
+    // equal per-device DutyCycle at the fallback interval.
+    let config = FleetConfig {
+        faults: FleetFaultModel {
+            noisy_link: 0.0,
+            flaky_hub: 0.0,
+            outage: 1.0,
+            ..FleetFaultModel::default()
+        },
+        shard_size: 8,
+        device_duration: Micros::from_secs(20),
+        ..FleetConfig::new(0xD0_D0, 24)
+    };
+    let program = steps_condition();
+    let rollup = run_fleet(&config, &program, 2);
+    assert_eq!(rollup.totals.outage_devices, config.devices);
+    assert_eq!(rollup.totals.degraded_devices, config.devices);
+    assert!((rollup.degraded_fraction() - 1.0).abs() < 1e-12);
+
+    // Ground truth: simulate each device under plain DutyCycle.
+    let duty = Strategy::DutyCycle {
+        sleep: config.fallback_sleep,
+    };
+    let profile = PhonePowerProfile::default();
+    let sim_config = SimConfig::default();
+    let mut expected_detections = 0u64;
+    let mut expected_wake_ups = 0u64;
+    for device_id in 0..config.devices {
+        let spec = config.device_spec(device_id);
+        let trace = spec.trace();
+        let app = spec.archetype.app();
+        let r = simulate(&trace, app.as_ref(), &duty, &profile, &sim_config).unwrap();
+        expected_detections += r.stats.detections as u64;
+        expected_wake_ups += r.wake_ups as u64;
+    }
+    assert_eq!(rollup.totals.detections, expected_detections);
+    assert_eq!(rollup.totals.wake_ups, expected_wake_ups);
+}
+
+#[test]
+fn truncated_and_garbage_submissions_are_rejected_without_panicking() {
+    let mut service = FleetService::new(FleetConfig {
+        device_duration: Micros::from_secs(5),
+        ..FleetConfig::new(1, 4)
+    });
+    let good = encode_message(
+        MessageType::SubmitProgram,
+        steps_condition().to_string().as_bytes(),
+    );
+    // Every truncation of a valid submission.
+    for cut in 0..good.len() {
+        let reply = service.handle(&good[..cut]);
+        let (kind, payload) = decode_message(&reply).expect("replies are well-formed");
+        assert_eq!(kind, MessageType::ErrorReply, "cut at {cut}");
+        assert!(!payload.is_empty());
+    }
+    // Deterministic pseudo-garbage of assorted lengths.
+    let mut x = 0x1234_5678_9abc_def0u64;
+    for len in [1usize, 7, 64, 68, 136, 500] {
+        let garbage: Vec<u8> = (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let reply = service.handle(&garbage);
+        let (kind, _) = decode_message(&reply).expect("replies are well-formed");
+        assert_eq!(kind, MessageType::ErrorReply, "garbage of length {len}");
+    }
+    // The service is still healthy: a real submission now succeeds.
+    let reply = service.handle(&good);
+    let (kind, _) = decode_message(&reply).unwrap();
+    assert_eq!(kind, MessageType::SubmitAck);
+}
+
+/// A classifier that panics on every call — the hostile device cell.
+struct ExplodingApp;
+
+impl Application for ExplodingApp {
+    fn name(&self) -> &str {
+        "exploding"
+    }
+    fn target_kinds(&self) -> Vec<sidewinder_sensors::EventKind> {
+        vec![sidewinder_sensors::EventKind::Walking]
+    }
+    fn classify(
+        &self,
+        _trace: &sidewinder_sensors::SensorTrace,
+        _start: Micros,
+        _end: Micros,
+    ) -> Vec<Micros> {
+        panic!("classifier blew up");
+    }
+    fn wake_condition(&self) -> Program {
+        steps_condition()
+    }
+    fn wake_condition_hub_mw(&self) -> f64 {
+        3.6
+    }
+}
+
+#[test]
+fn a_panicking_device_cell_is_a_reported_failure_not_a_crash() {
+    let config = FleetConfig {
+        faults: FleetFaultModel::none(),
+        shard_size: 16,
+        device_duration: Micros::from_secs(10),
+        ..FleetConfig::new(0xBAD, 16)
+    };
+    let program = steps_condition();
+    // Plant the exploding classifier behind every archetype slot.
+    let apps: [Box<dyn Application + Send + Sync>; 4] = [
+        Box::new(ExplodingApp),
+        Box::new(ExplodingApp),
+        Box::new(ExplodingApp),
+        Box::new(ExplodingApp),
+    ];
+    let rollup = run_shard_with_apps(&config, &program, 0, &apps);
+    // The shard ran to completion; every panicking cell is accounted.
+    assert_eq!(rollup.devices, 16);
+    assert_eq!(rollup.ok + rollup.panicked, 16);
+    assert!(rollup.panicked > 0, "at least one cell hit the classifier");
+    let sample = rollup
+        .failures
+        .iter()
+        .find(|f| f.disposition == DeviceDisposition::Panicked)
+        .expect("a panic sample is retained");
+    assert!(sample.message.contains("classifier blew up"));
+
+    // Healthy archetype table over the same config: zero failures, so
+    // the panics above came from the planted classifier alone.
+    let healthy: [Box<dyn Application + Send + Sync>; 4] = [
+        DeviceArchetype::CommuterPhone.app(),
+        DeviceArchetype::RetailPhone.app(),
+        DeviceArchetype::OfficePhone.app(),
+        DeviceArchetype::RobotMount.app(),
+    ];
+    let clean = run_shard_with_apps(&config, &program, 0, &healthy);
+    assert_eq!(clean.panicked, 0);
+    assert_eq!(clean.ok, 16);
+}

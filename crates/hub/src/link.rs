@@ -87,6 +87,105 @@ pub fn corrupt_bit(frame: &mut [u8], bit: usize) {
     frame[byte] ^= 1 << (bit % 8);
 }
 
+/// Why a concatenated frame stream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameStreamError {
+    /// The stream ended mid-frame: frame `index` declares `expected`
+    /// bytes but only `got` remain.
+    Truncated {
+        /// Zero-based index of the incomplete frame.
+        index: usize,
+        /// Bytes the frame header declares.
+        expected: usize,
+        /// Bytes actually remaining in the stream.
+        got: usize,
+    },
+    /// Frame `index` is structurally invalid or fails its CRC.
+    BadFrame {
+        /// Zero-based index of the rejected frame.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for FrameStreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameStreamError::Truncated {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "frame {index} truncated: header declares {expected} bytes, {got} remain"
+            ),
+            FrameStreamError::BadFrame { index } => {
+                write!(f, "frame {index} rejected: bad framing or CRC mismatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameStreamError {}
+
+/// Encodes an arbitrary-length payload as a concatenation of
+/// CRC-protected frames — the on-the-wire form of any message larger
+/// than one frame (a program download, a rollup reply). An empty payload
+/// still costs one empty frame, mirroring [`frames_for`].
+pub fn encode_frame_stream(payload: &[u8]) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(payload.len() + frames_for(payload.len()) * FRAME_OVERHEAD_BYTES);
+    let mut chunks = payload.chunks(FRAME_PAYLOAD_BYTES);
+    // `chunks` yields nothing for an empty payload; emit the one empty
+    // frame explicitly.
+    if payload.is_empty() {
+        out.extend_from_slice(&encode_frame(&[]));
+        return out;
+    }
+    for chunk in &mut chunks {
+        out.extend_from_slice(&encode_frame(chunk));
+    }
+    out
+}
+
+/// Decodes a concatenation of CRC-protected frames back into the
+/// original payload. Total on arbitrary bytes: truncated or corrupted
+/// input yields a typed [`FrameStreamError`], never a panic.
+///
+/// # Errors
+///
+/// Returns [`FrameStreamError::Truncated`] when the stream ends
+/// mid-frame and [`FrameStreamError::BadFrame`] when a frame fails its
+/// structural checks or CRC.
+pub fn decode_frame_stream(mut bytes: &[u8]) -> Result<Vec<u8>, FrameStreamError> {
+    let mut payload = Vec::new();
+    let mut index = 0usize;
+    while !bytes.is_empty() {
+        if bytes.len() < 2 {
+            return Err(FrameStreamError::Truncated {
+                index,
+                expected: FRAME_OVERHEAD_BYTES,
+                got: bytes.len(),
+            });
+        }
+        let frame_len = bytes[1] as usize + FRAME_OVERHEAD_BYTES;
+        if bytes.len() < frame_len {
+            return Err(FrameStreamError::Truncated {
+                index,
+                expected: frame_len,
+                got: bytes.len(),
+            });
+        }
+        let (frame, rest) = bytes.split_at(frame_len);
+        match verify_frame(frame) {
+            Some(chunk) => payload.extend_from_slice(chunk),
+            None => return Err(FrameStreamError::BadFrame { index }),
+        }
+        bytes = rest;
+        index += 1;
+    }
+    Ok(payload)
+}
+
 /// A serial link with a fixed symbol rate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SerialLink {
@@ -252,6 +351,49 @@ mod tests {
         let mut frame = encode_frame(b"ok");
         frame.pop();
         assert_eq!(verify_frame(&frame), None);
+    }
+
+    #[test]
+    fn frame_streams_round_trip() {
+        for len in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let stream = encode_frame_stream(&payload);
+            assert_eq!(
+                stream.len(),
+                payload.len() + frames_for(payload.len()) * FRAME_OVERHEAD_BYTES,
+                "len {len}"
+            );
+            assert_eq!(decode_frame_stream(&stream), Ok(payload), "len {len}");
+        }
+    }
+
+    #[test]
+    fn truncated_streams_are_typed_errors() {
+        let stream = encode_frame_stream(&[0xAB; 100]);
+        // Chop mid-second-frame.
+        let cut = &stream[..stream.len() - 3];
+        match decode_frame_stream(cut) {
+            Err(FrameStreamError::Truncated { index: 1, .. }) => {}
+            other => panic!("expected Truncated at frame 1, got {other:?}"),
+        }
+        // A bare header fragment.
+        assert!(matches!(
+            decode_frame_stream(&[0x7E]),
+            Err(FrameStreamError::Truncated { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_streams_are_typed_errors() {
+        let mut stream = encode_frame_stream(b"hello hub");
+        stream[4] ^= 0x40;
+        assert_eq!(
+            decode_frame_stream(&stream),
+            Err(FrameStreamError::BadFrame { index: 0 })
+        );
+        // Garbage that never had frame structure. 0xFF is not a valid
+        // start-of-frame byte, and the length byte points past the end.
+        assert!(decode_frame_stream(&[0xFF; 7]).is_err());
     }
 
     #[test]

@@ -669,6 +669,22 @@ impl Program {
         out
     }
 
+    /// A stable 64-bit digest of the program: FNV-1a over the canonical
+    /// printed form. Because `parse ∘ print` is the identity, two
+    /// programs have equal digests exactly when their canonical texts
+    /// are equal — the key a fleet ingest path uses to acknowledge and
+    /// deduplicate submitted wake conditions across the wire.
+    pub fn stable_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in self.to_string().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
     /// Whether the program contains an FFT-family stage (`fft`, `ifft`,
     /// `lowPass`, `highPass`). The MCU capability model uses this: the
     /// MSP430 cannot run FFT stages in real time (paper §4).
@@ -932,6 +948,32 @@ ACC_Z -> movingAvg(id=3, params={10});
         assert_eq!(p.channels(), vec![SensorChannel::Mic]);
         assert!(p.uses_fft());
         assert_eq!(p.nodes().count(), 2);
+    }
+
+    #[test]
+    fn stable_digest_tracks_canonical_text() {
+        let a: Program = "ACC_X -> movingAvg(id=1, params={10});\n1 -> OUT;\n"
+            .parse()
+            .unwrap();
+        // Same canonical text regardless of the surface form it was
+        // parsed from: same digest.
+        let b: Program = "ACC_X   ->   movingAvg( id = 1 , params = {10} ) ;  1 -> OUT;"
+            .parse()
+            .unwrap();
+        assert_eq!(a.stable_digest(), b.stable_digest());
+        // A parameter change is a different program.
+        let c: Program = "ACC_X -> movingAvg(id=1, params={11});\n1 -> OUT;\n"
+            .parse()
+            .unwrap();
+        assert_ne!(a.stable_digest(), c.stable_digest());
+        // FNV-1a of the canonical text, pinned so the wire protocol's
+        // acks stay stable across refactors.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in a.to_string().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(a.stable_digest(), hash);
     }
 
     #[test]

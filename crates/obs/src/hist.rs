@@ -1,10 +1,16 @@
-//! Fixed-bucket latency histograms.
+//! Fixed-bucket power-of-two histograms.
 //!
-//! Buckets are powers of two over nanoseconds: bucket `i` counts values
-//! in `[2^i, 2^(i+1))`, with bucket 0 also absorbing zero. Everything is
+//! Buckets are powers of two: bucket `i` counts values in
+//! `[2^i, 2^(i+1))`, with bucket 0 also absorbing zero. Everything is
 //! a plain array — no allocation ever, `no_std`-friendly — so recording
 //! into one from the interpreter hot path cannot disturb the hub's
 //! zero-allocation guarantee.
+//!
+//! The canonical unit is nanoseconds (node timings), but the scheme is
+//! unit-agnostic: any non-negative integer magnitude buckets the same
+//! way, and the fleet layer reuses [`Histogram`] for per-device energy
+//! (microwatts) and wake-count population rollups. The `_ns` accessor
+//! names stay — they read as "in the recorded unit".
 
 /// Number of power-of-two buckets; covers sub-nanosecond through ~2 s.
 pub const BUCKETS: usize = 32;
@@ -83,6 +89,28 @@ impl Histogram {
         &self.buckets
     }
 
+    /// The half-open value range `[lower, upper)` bucket `i` counts —
+    /// what a rollup report prints next to each non-empty bucket.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        let lower = if i == 0 { 0 } else { 1u64 << i };
+        let upper = 1u64 << (i + 1).min(63);
+        (lower, upper)
+    }
+
+    /// The non-empty buckets as `(lower, upper, count)` rows, in
+    /// ascending value order — the compact distribution view a fleet
+    /// report renders.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+
     /// Upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`): the
     /// exclusive upper edge of the bucket containing that rank. Zero when
     /// empty.
@@ -153,6 +181,19 @@ mod tests {
         assert_eq!(h.quantile_upper_ns(0.5), 16);
         assert_eq!(h.quantile_upper_ns(1.0), 1 << 21);
         assert_eq!(Histogram::new().quantile_upper_ns(0.5), 0);
+    }
+
+    #[test]
+    fn bucket_bounds_and_nonzero_rows() {
+        assert_eq!(Histogram::bucket_bounds(0), (0, 2));
+        assert_eq!(Histogram::bucket_bounds(3), (8, 16));
+        assert_eq!(Histogram::bucket_bounds(BUCKETS - 1), (1 << 31, 1 << 32));
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(10);
+        let rows: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(rows, vec![(0, 2, 2), (8, 16, 1)]);
     }
 
     #[test]

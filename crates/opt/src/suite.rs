@@ -38,6 +38,20 @@ impl SuiteResult {
     pub fn shared(&self) -> usize {
         self.programs.len() - self.unique.len()
     }
+
+    /// Fuses the deduplicated survivors into one runnable program — the
+    /// form a serving path (one hub, or every simulated hub of a fleet)
+    /// actually executes after ingest-time optimization: optimize each
+    /// submission, drop structural duplicates, then join what remains
+    /// with `anyOf` so a wake from any constituent condition wakes the
+    /// phone. Returns `None` when nothing was submitted.
+    pub fn fused(&self) -> Option<Program> {
+        if self.unique.is_empty() {
+            None
+        } else {
+            Some(fuse_programs(&self.unique))
+        }
+    }
 }
 
 /// Merges several wake conditions into one IR program: each input is
@@ -179,6 +193,40 @@ mod tests {
         let suite = optimize_suite(&[a, b], &ChannelRates::default(), &OptOptions::default());
         assert_eq!(suite.unique.len(), 1);
         assert_eq!(suite.shared(), 1);
+    }
+
+    #[test]
+    fn suite_fused_is_the_servable_join_of_the_unique_set() {
+        let a = parse(
+            "ACC_X -> movingAvg(id=1, params={10});
+             1 -> minThreshold(id=2, params={15});
+             2 -> OUT;",
+        );
+        // A renamed duplicate of `a` plus one genuinely distinct
+        // condition: the fused serving program joins two uniques.
+        let a2 = parse(
+            "ACC_X -> movingAvg(id=4, params={10});
+             4 -> minThreshold(id=8, params={15});
+             8 -> OUT;",
+        );
+        let b = parse(
+            "ACC_Y -> movingAvg(id=1, params={3});
+             1 -> maxThreshold(id=2, params={-3});
+             2 -> OUT;",
+        );
+        let suite = optimize_suite(
+            &[a, a2, b],
+            &ChannelRates::default(),
+            &OptOptions::default(),
+        );
+        assert_eq!(suite.unique.len(), 2);
+        let fused = suite.fused().expect("two unique programs fuse");
+        assert!(fused.validate().is_ok());
+        assert_eq!(fused, fuse_programs(&suite.unique));
+
+        // Empty ingest: nothing to serve.
+        let empty = optimize_suite(&[], &ChannelRates::default(), &OptOptions::default());
+        assert!(empty.fused().is_none());
     }
 
     #[test]

@@ -290,6 +290,60 @@ impl JobSpec {
             result,
         }
     }
+
+    /// [`JobSpec::run`] with a second, outer panic guard: the inner guard
+    /// covers the simulation, but [`JobOutcome`] construction still calls
+    /// application code (`name()`), which a hostile [`Application`] can
+    /// panic in. Any panic escaping [`JobSpec::run`] becomes a
+    /// [`JobError::Panicked`] outcome instead of poisoning the worker —
+    /// the per-cell isolation the runner advertises must hold even there.
+    fn run_isolated(&self) -> JobOutcome {
+        let started = Instant::now();
+        // UnwindSafe audit: `self` is only read across the boundary, and
+        // on panic every value the closure produced is discarded — the
+        // synthesized outcome below is built solely from the `JobSpec`.
+        catch_unwind(AssertUnwindSafe(|| self.run())).unwrap_or_else(|panic| JobOutcome {
+            index: self.index,
+            app_idx: self.app_idx,
+            strategy_idx: self.strategy_idx,
+            trace_idx: self.trace_idx,
+            config_idx: self.config_idx,
+            app: guarded_name(|| self.app.name().to_string(), "<app name panicked>"),
+            strategy: guarded_name(|| self.strategy.label(), "<strategy label panicked>"),
+            trace: self.trace.name().to_string(),
+            elapsed: started.elapsed(),
+            result: Err(JobError::Panicked(panic_message(&*panic))),
+        })
+    }
+
+    /// The outcome recorded for a job whose worker never filled its slot.
+    fn lost_outcome(&self) -> JobOutcome {
+        let app = guarded_name(|| self.app.name().to_string(), "<app name panicked>");
+        let strategy = guarded_name(|| self.strategy.label(), "<strategy label panicked>");
+        let trace = self.trace.name().to_string();
+        JobOutcome {
+            index: self.index,
+            app_idx: self.app_idx,
+            strategy_idx: self.strategy_idx,
+            trace_idx: self.trace_idx,
+            config_idx: self.config_idx,
+            app: app.clone(),
+            strategy: strategy.clone(),
+            trace: trace.clone(),
+            elapsed: Duration::ZERO,
+            result: Err(JobError::Lost {
+                app,
+                strategy,
+                trace,
+            }),
+        }
+    }
+}
+
+/// Evaluates a display-name closure, substituting `fallback` if it
+/// panics — failure reporting must never introduce a second panic.
+fn guarded_name(f: impl FnOnce() -> String, fallback: &str) -> String {
+    catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|_| fallback.to_string())
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
@@ -310,6 +364,17 @@ pub enum JobError {
     Sim(SimError),
     /// The application code panicked; the payload message is preserved.
     Panicked(String),
+    /// The cell's worker never reported an outcome — the job was lost.
+    /// Carries the cell's identity so a fleet-scale sweep can say *which*
+    /// device shard vanished rather than aborting on an anonymous slot.
+    Lost {
+        /// Application name of the lost cell.
+        app: String,
+        /// Strategy label of the lost cell.
+        strategy: String,
+        /// Trace name of the lost cell.
+        trace: String,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -317,6 +382,15 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Sim(e) => write!(f, "{e}"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Lost {
+                app,
+                strategy,
+                trace,
+            } => write!(
+                f,
+                "job lost: worker never reported an outcome for cell \
+                 (app {app} / strategy {strategy} / trace {trace})"
+            ),
         }
     }
 }
@@ -483,7 +557,7 @@ impl BatchRunner {
         if workers == 1 {
             // Run on the calling thread: same code path, no pool.
             for job in &jobs {
-                let _ = slots[job.index].set(job.run());
+                let _ = slots[job.index].set(job.run_isolated());
             }
         } else {
             std::thread::scope(|scope| {
@@ -491,61 +565,143 @@ impl BatchRunner {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else { break };
-                        let _ = slots[i].set(job.run());
+                        let _ = slots[i].set(job.run_isolated());
                     });
                 }
             });
         }
 
-        let outcomes: Vec<JobOutcome> = slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every job slot is filled"))
-            .collect();
         BatchReport {
-            outcomes,
+            outcomes: collect_outcomes(slots, &jobs),
             elapsed: started.elapsed(),
             workers,
         }
     }
 }
 
-/// Order-preserving parallel map over the runner's worker pool — for
-/// sweep-shaped work that is not a [`simulate`](crate::engine::simulate) call (pipeline-cost
-/// analysis, concurrent-app simulation, trace synthesis). `f` must not
-/// panic; a panicking `f` aborts the whole map, unlike the isolated
-/// cells of [`BatchRunner::run`].
-pub fn par_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+/// Drains the outcome slots in spec order. A slot its worker never filled
+/// — only reachable if a job was lost wholesale, since `run_isolated`
+/// converts every panic into an outcome — becomes a typed
+/// [`JobError::Lost`] failure naming the (app, strategy, trace) cell,
+/// never an anonymous panic.
+fn collect_outcomes(slots: Vec<OnceLock<JobOutcome>>, jobs: &[JobSpec]) -> Vec<JobOutcome> {
+    slots
+        .into_iter()
+        .zip(jobs)
+        .map(|(slot, job)| slot.into_inner().unwrap_or_else(|| job.lost_outcome()))
+        .collect()
+}
+
+/// A panic caught while mapping one item of [`try_par_map`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, rendered to a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Order-preserving parallel map with per-item panic isolation — for
+/// sweep-shaped work that is not a [`simulate`](crate::engine::simulate)
+/// call (pipeline-cost analysis, concurrent-app simulation, trace
+/// synthesis, fleet shards). A panicking `f` costs exactly the item it
+/// panicked on: every other item still completes, and the panic comes
+/// back as a [`JobPanic`] in that item's slot — the same per-cell
+/// isolation [`BatchRunner::run`] gives sweep cells.
+///
+/// UnwindSafe audit: `f` and the items cross the unwind boundary by
+/// shared reference only, and a panicked item's partial results are
+/// discarded wholesale (its slot holds the error, never a value), so no
+/// broken invariant is observable afterwards. `f` is re-invoked for
+/// *other* items after a panic; captures whose invariants a panic can
+/// break mid-update (e.g. a poisoned lock) are `f`'s own contract, as
+/// with [`BatchRunner::run`].
+pub fn try_par_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<Result<R, JobPanic>>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
     let workers = workers.min(items.len()).max(1);
+    let guarded = |i: usize, item: &T| {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|panic| JobPanic {
+            index: i,
+            message: panic_message(&*panic),
+        })
+    };
     if workers == 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        local.push((i, f(item)));
-                    }
-                    local
-                })
-            })
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| guarded(i, item))
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("par_map worker panicked"))
-            .collect()
+    }
+    // Slot-based collection (not per-thread vectors joined at the end):
+    // each finished item is immediately safe in its slot, so even a
+    // worker failing in an unforeseen way cannot take completed results
+    // down with it. (`Mutex<Option<R>>` rather than `OnceLock`: the lock
+    // is uncontended — each index is claimed by exactly one worker — and
+    // it only asks `R: Send` of the result type.)
+    let slots: Vec<std::sync::Mutex<Option<Result<R, JobPanic>>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = guarded(i, item);
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(result);
+                }
+            });
+        }
     });
-    indexed.sort_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    Err(JobPanic {
+                        index: i,
+                        message: "item's worker never reported a result".to_string(),
+                    })
+                })
+        })
+        .collect()
+}
+
+/// Order-preserving parallel map over the runner's worker pool.
+///
+/// Built on [`try_par_map`], so one panicking item no longer kills the
+/// other workers mid-flight: every healthy item completes first, then
+/// the first panic (in item order) is re-raised on the calling thread
+/// with its original payload message. Callers that need the healthy
+/// results alongside the failures should call [`try_par_map`] directly.
+///
+/// # Panics
+///
+/// Panics if `f` panicked on any item.
+pub fn par_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_par_map(workers, items, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|p| panic!("par_map {p}")))
+        .collect()
 }
 
 #[cfg(test)]
@@ -801,6 +957,132 @@ mod tests {
         // Degenerate pools.
         assert_eq!(par_map(1, &items, |&x| x + 1).len(), 100);
         assert!(par_map(4, &[] as &[u64], |&x| x).is_empty());
+    }
+
+    #[test]
+    fn try_par_map_isolates_a_panicking_item() {
+        // One poisoned item among healthy ones: every healthy item's
+        // result survives, the poisoned one carries its panic payload.
+        let items: Vec<u64> = (0..50).collect();
+        for workers in [1, 2, 8] {
+            let results = try_par_map(workers, &items, |&x| {
+                if x == 17 {
+                    panic!("device {x} exploded");
+                }
+                x * 3
+            });
+            assert_eq!(results.len(), 50);
+            for (i, r) in results.iter().enumerate() {
+                if i == 17 {
+                    let err = r.as_ref().expect_err("item 17 panicked");
+                    assert_eq!(err.index, 17);
+                    assert!(err.message.contains("device 17 exploded"), "{err}");
+                } else {
+                    assert_eq!(*r, Ok(i as u64 * 3));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "item 3 panicked: kaboom")]
+    fn par_map_reraises_the_first_panic_in_item_order() {
+        let items: Vec<u64> = (0..8).collect();
+        par_map(4, &items, |&x| {
+            if x >= 3 {
+                panic!("kaboom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn lost_job_slots_become_typed_per_cell_failures() {
+        let jobs = toy_spec().jobs();
+        let slots: Vec<OnceLock<JobOutcome>> = jobs.iter().map(|_| OnceLock::new()).collect();
+        // Fill every slot except job 4 (Oracle on trace "b"), simulating
+        // a worker that vanished mid-cell.
+        for job in &jobs {
+            if job.index != 4 {
+                let _ = slots[job.index].set(job.run());
+            }
+        }
+        let outcomes = collect_outcomes(slots, &jobs);
+        assert_eq!(outcomes.len(), jobs.len());
+        let lost = &outcomes[4];
+        assert_eq!(lost.app, "toy");
+        assert_eq!(lost.strategy, "Oracle");
+        assert_eq!(lost.trace, "b");
+        match &lost.result {
+            Err(JobError::Lost {
+                app,
+                strategy,
+                trace,
+            }) => {
+                assert_eq!(
+                    (app.as_str(), strategy.as_str(), trace.as_str()),
+                    ("toy", "Oracle", "b")
+                );
+            }
+            other => panic!("expected JobError::Lost, got {other:?}"),
+        }
+        let rendered = lost.result.as_ref().unwrap_err().to_string();
+        assert!(rendered.contains("app toy"), "{rendered}");
+        assert!(rendered.contains("strategy Oracle"), "{rendered}");
+        assert!(rendered.contains("trace b"), "{rendered}");
+        // Every other cell still succeeded.
+        assert_eq!(outcomes.iter().filter(|o| o.result.is_ok()).count(), 8);
+    }
+
+    /// An application that panics *outside* the simulation — in `name()`
+    /// during outcome construction — must still degrade to a recorded
+    /// per-cell failure, not a poisoned worker.
+    struct HostileNameApp {
+        armed: std::sync::atomic::AtomicBool,
+    }
+
+    impl Application for HostileNameApp {
+        fn name(&self) -> &str {
+            // First call (outcome construction after a successful run)
+            // panics; later calls (failure reporting) succeed so the
+            // fallback path is exercised deterministically.
+            if !self.armed.swap(true, Ordering::Relaxed) {
+                panic!("name() exploded")
+            }
+            "hostile"
+        }
+        fn target_kinds(&self) -> Vec<EventKind> {
+            vec![EventKind::Headbutt]
+        }
+        fn classify(&self, _: &SensorTrace, _: Micros, _: Micros) -> Vec<Micros> {
+            Vec::new()
+        }
+        fn wake_condition(&self) -> Program {
+            ToyApp.wake_condition()
+        }
+        fn wake_condition_hub_mw(&self) -> f64 {
+            3.6
+        }
+    }
+
+    #[test]
+    fn panics_in_outcome_construction_are_isolated_too() {
+        let spec = SweepSpec::new()
+            .app(HostileNameApp {
+                armed: std::sync::atomic::AtomicBool::new(false),
+            })
+            .trace(toy_trace("t"))
+            .strategy(Strategy::AlwaysAwake);
+        let report = BatchRunner::new().workers(2).run(&spec);
+        assert_eq!(report.len(), 1);
+        let outcome = &report.outcomes()[0];
+        match &outcome.result {
+            Err(JobError::Panicked(msg)) => {
+                assert!(msg.contains("name() exploded"), "msg = {msg:?}")
+            }
+            other => panic!("expected panic outcome, got {other:?}"),
+        }
+        assert_eq!(outcome.app, "hostile");
     }
 
     #[test]

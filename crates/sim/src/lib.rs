@@ -47,7 +47,8 @@ pub mod strategy;
 
 pub use app::Application;
 pub use batch::{
-    par_map, BatchReport, BatchRunner, JobError, JobOutcome, JobSpec, SharedApp, SweepSpec,
+    par_map, try_par_map, BatchReport, BatchRunner, JobError, JobOutcome, JobPanic, JobSpec,
+    SharedApp, SweepSpec,
 };
 pub use energy::{attribute_energy, attribute_energy_with_faults, AttributedRun};
 pub use engine::{

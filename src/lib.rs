@@ -32,6 +32,10 @@
 //!   elimination, and Goertzel strength reduction, built on the
 //!   linter's abstract-interpretation facts;
 //! * [`sim`] — the trace-driven power/recall simulator;
+//! * [`fleet`] — the fleet-scale simulation service: sharded
+//!   hundred-thousand-device runs over the batch engine with streaming
+//!   trace generation, per-device fault schedules, a framed wire API,
+//!   and deterministic observability rollups;
 //! * [`obs`] — the observability layer: structured event sinks,
 //!   per-node counters and timing histograms, energy ledgers, and the
 //!   Chrome-tracing timeline exporter.
@@ -71,6 +75,7 @@
 pub use sidewinder_apps as apps;
 pub use sidewinder_core as core;
 pub use sidewinder_dsp as dsp;
+pub use sidewinder_fleet as fleet;
 pub use sidewinder_hub as hub;
 pub use sidewinder_ir as ir;
 pub use sidewinder_lint as lint;
