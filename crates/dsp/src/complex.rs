@@ -2,138 +2,12 @@
 //!
 //! The crate deliberately avoids external numeric dependencies (see the
 //! crate-level docs), so it carries its own small [`Complex`] type with just
-//! the arithmetic the transforms need.
+//! the arithmetic the transforms need. The implementation lives in
+//! `sidewinder-mcu` (the `no_std` hub core) because the on-device
+//! interpreter does complex arithmetic too; this module re-exports it so
+//! host-side code keeps its historical `sidewinder_dsp::complex` path.
 
-use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
-
-/// A complex number with `f64` components.
-///
-/// # Example
-///
-/// ```
-/// use sidewinder_dsp::Complex;
-///
-/// let i = Complex::new(0.0, 1.0);
-/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct Complex {
-    /// Real component.
-    pub re: f64,
-    /// Imaginary component.
-    pub im: f64,
-}
-
-impl Complex {
-    /// The additive identity.
-    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
-    /// The multiplicative identity.
-    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
-
-    /// Creates a complex number from real and imaginary parts.
-    pub const fn new(re: f64, im: f64) -> Self {
-        Complex { re, im }
-    }
-
-    /// Creates a purely real complex number.
-    pub const fn from_real(re: f64) -> Self {
-        Complex { re, im: 0.0 }
-    }
-
-    /// Returns `e^(i·theta)`: the unit phasor at angle `theta` radians.
-    pub fn from_angle(theta: f64) -> Self {
-        Complex {
-            re: theta.cos(),
-            im: theta.sin(),
-        }
-    }
-
-    /// Returns the complex conjugate.
-    pub fn conj(self) -> Self {
-        Complex {
-            re: self.re,
-            im: -self.im,
-        }
-    }
-
-    /// Returns the magnitude (absolute value).
-    pub fn magnitude(self) -> f64 {
-        self.re.hypot(self.im)
-    }
-
-    /// Returns the squared magnitude, avoiding the square root.
-    pub fn magnitude_squared(self) -> f64 {
-        self.re * self.re + self.im * self.im
-    }
-
-    /// Returns the phase angle in radians in `(-π, π]`.
-    pub fn phase(self) -> f64 {
-        self.im.atan2(self.re)
-    }
-
-    /// Scales both components by a real factor.
-    pub fn scale(self, k: f64) -> Self {
-        Complex {
-            re: self.re * k,
-            im: self.im * k,
-        }
-    }
-}
-
-impl From<f64> for Complex {
-    fn from(re: f64) -> Self {
-        Complex::from_real(re)
-    }
-}
-
-impl Add for Complex {
-    type Output = Complex;
-    fn add(self, rhs: Complex) -> Complex {
-        Complex::new(self.re + rhs.re, self.im + rhs.im)
-    }
-}
-
-impl AddAssign for Complex {
-    fn add_assign(&mut self, rhs: Complex) {
-        *self = *self + rhs;
-    }
-}
-
-impl Sub for Complex {
-    type Output = Complex;
-    fn sub(self, rhs: Complex) -> Complex {
-        Complex::new(self.re - rhs.re, self.im - rhs.im)
-    }
-}
-
-impl SubAssign for Complex {
-    fn sub_assign(&mut self, rhs: Complex) {
-        *self = *self - rhs;
-    }
-}
-
-impl Mul for Complex {
-    type Output = Complex;
-    fn mul(self, rhs: Complex) -> Complex {
-        Complex::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
-    }
-}
-
-impl MulAssign for Complex {
-    fn mul_assign(&mut self, rhs: Complex) {
-        *self = *self * rhs;
-    }
-}
-
-impl Neg for Complex {
-    type Output = Complex;
-    fn neg(self) -> Complex {
-        Complex::new(-self.re, -self.im)
-    }
-}
+pub use sidewinder_mcu::complex::*;
 
 #[cfg(test)]
 mod tests {

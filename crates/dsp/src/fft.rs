@@ -24,38 +24,14 @@ use crate::complex::Complex;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-/// Error returned when a transform is given a length that is not a power of
-/// two (or is zero).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct NonPowerOfTwoError {
-    /// The offending length.
-    pub len: usize,
-}
-
-impl std::fmt::Display for NonPowerOfTwoError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "transform length {} is not a non-zero power of two",
-            self.len
-        )
-    }
-}
-
-impl std::error::Error for NonPowerOfTwoError {}
-
-/// Returns `true` if `n` is a non-zero power of two.
-pub fn is_power_of_two(n: usize) -> bool {
-    n != 0 && n & (n - 1) == 0
-}
-
-fn check_len(n: usize) -> Result<(), NonPowerOfTwoError> {
-    if is_power_of_two(n) {
-        Ok(())
-    } else {
-        Err(NonPowerOfTwoError { len: n })
-    }
-}
+// The transform primitives — the error type, the length predicate, the
+// bin/frequency conversions, the swap/twiddle generators, and the
+// reference kernel — live in `sidewinder-mcu` so the on-device
+// interpreter shares them; re-export them under their historical paths.
+use sidewinder_mcu::fft as mcu_fft;
+pub use sidewinder_mcu::fft::{
+    bin_to_frequency, check_len, frequency_to_bin, is_power_of_two, transform, NonPowerOfTwoError,
+};
 
 /// Performs an in-place forward FFT.
 ///
@@ -125,19 +101,6 @@ pub fn real_fft_magnitudes(signal: &[f64]) -> Vec<f64> {
         .collect()
 }
 
-/// Converts an FFT bin index to the center frequency in Hz.
-///
-/// `n` is the transform length and `sample_rate_hz` the sampling rate of the
-/// windowed signal.
-pub fn bin_to_frequency(bin: usize, n: usize, sample_rate_hz: f64) -> f64 {
-    bin as f64 * sample_rate_hz / n as f64
-}
-
-/// Converts a frequency in Hz to the nearest FFT bin index.
-pub fn frequency_to_bin(freq_hz: f64, n: usize, sample_rate_hz: f64) -> usize {
-    ((freq_hz * n as f64 / sample_rate_hz).round().max(0.0)) as usize
-}
-
 /// A precomputed radix-2 FFT plan for one transform length.
 ///
 /// Building a plan tabulates the bit-reversal swap list and the per-stage
@@ -180,16 +143,8 @@ impl FftPlan {
     /// two.
     pub fn new(len: usize) -> Result<FftPlan, NonPowerOfTwoError> {
         check_len(len)?;
-        let mut swaps = Vec::new();
-        if len > 1 {
-            let bits = len.trailing_zeros();
-            for i in 0..len {
-                let j = i.reverse_bits() >> (usize::BITS - bits);
-                if j > i {
-                    swaps.push((i as u32, j as u32));
-                }
-            }
-        }
+        let mut swaps = Vec::with_capacity(mcu_fft::swap_count(len));
+        mcu_fft::for_each_swap(len, |i, j| swaps.push((i, j)));
         Ok(FftPlan {
             len,
             swaps,
@@ -224,10 +179,7 @@ impl FftPlan {
     /// Panics if `data.len()` differs from the plan length.
     pub fn process_inverse(&self, data: &mut [Complex]) {
         self.run(data, &self.inverse);
-        let scale = 1.0 / self.len as f64;
-        for z in data.iter_mut() {
-            *z = z.scale(scale);
-        }
+        mcu_fft::scale_inverse(data);
     }
 
     /// Forward FFT of a real signal written into `out` (cleared first).
@@ -248,33 +200,7 @@ impl FftPlan {
     /// Shared butterfly driver over a twiddle table.
     fn run(&self, data: &mut [Complex], twiddles: &[Complex]) {
         assert_eq!(data.len(), self.len, "data length != plan length");
-        let n = self.len;
-        if n <= 1 {
-            return;
-        }
-        for &(i, j) in &self.swaps {
-            data.swap(i as usize, j as usize);
-        }
-        let mut offset = 0;
-        let mut len = 2;
-        while len <= n {
-            let half = len / 2;
-            let stage = &twiddles[offset..offset + half];
-            for chunk in data.chunks_exact_mut(len) {
-                // Splitting the chunk lets the butterflies run without
-                // per-element bounds checks; the arithmetic (and therefore
-                // the output bits) is unchanged.
-                let (lo, hi) = chunk.split_at_mut(half);
-                for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
-                    let u = *a;
-                    let v = *b * w;
-                    *a = u + v;
-                    *b = u - v;
-                }
-            }
-            offset += half;
-            len <<= 1;
-        }
+        mcu_fft::run_butterflies(data, &self.swaps, twiddles);
     }
 }
 
@@ -282,18 +208,8 @@ impl FftPlan {
 /// direct kernel uses (`w` starts at 1 and is repeatedly multiplied by
 /// `wlen`), preserving bit-for-bit output equality.
 fn twiddle_table(n: usize, sign: f64) -> Vec<Complex> {
-    let mut table = Vec::with_capacity(n.saturating_sub(1));
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::from_angle(ang);
-        let mut w = Complex::ONE;
-        for _ in 0..len / 2 {
-            table.push(w);
-            w *= wlen;
-        }
-        len <<= 1;
-    }
+    let mut table = Vec::with_capacity(mcu_fft::twiddle_count(n));
+    mcu_fft::for_each_twiddle(n, sign, |w| table.push(w));
     table
 }
 
@@ -326,50 +242,6 @@ pub fn with_plan<R>(len: usize, f: impl FnOnce(&FftPlan) -> R) -> Result<R, NonP
         }
     });
     Ok(f(&plan))
-}
-
-/// The iterative radix-2 Cooley–Tukey reference kernel.
-///
-/// This is the portable reference implementation the paper-faithful hub
-/// originally interpreted against; the hot paths use [`FftPlan`], which is
-/// bit-identical. It stays public so the equivalence suite (and any future
-/// alternative backend) can compare against it. `data.len()` must be a
-/// power of two (check with [`is_power_of_two`]); other lengths produce
-/// unspecified results.
-pub fn transform(data: &mut [Complex], inverse: bool) {
-    let n = data.len();
-    if n <= 1 {
-        return;
-    }
-
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = i.reverse_bits() >> (usize::BITS - bits);
-        if j > i {
-            data.swap(i, j);
-        }
-    }
-
-    // Butterfly passes.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::from_angle(ang);
-        for chunk in data.chunks_mut(len) {
-            let mut w = Complex::ONE;
-            let half = len / 2;
-            for k in 0..half {
-                let u = chunk[k];
-                let v = chunk[k + half] * w;
-                chunk[k] = u + v;
-                chunk[k + half] = u - v;
-                w *= wlen;
-            }
-        }
-        len <<= 1;
-    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,14 @@ use crate::complex::Complex;
 use crate::fft::{self, NonPowerOfTwoError};
 use crate::sample::Sample;
 
+// The bounded-state pieces the on-device interpreter needs — the
+// exponential moving average, the band-shape frequency response, and the
+// fixed-capacity keep-mask fill — live in `sidewinder-mcu`; re-export
+// them under their historical paths.
+pub use sidewinder_mcu::filter::{
+    fill_keep_mask, BandShape, ExponentialMovingAverage, InvalidAlphaError,
+};
+
 /// A streaming simple moving average over the last `window` samples.
 ///
 /// Produces no output until `window` samples have been observed — the
@@ -154,69 +162,6 @@ impl<P: Sample> MovingAverage<P> {
     }
 }
 
-/// A streaming exponential moving average `y[n] = α·x[n] + (1-α)·y[n-1]`.
-///
-/// Unlike [`MovingAverage`], it produces output from the first sample.
-#[derive(Debug, Clone)]
-pub struct ExponentialMovingAverage {
-    alpha: f64,
-    state: Option<f64>,
-}
-
-/// Error returned when the EMA smoothing factor is outside `(0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct InvalidAlphaError {
-    /// The rejected smoothing factor.
-    pub alpha: f64,
-}
-
-impl std::fmt::Display for InvalidAlphaError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "EMA smoothing factor {} outside (0, 1]", self.alpha)
-    }
-}
-
-impl std::error::Error for InvalidAlphaError {}
-
-impl ExponentialMovingAverage {
-    /// Creates an EMA with smoothing factor `alpha` in `(0, 1]`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`InvalidAlphaError`] if `alpha` is not in `(0, 1]` or is NaN.
-    pub fn new(alpha: f64) -> Result<Self, InvalidAlphaError> {
-        if !(alpha > 0.0 && alpha <= 1.0) {
-            return Err(InvalidAlphaError { alpha });
-        }
-        Ok(ExponentialMovingAverage { alpha, state: None })
-    }
-
-    /// The configured smoothing factor.
-    pub fn alpha(&self) -> f64 {
-        self.alpha
-    }
-
-    /// Pushes a sample and returns the smoothed value.
-    pub fn push(&mut self, sample: f64) -> f64 {
-        let next = match self.state {
-            None => sample,
-            Some(prev) => self.alpha * sample + (1.0 - self.alpha) * prev,
-        };
-        self.state = Some(next);
-        next
-    }
-
-    /// Clears the filter state.
-    pub fn reset(&mut self) {
-        self.state = None;
-    }
-
-    /// Filters a whole slice.
-    pub fn filter(&mut self, signal: &[f64]) -> Vec<f64> {
-        signal.iter().map(|&x| self.push(x)).collect()
-    }
-}
-
 /// FFT-based low-pass filter: zeroes all bins above `cutoff_hz`.
 ///
 /// The window is transformed, bins strictly above the cutoff (and their
@@ -306,38 +251,6 @@ fn apply_bandfilter(
     plan.process_inverse(spectrum);
     out.clear();
     out.extend(spectrum.iter().map(|z| z.re));
-}
-
-/// The frequency response selecting which bins a [`BandFilterPlan`] keeps.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum BandShape {
-    /// Keep `freq <= cutoff_hz`.
-    LowPass {
-        /// Cutoff frequency in Hz (inclusive).
-        cutoff_hz: f64,
-    },
-    /// Keep `freq >= cutoff_hz`.
-    HighPass {
-        /// Cutoff frequency in Hz (inclusive).
-        cutoff_hz: f64,
-    },
-    /// Keep `low_hz <= freq <= high_hz`.
-    BandPass {
-        /// Lower edge in Hz (inclusive).
-        low_hz: f64,
-        /// Upper edge in Hz (inclusive).
-        high_hz: f64,
-    },
-}
-
-impl BandShape {
-    fn keeps(self, freq: f64) -> bool {
-        match self {
-            BandShape::LowPass { cutoff_hz } => freq <= cutoff_hz,
-            BandShape::HighPass { cutoff_hz } => freq >= cutoff_hz,
-            BandShape::BandPass { low_hz, high_hz } => freq >= low_hz && freq <= high_hz,
-        }
-    }
 }
 
 /// A cached FFT band filter: an [`fft::FftPlan`] plus the precomputed

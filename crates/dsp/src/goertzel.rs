@@ -15,205 +15,11 @@
 //! power bit-identical to one-at-a-time evaluation while the independent
 //! recurrences hide each other's FMA latency. The scalar fallback runs
 //! probes one at a time; results match bit-for-bit by construction.
+//!
+//! The kernels live in `sidewinder-mcu` — Goertzel probing is exactly the
+//! workload the paper keeps on the small MCU — and are re-exported here.
 
-use crate::sample::Sample;
-
-/// Probes interleaved per pass over the window in the unrolled build.
-#[cfg(feature = "simd")]
-const PROBE_LANES: usize = 4;
-
-/// Computes the squared magnitude of the DFT of `window` at `freq_hz`.
-///
-/// Uses the standard Goertzel recurrence with coefficient
-/// `2·cos(2πf/fs)`. The result matches `|FFT(window)[k]|²` when `freq_hz`
-/// falls exactly on bin `k`. The recurrence runs at the window's
-/// precision `P` (the coefficient is computed in `f64` and narrowed
-/// once); the closing power is widened to `f64`, which is exact.
-///
-/// Returns `None` if the window is empty, the sample rate is not positive,
-/// or `freq_hz` is negative or above Nyquist.
-pub fn goertzel_power<P: Sample>(window: &[P], freq_hz: f64, sample_rate_hz: f64) -> Option<f64> {
-    if window.is_empty() || sample_rate_hz <= 0.0 {
-        return None;
-    }
-    if !(0.0..=sample_rate_hz / 2.0).contains(&freq_hz) {
-        return None;
-    }
-    let coeff = probe_coeff::<P>(freq_hz, sample_rate_hz);
-    let mut s_prev = P::ZERO;
-    let mut s_prev2 = P::ZERO;
-    for &x in window {
-        let s = x + coeff * s_prev - s_prev2;
-        s_prev2 = s_prev;
-        s_prev = s;
-    }
-    Some(close_power(s_prev, s_prev2, coeff))
-}
-
-/// `2·cos(2πf/fs)`, computed in `f64` and narrowed once so the grouped
-/// and single-probe paths see identical coefficient bits.
-fn probe_coeff<P: Sample>(freq_hz: f64, sample_rate_hz: f64) -> P {
-    let omega = 2.0 * std::f64::consts::PI * freq_hz / sample_rate_hz;
-    P::from_f64(2.0 * omega.cos())
-}
-
-/// The closing step shared by every path: `s1² + s2² − c·s1·s2`, widened.
-fn close_power<P: Sample>(s_prev: P, s_prev2: P, coeff: P) -> f64 {
-    (s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2).to_f64()
-}
-
-/// Magnitude (not squared) of the DFT at `freq_hz`; see [`goertzel_power`].
-pub fn goertzel_magnitude<P: Sample>(
-    window: &[P],
-    freq_hz: f64,
-    sample_rate_hz: f64,
-) -> Option<f64> {
-    goertzel_power(window, freq_hz, sample_rate_hz).map(|p| p.max(0.0).sqrt())
-}
-
-/// Runs every valid probe frequency over `window` and hands each
-/// `(probe index, power)` to `each`, in probe order.
-///
-/// Invalid probes (outside `[0, rate/2]`) are skipped, exactly as
-/// [`goertzel_power`] rejects them; per-probe arithmetic is unchanged by
-/// the grouping.
-fn for_each_power<P: Sample>(
-    window: &[P],
-    freqs: &[f64],
-    sample_rate_hz: f64,
-    mut each: impl FnMut(usize, f64),
-) {
-    if window.is_empty() || sample_rate_hz <= 0.0 {
-        return;
-    }
-    #[cfg(feature = "simd")]
-    {
-        // (probe index, coefficient) staging area; `usize::MAX` marks a
-        // padding lane whose (finite) result is discarded.
-        let mut group = [(usize::MAX, P::ZERO); PROBE_LANES];
-        let mut filled = 0;
-        for (i, &f) in freqs.iter().enumerate() {
-            if !(0.0..=sample_rate_hz / 2.0).contains(&f) {
-                continue;
-            }
-            group[filled] = (i, probe_coeff::<P>(f, sample_rate_hz));
-            filled += 1;
-            if filled == PROBE_LANES {
-                run_group(window, &group, &mut each);
-                group = [(usize::MAX, P::ZERO); PROBE_LANES];
-                filled = 0;
-            }
-        }
-        if filled > 0 {
-            run_group(window, &group, &mut each);
-        }
-    }
-    #[cfg(not(feature = "simd"))]
-    {
-        for (i, &f) in freqs.iter().enumerate() {
-            if let Some(p) = goertzel_power(window, f, sample_rate_hz) {
-                each(i, p);
-            }
-        }
-    }
-}
-
-/// One interleaved pass: four independent recurrences share each window
-/// read. Padding lanes (index `usize::MAX`, coefficient 0) do harmless
-/// finite work and are dropped before the callback.
-#[cfg(feature = "simd")]
-fn run_group<P: Sample>(
-    window: &[P],
-    group: &[(usize, P); PROBE_LANES],
-    each: &mut impl FnMut(usize, f64),
-) {
-    let coeff = [group[0].1, group[1].1, group[2].1, group[3].1];
-    let mut s_prev = [P::ZERO; PROBE_LANES];
-    let mut s_prev2 = [P::ZERO; PROBE_LANES];
-    for &x in window {
-        for j in 0..PROBE_LANES {
-            let s = x + coeff[j] * s_prev[j] - s_prev2[j];
-            s_prev2[j] = s_prev[j];
-            s_prev[j] = s;
-        }
-    }
-    for j in 0..PROBE_LANES {
-        if group[j].0 != usize::MAX {
-            each(group[j].0, close_power(s_prev[j], s_prev2[j], coeff[j]));
-        }
-    }
-}
-
-/// Probes a set of frequencies and returns the one with the highest power
-/// together with that power. `None` if `freqs` is empty or all probes fail.
-///
-/// Ties keep the *last* maximal probe and NaN powers compare equal —
-/// the `Iterator::max_by` semantics of the original reduction.
-pub fn strongest_of<P: Sample>(
-    window: &[P],
-    freqs: &[f64],
-    sample_rate_hz: f64,
-) -> Option<(f64, f64)> {
-    let mut best: Option<(f64, f64)> = None;
-    for_each_power(window, freqs, sample_rate_hz, |i, p| {
-        best = match best {
-            Some((bf, bp))
-                if bp.partial_cmp(&p).unwrap_or(std::cmp::Ordering::Equal)
-                    == std::cmp::Ordering::Greater =>
-            {
-                Some((bf, bp))
-            }
-            _ => Some((freqs[i], p)),
-        };
-    });
-    best
-}
-
-/// Probes a set of frequencies and returns the largest *magnitude*
-/// (`power.max(0).sqrt()`), or `None` when no probe is valid.
-///
-/// Ties keep the *first* maximal probe (strictly-greater update) — the
-/// reduction the hub's `goertzel` node performs. `sqrt` is monotonic, so
-/// this selects the same probe as a first-max over powers.
-pub fn strongest_magnitude<P: Sample>(
-    window: &[P],
-    freqs: &[f64],
-    sample_rate_hz: f64,
-) -> Option<f64> {
-    let mut best: Option<f64> = None;
-    for_each_power(window, freqs, sample_rate_hz, |_, p| {
-        let m = p.max(0.0).sqrt();
-        best = Some(match best {
-            Some(b) if m > b => m,
-            Some(b) => b,
-            None => m,
-        });
-    });
-    best
-}
-
-/// Probes a set of frequencies and returns `(max, sum)` over their
-/// magnitudes (`power.max(0).sqrt()` each) — the reduction behind the
-/// strength-reduced dominant-ratio node, which needs both the peak and
-/// the in-band total. The max uses a strictly-greater (first-max)
-/// update and the sum accumulates in probe order, so the grouped
-/// (`simd`) build is bit-identical to one-at-a-time probing. `None`
-/// when no probe is valid.
-pub fn magnitude_max_and_sum<P: Sample>(
-    window: &[P],
-    freqs: &[f64],
-    sample_rate_hz: f64,
-) -> Option<(f64, f64)> {
-    let mut best: Option<(f64, f64)> = None;
-    for_each_power(window, freqs, sample_rate_hz, |_, p| {
-        let m = p.max(0.0).sqrt();
-        best = Some(match best {
-            Some((mx, sum)) => (if m > mx { m } else { mx }, sum + m),
-            None => (m, m),
-        });
-    });
-    best
-}
+pub use sidewinder_mcu::goertzel::*;
 
 #[cfg(test)]
 mod tests {

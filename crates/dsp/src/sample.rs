@@ -14,227 +14,13 @@
 //! everywhere; the precision parameter governs *vector* payloads, which
 //! is where the paper's memory table says the hub stores f32 anyway
 //! ("one f32 ring buffer" per window — see `hub::cost`).
+//!
+//! The trait itself lives in `sidewinder-mcu` so the on-device
+//! interpreter is generic over the same two precisions; this module
+//! re-exports it (the host `std` build adds the `Vec`/thread-local
+//! conveniences the hub runtime uses).
 
-use core::cell::RefCell;
-use core::fmt::Debug;
-use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
-use std::rc::Rc;
-use std::thread::LocalKey;
-
-mod sealed {
-    pub trait Sealed {}
-    impl Sealed for f32 {}
-    impl Sealed for f64 {}
-}
-
-/// Thread-local single-entry cache of window-taper coefficients:
-/// `(shape tag, window length, coefficients)`. See
-/// [`crate::window::WindowShape::apply`].
-#[doc(hidden)]
-pub type TaperCacheEntry<P> = (u8, usize, Rc<[P]>);
-
-/// A sample precision the DSP kernels can run at: `f64` (the host
-/// default, bit-compatible with the original kernels) or `f32` (the
-/// hardware-faithful hub mode).
-///
-/// Conversions to and from `f64` are explicit so generic code cannot
-/// widen or narrow by accident; for `P = f64` every conversion is the
-/// identity and compiles away.
-pub trait Sample:
-    sealed::Sealed
-    + Copy
-    + PartialOrd
-    + PartialEq
-    + Debug
-    + Default
-    + Send
-    + Sync
-    + 'static
-    + Add<Output = Self>
-    + Sub<Output = Self>
-    + Mul<Output = Self>
-    + Div<Output = Self>
-    + Neg<Output = Self>
-    + AddAssign
-{
-    /// Additive identity.
-    const ZERO: Self;
-    /// Multiplicative identity.
-    const ONE: Self;
-    /// Positive infinity (lane seed for running minima).
-    const INFINITY: Self;
-    /// Negative infinity (lane seed for running maxima).
-    const NEG_INFINITY: Self;
-    /// Independent accumulator lanes the unrolled kernels run: 4 for
-    /// `f64`, 8 for `f32` (twice as many f32 values fit one vector
-    /// register, so halving the precision doubles the lane width).
-    const LANES: usize;
-    /// Short name used to label benchmark rows (`"f32"`, `"f64"`).
-    const NAME: &'static str;
-
-    /// Converts from `f64`, rounding to nearest for `f32`.
-    fn from_f64(x: f64) -> Self;
-    /// Widens to `f64` (exact for both precisions).
-    fn to_f64(self) -> f64;
-    /// Converts a count; identical to `n as f64` / `n as f32`.
-    fn from_usize(n: usize) -> Self {
-        Self::from_f64(n as f64)
-    }
-    /// IEEE-754 minimum ignoring NaN, as [`f64::min`].
-    fn min(self, other: Self) -> Self;
-    /// IEEE-754 maximum ignoring NaN, as [`f64::max`].
-    fn max(self, other: Self) -> Self;
-    /// Absolute value.
-    fn abs(self) -> Self;
-    /// Square root.
-    fn sqrt(self) -> Self;
-    /// Whether the value is NaN.
-    fn is_nan(self) -> bool;
-
-    /// Presents `src` as an `f64` slice: a no-op borrow for `f64`, a
-    /// widening copy through `scratch` for `f32`. The hub uses this to
-    /// feed precision-generic windows into the f64-only FFT kernels.
-    fn widen_into<'a>(src: &'a [Self], scratch: &'a mut Vec<f64>) -> &'a [f64];
-
-    /// Appends narrowed values to `dst` (a plain `extend` for `f64`).
-    fn extend_from_f64(dst: &mut Vec<Self>, src: impl Iterator<Item = f64>);
-
-    /// Runs `f` with an `f64` output buffer and leaves the result in
-    /// `dst`: for `f64` the closure writes `dst` directly; for `f32` it
-    /// writes `scratch`, which is then narrowed into `dst`. Steady-state
-    /// calls reuse both buffers' capacity and perform no allocation.
-    fn with_wide_out(dst: &mut Vec<Self>, scratch: &mut Vec<f64>, f: impl FnOnce(&mut Vec<f64>));
-
-    /// The per-precision window-taper coefficient cache; implementation
-    /// detail of [`crate::window::WindowShape::apply`].
-    #[doc(hidden)]
-    fn taper_cache() -> &'static LocalKey<RefCell<TaperCacheEntry<Self>>>;
-}
-
-thread_local! {
-    static TAPER_F64: RefCell<TaperCacheEntry<f64>> =
-        RefCell::new((u8::MAX, 0, Rc::from(Vec::new())));
-    static TAPER_F32: RefCell<TaperCacheEntry<f32>> =
-        RefCell::new((u8::MAX, 0, Rc::from(Vec::new())));
-}
-
-impl Sample for f64 {
-    const ZERO: Self = 0.0;
-    const ONE: Self = 1.0;
-    const INFINITY: Self = f64::INFINITY;
-    const NEG_INFINITY: Self = f64::NEG_INFINITY;
-    const LANES: usize = 4;
-    const NAME: &'static str = "f64";
-
-    #[inline(always)]
-    fn from_f64(x: f64) -> Self {
-        x
-    }
-    #[inline(always)]
-    fn to_f64(self) -> f64 {
-        self
-    }
-    #[inline(always)]
-    fn min(self, other: Self) -> Self {
-        f64::min(self, other)
-    }
-    #[inline(always)]
-    fn max(self, other: Self) -> Self {
-        f64::max(self, other)
-    }
-    #[inline(always)]
-    fn abs(self) -> Self {
-        f64::abs(self)
-    }
-    #[inline(always)]
-    fn sqrt(self) -> Self {
-        f64::sqrt(self)
-    }
-    #[inline(always)]
-    fn is_nan(self) -> bool {
-        f64::is_nan(self)
-    }
-
-    #[inline(always)]
-    fn widen_into<'a>(src: &'a [Self], _scratch: &'a mut Vec<f64>) -> &'a [f64] {
-        src
-    }
-
-    #[inline]
-    fn extend_from_f64(dst: &mut Vec<Self>, src: impl Iterator<Item = f64>) {
-        dst.extend(src);
-    }
-
-    #[inline]
-    fn with_wide_out(dst: &mut Vec<Self>, _scratch: &mut Vec<f64>, f: impl FnOnce(&mut Vec<f64>)) {
-        f(dst);
-    }
-
-    fn taper_cache() -> &'static LocalKey<RefCell<TaperCacheEntry<Self>>> {
-        &TAPER_F64
-    }
-}
-
-impl Sample for f32 {
-    const ZERO: Self = 0.0;
-    const ONE: Self = 1.0;
-    const INFINITY: Self = f32::INFINITY;
-    const NEG_INFINITY: Self = f32::NEG_INFINITY;
-    const LANES: usize = 8;
-    const NAME: &'static str = "f32";
-
-    #[inline(always)]
-    fn from_f64(x: f64) -> Self {
-        x as f32
-    }
-    #[inline(always)]
-    fn to_f64(self) -> f64 {
-        f64::from(self)
-    }
-    #[inline(always)]
-    fn min(self, other: Self) -> Self {
-        f32::min(self, other)
-    }
-    #[inline(always)]
-    fn max(self, other: Self) -> Self {
-        f32::max(self, other)
-    }
-    #[inline(always)]
-    fn abs(self) -> Self {
-        f32::abs(self)
-    }
-    #[inline(always)]
-    fn sqrt(self) -> Self {
-        f32::sqrt(self)
-    }
-    #[inline(always)]
-    fn is_nan(self) -> bool {
-        f32::is_nan(self)
-    }
-
-    #[inline]
-    fn widen_into<'a>(src: &'a [Self], scratch: &'a mut Vec<f64>) -> &'a [f64] {
-        scratch.clear();
-        scratch.extend(src.iter().map(|&x| f64::from(x)));
-        scratch
-    }
-
-    #[inline]
-    fn extend_from_f64(dst: &mut Vec<Self>, src: impl Iterator<Item = f64>) {
-        dst.extend(src.map(|x| x as f32));
-    }
-
-    #[inline]
-    fn with_wide_out(dst: &mut Vec<Self>, scratch: &mut Vec<f64>, f: impl FnOnce(&mut Vec<f64>)) {
-        f(scratch);
-        dst.clear();
-        dst.extend(scratch.iter().map(|&x| x as f32));
-    }
-
-    fn taper_cache() -> &'static LocalKey<RefCell<TaperCacheEntry<Self>>> {
-        &TAPER_F32
-    }
-}
+pub use sidewinder_mcu::sample::*;
 
 #[cfg(test)]
 mod tests {

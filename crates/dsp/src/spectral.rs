@@ -3,90 +3,16 @@
 //! The siren wake-up condition (§3.7.2) transforms each window to the
 //! frequency domain, extracts "the magnitude of the dominant frequency and
 //! the mean magnitude of all frequency bins", and uses their ratio to decide
-//! whether the window contains a pitched sound. These reductions live here.
+//! whether the window contains a pitched sound. The reductions live in
+//! `sidewinder-mcu` (the `no_std` hub core runs them on-device); this
+//! module re-exports them for the host-side pipeline builders.
 
-use crate::sample::Sample;
-
-/// A dominant spectral peak: the bin index and its magnitude.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Peak<P: Sample = f64> {
-    /// Index into the magnitude spectrum that was searched.
-    pub bin: usize,
-    /// Magnitude at that bin.
-    pub magnitude: P,
-}
-
-/// Returns the bin with the largest magnitude, or `None` for an empty
-/// spectrum.
-///
-/// Callers typically skip the DC bin by searching `&spectrum[1..]` and
-/// adding 1 to the returned index.
-pub fn dominant_bin<P: Sample>(magnitudes: &[P]) -> Option<Peak<P>> {
-    magnitudes
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(bin, &magnitude)| Peak { bin, magnitude })
-}
-
-/// Ratio of the dominant magnitude to the mean magnitude — the paper's
-/// "pitchedness" feature. `None` for an empty or all-zero spectrum.
-///
-/// Pitched sounds (sirens, musical notes) concentrate energy in one bin and
-/// produce a high ratio; broadband noise stays near 1.
-pub fn dominant_to_mean_ratio<P: Sample>(magnitudes: &[P]) -> Option<P> {
-    let peak = dominant_bin(magnitudes)?;
-    let mut sum = P::ZERO;
-    for &m in magnitudes {
-        sum += m;
-    }
-    let mean = sum / P::from_usize(magnitudes.len());
-    if mean <= P::ZERO {
-        return None;
-    }
-    Some(peak.magnitude / mean)
-}
-
-/// Sum of magnitudes whose bin index lies in `[lo_bin, hi_bin]` (clamped to
-/// the spectrum length).
-pub fn band_magnitude(magnitudes: &[f64], lo_bin: usize, hi_bin: usize) -> f64 {
-    if lo_bin >= magnitudes.len() || lo_bin > hi_bin {
-        return 0.0;
-    }
-    let hi = hi_bin.min(magnitudes.len() - 1);
-    magnitudes[lo_bin..=hi].iter().sum()
-}
-
-/// Spectral centroid in bin units: the magnitude-weighted mean bin.
-/// `None` when total magnitude is zero.
-pub fn spectral_centroid(magnitudes: &[f64]) -> Option<f64> {
-    let total: f64 = magnitudes.iter().sum();
-    if total <= 0.0 {
-        return None;
-    }
-    let weighted: f64 = magnitudes
-        .iter()
-        .enumerate()
-        .map(|(i, &m)| i as f64 * m)
-        .sum();
-    Some(weighted / total)
-}
-
-/// Spectral flatness: geometric mean over arithmetic mean of magnitudes, in
-/// `(0, 1]`. Near 1 for noise, near 0 for pitched sounds. `None` when the
-/// spectrum is empty or any magnitude is zero or negative.
-pub fn spectral_flatness(magnitudes: &[f64]) -> Option<f64> {
-    if magnitudes.is_empty() || magnitudes.iter().any(|&m| m <= 0.0) {
-        return None;
-    }
-    let log_mean = magnitudes.iter().map(|m| m.ln()).sum::<f64>() / magnitudes.len() as f64;
-    let mean = magnitudes.iter().sum::<f64>() / magnitudes.len() as f64;
-    Some(log_mean.exp() / mean)
-}
+pub use sidewinder_mcu::spectral::*;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sample::Sample;
 
     #[test]
     fn dominant_bin_of_empty_is_none() {

@@ -6,262 +6,13 @@
 //! per-sub-window zero-crossing rates (§3.7.2); those reductions are built
 //! from these kernels.
 //!
-//! # Reduction order
-//!
-//! [`Summary::of`] computes its sums in a *defined, length-dependent
-//! order* that is part of the kernel contract (see DESIGN.md §6h):
-//!
-//! * windows shorter than [`LANE_CUTOVER`] samples are reduced by one
-//!   sequential left-to-right accumulator — bit-identical to the
-//!   original scalar kernel, so short reductions (e.g. the eight
-//!   sub-window ZCR rates behind `zcrVariance`) are unaffected by the
-//!   lane rewrite;
-//! * longer windows are reduced by [`Sample::LANES`] independent
-//!   accumulators, lane `j` summing elements `j, j+LANES, j+2·LANES, …`
-//!   (trailing elements continue into lanes `0..r`), combined by a
-//!   halving tree: with lanes `l0..l3`, the total is
-//!   `(l0+l2) + (l1+l3)`, and one more halving round for 8 lanes.
-//!
-//! Both the unrolled (`simd` feature, default) and scalar-fallback
-//! builds walk exactly this order, so results are bit-identical across
-//! the feature boundary; the `dsp/tests/simd_equivalence.rs` proptests
-//! pin that.
+//! The flat reduction kernels ([`Summary`], [`mean`], [`variance`], …) live
+//! in `sidewinder-mcu` — they are exactly what the on-device interpreter
+//! runs — and are re-exported here with their documented length-dependent
+//! reduction order (DESIGN.md §6h) intact. The `Vec`-returning local-extrema
+//! searches the steps/headbutt applications use stay host-side below.
 
-use crate::sample::Sample;
-
-/// Window lengths below this are reduced by the original sequential
-/// loop; at or above it the multi-accumulator lane order kicks in. Part
-/// of the documented kernel contract — both feature builds honor it.
-pub const LANE_CUTOVER: usize = 32;
-
-/// Summary statistics of a window of samples, computed in a single pass.
-///
-/// # Example
-///
-/// ```
-/// use sidewinder_dsp::stats::Summary;
-///
-/// let s = Summary::<f64>::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
-/// assert_eq!(s.mean, 2.5);
-/// assert_eq!(s.min, 1.0);
-/// assert_eq!(s.max, 4.0);
-/// assert!((s.variance - 1.25).abs() < 1e-12);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Summary<P: Sample = f64> {
-    /// Number of samples.
-    pub count: usize,
-    /// Arithmetic mean.
-    pub mean: P,
-    /// Population variance (divides by `count`).
-    pub variance: P,
-    /// Smallest sample.
-    pub min: P,
-    /// Largest sample.
-    pub max: P,
-    /// Root mean square.
-    pub rms: P,
-}
-
-impl<P: Sample> Summary<P> {
-    /// Computes summary statistics. Returns `None` for an empty window.
-    ///
-    /// # NaN policy
-    ///
-    /// NaN samples are *propagated, not rejected* (`lint` SW004 assumes
-    /// reductions pass NaN through rather than panic or filter):
-    ///
-    /// * `mean` and `rms` become NaN as soon as any sample is NaN;
-    /// * `variance` is computed as `(E[x²] − mean²).max(0)`, and the
-    ///   IEEE-754 `max` that clamps catastrophic cancellation also
-    ///   absorbs NaN — a window containing NaN reports variance `0.0`;
-    /// * `min`/`max` use IEEE-754 min/max, which ignore NaN; an
-    ///   all-NaN window reports `min = +∞`, `max = −∞`.
-    pub fn of(window: &[P]) -> Option<Summary<P>> {
-        if window.is_empty() {
-            return None;
-        }
-        let n = P::from_usize(window.len());
-        let (sum, sum_sq, min, max) = moments(window);
-        let mean = sum / n;
-        // Clamp: catastrophic cancellation can produce a tiny negative value.
-        let variance = (sum_sq / n - mean * mean).max(P::ZERO);
-        Some(Summary {
-            count: window.len(),
-            mean,
-            variance,
-            min,
-            max,
-            rms: (sum_sq / n).sqrt(),
-        })
-    }
-
-    /// Population standard deviation.
-    pub fn std_dev(&self) -> P {
-        self.variance.sqrt()
-    }
-
-    /// Peak-to-peak amplitude (`max - min`).
-    pub fn peak_to_peak(&self) -> P {
-        self.max - self.min
-    }
-}
-
-/// `(Σx, Σx², min, max)` in the documented length-dependent order.
-fn moments<P: Sample>(window: &[P]) -> (P, P, P, P) {
-    if window.len() < LANE_CUTOVER {
-        moments_serial(window)
-    } else {
-        match P::LANES {
-            8 => moments_lanes::<P, 8>(window),
-            _ => moments_lanes::<P, 4>(window),
-        }
-    }
-}
-
-fn moments_serial<P: Sample>(window: &[P]) -> (P, P, P, P) {
-    let mut sum = P::ZERO;
-    let mut sum_sq = P::ZERO;
-    let mut min = P::INFINITY;
-    let mut max = P::NEG_INFINITY;
-    for &x in window {
-        sum += x;
-        sum_sq += x * x;
-        min = min.min(x);
-        max = max.max(x);
-    }
-    (sum, sum_sq, min, max)
-}
-
-/// Unrolled lane reduction: `L` independent accumulators walk the window
-/// in `L`-wide chunks, which LLVM turns into vector adds; `Σx`, `Σx²`,
-/// min, and max all ride the same pass.
-#[cfg(feature = "simd")]
-fn moments_lanes<P: Sample, const L: usize>(window: &[P]) -> (P, P, P, P) {
-    let mut sum = [P::ZERO; L];
-    let mut sum_sq = [P::ZERO; L];
-    let mut min = [P::INFINITY; L];
-    let mut max = [P::NEG_INFINITY; L];
-    let mut chunks = window.chunks_exact(L);
-    for chunk in &mut chunks {
-        for j in 0..L {
-            let x = chunk[j];
-            sum[j] += x;
-            sum_sq[j] += x * x;
-            min[j] = min[j].min(x);
-            max[j] = max[j].max(x);
-        }
-    }
-    for (j, &x) in chunks.remainder().iter().enumerate() {
-        sum[j] += x;
-        sum_sq[j] += x * x;
-        min[j] = min[j].min(x);
-        max[j] = max[j].max(x);
-    }
-    (
-        tree_fold(sum, |a, b| a + b),
-        tree_fold(sum_sq, |a, b| a + b),
-        tree_fold(min, P::min),
-        tree_fold(max, P::max),
-    )
-}
-
-/// Scalar emulation of the lane order: lane `j` reduces elements
-/// `j, j+L, j+2L, …` one stream at a time — element-for-element the same
-/// per-lane sequences as the unrolled build, so results are bit-identical
-/// across the feature boundary (just without the chunked shape LLVM
-/// vectorizes).
-#[cfg(not(feature = "simd"))]
-fn moments_lanes<P: Sample, const L: usize>(window: &[P]) -> (P, P, P, P) {
-    let mut sum = [P::ZERO; L];
-    let mut sum_sq = [P::ZERO; L];
-    let mut min = [P::INFINITY; L];
-    let mut max = [P::NEG_INFINITY; L];
-    let main = window.len() - window.len() % L;
-    for j in 0..L {
-        let mut i = j;
-        while i < main {
-            let x = window[i];
-            sum[j] += x;
-            sum_sq[j] += x * x;
-            min[j] = min[j].min(x);
-            max[j] = max[j].max(x);
-            i += L;
-        }
-    }
-    for (j, &x) in window[main..].iter().enumerate() {
-        sum[j] += x;
-        sum_sq[j] += x * x;
-        min[j] = min[j].min(x);
-        max[j] = max[j].max(x);
-    }
-    (
-        tree_fold(sum, |a, b| a + b),
-        tree_fold(sum_sq, |a, b| a + b),
-        tree_fold(min, P::min),
-        tree_fold(max, P::max),
-    )
-}
-
-/// Combines lane partials by repeated halving: `L=4` lanes reduce as
-/// `(l0⊕l2) ⊕ (l1⊕l3)`; `L=8` adds one more halving round. The order is
-/// part of the kernel contract.
-fn tree_fold<P: Sample, const L: usize>(mut lanes: [P; L], f: impl Fn(P, P) -> P) -> P {
-    let mut n = L;
-    while n > 1 {
-        n /= 2;
-        for i in 0..n {
-            lanes[i] = f(lanes[i], lanes[i + n]);
-        }
-    }
-    lanes[0]
-}
-
-/// Arithmetic mean; `None` when empty.
-pub fn mean<P: Sample>(window: &[P]) -> Option<P> {
-    Summary::of(window).map(|s| s.mean)
-}
-
-/// Population variance; `None` when empty.
-pub fn variance<P: Sample>(window: &[P]) -> Option<P> {
-    Summary::of(window).map(|s| s.variance)
-}
-
-/// Root mean square; `None` when empty.
-pub fn rms<P: Sample>(window: &[P]) -> Option<P> {
-    Summary::of(window).map(|s| s.rms)
-}
-
-/// Mean absolute amplitude; `None` when empty. Used by the significant-sound
-/// predefined-activity detector.
-pub fn mean_abs<P: Sample>(window: &[P]) -> Option<P> {
-    if window.is_empty() {
-        return None;
-    }
-    let mut sum = P::ZERO;
-    for &x in window {
-        sum += x.abs();
-    }
-    Some(sum / P::from_usize(window.len()))
-}
-
-/// Signal energy `Σ x²`.
-pub fn energy<P: Sample>(window: &[P]) -> P {
-    let mut sum = P::ZERO;
-    for &x in window {
-        sum += x * x;
-    }
-    sum
-}
-
-/// Euclidean magnitude of an acceleration vector `√(Σ xᵢ²)`.
-///
-/// This is the hub's "magnitude of acceleration vector computation" (§3.6):
-/// an aggregation algorithm that fuses the per-axis branches of a pipeline
-/// into one (Fig. 2).
-pub fn vector_magnitude<P: Sample>(components: &[P]) -> P {
-    energy(components).sqrt()
-}
+pub use sidewinder_mcu::stats::*;
 
 /// Indices of local maxima whose value lies within `[lo, hi]`.
 ///
@@ -306,6 +57,7 @@ pub fn local_minima_in_band(signal: &[f64], lo: f64, hi: f64) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sample::Sample;
 
     #[test]
     fn empty_window_yields_none() {

@@ -1,117 +1,15 @@
 //! Window functions and streaming windowers.
 //!
 //! The paper's hub provides "Partitioning sensor data into rectangular or
-//! Hamming windows" (§3.6). [`WindowShape`] carries the taper; [`Windower`]
-//! is the streaming partitioner used by the hub runtime: it accumulates
-//! samples and emits a tapered window every `hop` samples.
+//! Hamming windows" (§3.6). [`WindowShape`] carries the taper and lives in
+//! `sidewinder-mcu` (the on-device interpreter applies it too); this module
+//! re-exports it and adds [`Windower`], the streaming partitioner the host
+//! hub runtime uses: it accumulates samples and emits a tapered window
+//! every `hop` samples.
 
 use crate::sample::Sample;
 
-/// The taper applied to each window of samples.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum WindowShape {
-    /// No taper; every coefficient is 1. The paper's "rectangular" window.
-    #[default]
-    Rectangular,
-    /// The Hamming taper `0.54 - 0.46·cos(2πi/(N-1))`.
-    Hamming,
-    /// The Hann taper `0.5·(1 - cos(2πi/(N-1)))`. Not named by the paper but
-    /// a conventional member of the same family; included for completeness.
-    Hann,
-}
-
-impl WindowShape {
-    /// Returns the window coefficient at index `i` of an `n`-point window.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= n`.
-    pub fn coefficient(self, i: usize, n: usize) -> f64 {
-        assert!(i < n, "window index {i} out of range for length {n}");
-        if n == 1 {
-            return 1.0;
-        }
-        let x = 2.0 * std::f64::consts::PI * i as f64 / (n - 1) as f64;
-        match self {
-            WindowShape::Rectangular => 1.0,
-            WindowShape::Hamming => 0.54 - 0.46 * x.cos(),
-            WindowShape::Hann => 0.5 * (1.0 - x.cos()),
-        }
-    }
-
-    /// Generates the full coefficient vector for an `n`-point window.
-    pub fn coefficients(self, n: usize) -> Vec<f64> {
-        (0..n).map(|i| self.coefficient(i, n)).collect()
-    }
-
-    /// [`WindowShape::coefficients`] at any sample precision: coefficients
-    /// are computed in `f64` and narrowed per element, so the `f64`
-    /// instantiation is bit-identical to `coefficients`.
-    pub fn coefficients_in<P: Sample>(self, n: usize) -> Vec<P> {
-        (0..n)
-            .map(|i| P::from_f64(self.coefficient(i, n)))
-            .collect()
-    }
-
-    /// Applies the taper to a signal, returning the windowed copy.
-    ///
-    /// Each output element is exactly `x * coefficient(i, len)`. The
-    /// unrolled (`simd`) build tabulates the coefficients once per
-    /// `(shape, length)` in a thread-local cache and applies them with an
-    /// element-wise multiply — the same products in the same order, so
-    /// results are bit-identical to the per-element recomputation the
-    /// scalar fallback performs (cosine tabulation is where the previous
-    /// kernel spent ~95% of its time).
-    pub fn apply<P: Sample>(self, signal: &[P]) -> Vec<P> {
-        #[cfg(feature = "simd")]
-        {
-            let coeffs = self.cached_coefficients::<P>(signal.len());
-            signal
-                .iter()
-                .zip(coeffs.iter())
-                .map(|(&x, &c)| x * c)
-                .collect()
-        }
-        #[cfg(not(feature = "simd"))]
-        {
-            signal
-                .iter()
-                .enumerate()
-                .map(|(i, &x)| x * P::from_f64(self.coefficient(i, signal.len())))
-                .collect()
-        }
-    }
-
-    /// The thread-local single-entry coefficient cache behind
-    /// [`WindowShape::apply`]. Steady-state pipelines re-window the same
-    /// geometry forever, so one entry per precision is enough; switching
-    /// shape or length just retabulates.
-    #[cfg(feature = "simd")]
-    fn cached_coefficients<P: Sample>(self, n: usize) -> std::rc::Rc<[P]> {
-        P::taper_cache().with(|cell| {
-            let mut entry = cell.borrow_mut();
-            if entry.0 != self as u8 || entry.1 != n {
-                *entry = (
-                    self as u8,
-                    n,
-                    std::rc::Rc::from(self.coefficients_in::<P>(n)),
-                );
-            }
-            std::rc::Rc::clone(&entry.2)
-        })
-    }
-}
-
-impl std::fmt::Display for WindowShape {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let name = match self {
-            WindowShape::Rectangular => "rectangular",
-            WindowShape::Hamming => "hamming",
-            WindowShape::Hann => "hann",
-        };
-        f.write_str(name)
-    }
-}
+pub use sidewinder_mcu::window::WindowShape;
 
 /// A streaming window partitioner.
 ///

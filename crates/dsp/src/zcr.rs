@@ -6,104 +6,14 @@
 //! rates (§3.7.2): speech alternates voiced (low ZCR) and unvoiced
 //! (high ZCR) segments and therefore has high ZCR variance, while music and
 //! steady noise are more uniform.
+//!
+//! The counting kernels and the scratch-buffer (`_into`) variants live in
+//! `sidewinder-mcu`; the `Vec`-returning conveniences below wrap them for
+//! host-side callers.
 
 use crate::sample::Sample;
 
-/// Chunk width of the vectorized crossing counter. Chunks whose samples
-/// are all strictly signed take the branch-free path; chunks containing
-/// zeros or NaNs fall back to the per-sample state machine. The count is
-/// an integer either way, so the chunking never changes the result.
-#[cfg(feature = "simd")]
-const ZCR_CHUNK: usize = 64;
-
-/// Counts sign changes in `window`.
-///
-/// A crossing is counted when consecutive samples have strictly opposite
-/// signs; zeros adopt the sign of the previous non-zero sample so that a
-/// touch of zero is not double counted.
-///
-/// # NaN policy
-///
-/// A NaN sample compares neither above nor below zero, so it behaves
-/// exactly like a zero: it keeps the previous sign and can never flip it
-/// or count as a crossing (consistent with `lint` SW004 — NaN flows
-/// through reductions without panicking and cannot inflate the count).
-pub fn zero_crossings<P: Sample>(window: &[P]) -> usize {
-    #[cfg(feature = "simd")]
-    {
-        let mut count = 0;
-        let mut prev_sign = 0i8;
-        for chunk in window.chunks(ZCR_CHUNK) {
-            // "Clean" = every sample strictly signed: no zeros, no NaNs.
-            // An AND-reduction of two compares, which vectorizes.
-            let mut clean = true;
-            for &x in chunk {
-                clean &= (x > P::ZERO) | (x < P::ZERO);
-            }
-            if clean {
-                let first_neg = chunk[0] < P::ZERO;
-                if prev_sign != 0 && first_neg != (prev_sign < 0) {
-                    count += 1;
-                }
-                // Interior crossings: adjacent pairs with unequal signs.
-                // Pure integer work once the compares become masks.
-                let mut interior = 0usize;
-                for i in 1..chunk.len() {
-                    interior += usize::from((chunk[i] < P::ZERO) != (chunk[i - 1] < P::ZERO));
-                }
-                count += interior;
-                prev_sign = if chunk[chunk.len() - 1] < P::ZERO {
-                    -1
-                } else {
-                    1
-                };
-            } else {
-                for &x in chunk {
-                    step(x, &mut prev_sign, &mut count);
-                }
-            }
-        }
-        count
-    }
-    #[cfg(not(feature = "simd"))]
-    {
-        let mut count = 0;
-        let mut prev_sign = 0i8;
-        for &x in window {
-            step(x, &mut prev_sign, &mut count);
-        }
-        count
-    }
-}
-
-/// The original per-sample sign state machine; the chunked path defers
-/// to it whenever a chunk contains zeros or NaNs.
-#[inline]
-fn step<P: Sample>(x: P, prev_sign: &mut i8, count: &mut usize) {
-    let sign = if x > P::ZERO {
-        1
-    } else if x < P::ZERO {
-        -1
-    } else {
-        *prev_sign
-    };
-    if *prev_sign != 0 && sign != 0 && sign != *prev_sign {
-        *count += 1;
-    }
-    if sign != 0 {
-        *prev_sign = sign;
-    }
-}
-
-/// Zero-crossing rate: crossings per sample, in `[0, 1]`.
-///
-/// Returns `None` for windows with fewer than two samples.
-pub fn zero_crossing_rate<P: Sample>(window: &[P]) -> Option<P> {
-    if window.len() < 2 {
-        return None;
-    }
-    Some(P::from_usize(zero_crossings(window)) / P::from_usize(window.len() - 1))
-}
+pub use sidewinder_mcu::zcr::*;
 
 /// Splits `window` into `sub_windows` equal parts and returns each part's
 /// zero-crossing rate.

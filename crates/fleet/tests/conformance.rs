@@ -216,3 +216,57 @@ fn a_panicking_device_cell_is_a_reported_failure_not_a_crash() {
     assert_eq!(clean.panicked, 0);
     assert_eq!(clean.ok, 16);
 }
+
+/// Every fleet archetype's wake condition fits the `no_std` MCU core:
+/// it compiles to an [`sidewinder_hub::McuImage`] within the fixed node
+/// and port capacities, loads into a default-arena core, and replays
+/// the archetype's own generated trace bit-identically to the hub
+/// interpreter the fleet cells run. The fleet's device programs are
+/// therefore deployable to the hub hardware unchanged.
+#[test]
+fn every_archetype_condition_runs_on_the_mcu_core() {
+    use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+    use sidewinder_hub::{compile_image, McuCore};
+
+    for archetype in DeviceArchetype::ALL {
+        let program = archetype.app().wake_condition();
+        let rates = ChannelRates::default();
+        let image = compile_image(&program, &rates)
+            .unwrap_or_else(|e| panic!("{}: image compilation failed: {e}", archetype.label()));
+        let mut hub = HubRuntime::load(&program, &rates).unwrap();
+        let mut core: McuCore = McuCore::new();
+        core.load(&image)
+            .unwrap_or_else(|e| panic!("{}: core load failed: {e}", archetype.label()));
+
+        let trace = archetype.generate_trace(
+            0x5EED ^ archetype.label().len() as u64,
+            Micros::from_secs(30),
+        );
+        for channel in program.channels() {
+            let samples = trace
+                .channel(channel)
+                .unwrap_or_else(|| panic!("{}: trace lacks {channel:?}", archetype.label()))
+                .samples();
+            let host_wakes = hub.push_samples(channel, samples).unwrap();
+            let mut core_wakes = Vec::with_capacity(host_wakes.len());
+            core.push_samples(channel.index() as u8, samples, &mut |w| core_wakes.push(w))
+                .unwrap();
+            assert_eq!(
+                host_wakes.len(),
+                core_wakes.len(),
+                "{}: wake count diverged",
+                archetype.label()
+            );
+            for (h, c) in host_wakes.iter().zip(core_wakes.iter()) {
+                assert_eq!(h.seq, c.seq, "{}: wake moved", archetype.label());
+                assert_eq!(
+                    h.value.to_bits(),
+                    c.value.to_bits(),
+                    "{}: wake bits diverged at seq {}",
+                    archetype.label(),
+                    h.seq
+                );
+            }
+        }
+    }
+}

@@ -53,11 +53,14 @@ pub mod fault;
 pub mod instance;
 pub mod link;
 pub mod mcu;
+pub mod mcu_image;
 pub mod runtime;
 pub mod value;
 
 pub use fault::{ChannelDropout, FaultPlan, FaultSchedule, FrameFate, RetryPolicy};
 pub use mcu::Mcu;
-pub use runtime::{HubError, HubRuntime, HubRuntime32};
+pub use mcu_image::compile_image;
+pub use runtime::{HubError, HubRuntime, HubRuntime32, LoadError};
 pub use sidewinder_dsp::Sample;
+pub use sidewinder_mcu::{McuCore, McuExecError, McuImage};
 pub use value::{Tagged, Value, ValueRef};

@@ -80,14 +80,65 @@ pub struct WakeEvent {
 pub enum HubError {
     /// The program failed structural validation.
     Invalid(ValidateError),
+    /// The program passed (or bypassed) validation but could not be
+    /// assembled into a runnable pipeline.
+    Load(LoadError),
+    /// The program does not fit the MCU core's fixed-capacity image
+    /// (raised by [`compile_image`](crate::mcu_image::compile_image)).
+    Image(sidewinder_mcu::ImageError),
     /// An algorithm instance failed at run time.
     Exec(ExecError),
 }
+
+/// Errors raised while assembling a validated program into the loaded
+/// node table.
+///
+/// Validation makes these unreachable for programs that went through
+/// [`Program::validate`], but the loader must not *trust* that: a program
+/// assembled directly from [`Program::push_node`] (or a validator that
+/// drifts out of sync with the loader) has to surface a typed error, not
+/// a `BTreeMap` indexing panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadError {
+    /// A node references a source node the loader has not yet indexed
+    /// (undefined or defined later — the IR is define-before-use).
+    UnknownSource {
+        /// The consuming node.
+        at: NodeId,
+        /// The missing producer.
+        source: NodeId,
+    },
+    /// The `OUT` statement references a node the loader never indexed.
+    UnknownOut {
+        /// The missing producer.
+        source: NodeId,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::UnknownSource { at, source } => {
+                write!(
+                    f,
+                    "node {at}: source node {source} is not defined before use"
+                )
+            }
+            LoadError::UnknownOut { source } => {
+                write!(f, "OUT references undefined node {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
 
 impl std::fmt::Display for HubError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HubError::Invalid(e) => write!(f, "invalid program: {e}"),
+            HubError::Load(e) => write!(f, "load failed: {e}"),
+            HubError::Image(e) => write!(f, "image compilation failed: {e}"),
             HubError::Exec(e) => write!(f, "execution failed: {e}"),
         }
     }
@@ -97,6 +148,8 @@ impl std::error::Error for HubError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             HubError::Invalid(e) => Some(e),
+            HubError::Load(e) => Some(e),
+            HubError::Image(e) => Some(e),
             HubError::Exec(e) => Some(e),
         }
     }
@@ -105,6 +158,18 @@ impl std::error::Error for HubError {
 impl From<ValidateError> for HubError {
     fn from(e: ValidateError) -> Self {
         HubError::Invalid(e)
+    }
+}
+
+impl From<LoadError> for HubError {
+    fn from(e: LoadError) -> Self {
+        HubError::Load(e)
+    }
+}
+
+impl From<sidewinder_mcu::ImageError> for HubError {
+    fn from(e: sidewinder_mcu::ImageError) -> Self {
+        HubError::Image(e)
     }
 }
 
@@ -272,6 +337,17 @@ impl<S: EventSink, P: Sample> HubRuntime<S, P> {
         sink: S,
     ) -> Result<Self, HubError> {
         program.validate()?;
+        Self::load_validated(program, rates, sink)
+    }
+
+    /// Assembles the node table without re-validating. Split from
+    /// [`HubRuntime::load_generic`] so the defensive error paths below
+    /// (unreachable for validated programs) stay testable.
+    pub(crate) fn load_validated(
+        program: &Program,
+        rates: &ChannelRates,
+        sink: S,
+    ) -> Result<Self, HubError> {
         // Propagate sample rates: a node inherits the rate of its first
         // source (aggregators merge branches of equal rate in practice).
         let mut node_rates: BTreeMap<NodeId, f64> = BTreeMap::new();
@@ -291,18 +367,26 @@ impl<S: EventSink, P: Sample> HubRuntime<S, P> {
             };
             let rate = match first {
                 Source::Channel(c) => rates.rate_of(*c),
-                Source::Node(src) => node_rates[src],
+                Source::Node(src) => *node_rates.get(src).ok_or(LoadError::UnknownSource {
+                    at: id,
+                    source: *src,
+                })?,
             };
             node_rates.insert(id, rate);
             let index = nodes.len();
             let dense: Vec<PortSource> = sources
                 .iter()
                 .map(|s| match s {
-                    Source::Channel(c) => PortSource::Channel(*c),
+                    Source::Channel(c) => Ok(PortSource::Channel(*c)),
                     // Define-before-use: the producer is already indexed.
-                    Source::Node(src) => PortSource::Node(index_of[src]),
+                    Source::Node(src) => index_of.get(src).map(|&i| PortSource::Node(i)).ok_or(
+                        LoadError::UnknownSource {
+                            at: id,
+                            source: *src,
+                        },
+                    ),
                 })
-                .collect();
+                .collect::<Result<_, _>>()?;
             for source in &dense {
                 match *source {
                     PortSource::Channel(c) => {
@@ -348,7 +432,9 @@ impl<S: EventSink, P: Sample> HubRuntime<S, P> {
         let out_id = program
             .out_source()
             .ok_or(HubError::Invalid(ValidateError::MissingOut))?;
-        let out_index = index_of[&out_id];
+        let out_index = *index_of
+            .get(&out_id)
+            .ok_or(LoadError::UnknownOut { source: out_id })?;
         Ok(HubRuntime {
             nodes,
             out_index,
@@ -685,6 +771,89 @@ mod tests {
         let err = HubRuntime::load(&program, &ChannelRates::default()).unwrap_err();
         assert!(matches!(err, HubError::Invalid(ValidateError::MissingOut)));
         assert!(err.to_string().contains("OUT"));
+    }
+
+    // The next three tests feed the loader programs that bypass
+    // validation (assembled with `Program::push_node` directly). Each
+    // used to panic on a `BTreeMap` index; now each must produce the
+    // matching typed `LoadError`.
+
+    #[test]
+    fn unvalidated_forward_rate_reference_is_a_typed_error() {
+        use sidewinder_ir::{AlgorithmKind, NodeId, Source};
+        let mut program = Program::new();
+        // Node 1's rate comes from node 2, which is defined later.
+        program.push_node(
+            vec![Source::Node(NodeId(2))],
+            NodeId(1),
+            AlgorithmKind::AnyOf,
+        );
+        program.push_node(
+            vec![Source::Channel(SensorChannel::AccX)],
+            NodeId(2),
+            AlgorithmKind::MovingAvg { window: 4 },
+        );
+        program.push_out(NodeId(1));
+        let err =
+            HubRuntime::<_, f64>::load_validated(&program, &ChannelRates::default(), NullSink)
+                .unwrap_err();
+        assert_eq!(
+            err,
+            HubError::Load(LoadError::UnknownSource {
+                at: NodeId(1),
+                source: NodeId(2),
+            })
+        );
+        assert!(err.to_string().contains("not defined before use"));
+    }
+
+    #[test]
+    fn unvalidated_undefined_port_source_is_a_typed_error() {
+        use sidewinder_ir::{AlgorithmKind, NodeId, Source};
+        let mut program = Program::new();
+        program.push_node(
+            vec![Source::Channel(SensorChannel::AccX)],
+            NodeId(1),
+            AlgorithmKind::MovingAvg { window: 4 },
+        );
+        // A join whose *second* port (not the rate-defining first) is
+        // undefined exercises the dense-source lookup.
+        program.push_node(
+            vec![Source::Node(NodeId(1)), Source::Node(NodeId(9))],
+            NodeId(2),
+            AlgorithmKind::AllOf,
+        );
+        program.push_out(NodeId(2));
+        let err =
+            HubRuntime::<_, f64>::load_validated(&program, &ChannelRates::default(), NullSink)
+                .unwrap_err();
+        assert_eq!(
+            err,
+            HubError::Load(LoadError::UnknownSource {
+                at: NodeId(2),
+                source: NodeId(9),
+            })
+        );
+    }
+
+    #[test]
+    fn unvalidated_undefined_out_is_a_typed_error() {
+        use sidewinder_ir::{AlgorithmKind, NodeId, Source};
+        let mut program = Program::new();
+        program.push_node(
+            vec![Source::Channel(SensorChannel::AccX)],
+            NodeId(1),
+            AlgorithmKind::MovingAvg { window: 4 },
+        );
+        program.push_out(NodeId(7));
+        let err =
+            HubRuntime::<_, f64>::load_validated(&program, &ChannelRates::default(), NullSink)
+                .unwrap_err();
+        assert_eq!(
+            err,
+            HubError::Load(LoadError::UnknownOut { source: NodeId(7) })
+        );
+        assert!(err.to_string().contains("undefined node 7"));
     }
 
     #[test]

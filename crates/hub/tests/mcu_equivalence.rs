@@ -1,0 +1,249 @@
+//! Host-vs-MCU interpreter equivalence on the six golden fixtures.
+//!
+//! The acceptance bar for the `no_std` core (DESIGN.md §6j): each golden
+//! wake-up condition, compiled to an [`McuImage`] and replayed through
+//! [`McuCore`] on the perf gate's synthetic conformance input, must
+//! produce the *bit-identical* wake sequence — same count, same sequence
+//! tags, same `f64` result bits — as [`HubRuntime`] running the same
+//! program. The f64 trace is additionally hashed and checked against the
+//! committed goldens in `results/wake_digests.json`, so host and core
+//! are both pinned to the same frozen stream. A second tier replays the
+//! single-precision core (`McuCore<f32, _>`) and holds it to the same
+//! wake schedule within the perf gate's f32 tolerance.
+
+use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
+use sidewinder_hub::{compile_image, McuCore, Sample};
+use sidewinder_ir::Program;
+use sidewinder_sensors::SensorChannel;
+
+/// The six golden wake-up conditions, as committed under `crates/ir`.
+const FIXTURES: [(&str, &str); 6] = [
+    ("steps", include_str!("../../ir/tests/fixtures/steps.swir")),
+    (
+        "transitions",
+        include_str!("../../ir/tests/fixtures/transitions.swir"),
+    ),
+    (
+        "headbutts",
+        include_str!("../../ir/tests/fixtures/headbutts.swir"),
+    ),
+    (
+        "sirens",
+        include_str!("../../ir/tests/fixtures/sirens.swir"),
+    ),
+    ("music", include_str!("../../ir/tests/fixtures/music.swir")),
+    (
+        "phrase",
+        include_str!("../../ir/tests/fixtures/phrase.swir"),
+    ),
+];
+
+/// The committed f64 goldens the perf gate checks; replaying them here
+/// pins the MCU core to the same frozen stream, not merely to whatever
+/// the host currently produces.
+const GOLDEN_DIGESTS: &str = include_str!("../../../results/wake_digests.json");
+
+/// Samples per channel — the perf gate's `DIGEST_SAMPLES`.
+const DIGEST_SAMPLES: usize = 16_384;
+
+/// Arena capacity for the fixture programs. The music/phrase conditions
+/// hold a 512- and a 2048-sample window concurrently (ring + taper +
+/// payload each), so the default 4096-element arena is too small.
+const FIXTURE_ARENA: usize = 16_384;
+
+/// The conformance input from the perf gate (`sidewinder-bench`):
+/// per-channel sinusoids alternating every 8192 samples between a loud
+/// steady tone and a quiet frequency-modulated segment.
+fn digest_sample(i: usize, ci: usize) -> f64 {
+    let loud = (i / 8192) % 2 == 1;
+    let step = if loud {
+        1.3
+    } else {
+        1.3 + 0.8 * (i as f64 / 97.0).sin()
+    };
+    let phase = i as f64 * step + ci as f64 * 0.7;
+    phase.sin() * if loud { 12.0 } else { 2.0 }
+}
+
+/// Replays the conformance input through the host runtime at vector
+/// precision `P` and collects `(seq, value)` wake pairs.
+fn host_trace<P: Sample>(program: &Program) -> Vec<(u64, f64)> {
+    let mut hub = HubRuntime::<sidewinder_obs::NullSink, P>::load_generic(
+        program,
+        &ChannelRates::default(),
+        sidewinder_obs::NullSink,
+    )
+    .expect("fixture loads on the host");
+    let channels = program.channels();
+    let mut trace = Vec::new();
+    for i in 0..DIGEST_SAMPLES {
+        for (ci, &channel) in channels.iter().enumerate() {
+            for wake in hub
+                .push_samples(channel, &[digest_sample(i, ci)])
+                .expect("fixture executes on the host")
+            {
+                trace.push((wake.seq, wake.value));
+            }
+        }
+    }
+    trace
+}
+
+/// Replays the same input through the MCU core at vector precision `P`.
+///
+/// The core is ~1 MiB of arenas at this capacity, so the caller runs
+/// this on a thread with a large stack (test threads default to 2 MiB).
+fn mcu_trace<P: Sample>(program: &Program) -> Vec<(u64, f64)> {
+    let image =
+        compile_image(program, &ChannelRates::default()).expect("fixture compiles to an image");
+    let mut core: McuCore<P, FIXTURE_ARENA> = McuCore::new();
+    core.load(&image).expect("image fits the fixture arena");
+    let channels: Vec<SensorChannel> = program.channels();
+    let mut trace = Vec::new();
+    for i in 0..DIGEST_SAMPLES {
+        for (ci, &channel) in channels.iter().enumerate() {
+            core.push_sample(channel.index() as u8, digest_sample(i, ci), &mut |w| {
+                trace.push((w.seq, w.value))
+            })
+            .expect("fixture executes on the core");
+        }
+    }
+    trace
+}
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The perf gate's wake digest over a `(seq, value)` trace.
+fn trace_digest(trace: &[(u64, f64)]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &(seq, value) in trace {
+        hash = fnv1a(hash, &seq.to_le_bytes());
+        hash = fnv1a(hash, &value.to_bits().to_le_bytes());
+    }
+    hash
+}
+
+/// Reads one `"name": "0x..."` golden out of the committed digest file.
+fn golden_digest(name: &str) -> u64 {
+    for line in GOLDEN_DIGESTS.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        if key.trim().trim_matches('"') != name {
+            continue;
+        }
+        let hex = value.trim().trim_matches('"').trim_start_matches("0x");
+        return u64::from_str_radix(hex, 16)
+            .unwrap_or_else(|e| panic!("golden digest for {name} is not hex: {e}"));
+    }
+    panic!("no committed wake digest for fixture {name}");
+}
+
+/// Runs `f` on a thread with stack room for the fixture-sized core.
+fn with_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .stack_size(32 << 20)
+        .spawn(f)
+        .expect("spawn test thread")
+        .join()
+        .expect("test thread panicked")
+}
+
+/// Bit-exact tier: on every fixture the core's f64 wake trace equals the
+/// host's, wake for wake, and both hash to the committed golden digest.
+#[test]
+fn f64_core_is_bit_identical_to_the_host_on_all_fixtures() {
+    with_big_stack(|| {
+        for (name, text) in FIXTURES {
+            let program: Program = text
+                .parse()
+                .unwrap_or_else(|e| panic!("fixture {name} does not parse: {e}"));
+            let host = host_trace::<f64>(&program);
+            let core = mcu_trace::<f64>(&program);
+            assert!(!host.is_empty(), "fixture {name} never woke on the host");
+            assert_eq!(
+                host.len(),
+                core.len(),
+                "fixture {name}: wake count diverged (host {} vs core {})",
+                host.len(),
+                core.len()
+            );
+            for (k, (&(hs, hv), &(cs, cv))) in host.iter().zip(core.iter()).enumerate() {
+                assert_eq!(hs, cs, "fixture {name}: wake #{k} moved");
+                assert_eq!(
+                    hv.to_bits(),
+                    cv.to_bits(),
+                    "fixture {name}: wake #{k} (seq {hs}) bits diverged: {hv:?} vs {cv:?}"
+                );
+            }
+            let digest = trace_digest(&core);
+            let golden = golden_digest(name);
+            assert_eq!(
+                digest, golden,
+                "fixture {name}: core digest {digest:#018x} != committed {golden:#018x}"
+            );
+        }
+    });
+}
+
+/// Tolerance tier: the single-precision core holds the f64 reference's
+/// wake schedule, values within the perf gate's f32 budget (DESIGN.md
+/// §6h: 1e-3 relative, floored at an absolute scale of 1.0).
+#[test]
+fn f32_core_holds_the_wake_schedule_within_tolerance() {
+    const F32_RELATIVE_TOLERANCE: f64 = 1e-3;
+    with_big_stack(|| {
+        for (name, text) in FIXTURES {
+            let program: Program = text
+                .parse()
+                .unwrap_or_else(|e| panic!("fixture {name} does not parse: {e}"));
+            let wide = host_trace::<f64>(&program);
+            let narrow = mcu_trace::<f32>(&program);
+            assert_eq!(
+                wide.len(),
+                narrow.len(),
+                "fixture {name}: wake count diverged at f32"
+            );
+            for (k, (&(s64, v64), &(s32, v32))) in wide.iter().zip(narrow.iter()).enumerate() {
+                assert_eq!(s64, s32, "fixture {name}: wake #{k} moved at f32");
+                let scale = v64.abs().max(1.0);
+                assert!(
+                    (v64 - v32).abs() <= F32_RELATIVE_TOLERANCE * scale,
+                    "fixture {name}: wake #{k} (seq {s64}) off at f32: {v64:.9} vs {v32:.9}"
+                );
+            }
+        }
+    });
+}
+
+/// The single-precision core also matches the host's own f32 pipeline
+/// bit for bit — the narrowing points are mirrored, not merely close.
+#[test]
+fn f32_core_is_bit_identical_to_the_host_f32_pipeline() {
+    with_big_stack(|| {
+        for (name, text) in FIXTURES {
+            let program: Program = text
+                .parse()
+                .unwrap_or_else(|e| panic!("fixture {name} does not parse: {e}"));
+            let host = host_trace::<f32>(&program);
+            let core = mcu_trace::<f32>(&program);
+            assert_eq!(host.len(), core.len(), "fixture {name}: f32 count diverged");
+            for (k, (&(hs, hv), &(cs, cv))) in host.iter().zip(core.iter()).enumerate() {
+                assert_eq!(hs, cs, "fixture {name}: f32 wake #{k} moved");
+                assert_eq!(
+                    hv.to_bits(),
+                    cv.to_bits(),
+                    "fixture {name}: f32 wake #{k} (seq {hs}) bits diverged"
+                );
+            }
+        }
+    });
+}

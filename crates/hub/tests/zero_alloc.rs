@@ -14,6 +14,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use sidewinder_hub::runtime::{ChannelRates, HubRuntime, HubRuntime32};
+use sidewinder_hub::{compile_image, McuCore};
 use sidewinder_ir::Program;
 use sidewinder_obs::CounterSink;
 use sidewinder_sensors::SensorChannel;
@@ -159,6 +160,62 @@ fn music_per_sample_path_does_not_allocate() {
         "music batch allocated {} times (expected only per-window ZCR scratch)",
         after - before
     );
+}
+
+/// The `no_std` core's promise is stronger than the host's: *zero*
+/// allocations total, from `new` through `load` through the entire
+/// replay — no warm-up exemption, and no per-window ZCR scratch either
+/// (the arena carve-out covers what the host runtime's instances still
+/// take from the heap). Only compiling the image — a host-side,
+/// load-time step — may allocate.
+#[test]
+fn mcu_core_performs_zero_allocations_total() {
+    let steps: Program = include_str!("../../ir/tests/fixtures/steps.swir")
+        .parse()
+        .unwrap();
+    let music: Program = include_str!("../../ir/tests/fixtures/music.swir")
+        .parse()
+        .unwrap();
+    let steps_image = compile_image(&steps, &ChannelRates::default()).unwrap();
+    let music_image = compile_image(&music, &ChannelRates::default()).unwrap();
+    let step_samples = step_signal(8192);
+
+    // The music fixture's 2048-sample window outgrows the default arena;
+    // a fixture-sized core is ~1 MiB, so give it stack room.
+    std::thread::Builder::new()
+        .stack_size(32 << 20)
+        .spawn(move || {
+            let before = allocations();
+
+            let mut core: McuCore<f64, 16_384> = McuCore::new();
+            core.load(&steps_image).unwrap();
+            let mut wakes = 0u64;
+            for &x in &step_samples {
+                core.push_sample(SensorChannel::AccX.index() as u8, x, &mut |_| wakes += 1)
+                    .unwrap();
+            }
+            assert!(wakes > 0, "steps must wake on the core");
+
+            core.load(&music_image).unwrap();
+            for i in 0..8192 {
+                core.push_sample(
+                    SensorChannel::Mic.index() as u8,
+                    (i as f64 * 0.785).sin(),
+                    &mut |_| {},
+                )
+                .unwrap();
+            }
+            let after = allocations();
+            assert_eq!(
+                after - before,
+                0,
+                "mcu core allocated {} times across new + load + 16384 samples",
+                after - before
+            );
+        })
+        .unwrap()
+        .join()
+        .unwrap();
 }
 
 /// The precision parameter does not change the allocation story: the

@@ -1,0 +1,335 @@
+//! Scalar float math for the `no_std` core.
+//!
+//! On Rust 1.82 the transcendental `f64` methods (`sqrt`, `sin`, `cos`,
+//! `hypot`, `atan2`, `ln`, `exp`, `round`) live in `std`, not `core`,
+//! so every kernel in this crate routes through this shim instead of
+//! calling them directly.
+//!
+//! With the `std` feature on (every host build) the shim is a
+//! zero-cost forward to the platform libm — the kernels stay
+//! bit-identical to the pre-split `sidewinder-dsp` code, which is what
+//! keeps the frozen wake digests valid. With `std` off (the thumb
+//! cross-build) the pure-Rust fallbacks below are used; they are
+//! accurate to roughly 1e-12 relative over the ranges the kernels use,
+//! and nothing ever compares their bits against a host run.
+
+/// `|x|` by clearing the sign bit — exactly what `f64::abs` does, so
+/// this one needs no feature gate.
+#[inline(always)]
+pub fn abs(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() & !(1u64 << 63))
+}
+
+/// `|x|` for `f32`, same bit trick.
+#[inline(always)]
+pub fn abs_f32(x: f32) -> f32 {
+    f32::from_bits(x.to_bits() & !(1u32 << 31))
+}
+
+#[cfg(any(test, feature = "std"))]
+mod imp {
+    #[inline(always)]
+    pub fn sqrt(x: f64) -> f64 {
+        x.sqrt()
+    }
+    #[inline(always)]
+    pub fn sqrt_f32(x: f32) -> f32 {
+        x.sqrt()
+    }
+    #[inline(always)]
+    pub fn sin(x: f64) -> f64 {
+        x.sin()
+    }
+    #[inline(always)]
+    pub fn cos(x: f64) -> f64 {
+        x.cos()
+    }
+    #[inline(always)]
+    pub fn hypot(x: f64, y: f64) -> f64 {
+        x.hypot(y)
+    }
+    #[inline(always)]
+    pub fn atan2(y: f64, x: f64) -> f64 {
+        y.atan2(x)
+    }
+    #[inline(always)]
+    pub fn ln(x: f64) -> f64 {
+        x.ln()
+    }
+    #[inline(always)]
+    pub fn exp(x: f64) -> f64 {
+        x.exp()
+    }
+    #[inline(always)]
+    pub fn round(x: f64) -> f64 {
+        x.round()
+    }
+    #[inline(always)]
+    pub fn floor(x: f64) -> f64 {
+        x.floor()
+    }
+}
+
+#[cfg(not(any(test, feature = "std")))]
+mod imp {
+    use core::f64::consts::{FRAC_PI_2, PI};
+
+    /// Newton–Raphson square root from a bit-level initial guess.
+    pub fn sqrt(x: f64) -> f64 {
+        if x < 0.0 || x != x {
+            return f64::NAN;
+        }
+        if x == 0.0 || x == f64::INFINITY {
+            return x;
+        }
+        // Halve the exponent for a guess good to a couple of bits,
+        // then five Newton steps converge well past 1e-15 relative.
+        let mut y = f64::from_bits((x.to_bits() >> 1) + 0x1FF8_0000_0000_0000);
+        for _ in 0..5 {
+            y = 0.5 * (y + x / y);
+        }
+        y
+    }
+
+    pub fn sqrt_f32(x: f32) -> f32 {
+        sqrt(x as f64) as f32
+    }
+
+    pub fn floor(x: f64) -> f64 {
+        // |x| >= 2^52 is already integral (or non-finite).
+        if !(super::abs(x) < 4_503_599_627_370_496.0) {
+            return x;
+        }
+        let t = x as i64 as f64; // truncation toward zero
+        if t > x {
+            t - 1.0
+        } else {
+            t
+        }
+    }
+
+    pub fn round(x: f64) -> f64 {
+        if !(super::abs(x) < 4_503_599_627_370_496.0) {
+            return x;
+        }
+        // Round half away from zero, like `f64::round`.
+        if x >= 0.0 {
+            floor(x + 0.5)
+        } else {
+            -floor(-x + 0.5)
+        }
+    }
+
+    /// Sine via range reduction to [-pi, pi] and a 15th-order Taylor
+    /// polynomial (worst case ~1e-12 absolute on the reduced range).
+    pub fn sin(x: f64) -> f64 {
+        if x != x || super::abs(x) == f64::INFINITY {
+            return f64::NAN;
+        }
+        let mut r = x - floor(x / (2.0 * PI)) * 2.0 * PI; // [0, 2pi)
+        if r > PI {
+            r -= 2.0 * PI; // (-pi, pi]
+        }
+        // Fold into [-pi/2, pi/2] where the polynomial is tightest.
+        if r > FRAC_PI_2 {
+            r = PI - r;
+        } else if r < -FRAC_PI_2 {
+            r = -PI - r;
+        }
+        let r2 = r * r;
+        // sin r = r (1 - r^2/6 (1 - r^2/20 (1 - ...))) up to r^15.
+        let mut p = 1.0 - r2 / (14.0 * 15.0);
+        p = 1.0 - r2 / (12.0 * 13.0) * p;
+        p = 1.0 - r2 / (10.0 * 11.0) * p;
+        p = 1.0 - r2 / (8.0 * 9.0) * p;
+        p = 1.0 - r2 / (6.0 * 7.0) * p;
+        p = 1.0 - r2 / (4.0 * 5.0) * p;
+        p = 1.0 - r2 / (2.0 * 3.0) * p;
+        r * p
+    }
+
+    pub fn cos(x: f64) -> f64 {
+        sin(FRAC_PI_2 - x)
+    }
+
+    pub fn hypot(x: f64, y: f64) -> f64 {
+        let (x, y) = (super::abs(x), super::abs(y));
+        if x == f64::INFINITY || y == f64::INFINITY {
+            return f64::INFINITY;
+        }
+        let (hi, lo) = if x > y { (x, y) } else { (y, x) };
+        if hi == 0.0 {
+            return 0.0;
+        }
+        // Scale to dodge overflow/underflow in the squares.
+        let r = lo / hi;
+        hi * sqrt(1.0 + r * r)
+    }
+
+    /// atan on [0, 1] via the Euler series, extended by identities.
+    fn atan_unit(x: f64) -> f64 {
+        // atan x = x / (1 + x^2) * sum_k prod_{j<=k} (2j x^2 / ((2j+1)(1+x^2)))
+        let x2 = x * x;
+        let base = x2 / (1.0 + x2);
+        let mut term = x / (1.0 + x2);
+        let mut sum = term;
+        let mut j = 1.0;
+        while super::abs(term) > 1e-17 && j < 200.0 {
+            term *= 2.0 * j * base / (2.0 * j + 1.0);
+            sum += term;
+            j += 1.0;
+        }
+        sum
+    }
+
+    fn atan(x: f64) -> f64 {
+        let a = super::abs(x);
+        let r = if a <= 1.0 {
+            atan_unit(a)
+        } else {
+            FRAC_PI_2 - atan_unit(1.0 / a)
+        };
+        if x < 0.0 {
+            -r
+        } else {
+            r
+        }
+    }
+
+    pub fn atan2(y: f64, x: f64) -> f64 {
+        if x != x || y != y {
+            return f64::NAN;
+        }
+        if x > 0.0 {
+            atan(y / x)
+        } else if x < 0.0 {
+            if y >= 0.0 {
+                atan(y / x) + PI
+            } else {
+                atan(y / x) - PI
+            }
+        } else if y > 0.0 {
+            FRAC_PI_2
+        } else if y < 0.0 {
+            -FRAC_PI_2
+        } else {
+            // atan2(0, 0) = 0 with the sign conventions we need here.
+            0.0
+        }
+    }
+
+    /// Natural log from the exponent bits plus an atanh series on the
+    /// mantissa: ln(m 2^e) = e ln 2 + 2 atanh((m-1)/(m+1)).
+    pub fn ln(x: f64) -> f64 {
+        if x != x || x < 0.0 {
+            return f64::NAN;
+        }
+        if x == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if x == f64::INFINITY {
+            return f64::INFINITY;
+        }
+        const LN_2: f64 = core::f64::consts::LN_2;
+        let bits = x.to_bits();
+        let mut e = ((bits >> 52) & 0x7FF) as i64 - 1023;
+        let mut m = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | (1023u64 << 52));
+        if e == -1023 {
+            // Subnormal: renormalize.
+            let n = x * 4_503_599_627_370_496.0; // 2^52
+            let nbits = n.to_bits();
+            e = ((nbits >> 52) & 0x7FF) as i64 - 1023 - 52;
+            m = f64::from_bits((nbits & 0x000F_FFFF_FFFF_FFFF) | (1023u64 << 52));
+        }
+        if m > core::f64::consts::SQRT_2 {
+            m *= 0.5;
+            e += 1;
+        }
+        let t = (m - 1.0) / (m + 1.0);
+        let t2 = t * t;
+        let mut term = t;
+        let mut sum = t;
+        let mut k = 1.0;
+        while super::abs(term) > 1e-18 && k < 100.0 {
+            term *= t2;
+            sum += term / (2.0 * k + 1.0);
+            k += 1.0;
+        }
+        e as f64 * LN_2 + 2.0 * sum
+    }
+
+    /// exp via 2^k * e^r with |r| <= ln2/2 and a Taylor tail.
+    pub fn exp(x: f64) -> f64 {
+        if x != x {
+            return f64::NAN;
+        }
+        if x > 709.78 {
+            return f64::INFINITY;
+        }
+        if x < -745.0 {
+            return 0.0;
+        }
+        const LN_2: f64 = core::f64::consts::LN_2;
+        let k = round(x / LN_2);
+        let r = x - k * LN_2;
+        let mut term = 1.0;
+        let mut sum = 1.0;
+        let mut n = 1.0;
+        while super::abs(term) > 1e-19 && n < 40.0 {
+            term *= r / n;
+            sum += term;
+            n += 1.0;
+        }
+        // Scale by 2^k through the exponent bits; split the scale in
+        // two when 2^k alone would leave the normal range.
+        let mut k = k as i64;
+        let mut out = sum;
+        while k > 512 {
+            out *= f64::from_bits((1023u64 + 512) << 52);
+            k -= 512;
+        }
+        while k < -512 {
+            out *= f64::from_bits((1023u64 - 512) << 52);
+            k += 512;
+        }
+        out * f64::from_bits(((1023 + k) as u64) << 52)
+    }
+}
+
+pub use imp::{atan2, cos, exp, floor, hypot, ln, round, sin, sqrt, sqrt_f32};
+
+#[cfg(test)]
+mod tests {
+    // The workspace builds this crate with `std` on, so these tests
+    // pin the shim against the libm it forwards to. The no-std
+    // fallback bodies are compile-checked by the host
+    // `--no-default-features` build and the thumb CI job.
+    use super::*;
+
+    #[test]
+    fn abs_matches_std() {
+        for x in [0.0f64, -0.0, 1.5, -1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(abs(x).to_bits(), x.abs().to_bits());
+        }
+        assert!(abs(f64::NAN).is_nan());
+        assert_eq!(abs_f32(-3.25f32).to_bits(), 3.25f32.to_bits());
+    }
+
+    #[cfg(any(test, feature = "std"))]
+    #[test]
+    fn std_shim_is_bit_identical_to_libm() {
+        for i in 0..1000 {
+            let x = (i as f64) * 0.137 - 68.5;
+            assert_eq!(sin(x).to_bits(), x.sin().to_bits());
+            assert_eq!(cos(x).to_bits(), x.cos().to_bits());
+            assert_eq!(exp(x * 0.1).to_bits(), (x * 0.1).exp().to_bits());
+            assert_eq!(round(x).to_bits(), x.round().to_bits());
+            assert_eq!(floor(x).to_bits(), x.floor().to_bits());
+            let p = abs(x) + 0.001;
+            assert_eq!(sqrt(p).to_bits(), p.sqrt().to_bits());
+            assert_eq!(ln(p).to_bits(), p.ln().to_bits());
+            assert_eq!(hypot(x, p).to_bits(), x.hypot(p).to_bits());
+            assert_eq!(atan2(x, p).to_bits(), x.atan2(p).to_bits());
+        }
+    }
+}

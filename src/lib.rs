@@ -20,6 +20,9 @@
 //! * [`hub`] — the sensor-hub substrate: the IR interpreter, MCU
 //!   capability models, the serial-link budget;
 //! * [`dsp`] — the numerical kernels behind the hub algorithms;
+//! * [`mcu`] — the `#![no_std]` hub core: the fixed-capacity image
+//!   format, the zero-allocation interpreter, and the `Sample`-generic
+//!   kernels, cross-compilable to bare-metal MCU targets;
 //! * [`sensors`] — traces, channels, timestamps, ground truth;
 //! * [`tracegen`] — synthetic robot / human / audio trace generators;
 //! * [`apps`] — the six evaluation applications and the
@@ -79,6 +82,7 @@ pub use sidewinder_fleet as fleet;
 pub use sidewinder_hub as hub;
 pub use sidewinder_ir as ir;
 pub use sidewinder_lint as lint;
+pub use sidewinder_mcu as mcu;
 pub use sidewinder_obs as obs;
 pub use sidewinder_opt as opt;
 pub use sidewinder_sensors as sensors;
