@@ -1,0 +1,817 @@
+//! `swcert` — the static resource certifier.
+//!
+//! The paper's placement story (Table 2) is that a wake condition
+//! *provably fits* a tiny hub MCU. The linter's SW006/SW007 checks
+//! predict fit from the flop/RAM cost model, but until this crate
+//! nothing certified what [`McuCore::load`](sidewinder_mcu::McuCore)
+//! actually carves: the seven bump arenas were sized by folklore
+//! (`DEFAULT_ARENA`, hand-known 16k cores for music/phrase). `swcert`
+//! closes that gap with a certification pass over the compiled
+//! [`McuImage`] — the exact bytes an MCU would execute — deriving, per
+//! program, per precision, per target MCU:
+//!
+//! * **arena occupancy** — exact per-arena element counts for all seven
+//!   arenas (via [`sidewinder_mcu::footprint`], the same accounting
+//!   `load` enforces), with per-arena attribution of the heaviest node;
+//! * **cycle bounds** — worst-case flops and cycles per second per
+//!   node, mirroring [`PipelineCost`](sidewinder_hub::cost::PipelineCost)
+//!   with bitwise-identical arithmetic so the certifier and the
+//!   SW006/SW007 lints provably agree;
+//! * **schedulability** — worst-case cycles/second against the target
+//!   MCU's real-time budget and RAM;
+//! * **an energy ceiling** — certified flop rate priced at
+//!   [`sidewinder_hub::energy::HUB_NJ_PER_FLOP`] plus certified wake
+//!   rate priced at the framed UART link cost, the same constants the
+//!   simulator's attribution ledger charges.
+//!
+//! The result is a plain-data [`ResourceCert`] with a canonical JSON
+//! rendering ([`canonical_json`]) and a pinned FNV-1a digest
+//! ([`digest`]); `results/resource_certs.json` pins the six golden
+//! fixtures and the fused suite. Soundness — measured arena high-water
+//! marks and execution counts never exceed certified bounds — is
+//! enforced by the `soundness` test suite and the `cert_soundness` fuzz
+//! target; monotonicity under `opt::optimize` is asserted by the
+//! optimizer itself in debug builds.
+
+pub mod render;
+
+pub use render::{canonical_json, digest, fnv1a64, render_pins, PinEntry};
+
+use sidewinder_hub::cost::kind_cost;
+use sidewinder_hub::energy::{HUB_NJ_PER_FLOP, LINK_ACTIVE_MW};
+use sidewinder_hub::fault::WAKE_FRAME_BYTES;
+use sidewinder_hub::link::SerialLink;
+use sidewinder_hub::mcu::CapacityError;
+use sidewinder_hub::runtime::ChannelRates;
+use sidewinder_hub::{compile_image, HubError, Mcu};
+use sidewinder_ir::{AlgorithmKind, NodeId, Program, StatFn, WindowShapeParam};
+use sidewinder_mcu::footprint::{image_footprint, ArenaKind, ImageFootprint};
+use sidewinder_mcu::image::{MAX_CHANNELS, MAX_NODES};
+use sidewinder_mcu::{McuExecError, McuImage, NodeKind, PortSource, StatKind, WindowShape};
+use sidewinder_sensors::SensorChannel;
+
+/// The sample payload width a certificate prices arenas at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// `f64` payloads (the digest-pinned reference precision).
+    F64,
+    /// `f32` payloads (the SIMD pipeline mode).
+    F32,
+}
+
+impl Precision {
+    /// Bytes per sample payload element.
+    pub fn sample_bytes(self) -> usize {
+        match self {
+            Precision::F64 => 8,
+            Precision::F32 => 4,
+        }
+    }
+
+    /// Lowercase label used in renderings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+}
+
+/// What to certify against: a core capacity and an MCU (or the catalog).
+#[derive(Debug, Clone, Copy)]
+pub struct CertTarget {
+    /// The MCU to check schedulability against; `None` means pick the
+    /// cheapest fitting part from [`Mcu::CATALOG`], exactly as
+    /// [`Mcu::cheapest_for`] (and therefore SW006/SW007) does.
+    pub mcu: Option<Mcu>,
+    /// Core arena capacity (`CAP` of the `McuCore` the image targets).
+    pub cap: usize,
+}
+
+impl Default for CertTarget {
+    fn default() -> Self {
+        CertTarget {
+            mcu: None,
+            cap: sidewinder_mcu::DEFAULT_ARENA,
+        }
+    }
+}
+
+/// One arena's certified occupancy, priced at the cert's precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArenaCert {
+    /// Stable arena name (e.g. `"sample arena"`).
+    pub name: &'static str,
+    /// Certified element occupancy.
+    pub elements: usize,
+    /// Bytes per element at the cert's precision.
+    pub element_bytes: usize,
+    /// `elements × element_bytes`.
+    pub bytes: usize,
+    /// Dense image index of the heaviest contributor, when any node
+    /// contributes at all.
+    pub peak_node: Option<u16>,
+    /// The heaviest contributor's element count.
+    pub peak_elements: usize,
+}
+
+/// One node's certified worst-case demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeCert {
+    /// Dense image index.
+    pub index: u16,
+    /// IR algorithm name (`window`, `fft`, …).
+    pub kind: &'static str,
+    /// IR node id, when certified from a program.
+    pub ir_id: Option<u32>,
+    /// Source line, when certified from parsed text.
+    pub line: Option<u32>,
+    /// Emissions per second arriving at the node (sum over ports).
+    pub input_rate_hz: f64,
+    /// Worst-case emissions per second leaving the node.
+    pub out_rate_hz: f64,
+    /// Elements per emission leaving the node.
+    pub out_len: usize,
+    /// Sample rate of the data inside incoming vectors.
+    pub base_rate_hz: f64,
+    /// Dense-channel bitmask of the sensor channels transitively
+    /// feeding this node.
+    pub channels_mask: u16,
+    /// Floating-point operations per input emission.
+    pub flops_per_input: f64,
+    /// Worst-case flops per second (`input_rate_hz × flops_per_input`).
+    pub flops_per_second: f64,
+    /// Host-model state bytes (the SW006/SW007 RAM estimate).
+    pub memory_bytes: usize,
+}
+
+/// Schedulability of the certified demand on one MCU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McuVerdict {
+    /// The MCU judged (the cheapest fitting part in auto mode, or the
+    /// last catalog part when nothing fits).
+    pub mcu: &'static str,
+    /// MCU awake power, mW.
+    pub awake_power_mw: f64,
+    /// Worst-case cycles per second the image demands on this MCU.
+    pub demanded_cycles_per_s: f64,
+    /// Cycles per second the MCU grants wake conditions.
+    pub budget_cycles_per_s: f64,
+    /// Host-model memory demand, bytes.
+    pub memory_bytes: usize,
+    /// MCU RAM, bytes.
+    pub ram_bytes: usize,
+    /// Why the image does not fit, when it doesn't.
+    pub error: Option<CapacityError>,
+}
+
+/// The static energy ceiling, µW.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyCert {
+    /// Certified flop rate priced at [`HUB_NJ_PER_FLOP`].
+    pub compute_uw: f64,
+    /// Certified wake rate priced at the framed UART transfer cost and
+    /// [`LINK_ACTIVE_MW`].
+    pub link_uw: f64,
+    /// `compute_uw + link_uw` — the ceiling the attribution ledger's
+    /// compute and link rows stay under.
+    pub total_uw: f64,
+}
+
+/// A complete certificate for one image at one precision and target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceCert {
+    /// Sample payload width the byte figures assume.
+    pub precision: Precision,
+    /// The core capacity certified against.
+    pub cap: usize,
+    /// Largest single-arena occupancy — the smallest `CAP` that loads
+    /// the image.
+    pub required_capacity: usize,
+    /// Whether every arena fits `cap`.
+    pub fits_cap: bool,
+    /// Total carved bytes at this precision.
+    pub total_bytes: usize,
+    /// Per-arena occupancy, in [`ArenaKind::ALL`] order.
+    pub arenas: [ArenaCert; 7],
+    /// Per-node demand, in dense image order.
+    pub nodes: Vec<NodeCert>,
+    /// Dense per-channel sample rates the cert was derived at.
+    pub channel_rates: [f64; MAX_CHANNELS],
+    /// Worst-case total flops per second (bitwise equal to
+    /// `PipelineCost::total_flops_per_second`).
+    pub total_flops_per_second: f64,
+    /// Host-model memory demand (bitwise equal to
+    /// `PipelineCost::total_memory_bytes`).
+    pub total_memory_bytes: usize,
+    /// Worst-case wake emissions per second.
+    pub wake_rate_hz: f64,
+    /// Schedulability on the target (or cheapest catalog) MCU.
+    pub mcu: McuVerdict,
+    /// The static energy ceiling.
+    pub energy: EnergyCert,
+}
+
+impl ResourceCert {
+    /// The certificate's canonical-JSON FNV-1a digest.
+    pub fn digest(&self) -> u64 {
+        digest(self)
+    }
+}
+
+/// Why an input could not be certified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertError {
+    /// The program failed to compile into an image.
+    Compile(HubError),
+    /// The image carries parameters `load` would reject.
+    Image(McuExecError),
+}
+
+impl std::fmt::Display for CertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertError::Compile(e) => write!(f, "uncertifiable: {e}"),
+            CertError::Image(e) => write!(f, "uncertifiable image: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+impl From<HubError> for CertError {
+    fn from(e: HubError) -> Self {
+        CertError::Compile(e)
+    }
+}
+
+/// Dense per-channel rate table: index `c` holds the rate of the sensor
+/// channel whose dense index is `c`, exactly as `compile_image` encodes
+/// `PortSource::Channel`.
+pub fn dense_rates(rates: &ChannelRates) -> [f64; MAX_CHANNELS] {
+    let mut dense = [0.0; MAX_CHANNELS];
+    for &channel in &SensorChannel::ALL {
+        dense[channel.index()] = rates.rate_of(channel);
+    }
+    dense
+}
+
+/// Certifies a compiled image. Total: never panics; images carrying
+/// parameters `load` would reject return [`CertError::Image`].
+///
+/// # Errors
+///
+/// Returns [`CertError::Image`] when the image's footprint is
+/// undefined (bad node parameters).
+pub fn certify_image(
+    image: &McuImage,
+    rates: &ChannelRates,
+    precision: Precision,
+    target: &CertTarget,
+) -> Result<ResourceCert, CertError> {
+    let footprint = image_footprint(image).map_err(CertError::Image)?;
+    let dense = dense_rates(rates);
+    Ok(build_cert(image, &footprint, &dense, precision, target))
+}
+
+/// Compiles and certifies a program, enriching the certificate with IR
+/// node ids, source lines, and the abstract interpreter's (often
+/// tighter) wake-rate fact.
+///
+/// # Errors
+///
+/// Returns [`CertError::Compile`] when the program fails validation or
+/// exceeds image capacities, and [`CertError::Image`] as
+/// [`certify_image`] does.
+pub fn certify_program(
+    program: &Program,
+    rates: &ChannelRates,
+    precision: Precision,
+    target: &CertTarget,
+) -> Result<ResourceCert, CertError> {
+    let image = compile_image(program, rates)?;
+    let mut cert = certify_image(&image, rates, precision, target)?;
+
+    // The image preserves statement order, so the i-th image node is the
+    // i-th program node; the abstract interpreter walks the same order.
+    let analysis = sidewinder_lint::absint::analyze(program, rates);
+    for (node, fact) in cert.nodes.iter_mut().zip(analysis.facts()) {
+        node.ir_id = Some(fact.id.0);
+        node.line = fact.line;
+    }
+    // Both the cost-mirror out-rate and the absint emission fact are
+    // sound wake-rate bounds; take the tighter.
+    if let Some(fact) = analysis.out_fact() {
+        if fact.rate_hz.is_finite() && fact.rate_hz < cert.wake_rate_hz {
+            cert.wake_rate_hz = fact.rate_hz;
+            cert.energy = energy_of(cert.total_flops_per_second, cert.wake_rate_hz);
+        }
+    }
+    Ok(cert)
+}
+
+fn energy_of(total_flops_per_second: f64, wake_rate_hz: f64) -> EnergyCert {
+    // flops/s × nJ/flop = nW; ×1e-3 → µW.
+    let compute_uw = total_flops_per_second * HUB_NJ_PER_FLOP * 1e-3;
+    let frame_s = SerialLink::NEXUS4_UART
+        .framed_transfer_time(WAKE_FRAME_BYTES)
+        .as_secs_f64();
+    // wakes/s × s/frame × mW = mW duty; ×1e3 → µW.
+    let link_uw = wake_rate_hz * frame_s * LINK_ACTIVE_MW * 1e3;
+    EnergyCert {
+        compute_uw,
+        link_uw,
+        total_uw: compute_uw + link_uw,
+    }
+}
+
+fn verdict_for(mcu: &Mcu, total_flops_per_second: f64, total_memory_bytes: usize) -> McuVerdict {
+    // The exact comparisons of `Mcu::supports_cost`, fed the mirror's
+    // bitwise-identical totals, so verdicts provably agree with
+    // SW006/SW007.
+    let demanded = total_flops_per_second * mcu.cycles_per_flop;
+    let error = if demanded > mcu.cycle_budget() {
+        Some(CapacityError::NotRealTime {
+            mcu: mcu.name,
+            demanded_cycles_per_s: demanded,
+            budget_cycles_per_s: mcu.cycle_budget(),
+        })
+    } else if total_memory_bytes > mcu.ram_bytes {
+        Some(CapacityError::OutOfMemory {
+            mcu: mcu.name,
+            demanded_bytes: total_memory_bytes,
+            ram_bytes: mcu.ram_bytes,
+        })
+    } else {
+        None
+    };
+    McuVerdict {
+        mcu: mcu.name,
+        awake_power_mw: mcu.awake_power_mw,
+        demanded_cycles_per_s: demanded,
+        budget_cycles_per_s: mcu.cycle_budget(),
+        memory_bytes: total_memory_bytes,
+        ram_bytes: mcu.ram_bytes,
+        error,
+    }
+}
+
+fn build_cert(
+    image: &McuImage,
+    footprint: &ImageFootprint,
+    dense: &[f64; MAX_CHANNELS],
+    precision: Precision,
+    target: &CertTarget,
+) -> ResourceCert {
+    let n = image.node_count();
+    let mut out_rate = [0.0f64; MAX_NODES];
+    let mut out_len = [1usize; MAX_NODES];
+    let mut out_base = [0.0f64; MAX_NODES];
+    let mut channels = [0u16; MAX_NODES];
+    let mut nodes = Vec::with_capacity(n);
+
+    for (i, spec) in image.nodes().iter().enumerate() {
+        let sources = &spec.sources[..(spec.port_count as usize).min(spec.sources.len())];
+        // Mirror of `PipelineCost::analyze`, edge for edge: summed input
+        // rate, max input length (channels count as scalars), max base
+        // rate. Out-of-range references (impossible in built images, but
+        // certification is total) take the analyzer's defaults.
+        let src_rates: Vec<f64> = sources
+            .iter()
+            .map(|s| match s {
+                PortSource::Channel(c) => dense.get(*c as usize).copied().unwrap_or(0.0),
+                PortSource::Node(s) if (*s as usize) < i => out_rate[*s as usize],
+                PortSource::Node(_) => 0.0,
+            })
+            .collect();
+        let input_rate: f64 = src_rates.iter().sum();
+        let input_len = sources
+            .iter()
+            .map(|s| match s {
+                PortSource::Channel(_) => 1,
+                PortSource::Node(s) if (*s as usize) < i => out_len[*s as usize],
+                PortSource::Node(_) => 1,
+            })
+            .max()
+            .unwrap_or(1);
+        let input_base = sources
+            .iter()
+            .map(|s| match s {
+                PortSource::Channel(c) => dense.get(*c as usize).copied().unwrap_or(0.0),
+                PortSource::Node(s) if (*s as usize) < i => out_base[*s as usize],
+                PortSource::Node(_) => 0.0,
+            })
+            .fold(0.0, f64::max);
+        let kind = algorithm_of(&spec.kind);
+        let (flops, mem, mut rate_out, len_out) =
+            kind_cost(&kind, input_rate, input_len, input_base);
+        if matches!(kind, AlgorithmKind::VectorMagnitude | AlgorithmKind::AllOf) {
+            rate_out = src_rates.iter().copied().fold(f64::INFINITY, f64::min);
+            if !rate_out.is_finite() {
+                rate_out = 0.0;
+            }
+        }
+        let mask = sources.iter().fold(0u16, |acc, s| match s {
+            PortSource::Channel(c) => acc | 1u16.checked_shl(u32::from(*c)).unwrap_or(0),
+            PortSource::Node(s) if (*s as usize) < i => acc | channels[*s as usize],
+            PortSource::Node(_) => acc,
+        });
+
+        nodes.push(NodeCert {
+            index: i as u16,
+            kind: kind.ir_name(),
+            ir_id: None,
+            line: None,
+            input_rate_hz: input_rate,
+            out_rate_hz: rate_out,
+            out_len: len_out,
+            base_rate_hz: input_base,
+            channels_mask: mask,
+            flops_per_input: flops,
+            flops_per_second: input_rate * flops,
+            memory_bytes: mem,
+        });
+        if i < MAX_NODES {
+            out_rate[i] = rate_out;
+            out_len[i] = len_out;
+            out_base[i] = input_base;
+            channels[i] = mask;
+        }
+    }
+
+    let total_flops_per_second: f64 = nodes.iter().map(|n| n.flops_per_second).sum();
+    let total_memory_bytes: usize = nodes.iter().map(|n| n.memory_bytes).sum();
+    let wake_rate_hz = if image.out_index() < n {
+        out_rate[image.out_index()]
+    } else {
+        0.0
+    };
+
+    let sample_bytes = precision.sample_bytes();
+    let arenas = ArenaKind::ALL.map(|k| {
+        let a = footprint.arena(k);
+        ArenaCert {
+            name: k.name(),
+            elements: a.elements,
+            element_bytes: k.element_bytes(sample_bytes),
+            bytes: a.elements * k.element_bytes(sample_bytes),
+            peak_node: (a.peak_elements > 0).then_some(a.peak_node),
+            peak_elements: a.peak_elements,
+        }
+    });
+
+    let mcu = match target.mcu {
+        Some(mcu) => verdict_for(&mcu, total_flops_per_second, total_memory_bytes),
+        None => {
+            // Auto: the cheapest fitting catalog part, or the last
+            // part's verdict when nothing fits — `Mcu::cheapest_for`'s
+            // selection rule.
+            let mut verdict = None;
+            for mcu in &Mcu::CATALOG {
+                let v = verdict_for(mcu, total_flops_per_second, total_memory_bytes);
+                let done = v.error.is_none();
+                verdict = Some(v);
+                if done {
+                    break;
+                }
+            }
+            verdict.expect("catalog is non-empty")
+        }
+    };
+
+    ResourceCert {
+        precision,
+        cap: target.cap,
+        required_capacity: footprint.required_capacity(),
+        fits_cap: footprint.fits(target.cap),
+        total_bytes: footprint.total_bytes(sample_bytes),
+        arenas,
+        nodes,
+        channel_rates: *dense,
+        total_flops_per_second,
+        total_memory_bytes,
+        wake_rate_hz,
+        mcu,
+        energy: energy_of(total_flops_per_second, wake_rate_hz),
+    }
+}
+
+/// A sound upper bound on how many emissions `cert.nodes[node]` may
+/// produce after the given per-dense-channel push counts.
+///
+/// Every push runs one interpreter pass, and a pass emits each node at
+/// most once, so the sum of pushes on the node's contributing channels
+/// is always sound. When all contributing channels share one base rate
+/// the certified out-rate gives a much tighter bound (`pushes ×
+/// out_rate / base`, plus one for edge alignment and float rounding);
+/// multi-rate joins fall back to the trivial bound because elapsed time
+/// cannot be recovered from per-channel counts alone.
+pub fn emission_bound(cert: &ResourceCert, node: usize, pushes: &[u64; MAX_CHANNELS]) -> u64 {
+    let Some(n) = cert.nodes.get(node) else {
+        return 0;
+    };
+    let mut total: u64 = 0;
+    let mut max_pushes: u64 = 0;
+    let mut base: Option<f64> = None;
+    let mut uniform = true;
+    for (c, &p) in pushes.iter().enumerate() {
+        if n.channels_mask & (1 << c) != 0 {
+            total = total.saturating_add(p);
+            max_pushes = max_pushes.max(p);
+            let r = cert.channel_rates[c];
+            match base {
+                None => base = Some(r),
+                Some(b) if b == r => {}
+                Some(_) => uniform = false,
+            }
+        }
+    }
+    if uniform {
+        if let Some(b) = base {
+            if b > 0.0 && n.out_rate_hz.is_finite() {
+                let tight = (max_pushes as f64 * n.out_rate_hz / b).floor() as u64 + 1;
+                return tight.min(total);
+            }
+        }
+    }
+    total
+}
+
+/// Renders a certificate's violations as registry diagnostics: one
+/// SW008 per overflowing arena (naming the heaviest node) and one SW009
+/// when the MCU verdict fails.
+///
+/// These are *target-relative* findings — a program that merely needs a
+/// 16k core is healthy on a 16k fleet — so they are surfaced by
+/// `swcert` and fleet ingest, not by a default `swlint` run.
+pub fn diagnostics(cert: &ResourceCert) -> Vec<sidewinder_lint::Diagnostic> {
+    use sidewinder_lint::{Diagnostic, LintCode};
+    let mut out = Vec::new();
+    for arena in &cert.arenas {
+        if arena.elements > cert.cap {
+            let (node, line, label) = match arena.peak_node {
+                Some(i) => {
+                    let n = &cert.nodes[i as usize];
+                    (
+                        n.ir_id.map(NodeId),
+                        n.line,
+                        format!("{}#{}", n.kind, n.ir_id.unwrap_or(u32::from(n.index))),
+                    )
+                }
+                None => (None, None, String::from("<none>")),
+            };
+            out.push(Diagnostic::new(
+                LintCode::ArenaOverflow,
+                node,
+                line,
+                format!(
+                    "{} needs {} elements but the core capacity is {}; heaviest node {} carves {}",
+                    arena.name, arena.elements, cert.cap, label, arena.peak_elements
+                ),
+            ));
+        }
+    }
+    if let Some(err) = cert.mcu.error {
+        // Anchor the deadline finding to the hungriest node.
+        let heavy = cert
+            .nodes
+            .iter()
+            .max_by(|a, b| a.flops_per_second.total_cmp(&b.flops_per_second));
+        out.push(Diagnostic::new(
+            LintCode::MissedDeadline,
+            heavy.and_then(|n| n.ir_id.map(NodeId)),
+            heavy.and_then(|n| n.line),
+            format!("certified demand is unschedulable: {err}"),
+        ));
+    }
+    out
+}
+
+/// Image node kind → IR algorithm — the inverse of the compiler's
+/// one-way bridge, so the certifier can feed the image through the
+/// host's cost table. `Sustained`'s `max_gap` saturates back to `u32`;
+/// the cost table ignores it.
+fn algorithm_of(kind: &NodeKind) -> AlgorithmKind {
+    match *kind {
+        NodeKind::Window { size, hop, shape } => AlgorithmKind::Window {
+            size,
+            hop,
+            shape: match shape {
+                WindowShape::Rectangular => WindowShapeParam::Rectangular,
+                WindowShape::Hamming => WindowShapeParam::Hamming,
+                WindowShape::Hann => WindowShapeParam::Hann,
+            },
+        },
+        NodeKind::Fft => AlgorithmKind::Fft,
+        NodeKind::Ifft => AlgorithmKind::Ifft,
+        NodeKind::SpectralMagnitude => AlgorithmKind::SpectralMagnitude,
+        NodeKind::MovingAvg { window } => AlgorithmKind::MovingAvg { window },
+        NodeKind::ExpMovingAvg { alpha } => AlgorithmKind::ExpMovingAvg { alpha },
+        NodeKind::LowPass { cutoff_hz } => AlgorithmKind::LowPass { cutoff_hz },
+        NodeKind::HighPass { cutoff_hz } => AlgorithmKind::HighPass { cutoff_hz },
+        NodeKind::VectorMagnitude => AlgorithmKind::VectorMagnitude,
+        NodeKind::Zcr => AlgorithmKind::Zcr,
+        NodeKind::ZcrVariance { sub_windows } => AlgorithmKind::ZcrVariance { sub_windows },
+        NodeKind::Stat(f) => AlgorithmKind::Stat(match f {
+            StatKind::Mean => StatFn::Mean,
+            StatKind::Variance => StatFn::Variance,
+            StatKind::StdDev => StatFn::StdDev,
+            StatKind::MeanAbs => StatFn::MeanAbs,
+            StatKind::Rms => StatFn::Rms,
+            StatKind::Energy => StatFn::Energy,
+            StatKind::Min => StatFn::Min,
+            StatKind::Max => StatFn::Max,
+            StatKind::PeakToPeak => StatFn::PeakToPeak,
+        }),
+        NodeKind::DominantRatio => AlgorithmKind::DominantRatio,
+        NodeKind::DominantFreq => AlgorithmKind::DominantFreq,
+        NodeKind::Goertzel { lo_hz, hi_hz } => AlgorithmKind::Goertzel { lo_hz, hi_hz },
+        NodeKind::GoertzelFreq { lo_hz, hi_hz } => AlgorithmKind::GoertzelFreq { lo_hz, hi_hz },
+        NodeKind::GoertzelRatio { lo_hz, hi_hz } => AlgorithmKind::GoertzelRatio { lo_hz, hi_hz },
+        NodeKind::MinThreshold { threshold } => AlgorithmKind::MinThreshold { threshold },
+        NodeKind::MaxThreshold { threshold } => AlgorithmKind::MaxThreshold { threshold },
+        NodeKind::BandThreshold { lo, hi } => AlgorithmKind::BandThreshold { lo, hi },
+        NodeKind::OutsideThreshold { lo, hi } => AlgorithmKind::OutsideThreshold { lo, hi },
+        NodeKind::Sustained { count, max_gap } => AlgorithmKind::Sustained {
+            count,
+            max_gap: u32::try_from(max_gap).unwrap_or(u32::MAX),
+        },
+        NodeKind::AllOf => AlgorithmKind::AllOf,
+        NodeKind::AnyOf => AlgorithmKind::AnyOf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidewinder_hub::cost::PipelineCost;
+    use sidewinder_lint::LintCode;
+
+    fn fig2() -> Program {
+        "ACC_X -> movingAvg(id=1, params={10});
+         ACC_Y -> movingAvg(id=2, params={10});
+         ACC_Z -> movingAvg(id=3, params={10});
+         1,2,3 -> vectorMagnitude(id=4);
+         4 -> minThreshold(id=5, params={15});
+         5 -> OUT;"
+            .parse()
+            .unwrap()
+    }
+
+    fn audio() -> Program {
+        "MIC -> window(id=1, params={64, 32, 1});
+         1 -> fft(id=2);
+         2 -> spectralMagnitude(id=3);
+         3 -> dominantRatio(id=4);
+         4 -> minThreshold(id=5, params={3});
+         5 -> OUT;"
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn mirror_totals_are_bitwise_equal_to_the_cost_model() {
+        for program in [fig2(), audio()] {
+            let rates = ChannelRates::default();
+            let cost = PipelineCost::analyze(&program, &rates);
+            let cert =
+                certify_program(&program, &rates, Precision::F64, &CertTarget::default()).unwrap();
+            assert_eq!(
+                cert.total_flops_per_second.to_bits(),
+                cost.total_flops_per_second().to_bits(),
+                "flops must agree bit for bit"
+            );
+            assert_eq!(cert.total_memory_bytes, cost.total_memory_bytes());
+            for (nc, cc) in cert.nodes.iter().zip(cost.nodes()) {
+                assert_eq!(nc.input_rate_hz.to_bits(), cc.input_rate_hz.to_bits());
+                assert_eq!(nc.flops_per_input.to_bits(), cc.flops_per_input.to_bits());
+                assert_eq!(nc.memory_bytes, cc.memory_bytes);
+                assert_eq!(nc.ir_id, Some(cc.id.0));
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_matches_cheapest_for() {
+        let rates = ChannelRates::default();
+        for program in [fig2(), audio()] {
+            let cert =
+                certify_program(&program, &rates, Precision::F64, &CertTarget::default()).unwrap();
+            match Mcu::cheapest_for(&program, &rates) {
+                Ok(mcu) => {
+                    assert_eq!(cert.mcu.mcu, mcu.name);
+                    assert!(cert.mcu.error.is_none());
+                }
+                Err(_) => assert!(cert.mcu.error.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn arena_occupancy_matches_the_footprint_and_the_load() {
+        let rates = ChannelRates::default();
+        let image = compile_image(&audio(), &rates).unwrap();
+        let cert = certify_image(&image, &rates, Precision::F64, &CertTarget::default()).unwrap();
+        let foot = image_footprint(&image).unwrap();
+        for (kind, arena) in ArenaKind::ALL.iter().zip(&cert.arenas) {
+            assert_eq!(arena.elements, foot.arena(*kind).elements);
+        }
+        // window 3×64 ring+taper+payload, plus fft/specMag vectors.
+        assert!(cert.required_capacity >= 192);
+        assert!(cert.fits_cap);
+
+        let mut core: sidewinder_mcu::McuCore<f64, 4096> = sidewinder_mcu::McuCore::new();
+        core.load(&image).unwrap();
+        let used = core.arena_used();
+        for (k, &u) in ArenaKind::ALL[..5].iter().zip(used.iter()) {
+            assert_eq!(u, cert.arenas[k.index()].elements, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn f32_certificates_halve_sample_bytes_only() {
+        let rates = ChannelRates::default();
+        let c64 =
+            certify_program(&audio(), &rates, Precision::F64, &CertTarget::default()).unwrap();
+        let c32 =
+            certify_program(&audio(), &rates, Precision::F32, &CertTarget::default()).unwrap();
+        assert_eq!(c64.required_capacity, c32.required_capacity);
+        assert_eq!(
+            c64.total_flops_per_second.to_bits(),
+            c32.total_flops_per_second.to_bits()
+        );
+        let s64 = c64.arenas[ArenaKind::Sample.index()];
+        let s32 = c32.arenas[ArenaKind::Sample.index()];
+        assert_eq!(s64.elements, s32.elements);
+        assert_eq!(s64.bytes, 2 * s32.bytes);
+        // Scalar/complex arenas are precision-independent.
+        let f64a = c64.arenas[ArenaKind::Scalar.index()];
+        let f32a = c32.arenas[ArenaKind::Scalar.index()];
+        assert_eq!(f64a.bytes, f32a.bytes);
+        assert_ne!(c64.digest(), c32.digest());
+    }
+
+    #[test]
+    fn overflow_and_deadline_render_as_sw008_and_sw009() {
+        let rates = ChannelRates::default();
+        let cert = certify_program(
+            &audio(),
+            &rates,
+            Precision::F64,
+            &CertTarget {
+                mcu: Some(Mcu::MSP430),
+                cap: 100,
+            },
+        )
+        .unwrap();
+        assert!(!cert.fits_cap);
+        let diags = diagnostics(&cert);
+        let sw008: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::ArenaOverflow)
+            .collect();
+        assert!(!sw008.is_empty());
+        assert!(
+            sw008[0].message.contains("window#1"),
+            "{}",
+            sw008[0].message
+        );
+        // The FFT pipeline cannot run on the MSP430 in real time.
+        assert!(cert.mcu.error.is_some());
+        assert!(diags.iter().any(|d| d.code == LintCode::MissedDeadline));
+        // A healthy target yields no diagnostics at all.
+        let ok = certify_program(&fig2(), &rates, Precision::F64, &CertTarget::default()).unwrap();
+        assert!(diagnostics(&ok).is_empty());
+    }
+
+    #[test]
+    fn emission_bounds_tighten_for_single_base_rate_pipelines() {
+        let rates = ChannelRates::default();
+        let cert =
+            certify_program(&audio(), &rates, Precision::F64, &CertTarget::default()).unwrap();
+        let mic = SensorChannel::Mic.index();
+        let mut pushes = [0u64; MAX_CHANNELS];
+        pushes[mic] = 8_000;
+        // The windower (node 0) hops every 32 samples.
+        let window_bound = emission_bound(&cert, 0, &pushes);
+        assert!(window_bound <= 8_000 / 32 + 1, "bound {window_bound}");
+        // The trivial per-push bound still caps everything.
+        for i in 0..cert.nodes.len() {
+            assert!(emission_bound(&cert, i, &pushes) <= 8_000);
+        }
+    }
+
+    #[test]
+    fn certification_is_total_on_uncompilable_programs() {
+        let program: Program = "ACC_X -> movingAvg(id=1, params={10});".parse().unwrap();
+        let err = certify_program(
+            &program,
+            &ChannelRates::default(),
+            Precision::F64,
+            &CertTarget::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CertError::Compile(_)));
+        assert!(err.to_string().contains("uncertifiable"));
+    }
+}

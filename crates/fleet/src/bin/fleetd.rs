@@ -144,7 +144,7 @@ fn run(opts: Options) -> Result<(), String> {
             MessageType::SubmitAck => {
                 let ack = decode_submit_ack(&payload).map_err(|e| e.to_string())?;
                 println!(
-                    "submitted {name}: condition {} -> unique {}{} ({} active, digest {:#018x})",
+                    "submitted {name}: condition {} -> unique {}{} ({} active, digest {:#018x}, cert {:#018x})",
                     ack.condition_id,
                     ack.unique_index,
                     if ack.deduplicated {
@@ -154,6 +154,7 @@ fn run(opts: Options) -> Result<(), String> {
                     },
                     ack.active_unique,
                     ack.program_digest,
+                    ack.cert_digest,
                 );
             }
             MessageType::ErrorReply => {

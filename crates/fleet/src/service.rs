@@ -9,6 +9,7 @@
 //! queries run the fleet (lazily, cached until the served program set
 //! changes) and return the deterministic [`FleetRollup`] as JSON.
 
+use sidewinder_cert::{certify_program, diagnostics, CertTarget, Precision};
 use sidewinder_hub::runtime::ChannelRates;
 use sidewinder_ir::Program;
 use sidewinder_opt::{optimize_suite, OptOptions, SuiteResult};
@@ -53,10 +54,16 @@ impl From<WireError> for ServiceError {
 pub struct FleetService {
     config: FleetConfig,
     workers: usize,
+    cert_target: CertTarget,
     submissions: Vec<Program>,
     suite: Option<SuiteResult>,
     rollup: Option<FleetRollup>,
 }
+
+/// Arena capacity the fleet certifies against by default: the
+/// 16k-element core class the audio fixtures (music/phrase) require,
+/// matching the big core the conformance suites run fused suites on.
+pub const FLEET_CERT_ARENA: usize = 16 * 1024;
 
 impl FleetService {
     /// A service over `config`, initially serving nothing.
@@ -64,6 +71,10 @@ impl FleetService {
         FleetService {
             config,
             workers: 1,
+            cert_target: CertTarget {
+                mcu: None,
+                cap: FLEET_CERT_ARENA,
+            },
             submissions: Vec::new(),
             suite: None,
             rollup: None,
@@ -74,6 +85,17 @@ impl FleetService {
     pub fn with_workers(mut self, workers: usize) -> FleetService {
         self.workers = workers.max(1);
         self
+    }
+
+    /// Sets the core the ingest gate certifies fused suites against.
+    pub fn with_cert_target(mut self, target: CertTarget) -> FleetService {
+        self.cert_target = target;
+        self
+    }
+
+    /// The core the ingest gate certifies fused suites against.
+    pub fn cert_target(&self) -> &CertTarget {
+        &self.cert_target
     }
 
     /// The fleet configuration being served.
@@ -92,12 +114,21 @@ impl FleetService {
     }
 
     /// Ingests one already-decoded program: validate, re-optimize the
-    /// whole suite, dedup, and describe where the submission landed.
+    /// whole suite, dedup, certify the fused suite against the
+    /// configured core, and describe where the submission landed.
+    ///
+    /// The certificate gate is transactional: a submission whose fused
+    /// suite certifiably overflows the configured arena capacity — or
+    /// misses its deadline on a pinned MCU — is rolled back, and the
+    /// previously served set keeps running untouched. A fused suite too
+    /// large to compile to an MCU image at all is served by the host
+    /// runtime uncertified (`cert_digest` 0 in the ack).
     ///
     /// # Errors
     ///
-    /// [`WireError::Invalid`] when the program fails validation; the
-    /// service's served set is unchanged.
+    /// [`WireError::Invalid`] when the program fails validation or the
+    /// certificate gate rejects the fused suite; the service's served
+    /// set is unchanged.
     pub fn submit_program(&mut self, program: Program) -> Result<SubmitAck, WireError> {
         program
             .validate_located()
@@ -109,6 +140,14 @@ impl FleetService {
             &ChannelRates::default(),
             &OptOptions::default(),
         );
+        let cert_digest = match self.certify_fused(&suite) {
+            Ok(digest) => digest,
+            Err(reason) => {
+                // Roll back: the rejected condition never joins the set.
+                self.submissions.pop();
+                return Err(WireError::Invalid(reason));
+            }
+        };
         let condition_id = self.submissions.len() - 1;
         let unique_index = suite.assignment[condition_id];
         let ack = SubmitAck {
@@ -117,10 +156,41 @@ impl FleetService {
             deduplicated: suite.unique.len() == unique_before,
             active_unique: suite.unique.len() as u32,
             program_digest: suite.unique[unique_index].stable_digest(),
+            cert_digest,
         };
         self.suite = Some(suite);
         self.rollup = None; // the served program changed
         Ok(ack)
+    }
+
+    /// Certifies the suite's fused program against the configured core.
+    ///
+    /// Returns the certificate digest, or 0 when the fused suite does
+    /// not compile to an MCU image (it then runs on the host runtime
+    /// and no static bound applies). Rejections carry the certifier's
+    /// SW008/SW009 diagnostics as the error text.
+    fn certify_fused(&self, suite: &SuiteResult) -> Result<u64, String> {
+        let Some(fused) = suite.fused() else {
+            return Ok(0);
+        };
+        let rates = ChannelRates::default();
+        let Ok(cert) = certify_program(&fused, &rates, Precision::F64, &self.cert_target) else {
+            return Ok(0);
+        };
+        let overflows = !cert.fits_cap;
+        let misses_deadline = self.cert_target.mcu.is_some() && cert.mcu.error.is_some();
+        if overflows || misses_deadline {
+            let details = diagnostics(&cert)
+                .iter()
+                .map(|d| format!("{}: {}", d.code.code(), d.message))
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(format!(
+                "fused suite fails certification against {} (cap {}): {details}",
+                cert.mcu.mcu, cert.cap
+            ));
+        }
+        Ok(cert.digest())
     }
 
     /// Runs the fleet under the currently served program, or returns
@@ -250,6 +320,52 @@ mod tests {
         let reply = svc.handle(&encode_query_rollup());
         let (kind, _) = decode_message(&reply).unwrap();
         assert_eq!(kind, MessageType::ErrorReply);
+    }
+
+    #[test]
+    fn accepted_submissions_carry_the_fused_certificate_digest() {
+        let mut svc = tiny_service();
+        let ack = svc.submit_program(steps()).unwrap();
+        assert_ne!(ack.cert_digest, 0);
+        // The digest is the certificate of the fused served program.
+        let fused = svc.served_program().unwrap();
+        let cert = certify_program(
+            &fused,
+            &ChannelRates::default(),
+            Precision::F64,
+            svc.cert_target(),
+        )
+        .unwrap();
+        assert_eq!(ack.cert_digest, cert.digest());
+    }
+
+    #[test]
+    fn ingest_rejects_suites_that_certifiably_overflow_the_core() {
+        // A fleet pinned to a toy 64-element core: the windowed audio
+        // condition certifiably needs ~1.5k sample-arena elements.
+        let mut svc = tiny_service().with_cert_target(CertTarget { mcu: None, cap: 64 });
+        let ok = svc.submit_program(steps()).unwrap();
+        assert_ne!(ok.cert_digest, 0);
+        let served_before = svc.served_program().unwrap();
+        let rollup_before = svc.run().unwrap().digest();
+
+        let audio: Program = "MIC -> window(id=1, params={512, 512, 0});
+                              1 -> zcrVariance(id=2, params={2});
+                              2 -> minThreshold(id=3, params={0});
+                              3 -> OUT;"
+            .parse()
+            .unwrap();
+        let err = svc.submit_program(audio).unwrap_err();
+        let WireError::Invalid(msg) = err else {
+            panic!("expected a certification rejection, got {err:?}");
+        };
+        assert!(msg.contains("SW008"), "diagnostics missing from: {msg}");
+        assert!(msg.contains("sample arena"), "arena name missing: {msg}");
+
+        // Transactional: the served set and rollup are untouched.
+        assert_eq!(svc.submissions().len(), 1);
+        assert_eq!(svc.served_program().unwrap(), served_before);
+        assert_eq!(svc.run().unwrap().digest(), rollup_before);
     }
 
     #[test]

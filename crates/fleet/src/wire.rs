@@ -218,9 +218,13 @@ pub struct SubmitAck {
     pub active_unique: u32,
     /// Stable digest of the optimized program this submission runs.
     pub program_digest: u64,
+    /// Digest of the fused suite's resource certificate against the
+    /// fleet's configured core (0 when the fused suite exceeds image
+    /// capacities and is served by the host runtime uncertified).
+    pub cert_digest: u64,
 }
 
-const ACK_BYTES: usize = 21;
+const ACK_BYTES: usize = 29;
 
 /// Encodes a [`SubmitAck`] reply.
 pub fn encode_submit_ack(ack: &SubmitAck) -> Vec<u8> {
@@ -230,6 +234,7 @@ pub fn encode_submit_ack(ack: &SubmitAck) -> Vec<u8> {
     payload.push(u8::from(ack.deduplicated));
     payload.extend_from_slice(&ack.active_unique.to_be_bytes());
     payload.extend_from_slice(&ack.program_digest.to_be_bytes());
+    payload.extend_from_slice(&ack.cert_digest.to_be_bytes());
     encode_message(MessageType::SubmitAck, &payload)
 }
 
@@ -252,6 +257,7 @@ pub fn decode_submit_ack(payload: &[u8]) -> Result<SubmitAck, WireError> {
         deduplicated: payload[8] != 0,
         active_unique: u32::from_be_bytes(payload[9..13].try_into().unwrap()),
         program_digest: u64::from_be_bytes(payload[13..21].try_into().unwrap()),
+        cert_digest: u64::from_be_bytes(payload[21..29].try_into().unwrap()),
     })
 }
 
@@ -290,6 +296,7 @@ mod tests {
             deduplicated: true,
             active_unique: 2,
             program_digest: 0xDEAD_BEEF_0BAD_F00D,
+            cert_digest: 0x0123_4567_89AB_CDEF,
         };
         let stream = encode_submit_ack(&ack);
         let (kind, payload) = decode_message(&stream).unwrap();
@@ -297,7 +304,7 @@ mod tests {
         assert_eq!(decode_submit_ack(&payload).unwrap(), ack);
         assert!(matches!(
             decode_submit_ack(&payload[..10]),
-            Err(WireError::BadPayloadSize { expected: 21, .. })
+            Err(WireError::BadPayloadSize { expected: 29, .. })
         ));
     }
 

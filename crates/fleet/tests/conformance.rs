@@ -218,19 +218,38 @@ fn a_panicking_device_cell_is_a_reported_failure_not_a_crash() {
 }
 
 /// Every fleet archetype's wake condition fits the `no_std` MCU core:
-/// it compiles to an [`sidewinder_hub::McuImage`] within the fixed node
+/// its resource certificate places it in the default-arena class, it
+/// compiles to an [`sidewinder_hub::McuImage`] within the fixed node
 /// and port capacities, loads into a default-arena core, and replays
 /// the archetype's own generated trace bit-identically to the hub
 /// interpreter the fleet cells run. The fleet's device programs are
-/// therefore deployable to the hub hardware unchanged.
+/// therefore deployable to the hub hardware unchanged — and the
+/// capacity expectation is derived from the certificate, not assumed.
 #[test]
 fn every_archetype_condition_runs_on_the_mcu_core() {
+    use sidewinder_cert::{certify_program, CertTarget, Precision};
     use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
-    use sidewinder_hub::{compile_image, McuCore};
+    use sidewinder_hub::{compile_image, McuCore, DEFAULT_ARENA};
 
     for archetype in DeviceArchetype::ALL {
         let program = archetype.app().wake_condition();
         let rates = ChannelRates::default();
+        let cert = certify_program(
+            &program,
+            &rates,
+            Precision::F64,
+            &CertTarget {
+                mcu: None,
+                cap: DEFAULT_ARENA,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: certification failed: {e}", archetype.label()));
+        assert!(
+            cert.fits_cap,
+            "{}: certified at {} elements, past the default core",
+            archetype.label(),
+            cert.required_capacity
+        );
         let image = compile_image(&program, &rates)
             .unwrap_or_else(|e| panic!("{}: image compilation failed: {e}", archetype.label()));
         let mut hub = HubRuntime::load(&program, &rates).unwrap();

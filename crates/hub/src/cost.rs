@@ -123,6 +123,19 @@ impl PipelineCost {
     }
 }
 
+/// The per-kind cost table behind [`PipelineCost::analyze`], exposed so
+/// the certifier can mirror the analysis over a compiled image with
+/// bitwise-identical arithmetic. Returns `(flops_per_input,
+/// memory_bytes, output_rate, output_len)`.
+pub fn kind_cost(
+    kind: &AlgorithmKind,
+    input_rate: f64,
+    input_len: usize,
+    input_base_rate: f64,
+) -> (f64, usize, f64, usize) {
+    cost_of(kind, input_rate, input_len, input_base_rate)
+}
+
 /// Returns `(flops_per_input, memory_bytes, output_rate, output_len)`.
 /// `input_base_rate` is the sample rate of the data inside incoming
 /// vectors — what frequency-aware stages use to place DFT bins.

@@ -1,0 +1,21 @@
+//! Hub-side energy constants shared by the simulator's attribution
+//! ledger and the static resource certifier.
+//!
+//! These used to live in `sidewinder-sim`'s `energy` module (which
+//! still re-exports them, so `sim::energy::HUB_NJ_PER_FLOP` remains the
+//! canonical spelling in experiment code). They moved down to the hub
+//! crate so `swcert` can derive a static energy ceiling — certified
+//! flop/s times energy-per-flop plus certified wake-rate times framed
+//! link transfer energy — from the *same* constants the simulator
+//! charges at runtime. One source of truth keeps the soundness pin
+//! `measured ledger energy ≤ certified ceiling` meaningful.
+
+/// Energy per floating-point operation on the hub MCU, joules (the
+/// figure is in nanojoules; multiply by `1e-9` for joules). A
+/// Cortex-M4F-class core at a few tens of MHz lands in the low
+/// nanojoules per flop; the exact figure only shifts attribution
+/// between compute and the idle floor, never the closed total.
+pub const HUB_NJ_PER_FLOP: f64 = 1.5;
+
+/// UART power while clocking a frame, mW.
+pub const LINK_ACTIVE_MW: f64 = 12.0;

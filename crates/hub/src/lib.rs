@@ -49,6 +49,7 @@
 //! ```
 
 pub mod cost;
+pub mod energy;
 pub mod fault;
 pub mod instance;
 pub mod link;
@@ -62,5 +63,5 @@ pub use mcu::Mcu;
 pub use mcu_image::compile_image;
 pub use runtime::{HubError, HubRuntime, HubRuntime32, LoadError};
 pub use sidewinder_dsp::Sample;
-pub use sidewinder_mcu::{McuCore, McuExecError, McuImage};
+pub use sidewinder_mcu::{McuCore, McuExecError, McuImage, DEFAULT_ARENA};
 pub use value::{Tagged, Value, ValueRef};

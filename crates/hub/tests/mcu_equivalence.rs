@@ -11,8 +11,9 @@
 //! single-precision core (`McuCore<f32, _>`) and holds it to the same
 //! wake schedule within the perf gate's f32 tolerance.
 
+use sidewinder_cert::{certify_program, CertTarget, Precision};
 use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
-use sidewinder_hub::{compile_image, McuCore, Sample};
+use sidewinder_hub::{compile_image, McuCore, McuExecError, Sample};
 use sidewinder_ir::Program;
 use sidewinder_sensors::SensorChannel;
 
@@ -46,10 +47,34 @@ const GOLDEN_DIGESTS: &str = include_str!("../../../results/wake_digests.json");
 /// Samples per channel — the perf gate's `DIGEST_SAMPLES`.
 const DIGEST_SAMPLES: usize = 16_384;
 
-/// Arena capacity for the fixture programs. The music/phrase conditions
-/// hold a 512- and a 2048-sample window concurrently (ring + taper +
-/// payload each), so the default 4096-element arena is too small.
-const FIXTURE_ARENA: usize = 16_384;
+/// The two core capacity classes the suite deploys to. Which class a
+/// fixture needs is *derived from its resource certificate* (the
+/// music/phrase conditions hold a 512- and a 2048-sample window
+/// concurrently, certifying at 7688 elements — past the default class),
+/// not hardcoded per fixture.
+const DEFAULT_CORE: usize = sidewinder_hub::DEFAULT_ARENA;
+const BIG_CORE: usize = 16_384;
+
+/// Certifies `program` against the big core class and returns its
+/// certificate; every fixture must fit there.
+fn fixture_cert(program: &Program) -> sidewinder_cert::ResourceCert {
+    let cert = certify_program(
+        program,
+        &ChannelRates::default(),
+        Precision::F64,
+        &CertTarget {
+            mcu: None,
+            cap: BIG_CORE,
+        },
+    )
+    .expect("fixture certifies");
+    assert!(
+        cert.fits_cap,
+        "fixture needs {} elements, past the biggest deployed core",
+        cert.required_capacity
+    );
+    cert
+}
 
 /// The conformance input from the perf gate (`sidewinder-bench`):
 /// per-channel sinusoids alternating every 8192 samples between a loud
@@ -89,15 +114,24 @@ fn host_trace<P: Sample>(program: &Program) -> Vec<(u64, f64)> {
     trace
 }
 
-/// Replays the same input through the MCU core at vector precision `P`.
+/// Replays the same input through the MCU core at vector precision `P`,
+/// on the capacity class the program's certificate demands.
 ///
-/// The core is ~1 MiB of arenas at this capacity, so the caller runs
-/// this on a thread with a large stack (test threads default to 2 MiB).
+/// A big-class core is ~1 MiB of arenas, so the caller runs this on a
+/// thread with a large stack (test threads default to 2 MiB).
 fn mcu_trace<P: Sample>(program: &Program) -> Vec<(u64, f64)> {
+    if fixture_cert(program).required_capacity <= DEFAULT_CORE {
+        run_core::<P, DEFAULT_CORE>(program)
+    } else {
+        run_core::<P, BIG_CORE>(program)
+    }
+}
+
+fn run_core<P: Sample, const ARENA: usize>(program: &Program) -> Vec<(u64, f64)> {
     let image =
         compile_image(program, &ChannelRates::default()).expect("fixture compiles to an image");
-    let mut core: McuCore<P, FIXTURE_ARENA> = McuCore::new();
-    core.load(&image).expect("image fits the fixture arena");
+    let mut core: McuCore<P, ARENA> = McuCore::new();
+    core.load(&image).expect("image fits the certified arena");
     let channels: Vec<SensorChannel> = program.channels();
     let mut trace = Vec::new();
     for i in 0..DIGEST_SAMPLES {
@@ -221,6 +255,45 @@ fn f32_core_holds_the_wake_schedule_within_tolerance() {
                 );
             }
         }
+    });
+}
+
+/// Oversize regression: the certificate's capacity-class verdict is the
+/// loader's. A fixture the certifier places past the default class
+/// (music: two concurrent windows) really does overflow a default-arena
+/// core — with a typed error naming the arena — and really does load on
+/// the big class the certificate assigns. This keeps the suite honest
+/// after the hardcoded 16k constant became certificate-derived.
+#[test]
+fn certificates_and_the_loader_agree_on_the_capacity_class() {
+    with_big_stack(|| {
+        let music: Program = include_str!("../../ir/tests/fixtures/music.swir")
+            .parse()
+            .unwrap();
+        let cert = fixture_cert(&music);
+        assert!(
+            cert.required_capacity > DEFAULT_CORE,
+            "music certifies at {} elements; expected past the default {DEFAULT_CORE}",
+            cert.required_capacity
+        );
+        let image = compile_image(&music, &ChannelRates::default()).unwrap();
+        let mut small: McuCore<f64, DEFAULT_CORE> = McuCore::new();
+        match small.load(&image) {
+            Err(McuExecError::ArenaOverflow { .. }) => {}
+            other => panic!("undersized load should name the overflowing arena, got {other:?}"),
+        }
+        // The failed load is not sticky: the same core accepts a
+        // program that fits its class.
+        let steps: Program = include_str!("../../ir/tests/fixtures/steps.swir")
+            .parse()
+            .unwrap();
+        let steps_image = compile_image(&steps, &ChannelRates::default()).unwrap();
+        small
+            .load(&steps_image)
+            .expect("core is reusable after a failed load");
+        let mut big: McuCore<f64, BIG_CORE> = McuCore::new();
+        big.load(&image)
+            .expect("the certified class loads the image");
     });
 }
 

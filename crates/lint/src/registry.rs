@@ -58,11 +58,19 @@ pub enum LintCode {
     NeedsBiggerMcu,
     /// `SW007` — the pipeline fits no supported MCU at all.
     FitsNoMcu,
+    /// `SW008` — the certified arena footprint of the compiled image
+    /// exceeds the target core's capacity; `McuCore::load` would reject
+    /// it before carving.
+    ArenaOverflow,
+    /// `SW009` — the certified worst-case cycles per second exceed the
+    /// target MCU's real-time budget; samples would arrive faster than
+    /// the core can retire them.
+    MissedDeadline,
 }
 
 impl LintCode {
     /// Every registered lint, in code order.
-    pub const ALL: [LintCode; 7] = [
+    pub const ALL: [LintCode; 9] = [
         LintCode::DeadWake,
         LintCode::WakeStorm,
         LintCode::RedundantNode,
@@ -70,6 +78,8 @@ impl LintCode {
         LintCode::RateMismatch,
         LintCode::NeedsBiggerMcu,
         LintCode::FitsNoMcu,
+        LintCode::ArenaOverflow,
+        LintCode::MissedDeadline,
     ];
 
     /// The stable `SWnnn` code.
@@ -82,6 +92,8 @@ impl LintCode {
             LintCode::RateMismatch => "SW005",
             LintCode::NeedsBiggerMcu => "SW006",
             LintCode::FitsNoMcu => "SW007",
+            LintCode::ArenaOverflow => "SW008",
+            LintCode::MissedDeadline => "SW009",
         }
     }
 
@@ -95,13 +107,18 @@ impl LintCode {
             LintCode::RateMismatch => "rate-mismatched-join",
             LintCode::NeedsBiggerMcu => "needs-bigger-mcu",
             LintCode::FitsNoMcu => "fits-no-mcu",
+            LintCode::ArenaOverflow => "arena-overflow",
+            LintCode::MissedDeadline => "missed-deadline",
         }
     }
 
     /// The severity this lint fires at.
     pub fn severity(self) -> Severity {
         match self {
-            LintCode::DeadWake | LintCode::FitsNoMcu => Severity::Error,
+            LintCode::DeadWake
+            | LintCode::FitsNoMcu
+            | LintCode::ArenaOverflow
+            | LintCode::MissedDeadline => Severity::Error,
             LintCode::WakeStorm
             | LintCode::RedundantNode
             | LintCode::NumericHazard
@@ -134,6 +151,12 @@ impl LintCode {
                 "the pipeline exceeds the cheapest MCU's real-time or memory budget and needs a more powerful part"
             }
             LintCode::FitsNoMcu => "the pipeline fits no supported hub microcontroller",
+            LintCode::ArenaOverflow => {
+                "the certified arena footprint exceeds the target core's capacity; load would reject the image"
+            }
+            LintCode::MissedDeadline => {
+                "the certified worst-case cycle demand exceeds the target MCU's real-time budget"
+            }
         }
     }
 
@@ -325,7 +348,7 @@ mod tests {
         let codes: Vec<&str> = LintCode::ALL.iter().map(|l| l.code()).collect();
         assert_eq!(
             codes,
-            vec!["SW001", "SW002", "SW003", "SW004", "SW005", "SW006", "SW007"]
+            vec!["SW001", "SW002", "SW003", "SW004", "SW005", "SW006", "SW007", "SW008", "SW009"]
         );
         for l in LintCode::ALL {
             assert_eq!(LintCode::from_code(l.code()), Some(l));

@@ -47,6 +47,92 @@ pub struct WakeEvent {
     pub value: f64,
 }
 
+/// Execution-time observability hooks for the soundness harness.
+///
+/// The interpreter threads an `ExecProbe` through its staging and
+/// result paths so a harness can measure what a run *actually* touched
+/// and compare it against the statically certified bounds. The same
+/// statically-dispatched `const ENABLED` pattern as the host `obs`
+/// crate's `EventSink` makes the hooks zero-cost when disabled: with
+/// [`NoProbe`] every call site constant-folds away, which is what keeps
+/// `push_sample` on the frozen-digest fast path byte-for-byte intact.
+pub trait ExecProbe {
+    /// Whether the probe is live. `false` lets the compiler delete
+    /// every hook.
+    const ENABLED: bool;
+
+    /// A vector payload of `len` elements was copied through the
+    /// sample staging arena from `node`'s result slot.
+    fn staged_vector(&mut self, node: u16, len: usize);
+
+    /// A spectrum payload of `len` elements was copied through the
+    /// spectrum staging arena from `node`'s result slot.
+    fn staged_spectrum(&mut self, node: u16, len: usize);
+
+    /// Node `node` produced a fresh result during this pass.
+    fn emitted(&mut self, node: u16);
+}
+
+/// The default probe: observes nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbe;
+
+impl ExecProbe for NoProbe {
+    const ENABLED: bool = false;
+    fn staged_vector(&mut self, _node: u16, _len: usize) {}
+    fn staged_spectrum(&mut self, _node: u16, _len: usize) {}
+    fn emitted(&mut self, _node: u16) {}
+}
+
+/// Records staging high-water marks and per-node emission counts — the
+/// measured side of the `measured ≤ certified` soundness pins.
+#[derive(Debug, Clone, Copy)]
+pub struct HighWaterProbe {
+    /// Largest vector payload staged through `stage_p`, in elements.
+    pub stage_sample_peak: usize,
+    /// Largest spectrum payload staged through `stage_c`, in elements.
+    pub stage_spectrum_peak: usize,
+    /// Fresh results per node since construction.
+    pub emissions: [u64; MAX_NODES],
+}
+
+impl HighWaterProbe {
+    /// A probe with every mark at zero.
+    pub const fn new() -> HighWaterProbe {
+        HighWaterProbe {
+            stage_sample_peak: 0,
+            stage_spectrum_peak: 0,
+            emissions: [0; MAX_NODES],
+        }
+    }
+}
+
+impl Default for HighWaterProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecProbe for HighWaterProbe {
+    const ENABLED: bool = true;
+
+    fn staged_vector(&mut self, _node: u16, len: usize) {
+        if len > self.stage_sample_peak {
+            self.stage_sample_peak = len;
+        }
+    }
+
+    fn staged_spectrum(&mut self, _node: u16, len: usize) {
+        if len > self.stage_spectrum_peak {
+            self.stage_spectrum_peak = len;
+        }
+    }
+
+    fn emitted(&mut self, node: u16) {
+        self.emissions[node as usize] += 1;
+    }
+}
+
 /// Errors raised while loading or executing an image.
 ///
 /// The `Display` strings of the execution-time variants mirror the host
@@ -89,6 +175,19 @@ pub enum McuExecError {
         /// What was wrong.
         what: &'static str,
     },
+    /// A node's carve would overflow one of the fixed arenas — detected
+    /// by the pre-flight footprint check, before anything is carved.
+    ArenaOverflow {
+        /// The arena that would overflow (see
+        /// [`ArenaKind::name`](crate::footprint::ArenaKind::name)).
+        arena: &'static str,
+        /// Dense index of the node whose carve crosses the capacity.
+        node: u16,
+        /// Elements the program needs by the end of that node's carve.
+        needed: usize,
+        /// Elements the core provides per arena.
+        capacity: usize,
+    },
     /// The program needs more arena storage than the core provides.
     Capacity(CapacityError),
 }
@@ -112,6 +211,15 @@ impl core::fmt::Display for McuExecError {
             McuExecError::BadParameter { node, what } => {
                 write!(f, "node {node}: invalid parameter: {what}")
             }
+            McuExecError::ArenaOverflow {
+                arena,
+                node,
+                needed,
+                capacity,
+            } => write!(
+                f,
+                "node {node}: {arena} exhausted: needs {needed} elements, capacity {capacity}"
+            ),
             McuExecError::Capacity(e) => write!(f, "{e}"),
         }
     }
@@ -368,6 +476,9 @@ pub struct McuCore<P: Sample = f64, const CAP: usize = DEFAULT_ARENA> {
     slots: [Slot; MAX_NODES],
     channel_seq: [u64; MAX_CHANNELS],
     wake_count: u64,
+    /// Elements `load` carved from each bump arena (sample, scalar,
+    /// complex, swap, mask) — pinned against the static footprint.
+    arena_used: [u32; 5],
     /// Sample-typed arena: window rings, taper tables, vector payloads.
     arena_p: [P; CAP],
     /// f64 arena: moving-average rings, probe tables, widening scratch.
@@ -401,6 +512,7 @@ impl<P: Sample, const CAP: usize> McuCore<P, CAP> {
             slots: [Slot::EMPTY; MAX_NODES],
             channel_seq: [0; MAX_CHANNELS],
             wake_count: 0,
+            arena_used: [0; 5],
             arena_p: [P::ZERO; CAP],
             arena_f: [0.0; CAP],
             arena_c: [Complex::ZERO; CAP],
@@ -426,6 +538,20 @@ impl<P: Sample, const CAP: usize> McuCore<P, CAP> {
         &self.image
     }
 
+    /// Elements the last successful `load` carved from each bump arena,
+    /// in [`ArenaKind::ALL`](crate::footprint::ArenaKind::ALL) order
+    /// (sample, scalar, complex, swap, mask). The soundness harness
+    /// pins these against [`image_footprint`](crate::image_footprint).
+    pub fn arena_used(&self) -> [usize; 5] {
+        [
+            self.arena_used[0] as usize,
+            self.arena_used[1] as usize,
+            self.arena_used[2] as usize,
+            self.arena_used[3] as usize,
+            self.arena_used[4] as usize,
+        ]
+    }
+
     /// Loads an image: validates node parameters and carves every
     /// buffer the program needs out of the arenas.
     ///
@@ -437,13 +563,23 @@ impl<P: Sample, const CAP: usize> McuCore<P, CAP> {
     /// # Errors
     ///
     /// [`McuExecError::BadParameter`] on invalid node parameters,
-    /// [`McuExecError::Capacity`] when the program does not fit.
+    /// [`McuExecError::ArenaOverflow`] when the program's certified
+    /// footprint exceeds `CAP` — raised by a pre-flight
+    /// [`check_fit`](crate::footprint::check_fit) pass, naming the
+    /// arena and the offending node, before any arena is touched.
     pub fn load(&mut self, image: &McuImage) -> Result<(), McuExecError> {
         self.loaded = false;
         self.states = [NodeState::EMPTY; MAX_NODES];
         self.slots = [Slot::EMPTY; MAX_NODES];
         self.channel_seq = [0; MAX_CHANNELS];
         self.wake_count = 0;
+        self.arena_used = [0; 5];
+
+        // Admission first: the static footprint is exact (pinned
+        // against the carve below by the equivalence tests), so a
+        // rejected image leaves the core exactly as unloaded as a
+        // never-loaded one, and the carve below cannot fail.
+        crate::footprint::check_fit(image, CAP)?;
 
         let mut used_p = 0usize;
         let mut used_f = 0usize;
@@ -554,6 +690,13 @@ impl<P: Sample, const CAP: usize> McuCore<P, CAP> {
             self.slots[i] = slot;
         }
 
+        self.arena_used = [
+            used_p as u32,
+            used_f as u32,
+            used_c as u32,
+            used_s as u32,
+            used_b as u32,
+        ];
         self.image = *image;
         self.loaded = true;
         Ok(())
@@ -572,6 +715,23 @@ impl<P: Sample, const CAP: usize> McuCore<P, CAP> {
         channel: u8,
         sample: f64,
         on_wake: &mut impl FnMut(WakeEvent),
+    ) -> Result<(), McuExecError> {
+        self.push_sample_probed(channel, sample, on_wake, &mut NoProbe)
+    }
+
+    /// [`push_sample`](Self::push_sample) with an [`ExecProbe`]
+    /// observing staging copies and fresh results. With [`NoProbe`]
+    /// this *is* `push_sample` — the hooks compile away.
+    ///
+    /// # Errors
+    ///
+    /// As [`push_sample`](Self::push_sample).
+    pub fn push_sample_probed<Pr: ExecProbe>(
+        &mut self,
+        channel: u8,
+        sample: f64,
+        on_wake: &mut impl FnMut(WakeEvent),
+        probe: &mut Pr,
     ) -> Result<(), McuExecError> {
         if !self.loaded {
             return Err(McuExecError::NotLoaded);
@@ -593,7 +753,7 @@ impl<P: Sample, const CAP: usize> McuCore<P, CAP> {
             direct &= direct - 1;
             self.slots[i].kind = SlotKind::Empty;
             self.dispatch(i, 0, seq, Staged::Scalar(sample))?;
-            self.note_result(i, &mut ready, &mut fresh, on_wake);
+            self.note_result(i, &mut ready, &mut fresh, on_wake, probe);
         }
         while ready != 0 {
             let i = ready.trailing_zeros() as usize;
@@ -608,12 +768,12 @@ impl<P: Sample, const CAP: usize> McuCore<P, CAP> {
                     PortSource::Channel(_) => {}
                     PortSource::Node(src) => {
                         if fresh & (1u128 << src) != 0 {
-                            self.feed_from(i, port, src as usize)?;
+                            self.feed_from(i, port, src as usize, probe)?;
                         }
                     }
                 }
             }
-            self.note_result(i, &mut ready, &mut fresh, on_wake);
+            self.note_result(i, &mut ready, &mut fresh, on_wake, probe);
         }
         Ok(())
     }
@@ -635,6 +795,24 @@ impl<P: Sample, const CAP: usize> McuCore<P, CAP> {
         Ok(())
     }
 
+    /// [`push_samples`](Self::push_samples) with an [`ExecProbe`].
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing sample; see [`push_sample`](Self::push_sample).
+    pub fn push_samples_probed<Pr: ExecProbe>(
+        &mut self,
+        channel: u8,
+        samples: &[f64],
+        on_wake: &mut impl FnMut(WakeEvent),
+        probe: &mut Pr,
+    ) -> Result<(), McuExecError> {
+        for &x in samples {
+            self.push_sample_probed(channel, x, on_wake, probe)?;
+        }
+        Ok(())
+    }
+
     /// Resets all mutable execution state (rings, averages, streaks,
     /// sequence counters) while keeping the image, arena layout, and
     /// built transform plans — the mirror of the host runtime's
@@ -652,16 +830,20 @@ impl<P: Sample, const CAP: usize> McuCore<P, CAP> {
 
     /// Books node `i`'s result into the ready/fresh sets and fires the
     /// wake callback when it is the scalar-producing output node.
-    fn note_result(
+    fn note_result<Pr: ExecProbe>(
         &mut self,
         i: usize,
         ready: &mut u128,
         fresh: &mut u128,
         on_wake: &mut impl FnMut(WakeEvent),
+        probe: &mut Pr,
     ) {
         let slot = self.slots[i];
         if slot.kind == SlotKind::Empty {
             return;
+        }
+        if Pr::ENABLED {
+            probe.emitted(i as u16);
         }
         *fresh |= 1u128 << i;
         *ready |= self.image.nodes()[i].consumer_mask;
@@ -676,18 +858,30 @@ impl<P: Sample, const CAP: usize> McuCore<P, CAP> {
 
     /// Copies producer `src`'s result into the staging arrays and feeds
     /// it to node `i` on `port`, tagged with the producer's sequence.
-    fn feed_from(&mut self, i: usize, port: usize, src: usize) -> Result<(), McuExecError> {
+    fn feed_from<Pr: ExecProbe>(
+        &mut self,
+        i: usize,
+        port: usize,
+        src: usize,
+        probe: &mut Pr,
+    ) -> Result<(), McuExecError> {
         let slot = self.slots[src];
         let staged = match slot.kind {
             SlotKind::Empty => return Ok(()),
             SlotKind::Scalar => Staged::Scalar(slot.scalar),
             SlotKind::Vector => {
                 let len = slot.vec_len as usize;
+                if Pr::ENABLED {
+                    probe.staged_vector(src as u16, len);
+                }
                 self.stage_p[..len].copy_from_slice(&self.arena_p[slot.vec.range(len)]);
                 Staged::Vector(len)
             }
             SlotKind::Spectrum => {
                 let len = slot.spec_len as usize;
+                if Pr::ENABLED {
+                    probe.staged_spectrum(src as u16, len);
+                }
                 self.stage_c[..len].copy_from_slice(&self.arena_c[slot.spec.range(len)]);
                 Staged::Spectrum(len)
             }
@@ -769,7 +963,7 @@ fn bump(
 /// Swap-table capacity to reserve for a predicted transform length.
 /// Non-power-of-two predictions reserve nothing: the plan will fail
 /// with `BadTransformLength` before the table is needed.
-fn plan_swap_cap(n: usize) -> usize {
+pub(crate) fn plan_swap_cap(n: usize) -> usize {
     if fft::is_power_of_two(n) {
         fft::swap_count(n)
     } else {
@@ -778,7 +972,7 @@ fn plan_swap_cap(n: usize) -> usize {
 }
 
 /// Twiddle-table capacity to reserve for a predicted transform length.
-fn plan_twiddle_cap(n: usize) -> usize {
+pub(crate) fn plan_twiddle_cap(n: usize) -> usize {
     if fft::is_power_of_two(n) {
         fft::twiddle_count(n)
     } else {
@@ -1808,13 +2002,119 @@ mod tests {
         let image = b.finish(win).unwrap();
         let mut core: McuCore<f64, 8> = McuCore::new();
         match core.load(&image).unwrap_err() {
-            McuExecError::Capacity(e) => {
-                assert_eq!(e.what, "sample arena");
-                assert_eq!(e.capacity, 8);
+            McuExecError::ArenaOverflow {
+                arena,
+                node,
+                needed,
+                capacity,
+            } => {
+                assert_eq!(arena, "sample arena");
+                assert_eq!(node, 0);
+                assert!(needed > 8, "needed = {needed}");
+                assert_eq!(capacity, 8);
             }
-            other => panic!("expected capacity error, got {other:?}"),
+            other => panic!("expected arena-overflow error, got {other:?}"),
         }
         assert!(!core.is_loaded());
+    }
+
+    #[test]
+    fn failed_load_leaves_the_core_reusable() {
+        // A rejected image must not leave partial carve state behind: a
+        // subsequent load of a fitting image runs exactly as if the
+        // failed load never happened.
+        let oversized = {
+            let mut b = ImageBuilder::new();
+            let win = b
+                .push_node(
+                    NodeKind::Window {
+                        size: 64,
+                        hop: 64,
+                        shape: WindowShape::Rectangular,
+                    },
+                    &[PortSource::Channel(0)],
+                    50.0,
+                )
+                .unwrap();
+            b.finish(win).unwrap()
+        };
+        let fitting = {
+            let mut b = ImageBuilder::new();
+            let avg = b
+                .push_node(
+                    NodeKind::MovingAvg { window: 4 },
+                    &[PortSource::Channel(0)],
+                    50.0,
+                )
+                .unwrap();
+            let thr = b
+                .push_node(
+                    NodeKind::MinThreshold { threshold: 5.0 },
+                    &[PortSource::Node(avg)],
+                    50.0,
+                )
+                .unwrap();
+            b.finish(thr).unwrap()
+        };
+
+        let mut fresh: McuCore<f64, 16> = McuCore::new();
+        fresh.load(&fitting).unwrap();
+        let samples: Vec<f64> = (0..16).map(f64::from).collect();
+        let expected = collect_wakes(&mut fresh, 0, &samples);
+        assert!(!expected.is_empty());
+
+        let mut reused: McuCore<f64, 16> = McuCore::new();
+        assert!(matches!(
+            reused.load(&oversized).unwrap_err(),
+            McuExecError::ArenaOverflow { .. }
+        ));
+        assert!(!reused.is_loaded());
+        assert!(matches!(
+            reused.push_sample(0, 1.0, &mut |_| {}),
+            Err(McuExecError::NotLoaded)
+        ));
+        reused.load(&fitting).unwrap();
+        assert_eq!(collect_wakes(&mut reused, 0, &samples), expected);
+        assert_eq!(reused.arena_used(), [0, 4, 0, 0, 0]);
+    }
+
+    #[test]
+    fn arena_used_matches_the_static_footprint() {
+        use crate::footprint::{image_footprint, ArenaKind};
+        let mut b = ImageBuilder::new();
+        let win = b
+            .push_node(
+                NodeKind::Window {
+                    size: 16,
+                    hop: 16,
+                    shape: WindowShape::Hamming,
+                },
+                &[PortSource::Channel(0)],
+                64.0,
+            )
+            .unwrap();
+        let fft = b
+            .push_node(NodeKind::Fft, &[PortSource::Node(win)], 64.0)
+            .unwrap();
+        let mag = b
+            .push_node(NodeKind::SpectralMagnitude, &[PortSource::Node(fft)], 64.0)
+            .unwrap();
+        let dom = b
+            .push_node(NodeKind::DominantRatio, &[PortSource::Node(mag)], 64.0)
+            .unwrap();
+        let image = b.finish(dom).unwrap();
+        let fp = image_footprint(&image).unwrap();
+        let mut core: McuCore<f64, 128> = McuCore::new();
+        core.load(&image).unwrap();
+        let used = core.arena_used();
+        for (k, kind) in ArenaKind::ALL[..5].iter().enumerate() {
+            assert_eq!(
+                used[k],
+                fp.arena(*kind).elements,
+                "{} diverged from the footprint",
+                kind.name()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,466 @@
+//! Static arena accounting for [`McuImage`]s — the `no_std` half of the
+//! `swcert` resource certifier.
+//!
+//! [`image_footprint`] replays the exact bump-allocation walk
+//! [`McuCore::load`](crate::McuCore::load) performs — same node order,
+//! same per-kind element counts, same parameter validation — without
+//! touching any arena, so a program's capacity requirement is a
+//! computed fact rather than a load-time surprise. [`check_fit`] turns
+//! that walk into a pre-flight admission check: the first node that
+//! would push any arena past `cap` is reported by name, before a single
+//! element is carved. `McuCore::load` runs this check first, which is
+//! what makes a failed load side-effect free.
+//!
+//! The accounting is *exact*, not an estimate: `exec.rs` keeps the
+//! per-arena totals it actually carves, and the equivalence tests
+//! assert `arena_used() == footprint` on every fixture and on the fuzz
+//! corpus. Anything this module over- or under-counts is a test
+//! failure, not drift.
+
+use crate::exec::{plan_swap_cap, plan_twiddle_cap, McuExecError};
+use crate::image::{McuImage, NodeKind, NodeSpec, PortSource, MAX_NODES};
+
+/// The seven fixed arenas a [`McuCore`](crate::McuCore) carves at load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArenaKind {
+    /// `arena_p`: window rings, taper tables, vector payloads.
+    Sample,
+    /// `arena_f`: moving-average rings, probe tables, widening scratch.
+    Scalar,
+    /// `arena_c`: twiddle tables and spectrum payloads.
+    Complex,
+    /// `arena_s`: bit-reversal swap tables.
+    Swap,
+    /// `arena_b`: band-filter keep masks.
+    Mask,
+    /// `stage_p`: staging copy of the largest fed vector payload.
+    StageSample,
+    /// `stage_c`: staging copy of the largest fed spectrum payload.
+    StageSpectrum,
+}
+
+impl ArenaKind {
+    /// Every arena, in declaration order.
+    pub const ALL: [ArenaKind; 7] = [
+        ArenaKind::Sample,
+        ArenaKind::Scalar,
+        ArenaKind::Complex,
+        ArenaKind::Swap,
+        ArenaKind::Mask,
+        ArenaKind::StageSample,
+        ArenaKind::StageSpectrum,
+    ];
+
+    /// Position in [`ImageFootprint::arenas`].
+    pub fn index(self) -> usize {
+        match self {
+            ArenaKind::Sample => 0,
+            ArenaKind::Scalar => 1,
+            ArenaKind::Complex => 2,
+            ArenaKind::Swap => 3,
+            ArenaKind::Mask => 4,
+            ArenaKind::StageSample => 5,
+            ArenaKind::StageSpectrum => 6,
+        }
+    }
+
+    /// The name `load`'s capacity errors use for this arena.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArenaKind::Sample => "sample arena",
+            ArenaKind::Scalar => "scalar arena",
+            ArenaKind::Complex => "complex arena",
+            ArenaKind::Swap => "swap arena",
+            ArenaKind::Mask => "mask arena",
+            ArenaKind::StageSample => "sample staging arena",
+            ArenaKind::StageSpectrum => "spectrum staging arena",
+        }
+    }
+
+    /// Bytes one element occupies, given the sample-payload width
+    /// (`8` for `f64` cores, `4` for `f32`).
+    pub fn element_bytes(self, sample_bytes: usize) -> usize {
+        match self {
+            ArenaKind::Sample | ArenaKind::StageSample => sample_bytes,
+            ArenaKind::Scalar => 8,
+            ArenaKind::Complex | ArenaKind::StageSpectrum => 16,
+            ArenaKind::Swap => 8,
+            ArenaKind::Mask => 1,
+        }
+    }
+}
+
+/// One arena's certified occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaUse {
+    /// Total elements the program carves from (or stages through) the
+    /// arena.
+    pub elements: usize,
+    /// Dense index of the node contributing the most elements.
+    pub peak_node: u16,
+    /// That node's contribution.
+    pub peak_elements: usize,
+}
+
+impl ArenaUse {
+    fn add(&mut self, node: u16, elements: usize) {
+        self.elements += elements;
+        if elements > self.peak_elements {
+            self.peak_elements = elements;
+            self.peak_node = node;
+        }
+    }
+
+    /// Staging arenas hold one payload at a time, so their occupancy is
+    /// the maximum, not the sum.
+    fn stage(&mut self, node: u16, elements: usize) {
+        if elements > self.elements {
+            self.elements = elements;
+        }
+        if elements > self.peak_elements {
+            self.peak_elements = elements;
+            self.peak_node = node;
+        }
+    }
+}
+
+/// Exact per-arena element occupancy of one image, in load order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ImageFootprint {
+    /// Occupancy per arena, indexed by [`ArenaKind::index`].
+    pub arenas: [ArenaUse; 7],
+}
+
+impl ImageFootprint {
+    /// Occupancy of one arena.
+    pub fn arena(&self, kind: ArenaKind) -> ArenaUse {
+        self.arenas[kind.index()]
+    }
+
+    /// The largest single-arena occupancy — the smallest `CAP` a
+    /// `McuCore<_, CAP>` needs to load the image.
+    pub fn required_capacity(&self) -> usize {
+        let mut max = 0;
+        let mut i = 0;
+        while i < self.arenas.len() {
+            if self.arenas[i].elements > max {
+                max = self.arenas[i].elements;
+            }
+            i += 1;
+        }
+        max
+    }
+
+    /// Whether every arena fits a core of capacity `cap`.
+    pub fn fits(&self, cap: usize) -> bool {
+        self.required_capacity() <= cap
+    }
+
+    /// Total bytes across all arenas for the given sample-payload
+    /// width — the RAM the carved program actually occupies.
+    pub fn total_bytes(&self, sample_bytes: usize) -> usize {
+        ArenaKind::ALL
+            .iter()
+            .map(|&k| self.arena(k).elements * k.element_bytes(sample_bytes))
+            .sum()
+    }
+}
+
+/// Per-node element needs — the footprint of one node's carve.
+struct NodeNeeds {
+    p: usize,
+    f: usize,
+    c: usize,
+    s: usize,
+    b: usize,
+    /// Payload length the node emits (0 for scalar producers).
+    out_len: usize,
+    /// Whether the emitted payload is a spectrum (complex) rather than
+    /// a sample vector.
+    spectral_out: bool,
+}
+
+/// Elements node `node` carves from each arena, given its incoming
+/// payload length. Mirrors `McuCore::load`'s per-kind match
+/// element-for-element, including the parameter validation it performs
+/// before carving.
+fn node_needs(node: u16, spec: &NodeSpec, in_len: usize) -> Result<NodeNeeds, McuExecError> {
+    let mut needs = NodeNeeds {
+        p: 0,
+        f: 0,
+        c: 0,
+        s: 0,
+        b: 0,
+        out_len: 0,
+        spectral_out: false,
+    };
+    match spec.kind {
+        NodeKind::Window { size, hop, .. } => {
+            let (size, hop) = (size as usize, hop as usize);
+            if size == 0 || hop == 0 || hop > size {
+                return Err(McuExecError::BadParameter {
+                    node,
+                    what: "window size and hop must be positive",
+                });
+            }
+            // Ring + taper table + output payload.
+            needs.p = 3 * size;
+            needs.out_len = size;
+        }
+        NodeKind::Fft => {
+            needs.s = plan_swap_cap(in_len);
+            needs.c = plan_twiddle_cap(in_len) + in_len;
+            needs.f = in_len;
+            needs.out_len = in_len;
+            needs.spectral_out = true;
+        }
+        NodeKind::Ifft => {
+            needs.s = plan_swap_cap(in_len);
+            needs.c = plan_twiddle_cap(in_len) + in_len;
+            needs.p = in_len;
+            needs.out_len = in_len;
+        }
+        NodeKind::SpectralMagnitude => {
+            let m = if in_len > 0 { in_len / 2 + 1 } else { 0 };
+            needs.p = m;
+            needs.out_len = m;
+        }
+        NodeKind::MovingAvg { window } => {
+            if window == 0 {
+                return Err(McuExecError::BadParameter {
+                    node,
+                    what: "moving-average window must be positive",
+                });
+            }
+            needs.f = window as usize;
+        }
+        NodeKind::ExpMovingAvg { alpha } => {
+            if !(alpha > 0.0 && alpha <= 1.0) {
+                return Err(McuExecError::BadParameter {
+                    node,
+                    what: "smoothing factor must be in (0, 1]",
+                });
+            }
+        }
+        NodeKind::LowPass { .. } | NodeKind::HighPass { .. } => {
+            needs.s = plan_swap_cap(in_len);
+            needs.c = 2 * plan_twiddle_cap(in_len) + in_len;
+            needs.b = in_len;
+            needs.f = in_len;
+            needs.p = in_len;
+            needs.out_len = in_len;
+        }
+        NodeKind::ZcrVariance { sub_windows } => {
+            needs.p = sub_windows as usize;
+        }
+        NodeKind::Goertzel { lo_hz, hi_hz }
+        | NodeKind::GoertzelFreq { lo_hz, hi_hz }
+        | NodeKind::GoertzelRatio { lo_hz, hi_hz } => {
+            if !(lo_hz.is_finite() && hi_hz.is_finite() && 0.0 <= lo_hz && lo_hz <= hi_hz) {
+                return Err(McuExecError::BadParameter {
+                    node,
+                    what: "goertzel band must be finite with 0 <= lo <= hi",
+                });
+            }
+            needs.f = if in_len > 0 { in_len / 2 + 1 } else { 0 };
+        }
+        NodeKind::VectorMagnitude
+        | NodeKind::Zcr
+        | NodeKind::Stat(_)
+        | NodeKind::DominantRatio
+        | NodeKind::DominantFreq
+        | NodeKind::MinThreshold { .. }
+        | NodeKind::MaxThreshold { .. }
+        | NodeKind::BandThreshold { .. }
+        | NodeKind::OutsideThreshold { .. }
+        | NodeKind::Sustained { .. }
+        | NodeKind::AllOf
+        | NodeKind::AnyOf => {}
+    }
+    Ok(needs)
+}
+
+/// Computes the exact per-arena occupancy of `image`, walking nodes in
+/// load order.
+///
+/// # Errors
+///
+/// [`McuExecError::BadParameter`] on exactly the parameters
+/// [`McuCore::load`](crate::McuCore::load) rejects, at the same node.
+pub fn image_footprint(image: &McuImage) -> Result<ImageFootprint, McuExecError> {
+    walk(image, usize::MAX).map(|(fp, _)| fp)
+}
+
+/// [`image_footprint`] plus an admission check against a core of
+/// capacity `cap`: the first node whose carve would overflow any arena
+/// is reported with the arena's name — before `McuCore::load` touches
+/// anything.
+///
+/// # Errors
+///
+/// [`McuExecError::BadParameter`] as [`image_footprint`];
+/// [`McuExecError::ArenaOverflow`] naming the arena and the offending
+/// node when the image does not fit.
+pub fn check_fit(image: &McuImage, cap: usize) -> Result<ImageFootprint, McuExecError> {
+    match walk(image, cap)? {
+        (fp, None) => Ok(fp),
+        (_, Some(err)) => Err(err),
+    }
+}
+
+/// Shared walk: accumulates the footprint and records the first
+/// capacity crossing against `cap` (pass `usize::MAX` for none).
+fn walk(
+    image: &McuImage,
+    cap: usize,
+) -> Result<(ImageFootprint, Option<McuExecError>), McuExecError> {
+    let mut fp = ImageFootprint::default();
+    let mut overflow: Option<McuExecError> = None;
+    let mut lens = [0usize; MAX_NODES];
+    for (i, spec) in image.nodes().iter().enumerate() {
+        let node = i as u16;
+        let in_len = match spec.sources[0] {
+            PortSource::Channel(_) => 0,
+            PortSource::Node(src) => lens[src as usize],
+        };
+        let needs = node_needs(node, spec, in_len)?;
+        lens[i] = needs.out_len;
+
+        let carves = [
+            (ArenaKind::Sample, needs.p),
+            (ArenaKind::Scalar, needs.f),
+            (ArenaKind::Complex, needs.c),
+            (ArenaKind::Swap, needs.s),
+            (ArenaKind::Mask, needs.b),
+        ];
+        for (kind, elements) in carves {
+            let arena = &mut fp.arenas[kind.index()];
+            arena.add(node, elements);
+            if overflow.is_none() && arena.elements > cap {
+                overflow = Some(McuExecError::ArenaOverflow {
+                    arena: kind.name(),
+                    node,
+                    needed: arena.elements,
+                    capacity: cap,
+                });
+            }
+        }
+        // A consumed payload is copied through the matching staging
+        // arena on every feed; unconsumed payloads (the OUT node's) are
+        // never staged.
+        if spec.consumer_mask != 0 && needs.out_len > 0 {
+            let kind = if needs.spectral_out {
+                ArenaKind::StageSpectrum
+            } else {
+                ArenaKind::StageSample
+            };
+            let arena = &mut fp.arenas[kind.index()];
+            arena.stage(node, needs.out_len);
+            if overflow.is_none() && arena.elements > cap {
+                overflow = Some(McuExecError::ArenaOverflow {
+                    arena: kind.name(),
+                    node,
+                    needed: arena.elements,
+                    capacity: cap,
+                });
+            }
+        }
+    }
+    Ok((fp, overflow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::ImageBuilder;
+    use crate::window::WindowShape;
+
+    fn window_image(size: u32) -> McuImage {
+        let mut b = ImageBuilder::new();
+        let win = b
+            .push_node(
+                NodeKind::Window {
+                    size,
+                    hop: size,
+                    shape: WindowShape::Rectangular,
+                },
+                &[PortSource::Channel(0)],
+                50.0,
+            )
+            .unwrap();
+        let stat = b
+            .push_node(
+                NodeKind::Stat(crate::image::StatKind::Mean),
+                &[PortSource::Node(win)],
+                50.0,
+            )
+            .unwrap();
+        b.finish(stat).unwrap()
+    }
+
+    #[test]
+    fn window_chain_counts_ring_taper_payload_and_staging() {
+        let fp = image_footprint(&window_image(64)).unwrap();
+        assert_eq!(fp.arena(ArenaKind::Sample).elements, 3 * 64);
+        assert_eq!(fp.arena(ArenaKind::StageSample).elements, 64);
+        assert_eq!(fp.arena(ArenaKind::Scalar).elements, 0);
+        assert_eq!(fp.required_capacity(), 192);
+        assert!(fp.fits(192));
+        assert!(!fp.fits(191));
+    }
+
+    #[test]
+    fn unconsumed_payload_is_not_staged() {
+        let mut b = ImageBuilder::new();
+        let win = b
+            .push_node(
+                NodeKind::Window {
+                    size: 16,
+                    hop: 16,
+                    shape: WindowShape::Rectangular,
+                },
+                &[PortSource::Channel(0)],
+                50.0,
+            )
+            .unwrap();
+        let image = b.finish(win).unwrap();
+        let fp = image_footprint(&image).unwrap();
+        assert_eq!(fp.arena(ArenaKind::StageSample).elements, 0);
+    }
+
+    #[test]
+    fn check_fit_names_arena_and_node() {
+        let err = check_fit(&window_image(64), 100).unwrap_err();
+        assert_eq!(
+            err,
+            McuExecError::ArenaOverflow {
+                arena: "sample arena",
+                node: 0,
+                needed: 192,
+                capacity: 100,
+            }
+        );
+        let text = std::format!("{err}");
+        assert!(text.contains("sample arena"), "{text}");
+        assert!(text.contains("node 0"), "{text}");
+    }
+
+    #[test]
+    fn bad_parameters_surface_at_the_same_node_as_load() {
+        let mut b = ImageBuilder::new();
+        b.push_node(
+            NodeKind::MovingAvg { window: 0 },
+            &[PortSource::Channel(0)],
+            50.0,
+        )
+        .unwrap();
+        let image = b.finish(0).unwrap();
+        assert_eq!(
+            image_footprint(&image).unwrap_err(),
+            McuExecError::BadParameter {
+                node: 0,
+                what: "moving-average window must be positive",
+            }
+        );
+    }
+}

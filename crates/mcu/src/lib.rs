@@ -30,6 +30,7 @@ pub mod complex;
 pub mod exec;
 pub mod fft;
 pub mod filter;
+pub mod footprint;
 pub mod goertzel;
 pub mod image;
 pub mod math;
@@ -40,7 +41,10 @@ pub mod window;
 pub mod zcr;
 
 pub use complex::Complex;
-pub use exec::{McuCore, McuExecError, WakeEvent, DEFAULT_ARENA};
+pub use exec::{
+    ExecProbe, HighWaterProbe, McuCore, McuExecError, NoProbe, WakeEvent, DEFAULT_ARENA,
+};
+pub use footprint::{check_fit, image_footprint, ArenaKind, ArenaUse, ImageFootprint};
 pub use image::{
     CapacityError, ImageBuilder, ImageError, McuImage, NodeKind, NodeSpec, PortSource, StatKind,
 };

@@ -196,12 +196,79 @@ impl OptReport {
     }
 }
 
+/// Debug-build backstop for the analysis⟺transform discipline (the
+/// same pairing that caught the PR 6 `dominantRatio` unsoundness): a
+/// pass may never *grow* any statically certified resource bound —
+/// arena elements, required capacity, flops/s, model memory, or the
+/// wake rate. Programs that cannot be certified on either side (e.g. a
+/// fused suite past the image's node capacity) are skipped; the
+/// comparison is exact, not tolerance-based, because every current pass
+/// only removes or strictly-cheapens work.
+#[cfg(debug_assertions)]
+fn debug_assert_cert_monotone(before: &Program, after: &Program, rates: &ChannelRates, pass: &str) {
+    use sidewinder_cert::{certify_program, CertTarget, Precision};
+    let target = CertTarget::default();
+    let (Ok(b), Ok(a)) = (
+        certify_program(before, rates, Precision::F64, &target),
+        certify_program(after, rates, Precision::F64, &target),
+    ) else {
+        return;
+    };
+    for (bb, aa) in b.arenas.iter().zip(a.arenas.iter()) {
+        assert!(
+            aa.elements <= bb.elements,
+            "pass {pass} grew the {}: {} -> {} elements",
+            aa.name,
+            bb.elements,
+            aa.elements
+        );
+    }
+    assert!(
+        a.required_capacity <= b.required_capacity,
+        "pass {pass} grew the required core capacity: {} -> {}",
+        b.required_capacity,
+        a.required_capacity
+    );
+    assert!(
+        a.total_flops_per_second <= b.total_flops_per_second,
+        "pass {pass} grew certified flops/s: {} -> {}",
+        b.total_flops_per_second,
+        a.total_flops_per_second
+    );
+    assert!(
+        a.total_memory_bytes <= b.total_memory_bytes,
+        "pass {pass} grew certified memory: {} -> {} bytes",
+        b.total_memory_bytes,
+        a.total_memory_bytes
+    );
+    assert!(
+        a.wake_rate_hz <= b.wake_rate_hz,
+        "pass {pass} grew the certified wake rate: {} -> {} Hz",
+        b.wake_rate_hz,
+        a.wake_rate_hz
+    );
+}
+
+#[cfg(not(debug_assertions))]
+fn debug_assert_cert_monotone(
+    _before: &Program,
+    _after: &Program,
+    _rates: &ChannelRates,
+    _pass: &str,
+) {
+}
+
 /// Optimizes one program.
 ///
 /// Total: programs that fail validation are returned unchanged (with an
 /// all-zero report), and if any pass were ever to produce an invalid
 /// program, the original is returned instead — the optimizer never
 /// trades correctness for cost.
+///
+/// In debug builds every applied pass is recertified and asserted
+/// monotone non-increasing on all certified bounds (see
+/// [`sidewinder_cert`]); an optimization that grows a bound is a hard
+/// test failure, not a performance regression to notice later.
 pub fn optimize(
     program: &Program,
     rates: &ChannelRates,
@@ -219,16 +286,19 @@ pub fn optimize(
         let mut changed = false;
         if let Some((next, n)) = passes::dce::run(&current, rates) {
             report.identities_removed += n;
+            debug_assert_cert_monotone(&current, &next, rates, "dce");
             current = next;
             changed = true;
         }
         if let Some((next, n)) = passes::gates::run(&current) {
             report.gates_fused += n;
+            debug_assert_cert_monotone(&current, &next, rates, "gates");
             current = next;
             changed = true;
         }
         if let Some((next, n)) = passes::cse::run(&current) {
             report.duplicates_merged += n;
+            debug_assert_cert_monotone(&current, &next, rates, "cse");
             current = next;
             changed = true;
         }
@@ -241,6 +311,7 @@ pub fn optimize(
         if let Some((next, n)) = passes::goertzel::run(&current, rates) {
             report.goertzel_rewrites += n;
             report.tier = EquivalenceTier::TolerancePinned;
+            debug_assert_cert_monotone(&current, &next, rates, "goertzel");
             current = next;
         }
     }
@@ -259,7 +330,9 @@ pub fn optimize(
             rw.remove(*id);
         }
         report.dead_swept += orphans.len();
-        current = rw.apply(&current);
+        let next = rw.apply(&current);
+        debug_assert_cert_monotone(&current, &next, rates, "liveness-sweep");
+        current = next;
     }
 
     if current.validate().is_err() {

@@ -1,0 +1,111 @@
+//! Certified bounds are monotone non-increasing under optimization.
+//!
+//! `optimize` recertifies after every applied pass in debug builds
+//! (`debug_assert_cert_monotone`), so simply *running* the optimizer
+//! over the generator corpus exercises the per-pass invariant. This
+//! suite additionally checks the end-to-end claim — the final program's
+//! certificate never exceeds the original's on any bound — so the
+//! property also holds in release builds and across the whole pipeline
+//! including the closing liveness sweep.
+
+use proptest::prelude::*;
+use sidewinder_cert::{certify_program, CertTarget, Precision, ResourceCert};
+use sidewinder_hub::runtime::ChannelRates;
+use sidewinder_ir::Program;
+use sidewinder_lint::testing::{accel_program, arb_program, audio_program};
+use sidewinder_opt::{optimize, OptOptions};
+
+const FIXTURES: [(&str, &str); 6] = [
+    (
+        "headbutts",
+        include_str!("../../ir/tests/fixtures/headbutts.swir"),
+    ),
+    ("steps", include_str!("../../ir/tests/fixtures/steps.swir")),
+    (
+        "sirens",
+        include_str!("../../ir/tests/fixtures/sirens.swir"),
+    ),
+    (
+        "transitions",
+        include_str!("../../ir/tests/fixtures/transitions.swir"),
+    ),
+    ("music", include_str!("../../ir/tests/fixtures/music.swir")),
+    (
+        "phrase",
+        include_str!("../../ir/tests/fixtures/phrase.swir"),
+    ),
+];
+
+fn assert_monotone(name: &str, before: &ResourceCert, after: &ResourceCert) {
+    for (b, a) in before.arenas.iter().zip(after.arenas.iter()) {
+        assert!(
+            a.elements <= b.elements,
+            "{name}: {} grew {} -> {}",
+            a.name,
+            b.elements,
+            a.elements
+        );
+    }
+    assert!(
+        after.required_capacity <= before.required_capacity,
+        "{name}"
+    );
+    assert!(
+        after.total_flops_per_second <= before.total_flops_per_second,
+        "{name}: flops {} -> {}",
+        before.total_flops_per_second,
+        after.total_flops_per_second
+    );
+    assert!(
+        after.total_memory_bytes <= before.total_memory_bytes,
+        "{name}: memory {} -> {}",
+        before.total_memory_bytes,
+        after.total_memory_bytes
+    );
+    assert!(
+        after.wake_rate_hz <= before.wake_rate_hz,
+        "{name}: wake rate {} -> {}",
+        before.wake_rate_hz,
+        after.wake_rate_hz
+    );
+}
+
+fn check(name: &str, program: &Program, options: &OptOptions) {
+    let rates = ChannelRates::default();
+    let target = CertTarget::default();
+    let before = certify_program(program, &rates, Precision::F64, &target);
+    // Running the optimizer itself exercises the per-pass debug asserts.
+    let (optimized, _report) = optimize(program, &rates, options);
+    let after = certify_program(&optimized, &rates, Precision::F64, &target);
+    if let (Ok(before), Ok(after)) = (before, after) {
+        assert_monotone(name, &before, &after);
+    }
+}
+
+#[test]
+fn fixture_certificates_never_grow_under_optimization() {
+    for (name, text) in FIXTURES {
+        let program: Program = text.parse().unwrap();
+        check(name, &program, &OptOptions::exact());
+        check(name, &program, &OptOptions::aggressive());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn generated_certificates_never_grow_under_optimization(program in arb_program()) {
+        check("arb", &program, &OptOptions::aggressive());
+    }
+
+    #[test]
+    fn accel_certificates_never_grow_under_optimization(program in accel_program()) {
+        check("accel", &program, &OptOptions::aggressive());
+    }
+
+    #[test]
+    fn audio_certificates_never_grow_under_optimization(program in audio_program()) {
+        check("audio", &program, &OptOptions::aggressive());
+    }
+}

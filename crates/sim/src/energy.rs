@@ -25,14 +25,11 @@ use sidewinder_ir::Program;
 use sidewinder_obs::{CounterSink, EnergyLedger};
 use sidewinder_sensors::SensorTrace;
 
-/// Energy per floating-point operation on the hub MCU, joules. A
-/// Cortex-M4F-class core at a few tens of MHz lands in the low
-/// nanojoules per flop; the exact figure only shifts attribution between
-/// compute and the idle floor, never the closed total.
-pub const HUB_NJ_PER_FLOP: f64 = 1.5;
-
-/// UART power while clocking a frame, mW.
-pub const LINK_ACTIVE_MW: f64 = 12.0;
+// The constants live in `sidewinder_hub::energy` so the static
+// certifier can price its energy ceiling from the same figures the
+// ledger charges; this re-export keeps `sim::energy::HUB_NJ_PER_FLOP`
+// the canonical spelling in experiment code.
+pub use sidewinder_hub::energy::{HUB_NJ_PER_FLOP, LINK_ACTIVE_MW};
 
 /// A simulation run with its energy split and raw counters.
 #[derive(Debug, Clone)]

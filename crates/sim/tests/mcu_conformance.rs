@@ -12,15 +12,41 @@
 use sidewinder_apps::{
     HeadbuttsApp, MusicJournalApp, PhraseDetectionApp, SirenDetectorApp, StepsApp, TransitionsApp,
 };
+use sidewinder_cert::{certify_program, CertTarget, Precision};
 use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
 use sidewinder_hub::{compile_image, McuCore};
+use sidewinder_ir::Program;
 use sidewinder_sensors::{Micros, SensorTrace};
 use sidewinder_sim::Application;
 use sidewinder_tracegen::{audio_trace, robot_run, AudioTraceConfig, RobotRunConfig};
 
-/// Arena capacity covering the largest fixture (two concurrent windows,
-/// 512 + 2048 samples, plus FFT plans); ~1 MiB of core at `f64`.
-const ARENA: usize = 16_384;
+/// The two core capacity classes the suite deploys to; which class each
+/// application needs — and whether the test thread must budget stack
+/// for a ~1 MiB big-class core — is derived from the wake condition's
+/// resource certificate, not hardcoded.
+const DEFAULT_CORE: usize = sidewinder_hub::DEFAULT_ARENA;
+const BIG_CORE: usize = 16_384;
+
+/// The certified element requirement of `program` (it must fit the
+/// biggest deployed class).
+fn certified_capacity(program: &Program) -> usize {
+    let cert = certify_program(
+        program,
+        &ChannelRates::default(),
+        Precision::F64,
+        &CertTarget {
+            mcu: None,
+            cap: BIG_CORE,
+        },
+    )
+    .expect("wake condition certifies");
+    assert!(
+        cert.fits_cap,
+        "condition needs {} elements, past the biggest deployed core",
+        cert.required_capacity
+    );
+    cert.required_capacity
+}
 
 /// A trace carrying both the accelerometer and the microphone channels,
 /// so every application's wake condition has the data it reads.
@@ -56,58 +82,77 @@ fn all_apps() -> Vec<Box<dyn Application>> {
     ]
 }
 
+fn check_app<const ARENA: usize>(app: &dyn Application, trace: &SensorTrace) {
+    let program = app.wake_condition();
+    let rates = ChannelRates::default();
+    let mut hub = HubRuntime::load(&program, &rates)
+        .unwrap_or_else(|e| panic!("{}: hub load failed: {e}", app.name()));
+    let image = compile_image(&program, &rates)
+        .unwrap_or_else(|e| panic!("{}: image compilation failed: {e}", app.name()));
+    let mut core: McuCore<f64, ARENA> = McuCore::new();
+    core.load(&image)
+        .unwrap_or_else(|e| panic!("{}: core load failed: {e}", app.name()));
+
+    let mut total = 0usize;
+    for channel in program.channels() {
+        let samples = trace
+            .channel(channel)
+            .unwrap_or_else(|| panic!("trace lacks {channel:?}"))
+            .samples();
+        let host_wakes = hub
+            .push_samples(channel, samples)
+            .unwrap_or_else(|e| panic!("{}: hub exec failed: {e}", app.name()));
+        let mut core_wakes = Vec::with_capacity(host_wakes.len());
+        core.push_samples(channel.index() as u8, samples, &mut |w| core_wakes.push(w))
+            .unwrap_or_else(|e| panic!("{}: core exec failed: {e}", app.name()));
+
+        assert_eq!(
+            host_wakes.len(),
+            core_wakes.len(),
+            "{}: wake count diverged on {channel:?}",
+            app.name()
+        );
+        for (k, (h, c)) in host_wakes.iter().zip(core_wakes.iter()).enumerate() {
+            assert_eq!(h.seq, c.seq, "{}: wake #{k} moved", app.name());
+            assert_eq!(
+                h.value.to_bits(),
+                c.value.to_bits(),
+                "{}: wake #{k} (seq {}) bits diverged",
+                app.name(),
+                h.seq
+            );
+        }
+        total += host_wakes.len();
+    }
+    assert_eq!(core.wake_count(), total as u64, "{}", app.name());
+}
+
 #[test]
 fn mcu_core_matches_the_hub_on_every_evaluation_app() {
     let trace = combined_trace(0x5EED_CAFE, 60);
-    std::thread::Builder::new()
-        .stack_size(32 << 20)
-        .spawn(move || {
-            for app in all_apps() {
-                let program = app.wake_condition();
-                let rates = ChannelRates::default();
-                let mut hub = HubRuntime::load(&program, &rates)
-                    .unwrap_or_else(|e| panic!("{}: hub load failed: {e}", app.name()));
-                let image = compile_image(&program, &rates)
-                    .unwrap_or_else(|e| panic!("{}: image compilation failed: {e}", app.name()));
-                let mut core: McuCore<f64, ARENA> = McuCore::new();
-                core.load(&image)
-                    .unwrap_or_else(|e| panic!("{}: core load failed: {e}", app.name()));
-
-                let mut total = 0usize;
-                for channel in program.channels() {
-                    let samples = trace
-                        .channel(channel)
-                        .unwrap_or_else(|| panic!("trace lacks {channel:?}"))
-                        .samples();
-                    let host_wakes = hub
-                        .push_samples(channel, samples)
-                        .unwrap_or_else(|e| panic!("{}: hub exec failed: {e}", app.name()));
-                    let mut core_wakes = Vec::with_capacity(host_wakes.len());
-                    core.push_samples(channel.index() as u8, samples, &mut |w| core_wakes.push(w))
-                        .unwrap_or_else(|e| panic!("{}: core exec failed: {e}", app.name()));
-
-                    assert_eq!(
-                        host_wakes.len(),
-                        core_wakes.len(),
-                        "{}: wake count diverged on {channel:?}",
-                        app.name()
-                    );
-                    for (k, (h, c)) in host_wakes.iter().zip(core_wakes.iter()).enumerate() {
-                        assert_eq!(h.seq, c.seq, "{}: wake #{k} moved", app.name());
-                        assert_eq!(
-                            h.value.to_bits(),
-                            c.value.to_bits(),
-                            "{}: wake #{k} (seq {}) bits diverged",
-                            app.name(),
-                            h.seq
-                        );
-                    }
-                    total += host_wakes.len();
-                }
-                assert_eq!(core.wake_count(), total as u64, "{}", app.name());
+    // Stack budget follows the certificates: only spawn the roomy
+    // thread when some condition certifies past the default class
+    // (a big-class f64 core is ~1 MiB of arenas on the stack).
+    let needs_big = all_apps()
+        .iter()
+        .any(|app| certified_capacity(&app.wake_condition()) > DEFAULT_CORE);
+    let body = move || {
+        for app in all_apps() {
+            if certified_capacity(&app.wake_condition()) <= DEFAULT_CORE {
+                check_app::<DEFAULT_CORE>(app.as_ref(), &trace);
+            } else {
+                check_app::<BIG_CORE>(app.as_ref(), &trace);
             }
-        })
-        .unwrap()
-        .join()
-        .unwrap();
+        }
+    };
+    if needs_big {
+        std::thread::Builder::new()
+            .stack_size(32 << 20)
+            .spawn(body)
+            .unwrap()
+            .join()
+            .unwrap();
+    } else {
+        body();
+    }
 }

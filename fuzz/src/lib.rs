@@ -19,7 +19,10 @@
 //!   be bit-identical to pushing the same samples one at a time;
 //! * [`targets::mcu_equivalence`] — the `no_std` MCU core must be
 //!   bit-identical to the host interpreter on the same program and
-//!   sample stream.
+//!   sample stream;
+//! * [`targets::cert_soundness`] — the static resource certificate must
+//!   agree with the loader about what fits and dominate every measured
+//!   arena high-water mark and emission count.
 
 pub mod targets;
 
@@ -115,11 +118,12 @@ pub fn mutate(base: &[u8], corpus: &[Vec<u8>], rng: &mut SplitMix64) -> Vec<u8> 
 pub type Target = fn(&[u8]);
 
 /// The registered targets, in the order `fuzzsmoke` runs them.
-pub const TARGETS: [(&str, Target); 4] = [
+pub const TARGETS: [(&str, Target); 5] = [
     ("ir_totality", targets::ir_totality),
     ("fft_differential", targets::fft_differential),
     ("ingest_differential", targets::ingest_differential),
     ("mcu_equivalence", targets::mcu_equivalence),
+    ("cert_soundness", targets::cert_soundness),
 ];
 
 #[cfg(test)]

@@ -2,12 +2,14 @@
 //! violated invariant, so the runner's `catch_unwind` is the oracle.
 
 use crate::{fnv1a, SplitMix64};
+use sidewinder_cert::{certify_program, emission_bound, CertTarget, Precision};
 use sidewinder_dsp::complex::Complex;
 use sidewinder_dsp::fft;
 use sidewinder_hub::runtime::{ChannelRates, HubRuntime};
 use sidewinder_hub::{compile_image, McuCore};
 use sidewinder_ir::Program;
 use sidewinder_mcu::fft as mcu_fft;
+use sidewinder_mcu::{ArenaKind, HighWaterProbe, McuExecError};
 use sidewinder_sensors::SensorChannel;
 
 /// The six golden fixtures double as structured seeds: mutated wake
@@ -163,6 +165,113 @@ pub fn mcu_equivalence(data: &[u8]) {
             .join()
     })
     .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+}
+
+/// Arena capacity for the certificate-soundness target: deliberately
+/// tight (a 512-sample windowed pipeline's exact footprint) so mutated
+/// programs land on both sides of the fit boundary — the committed
+/// corpus seeds programs at exactly the cap (`at_cap.swir`, 1538
+/// elements), one element over (`just_over.swir`, 1539), and a couple
+/// under/over (`under_cap.swir` 1536, `over_cap.swir` 1540).
+const CERT_CAP: usize = 1538;
+
+/// Certificate soundness: `certify_program` must be total on arbitrary
+/// parseable programs, must agree exactly with the loader about what
+/// fits, and its bounds must dominate everything a real execution
+/// measures — arena occupancy, staging high-water marks, and per-node
+/// emission counts.
+pub fn cert_soundness(data: &[u8]) {
+    let text = String::from_utf8_lossy(data);
+    let Ok(program) = text.parse::<Program>() else {
+        return;
+    };
+    if program.validate().is_err() {
+        return;
+    }
+    let rates = ChannelRates::default();
+    let target = CertTarget {
+        mcu: None,
+        cap: CERT_CAP,
+    };
+    // Totality at both precisions: typed errors at worst.
+    let cert = certify_program(&program, &rates, Precision::F64, &target);
+    let cert32 = certify_program(&program, &rates, Precision::F32, &target);
+    assert_eq!(
+        cert.is_ok(),
+        cert32.is_ok(),
+        "precision changed certifiability"
+    );
+    let Ok(image) = compile_image(&program, &rates) else {
+        assert!(cert.is_err(), "certified a program the compiler rejects");
+        return;
+    };
+    let cert = cert.expect("compilable programs certify");
+
+    // The loader and the certificate must agree exactly on fit.
+    let mut core: McuCore<f64, CERT_CAP> = McuCore::new();
+    match core.load(&image) {
+        Ok(()) => assert!(
+            cert.fits_cap,
+            "load succeeded but the certificate claims overflow \
+             (required {})",
+            cert.required_capacity
+        ),
+        Err(McuExecError::ArenaOverflow { .. }) => {
+            assert!(
+                !cert.fits_cap,
+                "load overflowed but the certificate claims required {} <= {}",
+                cert.required_capacity, CERT_CAP
+            );
+            return;
+        }
+        Err(e) => panic!("load failed for a non-arena reason: {e:?}"),
+    }
+
+    // Exact arena accounting: carved == certified, element for element.
+    let used = core.arena_used();
+    for (kind, &u) in ArenaKind::ALL[..5].iter().zip(used.iter()) {
+        assert_eq!(
+            u,
+            cert.arenas[kind.index()].elements,
+            "{} carve diverged from the certificate",
+            kind.name()
+        );
+    }
+
+    // Execute a deterministic schedule under the high-water probe; every
+    // measured mark must stay at or under its certified bound.
+    let samples = sample_schedule(data);
+    let mut probe = HighWaterProbe::new();
+    let mut pushes = [0u64; sidewinder_mcu::image::MAX_CHANNELS];
+    for channel in program.channels() {
+        let ci = channel.index();
+        if core
+            .push_samples_probed(ci as u8, &samples, &mut |_| {}, &mut probe)
+            .is_err()
+        {
+            return; // runtime fault (e.g. NaN guard); bounds are vacuous
+        }
+        pushes[ci] += samples.len() as u64;
+    }
+    let stage_sample = cert.arenas[ArenaKind::StageSample.index()].peak_elements;
+    let stage_spectrum = cert.arenas[ArenaKind::StageSpectrum.index()].peak_elements;
+    assert!(
+        probe.stage_sample_peak <= stage_sample,
+        "staged vector peak {} exceeds certified {stage_sample}",
+        probe.stage_sample_peak
+    );
+    assert!(
+        probe.stage_spectrum_peak <= stage_spectrum,
+        "staged spectrum peak {} exceeds certified {stage_spectrum}",
+        probe.stage_spectrum_peak
+    );
+    for (node, &measured) in probe.emissions.iter().enumerate().take(cert.nodes.len()) {
+        let bound = emission_bound(&cert, node, &pushes);
+        assert!(
+            measured <= bound,
+            "node {node} emitted {measured} > certified bound {bound}"
+        );
+    }
 }
 
 fn mcu_equivalence_body(data: &[u8]) {

@@ -30,6 +30,9 @@
 //! * [`lint`] — the `swlint` static analyzer: abstract interpretation
 //!   over value intervals, the `SW0xx` lint catalog, MCU schedulability
 //!   checks;
+//! * [`cert`] — the `swcert` static resource certifier: sound per-arena
+//!   occupancy, worst-case cycle, and energy-ceiling bounds over
+//!   compiled MCU images, with pinned canonical-JSON digests;
 //! * [`opt`] — the `swopt` optimizing IR compiler: dead-node
 //!   elimination, gate fusion, cross-application common-subexpression
 //!   elimination, and Goertzel strength reduction, built on the
@@ -76,6 +79,7 @@
 //! ```
 
 pub use sidewinder_apps as apps;
+pub use sidewinder_cert as cert;
 pub use sidewinder_core as core;
 pub use sidewinder_dsp as dsp;
 pub use sidewinder_fleet as fleet;
